@@ -1,0 +1,52 @@
+//! Run the extension experiments (energy, data type, HMC outlook, host
+//! link) and print their tables; optionally append a Markdown section to
+//! EXPERIMENTS.md.
+//!
+//! ```text
+//! extensions [--append-experiments PATH]
+//! ```
+
+use mpstream_core::all_extensions;
+use std::fmt::Write as _;
+
+fn main() {
+    let mut append_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--append-experiments" => append_path = args.next(),
+            other => {
+                eprintln!("unknown argument {other}; usage: extensions [--append-experiments PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut md = String::from("\n# Extensions (beyond the paper's figures)\n\n");
+    for r in all_extensions() {
+        println!("== {} — {} ==", r.id, r.title);
+        println!("{}", r.table.to_text());
+        for n in &r.notes {
+            println!("note: {n}");
+        }
+        println!();
+
+        let _ = writeln!(md, "## {} — {}\n", r.id, r.title);
+        let _ = writeln!(md, "```\n{}```\n", r.table.to_text());
+        for n in &r.notes {
+            let _ = writeln!(md, "- {n}");
+        }
+        md.push('\n');
+    }
+
+    if let Some(path) = append_path {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open experiments file");
+        f.write_all(md.as_bytes()).expect("append extensions section");
+        eprintln!("[extensions] appended to {path}");
+    }
+}

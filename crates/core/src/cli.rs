@@ -1,0 +1,388 @@
+//! Command-line front end for the benchmark — the equivalent of the
+//! original MP-STREAM's command-line tool, factored as a library so the
+//! argument grammar and execution are unit-testable. The `mpstream`
+//! binary in the workspace root is a thin wrapper.
+
+use crate::config::BenchConfig;
+use crate::report::Table;
+use crate::runner::Runner;
+use kernelgen::{
+    AccessPattern, AoclOpts, DataType, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts,
+};
+use targets::TargetId;
+
+/// A parsed command-line request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliRequest {
+    /// Target to run on.
+    pub target: TargetId,
+    /// Kernels to run (default: all four).
+    pub ops: Vec<StreamOp>,
+    /// Array size in bytes.
+    pub size_bytes: u64,
+    /// Element type.
+    pub dtype: DataType,
+    /// Vector width.
+    pub width: u32,
+    /// Loop management.
+    pub loop_mode: LoopMode,
+    /// Access pattern.
+    pub pattern: AccessPattern,
+    /// Unroll factor.
+    pub unroll: u32,
+    /// AOCL replication (SIMD, CUs).
+    pub aocl: Option<(u32, u32)>,
+    /// Timed repetitions.
+    pub ntimes: u32,
+    /// Skip functional validation.
+    pub no_validate: bool,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+    /// Print the generated OpenCL kernel source instead of running.
+    pub show_kernel: bool,
+}
+
+impl Default for CliRequest {
+    fn default() -> Self {
+        CliRequest {
+            target: TargetId::Cpu,
+            ops: StreamOp::ALL.to_vec(),
+            size_bytes: 4 << 20,
+            dtype: DataType::I32,
+            width: 1,
+            loop_mode: LoopMode::NdRange,
+            pattern: AccessPattern::Contiguous,
+            unroll: 1,
+            aocl: None,
+            ntimes: 5,
+            no_validate: false,
+            csv: false,
+            show_kernel: false,
+        }
+    }
+}
+
+/// The usage string printed on `--help` or a parse error.
+pub const USAGE: &str = "\
+usage: mpstream [options]
+  --target <aocl|sdaccel|cpu|gpu>   device to run on (default cpu)
+  --kernel <copy|scale|add|triad>   kernel (repeatable; default all four)
+  --size <N[K|M|G]>                 bytes per array (default 4M)
+  --dtype <int|double>              element type (default int)
+  --vector <1|2|4|8|16>             vectorization width (default 1)
+  --loop <ndrange|flat|nested>      loop management (default ndrange;
+                                    FPGAs default to flat)
+  --pattern <contig|colmajor|strideN>  access pattern (default contig)
+  --unroll <N>                      unroll factor (default 1)
+  --simd <N>                        AOCL num_simd_work_items
+  --compute-units <N>               AOCL num_compute_units
+  --ntimes <N>                      timed repetitions (default 5)
+  --no-validate                     skip STREAM-style result validation
+  --csv                             CSV output
+  --show-kernel                     print the generated OpenCL kernel
+  --list-devices                    list the simulated platforms
+  --help                            this text";
+
+/// Parse a size argument like `4M`, `512K`, `1G`, `8192`.
+pub fn parse_size(s: &str) -> Result<u64, String> {
+    let (num, mult) = match s.char_indices().last() {
+        Some((i, 'K')) | Some((i, 'k')) => (&s[..i], 1u64 << 10),
+        Some((i, 'M')) | Some((i, 'm')) => (&s[..i], 1u64 << 20),
+        Some((i, 'G')) | Some((i, 'g')) => (&s[..i], 1u64 << 30),
+        _ => (s, 1),
+    };
+    // Allow decimal MB-style values like 0.25M.
+    if let Ok(f) = num.parse::<f64>() {
+        if f > 0.0 {
+            return Ok(if mult == 1 { f.round() as u64 } else { (f * mult as f64).round() as u64 });
+        }
+    }
+    Err(format!("invalid size '{s}' (try 4M, 512K, 1G){}", ""))
+}
+
+/// Parse the full argument list (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Option<CliRequest>, String> {
+    let mut req = CliRequest::default();
+    let mut ops: Vec<StreamOp> = Vec::new();
+    let mut loop_set = false;
+    let mut it = args.iter();
+    let need = |it: &mut std::slice::Iter<String>, flag: &str| {
+        it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--list-devices" => {
+                req.show_kernel = false;
+                req.ops.clear();
+                // Marker handled by the binary via `ops.is_empty()` is
+                // too subtle; use an explicit sentinel instead.
+                return Ok(Some(CliRequest { ntimes: 0, ..req }));
+            }
+            "--target" => {
+                let v = need(&mut it, "--target")?;
+                req.target =
+                    TargetId::from_label(&v).ok_or_else(|| format!("unknown target '{v}'"))?;
+            }
+            "--kernel" => {
+                let v = need(&mut it, "--kernel")?;
+                let op = match v.as_str() {
+                    "copy" => StreamOp::Copy,
+                    "scale" => StreamOp::Scale,
+                    "add" => StreamOp::Add,
+                    "triad" => StreamOp::Triad,
+                    other => return Err(format!("unknown kernel '{other}'")),
+                };
+                ops.push(op);
+            }
+            "--size" => req.size_bytes = parse_size(&need(&mut it, "--size")?)?,
+            "--dtype" => {
+                req.dtype = match need(&mut it, "--dtype")?.as_str() {
+                    "int" | "i32" => DataType::I32,
+                    "double" | "f64" => DataType::F64,
+                    other => return Err(format!("unknown dtype '{other}'")),
+                }
+            }
+            "--vector" => {
+                req.width = need(&mut it, "--vector")?
+                    .parse()
+                    .map_err(|_| "invalid --vector".to_string())?;
+            }
+            "--loop" => {
+                loop_set = true;
+                req.loop_mode = match need(&mut it, "--loop")?.as_str() {
+                    "ndrange" => LoopMode::NdRange,
+                    "flat" => LoopMode::SingleWorkItemFlat,
+                    "nested" => LoopMode::SingleWorkItemNested,
+                    other => return Err(format!("unknown loop mode '{other}'")),
+                };
+            }
+            "--pattern" => {
+                let v = need(&mut it, "--pattern")?;
+                req.pattern = if v == "contig" {
+                    AccessPattern::Contiguous
+                } else if v == "colmajor" {
+                    AccessPattern::ColMajor { cols: None }
+                } else if let Some(n) = v.strip_prefix("stride") {
+                    AccessPattern::Strided {
+                        stride: n.parse().map_err(|_| format!("bad stride in '{v}'"))?,
+                    }
+                } else {
+                    return Err(format!("unknown pattern '{v}'"));
+                };
+            }
+            "--unroll" => {
+                req.unroll =
+                    need(&mut it, "--unroll")?.parse().map_err(|_| "invalid --unroll".to_string())?;
+            }
+            "--simd" => {
+                let n = need(&mut it, "--simd")?.parse().map_err(|_| "invalid --simd".to_string())?;
+                let (_, cu) = req.aocl.unwrap_or((1, 1));
+                req.aocl = Some((n, cu));
+            }
+            "--compute-units" => {
+                let n = need(&mut it, "--compute-units")?
+                    .parse()
+                    .map_err(|_| "invalid --compute-units".to_string())?;
+                let (simd, _) = req.aocl.unwrap_or((1, 1));
+                req.aocl = Some((simd, n));
+            }
+            "--ntimes" => {
+                req.ntimes =
+                    need(&mut it, "--ntimes")?.parse().map_err(|_| "invalid --ntimes".to_string())?;
+            }
+            "--no-validate" => req.no_validate = true,
+            "--csv" => req.csv = true,
+            "--show-kernel" => req.show_kernel = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if !ops.is_empty() {
+        req.ops = ops;
+    }
+    // FPGAs default to their sensible loop form unless told otherwise.
+    if !loop_set && req.target.is_fpga() {
+        req.loop_mode = LoopMode::SingleWorkItemFlat;
+    }
+    Ok(Some(req))
+}
+
+/// Build the kernel configuration for one op of the request.
+pub fn kernel_config(req: &CliRequest, op: StreamOp) -> Result<KernelConfig, String> {
+    let mut cfg = KernelConfig::baseline(op, req.size_bytes / req.dtype.word_bytes());
+    cfg.dtype = req.dtype;
+    cfg.vector_width = VectorWidth::new(req.width)?;
+    cfg.loop_mode = req.loop_mode;
+    cfg.pattern = req.pattern;
+    cfg.unroll = req.unroll;
+    if let Some((simd, cu)) = req.aocl {
+        cfg.reqd_work_group_size = simd > 1;
+        cfg.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: simd, num_compute_units: cu });
+    }
+    Ok(cfg)
+}
+
+/// Execute a request and render the report (the binary prints this).
+pub fn execute(req: &CliRequest) -> Result<String, String> {
+    if req.show_kernel {
+        let cfg = kernel_config(req, req.ops.first().copied().unwrap_or(StreamOp::Copy))?;
+        return Ok(kernelgen::generate_source(&cfg));
+    }
+
+    let runner = Runner::for_target(req.target);
+    let info = runner.device().info().clone();
+    let mut table = Table::new(&["kernel", "bytes/iter", "best GB/s", "avg ms", "valid"]);
+    let mut failures = Vec::new();
+
+    for &op in &req.ops {
+        let cfg = kernel_config(req, op)?;
+        let bc = BenchConfig::new(cfg)
+            .with_ntimes(req.ntimes)
+            .with_validation(!req.no_validate && req.size_bytes <= BenchConfig::AUTO_VALIDATE_LIMIT_BYTES);
+        match runner.run(&bc) {
+            Ok(m) => {
+                table.row(&[
+                    op.name().to_string(),
+                    m.bytes_moved.to_string(),
+                    format!("{:.3}", m.gbps()),
+                    format!("{:.4}", m.avg_wall_ns / 1e6),
+                    m.validated.map(|v| v.to_string()).unwrap_or_else(|| "skipped".into()),
+                ]);
+            }
+            Err(e) => failures.push(format!("{}: {e}", op.name())),
+        }
+    }
+
+    let mut out = format!(
+        "MP-STREAM on {} (peak {:.1} GB/s)\narray size {} bytes x {:?}, {} repetitions\n\n",
+        info.name, info.peak_gbps, req.size_bytes, req.dtype, req.ntimes
+    );
+    out.push_str(&if req.csv { table.to_csv() } else { table.to_text() });
+    for f in failures {
+        out.push_str(&format!("FAILED {f}\n"));
+    }
+    Ok(out)
+}
+
+/// Render the device listing for `--list-devices`.
+pub fn list_devices() -> String {
+    let mut t = Table::new(&["platform", "device", "type", "peak GB/s", "global mem"]);
+    for p in targets::standard_platforms() {
+        for d in p.devices() {
+            let i = d.info();
+            t.row(&[
+                p.name().to_string(),
+                i.name.clone(),
+                format!("{:?}", i.device_type),
+                format!("{:.1}", i.peak_gbps),
+                format!("{} GiB", i.global_mem_bytes >> 30),
+            ]);
+        }
+    }
+    t.to_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Option<CliRequest>, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("4M").unwrap(), 4 << 20);
+        assert_eq!(parse_size("512K").unwrap(), 512 << 10);
+        assert_eq!(parse_size("1G").unwrap(), 1 << 30);
+        assert_eq!(parse_size("8192").unwrap(), 8192);
+        assert_eq!(parse_size("0.25M").unwrap(), 256 << 10);
+        assert!(parse_size("x").is_err());
+        assert!(parse_size("-4M").is_err());
+    }
+
+    #[test]
+    fn defaults() {
+        let r = parse(&[]).unwrap().unwrap();
+        assert_eq!(r.target, TargetId::Cpu);
+        assert_eq!(r.ops.len(), 4);
+        assert_eq!(r.size_bytes, 4 << 20);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let r = parse(&[
+            "--target", "aocl", "--kernel", "triad", "--size", "16M", "--dtype", "double",
+            "--vector", "8", "--loop", "nested", "--pattern", "stride4", "--unroll", "2",
+            "--simd", "2", "--compute-units", "4", "--ntimes", "7", "--no-validate", "--csv",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(r.target, TargetId::FpgaAocl);
+        assert_eq!(r.ops, vec![StreamOp::Triad]);
+        assert_eq!(r.size_bytes, 16 << 20);
+        assert_eq!(r.dtype, DataType::F64);
+        assert_eq!(r.width, 8);
+        assert_eq!(r.loop_mode, LoopMode::SingleWorkItemNested);
+        assert_eq!(r.pattern, AccessPattern::Strided { stride: 4 });
+        assert_eq!(r.aocl, Some((2, 4)));
+        assert_eq!(r.ntimes, 7);
+        assert!(r.no_validate && r.csv);
+    }
+
+    #[test]
+    fn fpga_defaults_to_flat_loop() {
+        let r = parse(&["--target", "sdaccel"]).unwrap().unwrap();
+        assert_eq!(r.loop_mode, LoopMode::SingleWorkItemFlat);
+        let r = parse(&["--target", "sdaccel", "--loop", "ndrange"]).unwrap().unwrap();
+        assert_eq!(r.loop_mode, LoopMode::NdRange);
+    }
+
+    #[test]
+    fn help_returns_none() {
+        assert_eq!(parse(&["--help"]).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_flags_error() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--target", "tpu"]).is_err());
+        assert!(parse(&["--kernel", "fma"]).is_err());
+        assert!(parse(&["--target"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn execute_runs_all_kernels_and_reports() {
+        let mut r = parse(&["--size", "64K", "--ntimes", "1"]).unwrap().unwrap();
+        r.ops = vec![StreamOp::Copy, StreamOp::Triad];
+        let out = execute(&r).expect("runs");
+        assert!(out.contains("copy"), "{out}");
+        assert!(out.contains("triad"));
+        assert!(out.contains("true"), "validated: {out}");
+    }
+
+    #[test]
+    fn execute_reports_synthesis_failures() {
+        let mut r =
+            parse(&["--target", "aocl", "--vector", "16", "--unroll", "16"]).unwrap().unwrap();
+        r.ops = vec![StreamOp::Copy];
+        let out = execute(&r).expect("report produced");
+        assert!(out.contains("FAILED copy"), "{out}");
+    }
+
+    #[test]
+    fn show_kernel_prints_source() {
+        let r = parse(&["--show-kernel", "--kernel", "scale"]).unwrap().unwrap();
+        let out = execute(&r).expect("source");
+        assert!(out.contains("__kernel void mp_scale"));
+    }
+
+    #[test]
+    fn list_devices_names_all_platforms() {
+        let out = list_devices();
+        for name in ["Intel", "NVIDIA", "Altera", "Xilinx"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Benchmark configuration: a kernel tuning point plus measurement
+//! protocol.
+
+use kernelgen::{DataType, KernelConfig, StreamOp};
+
+/// Where the streams live (§III "Source/destination of streams"):
+/// device global memory — the primary measurement — or host memory
+/// reached over the PCIe link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamLocation {
+    /// Arrays in device DRAM; measures global-memory bandwidth.
+    DeviceGlobal,
+    /// Arrays cross the host–device link each repetition; measures the
+    /// PCIe-bound end-to-end rate.
+    HostOverLink,
+}
+
+/// One benchmark run request.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// The kernel tuning point (§III parameters).
+    pub kernel: KernelConfig,
+    /// Timed repetitions; the best (minimum) time is reported, following
+    /// STREAM's convention.
+    pub ntimes: u32,
+    /// Untimed warm-up launches before the timed ones.
+    pub warmup: u32,
+    /// Validate the destination array after the timed runs
+    /// (STREAM's `checkSTREAMresults`). Skipped for very large arrays
+    /// unless forced — validation executes kernels functionally.
+    pub validate: bool,
+    /// Stream source/destination.
+    pub location: StreamLocation,
+}
+
+impl BenchConfig {
+    /// Arrays above this size skip functional validation by default
+    /// (keeps giant-array sweeps fast; the timing model is unaffected).
+    pub const AUTO_VALIDATE_LIMIT_BYTES: u64 = 32 << 20;
+
+    /// Standard protocol for a kernel configuration: 1 warm-up + 3 timed
+    /// repetitions, device-global streams, validation when affordable.
+    pub fn new(kernel: KernelConfig) -> Self {
+        let validate = kernel.array_bytes() <= Self::AUTO_VALIDATE_LIMIT_BYTES;
+        BenchConfig { kernel, ntimes: 3, warmup: 1, validate, location: StreamLocation::DeviceGlobal }
+    }
+
+    /// Convenience: the paper's baseline kernel (32-bit COPY, contiguous,
+    /// no optimizations) at `bytes` per array.
+    pub fn copy_of_bytes(bytes: u64) -> Self {
+        Self::new(KernelConfig::baseline(StreamOp::Copy, bytes / DataType::I32.word_bytes()))
+    }
+
+    /// Builder: set repetitions.
+    pub fn with_ntimes(mut self, ntimes: u32) -> Self {
+        self.ntimes = ntimes.max(1);
+        self
+    }
+
+    /// Builder: force validation on or off.
+    pub fn with_validation(mut self, validate: bool) -> Self {
+        self.validate = validate;
+        self
+    }
+
+    /// Builder: measure host-over-link streams instead of device-global.
+    pub fn over_link(mut self) -> Self {
+        self.location = StreamLocation::HostOverLink;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_validation_by_size() {
+        assert!(BenchConfig::copy_of_bytes(4 << 20).validate);
+        assert!(!BenchConfig::copy_of_bytes(256 << 20).validate);
+    }
+
+    #[test]
+    fn builders() {
+        let c = BenchConfig::copy_of_bytes(1 << 20).with_ntimes(0).with_validation(false).over_link();
+        assert_eq!(c.ntimes, 1, "clamped to at least one repetition");
+        assert!(!c.validate);
+        assert_eq!(c.location, StreamLocation::HostOverLink);
+    }
+
+    #[test]
+    fn copy_of_bytes_sizes_words() {
+        let c = BenchConfig::copy_of_bytes(4096);
+        assert_eq!(c.kernel.n_words, 1024);
+        assert_eq!(c.kernel.op, StreamOp::Copy);
+    }
+}

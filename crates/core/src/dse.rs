@@ -1,0 +1,373 @@
+//! Automated design-space exploration.
+//!
+//! The paper motivates MP-STREAM as a tool for "manual or automated
+//! design space exploration". This module provides the automated side:
+//! three explorers over a [`ParamSpace`], driven by an objective
+//! function (typically "measured GB/s on a target", but decoupled so the
+//! strategies are unit-testable). Configurations whose evaluation fails
+//! (FPGA synthesis over capacity, invalid combination) score `None` and
+//! are remembered as failures — a real sweep wants to know about them.
+
+use crate::space::ParamSpace;
+use kernelgen::KernelConfig;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Exploration strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Explorer {
+    /// Evaluate every valid configuration.
+    Exhaustive,
+    /// Uniformly sample up to `budget` configurations (seeded).
+    RandomSearch { budget: usize, seed: u64 },
+    /// Greedy hill-climbing from a random start: move to the best
+    /// single-dimension neighbour until no improvement, with random
+    /// restarts while budget remains.
+    HillClimb { budget: usize, seed: u64 },
+    /// Simulated annealing: a random walk over single-dimension
+    /// neighbours that accepts worse moves with probability
+    /// `exp(-delta / T)`, `T` cooling geometrically from `t0` to ~0 over
+    /// the budget. Escapes the local optima greedy climbing gets stuck
+    /// in (e.g. a compute-unit ridge that blocks the path to wide
+    /// vectors).
+    Anneal { budget: usize, seed: u64, t0: f64 },
+}
+
+/// One evaluated point.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The configuration.
+    pub config: KernelConfig,
+    /// Objective value (higher is better), `None` if evaluation failed.
+    pub score: Option<f64>,
+}
+
+/// The result of a search.
+#[derive(Debug, Clone)]
+pub struct DseResult {
+    /// Best-scoring configuration, if any evaluation succeeded.
+    pub best: Option<Evaluation>,
+    /// Every evaluation, in visit order.
+    pub trace: Vec<Evaluation>,
+    /// How many evaluations failed (synthesis errors etc.).
+    pub failures: usize,
+}
+
+impl DseResult {
+    fn from_trace(trace: Vec<Evaluation>) -> Self {
+        let failures = trace.iter().filter(|e| e.score.is_none()).count();
+        let best = trace
+            .iter()
+            .filter(|e| e.score.is_some())
+            .max_by(|a, b| {
+                a.score.partial_cmp(&b.score).expect("scores are comparable")
+            })
+            .cloned();
+        DseResult { best, trace, failures }
+    }
+}
+
+/// Run a search over `space`, scoring with `objective`.
+pub fn explore(
+    space: &ParamSpace,
+    strategy: Explorer,
+    mut objective: impl FnMut(&KernelConfig) -> Option<f64>,
+) -> DseResult {
+    let candidates = space.configs();
+    if candidates.is_empty() {
+        return DseResult { best: None, trace: Vec::new(), failures: 0 };
+    }
+    let trace = match strategy {
+        Explorer::Exhaustive => candidates
+            .iter()
+            .map(|c| Evaluation { config: c.clone(), score: objective(c) })
+            .collect(),
+        Explorer::RandomSearch { budget, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut order: Vec<usize> = (0..candidates.len()).collect();
+            order.shuffle(&mut rng);
+            order
+                .into_iter()
+                .take(budget)
+                .map(|i| Evaluation { config: candidates[i].clone(), score: objective(&candidates[i]) })
+                .collect()
+        }
+        Explorer::HillClimb { budget, seed } => {
+            hill_climb(&candidates, budget, seed, &mut objective)
+        }
+        Explorer::Anneal { budget, seed, t0 } => {
+            anneal(&candidates, budget, seed, t0, &mut objective)
+        }
+    };
+    DseResult::from_trace(trace)
+}
+
+/// Neighbourhood for hill-climbing: two configurations are neighbours if
+/// they differ in exactly one tuning dimension.
+fn neighbours(candidates: &[KernelConfig], of: &KernelConfig) -> Vec<usize> {
+    candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| differs_in_one_dim(c, of))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn differs_in_one_dim(a: &KernelConfig, b: &KernelConfig) -> bool {
+    let diffs = [
+        a.op != b.op,
+        a.n_words != b.n_words || a.dtype != b.dtype,
+        a.vector_width != b.vector_width,
+        a.pattern != b.pattern,
+        a.loop_mode != b.loop_mode,
+        a.unroll != b.unroll,
+        a.vendor != b.vendor,
+    ]
+    .iter()
+    .filter(|&&d| d)
+    .count();
+    diffs == 1
+}
+
+fn hill_climb(
+    candidates: &[KernelConfig],
+    budget: usize,
+    seed: u64,
+    objective: &mut impl FnMut(&KernelConfig) -> Option<f64>,
+) -> Vec<Evaluation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace: Vec<Evaluation> = Vec::new();
+    let mut evaluated: Vec<Option<Option<f64>>> = vec![None; candidates.len()];
+
+    let eval = |i: usize,
+                    trace: &mut Vec<Evaluation>,
+                    evaluated: &mut Vec<Option<Option<f64>>>,
+                    objective: &mut dyn FnMut(&KernelConfig) -> Option<f64>|
+     -> Option<f64> {
+        if let Some(cached) = evaluated[i] {
+            return cached;
+        }
+        let score = objective(&candidates[i]);
+        evaluated[i] = Some(score);
+        trace.push(Evaluation { config: candidates[i].clone(), score });
+        score
+    };
+
+    while trace.len() < budget {
+        // Random restart.
+        let mut current = rng.gen_range(0..candidates.len());
+        let mut current_score = eval(current, &mut trace, &mut evaluated, objective);
+        loop {
+            if trace.len() >= budget {
+                break;
+            }
+            let ns = neighbours(candidates, &candidates[current]);
+            let mut improved = false;
+            for n in ns {
+                if trace.len() >= budget {
+                    break;
+                }
+                let s = eval(n, &mut trace, &mut evaluated, objective);
+                if s.unwrap_or(f64::NEG_INFINITY) > current_score.unwrap_or(f64::NEG_INFINITY) {
+                    current = n;
+                    current_score = s;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        // All candidates already evaluated? Stop early.
+        if evaluated.iter().all(|e| e.is_some()) {
+            break;
+        }
+    }
+    trace
+}
+
+fn anneal(
+    candidates: &[KernelConfig],
+    budget: usize,
+    seed: u64,
+    t0: f64,
+    objective: &mut impl FnMut(&KernelConfig) -> Option<f64>,
+) -> Vec<Evaluation> {
+    assert!(t0 > 0.0, "initial temperature must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace: Vec<Evaluation> = Vec::new();
+    let mut cache: Vec<Option<Option<f64>>> = vec![None; candidates.len()];
+
+    let mut eval = |i: usize, trace: &mut Vec<Evaluation>, cache: &mut Vec<Option<Option<f64>>>|
+     -> Option<f64> {
+        if let Some(cached) = cache[i] {
+            return cached;
+        }
+        let score = objective(&candidates[i]);
+        cache[i] = Some(score);
+        trace.push(Evaluation { config: candidates[i].clone(), score });
+        score
+    };
+
+    let mut current = rng.gen_range(0..candidates.len());
+    let mut current_score =
+        eval(current, &mut trace, &mut cache).unwrap_or(f64::NEG_INFINITY);
+    // Geometric cooling to ~1% of t0 over the budget.
+    let alpha = 0.01f64.powf(1.0 / budget.max(2) as f64);
+    let mut temp = t0;
+
+    // The walk revisits cached points without consuming budget, so it
+    // needs its own step bound: once frozen at a local optimum every
+    // downhill move is rejected and the trace would stop growing.
+    let max_steps = budget.saturating_mul(50).max(1000);
+    let mut stall = 0usize;
+    for _ in 0..max_steps {
+        if trace.len() >= budget || cache.iter().all(|e| e.is_some()) {
+            break;
+        }
+        let ns = neighbours(candidates, &candidates[current]);
+        if ns.is_empty() || stall > 4 * ns.len().max(1) {
+            // Isolated point or frozen walk: random restart (reheat a
+            // little so the new region can be explored).
+            current = rng.gen_range(0..candidates.len());
+            current_score = eval(current, &mut trace, &mut cache).unwrap_or(f64::NEG_INFINITY);
+            temp = (temp * 4.0).min(t0);
+            stall = 0;
+            continue;
+        }
+        let next = ns[rng.gen_range(0..ns.len())];
+        let fresh = cache[next].is_none();
+        let next_score = eval(next, &mut trace, &mut cache).unwrap_or(f64::NEG_INFINITY);
+        let delta = next_score - current_score;
+        let accept = delta >= 0.0 || rng.gen::<f64>() < (delta / temp).exp();
+        if accept {
+            current = next;
+            current_score = next_score;
+        }
+        stall = if fresh { 0 } else { stall + 1 };
+        temp *= alpha;
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernelgen::LoopMode;
+
+    fn space() -> ParamSpace {
+        ParamSpace {
+            widths: vec![1, 2, 4, 8, 16],
+            unrolls: vec![1, 2, 4],
+            loop_modes: LoopMode::ALL.to_vec(),
+            ..Default::default()
+        }
+    }
+
+    /// A synthetic objective with a known optimum: prefer wide vectors,
+    /// flat loops, unroll 4.
+    fn objective(c: &KernelConfig) -> Option<f64> {
+        let mut s = c.vector_width.get() as f64;
+        if c.loop_mode == LoopMode::SingleWorkItemFlat {
+            s *= 2.0;
+        }
+        s += c.unroll as f64;
+        Some(s)
+    }
+
+    #[test]
+    fn exhaustive_finds_the_optimum() {
+        let r = explore(&space(), Explorer::Exhaustive, objective);
+        let best = r.best.expect("has best");
+        assert_eq!(best.config.vector_width.get(), 16);
+        assert_eq!(best.config.loop_mode, LoopMode::SingleWorkItemFlat);
+        assert_eq!(best.config.unroll, 4);
+        assert_eq!(r.trace.len(), 45);
+        assert_eq!(r.failures, 0);
+    }
+
+    #[test]
+    fn random_search_respects_budget_and_seed() {
+        let r1 = explore(&space(), Explorer::RandomSearch { budget: 10, seed: 42 }, objective);
+        let r2 = explore(&space(), Explorer::RandomSearch { budget: 10, seed: 42 }, objective);
+        assert_eq!(r1.trace.len(), 10);
+        let s1: Vec<_> = r1.trace.iter().map(|e| e.score).collect();
+        let s2: Vec<_> = r2.trace.iter().map(|e| e.score).collect();
+        assert_eq!(s1, s2, "seeded determinism");
+    }
+
+    #[test]
+    fn hill_climb_reaches_good_configs_with_small_budget() {
+        let r = explore(&space(), Explorer::HillClimb { budget: 30, seed: 7 }, objective);
+        let best = r.best.expect("has best");
+        assert!(best.score.unwrap() >= 20.0, "score {:?}", best.score);
+        assert!(r.trace.len() <= 30);
+    }
+
+    #[test]
+    fn annealing_reaches_good_configs() {
+        let r = explore(&space(), Explorer::Anneal { budget: 40, seed: 11, t0: 8.0 }, objective);
+        let best = r.best.expect("has best");
+        assert!(best.score.unwrap() >= 20.0, "score {:?}", best.score);
+        assert!(r.trace.len() <= 40);
+    }
+
+    #[test]
+    fn annealing_is_seeded_deterministic() {
+        let strat = Explorer::Anneal { budget: 25, seed: 3, t0: 4.0 };
+        let a = explore(&space(), strat, objective);
+        let b = explore(&space(), strat, objective);
+        let sa: Vec<_> = a.trace.iter().map(|e| e.score).collect();
+        let sb: Vec<_> = b.trace.iter().map(|e| e.score).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn annealing_escapes_a_deceptive_ridge() {
+        // Objective with a local optimum at narrow vectors + high unroll
+        // that greedy search can fall into; annealing's random accepts
+        // should find the global at vec16/flat/unroll4 more reliably
+        // from the same budget.
+        let deceptive = |c: &KernelConfig| -> Option<f64> {
+            let w = c.vector_width.get() as f64;
+            let mut s = if w <= 2.0 { 10.0 + c.unroll as f64 } else { w };
+            if c.loop_mode == LoopMode::SingleWorkItemFlat {
+                s *= 2.0;
+            }
+            Some(s)
+        };
+        let r = explore(&space(), Explorer::Anneal { budget: 45, seed: 5, t0: 10.0 }, deceptive);
+        // Global optimum: vec16 flat => 32+.
+        assert!(r.best.expect("best").score.unwrap() >= 28.0);
+    }
+
+    #[test]
+    fn failures_are_counted_not_fatal() {
+        let r = explore(
+            &space(),
+            Explorer::Exhaustive,
+            |c| if c.unroll == 2 { None } else { objective(c) },
+        );
+        assert!(r.failures > 0);
+        assert!(r.best.is_some());
+        assert_ne!(r.best.unwrap().config.unroll, 2);
+    }
+
+    #[test]
+    fn empty_space_is_handled() {
+        let s = ParamSpace { widths: vec![], ..Default::default() };
+        let r = explore(&s, Explorer::Exhaustive, objective);
+        assert!(r.best.is_none());
+        assert!(r.trace.is_empty());
+    }
+
+    #[test]
+    fn neighbour_relation_is_one_dimensional() {
+        let cfgs = space().configs();
+        let base = &cfgs[0];
+        for n in neighbours(&cfgs, base) {
+            assert!(differs_in_one_dim(&cfgs[n], base));
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Regeneration of every figure in the paper's evaluation (§IV).
+//!
+//! One function per figure panel; each builds the same parameter sweep
+//! the paper ran, executes it on the four simulated targets via the
+//! [`Runner`], and returns labelled [`Series`] ready for the report
+//! layer. FPGA synthesis failures become notes (and missing points),
+//! exactly as a real sweep would record them.
+//!
+//! Loop management: the paper states Figure 1/2 use the optimal loop
+//! form per target. We use NDRange for CPU/GPU and the single-work-item
+//! flat loop for both FPGAs (the paper's own Figure 1a/1b levels match
+//! the flat-loop rates on SDAccel; its nested-loop discovery is explored
+//! separately in Figure 3).
+
+use crate::bandwidth::{fig1_sizes, fig2_sizes, gbps_to_kbps};
+use crate::config::BenchConfig;
+use crate::report::Series;
+use crate::runner::Runner;
+use kernelgen::{
+    AccessPattern, AoclOpts, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts,
+};
+use targets::TargetId;
+
+/// Figure identifiers, matching the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FigureId {
+    /// Fig. 1a: bandwidth vs array size.
+    Fig1a,
+    /// Fig. 1b: bandwidth vs vector width.
+    Fig1b,
+    /// Fig. 2: contiguity (contiguous vs column-major) vs array size.
+    Fig2,
+    /// Fig. 3: loop management per target (KB/s).
+    Fig3,
+    /// Fig. 4a: all four STREAM kernels per target (KB/s).
+    Fig4a,
+    /// Fig. 4b: AOCL vendor optimizations vs native vectorization.
+    Fig4b,
+}
+
+impl FigureId {
+    /// All six panels.
+    pub const ALL: [FigureId; 6] = [
+        FigureId::Fig1a,
+        FigureId::Fig1b,
+        FigureId::Fig2,
+        FigureId::Fig3,
+        FigureId::Fig4a,
+        FigureId::Fig4b,
+    ];
+
+    /// Short name used in filenames and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            FigureId::Fig1a => "fig1a",
+            FigureId::Fig1b => "fig1b",
+            FigureId::Fig2 => "fig2",
+            FigureId::Fig3 => "fig3",
+            FigureId::Fig4a => "fig4a",
+            FigureId::Fig4b => "fig4b",
+        }
+    }
+
+    /// Parse a short name.
+    pub fn from_name(s: &str) -> Option<FigureId> {
+        FigureId::ALL.into_iter().find(|f| f.name() == s)
+    }
+}
+
+/// A regenerated figure.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Which panel.
+    pub id: FigureId,
+    /// Human title.
+    pub title: String,
+    /// Axis labels.
+    pub x_label: String,
+    /// Axis labels.
+    pub y_label: String,
+    /// The measured series.
+    pub series: Vec<Series>,
+    /// Anything noteworthy (synthesis failures, skipped points).
+    pub notes: Vec<String>,
+}
+
+/// The loop management each target prefers (used where the paper says
+/// "loop-management is optimal for each target").
+pub fn optimal_loop(target: TargetId) -> LoopMode {
+    if target.is_fpga() {
+        LoopMode::SingleWorkItemFlat
+    } else {
+        LoopMode::NdRange
+    }
+}
+
+/// 4 MB in bytes — the fixed array size the paper uses once sizes
+/// plateau ("we see the bandwidths plateau around 4 MB").
+pub const PLATEAU_BYTES: u64 = 4 << 20;
+
+fn copy_kernel(target: TargetId, bytes: u64) -> KernelConfig {
+    let mut k = KernelConfig::baseline(StreamOp::Copy, bytes / 4);
+    k.loop_mode = optimal_loop(target);
+    k
+}
+
+/// Run one kernel on one target; `Err` text is a note, `Ok` is GB/s.
+fn measure(target: TargetId, kernel: KernelConfig, ntimes: u32) -> Result<f64, String> {
+    let bc = BenchConfig::new(kernel).with_ntimes(ntimes);
+    Runner::for_target(target)
+        .run(&bc)
+        .map(|m| {
+            debug_assert!(m.validated != Some(false), "validation failed on {target:?}");
+            m.gbps()
+        })
+        .map_err(|e| format!("{}: {e}", target.label()))
+}
+
+/// Options controlling sweep sizes (tests use `quick`).
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// Reduce point counts and repetitions for fast smoke runs.
+    pub quick: bool,
+}
+
+impl RunOpts {
+    /// Full paper-fidelity sweep.
+    pub fn full() -> Self {
+        RunOpts { quick: false }
+    }
+
+    /// Reduced sweep for tests.
+    pub fn quick() -> Self {
+        RunOpts { quick: true }
+    }
+
+    fn ntimes(&self) -> u32 {
+        if self.quick {
+            1
+        } else {
+            3
+        }
+    }
+
+    fn thin<T: Copy>(&self, xs: Vec<T>) -> Vec<T> {
+        if self.quick {
+            xs.into_iter().step_by(3).collect()
+        } else {
+            xs
+        }
+    }
+}
+
+/// Regenerate one figure.
+pub fn run_figure(id: FigureId, opts: RunOpts) -> Figure {
+    match id {
+        FigureId::Fig1a => fig1a(opts),
+        FigureId::Fig1b => fig1b(opts),
+        FigureId::Fig2 => fig2(opts),
+        FigureId::Fig3 => fig3(opts),
+        FigureId::Fig4a => fig4a(opts),
+        FigureId::Fig4b => fig4b(opts),
+    }
+}
+
+/// Figure 1a: COPY bandwidth vs array size on all four targets.
+pub fn fig1a(opts: RunOpts) -> Figure {
+    let sizes = opts.thin(fig1_sizes());
+    let mut series = Vec::new();
+    let mut notes = Vec::new();
+    for target in TargetId::ALL {
+        let mut pts = Vec::new();
+        for &bytes in &sizes {
+            match measure(target, copy_kernel(target, bytes), opts.ntimes()) {
+                Ok(gbps) => pts.push((bytes as f64 / 1e6, gbps)),
+                Err(e) => notes.push(e),
+            }
+        }
+        series.push(Series::new(target.label(), pts));
+    }
+    Figure {
+        id: FigureId::Fig1a,
+        title: "Memory bandwidth for COPY with varying array sizes".into(),
+        x_label: "Array size (MB)".into(),
+        y_label: "Global Memory B'width (GB/s)".into(),
+        series,
+        notes,
+    }
+}
+
+/// Figure 1b: COPY bandwidth vs vector width at 4 MB arrays.
+pub fn fig1b(opts: RunOpts) -> Figure {
+    let widths: Vec<u32> = if opts.quick { vec![1, 4, 16] } else { vec![1, 2, 4, 8, 16] };
+    let mut series = Vec::new();
+    let mut notes = Vec::new();
+    for target in TargetId::ALL {
+        let mut pts = Vec::new();
+        for &w in &widths {
+            let mut k = copy_kernel(target, PLATEAU_BYTES);
+            k.vector_width = VectorWidth::new(w).expect("allowed width");
+            match measure(target, k, opts.ntimes()) {
+                Ok(gbps) => pts.push((w as f64, gbps)),
+                Err(e) => notes.push(e),
+            }
+        }
+        series.push(Series::new(target.label(), pts));
+    }
+    Figure {
+        id: FigureId::Fig1b,
+        title: "COPY bandwidth vs vector width (memory coalescing)".into(),
+        x_label: "Vector Width (words)".into(),
+        y_label: "Global Memory B'width (GB/s)".into(),
+        series,
+        notes,
+    }
+}
+
+/// Figure 2: contiguous vs column-major ("strided") access across sizes.
+pub fn fig2(opts: RunOpts) -> Figure {
+    let mut series = Vec::new();
+    let mut notes = Vec::new();
+    for (pattern, suffix) in [
+        (AccessPattern::Contiguous, "contig"),
+        (AccessPattern::ColMajor { cols: None }, "strided"),
+    ] {
+        for target in TargetId::ALL {
+            // The paper's FPGA series stop at 64 MB; CPU/GPU go to ~1 GB.
+            let sizes = opts.thin(if target.is_fpga() { fig1_sizes() } else { fig2_sizes() });
+            let mut pts = Vec::new();
+            for &bytes in &sizes {
+                let mut k = copy_kernel(target, bytes);
+                k.pattern = pattern;
+                match measure(target, k, opts.ntimes()) {
+                    Ok(gbps) => pts.push((bytes as f64 / 1e6, gbps)),
+                    Err(e) => notes.push(e),
+                }
+            }
+            series.push(Series::new(format!("{}-{suffix}", target.label()), pts));
+        }
+    }
+    Figure {
+        id: FigureId::Fig2,
+        title: "COPY bandwidth with varying array sizes and contiguity".into(),
+        x_label: "Array size (MB) [column-major strided]".into(),
+        y_label: "Global Memory B'width (GB/s)".into(),
+        series,
+        notes,
+    }
+}
+
+/// Figure 3: the three loop managements on each target (KB/s).
+pub fn fig3(opts: RunOpts) -> Figure {
+    let mut series = Vec::new();
+    let mut notes = Vec::new();
+    for mode in LoopMode::ALL {
+        let mut pts = Vec::new();
+        for (i, target) in TargetId::ALL.into_iter().enumerate() {
+            let mut k = copy_kernel(target, PLATEAU_BYTES);
+            k.loop_mode = mode;
+            match measure(target, k, opts.ntimes()) {
+                Ok(gbps) => pts.push((i as f64 + 1.0, gbps_to_kbps(gbps))),
+                Err(e) => notes.push(e),
+            }
+        }
+        series.push(Series::new(mode.label(), pts));
+    }
+    Figure {
+        id: FigureId::Fig3,
+        title: "Effect of loop management on all four targets (4 MB)".into(),
+        x_label: "Target (1=aocl 2=sdaccel 3=cpu 4=gpu)".into(),
+        y_label: "Global Memory B'width (KB/s)".into(),
+        series,
+        notes,
+    }
+}
+
+/// Figure 4a: all four STREAM kernels on all targets (KB/s).
+pub fn fig4a(opts: RunOpts) -> Figure {
+    let mut series = Vec::new();
+    let mut notes = Vec::new();
+    for op in StreamOp::ALL {
+        let mut pts = Vec::new();
+        for (i, target) in TargetId::ALL.into_iter().enumerate() {
+            let mut k = copy_kernel(target, PLATEAU_BYTES);
+            k.op = op;
+            match measure(target, k, opts.ntimes()) {
+                Ok(gbps) => pts.push((i as f64 + 1.0, gbps_to_kbps(gbps))),
+                Err(e) => notes.push(e),
+            }
+        }
+        series.push(Series::new(op.name(), pts));
+    }
+    Figure {
+        id: FigureId::Fig4a,
+        title: "All four STREAM kernels on all targets (4 MB)".into(),
+        x_label: "Target (1=aocl 2=sdaccel 3=cpu 4=gpu)".into(),
+        y_label: "Global Memory B'width (KB/s)".into(),
+        series,
+        notes,
+    }
+}
+
+/// Figure 4b: AOCL-specific replication vs native vectorization, on the
+/// AOCL target, N in {1, 2, 4, 8, 16}.
+pub fn fig4b(opts: RunOpts) -> Figure {
+    let ns: Vec<u32> = if opts.quick { vec![1, 4, 16] } else { vec![1, 2, 4, 8, 16] };
+    let target = TargetId::FpgaAocl;
+    let mut notes = Vec::new();
+
+    let mut vec_pts = Vec::new();
+    let mut simd_pts = Vec::new();
+    let mut cu_pts = Vec::new();
+    for &n in &ns {
+        // Native vectorization (single-work-item flat loop).
+        let mut k = copy_kernel(target, PLATEAU_BYTES);
+        k.vector_width = VectorWidth::new(n).expect("allowed");
+        match measure(target, k, opts.ntimes()) {
+            Ok(g) => vec_pts.push((n as f64, g)),
+            Err(e) => notes.push(format!("vec{n}: {e}")),
+        }
+
+        // num_simd_work_items (requires NDRange + reqd work-group size).
+        let mut k = copy_kernel(target, PLATEAU_BYTES);
+        k.loop_mode = LoopMode::NdRange;
+        k.reqd_work_group_size = true;
+        k.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: n, num_compute_units: 1 });
+        match measure(target, k, opts.ntimes()) {
+            Ok(g) => simd_pts.push((n as f64, g)),
+            Err(e) => notes.push(format!("simd{n}: {e}")),
+        }
+
+        // num_compute_units.
+        let mut k = copy_kernel(target, PLATEAU_BYTES);
+        k.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 1, num_compute_units: n });
+        match measure(target, k, opts.ntimes()) {
+            Ok(g) => cu_pts.push((n as f64, g)),
+            Err(e) => notes.push(format!("cu{n}: {e}")),
+        }
+    }
+
+    Figure {
+        id: FigureId::Fig4b,
+        title: "AOCL optimizations vs native vectorization".into(),
+        x_label: "N (vector width | SIMD work-items | compute units)".into(),
+        y_label: "Global Memory B'width (GB/s)".into(),
+        series: vec![
+            Series::new("vector-size", vec_pts),
+            Series::new("num-simd-work-items", simd_pts),
+            Series::new("num-compute-units", cu_pts),
+        ],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_ids_round_trip() {
+        for id in FigureId::ALL {
+            assert_eq!(FigureId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(FigureId::from_name("fig9"), None);
+    }
+
+    #[test]
+    fn fig1a_quick_has_four_series_rising() {
+        let f = fig1a(RunOpts::quick());
+        assert_eq!(f.series.len(), 4);
+        for s in &f.series {
+            assert!(!s.points.is_empty(), "{}", s.label);
+            let ys = s.ys();
+            assert!(
+                ys.last().unwrap() > ys.first().unwrap(),
+                "{} should rise: {ys:?}",
+                s.label
+            );
+        }
+        assert!(f.notes.is_empty(), "{:?}", f.notes);
+    }
+
+    #[test]
+    fn fig3_quick_fpga_prefers_single_work_item() {
+        let f = fig3(RunOpts::quick());
+        let find = |label: &str| {
+            f.series.iter().find(|s| s.label == label).expect("series").points.clone()
+        };
+        let nd = find("ndrange-kernel");
+        let flat = find("kernel-loop-flat");
+        let nested = find("kernel-loop-nested");
+        // x = 1 is aocl, x = 2 sdaccel, 3 cpu, 4 gpu.
+        assert!(flat[0].1 > nd[0].1, "aocl prefers the loop form");
+        assert!(nested[1].1 > flat[1].1, "sdaccel prefers the nested form");
+        assert!(nd[2].1 > flat[2].1, "cpu prefers ndrange");
+        assert!(nd[3].1 > 100.0 * flat[3].1, "gpu collapses on one work-item");
+    }
+
+    #[test]
+    fn fig4b_quick_native_vectorization_wins_at_16() {
+        let f = fig4b(RunOpts::quick());
+        let last = |label: &str| {
+            f.series.iter().find(|s| s.label == label).expect("series").points.last().copied()
+        };
+        let v = last("vector-size").expect("vec point");
+        let cu = last("num-compute-units").expect("cu point");
+        assert!(v.1 > cu.1, "native vec {v:?} beats CU replication {cu:?}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # mpstream-core — the MP-STREAM benchmark
+//!
+//! The paper's contribution re-assembled: a STREAM-style benchmark whose
+//! point is a *tunable design space* for sustained memory bandwidth on
+//! heterogeneous devices. This crate drives the mpcl runtime and the four
+//! device models:
+//!
+//! * [`config`] — [`config::BenchConfig`]: a kernel tuning point plus the
+//!   measurement protocol (repetitions, warm-up, validation, stream
+//!   source/destination);
+//! * [`runner`] — executes a configuration on a device the way the
+//!   paper's host code does (init, transfer, N timed launches, best-of,
+//!   STREAM-style result validation) and produces a
+//!   [`runner::Measurement`];
+//! * [`space`] — [`space::ParamSpace`]: cartesian sweeps over the tuning
+//!   dimensions of §III;
+//! * [`dse`] — automated design-space exploration (exhaustive, random,
+//!   hill-climbing) over a parameter space;
+//! * [`report`] — tables, CSV and ASCII log-log charts for the harness;
+//! * [`paperdata`] — the paper's plotted data points (transcribed from
+//!   the figures) plus shape checks used by EXPERIMENTS.md;
+//! * [`experiments`] — one entry point per figure (1a, 1b, 2, 3, 4a, 4b)
+//!   that regenerates it on the simulated targets.
+
+pub mod bandwidth;
+pub mod cli;
+pub mod config;
+pub mod dse;
+pub mod experiments;
+pub mod extensions;
+pub mod paperdata;
+pub mod report;
+pub mod runner;
+pub mod space;
+pub mod sweep;
+
+pub use bandwidth::{gbps_to_kbps, mb_label};
+pub use config::{BenchConfig, StreamLocation};
+pub use dse::{explore, DseResult, Explorer};
+pub use experiments::{run_figure, Figure, FigureId, RunOpts};
+pub use extensions::{all_extensions, ExtensionReport};
+pub use report::{ascii_loglog, Series, Table};
+pub use runner::{Measurement, Runner};
+pub use sweep::{pareto_front, run_space, ParetoPoint, SweepResult};
+pub use space::ParamSpace;

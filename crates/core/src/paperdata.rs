@@ -1,0 +1,218 @@
+//! The paper's plotted data, transcribed from the figure text of the
+//! author-final version, plus the shape checks EXPERIMENTS.md applies.
+//!
+//! Absolute numbers are not reproduction targets (the substrate here is
+//! a simulator, not the authors' testbed); the *shapes* are: who wins,
+//! by roughly what factor, where curves rise, plateau, cross or
+//! collapse. `Fig3` and `Fig4a` publish no numeric values in the text,
+//! so only their qualitative orderings are recorded.
+
+/// Figure 1a — COPY bandwidth (GB/s) vs array size, contiguous, 32-bit
+/// words, optimal loop management per target. Nine points per target
+/// spanning 1 KB – 64 MB in powers of four.
+pub const FIG1A_AOCL: [f64; 9] = [0.04, 0.14, 0.63, 1.14, 2.03, 2.23, 2.38, 2.53, 2.45];
+/// Figure 1a, SDAccel series.
+pub const FIG1A_SDACCEL: [f64; 9] = [0.03, 0.09, 0.21, 0.35, 0.53, 0.64, 0.70, 0.74, 0.76];
+/// Figure 1a, CPU series.
+pub const FIG1A_CPU: [f64; 9] = [0.05, 0.19, 0.72, 2.52, 7.44, 18.16, 27.04, 25.24, 25.10];
+/// Figure 1a, GPU series.
+pub const FIG1A_GPU: [f64; 9] = [0.14, 0.95, 3.71, 14.74, 50.13, 112.79, 173.72, 204.5, 203.87];
+
+/// Figure 1b — COPY bandwidth (GB/s) vs vector width {1,2,4,8,16} at
+/// 4 MB arrays.
+pub const FIG1B_WIDTHS: [u32; 5] = [1, 2, 4, 8, 16];
+/// Figure 1b, AOCL series.
+pub const FIG1B_AOCL: [f64; 5] = [2.53, 4.61, 8.97, 14.85, 15.26];
+/// Figure 1b, SDAccel series.
+pub const FIG1B_SDACCEL: [f64; 5] = [0.74, 1.41, 2.47, 4.14, 6.27];
+/// Figure 1b, CPU series.
+pub const FIG1B_CPU: [f64; 5] = [32.03, 34.58, 37.04, 34.52, 36.03];
+/// Figure 1b, GPU series.
+pub const FIG1B_GPU: [f64; 5] = [173.72, 194.30, 201.06, 175.30, 117.37];
+
+/// Figure 2 — contiguous series (GB/s); CPU and GPU extend to 11 points
+/// (to ~1 GB), the FPGAs stop at 9.
+pub const FIG2_AOCL_CONTIG: [f64; 9] = [0.04, 0.1, 0.6, 1.1, 2.0, 2.2, 2.4, 2.5, 2.4];
+/// Figure 2, SDAccel contiguous.
+pub const FIG2_SDACCEL_CONTIG: [f64; 9] = [0.03, 0.1, 0.2, 0.4, 0.5, 0.6, 0.7, 0.7, 0.8];
+/// Figure 2, CPU contiguous.
+pub const FIG2_CPU_CONTIG: [f64; 11] =
+    [0.1, 0.2, 0.7, 2.5, 7.4, 18.2, 27.0, 25.2, 25.1, 26.7, 26.7];
+/// Figure 2, GPU contiguous.
+pub const FIG2_GPU_CONTIG: [f64; 11] =
+    [0.1, 1.0, 3.7, 14.7, 50.1, 112.8, 173.7, 204.5, 203.9, 216.4, 220.1];
+/// Figure 2 — strided (column-major) series.
+pub const FIG2_AOCL_STRIDED: [f64; 9] = [0.1, 0.2, 0.4, 0.7, 0.8, 1.7, 0.5, 0.4, 0.3];
+/// Figure 2, SDAccel strided (flat ~0.01 GB/s).
+pub const FIG2_SDACCEL_STRIDED: [f64; 9] = [0.01; 9];
+/// Figure 2, CPU strided (LLC bump then collapse).
+pub const FIG2_CPU_STRIDED: [f64; 11] = [0.04, 0.2, 0.4, 0.8, 3.9, 5.6, 5.3, 0.8, 0.8, 0.7, 0.8];
+/// Figure 2, GPU strided (L2 plateau, collapse past ~100 MB).
+pub const FIG2_GPU_STRIDED: [f64; 11] =
+    [0.1, 0.6, 2.5, 7.6, 18.2, 26.6, 29.4, 29.5, 27.3, 9.9, 6.7];
+
+/// Peak bandwidths the paper quotes per target (the dotted lines).
+pub const PEAK_GBPS: [(&str, f64); 4] =
+    [("aocl", 25.6), ("sdaccel", 10.6), ("cpu", 34.0), ("gpu", 336.0)];
+
+// ---------------------------------------------------------------------
+// Shape checks.
+// ---------------------------------------------------------------------
+
+/// Verdict of comparing a measured series against the paper's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shape {
+    /// All checked properties hold.
+    Matches,
+    /// At least one property failed; the strings describe which.
+    Deviates(Vec<String>),
+}
+
+impl Shape {
+    /// Did every check pass?
+    pub fn ok(&self) -> bool {
+        matches!(self, Shape::Matches)
+    }
+
+    fn from_problems(problems: Vec<String>) -> Shape {
+        if problems.is_empty() {
+            Shape::Matches
+        } else {
+            Shape::Deviates(problems)
+        }
+    }
+}
+
+/// Check that `measured` rises from its first point and plateaus: the
+/// maximum of the last `tail` points must be within `plateau_band`× of
+/// the series maximum, and the first point must be at least
+/// `rise_factor`× below the maximum.
+pub fn check_rise_and_plateau(
+    measured: &[f64],
+    tail: usize,
+    plateau_band: f64,
+    rise_factor: f64,
+) -> Shape {
+    let mut problems = Vec::new();
+    if measured.len() < tail + 1 {
+        return Shape::Deviates(vec!["series too short".into()]);
+    }
+    let max = measured.iter().cloned().fold(0.0, f64::max);
+    let tail_max = measured[measured.len() - tail..].iter().cloned().fold(0.0, f64::max);
+    if tail_max < max / plateau_band {
+        problems.push(format!("tail max {tail_max:.3} not within {plateau_band}x of max {max:.3}"));
+    }
+    if measured[0] * rise_factor > max {
+        problems.push(format!(
+            "first point {:.3} not at least {rise_factor}x below max {max:.3}",
+            measured[0]
+        ));
+    }
+    Shape::from_problems(problems)
+}
+
+/// Check that the ratio `measured[i] / paper[i]` stays within
+/// `[1/band, band]` for every point (a loose absolute-level check used
+/// where the paper publishes numbers).
+pub fn check_ratio_band(measured: &[f64], paper: &[f64], band: f64) -> Shape {
+    let mut problems = Vec::new();
+    for (i, (&m, &p)) in measured.iter().zip(paper.iter()).enumerate() {
+        if m <= 0.0 || p <= 0.0 {
+            problems.push(format!("point {i}: non-positive value (measured {m}, paper {p})"));
+            continue;
+        }
+        let r = m / p;
+        if !(1.0 / band..=band).contains(&r) {
+            problems.push(format!(
+                "point {i}: measured {m:.3} vs paper {p:.3} (ratio {r:.2} outside {band}x band)"
+            ));
+        }
+    }
+    Shape::from_problems(problems)
+}
+
+/// Check a strict ordering of values: `labels[i]` must strictly beat
+/// `labels[i+1]`.
+pub fn check_ordering(values: &[(&str, f64)]) -> Shape {
+    let mut problems = Vec::new();
+    for pair in values.windows(2) {
+        if pair[0].1 <= pair[1].1 {
+            problems.push(format!(
+                "{} ({:.3}) should beat {} ({:.3})",
+                pair[0].0, pair[0].1, pair[1].0, pair[1].1
+            ));
+        }
+    }
+    Shape::from_problems(problems)
+}
+
+/// Geometric-mean ratio between measured and paper values (a single
+/// "how far off is the absolute level" number for EXPERIMENTS.md).
+pub fn geomean_ratio(measured: &[f64], paper: &[f64]) -> f64 {
+    let logs: Vec<f64> = measured
+        .iter()
+        .zip(paper.iter())
+        .filter(|(&m, &p)| m > 0.0 && p > 0.0)
+        .map(|(&m, &p)| (m / p).ln())
+        .collect();
+    if logs.is_empty() {
+        return f64::NAN;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_series_have_consistent_lengths() {
+        assert_eq!(FIG1A_AOCL.len(), 9);
+        assert_eq!(FIG2_CPU_STRIDED.len(), 11);
+        assert_eq!(FIG1B_WIDTHS.len(), FIG1B_GPU.len());
+    }
+
+    #[test]
+    fn paper_data_itself_passes_its_shape_checks() {
+        // Fig 1a: every target rises and plateaus.
+        for series in [&FIG1A_AOCL[..], &FIG1A_SDACCEL, &FIG1A_CPU, &FIG1A_GPU] {
+            assert!(check_rise_and_plateau(series, 3, 1.5, 5.0).ok(), "{series:?}");
+        }
+        // GPU > CPU > AOCL > SDAccel at 4 MB (index 6).
+        let at4 = [
+            ("gpu", FIG1A_GPU[6]),
+            ("cpu", FIG1A_CPU[6]),
+            ("aocl", FIG1A_AOCL[6]),
+            ("sdaccel", FIG1A_SDACCEL[6]),
+        ];
+        assert!(check_ordering(&at4).ok());
+    }
+
+    #[test]
+    fn ratio_band_detects_deviation() {
+        assert!(check_ratio_band(&[1.0, 2.0], &[1.1, 1.8], 2.0).ok());
+        let bad = check_ratio_band(&[10.0], &[1.0], 2.0);
+        assert!(!bad.ok());
+        if let Shape::Deviates(p) = bad {
+            assert!(p[0].contains("ratio"));
+        }
+    }
+
+    #[test]
+    fn ordering_detects_ties() {
+        assert!(!check_ordering(&[("a", 1.0), ("b", 1.0)]).ok());
+    }
+
+    #[test]
+    fn geomean_is_scale_symmetric() {
+        let r = geomean_ratio(&[2.0, 0.5], &[1.0, 1.0]);
+        assert!((r - 1.0).abs() < 1e-12);
+        assert!(geomean_ratio(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn rise_and_plateau_rejects_flat_series() {
+        let flat = [5.0; 9];
+        assert!(!check_rise_and_plateau(&flat, 3, 1.5, 5.0).ok());
+    }
+}

@@ -1,0 +1,242 @@
+//! Report rendering: aligned text tables, CSV, and ASCII log-log charts
+//! for the figure-regeneration binaries.
+
+use std::fmt::Write as _;
+
+/// A labelled series of (x, y) points — one line of a paper figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. `"aocl-strided"`).
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+
+    /// The y values only.
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, y)| y).collect()
+    }
+}
+
+/// A simple aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as aligned monospace text.
+    pub fn to_text(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let render = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", c, w = width[i]);
+            }
+            out.push('\n');
+        };
+        render(&self.headers, &mut out);
+        let total: usize = width.iter().sum::<usize>() + 2 * cols;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render(row, &mut out);
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let esc = |s: &str| s.replace('|', "\\|");
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(" | "));
+        out.push_str(" |\n|");
+        out.push_str(&self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        out.push_str("|\n");
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish; quotes fields containing commas).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render series as an ASCII chart with log-scaled axes (the paper's
+/// figures are all log-log or log-linear). Each series gets a marker
+/// letter; overlapping cells show the later series.
+pub fn ascii_loglog(series: &[Series], width: usize, height: usize) -> String {
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|&(x, y)| x > 0.0 && y > 0.0)
+        .collect();
+    if pts.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &pts {
+        x0 = x0.min(x.log10());
+        x1 = x1.max(x.log10());
+        y0 = y0.min(y.log10());
+        y1 = y1.max(y.log10());
+    }
+    if (x1 - x0).abs() < 1e-9 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-9 {
+        y1 = y0 + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    let markers = ['a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'];
+    for (si, s) in series.iter().enumerate() {
+        let m = markers[si % markers.len()];
+        for &(x, y) in &s.points {
+            if x <= 0.0 || y <= 0.0 {
+                continue;
+            }
+            let gx = ((x.log10() - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+            let gy = ((y.log10() - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - gy][gx] = m;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "  y: 1e{:.1} .. 1e{:.1} (log)", y0, y1);
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let _ = writeln!(out, "  x: 1e{:.1} .. 1e{:.1} (log)", x0, x1);
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} = {}", markers[si % markers.len()], s.label);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["size", "GB/s"]);
+        t.row(&["1".into(), "2.53".into()]);
+        t.row(&["4096".into(), "15.26".into()]);
+        let txt = t.to_text();
+        assert!(txt.contains("size"));
+        assert!(txt.lines().count() == 4);
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines[0].len(), lines[2].len(), "aligned columns");
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into(), "x|y".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |\n|---|---|\n"));
+        assert!(md.contains("x\\|y"), "{md}");
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["x,y".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn chart_contains_markers_and_legend() {
+        let s = vec![
+            Series::new("cpu", vec![(0.001, 0.05), (1.0, 10.0), (100.0, 25.0)]),
+            Series::new("gpu", vec![(0.001, 0.14), (1.0, 50.0), (100.0, 204.0)]),
+        ];
+        let chart = ascii_loglog(&s, 40, 10);
+        assert!(chart.contains("a = cpu"));
+        assert!(chart.contains("b = gpu"));
+        assert!(chart.contains('a'));
+    }
+
+    #[test]
+    fn chart_handles_empty_input() {
+        assert_eq!(ascii_loglog(&[], 10, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn series_helpers() {
+        let s = Series::new("x", vec![(1.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(s.ys(), vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,362 @@
+//! The benchmark runner: executes one [`BenchConfig`] on one device the
+//! way MP-STREAM's host program does.
+//!
+//! Protocol (per configuration): allocate the arrays, initialize the
+//! sources with known patterns and transfer them (untimed, as STREAM
+//! does), build the kernel (FPGA synthesis may fail — that is a result,
+//! not a crash), one warm-up launch, `ntimes` timed launches keeping the
+//! best, then STREAM-style validation of the destination array against
+//! the closed-form expectation. Bandwidth divides STREAM-counted bytes
+//! by the best *wall* time of one launch (queue→end), which is what
+//! makes small arrays overhead-bound exactly as in the paper's figures.
+
+use crate::config::{BenchConfig, StreamLocation};
+use kernelgen::{DataType, KernelConfig, StreamOp};
+use mpcl::{Buffer, ClError, CommandQueue, Context, Device, Kernel, MemFlags, Program, ResourceUsage};
+
+/// The outcome of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Device name the run executed on.
+    pub device: String,
+    /// STREAM-counted payload bytes per kernel invocation.
+    pub bytes_moved: u64,
+    /// Best (minimum) wall time of a timed launch, ns (queue→end).
+    pub best_wall_ns: f64,
+    /// Mean wall time over the timed launches, ns.
+    pub avg_wall_ns: f64,
+    /// Best device-only execution time (start→end), ns.
+    pub best_kernel_ns: f64,
+    /// Validation verdict: `None` when skipped, `Some(true)` when every
+    /// element matched.
+    pub validated: Option<bool>,
+    /// Device DRAM bus traffic of one launch, bytes — includes waste
+    /// (partial segments, fills, writebacks), so it can exceed
+    /// `bytes_moved`.
+    pub dram_bytes_per_launch: u64,
+    /// Energy of the best launch, joules (when the target has a power
+    /// model): board power over the wall time plus per-byte DRAM energy.
+    pub energy_j: Option<f64>,
+    /// Synthesis clock, when the target reports one (FPGAs).
+    pub fmax_mhz: Option<f64>,
+    /// FPGA resource usage, when reported.
+    pub resources: Option<ResourceUsage>,
+    /// Compiler/synthesis log.
+    pub build_log: String,
+}
+
+impl Measurement {
+    /// Sustained bandwidth, GB/s (1 GB = 1e9 B), from the best wall time.
+    pub fn gbps(&self) -> f64 {
+        self.bytes_moved as f64 / self.best_wall_ns
+    }
+
+    /// Device-only bandwidth, GB/s, excluding launch overhead.
+    pub fn kernel_gbps(&self) -> f64 {
+        self.bytes_moved as f64 / self.best_kernel_ns
+    }
+
+    /// Energy efficiency, payload gigabytes per joule (when the target
+    /// has a power model).
+    pub fn gb_per_joule(&self) -> Option<f64> {
+        self.energy_j.map(|e| self.bytes_moved as f64 / 1e9 / e)
+    }
+
+    /// DRAM traffic amplification: bus bytes per payload byte (1.0 is
+    /// ideal; strided patterns and write-allocate fills push it up).
+    pub fn traffic_amplification(&self) -> f64 {
+        self.dram_bytes_per_launch as f64 / self.bytes_moved as f64
+    }
+}
+
+/// Runs benchmark configurations on one device.
+pub struct Runner {
+    device: Device,
+}
+
+impl Runner {
+    /// Wrap a device.
+    pub fn new(device: Device) -> Self {
+        Runner { device }
+    }
+
+    /// Runner for one of the four standard paper targets.
+    pub fn for_target(id: targets::TargetId) -> Self {
+        Runner::new(targets::standard_device(id))
+    }
+
+    /// The device this runner drives.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Execute one configuration. Build failures (FPGA synthesis) and
+    /// invalid configurations surface as `Err`.
+    pub fn run(&self, bc: &BenchConfig) -> Result<Measurement, ClError> {
+        let kernel_cfg = &bc.kernel;
+        let ctx = Context::new(self.device.clone());
+        let queue = if bc.validate {
+            CommandQueue::new(&ctx)
+        } else {
+            CommandQueue::new_timing_only(&ctx)
+        };
+
+        let bytes = kernel_cfg.array_bytes();
+        let a = Buffer::new(&ctx, MemFlags::WriteOnly, bytes)?;
+        let b = Buffer::new(&ctx, MemFlags::ReadOnly, bytes)?;
+        let c = if kernel_cfg.op.uses_c() {
+            Some(Buffer::new(&ctx, MemFlags::ReadOnly, bytes)?)
+        } else {
+            None
+        };
+
+        // Initialize sources (untimed) when running functionally.
+        if bc.validate {
+            queue.enqueue_write(&b, &init_array(kernel_cfg, Source::B))?;
+            if let Some(c) = &c {
+                queue.enqueue_write(c, &init_array(kernel_cfg, Source::C))?;
+            }
+        }
+
+        let program = Program::build(&ctx, kernel_cfg.clone())?;
+        let kernel = Kernel::new(&program, &a, &b, c.as_ref())?;
+
+        for _ in 0..bc.warmup {
+            queue.enqueue_kernel(&kernel)?;
+        }
+
+        let mut best_wall = f64::INFINITY;
+        let mut best_kernel = f64::INFINITY;
+        let mut sum_wall = 0.0;
+        let mut dram_bytes = 0u64;
+        for _ in 0..bc.ntimes.max(1) {
+            let wall = match bc.location {
+                StreamLocation::DeviceGlobal => {
+                    let ev = queue.enqueue_kernel(&kernel)?;
+                    best_kernel = best_kernel.min(ev.duration_ns());
+                    dram_bytes = ev.dram_bytes;
+                    ev.wall_ns()
+                }
+                StreamLocation::HostOverLink => {
+                    // Arrays cross the link every repetition: source
+                    // download(s), execute, result upload.
+                    let t0 = queue.now_ns();
+                    if bc.validate {
+                        queue.enqueue_write(&b, &init_array(kernel_cfg, Source::B))?;
+                        if let Some(c) = &c {
+                            queue.enqueue_write(c, &init_array(kernel_cfg, Source::C))?;
+                        }
+                    } else {
+                        // Timing-only: model the transfers with zero-fill.
+                        queue.enqueue_write(&b, &vec![0u8; bytes as usize])?;
+                        if let Some(c) = &c {
+                            queue.enqueue_write(c, &vec![0u8; bytes as usize])?;
+                        }
+                    }
+                    let ev = queue.enqueue_kernel(&kernel)?;
+                    best_kernel = best_kernel.min(ev.duration_ns());
+                    dram_bytes = ev.dram_bytes;
+                    let mut sink = vec![0u8; bytes as usize];
+                    queue.enqueue_read(&a, &mut sink)?;
+                    queue.now_ns() - t0
+                }
+            };
+            best_wall = best_wall.min(wall);
+            sum_wall += wall;
+        }
+
+        let validated = if bc.validate {
+            let mut out = vec![0u8; bytes as usize];
+            queue.enqueue_read(&a, &mut out)?;
+            Some(check_results(kernel_cfg, &out))
+        } else {
+            None
+        };
+
+        let energy_j = self
+            .device
+            .power_model()
+            .map(|p| p.energy_j(best_wall, dram_bytes));
+
+        Ok(Measurement {
+            device: self.device.info().name.clone(),
+            bytes_moved: kernel_cfg.bytes_moved(),
+            best_wall_ns: best_wall,
+            avg_wall_ns: sum_wall / bc.ntimes.max(1) as f64,
+            best_kernel_ns: best_kernel,
+            dram_bytes_per_launch: dram_bytes,
+            energy_j,
+            validated,
+            fmax_mhz: program.artifact().fmax_mhz,
+            resources: program.artifact().resources,
+            build_log: program.artifact().build_log.clone(),
+        })
+    }
+}
+
+/// Which source array to initialize.
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    B,
+    C,
+}
+
+/// Deterministic init patterns with closed-form expected results —
+/// kept small so `q * b + c` never overflows an i32.
+fn src_values(i: u64, which: Source) -> i64 {
+    match which {
+        Source::B => (i % 1021) as i64 + 1,
+        Source::C => (i % 511) as i64 * 2,
+    }
+}
+
+fn init_array(cfg: &KernelConfig, which: Source) -> Vec<u8> {
+    let n = cfg.n_words;
+    let mut out = vec![0u8; (n * cfg.dtype.word_bytes()) as usize];
+    match cfg.dtype {
+        DataType::I32 => {
+            for i in 0..n {
+                let v = src_values(i, which) as i32;
+                out[(i * 4) as usize..(i * 4 + 4) as usize].copy_from_slice(&v.to_ne_bytes());
+            }
+        }
+        DataType::F64 => {
+            for i in 0..n {
+                let v = src_values(i, which) as f64;
+                out[(i * 8) as usize..(i * 8 + 8) as usize].copy_from_slice(&v.to_ne_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Expected destination value (the closed form STREAM validates against).
+fn expected(cfg: &KernelConfig, i: u64) -> f64 {
+    let b = src_values(i, Source::B) as f64;
+    let c = src_values(i, Source::C) as f64;
+    let q = match cfg.dtype {
+        DataType::I32 => cfg.q as i64 as f64,
+        DataType::F64 => cfg.q,
+    };
+    match cfg.op {
+        StreamOp::Copy => b,
+        StreamOp::Scale => q * b,
+        StreamOp::Add => b + c,
+        StreamOp::Triad => b + q * c,
+    }
+}
+
+/// STREAM-style full-array validation.
+fn check_results(cfg: &KernelConfig, a: &[u8]) -> bool {
+    let n = cfg.n_words;
+    match cfg.dtype {
+        DataType::I32 => (0..n).all(|i| {
+            let got =
+                i32::from_ne_bytes(a[(i * 4) as usize..(i * 4 + 4) as usize].try_into().expect("4"));
+            got as f64 == expected(cfg, i)
+        }),
+        DataType::F64 => (0..n).all(|i| {
+            let got =
+                f64::from_ne_bytes(a[(i * 8) as usize..(i * 8 + 8) as usize].try_into().expect("8"));
+            (got - expected(cfg, i)).abs() <= 1e-9 * expected(cfg, i).abs().max(1.0)
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernelgen::{AoclOpts, LoopMode, VectorWidth, VendorOpts};
+    use targets::TargetId;
+
+    fn quick(op: StreamOp, n_words: u64, target: TargetId) -> Measurement {
+        let mut kernel = KernelConfig::baseline(op, n_words);
+        if target.is_fpga() {
+            kernel.loop_mode = LoopMode::SingleWorkItemFlat;
+        }
+        Runner::for_target(target).run(&BenchConfig::new(kernel)).expect("run ok")
+    }
+
+    #[test]
+    fn copy_runs_and_validates_on_all_targets() {
+        for target in TargetId::ALL {
+            let m = quick(StreamOp::Copy, 1 << 14, target);
+            assert_eq!(m.validated, Some(true), "{target:?}");
+            assert!(m.gbps() > 0.0);
+            assert!(m.best_wall_ns >= m.best_kernel_ns);
+        }
+    }
+
+    #[test]
+    fn all_ops_validate_f64_too() {
+        for op in StreamOp::ALL {
+            let mut kernel = KernelConfig::baseline(op, 1 << 12);
+            kernel.dtype = DataType::F64;
+            kernel.q = 2.5;
+            let m = Runner::for_target(TargetId::Cpu).run(&BenchConfig::new(kernel)).expect("ok");
+            assert_eq!(m.validated, Some(true), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn vectorized_triad_validates() {
+        let mut kernel = KernelConfig::baseline(StreamOp::Triad, 1 << 14);
+        kernel.vector_width = VectorWidth::new(8).unwrap();
+        kernel.loop_mode = LoopMode::SingleWorkItemFlat;
+        let m = Runner::for_target(TargetId::FpgaAocl).run(&BenchConfig::new(kernel)).expect("ok");
+        assert_eq!(m.validated, Some(true));
+        assert!(m.fmax_mhz.is_some(), "FPGA reports a clock");
+        assert!(m.resources.is_some(), "FPGA reports resources");
+    }
+
+    #[test]
+    fn build_failure_is_an_error_result() {
+        let mut kernel = KernelConfig::baseline(StreamOp::Copy, 1 << 14);
+        kernel.loop_mode = LoopMode::NdRange;
+        kernel.reqd_work_group_size = true;
+        kernel.vector_width = VectorWidth::new(16).unwrap();
+        kernel.vendor =
+            VendorOpts::Aocl(AoclOpts { num_simd_work_items: 16, num_compute_units: 16 });
+        let err = Runner::for_target(TargetId::FpgaAocl).run(&BenchConfig::new(kernel));
+        assert!(matches!(err, Err(ClError::BuildProgramFailure(_))));
+    }
+
+    #[test]
+    fn timing_only_skips_validation() {
+        let bc = BenchConfig::copy_of_bytes(1 << 20).with_validation(false);
+        let m = Runner::for_target(TargetId::Gpu).run(&bc).expect("ok");
+        assert_eq!(m.validated, None);
+    }
+
+    #[test]
+    fn host_over_link_is_slower_than_device_global() {
+        let n = 1 << 18; // 1 MiB arrays
+        let device = BenchConfig::copy_of_bytes(n * 4);
+        let link = BenchConfig::copy_of_bytes(n * 4).over_link();
+        let r = Runner::for_target(TargetId::Gpu);
+        let dg = r.run(&device).expect("ok");
+        let hl = r.run(&link).expect("ok");
+        assert!(
+            hl.gbps() < dg.gbps() / 2.0,
+            "link {} vs device {}",
+            hl.gbps(),
+            dg.gbps()
+        );
+    }
+
+    #[test]
+    fn best_of_reports_minimum() {
+        let bc = BenchConfig::copy_of_bytes(1 << 16).with_ntimes(5);
+        let m = Runner::for_target(TargetId::Cpu).run(&bc).expect("ok");
+        assert!(m.best_wall_ns <= m.avg_wall_ns);
+    }
+
+    #[test]
+    fn init_patterns_do_not_overflow_i32() {
+        // q * b + c max: 3 * 1021 + 1020 << i32::MAX.
+        let cfg = KernelConfig::baseline(StreamOp::Triad, 4096);
+        for i in [0u64, 1, 1020, 1021, 4095] {
+            assert!(expected(&cfg, i) < i32::MAX as f64);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Cartesian parameter spaces over the §III tuning dimensions.
+
+use kernelgen::{
+    validate, AccessPattern, DataType, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts,
+};
+
+/// A set of values per tuning dimension; [`ParamSpace::configs`] yields
+/// the cartesian product, silently skipping combinations that fail
+/// validation (e.g. a stride that does not divide a size) — exactly what
+/// a sweep script would do.
+#[derive(Debug, Clone)]
+pub struct ParamSpace {
+    /// STREAM kernels to sweep.
+    pub ops: Vec<StreamOp>,
+    /// Array sizes, in bytes per array.
+    pub sizes_bytes: Vec<u64>,
+    /// Element types.
+    pub dtypes: Vec<DataType>,
+    /// Vectorization widths.
+    pub widths: Vec<u32>,
+    /// Access patterns.
+    pub patterns: Vec<AccessPattern>,
+    /// Loop managements.
+    pub loop_modes: Vec<LoopMode>,
+    /// Unroll factors.
+    pub unrolls: Vec<u32>,
+    /// Vendor-specific option sets.
+    pub vendors: Vec<VendorOpts>,
+    /// Work-group size for NDRange points.
+    pub work_group_size: u32,
+    /// Emit `reqd_work_group_size`.
+    pub reqd_work_group_size: bool,
+}
+
+impl Default for ParamSpace {
+    fn default() -> Self {
+        ParamSpace {
+            ops: vec![StreamOp::Copy],
+            sizes_bytes: vec![4 << 20],
+            dtypes: vec![DataType::I32],
+            widths: vec![1],
+            patterns: vec![AccessPattern::Contiguous],
+            loop_modes: vec![LoopMode::NdRange],
+            unrolls: vec![1],
+            vendors: vec![VendorOpts::None],
+            work_group_size: 64,
+            reqd_work_group_size: false,
+        }
+    }
+}
+
+impl ParamSpace {
+    /// Number of raw combinations (before validity filtering).
+    pub fn raw_len(&self) -> usize {
+        self.ops.len()
+            * self.sizes_bytes.len()
+            * self.dtypes.len()
+            * self.widths.len()
+            * self.patterns.len()
+            * self.loop_modes.len()
+            * self.unrolls.len()
+            * self.vendors.len()
+    }
+
+    /// All valid configurations in deterministic order.
+    pub fn configs(&self) -> Vec<KernelConfig> {
+        let mut out = Vec::new();
+        for &op in &self.ops {
+            for &size in &self.sizes_bytes {
+                for &dtype in &self.dtypes {
+                    for &w in &self.widths {
+                        for &pattern in &self.patterns {
+                            for &loop_mode in &self.loop_modes {
+                                for &unroll in &self.unrolls {
+                                    for &vendor in &self.vendors {
+                                        let Ok(width) = VectorWidth::new(w) else { continue };
+                                        let cfg = KernelConfig {
+                                            op,
+                                            dtype,
+                                            n_words: size / dtype.word_bytes(),
+                                            vector_width: width,
+                                            pattern,
+                                            loop_mode,
+                                            unroll,
+                                            work_group_size: self.work_group_size,
+                                            reqd_work_group_size: self.reqd_work_group_size,
+                                            vendor,
+                                            q: 3.0,
+                                        };
+                                        if validate(&cfg).is_ok() {
+                                            out.push(cfg);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_space_is_one_baseline_point() {
+        let s = ParamSpace::default();
+        assert_eq!(s.raw_len(), 1);
+        let cfgs = s.configs();
+        assert_eq!(cfgs.len(), 1);
+        assert_eq!(cfgs[0].n_words, (4 << 20) / 4);
+    }
+
+    #[test]
+    fn cartesian_product_size() {
+        let s = ParamSpace {
+            ops: StreamOp::ALL.to_vec(),
+            widths: vec![1, 4, 16],
+            loop_modes: LoopMode::ALL.to_vec(),
+            ..Default::default()
+        };
+        assert_eq!(s.raw_len(), 4 * 3 * 3);
+        assert_eq!(s.configs().len(), 36, "all combinations valid here");
+    }
+
+    #[test]
+    fn invalid_combinations_are_filtered() {
+        let s = ParamSpace {
+            sizes_bytes: vec![4096],
+            widths: vec![1, 3, 16], // 3 is not an OpenCL vector width
+            ..Default::default()
+        };
+        assert_eq!(s.configs().len(), 2);
+    }
+
+    #[test]
+    fn strides_that_do_not_divide_are_filtered() {
+        let s = ParamSpace {
+            sizes_bytes: vec![4096], // 1024 words
+            patterns: vec![
+                AccessPattern::Contiguous,
+                AccessPattern::Strided { stride: 7 }, // does not divide 1024
+                AccessPattern::Strided { stride: 4 },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(s.configs().len(), 2);
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let s = ParamSpace { widths: vec![1, 2, 4], ..Default::default() };
+        let a = s.configs();
+        let b = s.configs();
+        assert_eq!(a, b);
+    }
+}

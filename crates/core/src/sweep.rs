@@ -1,0 +1,221 @@
+//! Sweep execution and multi-objective analysis.
+//!
+//! [`run_space`] executes every configuration of a [`ParamSpace`] on one
+//! device and collects outcomes (including synthesis failures, which are
+//! first-class results of an FPGA sweep). [`pareto_front`] then extracts
+//! the bandwidth-vs-resources Pareto frontier — the set a designer
+//! actually chooses from, since on an FPGA the benchmark kernel shares
+//! the fabric with the application.
+
+use crate::config::BenchConfig;
+use crate::report::Table;
+use crate::runner::{Measurement, Runner};
+use crate::space::ParamSpace;
+use kernelgen::KernelConfig;
+use mpcl::ClError;
+
+/// One sweep point's outcome.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The configuration.
+    pub config: KernelConfig,
+    /// Measurement, or the error (typically a synthesis failure).
+    pub outcome: Result<Measurement, ClError>,
+}
+
+impl SweepPoint {
+    /// Bandwidth if the run succeeded.
+    pub fn gbps(&self) -> Option<f64> {
+        self.outcome.as_ref().ok().map(|m| m.gbps())
+    }
+
+    /// FPGA logic usage if reported.
+    pub fn logic(&self) -> Option<u64> {
+        self.outcome.as_ref().ok().and_then(|m| m.resources).map(|r| r.logic)
+    }
+}
+
+/// The result of sweeping a space on one device.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Every point, in the space's deterministic order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// Successful points only.
+    pub fn ok_points(&self) -> impl Iterator<Item = (&KernelConfig, &Measurement)> {
+        self.points.iter().filter_map(|p| p.outcome.as_ref().ok().map(|m| (&p.config, m)))
+    }
+
+    /// Number of failed points (synthesis errors etc.).
+    pub fn failures(&self) -> usize {
+        self.points.iter().filter(|p| p.outcome.is_err()).count()
+    }
+
+    /// The best configuration by bandwidth, if any succeeded.
+    pub fn best(&self) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.gbps().is_some())
+            .max_by(|a, b| a.gbps().partial_cmp(&b.gbps()).expect("finite"))
+    }
+
+    /// Render a summary table (config, GB/s or failure, fmax, logic).
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(&["config", "GB/s", "fmax MHz", "logic", "note"]);
+        for p in &self.points {
+            let cfg = format!(
+                "{} vec{} {} u{} {:?}",
+                p.config.op.name(),
+                p.config.vector_width.get(),
+                p.config.loop_mode.label(),
+                p.config.unroll,
+                p.config.vendor
+            );
+            match &p.outcome {
+                Ok(m) => t.row(&[
+                    cfg,
+                    format!("{:.2}", m.gbps()),
+                    m.fmax_mhz.map(|f| format!("{f:.0}")).unwrap_or_else(|| "-".into()),
+                    m.resources.map(|r| r.logic.to_string()).unwrap_or_else(|| "-".into()),
+                    String::new(),
+                ]),
+                Err(e) => {
+                    let mut note = e.to_string().replace('\n', " | ");
+                    note.truncate(90);
+                    t.row(&[cfg, "-".into(), "-".into(), "-".into(), note])
+                }
+            };
+        }
+        t
+    }
+}
+
+/// Execute every configuration of `space` on `runner`'s device.
+/// `protocol` customizes the measurement (repetitions, validation).
+pub fn run_space(
+    runner: &Runner,
+    space: &ParamSpace,
+    protocol: impl Fn(KernelConfig) -> BenchConfig,
+) -> SweepResult {
+    let points = space
+        .configs()
+        .into_iter()
+        .map(|config| {
+            let outcome = runner.run(&protocol(config.clone()));
+            SweepPoint { config, outcome }
+        })
+        .collect();
+    SweepResult { points }
+}
+
+/// A point on the bandwidth-vs-logic Pareto frontier.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// The configuration.
+    pub config: KernelConfig,
+    /// Achieved bandwidth, GB/s.
+    pub gbps: f64,
+    /// FPGA logic consumed.
+    pub logic: u64,
+}
+
+/// Extract the Pareto frontier (maximize bandwidth, minimize logic) from
+/// a sweep, with epsilon dominance: a costlier point must be at least
+/// 0.5 % faster to join the frontier, so DRAM-bound plateaus don't admit
+/// ever-larger designs with microscopically different rates. Points
+/// without resource reports (non-FPGA devices) are skipped. The result
+/// is sorted by ascending logic.
+pub fn pareto_front(sweep: &SweepResult) -> Vec<ParetoPoint> {
+    let mut candidates: Vec<ParetoPoint> = sweep
+        .points
+        .iter()
+        .filter_map(|p| {
+            let gbps = p.gbps()?;
+            let logic = p.logic()?;
+            Some(ParetoPoint { config: p.config.clone(), gbps, logic })
+        })
+        .collect();
+    candidates.sort_by(|a, b| a.logic.cmp(&b.logic).then(b.gbps.partial_cmp(&a.gbps).expect("finite")));
+
+    let mut front: Vec<ParetoPoint> = Vec::new();
+    let mut best_gbps = f64::NEG_INFINITY;
+    for c in candidates {
+        // Sorted by logic: a point joins the front iff it meaningfully
+        // beats every cheaper (or equal-cost) point's bandwidth.
+        if c.gbps > best_gbps * 1.005 {
+            best_gbps = c.gbps;
+            front.push(c);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernelgen::{LoopMode, StreamOp};
+    use targets::TargetId;
+
+    fn small_space() -> ParamSpace {
+        ParamSpace {
+            ops: vec![StreamOp::Copy],
+            sizes_bytes: vec![1 << 20],
+            widths: vec![1, 4, 16],
+            loop_modes: vec![LoopMode::SingleWorkItemFlat],
+            unrolls: vec![1, 4],
+            ..Default::default()
+        }
+    }
+
+    fn sweep() -> SweepResult {
+        run_space(&Runner::for_target(TargetId::FpgaAocl), &small_space(), |k| {
+            BenchConfig::new(k).with_ntimes(1).with_validation(false)
+        })
+    }
+
+    #[test]
+    fn sweep_covers_the_whole_space() {
+        let s = sweep();
+        assert_eq!(s.points.len(), 6);
+        assert!(s.failures() <= 1, "at most the 16x4 point may overflow");
+        let best = s.best().expect("some point succeeded");
+        assert!(best.config.vector_width.get() >= 4, "wide vectors win on the FPGA");
+    }
+
+    #[test]
+    fn pareto_front_is_monotone() {
+        let front = pareto_front(&sweep());
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[1].logic > w[0].logic, "ascending logic");
+            assert!(w[1].gbps > w[0].gbps, "strictly better bandwidth");
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let s = sweep();
+        let front = pareto_front(&s);
+        // Every successful point must be dominated by or on the front.
+        for (cfg, m) in s.ok_points() {
+            let logic = m.resources.expect("fpga").logic;
+            let dominated_or_on = front
+                .iter()
+                .any(|f| f.logic <= logic && f.gbps >= m.gbps() * 0.995);
+            assert!(dominated_or_on, "point {:?} escapes the front", cfg.vector_width);
+        }
+    }
+
+    #[test]
+    fn table_lists_failures_with_reason() {
+        let mut space = small_space();
+        space.unrolls = vec![16]; // 16x16 will overflow
+        let s = run_space(&Runner::for_target(TargetId::FpgaAocl), &space, |k| {
+            BenchConfig::new(k).with_ntimes(1).with_validation(false)
+        });
+        let txt = s.table().to_text();
+        assert!(txt.contains("does not fit") || s.failures() == 0, "{txt}");
+    }
+}

@@ -1,0 +1,318 @@
+//! Lazy generation of a kernel's memory-access stream.
+//!
+//! Device timing models consume the stream of [`Access`]es a kernel
+//! performs, in program order. The order is determined by the access
+//! pattern (which elements, in which sequence) and by the *lane group* —
+//! how many consecutive iterations execute in lock-step (a GPU warp, an
+//! unrolled FPGA pipeline stage, or 1 for a plain sequential loop). Within
+//! a lane group, accesses are emitted instruction-major (all lanes' reads
+//! of `b`, then all lanes' reads of `c`, then all lanes' writes of `a`),
+//! which is what makes per-warp coalescing work on the GPU model.
+
+use crate::ir::{AccessPattern, KernelConfig};
+use crate::plan::ExecPlan;
+
+/// Memory access record re-exported from the simulator's request type.
+pub use memaccess::{Access, AccessKind};
+
+/// A minimal local definition to avoid a dependency cycle: `memsim`
+/// depends on nothing, so we share the shape structurally. The types are
+/// converted by the device layer.
+pub mod memaccess {
+    /// Read or write.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub enum AccessKind {
+        /// Load.
+        Read,
+        /// Store.
+        Write,
+    }
+
+    /// One memory access of a kernel, in device address space.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Access {
+        /// Byte address.
+        pub addr: u64,
+        /// Bytes touched.
+        pub bytes: u32,
+        /// Direction.
+        pub kind: AccessKind,
+    }
+}
+
+/// Iterator over vector-element indices in traversal order.
+#[derive(Debug, Clone)]
+pub enum IndexOrder {
+    /// 0, 1, 2, …
+    Contiguous { next: u64, n: u64 },
+    /// `k*stride + phase` for `phase` in 0..phases, `k` in 0..per_phase —
+    /// covers both the column-major and the fixed-stride patterns.
+    Phased { stride: u64, per_phase: u64, phases: u64, k: u64, phase: u64 },
+}
+
+impl IndexOrder {
+    /// Traversal order for a configuration, in vector elements.
+    pub fn new(cfg: &KernelConfig) -> Self {
+        let n = cfg.n_vectors();
+        match cfg.pattern {
+            AccessPattern::Contiguous => IndexOrder::Contiguous { next: 0, n },
+            AccessPattern::ColMajor { .. } => {
+                let (rows, cols) = cfg.matrix_shape();
+                IndexOrder::Phased { stride: cols, per_phase: rows, phases: cols, k: 0, phase: 0 }
+            }
+            AccessPattern::Strided { stride } => IndexOrder::Phased {
+                stride: stride as u64,
+                per_phase: n / stride as u64,
+                phases: stride as u64,
+                k: 0,
+                phase: 0,
+            },
+        }
+    }
+}
+
+impl Iterator for IndexOrder {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        match self {
+            IndexOrder::Contiguous { next, n } => {
+                if *next >= *n {
+                    None
+                } else {
+                    let i = *next;
+                    *next += 1;
+                    Some(i)
+                }
+            }
+            IndexOrder::Phased { stride, per_phase, phases, k, phase } => {
+                if *phase >= *phases {
+                    return None;
+                }
+                let idx = *k * *stride + *phase;
+                *k += 1;
+                if *k == *per_phase {
+                    *k = 0;
+                    *phase += 1;
+                }
+                Some(idx)
+            }
+        }
+    }
+}
+
+/// Total number of accesses the kernel performs (each of
+/// [`KernelConfig::vector_bytes`] bytes).
+pub fn total_accesses(cfg: &KernelConfig) -> u64 {
+    cfg.n_vectors() * cfg.op.arrays()
+}
+
+/// The access stream of `plan`, emitted lane-group by lane-group.
+///
+/// `lane_group` is the number of consecutive traversal positions that
+/// execute in lock-step (1 for sequential loops, the warp width for GPU
+/// NDRange, the unroll factor for unrolled FPGA pipelines).
+pub fn access_stream(plan: &ExecPlan, lane_group: u32) -> AccessStream {
+    assert!(lane_group >= 1);
+    AccessStream {
+        order: IndexOrder::new(&plan.cfg),
+        vector_bytes: plan.cfg.vector_bytes() as u32,
+        base_a: plan.base_a,
+        base_b: plan.base_b,
+        base_c: plan.cfg.op.uses_c().then_some(plan.base_c),
+        lane_group: lane_group as usize,
+        group: Vec::with_capacity(lane_group as usize),
+        cursor: 0,
+        instr: 0,
+    }
+}
+
+/// Iterator returned by [`access_stream`].
+#[derive(Debug, Clone)]
+pub struct AccessStream {
+    order: IndexOrder,
+    vector_bytes: u32,
+    base_a: u64,
+    base_b: u64,
+    base_c: Option<u64>,
+    lane_group: usize,
+    group: Vec<u64>,
+    /// Lane within the current instruction.
+    cursor: usize,
+    /// 0 = read b, 1 = read c (if present), 2 = write a.
+    instr: u8,
+}
+
+impl Iterator for AccessStream {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        loop {
+            if self.cursor < self.group.len() {
+                let idx = self.group[self.cursor];
+                let off = idx * self.vector_bytes as u64;
+                let acc = match self.instr {
+                    0 => Access {
+                        addr: self.base_b + off,
+                        bytes: self.vector_bytes,
+                        kind: AccessKind::Read,
+                    },
+                    1 => Access {
+                        addr: self.base_c.expect("instr 1 only when c present") + off,
+                        bytes: self.vector_bytes,
+                        kind: AccessKind::Read,
+                    },
+                    _ => Access {
+                        addr: self.base_a + off,
+                        bytes: self.vector_bytes,
+                        kind: AccessKind::Write,
+                    },
+                };
+                self.cursor += 1;
+                return Some(acc);
+            }
+            // Advance to the next instruction, or refill the lane group.
+            self.cursor = 0;
+            self.instr = match (self.instr, self.base_c.is_some()) {
+                (0, true) => 1,
+                (0, false) => 2,
+                (1, _) => 2,
+                _ => {
+                    self.group.clear();
+                    for idx in self.order.by_ref() {
+                        self.group.push(idx);
+                        if self.group.len() == self.lane_group {
+                            break;
+                        }
+                    }
+                    if self.group.is_empty() {
+                        return None;
+                    }
+                    0
+                }
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{AccessPattern, KernelConfig, StreamOp, VectorWidth};
+    use crate::plan::ExecPlan;
+    use std::collections::HashSet;
+
+    fn plan(op: StreamOp, n: u64) -> ExecPlan {
+        let cfg = KernelConfig::baseline(op, n);
+        let bytes = cfg.array_bytes();
+        ExecPlan::new(cfg, 0, bytes, 2 * bytes)
+    }
+
+    #[test]
+    fn copy_stream_alternates_read_write() {
+        let p = plan(StreamOp::Copy, 4);
+        let accs: Vec<_> = access_stream(&p, 1).collect();
+        assert_eq!(accs.len(), 8);
+        assert_eq!(accs[0], Access { addr: 16, bytes: 4, kind: AccessKind::Read }); // b[0]
+        assert_eq!(accs[1], Access { addr: 0, bytes: 4, kind: AccessKind::Write }); // a[0]
+        assert_eq!(accs[2].addr, 20); // b[1]
+    }
+
+    #[test]
+    fn triad_reads_both_sources() {
+        let p = plan(StreamOp::Triad, 2);
+        let accs: Vec<_> = access_stream(&p, 1).collect();
+        assert_eq!(accs.len(), 6);
+        assert_eq!(accs[0].addr, 8); // b[0]
+        assert_eq!(accs[1].addr, 16); // c[0]
+        assert_eq!(accs[2], Access { addr: 0, bytes: 4, kind: AccessKind::Write });
+    }
+
+    #[test]
+    fn lane_group_batches_instructions() {
+        let p = plan(StreamOp::Copy, 8);
+        let accs: Vec<_> = access_stream(&p, 4).collect();
+        // First 4: reads b[0..4]; next 4: writes a[0..4].
+        assert!(accs[0..4].iter().all(|a| a.kind == AccessKind::Read));
+        assert!(accs[4..8].iter().all(|a| a.kind == AccessKind::Write));
+        assert_eq!(accs[3].addr, 32 + 12);
+    }
+
+    #[test]
+    fn total_accesses_matches_stream_length() {
+        for op in StreamOp::ALL {
+            let p = plan(op, 64);
+            let n = access_stream(&p, 8).count() as u64;
+            assert_eq!(n, total_accesses(&p.cfg), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn contiguous_order_is_sequential() {
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 16);
+        let order: Vec<_> = IndexOrder::new(&cfg).collect();
+        assert_eq!(order, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn colmajor_order_jumps_by_cols() {
+        let mut cfg = KernelConfig::baseline(StreamOp::Copy, 12);
+        cfg.pattern = AccessPattern::ColMajor { cols: Some(4) };
+        let order: Vec<_> = IndexOrder::new(&cfg).collect();
+        // 3 rows x 4 cols, column-major: 0,4,8, 1,5,9, 2,6,10, 3,7,11.
+        assert_eq!(order, vec![0, 4, 8, 1, 5, 9, 2, 6, 10, 3, 7, 11]);
+    }
+
+    #[test]
+    fn strided_order_visits_phases() {
+        let mut cfg = KernelConfig::baseline(StreamOp::Copy, 8);
+        cfg.pattern = AccessPattern::Strided { stride: 2 };
+        let order: Vec<_> = IndexOrder::new(&cfg).collect();
+        assert_eq!(order, vec![0, 2, 4, 6, 1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn every_pattern_is_a_permutation() {
+        for pattern in [
+            AccessPattern::Contiguous,
+            AccessPattern::ColMajor { cols: None },
+            AccessPattern::ColMajor { cols: Some(16) },
+            AccessPattern::Strided { stride: 4 },
+        ] {
+            let mut cfg = KernelConfig::baseline(StreamOp::Copy, 256);
+            cfg.pattern = pattern;
+            let seen: HashSet<u64> = IndexOrder::new(&cfg).collect();
+            assert_eq!(seen.len(), 256, "{pattern:?} must visit every element once");
+            assert!(seen.iter().all(|&i| i < 256));
+        }
+    }
+
+    #[test]
+    fn vector_width_scales_access_bytes() {
+        let mut cfg = KernelConfig::baseline(StreamOp::Copy, 64);
+        cfg.vector_width = VectorWidth::new(8).unwrap();
+        let bytes = cfg.array_bytes();
+        let p = ExecPlan::new(cfg, 0, bytes, 2 * bytes);
+        let accs: Vec<_> = access_stream(&p, 1).collect();
+        assert_eq!(accs.len(), 16); // 8 vectors x 2 arrays
+        assert!(accs.iter().all(|a| a.bytes == 32));
+    }
+
+    #[test]
+    fn addresses_stay_in_bounds() {
+        for op in StreamOp::ALL {
+            let p = plan(op, 128);
+            let len = p.cfg.array_bytes();
+            for a in access_stream(&p, 4) {
+                let (base, _name) = if a.kind == AccessKind::Write {
+                    (p.base_a, "a")
+                } else if a.addr >= p.base_c && p.cfg.op.uses_c() {
+                    (p.base_c, "c")
+                } else {
+                    (p.base_b, "b")
+                };
+                assert!(a.addr >= base && a.addr + a.bytes as u64 <= base + len);
+            }
+        }
+    }
+}

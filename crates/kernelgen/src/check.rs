@@ -1,0 +1,452 @@
+//! A small OpenCL-C front end: tokenizer + structural checker.
+//!
+//! The vendor compilers are the first thing that touches MP-STREAM's
+//! generated kernels; this module stands in for their front end so the
+//! code generator has a real verification story instead of substring
+//! tests. It tokenizes OpenCL-C, checks bracket structure, extracts the
+//! kernel signature (name, argument qualifiers and types) and verifies
+//! that every identifier the kernel body uses is either an argument, a
+//! locally declared variable, a `#define`d constant or a known OpenCL
+//! builtin. All generated sources must pass; seeded corruptions must
+//! fail (both are tested).
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// Lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer or floating literal (value kept as text).
+    Number(String),
+    /// String literal (contents).
+    Str(String),
+    /// Single punctuation/operator character: `{ } ( ) [ ] ; , . + - * /
+    /// % = < > ! & | ^ ~ ? :` (multi-char operators arrive as chars).
+    Punct(char),
+    /// Preprocessor directive: the whole line after `#`.
+    Directive(String),
+}
+
+/// A lexing/checking failure, with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// Byte offset of the problem.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+fn err<T>(offset: usize, message: impl Into<String>) -> Result<T, CheckError> {
+    Err(CheckError { offset, message: message.into() })
+}
+
+/// Tokenize OpenCL-C source. Comments (`//`, `/* */`) are skipped;
+/// preprocessor lines become [`Token::Directive`].
+pub fn tokenize(src: &str) -> Result<Vec<Token>, CheckError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '#' => {
+                let start = i + 1;
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.push(Token::Directive(src[start..i].trim().to_string()));
+            }
+            '/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return err(start, "unterminated block comment");
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let s0 = i;
+                while i < n && bytes[i] != b'"' {
+                    if bytes[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                if i >= n {
+                    return err(start, "unterminated string literal");
+                }
+                out.push(Token::Str(src[s0..i].to_string()));
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let s0 = i;
+                while i < n && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(src[s0..i].to_string()));
+            }
+            c if c.is_ascii_digit() => {
+                let s0 = i;
+                while i < n
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &src[s0..i];
+                // Accept C numeric suffixes (ul, f, etc.) but nothing
+                // that looks like a malformed identifier glued on.
+                let ok = text.chars().all(|ch| {
+                    ch.is_ascii_digit()
+                        || ch == '.'
+                        || matches!(ch, 'u' | 'l' | 'U' | 'L' | 'f' | 'F' | 'e' | 'E' | 'x' | 'X')
+                        || ch.is_ascii_hexdigit()
+                });
+                if !ok {
+                    return err(s0, format!("malformed number '{text}'"));
+                }
+                out.push(Token::Number(text.to_string()));
+            }
+            '{' | '}' | '(' | ')' | '[' | ']' | ';' | ',' | '.' | '+' | '-' | '*' | '/' | '%'
+            | '=' | '<' | '>' | '!' | '&' | '|' | '^' | '~' | '?' | ':' => {
+                out.push(Token::Punct(c));
+                i += 1;
+            }
+            other => return err(i, format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+/// Check that `{}`, `()` and `[]` nest properly.
+pub fn check_brackets(tokens: &[Token]) -> Result<(), CheckError> {
+    let mut stack: Vec<char> = Vec::new();
+    for (idx, t) in tokens.iter().enumerate() {
+        if let Token::Punct(c) = t {
+            match c {
+                '{' | '(' | '[' => stack.push(*c),
+                '}' | ')' | ']' => {
+                    let want = match c {
+                        '}' => '{',
+                        ')' => '(',
+                        _ => '[',
+                    };
+                    if stack.pop() != Some(want) {
+                        return err(idx, format!("mismatched '{c}'"));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if let Some(open) = stack.pop() {
+        return err(tokens.len(), format!("unclosed '{open}'"));
+    }
+    Ok(())
+}
+
+/// One kernel argument as parsed from the signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelArg {
+    /// Address-space qualifier (`__global`, none, ...).
+    pub qualifier: Option<String>,
+    /// Is the pointee `const`?
+    pub is_const: bool,
+    /// Base type (`int`, `double16`, ...).
+    pub ty: String,
+    /// Is it a pointer argument?
+    pub is_pointer: bool,
+    /// Argument name.
+    pub name: String,
+}
+
+/// Parsed kernel signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSignature {
+    /// Function name.
+    pub name: String,
+    /// Arguments in order.
+    pub args: Vec<KernelArg>,
+}
+
+/// Extract the signature of the (single) `__kernel` function.
+pub fn kernel_signature(tokens: &[Token]) -> Result<KernelSignature, CheckError> {
+    let kpos = tokens
+        .iter()
+        .position(|t| matches!(t, Token::Ident(s) if s == "__kernel"))
+        .ok_or(CheckError { offset: 0, message: "no __kernel function".into() })?;
+    // __kernel void NAME ( args )
+    let name = match tokens.get(kpos + 2) {
+        Some(Token::Ident(s)) => s.clone(),
+        _ => return err(kpos, "expected kernel name after '__kernel void'"),
+    };
+    if !matches!(tokens.get(kpos + 1), Some(Token::Ident(v)) if v == "void") {
+        return err(kpos, "kernel must return void");
+    }
+    if !matches!(tokens.get(kpos + 3), Some(Token::Punct('('))) {
+        return err(kpos, "expected '(' after kernel name");
+    }
+
+    // Split the parenthesized argument list on top-level commas.
+    let mut args = Vec::new();
+    let mut depth = 1;
+    let mut current: Vec<&Token> = Vec::new();
+    let mut idx = kpos + 4;
+    loop {
+        let t = tokens
+            .get(idx)
+            .ok_or(CheckError { offset: idx, message: "unterminated argument list".into() })?;
+        match t {
+            Token::Punct('(') => depth += 1,
+            Token::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    if !current.is_empty() {
+                        args.push(parse_arg(&current, idx)?);
+                    }
+                    break;
+                }
+            }
+            Token::Punct(',') if depth == 1 => {
+                args.push(parse_arg(&current, idx)?);
+                current.clear();
+                idx += 1;
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t);
+        idx += 1;
+    }
+    Ok(KernelSignature { name, args })
+}
+
+fn parse_arg(tokens: &[&Token], at: usize) -> Result<KernelArg, CheckError> {
+    let mut qualifier = None;
+    let mut is_const = false;
+    let mut ty = None;
+    let mut is_pointer = false;
+    let mut name = None;
+    for t in tokens {
+        match t {
+            Token::Ident(s) if s.starts_with("__") => qualifier = Some(s.clone()),
+            Token::Ident(s) if s == "const" => is_const = true,
+            Token::Ident(s) if s == "restrict" => {}
+            Token::Ident(s) if ty.is_none() => ty = Some(s.clone()),
+            Token::Ident(s) => name = Some(s.clone()),
+            Token::Punct('*') => is_pointer = true,
+            _ => return err(at, "unexpected token in argument"),
+        }
+    }
+    Ok(KernelArg {
+        qualifier,
+        is_const,
+        ty: ty.ok_or(CheckError { offset: at, message: "argument missing type".into() })?,
+        is_pointer,
+        name: name.ok_or(CheckError { offset: at, message: "argument missing name".into() })?,
+    })
+}
+
+/// OpenCL-C builtins and keywords the generated kernels may reference.
+fn known_builtins() -> HashSet<&'static str> {
+    [
+        "get_global_id", "get_local_id", "get_group_id", "get_global_size", "get_local_size",
+        "size_t", "void", "int", "uint", "long", "ulong", "float", "double", "char", "uchar",
+        "short", "ushort", "bool", "for", "while", "if", "else", "return", "const", "restrict",
+        "__kernel", "__global", "__local", "__constant", "__private", "__attribute__",
+        "opencl_unroll_hint", "reqd_work_group_size", "num_simd_work_items", "num_compute_units",
+        "xcl_pipeline_loop", "xcl_pipeline_workitems",
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn is_type_name(s: &str) -> bool {
+    let base = s.trim_end_matches(|c: char| c.is_ascii_digit());
+    matches!(
+        base,
+        "int" | "uint" | "long" | "ulong" | "float" | "double" | "char" | "uchar" | "short"
+            | "ushort" | "size_t" | "bool" | "void"
+    )
+}
+
+/// Full structural check of a generated kernel: tokenizes, verifies
+/// bracket nesting, extracts the signature, and confirms every
+/// identifier in the body is an argument, a `#define`, a local
+/// declaration or a builtin. Returns the signature on success.
+pub fn check_source(src: &str) -> Result<KernelSignature, CheckError> {
+    let tokens = tokenize(src)?;
+    check_brackets(&tokens)?;
+    let sig = kernel_signature(&tokens)?;
+
+    let mut known: HashSet<String> = known_builtins().into_iter().map(String::from).collect();
+    for a in &sig.args {
+        known.insert(a.name.clone());
+        known.insert(a.ty.clone());
+    }
+    for t in &tokens {
+        if let Token::Directive(d) = t {
+            if let Some(rest) = d.strip_prefix("define") {
+                if let Some(name) = rest.trim().split_whitespace().next() {
+                    known.insert(name.to_string());
+                }
+            }
+        }
+    }
+
+    // Walk the body: any `TYPE ident` sequence declares ident.
+    let body_start = tokens
+        .iter()
+        .position(|t| matches!(t, Token::Punct('{')))
+        .ok_or(CheckError { offset: 0, message: "kernel has no body".into() })?;
+    let mut prev_was_type = false;
+    for (idx, t) in tokens.iter().enumerate().skip(body_start) {
+        match t {
+            Token::Ident(s) if is_type_name(s) => prev_was_type = true,
+            Token::Ident(s) => {
+                if prev_was_type {
+                    known.insert(s.clone());
+                } else if !known.contains(s.as_str()) {
+                    return err(idx, format!("undefined identifier '{s}'"));
+                }
+                prev_was_type = false;
+            }
+            _ => prev_was_type = false,
+        }
+    }
+    Ok(sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{
+        AccessPattern, AoclOpts, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts,
+    };
+    use crate::source::generate_source;
+
+    #[test]
+    fn tokenizes_the_basics() {
+        let toks = tokenize("int x = 42; // comment\n/* block */ y(x);").expect("lex ok");
+        assert_eq!(toks[0], Token::Ident("int".into()));
+        assert_eq!(toks[2], Token::Punct('='));
+        assert_eq!(toks[3], Token::Number("42".into()));
+        assert!(toks.iter().all(|t| !matches!(t, Token::Ident(s) if s == "comment")));
+    }
+
+    #[test]
+    fn rejects_unterminated_comment_and_string() {
+        assert!(tokenize("/* oops").is_err());
+        assert!(tokenize("\"oops").is_err());
+        assert!(tokenize("int €;").is_err());
+    }
+
+    #[test]
+    fn bracket_mismatches_are_caught() {
+        let t = tokenize("void f() { (a[1)] }").expect("lex ok");
+        assert!(check_brackets(&t).is_err());
+        let t = tokenize("void f() { a[1]; }").expect("lex ok");
+        assert!(check_brackets(&t).is_ok());
+    }
+
+    #[test]
+    fn extracts_triad_signature() {
+        let cfg = KernelConfig::baseline(StreamOp::Triad, 1 << 12);
+        let sig = check_source(&generate_source(&cfg)).expect("valid kernel");
+        assert_eq!(sig.name, "mp_triad");
+        assert_eq!(sig.args.len(), 4);
+        assert_eq!(sig.args[0].name, "b");
+        assert_eq!(sig.args[0].qualifier.as_deref(), Some("__global"));
+        assert!(sig.args[0].is_const && sig.args[0].is_pointer);
+        assert_eq!(sig.args[2].name, "a");
+        assert!(!sig.args[2].is_const);
+        assert_eq!(sig.args[3].name, "q");
+        assert!(!sig.args[3].is_pointer);
+    }
+
+    #[test]
+    fn every_generated_variant_passes_the_checker() {
+        for op in StreamOp::ALL {
+            for mode in LoopMode::ALL {
+                for pattern in [
+                    AccessPattern::Contiguous,
+                    AccessPattern::ColMajor { cols: None },
+                    AccessPattern::Strided { stride: 4 },
+                ] {
+                    for w in [1u32, 4, 16] {
+                        for unroll in [1u32, 8] {
+                            let mut cfg = KernelConfig::baseline(op, 1 << 14);
+                            cfg.loop_mode = mode;
+                            cfg.pattern = pattern;
+                            cfg.vector_width = VectorWidth::new(w).expect("allowed");
+                            cfg.unroll = unroll;
+                            cfg.reqd_work_group_size = true;
+                            let src = generate_source(&cfg);
+                            let sig = check_source(&src)
+                                .unwrap_or_else(|e| panic!("{op:?}/{mode:?}/{pattern:?}: {e}\n{src}"));
+                            assert_eq!(sig.name, format!("mp_{}", op.name()));
+                            assert_eq!(sig.args.len() as u64, op.arrays() + op.uses_q() as u64);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vendor_attributes_pass_the_checker() {
+        let mut cfg = KernelConfig::baseline(StreamOp::Copy, 1 << 12);
+        cfg.reqd_work_group_size = true;
+        cfg.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 4, num_compute_units: 2 });
+        assert!(check_source(&generate_source(&cfg)).is_ok());
+    }
+
+    #[test]
+    fn corrupted_sources_fail() {
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 1 << 12);
+        let good = generate_source(&cfg);
+        // Remove a closing brace.
+        let truncated = good.rsplitn(2, '}').last().expect("split").to_string();
+        assert!(check_source(&truncated).is_err(), "missing brace must fail");
+        // Reference an undefined identifier.
+        let undefined = good.replace("b[gid]", "bogus_array[gid]");
+        let e = check_source(&undefined).unwrap_err();
+        assert!(e.message.contains("bogus_array"), "{e}");
+        // Break the signature.
+        let no_kernel = good.replace("__kernel", "__colonel");
+        assert!(check_source(&no_kernel).is_err());
+    }
+
+    #[test]
+    fn directives_define_constants() {
+        let src = "#define N 10ul\n__kernel void k(__global int* restrict a)\n{\n    for (size_t i = 0; i < N; ++i) { a[i] = 0; }\n}\n";
+        assert!(check_source(src).is_ok());
+    }
+}

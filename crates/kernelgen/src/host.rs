@@ -1,0 +1,278 @@
+//! OpenCL host-program generation.
+//!
+//! MP-STREAM ships a C host program that sets up the platform, builds
+//! the generated kernel, runs it `NTIMES` and reports bandwidth. This
+//! module emits that program for any tuning point — the C-source twin of
+//! what `mpstream_core::Runner` does natively — so a configuration
+//! explored in simulation can be carried to real hardware unchanged.
+//! The emitted text is self-contained C99 over the OpenCL 1.2 API.
+
+use crate::ir::{DataType, KernelConfig, LoopMode};
+use crate::source::generate_source;
+use std::fmt::Write as _;
+
+/// Options for host-program generation.
+#[derive(Debug, Clone)]
+pub struct HostOptions {
+    /// Substring to match when picking the OpenCL platform (e.g.
+    /// `"Altera"`); empty = first platform.
+    pub platform_filter: String,
+    /// Timed repetitions (`NTIMES`).
+    pub ntimes: u32,
+    /// Load the kernel from an `.aocx`/`.xclbin` binary instead of
+    /// building from source (the FPGA flows require this).
+    pub binary_kernel: bool,
+}
+
+impl Default for HostOptions {
+    fn default() -> Self {
+        HostOptions { platform_filter: String::new(), ntimes: 10, binary_kernel: false }
+    }
+}
+
+/// Generate the complete C host program for `cfg`.
+pub fn generate_host_program(cfg: &KernelConfig, opts: &HostOptions) -> String {
+    let mut s = String::with_capacity(8192);
+    let ty = cfg.dtype.cl_name();
+    let n = cfg.n_words;
+    let n_vec = cfg.n_vectors();
+    let arrays = cfg.op.arrays();
+    let kernel_name = format!("mp_{}", cfg.op.name());
+    let global = match cfg.loop_mode {
+        LoopMode::NdRange => n_vec,
+        _ => 1,
+    };
+    let local = match cfg.loop_mode {
+        LoopMode::NdRange => cfg.work_group_size as u64,
+        _ => 1,
+    };
+
+    let _ = writeln!(s, "/* MP-STREAM host program — generated for: {kernel_name},");
+    let _ = writeln!(
+        s,
+        " * {} x {ty}, vec{}, {}, {} */",
+        n,
+        cfg.vector_width.get(),
+        cfg.pattern.label(),
+        cfg.loop_mode.label()
+    );
+    s.push_str(HEADER);
+    let _ = writeln!(s, "#define N_WORDS {n}ul");
+    let _ = writeln!(s, "#define NTIMES {}", opts.ntimes.max(1));
+    let _ = writeln!(s, "#define BYTES_MOVED ((double)N_WORDS * sizeof({ty}) * {arrays}.0)");
+    let _ = writeln!(s, "static const char *PLATFORM_FILTER = \"{}\";", opts.platform_filter);
+    s.push('\n');
+
+    if opts.binary_kernel {
+        s.push_str("/* Kernel is loaded from a precompiled binary (FPGA flow). */\n");
+        s.push_str("static unsigned char *load_binary(const char *path, size_t *len);\n\n");
+    } else {
+        s.push_str("static const char *KERNEL_SOURCE =\n");
+        for line in generate_source(cfg).lines() {
+            let escaped = line.replace('\\', "\\\\").replace('"', "\\\"");
+            let _ = writeln!(s, "    \"{escaped}\\n\"");
+        }
+        s.push_str("    ;\n\n");
+    }
+
+    s.push_str("int main(void) {\n");
+    s.push_str(SETUP);
+    if opts.binary_kernel {
+        s.push_str(
+            "    size_t bin_len = 0;\n\
+             \x20   const unsigned char *bin = load_binary(\"mp_stream.aocx\", &bin_len);\n\
+             \x20   cl_program program = clCreateProgramWithBinary(ctx, 1, &dev, &bin_len, &bin, NULL, &err);\n\
+             \x20   CHECK(err);\n",
+        );
+    } else {
+        s.push_str(
+            "    cl_program program = clCreateProgramWithSource(ctx, 1, &KERNEL_SOURCE, NULL, &err);\n\
+             \x20   CHECK(err);\n",
+        );
+    }
+    s.push_str("    CHECK(clBuildProgram(program, 1, &dev, \"\", NULL, NULL));\n");
+    let _ = writeln!(s, "    cl_kernel kernel = clCreateKernel(program, \"{kernel_name}\", &err);");
+    s.push_str("    CHECK(err);\n\n");
+
+    // Buffers and arguments. Argument order matches source.rs: b, [c], a, [q].
+    let _ = writeln!(s, "    const size_t bytes = N_WORDS * sizeof({ty});");
+    s.push_str("    cl_mem buf_b = clCreateBuffer(ctx, CL_MEM_READ_ONLY, bytes, NULL, &err); CHECK(err);\n");
+    if cfg.op.uses_c() {
+        s.push_str("    cl_mem buf_c = clCreateBuffer(ctx, CL_MEM_READ_ONLY, bytes, NULL, &err); CHECK(err);\n");
+    }
+    s.push_str("    cl_mem buf_a = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, bytes, NULL, &err); CHECK(err);\n");
+    let _ = writeln!(s, "    {ty} *host = malloc(bytes);");
+    let _ = writeln!(s, "    for (size_t i = 0; i < N_WORDS; ++i) host[i] = ({ty})(i % 1021 + 1);");
+    s.push_str("    CHECK(clEnqueueWriteBuffer(queue, buf_b, CL_TRUE, 0, bytes, host, 0, NULL, NULL));\n");
+    if cfg.op.uses_c() {
+        let _ = writeln!(s, "    for (size_t i = 0; i < N_WORDS; ++i) host[i] = ({ty})(i % 511 * 2);");
+        s.push_str("    CHECK(clEnqueueWriteBuffer(queue, buf_c, CL_TRUE, 0, bytes, host, 0, NULL, NULL));\n");
+    }
+    s.push('\n');
+
+    let mut arg = 0;
+    let _ = writeln!(s, "    CHECK(clSetKernelArg(kernel, {arg}, sizeof(cl_mem), &buf_b));");
+    arg += 1;
+    if cfg.op.uses_c() {
+        let _ = writeln!(s, "    CHECK(clSetKernelArg(kernel, {arg}, sizeof(cl_mem), &buf_c));");
+        arg += 1;
+    }
+    let _ = writeln!(s, "    CHECK(clSetKernelArg(kernel, {arg}, sizeof(cl_mem), &buf_a));");
+    arg += 1;
+    if cfg.op.uses_q() {
+        let q = match cfg.dtype {
+            DataType::I32 => format!("    {ty} q = {};", cfg.q as i64),
+            DataType::F64 => format!("    {ty} q = {};", cfg.q),
+        };
+        s.push_str(&q);
+        s.push('\n');
+        let _ = writeln!(s, "    CHECK(clSetKernelArg(kernel, {arg}, sizeof({ty}), &q));");
+    }
+    s.push('\n');
+
+    let _ = writeln!(s, "    size_t global = {global};");
+    let _ = writeln!(s, "    size_t local = {local};");
+    s.push_str(TIMING_LOOP);
+    s.push_str("    printf(\"best rate: %.2f GB/s\\n\", BYTES_MOVED / best_ns);\n");
+    s.push_str("    free(host);\n");
+    s.push_str("    return 0;\n}\n");
+    s
+}
+
+const HEADER: &str = r#"
+#define CL_TARGET_OPENCL_VERSION 120
+#include <CL/cl.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define CHECK(e) do { cl_int _e = (e); if (_e != CL_SUCCESS) { \
+    fprintf(stderr, "OpenCL error %d at %s:%d\n", _e, __FILE__, __LINE__); \
+    exit(1); } } while (0)
+
+"#;
+
+const SETUP: &str = r#"    cl_int err;
+    cl_uint nplat = 0;
+    CHECK(clGetPlatformIDs(0, NULL, &nplat));
+    cl_platform_id plats[16];
+    CHECK(clGetPlatformIDs(nplat > 16 ? 16 : nplat, plats, NULL));
+    cl_platform_id plat = plats[0];
+    for (cl_uint i = 0; i < nplat && PLATFORM_FILTER[0]; ++i) {
+        char name[256];
+        CHECK(clGetPlatformInfo(plats[i], CL_PLATFORM_NAME, sizeof name, name, NULL));
+        if (strstr(name, PLATFORM_FILTER)) { plat = plats[i]; break; }
+    }
+    cl_device_id dev;
+    CHECK(clGetDeviceIDs(plat, CL_DEVICE_TYPE_ALL, 1, &dev, NULL));
+    cl_context ctx = clCreateContext(NULL, 1, &dev, NULL, NULL, &err);
+    CHECK(err);
+    cl_command_queue queue =
+        clCreateCommandQueue(ctx, dev, CL_QUEUE_PROFILING_ENABLE, &err);
+    CHECK(err);
+
+"#;
+
+const TIMING_LOOP: &str = r#"    double best_ns = 1e30;
+    for (int rep = 0; rep <= NTIMES; ++rep) {
+        cl_event ev;
+        CHECK(clEnqueueNDRangeKernel(queue, kernel, 1, NULL, &global, &local, 0, NULL, &ev));
+        CHECK(clWaitForEvents(1, &ev));
+        cl_ulong t0, t1;
+        CHECK(clGetEventProfilingInfo(ev, CL_PROFILING_COMMAND_START, sizeof t0, &t0, NULL));
+        CHECK(clGetEventProfilingInfo(ev, CL_PROFILING_COMMAND_END, sizeof t1, &t1, NULL));
+        double ns = (double)(t1 - t0);
+        if (rep > 0 && ns < best_ns) best_ns = ns;  /* rep 0 is warm-up */
+        clReleaseEvent(ev);
+    }
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{StreamOp, VectorWidth};
+
+    fn braces_balanced(src: &str) -> bool {
+        let mut depth = 0i64;
+        for ch in src.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0
+    }
+
+    fn base(op: StreamOp) -> KernelConfig {
+        KernelConfig::baseline(op, 1 << 16)
+    }
+
+    #[test]
+    fn copy_host_program_is_complete() {
+        let src = generate_host_program(&base(StreamOp::Copy), &HostOptions::default());
+        assert!(braces_balanced(&src), "{src}");
+        for needle in [
+            "clGetPlatformIDs",
+            "clCreateProgramWithSource",
+            "clCreateKernel(program, \"mp_copy\"",
+            "clEnqueueNDRangeKernel",
+            "CL_PROFILING_COMMAND_START",
+            "best rate",
+        ] {
+            assert!(src.contains(needle), "missing {needle}");
+        }
+        // Copy takes no q argument and no c buffer.
+        assert!(!src.contains("buf_c"));
+        assert!(src.matches("clSetKernelArg").count() == 2);
+    }
+
+    #[test]
+    fn triad_host_program_binds_all_arguments() {
+        let src = generate_host_program(&base(StreamOp::Triad), &HostOptions::default());
+        assert!(src.contains("buf_c"));
+        assert_eq!(src.matches("clSetKernelArg").count(), 4);
+        assert!(src.contains("int q = 3"));
+    }
+
+    #[test]
+    fn kernel_source_is_embedded_and_escaped() {
+        let src = generate_host_program(&base(StreamOp::Scale), &HostOptions::default());
+        assert!(src.contains("static const char *KERNEL_SOURCE"));
+        assert!(src.contains("\"__kernel void mp_scale"));
+        // No raw newlines inside the string literal lines.
+        for line in src.lines().filter(|l| l.trim_start().starts_with('"')) {
+            assert!(line.trim_end().ends_with("\\n\""), "{line}");
+        }
+    }
+
+    #[test]
+    fn fpga_flow_uses_binary_kernel() {
+        let mut cfg = base(StreamOp::Copy);
+        cfg.loop_mode = LoopMode::SingleWorkItemFlat;
+        let opts = HostOptions {
+            platform_filter: "Altera".into(),
+            ntimes: 5,
+            binary_kernel: true,
+        };
+        let src = generate_host_program(&cfg, &opts);
+        assert!(src.contains("clCreateProgramWithBinary"));
+        assert!(!src.contains("KERNEL_SOURCE"));
+        assert!(src.contains("PLATFORM_FILTER = \"Altera\""));
+        assert!(src.contains("#define NTIMES 5"));
+        assert!(src.contains("size_t global = 1;"), "single work-item launch");
+    }
+
+    #[test]
+    fn ndrange_launch_geometry_matches_config() {
+        let mut cfg = base(StreamOp::Copy);
+        cfg.vector_width = VectorWidth::new(4).expect("allowed");
+        cfg.work_group_size = 128;
+        let src = generate_host_program(&cfg, &HostOptions::default());
+        assert!(src.contains(&format!("size_t global = {};", (1u64 << 16) / 4)));
+        assert!(src.contains("size_t local = 128;"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Functional execution of STREAM kernels over raw byte buffers.
+//!
+//! Every simulated kernel launch really computes its result, so the
+//! benchmark runner can validate output arrays exactly like the original
+//! STREAM's `checkSTREAMresults`. Execution follows the configuration's
+//! traversal order (so index-arithmetic bugs in a pattern would corrupt
+//! results and fail validation, rather than hiding behind an elementwise
+//! shortcut), with a fast path for the contiguous pattern.
+
+use crate::access::IndexOrder;
+use crate::ir::{DataType, KernelConfig, StreamOp};
+
+/// An element type the kernels operate on.
+trait Element: Copy {
+    const BYTES: usize;
+    fn from_q(q: f64) -> Self;
+    fn load(bytes: &[u8]) -> Self;
+    fn store(self, bytes: &mut [u8]);
+    fn mul(self, other: Self) -> Self;
+    fn add(self, other: Self) -> Self;
+}
+
+impl Element for i32 {
+    const BYTES: usize = 4;
+    fn from_q(q: f64) -> Self {
+        q as i32
+    }
+    fn load(bytes: &[u8]) -> Self {
+        i32::from_ne_bytes(bytes[..4].try_into().expect("4 bytes"))
+    }
+    fn store(self, bytes: &mut [u8]) {
+        bytes[..4].copy_from_slice(&self.to_ne_bytes());
+    }
+    fn mul(self, other: Self) -> Self {
+        self.wrapping_mul(other)
+    }
+    fn add(self, other: Self) -> Self {
+        self.wrapping_add(other)
+    }
+}
+
+impl Element for f64 {
+    const BYTES: usize = 8;
+    fn from_q(q: f64) -> Self {
+        q
+    }
+    fn load(bytes: &[u8]) -> Self {
+        f64::from_ne_bytes(bytes[..8].try_into().expect("8 bytes"))
+    }
+    fn store(self, bytes: &mut [u8]) {
+        bytes[..8].copy_from_slice(&self.to_ne_bytes());
+    }
+    fn mul(self, other: Self) -> Self {
+        self * other
+    }
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+}
+
+/// Execute the kernel described by `cfg`: `a` is the destination buffer,
+/// `b` and `c` the sources (`c` may be empty for COPY/SCALE). Buffer
+/// lengths must be at least [`KernelConfig::array_bytes`].
+///
+/// # Panics
+/// Panics if a buffer is too short — the runtime layer (mpcl) validates
+/// sizes before dispatching, mirroring `CL_INVALID_BUFFER_SIZE`.
+pub fn execute(cfg: &KernelConfig, a: &mut [u8], b: &[u8], c: &[u8]) {
+    let need = cfg.array_bytes() as usize;
+    assert!(a.len() >= need, "destination buffer too small: {} < {need}", a.len());
+    assert!(b.len() >= need, "source b too small: {} < {need}", b.len());
+    if cfg.op.uses_c() {
+        assert!(c.len() >= need, "source c too small: {} < {need}", c.len());
+    }
+    match cfg.dtype {
+        DataType::I32 => execute_typed::<i32>(cfg, a, b, c),
+        DataType::F64 => execute_typed::<f64>(cfg, a, b, c),
+    }
+}
+
+fn execute_typed<T: Element>(cfg: &KernelConfig, a: &mut [u8], b: &[u8], c: &[u8]) {
+    let q = T::from_q(cfg.q);
+    let w = T::BYTES;
+    let n = cfg.n_words as usize;
+
+    // Fast path: contiguous traversal is a plain elementwise loop.
+    if cfg.pattern.is_contiguous() {
+        match cfg.op {
+            StreamOp::Copy => a[..n * w].copy_from_slice(&b[..n * w]),
+            StreamOp::Scale => {
+                for i in 0..n {
+                    let x = T::load(&b[i * w..]);
+                    q.mul(x).store(&mut a[i * w..]);
+                }
+            }
+            StreamOp::Add => {
+                for i in 0..n {
+                    let x = T::load(&b[i * w..]);
+                    let y = T::load(&c[i * w..]);
+                    x.add(y).store(&mut a[i * w..]);
+                }
+            }
+            StreamOp::Triad => {
+                for i in 0..n {
+                    let x = T::load(&b[i * w..]);
+                    let y = T::load(&c[i * w..]);
+                    x.add(q.mul(y)).store(&mut a[i * w..]);
+                }
+            }
+        }
+        return;
+    }
+
+    // Pattern-faithful path: visit vector elements in traversal order.
+    let vw = cfg.vector_width.get() as usize;
+    for vidx in IndexOrder::new(cfg) {
+        let start = vidx as usize * vw;
+        for lane in 0..vw {
+            let i = (start + lane) * w;
+            let x = T::load(&b[i..]);
+            let val = match cfg.op {
+                StreamOp::Copy => x,
+                StreamOp::Scale => q.mul(x),
+                StreamOp::Add => x.add(T::load(&c[i..])),
+                StreamOp::Triad => x.add(q.mul(T::load(&c[i..]))),
+            };
+            val.store(&mut a[i..]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{AccessPattern, VectorWidth};
+
+    fn bufs_i32(n: usize) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+        let mut b = vec![0u8; n * 4];
+        let mut c = vec![0u8; n * 4];
+        for i in 0..n {
+            (i as i32 + 1).store(&mut b[i * 4..]);
+            (2 * i as i32).store(&mut c[i * 4..]);
+        }
+        (vec![0u8; n * 4], b, c)
+    }
+
+    fn read_i32(buf: &[u8], i: usize) -> i32 {
+        i32::load(&buf[i * 4..])
+    }
+
+    #[test]
+    fn copy_i32() {
+        let (mut a, b, c) = bufs_i32(100);
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 100);
+        execute(&cfg, &mut a, &b, &c);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_i32() {
+        let (mut a, b, c) = bufs_i32(10);
+        let cfg = KernelConfig::baseline(StreamOp::Scale, 10);
+        execute(&cfg, &mut a, &b, &c);
+        for i in 0..10 {
+            assert_eq!(read_i32(&a, i), 3 * (i as i32 + 1));
+        }
+    }
+
+    #[test]
+    fn add_i32() {
+        let (mut a, b, c) = bufs_i32(10);
+        let cfg = KernelConfig::baseline(StreamOp::Add, 10);
+        execute(&cfg, &mut a, &b, &c);
+        for i in 0..10 {
+            assert_eq!(read_i32(&a, i), (i as i32 + 1) + 2 * i as i32);
+        }
+    }
+
+    #[test]
+    fn triad_i32() {
+        let (mut a, b, c) = bufs_i32(10);
+        let cfg = KernelConfig::baseline(StreamOp::Triad, 10);
+        execute(&cfg, &mut a, &b, &c);
+        for i in 0..10 {
+            assert_eq!(read_i32(&a, i), (i as i32 + 1) + 3 * 2 * i as i32);
+        }
+    }
+
+    #[test]
+    fn triad_f64() {
+        let n = 16;
+        let mut b = vec![0u8; n * 8];
+        let mut c = vec![0u8; n * 8];
+        for i in 0..n {
+            (i as f64).store(&mut b[i * 8..]);
+            (0.5 * i as f64).store(&mut c[i * 8..]);
+        }
+        let mut a = vec![0u8; n * 8];
+        let mut cfg = KernelConfig::baseline(StreamOp::Triad, n as u64);
+        cfg.dtype = DataType::F64;
+        cfg.q = 2.0;
+        execute(&cfg, &mut a, &b, &c);
+        for i in 0..n {
+            let got = f64::load(&a[i * 8..]);
+            assert_eq!(got, i as f64 + 2.0 * 0.5 * i as f64);
+        }
+    }
+
+    #[test]
+    fn strided_pattern_same_result_as_contiguous() {
+        let (mut a1, b, c) = bufs_i32(64);
+        let mut a2 = vec![0u8; 64 * 4];
+        let cfg1 = KernelConfig::baseline(StreamOp::Triad, 64);
+        let mut cfg2 = cfg1.clone();
+        cfg2.pattern = AccessPattern::Strided { stride: 8 };
+        execute(&cfg1, &mut a1, &b, &c);
+        execute(&cfg2, &mut a2, &b, &c);
+        assert_eq!(a1, a2, "pattern only changes order, not values");
+    }
+
+    #[test]
+    fn colmajor_vectorized_same_result() {
+        let (mut a1, b, c) = bufs_i32(256);
+        let mut a2 = vec![0u8; 256 * 4];
+        let cfg1 = KernelConfig::baseline(StreamOp::Scale, 256);
+        let mut cfg2 = cfg1.clone();
+        cfg2.vector_width = VectorWidth::new(4).unwrap();
+        cfg2.pattern = AccessPattern::ColMajor { cols: Some(8) };
+        execute(&cfg1, &mut a1, &b, &c);
+        execute(&cfg2, &mut a2, &b, &c);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn int_overflow_wraps() {
+        let n = 2;
+        let mut b = vec![0u8; 8];
+        i32::MAX.store(&mut b[0..]);
+        1i32.store(&mut b[4..]);
+        let mut a = vec![0u8; 8];
+        let mut cfg = KernelConfig::baseline(StreamOp::Scale, n as u64);
+        cfg.q = 2.0;
+        execute(&cfg, &mut a, &b, &[]);
+        assert_eq!(read_i32(&a, 0), i32::MAX.wrapping_mul(2));
+        assert_eq!(read_i32(&a, 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination buffer too small")]
+    fn short_destination_panics() {
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 100);
+        let mut a = vec![0u8; 10];
+        let b = vec![0u8; 400];
+        execute(&cfg, &mut a, &b, &[]);
+    }
+
+    #[test]
+    fn copy_scale_ignore_c_buffer() {
+        let (mut a, b, _) = bufs_i32(8);
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 8);
+        execute(&cfg, &mut a, &b, &[]); // empty c is fine
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,409 @@
+//! The MP-STREAM tuning-space types.
+//!
+//! A [`KernelConfig`] is one point in the design space the paper explores:
+//! which STREAM kernel, over which data type and array size, with which
+//! vectorization, access pattern, loop management and vendor options.
+
+/// The four STREAM kernels (§II of the paper).
+///
+/// `q` is a scalar; `a` is the destination, `b` and `c` the sources:
+///
+/// | kernel | operation            | arrays touched |
+/// |--------|----------------------|----------------|
+/// | COPY   | `a[i] = b[i]`        | 2              |
+/// | SCALE  | `a[i] = q*b[i]`      | 2              |
+/// | ADD    | `a[i] = b[i] + c[i]` | 3              |
+/// | TRIAD  | `a[i] = b[i]+q*c[i]` | 3              |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamOp {
+    Copy,
+    Scale,
+    Add,
+    Triad,
+}
+
+impl StreamOp {
+    /// All four kernels in paper order.
+    pub const ALL: [StreamOp; 4] = [StreamOp::Copy, StreamOp::Scale, StreamOp::Add, StreamOp::Triad];
+
+    /// Lower-case kernel name as used in reports and generated source.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamOp::Copy => "copy",
+            StreamOp::Scale => "scale",
+            StreamOp::Add => "add",
+            StreamOp::Triad => "triad",
+        }
+    }
+
+    /// Number of arrays the kernel touches (2 or 3): determines the bytes
+    /// counted when bandwidth is computed, exactly as original STREAM
+    /// counts them.
+    pub fn arrays(self) -> u64 {
+        match self {
+            StreamOp::Copy | StreamOp::Scale => 2,
+            StreamOp::Add | StreamOp::Triad => 3,
+        }
+    }
+
+    /// Does the kernel read array `c` as a second source?
+    pub fn uses_c(self) -> bool {
+        self.arrays() == 3
+    }
+
+    /// Does the kernel multiply by the scalar `q`?
+    pub fn uses_q(self) -> bool {
+        matches!(self, StreamOp::Scale | StreamOp::Triad)
+    }
+
+    /// Payload bytes moved by one invocation over `n_words` elements of
+    /// `word_bytes` each (STREAM counting: arrays × n × word).
+    pub fn bytes_moved(self, n_words: u64, word_bytes: u64) -> u64 {
+        self.arrays() * n_words * word_bytes
+    }
+}
+
+/// Element data type (the paper supports integer and double).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 32-bit signed integer ("word size is 32 bits" in all figures).
+    I32,
+    /// IEEE-754 double, giving 64-bit coalesced accesses for COPY.
+    F64,
+}
+
+impl DataType {
+    /// Size of one element in bytes.
+    pub fn word_bytes(self) -> u64 {
+        match self {
+            DataType::I32 => 4,
+            DataType::F64 => 8,
+        }
+    }
+
+    /// OpenCL C scalar type name.
+    pub fn cl_name(self) -> &'static str {
+        match self {
+            DataType::I32 => "int",
+            DataType::F64 => "double",
+        }
+    }
+}
+
+/// Degree of vectorization (OpenCL vector data types, up to 16 words —
+/// "translates to a memory controller on the FPGA that coalesces memory
+/// accesses", §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VectorWidth(u32);
+
+impl VectorWidth {
+    /// The widths OpenCL vector types support.
+    pub const ALLOWED: [u32; 5] = [1, 2, 4, 8, 16];
+
+    /// Construct a vector width; `w` must be 1, 2, 4, 8 or 16.
+    pub fn new(w: u32) -> Result<Self, String> {
+        if Self::ALLOWED.contains(&w) {
+            Ok(VectorWidth(w))
+        } else {
+            Err(format!("vector width must be one of {:?}, got {w}", Self::ALLOWED))
+        }
+    }
+
+    /// The width in words.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// OpenCL type suffix: empty for width 1, the width otherwise.
+    pub fn cl_suffix(self) -> String {
+        if self.0 == 1 {
+            String::new()
+        } else {
+            self.0.to_string()
+        }
+    }
+}
+
+impl Default for VectorWidth {
+    fn default() -> Self {
+        VectorWidth(1)
+    }
+}
+
+/// Data access pattern (§III "Data access pattern").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Elements visited in address order.
+    Contiguous,
+    /// The paper's "strided" pattern: a row-major 2D array accessed in
+    /// column-major order, so consecutive accesses jump by the row
+    /// length. `rows × cols` must equal the array length in vector
+    /// elements; `None` lets the runner pick a near-square factorization.
+    ColMajor {
+        /// Columns of the row-major matrix (= the fixed stride in vector
+        /// elements), or `None` for near-square.
+        cols: Option<u32>,
+    },
+    /// Generalized fixed stride with phase wrap: visits
+    /// `p + k*stride` for `p in 0..stride`, `k in 0..n/stride`.
+    Strided {
+        /// Stride in vector elements (≥ 2).
+        stride: u32,
+    },
+}
+
+impl AccessPattern {
+    /// Short label for reports.
+    pub fn label(self) -> String {
+        match self {
+            AccessPattern::Contiguous => "contig".to_string(),
+            AccessPattern::ColMajor { cols: None } => "colmajor".to_string(),
+            AccessPattern::ColMajor { cols: Some(c) } => format!("colmajor{c}"),
+            AccessPattern::Strided { stride } => format!("stride{stride}"),
+        }
+    }
+
+    /// Is this the contiguous pattern?
+    pub fn is_contiguous(self) -> bool {
+        matches!(self, AccessPattern::Contiguous)
+    }
+}
+
+/// Kernel loop management (§III): how the iteration space is expressed,
+/// which on FPGAs changes the synthesized memory architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopMode {
+    /// One work-item per (vector) element; the host launches
+    /// `NDRange = n` work-items.
+    NdRange,
+    /// A single work-item containing one flat `for` loop.
+    SingleWorkItemFlat,
+    /// A single work-item looping over the 2D view in a nested fashion —
+    /// the variant that surprisingly helps SDAccel (Fig. 3).
+    SingleWorkItemNested,
+}
+
+impl LoopMode {
+    /// All three modes, in the paper's order.
+    pub const ALL: [LoopMode; 3] =
+        [LoopMode::NdRange, LoopMode::SingleWorkItemFlat, LoopMode::SingleWorkItemNested];
+
+    /// Label used in Figure 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoopMode::NdRange => "ndrange-kernel",
+            LoopMode::SingleWorkItemFlat => "kernel-loop-flat",
+            LoopMode::SingleWorkItemNested => "kernel-loop-nested",
+        }
+    }
+}
+
+/// Altera/Intel AOCL-specific optimization attributes (§III, citing the
+/// AOCL best-practices guide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AoclOpts {
+    /// `__attribute__((num_simd_work_items(n)))`.
+    pub num_simd_work_items: u32,
+    /// `__attribute__((num_compute_units(n)))`.
+    pub num_compute_units: u32,
+}
+
+impl Default for AoclOpts {
+    fn default() -> Self {
+        AoclOpts { num_simd_work_items: 1, num_compute_units: 1 }
+    }
+}
+
+/// Xilinx SDAccel-specific optimization attributes (§III, citing the
+/// SDAccel user guide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct XilinxOpts {
+    /// `__attribute__((xcl_pipeline_loop))`.
+    pub pipeline_loop: bool,
+    /// `__attribute__((xcl_pipeline_workitems))`.
+    pub pipeline_work_items: bool,
+    /// `max_memory_ports`: give each pointer argument its own AXI port.
+    pub max_memory_ports: bool,
+    /// `memory_port_data_width(n)`: widen the AXI data port to `n` bits.
+    pub memory_port_width_bits: Option<u32>,
+}
+
+/// Vendor-specific options attached to a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VendorOpts {
+    /// No vendor-specific options (portable OpenCL).
+    #[default]
+    None,
+    /// Altera/Intel AOCL attributes.
+    Aocl(AoclOpts),
+    /// Xilinx SDAccel attributes.
+    Xilinx(XilinxOpts),
+}
+
+/// One point of the MP-STREAM tuning space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelConfig {
+    /// Which STREAM kernel.
+    pub op: StreamOp,
+    /// Element type.
+    pub dtype: DataType,
+    /// Elements per array (scalar words, not vectors).
+    pub n_words: u64,
+    /// Degree of vectorization.
+    pub vector_width: VectorWidth,
+    /// Access pattern.
+    pub pattern: AccessPattern,
+    /// Loop management.
+    pub loop_mode: LoopMode,
+    /// Loop unroll factor (`opencl_unroll_hint`); 1 = no unrolling.
+    pub unroll: u32,
+    /// Work-group size used for NDRange launches.
+    pub work_group_size: u32,
+    /// Emit `reqd_work_group_size(X,1,1)` (recommended by some
+    /// OpenCL-FPGA compilers).
+    pub reqd_work_group_size: bool,
+    /// Vendor-specific attributes.
+    pub vendor: VendorOpts,
+    /// The scalar `q` used by SCALE and TRIAD.
+    pub q: f64,
+}
+
+impl KernelConfig {
+    /// A sensible portable default: contiguous scalar COPY over `n_words`
+    /// 32-bit words, NDRange, no optimizations — the paper's baseline.
+    pub fn baseline(op: StreamOp, n_words: u64) -> Self {
+        KernelConfig {
+            op,
+            dtype: DataType::I32,
+            n_words,
+            vector_width: VectorWidth::default(),
+            pattern: AccessPattern::Contiguous,
+            loop_mode: LoopMode::NdRange,
+            unroll: 1,
+            work_group_size: 64,
+            reqd_work_group_size: false,
+            vendor: VendorOpts::None,
+            q: 3.0,
+        }
+    }
+
+    /// Array size in bytes.
+    pub fn array_bytes(&self) -> u64 {
+        self.n_words * self.dtype.word_bytes()
+    }
+
+    /// Number of vector elements per array.
+    pub fn n_vectors(&self) -> u64 {
+        self.n_words / self.vector_width.get() as u64
+    }
+
+    /// Bytes of one vector element.
+    pub fn vector_bytes(&self) -> u64 {
+        self.dtype.word_bytes() * self.vector_width.get() as u64
+    }
+
+    /// Payload bytes one kernel invocation moves (STREAM counting).
+    pub fn bytes_moved(&self) -> u64 {
+        self.op.bytes_moved(self.n_words, self.dtype.word_bytes())
+    }
+
+    /// The 2D view used by the column-major pattern and the nested loop
+    /// mode: returns `(rows, cols)` in vector elements. For `Contiguous`
+    /// and `Strided` configurations this is the near-square view (used
+    /// only by the nested loop); for `ColMajor` it honours `cols`.
+    pub fn matrix_shape(&self) -> (u64, u64) {
+        let n = self.n_vectors();
+        let cols = match self.pattern {
+            AccessPattern::ColMajor { cols: Some(c) } => c as u64,
+            _ => near_square_cols(n),
+        };
+        (n / cols.max(1), cols.max(1))
+    }
+}
+
+/// Largest divisor of `n` that is ≤ √n, as a column count — gives the
+/// most square 2D factorization of a 1D length.
+pub fn near_square_cols(n: u64) -> u64 {
+    if n <= 1 {
+        return 1;
+    }
+    let root = (n as f64).sqrt() as u64;
+    for c in (1..=root).rev() {
+        if n % c == 0 {
+            return c;
+        }
+    }
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_array_counts_match_stream() {
+        assert_eq!(StreamOp::Copy.arrays(), 2);
+        assert_eq!(StreamOp::Scale.arrays(), 2);
+        assert_eq!(StreamOp::Add.arrays(), 3);
+        assert_eq!(StreamOp::Triad.arrays(), 3);
+    }
+
+    #[test]
+    fn bytes_moved_counts_like_stream() {
+        // 1M doubles, triad: 3 * 8 MB.
+        assert_eq!(StreamOp::Triad.bytes_moved(1 << 20, 8), 3 << 23);
+    }
+
+    #[test]
+    fn vector_width_validation() {
+        assert!(VectorWidth::new(1).is_ok());
+        assert!(VectorWidth::new(16).is_ok());
+        assert!(VectorWidth::new(3).is_err());
+        assert!(VectorWidth::new(32).is_err());
+        assert_eq!(VectorWidth::new(4).unwrap().cl_suffix(), "4");
+        assert_eq!(VectorWidth::new(1).unwrap().cl_suffix(), "");
+    }
+
+    #[test]
+    fn near_square_factorization() {
+        assert_eq!(near_square_cols(1024), 32);
+        assert_eq!(near_square_cols(1 << 21), 1024); // 2^21 -> 1024 x 2048
+        assert_eq!(near_square_cols(7), 1); // prime falls back to 1 x n
+        assert_eq!(near_square_cols(12), 3);
+    }
+
+    #[test]
+    fn matrix_shape_covers_all_elements() {
+        let mut cfg = KernelConfig::baseline(StreamOp::Copy, 1 << 20);
+        cfg.pattern = AccessPattern::ColMajor { cols: Some(256) };
+        let (r, c) = cfg.matrix_shape();
+        assert_eq!(r * c, 1 << 20);
+        assert_eq!(c, 256);
+    }
+
+    #[test]
+    fn baseline_is_paper_baseline() {
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 1024);
+        assert_eq!(cfg.dtype.word_bytes(), 4);
+        assert_eq!(cfg.vector_width.get(), 1);
+        assert!(cfg.pattern.is_contiguous());
+        assert_eq!(cfg.array_bytes(), 4096);
+    }
+
+    #[test]
+    fn vector_accounting() {
+        let mut cfg = KernelConfig::baseline(StreamOp::Add, 1 << 10);
+        cfg.vector_width = VectorWidth::new(8).unwrap();
+        assert_eq!(cfg.n_vectors(), 128);
+        assert_eq!(cfg.vector_bytes(), 32);
+        assert_eq!(cfg.bytes_moved(), 3 * 4096);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(LoopMode::NdRange.label(), "ndrange-kernel");
+        assert_eq!(AccessPattern::Contiguous.label(), "contig");
+        assert_eq!(AccessPattern::Strided { stride: 2 }.label(), "stride2");
+        assert_eq!(StreamOp::Triad.name(), "triad");
+    }
+}

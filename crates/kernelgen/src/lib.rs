@@ -1,0 +1,42 @@
+//! # kernelgen — STREAM kernel model
+//!
+//! MP-STREAM's build scripts generate a different OpenCL kernel for every
+//! point of the tuning space (§III of the paper: data type, vector width,
+//! access pattern, loop management, unroll factor, work-group attributes
+//! and vendor-specific knobs). This crate is the Rust equivalent of those
+//! scripts plus everything a simulated device needs to *run* the result:
+//!
+//! * [`ir`] — the tuning-space types: [`ir::StreamOp`], [`ir::DataType`],
+//!   [`ir::AccessPattern`], [`ir::LoopMode`], vendor options and the
+//!   combined [`ir::KernelConfig`];
+//! * [`mod@validate`] — configuration validation with OpenCL-flavoured errors;
+//! * [`source`] — an OpenCL-C source generator producing the exact kernel
+//!   text a configuration corresponds to (inspectable, golden-tested);
+//! * [`interp`] — a functional interpreter that really executes the
+//!   kernel over byte buffers, so benchmark runs can be validated
+//!   STREAM-style;
+//! * [`access`] — a lazy generator of the kernel's memory-access stream
+//!   in program order, which the device timing models consume;
+//! * [`plan`] — [`plan::ExecPlan`], the bound form (config + buffer base
+//!   addresses) handed to a device backend.
+
+pub mod access;
+pub mod check;
+pub mod host;
+pub mod interp;
+pub mod ir;
+pub mod plan;
+pub mod source;
+pub mod validate;
+
+pub use access::{access_stream, total_accesses};
+pub use check::{check_source, CheckError, KernelSignature};
+pub use interp::execute;
+pub use ir::{
+    AccessPattern, AoclOpts, DataType, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts,
+    XilinxOpts,
+};
+pub use plan::ExecPlan;
+pub use host::{generate_host_program, HostOptions};
+pub use source::generate_source;
+pub use validate::{validate, ConfigError};

@@ -1,0 +1,72 @@
+//! The bound execution plan handed to device backends.
+
+use crate::ir::KernelConfig;
+
+/// A [`KernelConfig`] bound to concrete device buffer addresses — all a
+/// device timing model needs to generate the memory-access stream, and
+/// all a synthesis model needs to "compile" the kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecPlan {
+    /// The tuning-space point being executed.
+    pub cfg: KernelConfig,
+    /// Device address of the destination array `a`.
+    pub base_a: u64,
+    /// Device address of source array `b`.
+    pub base_b: u64,
+    /// Device address of source array `c` (ignored for COPY/SCALE).
+    pub base_c: u64,
+}
+
+impl ExecPlan {
+    /// Bind a configuration to buffer base addresses.
+    pub fn new(cfg: KernelConfig, base_a: u64, base_b: u64, base_c: u64) -> Self {
+        ExecPlan { cfg, base_a, base_b, base_c }
+    }
+
+    /// Do the three arrays overlap? (A programming error the runtime
+    /// rejects, mirroring `CL_MEM_COPY_OVERLAP`.)
+    pub fn overlapping(&self) -> bool {
+        let len = self.cfg.array_bytes();
+        let spans = if self.cfg.op.uses_c() {
+            vec![self.base_a, self.base_b, self.base_c]
+        } else {
+            vec![self.base_a, self.base_b]
+        };
+        for (i, &x) in spans.iter().enumerate() {
+            for &y in &spans[i + 1..] {
+                if x < y + len && y < x + len {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::StreamOp;
+
+    #[test]
+    fn disjoint_buffers_do_not_overlap() {
+        let cfg = KernelConfig::baseline(StreamOp::Add, 1024); // 4 KiB arrays
+        let p = ExecPlan::new(cfg, 0, 4096, 8192);
+        assert!(!p.overlapping());
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 1024);
+        let p = ExecPlan::new(cfg, 0, 2048, 1 << 30);
+        assert!(p.overlapping());
+    }
+
+    #[test]
+    fn c_ignored_for_two_array_kernels() {
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 1024);
+        // c overlaps a, but COPY never touches c.
+        let p = ExecPlan::new(cfg, 0, 4096, 0);
+        assert!(!p.overlapping());
+    }
+}

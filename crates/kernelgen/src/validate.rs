@@ -1,0 +1,245 @@
+//! Configuration validation.
+//!
+//! Invalid tuning-space points are rejected before any source is
+//! generated or any device is touched, with errors mirroring the checks
+//! MP-STREAM's build scripts and the OpenCL runtime would perform.
+
+use crate::ir::{AccessPattern, KernelConfig, LoopMode, VendorOpts};
+use std::fmt;
+
+/// Why a [`KernelConfig`] is not runnable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Array length is zero.
+    EmptyArray,
+    /// Array length must be divisible by the vector width.
+    LengthNotVectorMultiple { n_words: u64, vector_width: u32 },
+    /// Unroll factor must be ≥ 1 and divide the (vector) trip count.
+    BadUnroll { unroll: u32, trip_count: u64 },
+    /// Work-group size must be ≥ 1 and divide the NDRange.
+    BadWorkGroup { work_group_size: u32, nd_range: u64 },
+    /// Strides must be ≥ 2 and divide the element count.
+    BadStride { stride: u32, n_vectors: u64 },
+    /// Column count must divide the element count.
+    BadCols { cols: u32, n_vectors: u64 },
+    /// AOCL attribute values must be ≥ 1.
+    BadVendorValue(&'static str),
+    /// `num_simd_work_items` requires an NDRange kernel with a
+    /// `reqd_work_group_size` divisible by it (AOCL rule).
+    SimdNeedsNdRange,
+    /// Xilinx memory port width must be a power of two in 32..=512 bits.
+    BadPortWidth(u32),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyArray => write!(f, "array length is zero"),
+            ConfigError::LengthNotVectorMultiple { n_words, vector_width } => write!(
+                f,
+                "array length {n_words} is not a multiple of vector width {vector_width}"
+            ),
+            ConfigError::BadUnroll { unroll, trip_count } => {
+                write!(f, "unroll factor {unroll} does not divide trip count {trip_count}")
+            }
+            ConfigError::BadWorkGroup { work_group_size, nd_range } => {
+                write!(f, "work-group size {work_group_size} does not divide NDRange {nd_range}")
+            }
+            ConfigError::BadStride { stride, n_vectors } => {
+                write!(f, "stride {stride} invalid for {n_vectors} elements")
+            }
+            ConfigError::BadCols { cols, n_vectors } => {
+                write!(f, "column count {cols} does not divide {n_vectors} elements")
+            }
+            ConfigError::BadVendorValue(which) => write!(f, "vendor attribute {which} must be >= 1"),
+            ConfigError::SimdNeedsNdRange => write!(
+                f,
+                "num_simd_work_items requires an NDRange kernel with a required work-group size"
+            ),
+            ConfigError::BadPortWidth(w) => {
+                write!(f, "memory port width {w} bits is not a power of two in 32..=512")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Check every constraint; returns the first violation found.
+pub fn validate(cfg: &KernelConfig) -> Result<(), ConfigError> {
+    if cfg.n_words == 0 {
+        return Err(ConfigError::EmptyArray);
+    }
+    let vw = cfg.vector_width.get();
+    if cfg.n_words % vw as u64 != 0 {
+        return Err(ConfigError::LengthNotVectorMultiple { n_words: cfg.n_words, vector_width: vw });
+    }
+    let n_vec = cfg.n_vectors();
+
+    if cfg.unroll == 0 || n_vec % cfg.unroll as u64 != 0 {
+        return Err(ConfigError::BadUnroll { unroll: cfg.unroll, trip_count: n_vec });
+    }
+
+    if cfg.loop_mode == LoopMode::NdRange {
+        if cfg.work_group_size == 0 || n_vec % cfg.work_group_size as u64 != 0 {
+            return Err(ConfigError::BadWorkGroup {
+                work_group_size: cfg.work_group_size,
+                nd_range: n_vec,
+            });
+        }
+    }
+
+    match cfg.pattern {
+        AccessPattern::Contiguous => {}
+        AccessPattern::Strided { stride } => {
+            if stride < 2 || n_vec % stride as u64 != 0 {
+                return Err(ConfigError::BadStride { stride, n_vectors: n_vec });
+            }
+        }
+        AccessPattern::ColMajor { cols } => {
+            if let Some(c) = cols {
+                if c == 0 || n_vec % c as u64 != 0 {
+                    return Err(ConfigError::BadCols { cols: c, n_vectors: n_vec });
+                }
+            }
+        }
+    }
+
+    match cfg.vendor {
+        VendorOpts::None => {}
+        VendorOpts::Aocl(a) => {
+            if a.num_compute_units == 0 {
+                return Err(ConfigError::BadVendorValue("num_compute_units"));
+            }
+            if a.num_simd_work_items == 0 {
+                return Err(ConfigError::BadVendorValue("num_simd_work_items"));
+            }
+            if a.num_simd_work_items > 1
+                && (cfg.loop_mode != LoopMode::NdRange || !cfg.reqd_work_group_size)
+            {
+                return Err(ConfigError::SimdNeedsNdRange);
+            }
+        }
+        VendorOpts::Xilinx(x) => {
+            if let Some(w) = x.memory_port_width_bits {
+                if !w.is_power_of_two() || !(32..=512).contains(&w) {
+                    return Err(ConfigError::BadPortWidth(w));
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{AoclOpts, StreamOp, VectorWidth, XilinxOpts};
+
+    fn base() -> KernelConfig {
+        KernelConfig::baseline(StreamOp::Copy, 1 << 16)
+    }
+
+    #[test]
+    fn baseline_is_valid() {
+        assert_eq!(validate(&base()), Ok(()));
+    }
+
+    #[test]
+    fn empty_array_rejected() {
+        let mut c = base();
+        c.n_words = 0;
+        assert_eq!(validate(&c), Err(ConfigError::EmptyArray));
+    }
+
+    #[test]
+    fn vector_multiple_enforced() {
+        let mut c = base();
+        c.n_words = 1000;
+        c.vector_width = VectorWidth::new(16).unwrap();
+        assert!(matches!(validate(&c), Err(ConfigError::LengthNotVectorMultiple { .. })));
+    }
+
+    #[test]
+    fn unroll_must_divide_trip_count() {
+        let mut c = base();
+        c.loop_mode = LoopMode::SingleWorkItemFlat;
+        c.unroll = 3;
+        assert!(matches!(validate(&c), Err(ConfigError::BadUnroll { .. })));
+        c.unroll = 4;
+        assert_eq!(validate(&c), Ok(()));
+    }
+
+    #[test]
+    fn work_group_must_divide_ndrange() {
+        let mut c = base();
+        c.work_group_size = 100; // 2^16 % 100 != 0
+        assert!(matches!(validate(&c), Err(ConfigError::BadWorkGroup { .. })));
+    }
+
+    #[test]
+    fn work_group_irrelevant_for_single_work_item() {
+        let mut c = base();
+        c.loop_mode = LoopMode::SingleWorkItemFlat;
+        c.work_group_size = 100;
+        assert_eq!(validate(&c), Ok(()));
+    }
+
+    #[test]
+    fn stride_bounds() {
+        let mut c = base();
+        c.pattern = AccessPattern::Strided { stride: 1 };
+        assert!(matches!(validate(&c), Err(ConfigError::BadStride { .. })));
+        c.pattern = AccessPattern::Strided { stride: 2 };
+        assert_eq!(validate(&c), Ok(()));
+    }
+
+    #[test]
+    fn cols_must_divide() {
+        let mut c = base();
+        c.pattern = AccessPattern::ColMajor { cols: Some(1000) };
+        assert!(matches!(validate(&c), Err(ConfigError::BadCols { .. })));
+        c.pattern = AccessPattern::ColMajor { cols: Some(256) };
+        assert_eq!(validate(&c), Ok(()));
+        c.pattern = AccessPattern::ColMajor { cols: None };
+        assert_eq!(validate(&c), Ok(()));
+    }
+
+    #[test]
+    fn aocl_simd_requires_ndrange_and_reqd_wg() {
+        let mut c = base();
+        c.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 4, num_compute_units: 1 });
+        assert_eq!(validate(&c), Err(ConfigError::SimdNeedsNdRange));
+        c.reqd_work_group_size = true;
+        assert_eq!(validate(&c), Ok(()));
+    }
+
+    #[test]
+    fn aocl_zero_values_rejected() {
+        let mut c = base();
+        c.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 1, num_compute_units: 0 });
+        assert!(matches!(validate(&c), Err(ConfigError::BadVendorValue(_))));
+    }
+
+    #[test]
+    fn xilinx_port_width_checked() {
+        let mut c = base();
+        c.vendor = VendorOpts::Xilinx(XilinxOpts {
+            memory_port_width_bits: Some(500),
+            ..Default::default()
+        });
+        assert_eq!(validate(&c), Err(ConfigError::BadPortWidth(500)));
+        c.vendor = VendorOpts::Xilinx(XilinxOpts {
+            memory_port_width_bits: Some(512),
+            ..Default::default()
+        });
+        assert_eq!(validate(&c), Ok(()));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ConfigError::BadStride { stride: 7, n_vectors: 100 };
+        assert!(e.to_string().contains("stride 7"));
+    }
+}

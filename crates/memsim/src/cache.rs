@@ -1,0 +1,280 @@
+//! Set-associative, write-back, write-allocate cache model.
+//!
+//! The cache tracks tags and dirty bits only — data lives in the mpcl
+//! buffers and is handled by the functional interpreter, so the model
+//! here answers a single question per access: *hit or miss, and did a
+//! dirty line get evicted?* Replacement is true LRU per set (the set
+//! sizes involved are small enough that a timestamp scan is fast).
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * self.line_bytes as u64)
+    }
+
+    /// Validate the geometry (panics with a descriptive message).
+    fn check(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.ways >= 1, "need at least one way");
+        assert!(
+            self.size_bytes % (self.ways as u64 * self.line_bytes as u64) == 0,
+            "capacity must be a whole number of sets"
+        );
+        assert!(self.sets() >= 1, "cache too small for its ways/line");
+    }
+}
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Did the access hit?
+    pub hit: bool,
+    /// On a miss that evicted a dirty line: the base address of the line
+    /// that must be written back to the next level.
+    pub writeback: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    /// Full line number (`addr / line_bytes`); comparing whole line
+    /// numbers instead of tags lets the set index be hashed.
+    line_no: u64,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// One level of cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>, // sets * ways
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Build an empty (all-invalid) cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.check();
+        let n = (cfg.sets() * cfg.ways as u64) as usize;
+        Cache { cfg, lines: vec![Line::default(); n], tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// The geometry of this cache.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Base address of the line containing `addr`.
+    pub fn line_base(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line_bytes as u64 - 1)
+    }
+
+    /// Invalidate everything and zero the counters.
+    pub fn reset(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Hashed set index: XOR-folding the line number before the modulo
+    /// spreads power-of-two strides over all sets, as the index-hashing
+    /// in real LLCs/GPU L2s does (without it, a 4 KiB-stride column
+    /// traversal would collapse onto a handful of sets).
+    fn set_base(&self, line_no: u64) -> usize {
+        let sets = self.cfg.sets();
+        let hashed = line_no ^ (line_no >> 7) ^ (line_no >> 14) ^ (line_no >> 21);
+        (hashed % sets) as usize * self.cfg.ways as usize
+    }
+
+    /// Access one line. `addr` may be any byte inside the line; `write`
+    /// marks the line dirty on hit or after fill (write-allocate).
+    /// A miss fills the line (caller is responsible for charging the
+    /// next-level fetch).
+    pub fn access(&mut self, addr: u64, write: bool) -> LookupResult {
+        self.tick += 1;
+        let line_no = addr / self.cfg.line_bytes as u64;
+        let base = self.set_base(line_no);
+        let ways = self.cfg.ways as usize;
+
+        // Hit path.
+        for i in base..base + ways {
+            let l = &mut self.lines[i];
+            if l.valid && l.line_no == line_no {
+                l.last_use = self.tick;
+                l.dirty |= write;
+                self.hits += 1;
+                return LookupResult { hit: true, writeback: None };
+            }
+        }
+
+        // Miss: pick invalid way, else LRU victim.
+        self.misses += 1;
+        let mut victim = base;
+        let mut best = u64::MAX;
+        for i in base..base + ways {
+            let l = &self.lines[i];
+            if !l.valid {
+                victim = i;
+                break;
+            }
+            if l.last_use < best {
+                best = l.last_use;
+                victim = i;
+            }
+        }
+
+        let evicted = self.lines[victim];
+        let writeback = if evicted.valid && evicted.dirty {
+            Some(evicted.line_no * self.cfg.line_bytes as u64)
+        } else {
+            None
+        };
+
+        self.lines[victim] = Line { line_no, valid: true, dirty: write, last_use: self.tick };
+        LookupResult { hit: false, writeback }
+    }
+
+    /// Probe without modifying state: would `addr` hit?
+    pub fn probe(&self, addr: u64) -> bool {
+        let line_no = addr / self.cfg.line_bytes as u64;
+        let base = self.set_base(line_no);
+        (base..base + self.cfg.ways as usize)
+            .any(|i| self.lines[i].valid && self.lines[i].line_no == line_no)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64 B = 512 B.
+        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().sets(), 4);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0, false).hit);
+        assert!(c.access(0, false).hit);
+        assert!(c.access(63, false).hit, "same line");
+        assert!(!c.access(64, false).hit, "next line");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines whose address is a multiple of 4*64 = 256.
+        c.access(0, false); // A
+        c.access(256, false); // B — set full
+        c.access(0, false); // touch A so B is LRU
+        let r = c.access(512, false); // C evicts B
+        assert!(!r.hit);
+        assert!(c.probe(0), "A retained");
+        assert!(!c.probe(256), "B evicted");
+        assert!(c.probe(512));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(0, true); // dirty A
+        c.access(256, false); // B
+        c.access(256, false); // keep B warm; A is LRU
+        let r = c.access(512, false);
+        assert_eq!(r.writeback, Some(0));
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(256, false);
+        c.access(256, false);
+        let r = c.access(512, false);
+        assert_eq!(r.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0, false); // clean fill
+        c.access(0, true); // dirty it via hit
+        c.access(256, false);
+        c.access(256, false);
+        let r = c.access(512, false);
+        assert_eq!(r.writeback, Some(0));
+    }
+
+    #[test]
+    fn streaming_larger_than_capacity_always_misses() {
+        let mut c = tiny();
+        for pass in 0..2 {
+            for line in 0..16u64 {
+                let r = c.access(line * 64, false);
+                assert!(!r.hit, "pass {pass} line {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_on_second_pass() {
+        let mut c = tiny();
+        for line in 0..8u64 {
+            c.access(line * 64, false);
+        }
+        for line in 0..8u64 {
+            assert!(c.access(line * 64, false).hit);
+        }
+    }
+
+    #[test]
+    fn reset_invalidates() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.reset();
+        assert!(!c.probe(0));
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 48 });
+    }
+}

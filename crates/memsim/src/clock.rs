@@ -1,0 +1,95 @@
+//! Clock-domain arithmetic.
+//!
+//! Every timed model in this crate runs in its own clock domain (a DRAM
+//! bus clock, an FPGA kernel clock after synthesis, a GPU core clock…).
+//! [`Freq`] converts between cycle counts in that domain and wall-clock
+//! nanoseconds, which is the unit the benchmark ultimately reports.
+
+/// A clock frequency, stored in megahertz.
+///
+/// Conversions use `f64` internally but cycle counts are integral; the
+/// rounding direction is always *up* (a partial cycle still occupies the
+/// resource), which keeps composed models conservative rather than
+/// optimistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Freq {
+    mhz: f64,
+}
+
+impl Freq {
+    /// Create a frequency from megahertz. Panics on non-positive input.
+    pub fn mhz(mhz: f64) -> Self {
+        assert!(mhz > 0.0, "frequency must be positive, got {mhz} MHz");
+        Freq { mhz }
+    }
+
+    /// Create a frequency from gigahertz.
+    pub fn ghz(ghz: f64) -> Self {
+        Freq::mhz(ghz * 1000.0)
+    }
+
+    /// The frequency in MHz.
+    pub fn as_mhz(self) -> f64 {
+        self.mhz
+    }
+
+    /// Length of one cycle in nanoseconds.
+    pub fn period_ns(self) -> f64 {
+        1000.0 / self.mhz
+    }
+
+    /// Convert a cycle count in this domain to (fractional) nanoseconds.
+    pub fn cycles_to_ns(self, cycles: u64) -> f64 {
+        cycles as f64 * self.period_ns()
+    }
+
+    /// Convert a nanosecond duration to whole cycles, rounding up.
+    pub fn ns_to_cycles(self, ns: f64) -> u64 {
+        assert!(ns >= 0.0, "negative duration");
+        (ns / self.period_ns()).ceil() as u64
+    }
+
+    /// Scale this frequency by `factor` (e.g. synthesis-induced fmax
+    /// degradation). Panics if the result would be non-positive.
+    pub fn scaled(self, factor: f64) -> Freq {
+        Freq::mhz(self.mhz * factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_of_1ghz_is_1ns() {
+        let f = Freq::ghz(1.0);
+        assert!((f.period_ns() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_to_ns_round_trip() {
+        let f = Freq::mhz(200.0); // 5 ns period
+        assert_eq!(f.cycles_to_ns(4) as u64, 20);
+        assert_eq!(f.ns_to_cycles(20.0), 4);
+    }
+
+    #[test]
+    fn ns_to_cycles_rounds_up() {
+        let f = Freq::mhz(100.0); // 10 ns period
+        assert_eq!(f.ns_to_cycles(11.0), 2);
+        assert_eq!(f.ns_to_cycles(10.0), 1);
+        assert_eq!(f.ns_to_cycles(0.0), 0);
+    }
+
+    #[test]
+    fn scaled_frequency() {
+        let f = Freq::mhz(300.0).scaled(0.5);
+        assert!((f.as_mhz() - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_panics() {
+        let _ = Freq::mhz(0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Memory-request coalescing.
+//!
+//! GPUs coalesce the per-work-item accesses of a warp into aligned
+//! memory-segment transactions; OpenCL-FPGA memory controllers do the
+//! same for vectorized kernel arguments ("up to 16 words", §III of the
+//! paper). The coalescer here implements the aligned-segment rule: all
+//! same-direction accesses inside a window that touch the same aligned
+//! `segment_bytes` block become one transaction *of the whole segment* —
+//! so a stride-2 pattern still moves full segments and wastes half the
+//! bus, which is precisely the GPU-strided behaviour in Figure 2.
+
+use crate::req::{Access, AccessKind};
+
+/// How accesses merge into transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalesceMode {
+    /// GPU-style: any touched aligned segment is transferred whole, so a
+    /// sparse pattern still moves full segments (wasting bus bytes).
+    AlignedSegment,
+    /// FPGA-LSU-style: abutting same-direction accesses merge into one
+    /// burst of their exact union extent, capped at the segment size;
+    /// non-abutting accesses stay as-is (no inflation).
+    Extent,
+}
+
+/// Coalesces a window of accesses into memory transactions.
+#[derive(Debug, Clone, Copy)]
+pub struct Coalescer {
+    /// Aligned transaction granularity / maximum burst length in bytes.
+    pub segment_bytes: u32,
+    /// How many consecutive accesses form one coalescing window (e.g. a
+    /// 32-lane warp). Window boundaries never merge.
+    pub window: usize,
+    /// Merging rule.
+    pub mode: CoalesceMode,
+}
+
+impl Coalescer {
+    /// Create an aligned-segment coalescer; `segment_bytes` must be a
+    /// power of two.
+    pub fn new(segment_bytes: u32, window: usize) -> Self {
+        assert!(segment_bytes.is_power_of_two());
+        assert!(window >= 1);
+        Coalescer { segment_bytes, window, mode: CoalesceMode::AlignedSegment }
+    }
+
+    /// Create an extent (burst) coalescer.
+    pub fn extent(max_burst_bytes: u32, window: usize) -> Self {
+        assert!(max_burst_bytes.is_power_of_two());
+        assert!(window >= 1);
+        Coalescer { segment_bytes: max_burst_bytes, window, mode: CoalesceMode::Extent }
+    }
+
+    /// Coalesce one window of accesses (typically one warp's lane
+    /// accesses for one instruction). Returns the resulting transactions
+    /// in address order (aligned mode) or program order (extent mode).
+    pub fn coalesce_window(&self, window: &[Access]) -> Vec<Access> {
+        match self.mode {
+            CoalesceMode::AlignedSegment => self.coalesce_aligned(window),
+            CoalesceMode::Extent => self.coalesce_extent(window),
+        }
+    }
+
+    fn coalesce_aligned(&self, window: &[Access]) -> Vec<Access> {
+        let seg = self.segment_bytes as u64;
+        let mut segments: Vec<(u64, AccessKind)> = Vec::new();
+        for a in window {
+            let mut s = a.addr & !(seg - 1);
+            let end = a.end();
+            while s < end {
+                if !segments.iter().any(|&(b, k)| b == s && k == a.kind) {
+                    segments.push((s, a.kind));
+                }
+                s += seg;
+            }
+        }
+        segments.sort_unstable_by_key(|&(b, _)| b);
+        segments
+            .into_iter()
+            .map(|(base, kind)| Access { addr: base, bytes: self.segment_bytes, kind })
+            .collect()
+    }
+
+    fn coalesce_extent(&self, window: &[Access]) -> Vec<Access> {
+        let mut out: Vec<Access> = Vec::new();
+        for &a in window {
+            if let Some(last) = out.last_mut() {
+                if last.abuts(&a) && last.bytes + a.bytes <= self.segment_bytes {
+                    last.bytes += a.bytes;
+                    continue;
+                }
+            }
+            out.push(a);
+        }
+        out
+    }
+
+    /// Stream adapter: consume an access iterator, emitting coalesced
+    /// transactions window by window.
+    pub fn coalesce<I>(&self, iter: I) -> CoalesceIter<I::IntoIter>
+    where
+        I: IntoIterator<Item = Access>,
+    {
+        CoalesceIter { co: *self, inner: iter.into_iter(), pending: Vec::new(), out: Vec::new() }
+    }
+}
+
+/// Iterator returned by [`Coalescer::coalesce`].
+#[derive(Debug)]
+pub struct CoalesceIter<I: Iterator<Item = Access>> {
+    co: Coalescer,
+    inner: I,
+    pending: Vec<Access>,
+    out: Vec<Access>,
+}
+
+impl<I: Iterator<Item = Access>> Iterator for CoalesceIter<I> {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        loop {
+            if let Some(a) = self.out.pop() {
+                return Some(a);
+            }
+            self.pending.clear();
+            for a in self.inner.by_ref() {
+                self.pending.push(a);
+                if self.pending.len() == self.co.window {
+                    break;
+                }
+            }
+            if self.pending.is_empty() {
+                return None;
+            }
+            let mut segs = self.co.coalesce_window(&self.pending);
+            segs.reverse(); // pop() from the back yields address order
+            self.out = segs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_contiguous_warp_is_one_segment_per_128b() {
+        let co = Coalescer::new(128, 32);
+        // 32 lanes x 4 B contiguous = 128 B = exactly one segment.
+        let window: Vec<_> = (0..32).map(|i| Access::read(i * 4, 4)).collect();
+        let out = co.coalesce_window(&window);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], Access::read(0, 128));
+    }
+
+    #[test]
+    fn stride_two_doubles_the_segments() {
+        let co = Coalescer::new(128, 32);
+        let window: Vec<_> = (0..32).map(|i| Access::read(i * 8, 4)).collect();
+        let out = co.coalesce_window(&window);
+        assert_eq!(out.len(), 2, "touches 256 B = 2 segments for 128 B useful");
+    }
+
+    #[test]
+    fn scattered_accesses_do_not_merge() {
+        let co = Coalescer::new(128, 4);
+        let window: Vec<_> = (0..4).map(|i| Access::read(i * 4096, 4)).collect();
+        let out = co.coalesce_window(&window);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn reads_and_writes_stay_separate() {
+        let co = Coalescer::new(128, 2);
+        let out = co.coalesce_window(&[Access::read(0, 4), Access::write(4, 4)]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn access_spanning_segments_touches_both() {
+        let co = Coalescer::new(128, 1);
+        let out = co.coalesce_window(&[Access::read(120, 16)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].addr, 0);
+        assert_eq!(out[1].addr, 128);
+    }
+
+    #[test]
+    fn streaming_adapter_respects_windows() {
+        let co = Coalescer::new(128, 32);
+        let accesses: Vec<_> = (0..64).map(|i| Access::read(i * 4, 4)).collect();
+        let out: Vec<_> = co.coalesce(accesses).collect();
+        // Two warps x one 128 B segment each.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].addr, 0);
+        assert_eq!(out[1].addr, 128);
+    }
+
+    #[test]
+    fn extent_mode_merges_abutting_runs_exactly() {
+        let co = Coalescer::extent(512, 16);
+        let window: Vec<_> = (0..16).map(|i| Access::read(i * 4, 4)).collect();
+        let out = co.coalesce_window(&window);
+        assert_eq!(out, vec![Access::read(0, 64)]);
+    }
+
+    #[test]
+    fn extent_mode_respects_burst_cap() {
+        let co = Coalescer::extent(32, 16);
+        let window: Vec<_> = (0..16).map(|i| Access::read(i * 4, 4)).collect();
+        let out = co.coalesce_window(&window);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|a| a.bytes == 32));
+    }
+
+    #[test]
+    fn extent_mode_never_inflates_sparse_accesses() {
+        let co = Coalescer::extent(512, 4);
+        let window: Vec<_> = (0..4).map(|i| Access::read(i * 4096, 4)).collect();
+        let out = co.coalesce_window(&window);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|a| a.bytes == 4), "exact extents, no segment padding");
+    }
+
+    #[test]
+    fn extent_mode_splits_on_direction_change() {
+        let co = Coalescer::extent(512, 4);
+        let out = co.coalesce_window(&[
+            Access::read(0, 4),
+            Access::read(4, 4),
+            Access::write(8, 4),
+            Access::write(12, 4),
+        ]);
+        assert_eq!(out, vec![Access::read(0, 8), Access::write(8, 8)]);
+    }
+
+    #[test]
+    fn bytes_conserved_or_inflated_never_lost() {
+        // Every byte requested must be covered by some emitted segment.
+        let co = Coalescer::new(64, 8);
+        let accesses: Vec<_> = (0..8).map(|i| Access::read(i * 100, 4)).collect();
+        let out = co.coalesce_window(&accesses);
+        for a in &accesses {
+            let covered = out
+                .iter()
+                .any(|s| s.addr <= a.addr && a.end() <= s.end() && s.kind == a.kind);
+            assert!(covered, "access {a:?} not covered by {out:?}");
+        }
+    }
+}

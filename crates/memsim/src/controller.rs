@@ -1,0 +1,282 @@
+//! A queued memory controller with scheduling policies.
+//!
+//! The [`Dram`] device services transactions in the
+//! order it receives them. Real controllers hold a window of pending
+//! requests and *reorder* them — most famously FR-FCFS ("first-ready,
+//! first-come-first-served"), which prefers requests that hit an open
+//! row. For MP-STREAM's access patterns the policy matters exactly where
+//! the paper's Figure 2 lives: interleaved or strided streams whose
+//! requests thrash rows under FCFS can be batched into row hits by
+//! FR-FCFS. This module is a study harness for that effect (see the
+//! `ablations` bench and the `controller_study` example): it replays a
+//! trace of timestamped requests through a pending-window scheduler and
+//! reports completion time and row statistics.
+
+use crate::dram::{Dram, DramConfig};
+use crate::req::Access;
+use crate::stats::MemStats;
+
+/// Scheduling policy for the pending-request window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Strict arrival order.
+    Fcfs,
+    /// First-ready: prefer, among arrived requests, one that hits a
+    /// currently open row; fall back to the oldest. Starvation-bounded
+    /// by `cap` — after `cap` consecutive row-hit bypasses the oldest
+    /// request is served unconditionally.
+    FrFcfs {
+        /// Maximum consecutive bypasses of the oldest request.
+        cap: u32,
+    },
+}
+
+/// A timestamped request for replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedRequest {
+    /// Arrival time, in DRAM clock cycles.
+    pub arrival: u64,
+    /// The access.
+    pub access: Access,
+}
+
+/// Result of replaying a trace through the controller.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Cycle at which the last request's data completed.
+    pub finish_cycle: u64,
+    /// Sum of per-request latencies (completion - arrival), cycles.
+    pub total_latency_cycles: u64,
+    /// Worst single-request latency, cycles.
+    pub max_latency_cycles: u64,
+    /// Per-request latency (completion - arrival) in trace order.
+    pub latencies: Vec<u64>,
+    /// DRAM counters for the replay.
+    pub stats: MemStats,
+}
+
+impl ReplayOutcome {
+    /// Mean request latency in cycles.
+    pub fn mean_latency(&self, n_requests: usize) -> f64 {
+        self.total_latency_cycles as f64 / n_requests.max(1) as f64
+    }
+}
+
+/// The queued controller.
+#[derive(Debug)]
+pub struct MemoryController {
+    dram: Dram,
+    policy: SchedPolicy,
+    window: usize,
+}
+
+impl MemoryController {
+    /// Build a controller over a fresh DRAM device. `window` is the
+    /// pending-queue depth the scheduler may reorder within.
+    pub fn new(cfg: DramConfig, policy: SchedPolicy, window: usize) -> Self {
+        assert!(window >= 1, "need at least one pending slot");
+        MemoryController { dram: Dram::new(cfg), policy, window }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Would `access` hit the currently open row of its bank? (Peeks the
+    /// DRAM's bank state without touching it.)
+    fn is_row_hit(&self, access: &Access) -> bool {
+        self.dram.peek_row_hit(access.addr)
+    }
+
+    /// Replay a trace (must be sorted by arrival). Returns the outcome;
+    /// the controller keeps DRAM state, so call once per experiment or
+    /// construct a fresh controller.
+    pub fn replay(&mut self, trace: &[TimedRequest]) -> ReplayOutcome {
+        assert!(
+            trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "trace must be sorted by arrival"
+        );
+        let mut pending: Vec<(usize, TimedRequest)> = Vec::with_capacity(self.window);
+        let mut next = 0usize; // next trace index not yet in the window
+        let mut now = 0u64; // controller clock, DRAM cycles
+        let mut completed = 0usize;
+        let mut total_latency = 0u64;
+        let mut max_latency = 0u64;
+        let mut latencies = vec![0u64; trace.len()];
+        let mut bypasses = 0u32;
+
+        while completed < trace.len() {
+            // Admit arrived requests into the window.
+            while next < trace.len() && pending.len() < self.window && trace[next].arrival <= now {
+                pending.push((next, trace[next]));
+                next += 1;
+            }
+            if pending.is_empty() {
+                // Idle until the next arrival.
+                now = trace[next].arrival;
+                continue;
+            }
+
+            // Pick a request per policy.
+            let pick = match self.policy {
+                SchedPolicy::Fcfs => 0,
+                SchedPolicy::FrFcfs { cap } => {
+                    let hit = pending.iter().position(|(_, r)| self.is_row_hit(&r.access));
+                    match hit {
+                        Some(i) if i != 0 && bypasses < cap => {
+                            bypasses += 1;
+                            i
+                        }
+                        Some(0) => {
+                            bypasses = 0;
+                            0
+                        }
+                        _ => {
+                            bypasses = 0;
+                            0
+                        }
+                    }
+                }
+            };
+            let (trace_idx, req) = pending.remove(pick);
+            let (_, done) = self.dram.service(now, req.access);
+            // The controller can issue the next command while data
+            // streams, but not before this request's command slot.
+            now = now.max(req.arrival);
+            let latency = done.saturating_sub(req.arrival);
+            total_latency += latency;
+            max_latency = max_latency.max(latency);
+            latencies[trace_idx] = latency;
+            completed += 1;
+            // Advance the clock conservatively: commands pipeline, so we
+            // move to the point where the bus accepted this burst.
+            now = now.max(done.saturating_sub(8));
+        }
+
+        ReplayOutcome {
+            finish_cycle: now + 8,
+            total_latency_cycles: total_latency,
+            max_latency_cycles: max_latency,
+            latencies,
+            stats: self.dram.stats().clone(),
+        }
+    }
+}
+
+/// Build the interleaved two-stream trace that separates the policies:
+/// two *individually sequential* streams whose rows ping-pong on the
+/// same banks. Served in arrival order every request closes the other
+/// stream's row (all misses); a first-ready scheduler batches each
+/// stream's row hits. `second_base` must map to the same bank rotation
+/// as stream A — any multiple of `row_bytes * banks` does.
+pub fn interleaved_trace(n_pairs: usize, second_base: u64) -> Vec<TimedRequest> {
+    let mut out = Vec::with_capacity(2 * n_pairs);
+    for i in 0..n_pairs as u64 {
+        out.push(TimedRequest { arrival: 2 * i, access: Access::read(i * 64, 64) });
+        out.push(TimedRequest {
+            arrival: 2 * i + 1,
+            access: Access::read(second_base + i * 64, 64),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Freq;
+
+    fn cfg() -> DramConfig {
+        DramConfig {
+            channels: 1,
+            banks_per_channel: 4,
+            row_bytes: 2048,
+            bus_bytes_per_cycle: 8,
+            freq: Freq::mhz(1000.0),
+            t_cas: 10,
+            t_rcd: 10,
+            t_rp: 10,
+            t_turnaround: 6,
+            refresh_overhead: 0.0,
+            interleave_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn sequential_trace_is_policy_insensitive() {
+        let trace: Vec<TimedRequest> = (0..256u64)
+            .map(|i| TimedRequest { arrival: i, access: Access::read(i * 64, 64) })
+            .collect();
+        let f = MemoryController::new(cfg(), SchedPolicy::Fcfs, 16).replay(&trace);
+        let fr = MemoryController::new(cfg(), SchedPolicy::FrFcfs { cap: 8 }, 16).replay(&trace);
+        let ratio = f.finish_cycle as f64 / fr.finish_cycle as f64;
+        assert!((0.95..=1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fr_fcfs_wins_on_interleaved_streams() {
+        let trace = interleaved_trace(512, 1 << 20);
+        let f = MemoryController::new(cfg(), SchedPolicy::Fcfs, 32).replay(&trace);
+        let fr = MemoryController::new(cfg(), SchedPolicy::FrFcfs { cap: 16 }, 32).replay(&trace);
+        assert!(
+            (fr.finish_cycle as f64) < 0.8 * f.finish_cycle as f64,
+            "fr-fcfs {} vs fcfs {}",
+            fr.finish_cycle,
+            f.finish_cycle
+        );
+        assert!(fr.stats.row_hit_rate() > f.stats.row_hit_rate());
+    }
+
+    #[test]
+    fn starvation_cap_bounds_a_starved_request() {
+        // A flood of row-hitting requests with one conflicting request
+        // (same bank, different row) buried at index 1: an uncapped
+        // first-ready scheduler starves it until the flood drains; the
+        // cap bounds how long it can be bypassed.
+        let mut trace: Vec<TimedRequest> = (0..31u64)
+            .map(|i| TimedRequest { arrival: 0, access: Access::read(i * 64, 64) })
+            .collect();
+        trace.insert(
+            1,
+            TimedRequest { arrival: 0, access: Access::read(1 << 20, 64) },
+        );
+        let greedy =
+            MemoryController::new(cfg(), SchedPolicy::FrFcfs { cap: u32::MAX }, 32).replay(&trace);
+        let bounded =
+            MemoryController::new(cfg(), SchedPolicy::FrFcfs { cap: 4 }, 32).replay(&trace);
+        assert!(
+            bounded.latencies[1] * 2 < greedy.latencies[1],
+            "starved request: bounded {} vs greedy {}",
+            bounded.latencies[1],
+            greedy.latencies[1]
+        );
+    }
+
+    #[test]
+    fn window_of_one_degenerates_to_fcfs() {
+        let trace = interleaved_trace(128, 1 << 20);
+        let f = MemoryController::new(cfg(), SchedPolicy::Fcfs, 1).replay(&trace);
+        let fr = MemoryController::new(cfg(), SchedPolicy::FrFcfs { cap: 8 }, 1).replay(&trace);
+        assert_eq!(f.finish_cycle, fr.finish_cycle, "no reordering possible");
+    }
+
+    #[test]
+    fn latencies_are_accounted() {
+        let trace: Vec<TimedRequest> =
+            (0..16u64).map(|i| TimedRequest { arrival: 0, access: Access::read(i * 64, 64) }).collect();
+        let out = MemoryController::new(cfg(), SchedPolicy::Fcfs, 4).replay(&trace);
+        assert!(out.total_latency_cycles > 0);
+        assert!(out.max_latency_cycles >= out.mean_latency(16) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_trace_rejected() {
+        let trace = vec![
+            TimedRequest { arrival: 5, access: Access::read(0, 64) },
+            TimedRequest { arrival: 1, access: Access::read(64, 64) },
+        ];
+        MemoryController::new(cfg(), SchedPolicy::Fcfs, 4).replay(&trace);
+    }
+}

@@ -1,0 +1,108 @@
+//! A packetized latency/bandwidth link.
+//!
+//! Models the PCIe host–device interconnect used (a) for the paper's
+//! "source/destination of streams" knob (streaming from host memory
+//! instead of device DRAM) and (b) for kernel-launch control transfers,
+//! whose fixed cost dominates small-array bandwidth in Figures 1a and 2.
+
+/// Static link parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// One-way latency per transfer, nanoseconds.
+    pub latency_ns: f64,
+    /// Sustained payload bandwidth, GB/s (1 GB = 1e9 B).
+    pub gbps: f64,
+    /// Payload bytes per packet (TLP payload).
+    pub packet_bytes: u32,
+    /// Per-packet protocol overhead, nanoseconds.
+    pub per_packet_ns: f64,
+}
+
+impl LinkConfig {
+    /// PCIe Gen3 x16-ish (GPU): ~12 GB/s effective.
+    pub fn pcie_gen3_x16() -> Self {
+        LinkConfig { latency_ns: 800.0, gbps: 12.0, packet_bytes: 256, per_packet_ns: 2.0 }
+    }
+
+    /// PCIe Gen3 x8-ish (FPGA boards): ~6 GB/s effective.
+    pub fn pcie_gen3_x8() -> Self {
+        LinkConfig { latency_ns: 900.0, gbps: 6.0, packet_bytes: 256, per_packet_ns: 4.0 }
+    }
+
+    /// A CPU "device" talks to host memory directly: negligible latency,
+    /// very high bandwidth (acts as a near-no-op link).
+    pub fn loopback() -> Self {
+        LinkConfig { latency_ns: 50.0, gbps: 30.0, packet_bytes: 4096, per_packet_ns: 0.0 }
+    }
+}
+
+/// A stateless timed link (no queuing across transfers: MP-STREAM
+/// transfers are serialized by the in-order command queue anyway).
+#[derive(Debug, Clone, Copy)]
+pub struct Link {
+    cfg: LinkConfig,
+}
+
+impl Link {
+    /// Wrap a configuration.
+    pub fn new(cfg: LinkConfig) -> Self {
+        assert!(cfg.gbps > 0.0 && cfg.packet_bytes > 0);
+        Link { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Time to move `bytes` of payload one way, nanoseconds.
+    pub fn transfer_ns(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return self.cfg.latency_ns;
+        }
+        let packets = bytes.div_ceil(self.cfg.packet_bytes as u64) as f64;
+        self.cfg.latency_ns + packets * self.cfg.per_packet_ns + bytes as f64 / self.cfg.gbps
+    }
+
+    /// Effective bandwidth achieved for a transfer of `bytes`, GB/s.
+    pub fn effective_gbps(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.transfer_ns(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_costs_latency() {
+        let l = Link::new(LinkConfig::pcie_gen3_x16());
+        assert_eq!(l.transfer_ns(0), 800.0);
+    }
+
+    #[test]
+    fn large_transfers_approach_nominal_bandwidth() {
+        let l = Link::new(LinkConfig::pcie_gen3_x16());
+        let eff = l.effective_gbps(1 << 30);
+        assert!(eff > 0.9 * 12.0 * 0.9, "eff {eff}");
+        assert!(eff < 12.0);
+    }
+
+    #[test]
+    fn small_transfers_are_latency_bound() {
+        let l = Link::new(LinkConfig::pcie_gen3_x8());
+        let eff = l.effective_gbps(64);
+        assert!(eff < 0.1, "eff {eff} GB/s for 64 B");
+    }
+
+    #[test]
+    fn monotone_in_bytes() {
+        let l = Link::new(LinkConfig::pcie_gen3_x8());
+        let mut last = 0.0;
+        for b in [1u64, 100, 10_000, 1_000_000] {
+            let t = l.transfer_ns(b);
+            assert!(t > last);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! A hardware stream prefetcher.
+//!
+//! Detects constant-stride miss streams (at cache-line granularity) and,
+//! once a stream is confirmed, issues prefetches `degree` lines ahead of
+//! the demand stream. This is the mechanism that lets the CPU model
+//! sustain a large fraction of DRAM peak for contiguous traversals while
+//! leaving strided/irregular traversals latency-bound — the contrast the
+//! paper's Figure 2 measures.
+
+/// Maximum concurrently tracked streams.
+const MAX_STREAMS: usize = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    /// Next line address expected to miss if the stream continues.
+    next_line: u64,
+    /// Stride between successive lines, in bytes (signed).
+    stride: i64,
+    /// Consecutive confirmations; streams with `confidence >= 2` prefetch.
+    confidence: u32,
+    /// How far ahead (lines) we have already prefetched.
+    issued_ahead: u32,
+    last_use: u64,
+}
+
+/// Stream prefetcher operating on miss addresses.
+#[derive(Debug, Clone)]
+pub struct StreamPrefetcher {
+    line_bytes: u64,
+    degree: u32,
+    streams: Vec<Stream>,
+    tick: u64,
+    issued: u64,
+}
+
+impl StreamPrefetcher {
+    /// `line_bytes`: cache-line granularity; `degree`: how many lines to
+    /// run ahead of the demand stream once confident.
+    pub fn new(line_bytes: u32, degree: u32) -> Self {
+        assert!(line_bytes.is_power_of_two());
+        assert!(degree >= 1);
+        StreamPrefetcher {
+            line_bytes: line_bytes as u64,
+            degree,
+            streams: Vec::with_capacity(MAX_STREAMS),
+            tick: 0,
+            issued: 0,
+        }
+    }
+
+    /// Total prefetches issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Forget all streams.
+    pub fn reset(&mut self) {
+        self.streams.clear();
+        self.tick = 0;
+        self.issued = 0;
+    }
+
+    /// Observe a demand miss at `addr`; returns the list of line base
+    /// addresses that should be prefetched now (possibly empty).
+    pub fn on_miss(&mut self, addr: u64) -> Vec<u64> {
+        self.tick += 1;
+        let line = addr & !(self.line_bytes - 1);
+
+        // Try to match an existing stream.
+        for s in &mut self.streams {
+            if line == s.next_line {
+                s.confidence = (s.confidence + 1).min(8);
+                s.last_use = self.tick;
+                s.next_line = (s.next_line as i64 + s.stride) as u64;
+                if s.confidence >= 2 {
+                    // Keep the prefetch frontier `degree` lines ahead.
+                    let mut out = Vec::new();
+                    // One line was consumed by this demand miss.
+                    s.issued_ahead = s.issued_ahead.saturating_sub(1);
+                    while s.issued_ahead < self.degree {
+                        let ahead = (s.next_line as i64
+                            + s.stride * s.issued_ahead as i64)
+                            as u64;
+                        out.push(ahead);
+                        s.issued_ahead += 1;
+                        self.issued += 1;
+                    }
+                    return out;
+                }
+                return Vec::new();
+            }
+        }
+
+        // Try to pair with a recent miss to form a new stream: look for a
+        // stream whose *origin* is one line behind with stride 0 marker.
+        // Simpler scheme: allocate a candidate stream expecting the next
+        // sequential line in both directions.
+        if self.streams.len() == MAX_STREAMS {
+            let (idx, _) = self
+                .streams
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_use)
+                .expect("non-empty");
+            self.streams.swap_remove(idx);
+        }
+        self.streams.push(Stream {
+            next_line: line + self.line_bytes,
+            stride: self.line_bytes as i64,
+            confidence: 1,
+            issued_ahead: 0,
+            last_use: self.tick,
+        });
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_misses_trigger_prefetch() {
+        let mut p = StreamPrefetcher::new(64, 4);
+        assert!(p.on_miss(0).is_empty(), "first miss allocates");
+        let pf = p.on_miss(64); // confirms the stream
+        assert_eq!(pf.len(), 4, "runs degree lines ahead");
+        assert_eq!(pf[0], 128);
+        assert_eq!(pf[3], 320);
+    }
+
+    #[test]
+    fn steady_state_issues_one_per_miss() {
+        let mut p = StreamPrefetcher::new(64, 4);
+        p.on_miss(0);
+        p.on_miss(64);
+        let pf = p.on_miss(128);
+        assert_eq!(pf.len(), 1, "frontier advances by one line per demand");
+    }
+
+    #[test]
+    fn random_misses_never_prefetch() {
+        let mut p = StreamPrefetcher::new(64, 4);
+        for addr in [0u64, 10_000, 777_216, 123_456, 999_936] {
+            assert!(p.on_miss(addr).is_empty());
+        }
+        assert_eq!(p.issued(), 0);
+    }
+
+    #[test]
+    fn independent_streams_coexist() {
+        let mut p = StreamPrefetcher::new(64, 2);
+        // Interleave two sequential streams at distant bases.
+        p.on_miss(0);
+        p.on_miss(1 << 30);
+        let a = p.on_miss(64);
+        let b = p.on_miss((1 << 30) + 64);
+        assert!(!a.is_empty());
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn reset_forgets_streams() {
+        let mut p = StreamPrefetcher::new(64, 4);
+        p.on_miss(0);
+        p.on_miss(64);
+        p.reset();
+        assert!(p.on_miss(128).is_empty());
+        assert_eq!(p.issued(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Memory request types shared by every model in the crate.
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+
+    /// `true` for [`AccessKind::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// A single memory access: a byte address, a size and a direction.
+///
+/// Word-granularity accesses come out of the kernel access-stream
+/// generator; after coalescing they become wide transactions, but the
+/// type is the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Byte address in the device's flat physical address space.
+    pub addr: u64,
+    /// Size in bytes. Always non-zero.
+    pub bytes: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Construct a read access.
+    pub fn read(addr: u64, bytes: u32) -> Self {
+        debug_assert!(bytes > 0);
+        Access { addr, bytes, kind: AccessKind::Read }
+    }
+
+    /// Construct a write access.
+    pub fn write(addr: u64, bytes: u32) -> Self {
+        debug_assert!(bytes > 0);
+        Access { addr, bytes, kind: AccessKind::Write }
+    }
+
+    /// Exclusive end address of the access.
+    pub fn end(self) -> u64 {
+        self.addr + self.bytes as u64
+    }
+
+    /// Whether `other` starts exactly where this access ends (candidates
+    /// for coalescing into one transaction).
+    pub fn abuts(self, other: &Access) -> bool {
+        self.kind == other.kind && self.end() == other.addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_address() {
+        assert_eq!(Access::read(100, 4).end(), 104);
+    }
+
+    #[test]
+    fn abutting_same_kind() {
+        let a = Access::read(0, 4);
+        let b = Access::read(4, 4);
+        assert!(a.abuts(&b));
+        assert!(!b.abuts(&a));
+    }
+
+    #[test]
+    fn abutting_requires_same_kind() {
+        let a = Access::read(0, 4);
+        let b = Access::write(4, 4);
+        assert!(!a.abuts(&b));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+    }
+}

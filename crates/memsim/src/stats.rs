@@ -1,0 +1,129 @@
+//! Event counters collected by the memory models.
+//!
+//! Counters are plain `u64`s updated on the simulation fast path; the
+//! struct is `Default + Clone` so models can be snapshotted and diffed by
+//! tests and by the benchmark's reporting layer.
+
+/// Counters accumulated while servicing an access stream.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MemStats {
+    /// Demand read accesses observed at the top of the hierarchy.
+    pub reads: u64,
+    /// Demand write accesses observed at the top of the hierarchy.
+    pub writes: u64,
+    /// Bytes read by demand accesses.
+    pub bytes_read: u64,
+    /// Bytes written by demand accesses.
+    pub bytes_written: u64,
+    /// Hits per cache level (index 0 = L1).
+    pub cache_hits: [u64; 3],
+    /// Misses per cache level (index 0 = L1).
+    pub cache_misses: [u64; 3],
+    /// Dirty lines written back to the next level / DRAM.
+    pub writebacks: u64,
+    /// TLB hits.
+    pub tlb_hits: u64,
+    /// TLB misses (each pays a page-walk penalty).
+    pub tlb_misses: u64,
+    /// DRAM transactions that hit an open row.
+    pub row_hits: u64,
+    /// DRAM transactions that required closing + opening a row.
+    pub row_misses: u64,
+    /// DRAM transactions that found the bank idle (no row open).
+    pub row_empty: u64,
+    /// Read/write bus-turnaround events at the DRAM.
+    pub bus_turnarounds: u64,
+    /// Prefetch transactions issued to DRAM.
+    pub prefetches_issued: u64,
+    /// Demand accesses that were satisfied by a previous prefetch.
+    pub prefetch_hits: u64,
+    /// DRAM transactions (after coalescing / line-fill granularity).
+    pub dram_transactions: u64,
+    /// Bytes moved on the DRAM bus (fills + writebacks + prefetches).
+    pub dram_bytes: u64,
+}
+
+impl MemStats {
+    /// A fresh, zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total demand bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Row-buffer hit rate over all DRAM transactions, in `[0, 1]`.
+    /// Returns 1.0 when no transaction has been issued (vacuously all hits).
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_empty;
+        if total == 0 {
+            1.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Merge counters from `other` into `self` (used when several
+    /// sub-models contribute to one report).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        for i in 0..3 {
+            self.cache_hits[i] += other.cache_hits[i];
+            self.cache_misses[i] += other.cache_misses[i];
+        }
+        self.writebacks += other.writebacks;
+        self.tlb_hits += other.tlb_hits;
+        self.tlb_misses += other.tlb_misses;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_empty += other.row_empty;
+        self.bus_turnarounds += other.bus_turnarounds;
+        self.prefetches_issued += other.prefetches_issued;
+        self.prefetch_hits += other.prefetch_hits;
+        self.dram_transactions += other.dram_transactions;
+        self.dram_bytes += other.dram_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accesses_and_bytes_sum() {
+        let s = MemStats { reads: 3, writes: 2, bytes_read: 12, bytes_written: 8, ..Default::default() };
+        assert_eq!(s.accesses(), 5);
+        assert_eq!(s.bytes(), 20);
+    }
+
+    #[test]
+    fn row_hit_rate_vacuous() {
+        assert_eq!(MemStats::new().row_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn row_hit_rate_mixed() {
+        let s = MemStats { row_hits: 3, row_misses: 1, ..Default::default() };
+        assert!((s.row_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = MemStats { reads: 1, cache_hits: [1, 2, 3], ..Default::default() };
+        let b = MemStats { reads: 2, cache_hits: [10, 20, 30], writebacks: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.reads, 3);
+        assert_eq!(a.cache_hits, [11, 22, 33]);
+        assert_eq!(a.writebacks, 7);
+    }
+}

@@ -1,0 +1,136 @@
+//! A small fully-associative TLB with LRU replacement.
+//!
+//! Strided (column-major) traversals of large arrays touch a new page on
+//! nearly every access once the row length exceeds the page size; the
+//! resulting page-walk serialization is one of the mechanisms behind the
+//! strided-bandwidth collapse in Figure 2 of the paper.
+
+/// Translation look-aside buffer.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    page_bytes: u64,
+    entries: Vec<(u64, u64)>, // (page number, last-use tick)
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Create a TLB covering `capacity` pages of `page_bytes` each.
+    pub fn new(capacity: usize, page_bytes: u64) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        Tlb {
+            page_bytes,
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Total bytes the TLB can map.
+    pub fn reach_bytes(&self) -> u64 {
+        self.capacity as u64 * self.page_bytes
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drop all translations and counters.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Translate the page containing `addr`; returns `true` on hit,
+    /// `false` when a page walk is required (the entry is installed).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let page = addr / self.page_bytes;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            // Evict LRU.
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .expect("non-empty");
+            self.entries.swap_remove(idx);
+        }
+        self.entries.push((page, self.tick));
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_install() {
+        let mut t = Tlb::new(4, 4096);
+        assert!(!t.access(0));
+        assert!(t.access(100), "same page");
+        assert!(!t.access(4096), "next page");
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0); // page 0
+        t.access(4096); // page 1
+        t.access(0); // page 0 warm
+        t.access(8192); // page 2 evicts page 1
+        assert!(t.access(0), "page 0 retained");
+        assert!(!t.access(4096), "page 1 evicted");
+    }
+
+    #[test]
+    fn reach() {
+        let t = Tlb::new(64, 2 * 1024 * 1024);
+        assert_eq!(t.reach_bytes(), 128 * 1024 * 1024);
+    }
+
+    #[test]
+    fn sequential_within_reach_misses_once_per_page() {
+        let mut t = Tlb::new(8, 4096);
+        for addr in (0..8 * 4096u64).step_by(64) {
+            t.access(addr);
+        }
+        assert_eq!(t.misses(), 8);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0);
+        t.reset();
+        assert!(!t.access(0));
+        assert_eq!(t.misses(), 1);
+    }
+}

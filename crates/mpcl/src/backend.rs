@@ -1,0 +1,194 @@
+//! The device-backend trait implemented by the target models.
+
+use crate::error::ClError;
+use kernelgen::{ExecPlan, KernelConfig};
+
+/// Broad device category, as `CL_DEVICE_TYPE` reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceType {
+    /// Host CPU device.
+    Cpu,
+    /// Discrete GPU.
+    Gpu,
+    /// FPGA / other accelerator.
+    Accelerator,
+}
+
+/// Static device description (the subset of `clGetDeviceInfo` MP-STREAM
+/// uses, plus the peak bandwidth the paper quotes per target).
+#[derive(Debug, Clone)]
+pub struct DeviceInfo {
+    /// Marketing name, e.g. `"GeForce GTX Titan Black"`.
+    pub name: String,
+    /// Vendor string, e.g. `"NVIDIA Corporation"`.
+    pub vendor: String,
+    /// Device category.
+    pub device_type: DeviceType,
+    /// Global memory capacity in bytes.
+    pub global_mem_bytes: u64,
+    /// Theoretical peak memory bandwidth, GB/s (the dotted lines in the
+    /// paper's Figure 1).
+    pub peak_gbps: f64,
+    /// Compute units (`CL_DEVICE_MAX_COMPUTE_UNITS`).
+    pub max_compute_units: u32,
+    /// Maximum work-group size.
+    pub max_work_group_size: u32,
+}
+
+/// FPGA resource usage of a synthesized kernel (reported in build logs;
+/// the paper notes vendor replication options "take up more FPGA
+/// resources" than native vectorization).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResourceUsage {
+    /// Logic elements (ALMs / LUT-FF pairs).
+    pub logic: u64,
+    /// Block RAMs.
+    pub bram: u64,
+    /// DSP blocks.
+    pub dsp: u64,
+}
+
+impl ResourceUsage {
+    /// Component-wise sum.
+    pub fn plus(self, other: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            logic: self.logic + other.logic,
+            bram: self.bram + other.bram,
+            dsp: self.dsp + other.dsp,
+        }
+    }
+
+    /// Largest utilisation fraction against a capacity.
+    pub fn utilisation(self, capacity: ResourceUsage) -> f64 {
+        let frac = |x: u64, cap: u64| if cap == 0 { 0.0 } else { x as f64 / cap as f64 };
+        frac(self.logic, capacity.logic)
+            .max(frac(self.bram, capacity.bram))
+            .max(frac(self.dsp, capacity.dsp))
+    }
+}
+
+/// What "building a program" produced — for FPGAs, the synthesis report.
+#[derive(Debug, Clone)]
+pub struct BuildArtifact {
+    /// Human-readable build log.
+    pub build_log: String,
+    /// Achieved kernel clock after synthesis (FPGAs) — `None` for
+    /// fixed-clock devices.
+    pub fmax_mhz: Option<f64>,
+    /// Resource usage (FPGAs only).
+    pub resources: Option<ResourceUsage>,
+    /// How many consecutive iterations the compiled kernel executes in
+    /// lock-step (warp width, SIMD/unroll replication); feeds the
+    /// access-stream generator.
+    pub lane_group: u32,
+}
+
+impl BuildArtifact {
+    /// Artifact for devices that "just compile" (CPU/GPU).
+    pub fn simple(lane_group: u32) -> Self {
+        BuildArtifact {
+            build_log: String::new(),
+            fmax_mhz: None,
+            resources: None,
+            lane_group,
+        }
+    }
+}
+
+/// What one kernel launch cost on the device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Device execution time, nanoseconds (excluding host launch
+    /// overhead, which is reported separately).
+    pub ns: f64,
+    /// Bytes actually moved on the device DRAM bus — includes waste
+    /// (partial segments, fills, writebacks), so it can exceed the
+    /// STREAM-counted payload. Feeds the energy model.
+    pub dram_bytes: u64,
+}
+
+/// Board-level power parameters (see `targets::power` for the paper
+/// devices' constants): `P = idle + active` while a kernel runs, plus a
+/// per-byte DRAM access energy.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerModel {
+    /// Board idle power, watts.
+    pub idle_w: f64,
+    /// Additional fabric/core power while a kernel executes, watts.
+    pub active_w: f64,
+    /// DRAM access energy, picojoules per byte moved on the bus.
+    pub pj_per_byte: f64,
+}
+
+impl PowerModel {
+    /// Energy for a kernel that ran `ns` nanoseconds and moved
+    /// `dram_bytes` on the memory bus, joules.
+    pub fn energy_j(&self, ns: f64, dram_bytes: u64) -> f64 {
+        (self.idle_w + self.active_w) * ns * 1e-9 + dram_bytes as f64 * self.pj_per_byte * 1e-12
+    }
+
+    /// Efficiency metric: payload gigabytes moved per joule.
+    pub fn gb_per_joule(&self, payload_bytes: u64, ns: f64, dram_bytes: u64) -> f64 {
+        payload_bytes as f64 / 1e9 / self.energy_j(ns, dram_bytes)
+    }
+}
+
+/// A device timing/synthesis model.
+///
+/// Implementations live in the `targets` crate; `mpcl` drives them:
+/// `build` is called by [`crate::program::Program::build`] (and may fail —
+/// FPGA synthesis over capacity), `kernel_cost` by kernel launches, and
+/// `transfer_ns` by buffer reads/writes.
+pub trait DeviceBackend: Send {
+    /// Static device description.
+    fn info(&self) -> DeviceInfo;
+
+    /// Compile/synthesize a kernel configuration for this device.
+    fn build(&mut self, cfg: &KernelConfig) -> Result<BuildArtifact, ClError>;
+
+    /// Time and DRAM traffic of one launch of `plan` on this device,
+    /// *excluding* host-side launch overhead (reported separately so the
+    /// queue can expose OpenCL-style queued/submit/start/end stamps).
+    fn kernel_cost(&mut self, artifact: &BuildArtifact, plan: &ExecPlan) -> KernelCost;
+
+    /// Host→device or device→host transfer time for `bytes`.
+    fn transfer_ns(&mut self, bytes: u64) -> f64;
+
+    /// Fixed host-side cost of dispatching one kernel (control transfer
+    /// over PCIe, driver work). Dominates small-array bandwidth.
+    fn launch_overhead_ns(&self) -> f64;
+
+    /// Board power model, when the target provides one.
+    fn power_model(&self) -> Option<PowerModel> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_sum_and_utilisation() {
+        let a = ResourceUsage { logic: 100, bram: 10, dsp: 2 };
+        let b = ResourceUsage { logic: 50, bram: 0, dsp: 0 };
+        let s = a.plus(b);
+        assert_eq!(s.logic, 150);
+        let cap = ResourceUsage { logic: 300, bram: 20, dsp: 100 };
+        assert!((s.utilisation(cap) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilisation_picks_binding_resource() {
+        let u = ResourceUsage { logic: 10, bram: 19, dsp: 0 };
+        let cap = ResourceUsage { logic: 100, bram: 20, dsp: 10 };
+        assert!((u.utilisation(cap) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_resource_ignored() {
+        let u = ResourceUsage { logic: 10, bram: 0, dsp: 0 };
+        let cap = ResourceUsage { logic: 100, bram: 0, dsp: 0 };
+        assert!((u.utilisation(cap) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,72 @@
+//! OpenCL-flavoured error type.
+
+use std::fmt;
+
+/// Errors surfaced by the runtime, mirroring the OpenCL error codes the
+/// real MP-STREAM host code would have to handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClError {
+    /// No device matched the request (`CL_DEVICE_NOT_FOUND`).
+    DeviceNotFound,
+    /// Buffer size is zero or exceeds the device's global memory
+    /// (`CL_INVALID_BUFFER_SIZE` / `CL_MEM_OBJECT_ALLOCATION_FAILURE`).
+    InvalidBufferSize { requested: u64, limit: u64 },
+    /// Kernel argument does not match the kernel's signature
+    /// (`CL_INVALID_KERNEL_ARGS`).
+    InvalidKernelArgs(String),
+    /// Program build failed (`CL_BUILD_PROGRAM_FAILURE`); for the FPGA
+    /// targets this is a synthesis failure and carries the build log.
+    BuildProgramFailure(String),
+    /// Work-group configuration rejected (`CL_INVALID_WORK_GROUP_SIZE`).
+    InvalidWorkGroupSize(String),
+    /// Source and destination memory objects overlap
+    /// (`CL_MEM_COPY_OVERLAP`).
+    MemCopyOverlap,
+    /// Host buffer size does not match the transfer
+    /// (`CL_INVALID_VALUE`).
+    InvalidValue(String),
+    /// Objects from different contexts were mixed
+    /// (`CL_INVALID_CONTEXT`).
+    InvalidContext,
+}
+
+impl fmt::Display for ClError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClError::DeviceNotFound => write!(f, "CL_DEVICE_NOT_FOUND"),
+            ClError::InvalidBufferSize { requested, limit } => {
+                write!(f, "CL_INVALID_BUFFER_SIZE: {requested} bytes (device limit {limit})")
+            }
+            ClError::InvalidKernelArgs(why) => write!(f, "CL_INVALID_KERNEL_ARGS: {why}"),
+            ClError::BuildProgramFailure(log) => {
+                write!(f, "CL_BUILD_PROGRAM_FAILURE:\n{log}")
+            }
+            ClError::InvalidWorkGroupSize(why) => {
+                write!(f, "CL_INVALID_WORK_GROUP_SIZE: {why}")
+            }
+            ClError::MemCopyOverlap => write!(f, "CL_MEM_COPY_OVERLAP"),
+            ClError::InvalidValue(why) => write!(f, "CL_INVALID_VALUE: {why}"),
+            ClError::InvalidContext => write!(f, "CL_INVALID_CONTEXT"),
+        }
+    }
+}
+
+impl std::error::Error for ClError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_cl_code() {
+        let e = ClError::InvalidBufferSize { requested: 10, limit: 5 };
+        assert!(e.to_string().contains("CL_INVALID_BUFFER_SIZE"));
+        assert!(ClError::DeviceNotFound.to_string().contains("CL_DEVICE_NOT_FOUND"));
+    }
+
+    #[test]
+    fn build_failure_carries_log() {
+        let e = ClError::BuildProgramFailure("ALM utilisation 140%".into());
+        assert!(e.to_string().contains("140%"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Programs (compiled kernels) and kernels with bound arguments.
+
+use crate::backend::BuildArtifact;
+use crate::context::{Buffer, Context};
+use crate::error::ClError;
+use kernelgen::{validate, ExecPlan, KernelConfig, LoopMode};
+use std::sync::Arc;
+
+/// A kernel configuration compiled ("synthesized", for FPGAs) for one
+/// device. Building is where FPGA resource exhaustion and work-group
+/// restrictions surface, exactly as with real OpenCL-FPGA toolchains.
+#[derive(Debug, Clone)]
+pub struct Program {
+    ctx: Context,
+    cfg: Arc<KernelConfig>,
+    artifact: Arc<BuildArtifact>,
+}
+
+impl Program {
+    /// Validate and build `cfg` for the context's device.
+    pub fn build(ctx: &Context, cfg: KernelConfig) -> Result<Self, ClError> {
+        validate(&cfg).map_err(|e| ClError::BuildProgramFailure(e.to_string()))?;
+        if cfg.loop_mode == LoopMode::NdRange
+            && cfg.work_group_size > ctx.device().info().max_work_group_size
+        {
+            return Err(ClError::InvalidWorkGroupSize(format!(
+                "work-group {} exceeds device maximum {}",
+                cfg.work_group_size,
+                ctx.device().info().max_work_group_size
+            )));
+        }
+        let artifact = ctx.device().with_backend(|b| b.build(&cfg))?;
+        Ok(Program { ctx: ctx.clone(), cfg: Arc::new(cfg), artifact: Arc::new(artifact) })
+    }
+
+    /// The configuration this program implements.
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    /// The build artifact (synthesis report for FPGAs).
+    pub fn artifact(&self) -> &BuildArtifact {
+        &self.artifact
+    }
+
+    /// The OpenCL-C source this program corresponds to.
+    pub fn source(&self) -> String {
+        kernelgen::generate_source(&self.cfg)
+    }
+
+    /// The owning context.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+}
+
+/// A program with bound buffer arguments, ready to enqueue.
+#[derive(Debug)]
+pub struct Kernel {
+    program: Program,
+    plan: ExecPlan,
+}
+
+impl Kernel {
+    /// Bind buffers: `a` is the destination, `b` the source, `c` the
+    /// second source (required exactly when the kernel uses it).
+    pub fn new(
+        program: &Program,
+        a: &Buffer,
+        b: &Buffer,
+        c: Option<&Buffer>,
+    ) -> Result<Self, ClError> {
+        let cfg = program.config();
+        let need = cfg.array_bytes();
+        let ctx_id = program.context().id();
+
+        for (buf, name) in [(Some(a), "a"), (Some(b), "b"), (c, "c")] {
+            if let Some(buf) = buf {
+                if buf.context().id() != ctx_id {
+                    return Err(ClError::InvalidContext);
+                }
+                if buf.len() < need {
+                    return Err(ClError::InvalidKernelArgs(format!(
+                        "buffer {name} holds {} bytes, kernel needs {need}",
+                        buf.len()
+                    )));
+                }
+            }
+        }
+        match (cfg.op.uses_c(), c) {
+            (true, None) => {
+                return Err(ClError::InvalidKernelArgs(format!(
+                    "kernel {} needs a second source array",
+                    cfg.op.name()
+                )))
+            }
+            (false, Some(_)) => {
+                return Err(ClError::InvalidKernelArgs(format!(
+                    "kernel {} takes no second source array",
+                    cfg.op.name()
+                )))
+            }
+            _ => {}
+        }
+
+        let plan = ExecPlan::new(
+            cfg.clone(),
+            a.device_addr(),
+            b.device_addr(),
+            c.map(|c| c.device_addr()).unwrap_or(0),
+        );
+        if plan.overlapping() {
+            return Err(ClError::MemCopyOverlap);
+        }
+        Ok(Kernel { program: program.clone(), plan })
+    }
+
+    /// The program this kernel was created from.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The bound execution plan.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::MemFlags;
+    use crate::platform::test_support::{fake_device, FakeBackend};
+    use crate::platform::Device;
+    use kernelgen::StreamOp;
+
+    fn ctx() -> Context {
+        Context::new(fake_device())
+    }
+
+    fn cfg(op: StreamOp) -> KernelConfig {
+        KernelConfig::baseline(op, 1024)
+    }
+
+    #[test]
+    fn build_and_bind_copy() {
+        let c = ctx();
+        let p = Program::build(&c, cfg(StreamOp::Copy)).unwrap();
+        let a = Buffer::new(&c, MemFlags::WriteOnly, 4096).unwrap();
+        let b = Buffer::new(&c, MemFlags::ReadOnly, 4096).unwrap();
+        let k = Kernel::new(&p, &a, &b, None).unwrap();
+        assert_eq!(k.plan().base_a, a.device_addr());
+    }
+
+    #[test]
+    fn invalid_config_is_build_failure() {
+        let c = ctx();
+        let mut bad = cfg(StreamOp::Copy);
+        bad.n_words = 0;
+        assert!(matches!(
+            Program::build(&c, bad),
+            Err(ClError::BuildProgramFailure(_))
+        ));
+    }
+
+    #[test]
+    fn backend_build_failure_propagates() {
+        let d = Device::new(Box::new(FakeBackend { fail_build: true }));
+        let c = Context::new(d);
+        assert!(matches!(
+            Program::build(&c, cfg(StreamOp::Copy)),
+            Err(ClError::BuildProgramFailure(log)) if log.contains("synthetic")
+        ));
+    }
+
+    #[test]
+    fn oversized_work_group_rejected() {
+        let c = ctx(); // fake device max wg = 256
+        let mut big = cfg(StreamOp::Copy);
+        big.work_group_size = 512;
+        assert!(matches!(
+            Program::build(&c, big),
+            Err(ClError::InvalidWorkGroupSize(_))
+        ));
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        let c = ctx();
+        let p = Program::build(&c, cfg(StreamOp::Copy)).unwrap();
+        let a = Buffer::new(&c, MemFlags::WriteOnly, 100).unwrap();
+        let b = Buffer::new(&c, MemFlags::ReadOnly, 4096).unwrap();
+        assert!(matches!(
+            Kernel::new(&p, &a, &b, None),
+            Err(ClError::InvalidKernelArgs(_))
+        ));
+    }
+
+    #[test]
+    fn triad_requires_c() {
+        let c = ctx();
+        let p = Program::build(&c, cfg(StreamOp::Triad)).unwrap();
+        let a = Buffer::new(&c, MemFlags::WriteOnly, 4096).unwrap();
+        let b = Buffer::new(&c, MemFlags::ReadOnly, 4096).unwrap();
+        assert!(matches!(
+            Kernel::new(&p, &a, &b, None),
+            Err(ClError::InvalidKernelArgs(_))
+        ));
+    }
+
+    #[test]
+    fn copy_rejects_extra_c() {
+        let c = ctx();
+        let p = Program::build(&c, cfg(StreamOp::Copy)).unwrap();
+        let a = Buffer::new(&c, MemFlags::WriteOnly, 4096).unwrap();
+        let b = Buffer::new(&c, MemFlags::ReadOnly, 4096).unwrap();
+        let extra = Buffer::new(&c, MemFlags::ReadOnly, 4096).unwrap();
+        assert!(Kernel::new(&p, &a, &b, Some(&extra)).is_err());
+    }
+
+    #[test]
+    fn cross_context_rejected() {
+        let c1 = ctx();
+        let c2 = ctx();
+        let p = Program::build(&c1, cfg(StreamOp::Copy)).unwrap();
+        let a = Buffer::new(&c2, MemFlags::WriteOnly, 4096).unwrap();
+        let b = Buffer::new(&c1, MemFlags::ReadOnly, 4096).unwrap();
+        assert_eq!(Kernel::new(&p, &a, &b, None).unwrap_err(), ClError::InvalidContext);
+    }
+
+    #[test]
+    fn source_available_from_program() {
+        let c = ctx();
+        let p = Program::build(&c, cfg(StreamOp::Scale)).unwrap();
+        assert!(p.source().contains("__kernel void mp_scale"));
+    }
+}

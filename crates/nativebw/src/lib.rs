@@ -1,0 +1,322 @@
+//! # nativebw — a real STREAM for the host machine
+//!
+//! Everything else in this workspace runs on *simulated* devices; this
+//! crate ties the project to reality by implementing the classic STREAM
+//! benchmark (McCalpin) natively in Rust: four kernels over `f64`
+//! arrays, multi-threaded with statically partitioned crossbeam scoped
+//! threads, best-of-N timing and the original's closed-form result
+//! validation. It also measures a column-major ("strided") copy so the
+//! host machine's contiguity penalty can be compared with the simulated
+//! CPU target's (Figure 2).
+//!
+//! Protocol notes, matching the original STREAM:
+//! * each timed iteration runs COPY, SCALE, ADD, TRIAD in that order;
+//! * the first iteration is discarded (cold caches/pages);
+//! * per-kernel bandwidth uses the *minimum* time across iterations;
+//! * bytes counted are 2 arrays for COPY/SCALE and 3 for ADD/TRIAD.
+
+use crossbeam::thread;
+use std::time::Instant;
+
+/// The four STREAM kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeKernel {
+    Copy,
+    Scale,
+    Add,
+    Triad,
+}
+
+impl NativeKernel {
+    /// All four, in STREAM order.
+    pub const ALL: [NativeKernel; 4] =
+        [NativeKernel::Copy, NativeKernel::Scale, NativeKernel::Add, NativeKernel::Triad];
+
+    /// Kernel name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NativeKernel::Copy => "copy",
+            NativeKernel::Scale => "scale",
+            NativeKernel::Add => "add",
+            NativeKernel::Triad => "triad",
+        }
+    }
+
+    /// Bytes moved per invocation for `n` f64 elements.
+    pub fn bytes(self, n: usize) -> u64 {
+        let arrays = match self {
+            NativeKernel::Copy | NativeKernel::Scale => 2,
+            NativeKernel::Add | NativeKernel::Triad => 3,
+        };
+        arrays * 8 * n as u64
+    }
+}
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct NativeConfig {
+    /// Elements per array (f64). STREAM recommends ≥ 4x the LLC.
+    pub n: usize,
+    /// Worker threads (static partition).
+    pub threads: usize,
+    /// Timed iterations (after one discarded warm-up iteration).
+    pub ntimes: usize,
+    /// The TRIAD/SCALE scalar.
+    pub q: f64,
+}
+
+impl Default for NativeConfig {
+    fn default() -> Self {
+        NativeConfig {
+            n: 8 << 20, // 64 MB per array
+            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            ntimes: 10,
+            q: 3.0,
+        }
+    }
+}
+
+/// Timing summary for one kernel.
+#[derive(Debug, Clone)]
+pub struct KernelTiming {
+    /// Which kernel.
+    pub kernel: NativeKernel,
+    /// Best (minimum) time over the timed iterations, ns.
+    pub min_ns: f64,
+    /// Mean time, ns.
+    pub avg_ns: f64,
+    /// Worst time, ns.
+    pub max_ns: f64,
+    /// Payload bytes per invocation.
+    pub bytes: u64,
+}
+
+impl KernelTiming {
+    /// Best-rate bandwidth, GB/s (1 GB = 1e9 B), STREAM's headline.
+    pub fn gbps(&self) -> f64 {
+        self.bytes as f64 / self.min_ns
+    }
+}
+
+/// Full benchmark outcome.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// One timing per kernel, in STREAM order.
+    pub kernels: Vec<KernelTiming>,
+    /// Did the final arrays match the closed-form expectation?
+    pub validated: bool,
+    /// Configuration used.
+    pub config: NativeConfig,
+}
+
+/// Apply `f` to aligned chunks of the destination across threads.
+fn parallel_zip2(threads: usize, dst: &mut [f64], src: &[f64], f: impl Fn(&mut [f64], &[f64]) + Sync) {
+    let chunk = dst.len().div_ceil(threads.max(1));
+    thread::scope(|s| {
+        for (d, a) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
+            s.spawn(|_| f(d, a));
+        }
+    })
+    .expect("worker panicked");
+}
+
+fn parallel_zip3(
+    threads: usize,
+    dst: &mut [f64],
+    s1: &[f64],
+    s2: &[f64],
+    f: impl Fn(&mut [f64], &[f64], &[f64]) + Sync,
+) {
+    let chunk = dst.len().div_ceil(threads.max(1));
+    thread::scope(|s| {
+        for ((d, a), b) in dst.chunks_mut(chunk).zip(s1.chunks(chunk)).zip(s2.chunks(chunk)) {
+            s.spawn(|_| f(d, a, b));
+        }
+    })
+    .expect("worker panicked");
+}
+
+/// Run the STREAM protocol and report per-kernel bandwidth.
+pub fn stream_benchmark(cfg: &NativeConfig) -> StreamReport {
+    let n = cfg.n;
+    let q = cfg.q;
+    let mut a = vec![1.0f64; n];
+    let mut b = vec![2.0f64; n];
+    let mut c = vec![0.0f64; n];
+
+    let mut mins = [f64::INFINITY; 4];
+    let mut sums = [0.0f64; 4];
+    let mut maxs = [0.0f64; 4];
+
+    // One discarded warm-up iteration + ntimes timed ones.
+    for it in 0..cfg.ntimes + 1 {
+        let mut record = |k: usize, ns: f64| {
+            if it > 0 {
+                mins[k] = mins[k].min(ns);
+                maxs[k] = maxs[k].max(ns);
+                sums[k] += ns;
+            }
+        };
+
+        let t = Instant::now(); // COPY: c = a
+        parallel_zip2(cfg.threads, &mut c, &a, |d, s| d.copy_from_slice(s));
+        record(0, t.elapsed().as_nanos() as f64);
+
+        let t = Instant::now(); // SCALE: b = q*c
+        parallel_zip2(cfg.threads, &mut b, &c, |d, s| {
+            for (x, y) in d.iter_mut().zip(s) {
+                *x = q * y;
+            }
+        });
+        record(1, t.elapsed().as_nanos() as f64);
+
+        let t = Instant::now(); // ADD: c = a + b
+        parallel_zip3(cfg.threads, &mut c, &a, &b, |d, x, y| {
+            for ((o, p), r) in d.iter_mut().zip(x).zip(y) {
+                *o = p + r;
+            }
+        });
+        record(2, t.elapsed().as_nanos() as f64);
+
+        let t = Instant::now(); // TRIAD: a = b + q*c
+        parallel_zip3(cfg.threads, &mut a, &b, &c, |d, x, y| {
+            for ((o, p), r) in d.iter_mut().zip(x).zip(y) {
+                *o = p + q * r;
+            }
+        });
+        record(3, t.elapsed().as_nanos() as f64);
+    }
+
+    // STREAM validation: evolve scalars by the same recurrence.
+    let (mut ea, mut eb, mut ec) = (1.0f64, 2.0, 0.0);
+    for _ in 0..cfg.ntimes + 1 {
+        ec = ea;
+        eb = q * ec;
+        ec = ea + eb;
+        ea = eb + q * ec;
+    }
+    let tol = 1e-8;
+    let ok = |xs: &[f64], e: f64| xs.iter().all(|&x| (x - e).abs() <= tol * e.abs().max(1.0));
+    let validated = ok(&a, ea) && ok(&b, eb) && ok(&c, ec);
+
+    let kernels = NativeKernel::ALL
+        .iter()
+        .enumerate()
+        .map(|(k, &kernel)| KernelTiming {
+            kernel,
+            min_ns: mins[k],
+            avg_ns: sums[k] / cfg.ntimes.max(1) as f64,
+            max_ns: maxs[k],
+            bytes: kernel.bytes(n),
+        })
+        .collect();
+
+    StreamReport { kernels, validated, config: cfg.clone() }
+}
+
+/// Column-major ("strided") copy bandwidth over a `rows x cols`
+/// row-major matrix of f64 — the native analogue of the paper's Fig. 2
+/// strided pattern. Returns GB/s counting 16 bytes per element.
+pub fn strided_copy_gbps(rows: usize, cols: usize, threads: usize, ntimes: usize) -> f64 {
+    let n = rows * cols;
+    let src = vec![1.0f64; n];
+    let mut dst = vec![0.0f64; n];
+    let mut best = f64::INFINITY;
+    for it in 0..ntimes + 1 {
+        let t = Instant::now();
+        // Partition the columns across threads; each thread walks its
+        // columns in column-major order (strided reads and writes).
+        let per = cols.div_ceil(threads.max(1));
+        let dst_ptr = SendPtr(dst.as_mut_ptr());
+        thread::scope(|s| {
+            for t0 in (0..cols).step_by(per.max(1)) {
+                let src = &src;
+                let dst_ptr = dst_ptr;
+                s.spawn(move |_| {
+                    // Rebind the wrapper so the closure captures the
+                    // `Send` newtype, not the raw pointer field.
+                    let p = dst_ptr;
+                    let end = (t0 + per).min(cols);
+                    for col in t0..end {
+                        for row in 0..rows {
+                            let idx = row * cols + col;
+                            // SAFETY: column ranges are disjoint across
+                            // threads, so each idx is written once.
+                            unsafe { *p.0.add(idx) = src[idx] };
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+        let ns = t.elapsed().as_nanos() as f64;
+        if it > 0 {
+            best = best.min(ns);
+        }
+    }
+    assert!(dst.iter().all(|&x| x == 1.0), "strided copy corrupted data");
+    (16 * n) as f64 / best
+}
+
+/// A raw pointer that asserts Send (used for disjoint column writes).
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> NativeConfig {
+        NativeConfig { n: 1 << 16, threads: 2, ntimes: 3, q: 3.0 }
+    }
+
+    #[test]
+    fn stream_validates_and_reports_all_kernels() {
+        let r = stream_benchmark(&small());
+        assert!(r.validated, "native STREAM must validate");
+        assert_eq!(r.kernels.len(), 4);
+        for k in &r.kernels {
+            assert!(k.gbps() > 0.0, "{:?}", k.kernel);
+            assert!(k.min_ns <= k.avg_ns && k.avg_ns <= k.max_ns * 1.0001);
+        }
+    }
+
+    #[test]
+    fn bytes_counted_like_stream() {
+        assert_eq!(NativeKernel::Copy.bytes(100), 1600);
+        assert_eq!(NativeKernel::Triad.bytes(100), 2400);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let r = stream_benchmark(&NativeConfig { threads: 1, ..small() });
+        assert!(r.validated);
+    }
+
+    #[test]
+    fn more_threads_than_elements_is_fine() {
+        let r = stream_benchmark(&NativeConfig { n: 8, threads: 64, ntimes: 2, q: 3.0 });
+        assert!(r.validated);
+    }
+
+    #[test]
+    fn strided_copy_correct_and_positive() {
+        let g = strided_copy_gbps(256, 128, 2, 2);
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn contiguous_beats_strided_on_real_hardware() {
+        // 32 MB working set: large enough to defeat the LLC partially;
+        // contiguous copy should comfortably beat column-major copy.
+        let cfg = NativeConfig { n: 2 << 20, threads: 2, ntimes: 3, q: 3.0 };
+        let contig = stream_benchmark(&cfg).kernels[0].gbps();
+        let strided = strided_copy_gbps(2048, 1024, 2, 3);
+        assert!(
+            contig > strided,
+            "contiguous {contig} GB/s should beat strided {strided} GB/s"
+        );
+    }
+}

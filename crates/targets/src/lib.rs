@@ -1,0 +1,43 @@
+//! # targets — device models for the MP-STREAM evaluation targets
+//!
+//! One backend per device the paper evaluates (§IV):
+//!
+//! * [`cpu::CpuBackend`] — Intel Xeon E5-2609 v2 (10 MB LLC, 34 GB/s
+//!   peak): multicore cache hierarchy with a stream prefetcher; NDRange
+//!   kernels fan out over all cores, single-work-item kernels run on one;
+//! * [`gpu::GpuBackend`] — Nvidia GTX Titan Black (336 GB/s peak):
+//!   warp-level coalescing over a wide GDDR5 device, huge memory-level
+//!   parallelism for NDRange, catastrophic single-thread performance;
+//! * [`aocl::AoclBackend`] — Altera Stratix V with the AOCL 15.1 flow
+//!   (25.6 GB/s peak): single-work-item pipelines with burst-coalescing
+//!   LSUs, `num_simd_work_items` / `num_compute_units` replication with
+//!   fmax and arbitration costs, and a Stratix-V resource model;
+//! * [`sdaccel::SdaccelBackend`] — Xilinx Virtex-7 with SDAccel 2015.1
+//!   (10.6 GB/s peak): shared-port pipelines whose burst inference
+//!   prefers the *nested* loop form (the paper's Figure 3 surprise).
+//!
+//! [`registry::standard_platforms`] assembles the four as mpcl platforms;
+//! [`registry::TargetId`] names them the way the paper's figures do
+//! (`aocl`, `sdaccel`, `cpu`, `gpu`).
+//!
+//! Every constant that shapes a figure lives in the backend's `*Tuning`
+//! struct with datasheet-level defaults; the calibration tests in this
+//! crate pin the *shapes* (orderings, crossovers, ratio bands), not the
+//! absolute numbers.
+
+pub mod aocl;
+pub mod common;
+pub mod cpu;
+pub mod gpu;
+pub mod hmc;
+pub mod power;
+pub mod registry;
+pub mod resources;
+pub mod sdaccel;
+
+pub use aocl::{arria10_device, AoclBackend};
+pub use cpu::CpuBackend;
+pub use gpu::GpuBackend;
+pub use hmc::{hmc_device, HmcBackend};
+pub use registry::{standard_device, standard_platforms, TargetId};
+pub use sdaccel::SdaccelBackend;

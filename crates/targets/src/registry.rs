@@ -1,0 +1,138 @@
+//! The standard four-target registry, mirroring the paper's experimental
+//! setup (§IV).
+
+use crate::{AoclBackend, CpuBackend, GpuBackend, SdaccelBackend};
+use mpcl::{Device, Platform};
+
+/// The four targets, named as the paper's figure legends name them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetId {
+    /// Altera Stratix V via AOCL ("aocl").
+    FpgaAocl,
+    /// Xilinx Virtex-7 via SDAccel ("sdaccel").
+    FpgaSdaccel,
+    /// Intel Xeon E5-2609 v2 ("cpu").
+    Cpu,
+    /// GTX Titan Black ("gpu").
+    Gpu,
+}
+
+impl TargetId {
+    /// All four, in the paper's legend order.
+    pub const ALL: [TargetId; 4] =
+        [TargetId::FpgaAocl, TargetId::FpgaSdaccel, TargetId::Cpu, TargetId::Gpu];
+
+    /// The figure-legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TargetId::FpgaAocl => "aocl",
+            TargetId::FpgaSdaccel => "sdaccel",
+            TargetId::Cpu => "cpu",
+            TargetId::Gpu => "gpu",
+        }
+    }
+
+    /// Parse a figure-legend label.
+    pub fn from_label(s: &str) -> Option<TargetId> {
+        match s {
+            "aocl" => Some(TargetId::FpgaAocl),
+            "sdaccel" => Some(TargetId::FpgaSdaccel),
+            "cpu" => Some(TargetId::Cpu),
+            "gpu" => Some(TargetId::Gpu),
+            _ => None,
+        }
+    }
+
+    /// Is this one of the FPGA flows?
+    pub fn is_fpga(self) -> bool {
+        matches!(self, TargetId::FpgaAocl | TargetId::FpgaSdaccel)
+    }
+}
+
+/// A fresh device for one target, with default (paper-calibrated) tuning.
+pub fn standard_device(id: TargetId) -> Device {
+    match id {
+        TargetId::Cpu => Device::new(Box::new(CpuBackend::new())),
+        TargetId::Gpu => Device::new(Box::new(GpuBackend::new())),
+        TargetId::FpgaAocl => Device::new(Box::new(AoclBackend::new())),
+        TargetId::FpgaSdaccel => Device::new(Box::new(SdaccelBackend::new())),
+    }
+}
+
+/// The full experimental setup: four platforms, one device each, exactly
+/// as `clGetPlatformIDs` would enumerate them on the paper's machines.
+pub fn standard_platforms() -> Vec<Platform> {
+    vec![
+        Platform::new(
+            "Intel(R) OpenCL",
+            "Intel(R) Corporation",
+            "OpenCL 1.2",
+            vec![standard_device(TargetId::Cpu)],
+        ),
+        Platform::new(
+            "NVIDIA CUDA",
+            "NVIDIA Corporation",
+            "OpenCL 1.2 CUDA",
+            vec![standard_device(TargetId::Gpu)],
+        ),
+        Platform::new(
+            "Altera SDK for OpenCL",
+            "Altera Corporation",
+            "OpenCL 1.0 Altera SDK v15.1",
+            vec![standard_device(TargetId::FpgaAocl)],
+        ),
+        Platform::new(
+            "Xilinx SDAccel",
+            "Xilinx, Inc.",
+            "OpenCL 1.0 SDAccel 2015.1",
+            vec![standard_device(TargetId::FpgaSdaccel)],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcl::DeviceType;
+
+    #[test]
+    fn four_platforms_with_one_device_each() {
+        let ps = standard_platforms();
+        assert_eq!(ps.len(), 4);
+        assert!(ps.iter().all(|p| p.devices().len() == 1));
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for id in TargetId::ALL {
+            assert_eq!(TargetId::from_label(id.label()), Some(id));
+        }
+        assert_eq!(TargetId::from_label("tpu"), None);
+    }
+
+    #[test]
+    fn device_types_match() {
+        assert_eq!(standard_device(TargetId::Cpu).info().device_type, DeviceType::Cpu);
+        assert_eq!(standard_device(TargetId::Gpu).info().device_type, DeviceType::Gpu);
+        assert_eq!(
+            standard_device(TargetId::FpgaAocl).info().device_type,
+            DeviceType::Accelerator
+        );
+    }
+
+    #[test]
+    fn peak_bandwidths_match_paper_quotes() {
+        // §IV: CPU 34, GPU 336, AOCL 25, SDAccel 10 GB/s.
+        let peak = |id| standard_device(id).info().peak_gbps;
+        assert!((peak(TargetId::Cpu) - 34.0).abs() < 1.0);
+        assert!((peak(TargetId::Gpu) - 336.0).abs() < 2.0);
+        assert!((peak(TargetId::FpgaAocl) - 25.6).abs() < 1.0);
+        assert!((peak(TargetId::FpgaSdaccel) - 10.6).abs() < 1.0);
+    }
+
+    #[test]
+    fn fpga_flag() {
+        assert!(TargetId::FpgaAocl.is_fpga());
+        assert!(!TargetId::Gpu.is_fpga());
+    }
+}

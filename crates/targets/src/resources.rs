@@ -1,0 +1,233 @@
+//! FPGA resource estimation.
+//!
+//! The paper observes that AOCL's replication attributes "take up more
+//! FPGA resources when compared with equivalent native OpenCL
+//! optimizations" — so the resource model charges `num_simd_work_items`
+//! and especially `num_compute_units` more logic than plain
+//! vectorization, and synthesis fails when the device is over capacity.
+//! Utilisation also feeds fmax degradation (routing congestion).
+
+use kernelgen::{DataType, KernelConfig, VendorOpts};
+use mpcl::ResourceUsage;
+
+/// Device capacities for the two boards in the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct FpgaCapacity {
+    /// Total logic elements (ALMs for Stratix V, LUTs for Virtex-7).
+    pub capacity: ResourceUsage,
+    /// Logic consumed by the vendor's board support package / shell
+    /// before any kernel is placed.
+    pub shell: ResourceUsage,
+}
+
+impl FpgaCapacity {
+    /// Altera Stratix V GS D5 (Nallatech PCIe-385N): 172 600 ALMs,
+    /// 2014 M20K blocks, 1590 DSPs.
+    pub fn stratix_v_gsd5() -> Self {
+        FpgaCapacity {
+            capacity: ResourceUsage { logic: 172_600, bram: 2014, dsp: 1590 },
+            shell: ResourceUsage { logic: 28_000, bram: 220, dsp: 0 },
+        }
+    }
+
+    /// Intel Arria 10 GX 1150 (the "newer FPGA boards" outlook):
+    /// 427 200 ALMs, 2713 M20K blocks, 1518 DSPs.
+    pub fn arria10_gx1150() -> Self {
+        FpgaCapacity {
+            capacity: ResourceUsage { logic: 427_200, bram: 2713, dsp: 1518 },
+            shell: ResourceUsage { logic: 40_000, bram: 280, dsp: 0 },
+        }
+    }
+
+    /// Xilinx Virtex-7 690T (Alpha-Data ADM-PCIE-7V3): 433 200 LUTs,
+    /// 1470 BRAM36, 3600 DSPs.
+    pub fn virtex7_690t() -> Self {
+        FpgaCapacity {
+            capacity: ResourceUsage { logic: 433_200, bram: 1470, dsp: 3600 },
+            shell: ResourceUsage { logic: 60_000, bram: 180, dsp: 0 },
+        }
+    }
+}
+
+/// Per-configuration resource estimate, shared by both FPGA flows (the
+/// flows differ in capacity and constants, not structure).
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceModel {
+    /// Fixed kernel scaffolding (pipeline control, host interface).
+    pub kernel_base_logic: u64,
+    /// Logic per load/store unit per word of width.
+    pub lsu_logic_per_word: u64,
+    /// BRAM per LSU per word of width (burst buffers).
+    pub lsu_bram_per_word: u64,
+    /// Logic per ALU lane (adders/muxes).
+    pub alu_logic_per_word: u64,
+    /// Extra cost factor for `num_simd_work_items` relative to native
+    /// vectorization (> 1: the paper's observation).
+    pub simd_overhead: f64,
+    /// Extra scaffolding replicated per compute unit, beyond the kernel
+    /// itself (arbitration, duplicated control).
+    pub cu_overhead_logic: u64,
+}
+
+impl Default for ResourceModel {
+    fn default() -> Self {
+        ResourceModel {
+            kernel_base_logic: 4_000,
+            lsu_logic_per_word: 900,
+            lsu_bram_per_word: 6,
+            alu_logic_per_word: 350,
+            simd_overhead: 1.6,
+            cu_overhead_logic: 1_500,
+        }
+    }
+}
+
+impl ResourceModel {
+    /// Estimate the kernel's resource usage (excluding the shell).
+    pub fn estimate(&self, cfg: &KernelConfig) -> ResourceUsage {
+        let w = cfg.vector_width.get() as u64;
+        let unroll = cfg.unroll.max(1) as u64;
+        // Effective datapath width per pipeline from native constructs.
+        let native_words = w * unroll;
+        let lsus = cfg.op.arrays();
+
+        let (simd, cus) = match cfg.vendor {
+            VendorOpts::Aocl(a) => (a.num_simd_work_items as u64, a.num_compute_units as u64),
+            _ => (1, 1),
+        };
+
+        // DSPs: multipliers for the q scalar, per lane; doubles cost 4x.
+        let mult_lanes = if cfg.op.uses_q() { native_words * simd } else { 0 };
+        let dsp_per_lane = match cfg.dtype {
+            DataType::I32 => 1,
+            DataType::F64 => 4,
+        };
+        // ADD consumes a little logic per lane instead, folded into ALU.
+
+        let words_simd = (native_words * simd) as f64
+            * if simd > 1 { self.simd_overhead } else { 1.0 };
+        let one_cu = ResourceUsage {
+            logic: self.kernel_base_logic
+                + (lsus * self.lsu_logic_per_word) * words_simd.ceil() as u64
+                + self.alu_logic_per_word * words_simd.ceil() as u64,
+            bram: lsus * self.lsu_bram_per_word * native_words * simd + 16,
+            dsp: mult_lanes * dsp_per_lane,
+        };
+
+        ResourceUsage {
+            logic: one_cu.logic * cus + self.cu_overhead_logic * cus.saturating_sub(1),
+            bram: one_cu.bram * cus,
+            dsp: one_cu.dsp * cus,
+        }
+    }
+
+    /// Full-device utilisation in `[0, ∞)` including the shell; > 1 means
+    /// the build fails.
+    pub fn utilisation(&self, cfg: &KernelConfig, cap: FpgaCapacity) -> f64 {
+        self.estimate(cfg).plus(cap.shell).utilisation(cap.capacity)
+    }
+
+    /// A synthesis-report-style log line.
+    pub fn report(&self, cfg: &KernelConfig, cap: FpgaCapacity) -> String {
+        let u = self.estimate(cfg);
+        let total = u.plus(cap.shell);
+        format!(
+            "kernel mp_{}: logic {} ({:.1}%), bram {} ({:.1}%), dsp {} ({:.1}%)",
+            cfg.op.name(),
+            u.logic,
+            100.0 * total.logic as f64 / cap.capacity.logic as f64,
+            u.bram,
+            100.0 * total.bram as f64 / cap.capacity.bram as f64,
+            u.dsp,
+            100.0 * total.dsp as f64 / cap.capacity.dsp.max(1) as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernelgen::{AoclOpts, LoopMode, StreamOp};
+
+    fn cfg() -> KernelConfig {
+        KernelConfig::baseline(StreamOp::Triad, 1 << 20)
+    }
+
+    fn with_aocl(simd: u32, cu: u32) -> KernelConfig {
+        let mut c = cfg();
+        c.loop_mode = LoopMode::NdRange;
+        c.reqd_work_group_size = true;
+        c.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: simd, num_compute_units: cu });
+        c
+    }
+
+    #[test]
+    fn wider_vectors_cost_more() {
+        let m = ResourceModel::default();
+        let narrow = m.estimate(&cfg());
+        let mut wide_cfg = cfg();
+        wide_cfg.vector_width = kernelgen::VectorWidth::new(16).unwrap();
+        let wide = m.estimate(&wide_cfg);
+        assert!(wide.logic > narrow.logic * 4);
+        assert!(wide.bram > narrow.bram);
+    }
+
+    #[test]
+    fn simd_costs_more_than_native_vectorization() {
+        let m = ResourceModel::default();
+        let mut native = cfg();
+        native.vector_width = kernelgen::VectorWidth::new(8).unwrap();
+        let simd = with_aocl(8, 1);
+        assert!(
+            m.estimate(&simd).logic > m.estimate(&native).logic,
+            "paper: vendor replication uses more resources than native vectorization"
+        );
+    }
+
+    #[test]
+    fn compute_units_replicate_everything() {
+        let m = ResourceModel::default();
+        let one = m.estimate(&with_aocl(1, 1));
+        let four = m.estimate(&with_aocl(1, 4));
+        assert!(four.logic > 4 * one.logic, "CU duplication plus arbitration overhead");
+        assert_eq!(four.bram, 4 * one.bram);
+    }
+
+    #[test]
+    fn copy_uses_no_dsps_triad_does() {
+        let m = ResourceModel::default();
+        let copy = m.estimate(&KernelConfig::baseline(StreamOp::Copy, 1024));
+        assert_eq!(copy.dsp, 0);
+        assert!(m.estimate(&cfg()).dsp > 0);
+        let mut f64_triad = cfg();
+        f64_triad.dtype = DataType::F64;
+        assert!(m.estimate(&f64_triad).dsp > m.estimate(&cfg()).dsp);
+    }
+
+    #[test]
+    fn moderate_configs_fit_both_devices() {
+        let m = ResourceModel::default();
+        let mut c = cfg();
+        c.vector_width = kernelgen::VectorWidth::new(16).unwrap();
+        assert!(m.utilisation(&c, FpgaCapacity::stratix_v_gsd5()) < 1.0);
+        assert!(m.utilisation(&c, FpgaCapacity::virtex7_690t()) < 1.0);
+    }
+
+    #[test]
+    fn extreme_replication_overflows_stratix() {
+        let m = ResourceModel::default();
+        let c = with_aocl(16, 16);
+        assert!(
+            m.utilisation(&c, FpgaCapacity::stratix_v_gsd5()) > 1.0,
+            "16 SIMD x 16 CUs should not fit"
+        );
+    }
+
+    #[test]
+    fn report_mentions_percentages() {
+        let m = ResourceModel::default();
+        let r = m.report(&cfg(), FpgaCapacity::stratix_v_gsd5());
+        assert!(r.contains("%"), "{r}");
+        assert!(r.contains("mp_triad"));
+    }
+}

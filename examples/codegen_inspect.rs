@@ -1,0 +1,55 @@
+//! Inspect the OpenCL-C kernels the benchmark generates — the exact text
+//! MP-STREAM's build scripts would hand to each vendor compiler for a
+//! given tuning-space point, including the vendor-specific attributes.
+//!
+//! ```text
+//! cargo run --example codegen_inspect
+//! ```
+
+use kernelgen::{
+    generate_source, AccessPattern, AoclOpts, KernelConfig, LoopMode, StreamOp, VectorWidth,
+    VendorOpts, XilinxOpts,
+};
+
+fn show(title: &str, cfg: &KernelConfig) {
+    println!("--- {title} ---");
+    println!("{}", generate_source(cfg));
+}
+
+fn main() {
+    // 1. The paper's §III NDRange listing.
+    let base = KernelConfig::baseline(StreamOp::Copy, 1 << 20);
+    show("NDRange copy (paper listing 1)", &base);
+
+    // 2. Single work-item flat loop (paper listing 2).
+    let mut flat = base.clone();
+    flat.loop_mode = LoopMode::SingleWorkItemFlat;
+    show("Single work-item, flat loop (paper listing 2)", &flat);
+
+    // 3. Single work-item nested loop (paper listing 3 — the SDAccel
+    //    surprise).
+    let mut nested = base.clone();
+    nested.loop_mode = LoopMode::SingleWorkItemNested;
+    show("Single work-item, nested loop (paper listing 3)", &nested);
+
+    // 4. Vectorized + unrolled AOCL triad with SIMD replication.
+    let mut aocl = KernelConfig::baseline(StreamOp::Triad, 1 << 20);
+    aocl.vector_width = VectorWidth::new(8).expect("allowed");
+    aocl.unroll = 4;
+    aocl.reqd_work_group_size = true;
+    aocl.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 4, num_compute_units: 2 });
+    show("AOCL: int8 triad, unroll 4, 4 SIMD work-items, 2 CUs", &aocl);
+
+    // 5. Xilinx pipelined double-precision scale over a strided view.
+    let mut xil = KernelConfig::baseline(StreamOp::Scale, 1 << 20);
+    xil.dtype = kernelgen::DataType::F64;
+    xil.loop_mode = LoopMode::SingleWorkItemFlat;
+    xil.pattern = AccessPattern::ColMajor { cols: Some(1024) };
+    xil.vendor = VendorOpts::Xilinx(XilinxOpts {
+        pipeline_loop: true,
+        max_memory_ports: true,
+        memory_port_width_bits: Some(512),
+        ..Default::default()
+    });
+    show("SDAccel: double scale, column-major, pipelined, 512-bit ports", &xil);
+}

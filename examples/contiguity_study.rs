@@ -1,0 +1,78 @@
+//! Contiguity study — quantifies the paper's "pre-shaping" takeaway:
+//! "if data is accessed repeatedly across many iterations ... there is a
+//! strong case to be made for pre-shaping that data to a format that
+//! leads to most efficient access from the acceleration device."
+//!
+//! For each target this example measures contiguous vs column-major
+//! COPY bandwidth at 16 MB, then computes the break-even reuse count:
+//! after how many strided passes does paying one host-side re-layout
+//! (two PCIe crossings + a host transpose) become a win?
+//!
+//! ```text
+//! cargo run --release --example contiguity_study
+//! ```
+
+use kernelgen::AccessPattern;
+use mpstream_core::{BenchConfig, Runner, Table};
+use targets::TargetId;
+
+fn main() {
+    const BYTES: u64 = 16 << 20;
+    println!("Contiguity study — COPY, {} MB arrays\n", BYTES >> 20);
+
+    let mut t = Table::new(&[
+        "target",
+        "contig GB/s",
+        "strided GB/s",
+        "slowdown",
+        "re-layout cost (ms)",
+        "break-even passes",
+    ]);
+
+    for target in TargetId::ALL {
+        let runner = Runner::for_target(target);
+        let mut contig = BenchConfig::copy_of_bytes(BYTES).with_validation(false);
+        let mut strided = BenchConfig::copy_of_bytes(BYTES).with_validation(false);
+        strided.kernel.pattern = AccessPattern::ColMajor { cols: None };
+        if target.is_fpga() {
+            contig.kernel.loop_mode = kernelgen::LoopMode::SingleWorkItemFlat;
+            strided.kernel.loop_mode = kernelgen::LoopMode::SingleWorkItemFlat;
+        }
+
+        let mc = runner.run(&contig).expect("contiguous run");
+        let ms = runner.run(&strided).expect("strided run");
+
+        // Re-layout: read the array back, transpose on the host (~5 GB/s
+        // effective), write it again. Device-side time per pass saved:
+        let relayout_ns = 2.0 * transfer_ns(&runner, BYTES) + BYTES as f64 / 5.0;
+        let per_pass_saving_ns = ms.best_wall_ns - mc.best_wall_ns;
+        let breakeven = if per_pass_saving_ns > 0.0 {
+            (relayout_ns / per_pass_saving_ns).ceil()
+        } else {
+            f64::INFINITY
+        };
+
+        t.row(&[
+            target.label().to_string(),
+            format!("{:.2}", mc.gbps()),
+            format!("{:.3}", ms.gbps()),
+            format!("{:.0}x", mc.gbps() / ms.gbps()),
+            format!("{:.2}", relayout_ns / 1e6),
+            format!("{breakeven}"),
+        ]);
+    }
+
+    println!("{}", t.to_text());
+    println!("Reading: a weather-model-style time loop re-reads its grid every step;");
+    println!("when the step count exceeds the break-even column, transpose first.");
+}
+
+fn transfer_ns(runner: &mpstream_core::Runner, bytes: u64) -> f64 {
+    // Ask the device model directly for a one-way transfer estimate.
+    let device = runner.device().clone();
+    let ctx = mpcl::Context::new(device);
+    let q = mpcl::CommandQueue::new_timing_only(&ctx);
+    let buf = mpcl::Buffer::new(&ctx, mpcl::MemFlags::ReadWrite, bytes).expect("buffer");
+    let ev = q.enqueue_write(&buf, &vec![0u8; bytes as usize]).expect("write");
+    ev.wall_ns()
+}

@@ -1,0 +1,73 @@
+//! Memory-controller scheduling study: FCFS vs FR-FCFS on the access
+//! patterns MP-STREAM generates.
+//!
+//! The paper observes that sustained bandwidth depends on parameters
+//! "not all relevant to CPUs or GPUs" — the memory controller's
+//! scheduling policy is one layer below even those. This example replays
+//! three canonical traces through both policies of
+//! `memsim::MemoryController` and shows where reordering matters: not on
+//! clean sequential streams, and not on hopeless row-thrash, but exactly
+//! on *interleaved* sequential streams (two MP-STREAM arrays sharing a
+//! channel).
+//!
+//! ```text
+//! cargo run --release --example controller_study
+//! ```
+
+use memsim::{
+    interleaved_trace, Access, DramConfig, MemoryController, SchedPolicy, TimedRequest,
+};
+use mpstream_core::Table;
+
+fn replay(cfg: DramConfig, policy: SchedPolicy, trace: &[TimedRequest]) -> (f64, f64) {
+    let mut mc = MemoryController::new(cfg.clone(), policy, 32);
+    let out = mc.replay(trace);
+    let ns = cfg.freq.cycles_to_ns(out.finish_cycle);
+    let bytes: u64 = trace.iter().map(|r| r.access.bytes as u64).sum();
+    (bytes as f64 / ns, out.stats.row_hit_rate())
+}
+
+fn main() {
+    let cfg = DramConfig::ddr3_fpga_aocl();
+    println!(
+        "Controller study on the AOCL board's DDR3 ({:.1} GB/s peak), window 32\n",
+        cfg.peak_gbps()
+    );
+
+    let sequential: Vec<TimedRequest> = (0..4096u64)
+        .map(|i| TimedRequest { arrival: i, access: Access::read(i * 64, 64) })
+        .collect();
+    let interleaved = interleaved_trace(2048, 1 << 21);
+    let random: Vec<TimedRequest> = (0..4096u64)
+        .map(|i| TimedRequest {
+            arrival: i,
+            access: Access::read((i.wrapping_mul(2654435761) % (1 << 26)) & !63, 64),
+        })
+        .collect();
+
+    let mut t = Table::new(&[
+        "trace",
+        "FCFS GB/s",
+        "FCFS row-hit",
+        "FR-FCFS GB/s",
+        "FR-FCFS row-hit",
+        "speedup",
+    ]);
+    for (name, trace) in
+        [("sequential", &sequential), ("interleaved streams", &interleaved), ("random", &random)]
+    {
+        let (f_bw, f_rh) = replay(cfg.clone(), SchedPolicy::Fcfs, trace);
+        let (r_bw, r_rh) = replay(cfg.clone(), SchedPolicy::FrFcfs { cap: 16 }, trace);
+        t.row(&[
+            name.to_string(),
+            format!("{f_bw:.2}"),
+            format!("{:.0}%", f_rh * 100.0),
+            format!("{r_bw:.2}"),
+            format!("{:.0}%", r_rh * 100.0),
+            format!("{:.2}x", r_bw / f_bw),
+        ]);
+    }
+    println!("{}", t.to_text());
+    println!("FR-FCFS pays off exactly where MP-STREAM's multi-array kernels live:");
+    println!("several sequential streams time-multiplexed onto one memory channel.");
+}

@@ -1,0 +1,22 @@
+//! Energy efficiency across the targets — the dimension the paper left
+//! for future work ("one area where FPGAs can still win in spite of the
+//! higher achievable bandwidths on GPUs", §IV) — including the
+//! HMC-outlook FPGA board where the conjecture comes true.
+//!
+//! ```text
+//! cargo run --release --example energy_efficiency
+//! ```
+
+use mpstream_core::extensions::{ext_energy, ext_hmc};
+
+fn main() {
+    let energy = ext_energy();
+    println!("{}\n", energy.title);
+    println!("{}", energy.table.to_text());
+    for n in &energy.notes {
+        println!("  -> {n}");
+    }
+
+    println!("\n{}\n", ext_hmc().title);
+    println!("{}", ext_hmc().table.to_text());
+}

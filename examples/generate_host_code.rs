@@ -1,0 +1,30 @@
+//! Generate the complete OpenCL C host program + kernel for a tuning
+//! point — what you would actually compile and run on real hardware to
+//! carry a simulated design-space result over to a physical board.
+//!
+//! ```text
+//! cargo run --example generate_host_code > mp_stream_host.c
+//! ```
+
+use kernelgen::{generate_host_program, HostOptions, KernelConfig, LoopMode, StreamOp, VectorWidth};
+
+fn main() {
+    // The best AOCL configuration the DSE example finds: vectorized,
+    // single-work-item, unrolled.
+    let mut cfg = KernelConfig::baseline(StreamOp::Copy, 1 << 20);
+    cfg.loop_mode = LoopMode::SingleWorkItemFlat;
+    cfg.vector_width = VectorWidth::new(16).expect("allowed");
+    cfg.unroll = 4;
+
+    let opts = HostOptions {
+        platform_filter: "Altera".into(),
+        ntimes: 10,
+        binary_kernel: true, // FPGA flow: kernel precompiled to .aocx
+    };
+
+    println!("{}", generate_host_program(&cfg, &opts));
+    eprintln!("— host program on stdout; compile the kernel separately with:");
+    eprintln!("  aoc mp_stream.cl -o mp_stream.aocx   (kernel source below)");
+    eprintln!();
+    eprintln!("{}", kernelgen::generate_source(&cfg));
+}

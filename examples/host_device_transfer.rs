@@ -1,0 +1,49 @@
+//! The paper's "source/destination of streams" knob: measure the
+//! end-to-end rate when every repetition streams the arrays across the
+//! host–device link (PCIe) instead of keeping them in device DRAM —
+//! "in the typical case [this] would give us the bandwidth over a PCIe
+//! host-device interface" (§III).
+//!
+//! ```text
+//! cargo run --release --example host_device_transfer
+//! ```
+
+use mpstream_core::{BenchConfig, Runner, Table};
+use targets::TargetId;
+
+fn main() {
+    println!("Stream source/destination: device-global vs host-over-link\n");
+
+    let mut t = Table::new(&[
+        "target",
+        "size MB",
+        "device-global GB/s",
+        "host-over-link GB/s",
+        "link-bound slowdown",
+    ]);
+
+    for target in TargetId::ALL {
+        let runner = Runner::for_target(target);
+        for bytes in [1u64 << 20, 16 << 20] {
+            let mut device = BenchConfig::copy_of_bytes(bytes).with_validation(false);
+            let mut link = BenchConfig::copy_of_bytes(bytes).with_validation(false).over_link();
+            if target.is_fpga() {
+                device.kernel.loop_mode = kernelgen::LoopMode::SingleWorkItemFlat;
+                link.kernel.loop_mode = kernelgen::LoopMode::SingleWorkItemFlat;
+            }
+            let dg = runner.run(&device).expect("device-global run");
+            let hl = runner.run(&link).expect("host-over-link run");
+            t.row(&[
+                target.label().to_string(),
+                format!("{}", bytes >> 20),
+                format!("{:.2}", dg.gbps()),
+                format!("{:.2}", hl.gbps()),
+                format!("{:.1}x", dg.gbps() / hl.gbps()),
+            ]);
+        }
+    }
+
+    println!("{}", t.to_text());
+    println!("The GPU loses the most in absolute terms (336 GB/s DRAM vs ~12 GB/s PCIe);");
+    println!("the CPU 'link' is loopback shared memory, so it barely changes.");
+}

@@ -1,0 +1,52 @@
+//! Run the *real* STREAM benchmark on this machine (the `nativebw`
+//! crate), plus the column-major strided copy — the reality anchor for
+//! the simulated CPU target.
+//!
+//! ```text
+//! cargo run --release --example native_stream [elements-per-array]
+//! ```
+
+use mpstream_core::Table;
+use nativebw::{strided_copy_gbps, stream_benchmark, NativeConfig};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8 << 20); // 64 MB per array by default
+
+    let cfg = NativeConfig { n, ..Default::default() };
+    println!(
+        "Native STREAM: {} elements/array ({} MB), {} threads, {} iterations\n",
+        cfg.n,
+        cfg.n * 8 >> 20,
+        cfg.threads,
+        cfg.ntimes
+    );
+
+    let report = stream_benchmark(&cfg);
+    let mut t = Table::new(&["kernel", "best GB/s", "avg ms", "min ms", "max ms"]);
+    for k in &report.kernels {
+        t.row(&[
+            k.kernel.name().to_string(),
+            format!("{:.2}", k.gbps()),
+            format!("{:.3}", k.avg_ns / 1e6),
+            format!("{:.3}", k.min_ns / 1e6),
+            format!("{:.3}", k.max_ns / 1e6),
+        ]);
+    }
+    println!("{}", t.to_text());
+    println!("validated: {}", report.validated);
+
+    // The strided (column-major) comparison, near-square like Fig. 2.
+    let cols = (n as f64).sqrt() as usize;
+    let rows = n / cols.max(1);
+    let strided = strided_copy_gbps(rows, cols, cfg.threads, 3);
+    let contig = report.kernels[0].gbps();
+    println!(
+        "\nstrided (column-major {rows}x{cols}) copy: {strided:.2} GB/s \
+         — {:.1}x slower than contiguous ({contig:.2} GB/s)",
+        contig / strided
+    );
+    println!("(compare with the simulated CPU target's Fig. 2 curves)");
+}

@@ -1,0 +1,59 @@
+//! The bandwidth-vs-resources Pareto frontier on the AOCL FPGA.
+//!
+//! On an FPGA the benchmark kernel shares the fabric with the actual
+//! application, so the design point a user wants is rarely "fastest at
+//! any cost" — it is the frontier of configurations where no other
+//! config is both faster *and* smaller. This example sweeps the AOCL
+//! tuning space and prints that frontier.
+//!
+//! ```text
+//! cargo run --release --example pareto_front
+//! ```
+
+use kernelgen::{LoopMode, StreamOp};
+use mpstream_core::sweep::{pareto_front, run_space};
+use mpstream_core::{BenchConfig, ParamSpace, Runner, Table};
+use targets::TargetId;
+
+fn main() {
+    let space = ParamSpace {
+        ops: vec![StreamOp::Copy],
+        sizes_bytes: vec![4 << 20],
+        widths: vec![1, 2, 4, 8, 16],
+        loop_modes: vec![LoopMode::SingleWorkItemFlat, LoopMode::SingleWorkItemNested],
+        unrolls: vec![1, 2, 4],
+        ..Default::default()
+    };
+
+    println!("Sweeping {} configurations on the AOCL FPGA...\n", space.configs().len());
+    let sweep = run_space(&Runner::for_target(TargetId::FpgaAocl), &space, |k| {
+        BenchConfig::new(k).with_ntimes(1).with_validation(false)
+    });
+    println!(
+        "{} points measured, {} synthesis failures\n",
+        sweep.points.len() - sweep.failures(),
+        sweep.failures()
+    );
+
+    let front = pareto_front(&sweep);
+    let mut t = Table::new(&["logic (ALMs)", "GB/s", "config"]);
+    for p in &front {
+        t.row(&[
+            p.logic.to_string(),
+            format!("{:.2}", p.gbps),
+            format!(
+                "vec{} {} unroll {}",
+                p.config.vector_width.get(),
+                p.config.loop_mode.label(),
+                p.config.unroll
+            ),
+        ]);
+    }
+    println!("Pareto frontier (maximize GB/s, minimize logic):\n");
+    println!("{}", t.to_text());
+    println!(
+        "Every other configuration is dominated: something on this frontier is\n\
+         at least as fast and uses no more logic. A designer picks by the\n\
+         fabric budget left over after placing the application."
+    );
+}

@@ -1,0 +1,43 @@
+//! Quickstart: enumerate the four simulated platforms, run the COPY
+//! kernel with the paper's plateau size (4 MB) on each device, and
+//! print sustained bandwidth next to the device's peak.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mpstream_core::{BenchConfig, Runner, Table};
+use targets::standard_platforms;
+
+fn main() {
+    println!("MP-STREAM quickstart — COPY kernel, 4 MB arrays, 32-bit words\n");
+
+    let mut table = Table::new(&["platform", "device", "peak GB/s", "sustained GB/s", "% of peak", "valid"]);
+
+    for platform in standard_platforms() {
+        for device in platform.devices() {
+            // The paper's baseline kernel with the loop management that
+            // suits the device (NDRange for CPU/GPU, a single-work-item
+            // loop for the FPGAs).
+            let mut bc = BenchConfig::copy_of_bytes(4 << 20);
+            if device.info().device_type == mpcl::DeviceType::Accelerator {
+                bc.kernel.loop_mode = kernelgen::LoopMode::SingleWorkItemFlat;
+            }
+
+            let m = Runner::new(device.clone()).run(&bc).expect("benchmark run failed");
+            let peak = device.info().peak_gbps;
+            table.row(&[
+                platform.name().to_string(),
+                device.info().name.clone(),
+                format!("{peak:.1}"),
+                format!("{:.2}", m.gbps()),
+                format!("{:.0}%", 100.0 * m.gbps() / peak),
+                format!("{:?}", m.validated == Some(true)),
+            ]);
+        }
+    }
+
+    println!("{}", table.to_text());
+    println!("Tip: the sustained/peak gap on the FPGAs is the paper's point —");
+    println!("rerun with vectorization (see the design_space_exploration example).");
+}

@@ -1,0 +1,42 @@
+//! The MP-STREAM command-line tool — the simulated-device equivalent of
+//! the paper's benchmark binary.
+//!
+//! ```text
+//! mpstream --target aocl --kernel copy --size 4M --vector 16 --loop flat
+//! mpstream --list-devices
+//! mpstream --show-kernel --target sdaccel --loop nested
+//! ```
+//!
+//! All parsing and execution lives in `mpstream_core::cli` (unit-tested);
+//! this binary only wires stdin/stdout/exit codes.
+
+use mpstream_core::cli;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-devices") {
+        print!("{}", cli::list_devices());
+        return ExitCode::SUCCESS;
+    }
+    match cli::parse_args(&args) {
+        Ok(None) => {
+            println!("{}", cli::USAGE);
+            ExitCode::SUCCESS
+        }
+        Ok(Some(req)) => match cli::execute(&req) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(1)
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

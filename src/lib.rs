@@ -1,0 +1,20 @@
+//! # MP-STREAM (reproduction)
+//!
+//! Facade crate re-exporting the whole MP-STREAM workspace:
+//!
+//! * [`memsim`] — memory-system simulation building blocks;
+//! * [`kernelgen`] — STREAM kernel IR, OpenCL-C codegen, interpretation;
+//! * [`mpcl`] — the OpenCL-style host runtime with simulated devices;
+//! * [`targets`] — the four paper evaluation targets (CPU, GPU, two FPGAs);
+//! * [`core`](mpstream_core) — the benchmark itself: tuning configs,
+//!   runner, design-space exploration and reporting;
+//! * [`nativebw`] — a real multi-threaded STREAM for the host machine.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use kernelgen;
+pub use memsim;
+pub use mpcl;
+pub use mpstream_core;
+pub use nativebw;
+pub use targets;

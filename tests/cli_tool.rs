@@ -1,0 +1,83 @@
+//! Integration tests for the `mpstream` command-line tool's library
+//! surface (`mpstream_core::cli`): the full grammar, execution across
+//! targets, and error reporting.
+
+use mpstream_core::cli::{execute, kernel_config, list_devices, parse_args, CliRequest};
+use targets::TargetId;
+
+fn parse(args: &[&str]) -> CliRequest {
+    parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        .expect("parse ok")
+        .expect("not help")
+}
+
+#[test]
+fn end_to_end_on_every_target() {
+    for target in ["cpu", "gpu", "aocl", "sdaccel"] {
+        let mut req = parse(&["--target", target, "--size", "256K", "--ntimes", "1"]);
+        req.ops.truncate(2); // copy + scale: keep it quick
+        let out = execute(&req).unwrap_or_else(|e| panic!("{target}: {e}"));
+        assert!(out.contains("MP-STREAM on"), "{out}");
+        assert!(out.contains("copy"));
+        assert!(out.contains("true"), "validation ran and passed: {out}");
+    }
+}
+
+#[test]
+fn csv_mode_emits_csv() {
+    let mut req = parse(&["--size", "64K", "--ntimes", "1", "--csv"]);
+    req.ops.truncate(1);
+    let out = execute(&req).expect("runs");
+    assert!(out.contains("kernel,bytes/iter,best GB/s"), "{out}");
+}
+
+#[test]
+fn strided_pattern_flows_through() {
+    let req = parse(&["--pattern", "colmajor", "--size", "256K", "--ntimes", "1"]);
+    let cfg = kernel_config(&req, kernelgen::StreamOp::Copy).expect("config");
+    assert!(matches!(cfg.pattern, kernelgen::AccessPattern::ColMajor { .. }));
+    let out = execute(&req).expect("runs");
+    assert!(out.contains("copy"));
+}
+
+#[test]
+fn vendor_flags_build_aocl_attributes() {
+    let req = parse(&["--target", "aocl", "--loop", "ndrange", "--simd", "4", "--compute-units", "2"]);
+    let cfg = kernel_config(&req, kernelgen::StreamOp::Copy).expect("config");
+    match cfg.vendor {
+        kernelgen::VendorOpts::Aocl(a) => {
+            assert_eq!(a.num_simd_work_items, 4);
+            assert_eq!(a.num_compute_units, 2);
+        }
+        other => panic!("expected AOCL opts, got {other:?}"),
+    }
+    assert!(cfg.reqd_work_group_size, "SIMD requires reqd_work_group_size");
+}
+
+#[test]
+fn big_arrays_skip_validation_automatically() {
+    let mut req = parse(&["--size", "64M", "--ntimes", "1", "--target", "gpu"]);
+    req.ops.truncate(1);
+    let out = execute(&req).expect("runs");
+    assert!(out.contains("skipped"), "{out}");
+}
+
+#[test]
+fn listing_matches_registry() {
+    let listing = list_devices();
+    for target in TargetId::ALL {
+        let device = targets::standard_device(target);
+        assert!(
+            listing.contains(&device.info().name),
+            "{listing} missing {}",
+            device.info().name
+        );
+    }
+}
+
+#[test]
+fn invalid_vector_width_surfaces_cleanly() {
+    let req = parse(&["--vector", "3"]);
+    let err = kernel_config(&req, kernelgen::StreamOp::Copy).unwrap_err();
+    assert!(err.contains("vector width"), "{err}");
+}

@@ -1,0 +1,155 @@
+//! Cross-crate integration tests: the full benchmark pipeline from
+//! platform enumeration through kernel execution, timing and validation,
+//! on all four simulated targets.
+
+use kernelgen::{
+    AccessPattern, DataType, KernelConfig, LoopMode, StreamOp, VectorWidth,
+};
+use mpstream_core::{BenchConfig, Runner, StreamLocation};
+use targets::{standard_platforms, TargetId};
+
+#[test]
+fn platform_enumeration_matches_the_paper_setup() {
+    let platforms = standard_platforms();
+    assert_eq!(platforms.len(), 4);
+    let names: Vec<&str> = platforms.iter().map(|p| p.name()).collect();
+    assert!(names.iter().any(|n| n.contains("Intel")));
+    assert!(names.iter().any(|n| n.contains("NVIDIA")));
+    assert!(names.iter().any(|n| n.contains("Altera")));
+    assert!(names.iter().any(|n| n.contains("Xilinx")));
+}
+
+#[test]
+fn every_kernel_validates_on_every_target() {
+    for target in TargetId::ALL {
+        for op in StreamOp::ALL {
+            let mut kernel = KernelConfig::baseline(op, 1 << 14);
+            if target.is_fpga() {
+                kernel.loop_mode = LoopMode::SingleWorkItemFlat;
+            }
+            let m = Runner::for_target(target)
+                .run(&BenchConfig::new(kernel))
+                .unwrap_or_else(|e| panic!("{target:?}/{op:?}: {e}"));
+            assert_eq!(m.validated, Some(true), "{target:?}/{op:?}");
+            assert!(m.gbps() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    for target in TargetId::ALL {
+        let bc = BenchConfig::copy_of_bytes(1 << 20);
+        let m1 = Runner::for_target(target).run(&bc).expect("run 1");
+        let m2 = Runner::for_target(target).run(&bc).expect("run 2");
+        assert_eq!(m1.best_wall_ns, m2.best_wall_ns, "{target:?} must be deterministic");
+        assert_eq!(m1.best_kernel_ns, m2.best_kernel_ns);
+    }
+}
+
+#[test]
+fn every_loop_mode_runs_everywhere() {
+    for target in TargetId::ALL {
+        for mode in LoopMode::ALL {
+            let mut kernel = KernelConfig::baseline(StreamOp::Copy, 1 << 14);
+            kernel.loop_mode = mode;
+            let m = Runner::for_target(target)
+                .run(&BenchConfig::new(kernel))
+                .unwrap_or_else(|e| panic!("{target:?}/{mode:?}: {e}"));
+            assert_eq!(m.validated, Some(true), "{target:?}/{mode:?}");
+        }
+    }
+}
+
+#[test]
+fn every_pattern_runs_and_validates() {
+    let patterns = [
+        AccessPattern::Contiguous,
+        AccessPattern::ColMajor { cols: None },
+        AccessPattern::ColMajor { cols: Some(64) },
+        AccessPattern::Strided { stride: 4 },
+    ];
+    for target in [TargetId::Cpu, TargetId::Gpu, TargetId::FpgaAocl] {
+        for pattern in patterns {
+            let mut kernel = KernelConfig::baseline(StreamOp::Triad, 1 << 14);
+            kernel.pattern = pattern;
+            if target.is_fpga() {
+                kernel.loop_mode = LoopMode::SingleWorkItemFlat;
+            }
+            let m = Runner::for_target(target)
+                .run(&BenchConfig::new(kernel))
+                .unwrap_or_else(|e| panic!("{target:?}/{pattern:?}: {e}"));
+            assert_eq!(m.validated, Some(true), "{target:?}/{pattern:?}");
+        }
+    }
+}
+
+#[test]
+fn doubles_move_more_bytes_than_ints() {
+    let mut i32_k = KernelConfig::baseline(StreamOp::Copy, 1 << 16);
+    i32_k.dtype = DataType::I32;
+    let mut f64_k = KernelConfig::baseline(StreamOp::Copy, 1 << 16);
+    f64_k.dtype = DataType::F64;
+    let r = Runner::for_target(TargetId::Cpu);
+    let mi = r.run(&BenchConfig::new(i32_k)).expect("i32");
+    let mf = r.run(&BenchConfig::new(f64_k)).expect("f64");
+    assert_eq!(mf.bytes_moved, 2 * mi.bytes_moved);
+}
+
+#[test]
+fn wider_vectors_help_fpgas_not_required_on_gpu() {
+    let run = |target: TargetId, width: u32| {
+        let mut kernel = KernelConfig::baseline(StreamOp::Copy, 1 << 20);
+        kernel.vector_width = VectorWidth::new(width).expect("allowed");
+        if target.is_fpga() {
+            kernel.loop_mode = LoopMode::SingleWorkItemFlat;
+        }
+        Runner::for_target(target)
+            .run(&BenchConfig::new(kernel).with_validation(false))
+            .expect("run")
+            .gbps()
+    };
+    // FPGA: vectorization is the headline lever.
+    assert!(run(TargetId::FpgaAocl, 16) > 3.0 * run(TargetId::FpgaAocl, 1));
+    // GPU: scalar NDRange already coalesces; w16 must not be required.
+    assert!(run(TargetId::Gpu, 1) > 0.5 * run(TargetId::Gpu, 16));
+}
+
+#[test]
+fn host_link_measurement_bounded_by_pcie() {
+    let bc = BenchConfig::copy_of_bytes(16 << 20).with_validation(false).over_link();
+    assert_eq!(bc.location, StreamLocation::HostOverLink);
+    let m = Runner::for_target(TargetId::Gpu).run(&bc).expect("run");
+    // PCIe x16 is ~12 GB/s; the round-trip measurement must sit below it.
+    assert!(m.gbps() < 13.0, "link-bound rate {}", m.gbps());
+}
+
+#[test]
+fn fpga_builds_report_synthesis_artifacts() {
+    let mut kernel = KernelConfig::baseline(StreamOp::Scale, 1 << 14);
+    kernel.loop_mode = LoopMode::SingleWorkItemFlat;
+    kernel.vector_width = VectorWidth::new(8).expect("allowed");
+    for target in [TargetId::FpgaAocl, TargetId::FpgaSdaccel] {
+        let m = Runner::for_target(target).run(&BenchConfig::new(kernel.clone())).expect("run");
+        let fmax = m.fmax_mhz.expect("fpga fmax");
+        assert!(fmax > 50.0 && fmax < 400.0, "{target:?} fmax {fmax}");
+        let res = m.resources.expect("fpga resources");
+        assert!(res.logic > 0);
+        assert!(m.build_log.contains("%"), "synthesis report: {}", m.build_log);
+    }
+}
+
+#[test]
+fn generated_source_matches_executed_config() {
+    let mut kernel = KernelConfig::baseline(StreamOp::Triad, 1 << 12);
+    kernel.vector_width = VectorWidth::new(4).expect("allowed");
+    kernel.unroll = 2;
+    kernel.loop_mode = LoopMode::SingleWorkItemFlat;
+    let src = kernelgen::generate_source(&kernel);
+    assert!(src.contains("mp_triad"));
+    assert!(src.contains("int4"));
+    assert!(src.contains("opencl_unroll_hint(2)"));
+    // And the same config actually runs.
+    let m = Runner::for_target(TargetId::FpgaSdaccel).run(&BenchConfig::new(kernel)).expect("run");
+    assert_eq!(m.validated, Some(true));
+}

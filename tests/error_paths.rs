@@ -1,0 +1,122 @@
+//! Failure-injection integration tests: every way a benchmark request
+//! can go wrong must surface as a typed OpenCL-style error, never a
+//! panic or a silent wrong number.
+
+use kernelgen::{AoclOpts, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts};
+use mpcl::{Buffer, ClError, CommandQueue, Context, Kernel, MemFlags, Program};
+use mpstream_core::{BenchConfig, Runner};
+use targets::{standard_device, TargetId};
+
+fn ctx(target: TargetId) -> Context {
+    Context::new(standard_device(target))
+}
+
+#[test]
+fn zero_length_array_rejected() {
+    let mut kernel = KernelConfig::baseline(StreamOp::Copy, 0);
+    kernel.n_words = 0;
+    // The zero-byte buffer allocation fails before the program builds,
+    // mirroring OpenCL's CL_INVALID_BUFFER_SIZE.
+    let err = Runner::for_target(TargetId::Cpu).run(&BenchConfig::new(kernel));
+    assert!(matches!(err, Err(ClError::InvalidBufferSize { .. })), "{err:?}");
+}
+
+#[test]
+fn unroll_that_does_not_divide_rejected() {
+    let mut kernel = KernelConfig::baseline(StreamOp::Copy, 1000);
+    kernel.loop_mode = LoopMode::SingleWorkItemFlat;
+    kernel.unroll = 3;
+    let err = Runner::for_target(TargetId::FpgaAocl).run(&BenchConfig::new(kernel));
+    match err {
+        Err(ClError::BuildProgramFailure(log)) => assert!(log.contains("unroll"), "{log}"),
+        other => panic!("expected build failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_fpga_design_fails_with_utilisation_report() {
+    let mut kernel = KernelConfig::baseline(StreamOp::Triad, 1 << 16);
+    kernel.loop_mode = LoopMode::NdRange;
+    kernel.reqd_work_group_size = true;
+    kernel.vector_width = VectorWidth::new(16).expect("allowed");
+    kernel.unroll = 4;
+    kernel.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 16, num_compute_units: 16 });
+    let err = Runner::for_target(TargetId::FpgaAocl).run(&BenchConfig::new(kernel));
+    match err {
+        Err(ClError::BuildProgramFailure(log)) => {
+            assert!(log.contains("does not fit"), "{log}");
+            assert!(log.contains("utilisation"), "{log}");
+        }
+        other => panic!("expected synthesis failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn device_memory_exhaustion_is_reported() {
+    // The GPU has 6 GiB; three 4 GiB buffers cannot fit.
+    let c = ctx(TargetId::Gpu);
+    let b1 = Buffer::new(&c, MemFlags::ReadWrite, 4 << 30);
+    assert!(b1.is_ok());
+    let b2 = Buffer::new(&c, MemFlags::ReadWrite, 4 << 30);
+    assert!(matches!(b2, Err(ClError::InvalidBufferSize { .. })));
+}
+
+#[test]
+fn overlapping_kernel_buffers_rejected() {
+    let c = ctx(TargetId::Cpu);
+    let kernel_cfg = KernelConfig::baseline(StreamOp::Copy, 2048); // needs 8 KiB
+    let p = Program::build(&c, kernel_cfg).expect("build");
+    let big = Buffer::new(&c, MemFlags::ReadWrite, 16 << 10).expect("buffer");
+    // Bind the same buffer as both source and destination.
+    let err = Kernel::new(&p, &big, &big, None);
+    assert_eq!(err.unwrap_err(), ClError::MemCopyOverlap);
+}
+
+#[test]
+fn work_group_larger_than_device_max_rejected() {
+    let c = ctx(TargetId::Gpu); // max wg 1024
+    let mut kernel_cfg = KernelConfig::baseline(StreamOp::Copy, 1 << 16);
+    kernel_cfg.work_group_size = 4096;
+    let err = Program::build(&c, kernel_cfg);
+    assert!(matches!(err, Err(ClError::InvalidWorkGroupSize(_))));
+}
+
+#[test]
+fn transfer_size_mismatch_rejected() {
+    let c = ctx(TargetId::FpgaSdaccel);
+    let q = CommandQueue::new(&c);
+    let buf = Buffer::new(&c, MemFlags::ReadWrite, 1024).expect("buffer");
+    let err = q.enqueue_write(&buf, &[0u8; 512]);
+    assert!(matches!(err, Err(ClError::InvalidValue(_))));
+}
+
+#[test]
+fn mixing_contexts_rejected() {
+    let c1 = ctx(TargetId::Cpu);
+    let c2 = ctx(TargetId::Cpu);
+    let q1 = CommandQueue::new(&c1);
+    let buf2 = Buffer::new(&c2, MemFlags::ReadWrite, 64).expect("buffer");
+    assert_eq!(q1.enqueue_write(&buf2, &[0u8; 64]).unwrap_err(), ClError::InvalidContext);
+}
+
+#[test]
+fn missing_second_source_for_add_rejected() {
+    let c = ctx(TargetId::Cpu);
+    let p = Program::build(&c, KernelConfig::baseline(StreamOp::Add, 1024)).expect("build");
+    let a = Buffer::new(&c, MemFlags::WriteOnly, 4096).expect("a");
+    let b = Buffer::new(&c, MemFlags::ReadOnly, 4096).expect("b");
+    assert!(matches!(Kernel::new(&p, &a, &b, None), Err(ClError::InvalidKernelArgs(_))));
+}
+
+#[test]
+fn errors_display_their_opencl_codes() {
+    let errs: Vec<(ClError, &str)> = vec![
+        (ClError::DeviceNotFound, "CL_DEVICE_NOT_FOUND"),
+        (ClError::MemCopyOverlap, "CL_MEM_COPY_OVERLAP"),
+        (ClError::InvalidContext, "CL_INVALID_CONTEXT"),
+        (ClError::InvalidValue("x".into()), "CL_INVALID_VALUE"),
+    ];
+    for (e, code) in errs {
+        assert!(e.to_string().contains(code), "{e}");
+    }
+}

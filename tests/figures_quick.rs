@@ -1,0 +1,57 @@
+//! Integration tests for the figure-regeneration pipeline: every panel
+//! regenerates in quick mode and preserves the paper's headline shapes.
+
+use mpstream_core::experiments::{run_figure, RunOpts};
+use mpstream_core::FigureId;
+
+#[test]
+fn all_six_figures_regenerate_without_notes() {
+    for id in FigureId::ALL {
+        let fig = run_figure(id, RunOpts::quick());
+        assert!(!fig.series.is_empty(), "{id:?} has series");
+        for s in &fig.series {
+            assert!(!s.points.is_empty(), "{id:?}/{} has points", s.label);
+            assert!(
+                s.points.iter().all(|&(_, y)| y.is_finite() && y > 0.0),
+                "{id:?}/{}: positive finite bandwidths: {:?}",
+                s.label,
+                s.points
+            );
+        }
+        assert!(fig.notes.is_empty(), "{id:?} unexpected notes: {:?}", fig.notes);
+    }
+}
+
+#[test]
+fn fig2_strided_never_beats_contiguous_at_the_largest_size() {
+    let fig = run_figure(FigureId::Fig2, RunOpts::quick());
+    for target in ["aocl", "sdaccel", "cpu", "gpu"] {
+        let last = |label: String| {
+            fig.series
+                .iter()
+                .find(|s| s.label == label)
+                .and_then(|s| s.points.last())
+                .map(|&(_, y)| y)
+                .unwrap_or_else(|| panic!("missing series {label}"))
+        };
+        let c = last(format!("{target}-contig"));
+        let s = last(format!("{target}-strided"));
+        assert!(s < c, "{target}: strided {s} vs contig {c}");
+    }
+}
+
+#[test]
+fn fig4a_add_and_triad_move_more_bytes_but_similar_rates() {
+    let fig = run_figure(FigureId::Fig4a, RunOpts::quick());
+    // Sanity: four kernels, four targets each.
+    assert_eq!(fig.series.len(), 4);
+    for s in &fig.series {
+        assert_eq!(s.points.len(), 4, "{}", s.label);
+    }
+}
+
+#[test]
+fn quick_and_full_options_differ_in_point_count() {
+    let quick = run_figure(FigureId::Fig1b, RunOpts::quick());
+    assert!(quick.series[0].points.len() < 5, "quick mode thins the sweep");
+}

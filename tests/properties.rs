@@ -1,0 +1,243 @@
+//! Property-based tests (proptest) over the core invariants:
+//! configuration → codegen/stream/interpreter coherence, coalescer
+//! conservation, simulator determinism, and end-to-end validation on
+//! randomly drawn tuning points.
+
+use kernelgen::{
+    access_stream, generate_source, total_accesses, validate, AccessPattern, DataType, ExecPlan,
+    KernelConfig, LoopMode, StreamOp, VectorWidth,
+};
+use memsim::{Access, AccessKind, Coalescer, Dram, DramConfig};
+use mpstream_core::{BenchConfig, Runner};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use targets::TargetId;
+
+fn arb_op() -> impl Strategy<Value = StreamOp> {
+    prop_oneof![
+        Just(StreamOp::Copy),
+        Just(StreamOp::Scale),
+        Just(StreamOp::Add),
+        Just(StreamOp::Triad)
+    ]
+}
+
+fn arb_dtype() -> impl Strategy<Value = DataType> {
+    prop_oneof![Just(DataType::I32), Just(DataType::F64)]
+}
+
+fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        Just(AccessPattern::Contiguous),
+        Just(AccessPattern::ColMajor { cols: None }),
+        (1u32..=5).prop_map(|e| AccessPattern::ColMajor { cols: Some(1 << e) }),
+        (1u32..=5).prop_map(|e| AccessPattern::Strided { stride: 1 << e }),
+    ]
+}
+
+fn arb_loop_mode() -> impl Strategy<Value = LoopMode> {
+    prop_oneof![
+        Just(LoopMode::NdRange),
+        Just(LoopMode::SingleWorkItemFlat),
+        Just(LoopMode::SingleWorkItemNested)
+    ]
+}
+
+/// Random valid configurations: power-of-two sizes with power-of-two
+/// widths/strides/unrolls, so divisibility holds by construction —
+/// `validate` is still asserted.
+fn arb_config() -> impl Strategy<Value = KernelConfig> {
+    (
+        arb_op(),
+        arb_dtype(),
+        10u32..=14, // n_words = 2^10 .. 2^14
+        prop::sample::select(&VectorWidth::ALLOWED[..]),
+        arb_pattern(),
+        arb_loop_mode(),
+        prop::sample::select(vec![1u32, 2, 4, 8]),
+    )
+        .prop_map(|(op, dtype, n_exp, width, pattern, loop_mode, unroll)| KernelConfig {
+            op,
+            dtype,
+            n_words: 1 << n_exp,
+            vector_width: VectorWidth::new(width).expect("allowed"),
+            pattern,
+            loop_mode,
+            unroll,
+            work_group_size: 64,
+            reqd_work_group_size: false,
+            vendor: Default::default(),
+            q: 3.0,
+        })
+        .prop_filter("valid configuration", |cfg| validate(cfg).is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_source_is_well_formed(cfg in arb_config()) {
+        let src = generate_source(&cfg);
+        let mut depth = 0i64;
+        for ch in src.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+            prop_assert!(depth >= 0, "unbalanced braces:\n{}", src);
+        }
+        prop_assert_eq!(depth, 0);
+        let entry = format!("mp_{}", cfg.op.name());
+        prop_assert!(src.contains(&entry));
+        if cfg.dtype == DataType::F64 {
+            prop_assert!(src.contains("cl_khr_fp64"));
+        }
+    }
+
+    #[test]
+    fn access_stream_is_complete_and_in_bounds(cfg in arb_config(), lane_exp in 0u32..6) {
+        let bytes = cfg.array_bytes();
+        let plan = ExecPlan::new(cfg.clone(), 0, bytes, 2 * bytes);
+        let lane_group = 1 << lane_exp;
+        let accs: Vec<_> = access_stream(&plan, lane_group).collect();
+        prop_assert_eq!(accs.len() as u64, total_accesses(&cfg));
+
+        // Every access lies inside exactly one array span, and per-array
+        // the touched offsets cover the array exactly once.
+        let mut reads_b = HashSet::new();
+        let mut reads_c = HashSet::new();
+        let mut writes_a = HashSet::new();
+        for a in &accs {
+            let (set, base) = match a.kind {
+                kernelgen::access::AccessKind::Write => (&mut writes_a, 0),
+                kernelgen::access::AccessKind::Read if a.addr < 2 * bytes => (&mut reads_b, bytes),
+                kernelgen::access::AccessKind::Read => (&mut reads_c, 2 * bytes),
+            };
+            let off = a.addr - base;
+            prop_assert!(off + a.bytes as u64 <= bytes, "access beyond array: {:?}", a);
+            prop_assert!(set.insert(off), "duplicate access at offset {}", off);
+        }
+        let vecs = cfg.n_vectors() as usize;
+        prop_assert_eq!(reads_b.len(), vecs);
+        prop_assert_eq!(writes_a.len(), vecs);
+        prop_assert_eq!(reads_c.len(), if cfg.op.uses_c() { vecs } else { 0 });
+    }
+
+    #[test]
+    fn interpreter_matches_elementwise_reference(cfg in arb_config()) {
+        let n = cfg.n_words as usize;
+        let w = cfg.dtype.word_bytes() as usize;
+        // Deterministic pseudo-random sources.
+        let word = |seed: usize, i: usize| -> i64 { ((i * 2654435761 + seed) % 1000) as i64 };
+        let mut b = vec![0u8; n * w];
+        let mut c = vec![0u8; n * w];
+        for i in 0..n {
+            match cfg.dtype {
+                DataType::I32 => {
+                    b[i * 4..i * 4 + 4].copy_from_slice(&(word(1, i) as i32).to_ne_bytes());
+                    c[i * 4..i * 4 + 4].copy_from_slice(&(word(2, i) as i32).to_ne_bytes());
+                }
+                DataType::F64 => {
+                    b[i * 8..i * 8 + 8].copy_from_slice(&(word(1, i) as f64).to_ne_bytes());
+                    c[i * 8..i * 8 + 8].copy_from_slice(&(word(2, i) as f64).to_ne_bytes());
+                }
+            }
+        }
+        let mut a = vec![0u8; n * w];
+        kernelgen::execute(&cfg, &mut a, &b, &c);
+
+        for i in 0..n {
+            let (bv, cv) = (word(1, i) as f64, word(2, i) as f64);
+            let expect = match cfg.op {
+                StreamOp::Copy => bv,
+                StreamOp::Scale => 3.0 * bv,
+                StreamOp::Add => bv + cv,
+                StreamOp::Triad => bv + 3.0 * cv,
+            };
+            let got = match cfg.dtype {
+                DataType::I32 => i32::from_ne_bytes(a[i * 4..i * 4 + 4].try_into().expect("4")) as f64,
+                DataType::F64 => f64::from_ne_bytes(a[i * 8..i * 8 + 8].try_into().expect("8")),
+            };
+            prop_assert_eq!(got, expect, "element {} of {:?}", i, cfg.op);
+        }
+    }
+
+    #[test]
+    fn extent_coalescer_conserves_bytes_and_order(
+        offsets in prop::collection::vec(0u64..10_000, 1..200),
+        window in 1usize..64,
+        cap_exp in 5u32..11,
+    ) {
+        let accesses: Vec<Access> = offsets.iter().map(|&o| Access::read(o * 4, 4)).collect();
+        let co = Coalescer::extent(1 << cap_exp, window);
+        let out: Vec<Access> = co.coalesce(accesses.clone()).collect();
+        // Exact byte conservation (extent mode never pads).
+        let in_bytes: u64 = accesses.iter().map(|a| a.bytes as u64).sum();
+        let out_bytes: u64 = out.iter().map(|a| a.bytes as u64).sum();
+        prop_assert_eq!(in_bytes, out_bytes);
+        // No transaction exceeds the burst cap.
+        prop_assert!(out.iter().all(|a| a.bytes <= 1 << cap_exp));
+    }
+
+    #[test]
+    fn aligned_coalescer_covers_every_request(
+        offsets in prop::collection::vec(0u64..10_000, 1..100),
+    ) {
+        let accesses: Vec<Access> = offsets.iter().map(|&o| Access::read(o * 4, 4)).collect();
+        let co = Coalescer::new(128, 32);
+        let out: Vec<Access> = co.coalesce(accesses.clone()).collect();
+        for a in &accesses {
+            prop_assert!(
+                out.iter().any(|s| s.addr <= a.addr
+                    && a.addr + a.bytes as u64 <= s.addr + s.bytes as u64
+                    && s.kind == a.kind),
+                "request {:?} not covered", a
+            );
+        }
+        // Aligned mode emits whole segments only.
+        prop_assert!(out.iter().all(|s| s.bytes == 128 && s.addr % 128 == 0));
+    }
+
+    #[test]
+    fn dram_completion_never_precedes_issue(
+        addr in 0u64..(1 << 24),
+        bytes in prop::sample::select(vec![4u32, 16, 64, 256, 1024]),
+        at in 0u64..100_000,
+        write in any::<bool>(),
+    ) {
+        let mut d = Dram::new(DramConfig::ddr3_quad_channel());
+        let acc = Access {
+            addr,
+            bytes,
+            kind: if write { AccessKind::Write } else { AccessKind::Read },
+        };
+        let (start, done) = d.service(at, acc);
+        prop_assert!(done > at, "done {} must be after issue {}", done, at);
+        prop_assert!(done > start || bytes == 0);
+    }
+}
+
+proptest! {
+    // End-to-end runs are heavier: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_configs_validate_end_to_end_on_cpu_and_aocl(cfg in arb_config()) {
+        for target in [TargetId::Cpu, TargetId::FpgaAocl] {
+            match Runner::for_target(target).run(&BenchConfig::new(cfg.clone()).with_ntimes(1)) {
+                Ok(m) => {
+                    prop_assert_eq!(m.validated, Some(true), "{:?}", target);
+                    prop_assert!(m.gbps().is_finite() && m.gbps() > 0.0);
+                }
+                // Wide-vector x deep-unroll points legitimately exceed
+                // the Stratix V's logic; synthesis failure is a valid
+                // sweep outcome, any other error is a bug.
+                Err(mpcl::ClError::BuildProgramFailure(log)) => {
+                    prop_assert!(log.contains("does not fit"), "unexpected build failure: {}", log);
+                }
+                Err(other) => prop_assert!(false, "unexpected error: {}", other),
+            }
+        }
+    }
+}
