@@ -4,9 +4,9 @@
 //! simulation) and its *simulated* bandwidth is printed once, so a run
 //! shows both what the mechanism costs and what it buys.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use kernelgen::{ExecPlan, KernelConfig, LoopMode, StreamOp};
 use mpcl::DeviceBackend;
+use mpstream_bench::harness::Harness;
 use std::hint::black_box;
 use targets::aocl::{AoclBackend, AoclTuning};
 use targets::cpu::{CpuBackend, CpuTuning};
@@ -24,23 +24,24 @@ fn gbps(backend: &mut dyn DeviceBackend, p: &ExecPlan) -> f64 {
     p.cfg.bytes_moved() as f64 / ns
 }
 
-fn bench_prefetcher_ablation(c: &mut Criterion) {
+fn bench_prefetcher_ablation(h: &Harness) {
     let p = plan(1 << 20, LoopMode::NdRange);
     let mut with = CpuBackend::new();
-    let mut without = CpuBackend::with_tuning(CpuTuning { prefetch_degree: 1, ..Default::default() });
+    let mut without = CpuBackend::with_tuning(CpuTuning {
+        prefetch_degree: 1,
+        ..Default::default()
+    });
     eprintln!(
         "[ablation] cpu 4MB copy: prefetch degree 32 -> {:.1} GB/s, degree 1 -> {:.1} GB/s",
         gbps(&mut with, &p),
         gbps(&mut without, &p)
     );
-    let mut g = c.benchmark_group("ablation_prefetcher");
-    g.sample_size(10);
-    g.bench_function("degree32", |b| b.iter(|| black_box(gbps(&mut with, &p))));
-    g.bench_function("degree1", |b| b.iter(|| black_box(gbps(&mut without, &p))));
-    g.finish();
+    let mut g = h.group("ablation_prefetcher");
+    g.bench("degree32", || black_box(gbps(&mut with, &p)));
+    g.bench("degree1", || black_box(gbps(&mut without, &p)));
 }
 
-fn bench_lsu_burst_ablation(c: &mut Criterion) {
+fn bench_lsu_burst_ablation(h: &Harness) {
     let p = plan(1 << 20, LoopMode::SingleWorkItemFlat);
     let mut long = AoclBackend::new();
     let mut short = AoclBackend::with_tuning(AoclTuning {
@@ -53,36 +54,33 @@ fn bench_lsu_burst_ablation(c: &mut Criterion) {
         gbps(&mut long, &p),
         gbps(&mut short, &p)
     );
-    let mut g = c.benchmark_group("ablation_lsu_burst");
-    g.sample_size(10);
-    g.bench_function("burst_1k", |b| b.iter(|| black_box(gbps(&mut long, &p))));
-    g.bench_function("burst_64", |b| b.iter(|| black_box(gbps(&mut short, &p))));
-    g.finish();
+    let mut g = h.group("ablation_lsu_burst");
+    g.bench("burst_1k", || black_box(gbps(&mut long, &p)));
+    g.bench("burst_64", || black_box(gbps(&mut short, &p)));
 }
 
-fn bench_launch_overhead_ablation(c: &mut Criterion) {
+fn bench_launch_overhead_ablation(h: &Harness) {
     // Small arrays are overhead-dominated: halving the launch overhead
     // should show up directly (Fig 1a's left edge).
     let p = plan(1 << 12, LoopMode::NdRange);
     let mut slow = CpuBackend::new();
-    let mut fast =
-        CpuBackend::with_tuning(CpuTuning { launch_overhead_ns: 4_000.0, ..Default::default() });
+    let mut fast = CpuBackend::with_tuning(CpuTuning {
+        launch_overhead_ns: 4_000.0,
+        ..Default::default()
+    });
     eprintln!(
         "[ablation] cpu 16KB copy: 40us launch -> {:.3} GB/s, 4us launch -> {:.3} GB/s",
         gbps(&mut slow, &p),
         gbps(&mut fast, &p)
     );
-    let mut g = c.benchmark_group("ablation_launch_overhead");
-    g.sample_size(10);
-    g.bench_function("launch_40us", |b| b.iter(|| black_box(gbps(&mut slow, &p))));
-    g.bench_function("launch_4us", |b| b.iter(|| black_box(gbps(&mut fast, &p))));
-    g.finish();
+    let mut g = h.group("ablation_launch_overhead");
+    g.bench("launch_40us", || black_box(gbps(&mut slow, &p)));
+    g.bench("launch_4us", || black_box(gbps(&mut fast, &p)));
 }
 
-criterion_group!(
-    benches,
-    bench_prefetcher_ablation,
-    bench_lsu_burst_ablation,
-    bench_launch_overhead_ablation
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_env();
+    bench_prefetcher_ablation(&h);
+    bench_lsu_burst_ablation(&h);
+    bench_launch_overhead_ablation(&h);
+}

@@ -1,12 +1,12 @@
-//! Criterion benches for the simulator building blocks: how fast the
+//! Wall-clock benches for the simulator building blocks: how fast the
 //! simulation itself runs (simulated-bytes-per-host-second throughput of
 //! the DRAM model, cache, coalescer, interpreter and access-stream
 //! generator). These guard against accidental slowdowns in the models
 //! that every figure regeneration depends on.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use kernelgen::{access_stream, total_accesses, ExecPlan, KernelConfig, StreamOp};
 use memsim::{Access, Cache, CacheConfig, Coalescer, Dram, DramConfig};
+use mpstream_bench::harness::{Harness, Throughput};
 use std::hint::black_box;
 
 fn plan(n_words: u64) -> ExecPlan {
@@ -15,81 +15,78 @@ fn plan(n_words: u64) -> ExecPlan {
     ExecPlan::new(cfg, 4096, 4096 + bytes, 8192 + 2 * bytes)
 }
 
-fn bench_dram(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dram");
+fn bench_dram(h: &Harness) {
+    let mut g = h.group("dram");
     let n = 10_000u64;
     g.throughput(Throughput::Bytes(n * 64));
-    g.bench_function("sequential_reads", |b| {
-        let mut d = Dram::new(DramConfig::ddr3_quad_channel());
-        b.iter(|| {
-            d.reset();
-            let mut done = 0;
-            for i in 0..n {
-                let (_, dn) = d.service(0, Access::read(i * 64, 64));
-                done = dn;
-            }
-            black_box(done)
-        })
+    let mut d = Dram::new(DramConfig::ddr3_quad_channel());
+    g.bench("sequential_reads", || {
+        d.reset();
+        let mut done = 0;
+        for i in 0..n {
+            let (_, dn) = d.service(0, Access::read(i * 64, 64));
+            done = dn;
+        }
+        black_box(done)
     });
-    g.bench_function("row_thrashing_reads", |b| {
-        let mut d = Dram::new(DramConfig::ddr3_quad_channel());
-        b.iter(|| {
-            d.reset();
-            let mut done = 0;
-            for i in 0..n {
-                let (_, dn) = d.service(done, Access::read(i * 65536, 64));
-                done = dn;
-            }
-            black_box(done)
-        })
+    let mut d = Dram::new(DramConfig::ddr3_quad_channel());
+    g.bench("row_thrashing_reads", || {
+        d.reset();
+        let mut done = 0;
+        for i in 0..n {
+            let (_, dn) = d.service(done, Access::read(i * 65536, 64));
+            done = dn;
+        }
+        black_box(done)
     });
-    g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
+fn bench_cache(h: &Harness) {
+    let mut g = h.group("cache");
     let n = 100_000u64;
     g.throughput(Throughput::Elements(n));
-    g.bench_function("hit_stream", |b| {
-        let mut cache = Cache::new(CacheConfig { size_bytes: 32 << 10, ways: 8, line_bytes: 64 });
-        for i in 0..512u64 {
-            cache.access(i * 64, false);
+    let mut cache = Cache::new(CacheConfig {
+        size_bytes: 32 << 10,
+        ways: 8,
+        line_bytes: 64,
+    });
+    for i in 0..512u64 {
+        cache.access(i * 64, false);
+    }
+    g.bench("hit_stream", || {
+        for i in 0..n {
+            black_box(cache.access((i % 512) * 64, false));
         }
-        b.iter(|| {
-            for i in 0..n {
-                black_box(cache.access((i % 512) * 64, false));
-            }
-        })
     });
-    g.bench_function("streaming_misses", |b| {
-        let mut cache = Cache::new(CacheConfig { size_bytes: 32 << 10, ways: 8, line_bytes: 64 });
-        b.iter(|| {
-            for i in 0..n {
-                black_box(cache.access(i * 64, false));
-            }
-        })
+    let mut cache = Cache::new(CacheConfig {
+        size_bytes: 32 << 10,
+        ways: 8,
+        line_bytes: 64,
     });
-    g.finish();
+    g.bench("streaming_misses", || {
+        for i in 0..n {
+            black_box(cache.access(i * 64, false));
+        }
+    });
 }
 
-fn bench_coalescer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("coalescer");
+fn bench_coalescer(h: &Harness) {
+    let mut g = h.group("coalescer");
     let n = 100_000u64;
     g.throughput(Throughput::Elements(n));
     let accesses: Vec<Access> = (0..n).map(|i| Access::read(i * 4, 4)).collect();
-    g.bench_function("aligned_segments_warp32", |b| {
-        let co = Coalescer::new(128, 32);
-        b.iter(|| black_box(co.coalesce(accesses.iter().copied()).count()))
+    let co = Coalescer::new(128, 32);
+    g.bench("aligned_segments_warp32", || {
+        black_box(co.coalesce(accesses.iter().copied()).count())
     });
-    g.bench_function("extent_bursts_window64", |b| {
-        let co = Coalescer::extent(1024, 64);
-        b.iter(|| black_box(co.coalesce(accesses.iter().copied()).count()))
+    let co = Coalescer::extent(1024, 64);
+    g.bench("extent_bursts_window64", || {
+        black_box(co.coalesce(accesses.iter().copied()).count())
     });
-    g.finish();
 }
 
-fn bench_interp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interpreter");
+fn bench_interp(h: &Harness) {
+    let mut g = h.group("interpreter");
     let n = 1u64 << 18;
     for op in StreamOp::ALL {
         let cfg = KernelConfig::baseline(op, n);
@@ -97,22 +94,26 @@ fn bench_interp(c: &mut Criterion) {
         let mut a = vec![0u8; (n * 4) as usize];
         let b_buf = vec![1u8; (n * 4) as usize];
         let c_buf = vec![2u8; (n * 4) as usize];
-        g.bench_function(op.name(), |b| {
-            b.iter(|| kernelgen::execute(black_box(&cfg), &mut a, &b_buf, &c_buf))
+        g.bench(op.name(), || {
+            kernelgen::execute(black_box(&cfg), &mut a, &b_buf, &c_buf)
         });
     }
-    g.finish();
 }
 
-fn bench_access_stream(c: &mut Criterion) {
-    let mut g = c.benchmark_group("access_stream");
+fn bench_access_stream(h: &Harness) {
+    let mut g = h.group("access_stream");
     let p = plan(1 << 18);
     g.throughput(Throughput::Elements(total_accesses(&p.cfg)));
-    g.bench_function("generate_copy_contiguous", |b| {
-        b.iter(|| black_box(access_stream(&p, 32).count()))
+    g.bench("generate_copy_contiguous", || {
+        black_box(access_stream(&p, 32).count())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_dram, bench_cache, bench_coalescer, bench_interp, bench_access_stream);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_env();
+    bench_dram(&h);
+    bench_cache(&h);
+    bench_coalescer(&h);
+    bench_interp(&h);
+    bench_access_stream(&h);
+}

@@ -1,29 +1,25 @@
-//! Criterion benches — one per paper figure.
+//! Wall-clock benches — one per paper figure.
 //!
 //! Each bench regenerates its figure in quick mode (thinned sweep, one
 //! repetition per point), so `cargo bench -p mpstream-bench --bench
 //! figures` exercises the exact code path that reproduces the paper's
-//! evaluation, with wall-clock tracking across workspace changes.
+//! evaluation, with wall-clock tracking across workspace changes. The
+//! quick runs go through the same parallel execution engine as the
+//! `figures` binary (honouring `MPSTREAM_JOBS`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mpstream_bench::harness::Harness;
 use mpstream_core::experiments::{run_figure, RunOpts};
 use mpstream_core::FigureId;
 use std::hint::black_box;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
+fn main() {
+    let h = Harness::from_env();
+    let mut g = h.group("figures");
     for id in FigureId::ALL {
-        g.bench_function(id.name(), |b| {
-            b.iter(|| {
-                let fig = run_figure(black_box(id), RunOpts::quick());
-                assert!(!fig.series.is_empty());
-                black_box(fig)
-            })
+        g.bench(id.name(), || {
+            let fig = run_figure(black_box(id), RunOpts::quick());
+            assert!(!fig.series.is_empty());
+            black_box(fig)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -1,39 +1,40 @@
-//! Criterion benches for the native (real-hardware) STREAM kernels —
+//! Wall-clock benches for the native (real-hardware) STREAM kernels —
 //! actual memory bandwidth of the machine running the workspace, the
 //! reality anchor for the simulated CPU target.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use nativebw::{strided_copy_gbps, stream_benchmark, NativeConfig, NativeKernel};
+use mpstream_bench::harness::{Harness, Throughput};
+use nativebw::{stream_benchmark, strided_copy_gbps, NativeConfig, NativeKernel};
 use std::hint::black_box;
 
-fn bench_native_stream(c: &mut Criterion) {
-    let mut g = c.benchmark_group("native_stream");
-    g.sample_size(10);
+fn bench_native_stream(h: &Harness) {
+    let mut g = h.group("native_stream");
     // 32 MB per array: big enough to leave the LLC on most hosts while
     // keeping bench time reasonable.
     let n = 4 << 20;
     g.throughput(Throughput::Bytes(NativeKernel::Triad.bytes(n)));
-    g.bench_function("full_protocol_1_iter", |b| {
-        b.iter(|| {
-            let cfg = NativeConfig { n, ntimes: 1, ..Default::default() };
-            let r = stream_benchmark(black_box(&cfg));
-            assert!(r.validated);
-            black_box(r)
-        })
+    g.bench("full_protocol_1_iter", || {
+        let cfg = NativeConfig {
+            n,
+            ntimes: 1,
+            ..Default::default()
+        };
+        let r = stream_benchmark(black_box(&cfg));
+        assert!(r.validated);
+        black_box(r)
     });
-    g.finish();
 }
 
-fn bench_native_strided(c: &mut Criterion) {
-    let mut g = c.benchmark_group("native_strided");
-    g.sample_size(10);
+fn bench_native_strided(h: &Harness) {
+    let mut g = h.group("native_strided");
     let (rows, cols) = (2048, 2048); // 32 MB
     g.throughput(Throughput::Bytes(16 * (rows * cols) as u64));
-    g.bench_function("colmajor_copy", |b| {
-        b.iter(|| black_box(strided_copy_gbps(rows, cols, 4, 1)))
+    g.bench("colmajor_copy", || {
+        black_box(strided_copy_gbps(rows, cols, 4, 1))
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_native_stream, bench_native_strided);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_env();
+    bench_native_stream(&h);
+    bench_native_strided(&h);
+}

@@ -16,7 +16,9 @@ fn main() {
         match arg.as_str() {
             "--append-experiments" => append_path = args.next(),
             other => {
-                eprintln!("unknown argument {other}; usage: extensions [--append-experiments PATH]");
+                eprintln!(
+                    "unknown argument {other}; usage: extensions [--append-experiments PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -46,7 +48,8 @@ fn main() {
             .append(true)
             .open(&path)
             .expect("open experiments file");
-        f.write_all(md.as_bytes()).expect("append extensions section");
+        f.write_all(md.as_bytes())
+            .expect("append extensions section");
         eprintln!("[extensions] appended to {path}");
     }
 }

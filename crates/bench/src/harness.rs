@@ -1,0 +1,111 @@
+//! A minimal wall-clock benchmark harness for the `[[bench]]` targets.
+//!
+//! The container this workspace builds in has no registry access, so the
+//! benches cannot depend on an external harness crate; this module
+//! provides the small subset actually used: named groups, per-function
+//! throughput annotation, warmup + repeated sampling, and a
+//! `cargo bench -- <filter>` substring filter. Timings are reported as
+//! min / median / mean over the samples — min is the least noisy
+//! statistic for the "did the simulator get slower?" question these
+//! benches exist to answer.
+
+use std::time::{Duration, Instant};
+
+/// What one iteration of a benchmark processes, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration moves this many bytes (reported as GB/s).
+    Bytes(u64),
+    /// Iteration handles this many items (reported as Melem/s).
+    Elements(u64),
+}
+
+/// Top-level harness: parses the filter cargo passes after `--` and the
+/// `MPSTREAM_BENCH_SAMPLES` override (default 10 samples per function).
+pub struct Harness {
+    filter: Vec<String>,
+    samples: usize,
+}
+
+impl Harness {
+    /// Build from the process environment and command line.
+    pub fn from_env() -> Self {
+        // Cargo invokes bench binaries with flags like `--bench`; any
+        // non-flag argument is a name filter, matching cargo's own
+        // convention of `cargo bench -- <substring>`.
+        let filter = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        let samples = std::env::var("MPSTREAM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n >= 1)
+            .unwrap_or(10);
+        Self { filter, samples }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn group(&self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    fn selected(&self, full_name: &str) -> bool {
+        self.filter.is_empty() || self.filter.iter().any(|f| full_name.contains(f.as_str()))
+    }
+}
+
+/// A named group; `throughput` applies to subsequently benched functions.
+pub struct Group<'a> {
+    harness: &'a Harness,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl Group<'_> {
+    /// Annotate following benchmarks with a per-iteration work amount.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark: one warmup iteration, then the configured
+    /// number of timed samples of a single iteration each.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        let full = format!("{}/{}", self.name, name);
+        if !self.harness.selected(&full) {
+            return;
+        }
+        std::hint::black_box(f()); // warmup, also forces lazy init
+        let mut times: Vec<Duration> = (0..self.harness.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:8.2} GB/s", b as f64 / min.as_nanos().max(1) as f64)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!(
+                    "  {:8.2} Melem/s",
+                    n as f64 * 1e3 / min.as_nanos().max(1) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{full:<44} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}{rate}",
+            min, median, mean
+        );
+    }
+}

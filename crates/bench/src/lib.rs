@@ -8,6 +8,8 @@
 //! cargo run -p mpstream-bench --release --bin figures -- all --write-experiments
 //! ```
 
+pub mod harness;
+
 use mpstream_core::paperdata::{
     self, check_ordering, check_ratio_band, check_rise_and_plateau, geomean_ratio, Shape,
 };
@@ -58,17 +60,19 @@ fn y_at(fig: &Figure, label: &str, x: f64) -> Option<f64> {
     s.points
         .iter()
         .min_by(|a, b| {
-            (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).expect("finite x")
+            (a.0 - x)
+                .abs()
+                .partial_cmp(&(b.0 - x).abs())
+                .expect("finite x")
         })
         .map(|&(_, y)| y)
 }
 
-fn paper_table(
-    x_label: &str,
-    xs: &[f64],
-    rows: &[(&str, &[f64], Vec<f64>)],
-) -> Option<Table> {
-    if rows.iter().any(|(_, paper, measured)| measured.len() != paper.len()) {
+fn paper_table(x_label: &str, xs: &[f64], rows: &[(&str, &[f64], Vec<f64>)]) -> Option<Table> {
+    if rows
+        .iter()
+        .any(|(_, paper, measured)| measured.len() != paper.len())
+    {
         return None;
     }
     let mut t = Table::new(&[x_label, "series", "paper GB/s", "measured GB/s", "ratio"]);
@@ -123,7 +127,9 @@ fn compare_fig1a(fig: &Figure) -> Comparison {
         ("cpu", &paperdata::FIG1A_CPU[..], ys(fig, "cpu")),
         ("gpu", &paperdata::FIG1A_GPU[..], ys(fig, "gpu")),
     ];
-    let xs: Vec<f64> = series(fig, "cpu").map(|s| s.points.iter().map(|p| p.0).collect()).unwrap_or_default();
+    let xs: Vec<f64> = series(fig, "cpu")
+        .map(|s| s.points.iter().map(|p| p.0).collect())
+        .unwrap_or_default();
     let numbers = paper_table("MB", &xs, &rows);
     let geomean = numbers.is_some().then(|| {
         let all_m: Vec<f64> = rows.iter().flat_map(|r| r.2.clone()).collect();
@@ -138,7 +144,12 @@ fn compare_fig1a(fig: &Figure) -> Comparison {
             });
         }
     }
-    Comparison { id: fig.id, numbers, checks, geomean }
+    Comparison {
+        id: fig.id,
+        numbers,
+        checks,
+        geomean,
+    }
 }
 
 fn compare_fig1b(fig: &Figure) -> Comparison {
@@ -197,7 +208,12 @@ fn compare_fig1b(fig: &Figure) -> Comparison {
             });
         }
     }
-    Comparison { id: fig.id, numbers, checks, geomean }
+    Comparison {
+        id: fig.id,
+        numbers,
+        checks,
+        geomean,
+    }
 }
 
 fn compare_fig2(fig: &Figure) -> Comparison {
@@ -245,24 +261,62 @@ fn compare_fig2(fig: &Figure) -> Comparison {
     });
 
     let rows = [
-        ("aocl-contig", &paperdata::FIG2_AOCL_CONTIG[..], ys(fig, "aocl-contig")),
-        ("sdaccel-contig", &paperdata::FIG2_SDACCEL_CONTIG[..], ys(fig, "sdaccel-contig")),
-        ("cpu-contig", &paperdata::FIG2_CPU_CONTIG[..], ys(fig, "cpu-contig")),
-        ("gpu-contig", &paperdata::FIG2_GPU_CONTIG[..], ys(fig, "gpu-contig")),
-        ("aocl-strided", &paperdata::FIG2_AOCL_STRIDED[..], ys(fig, "aocl-strided")),
-        ("sdaccel-strided", &paperdata::FIG2_SDACCEL_STRIDED[..], ys(fig, "sdaccel-strided")),
-        ("cpu-strided", &paperdata::FIG2_CPU_STRIDED[..], ys(fig, "cpu-strided")),
-        ("gpu-strided", &paperdata::FIG2_GPU_STRIDED[..], ys(fig, "gpu-strided")),
+        (
+            "aocl-contig",
+            &paperdata::FIG2_AOCL_CONTIG[..],
+            ys(fig, "aocl-contig"),
+        ),
+        (
+            "sdaccel-contig",
+            &paperdata::FIG2_SDACCEL_CONTIG[..],
+            ys(fig, "sdaccel-contig"),
+        ),
+        (
+            "cpu-contig",
+            &paperdata::FIG2_CPU_CONTIG[..],
+            ys(fig, "cpu-contig"),
+        ),
+        (
+            "gpu-contig",
+            &paperdata::FIG2_GPU_CONTIG[..],
+            ys(fig, "gpu-contig"),
+        ),
+        (
+            "aocl-strided",
+            &paperdata::FIG2_AOCL_STRIDED[..],
+            ys(fig, "aocl-strided"),
+        ),
+        (
+            "sdaccel-strided",
+            &paperdata::FIG2_SDACCEL_STRIDED[..],
+            ys(fig, "sdaccel-strided"),
+        ),
+        (
+            "cpu-strided",
+            &paperdata::FIG2_CPU_STRIDED[..],
+            ys(fig, "cpu-strided"),
+        ),
+        (
+            "gpu-strided",
+            &paperdata::FIG2_GPU_STRIDED[..],
+            ys(fig, "gpu-strided"),
+        ),
     ];
-    let xs: Vec<f64> =
-        series(fig, "cpu-contig").map(|s| s.points.iter().map(|p| p.0).collect()).unwrap_or_default();
+    let xs: Vec<f64> = series(fig, "cpu-contig")
+        .map(|s| s.points.iter().map(|p| p.0).collect())
+        .unwrap_or_default();
     let numbers = paper_table("MB", &xs, &rows);
     let geomean = numbers.is_some().then(|| {
         let all_m: Vec<f64> = rows.iter().flat_map(|r| r.2.clone()).collect();
         let all_p: Vec<f64> = rows.iter().flat_map(|r| r.1.to_vec()).collect();
         geomean_ratio(&all_m, &all_p)
     });
-    Comparison { id: fig.id, numbers, checks, geomean }
+    Comparison {
+        id: fig.id,
+        numbers,
+        checks,
+        geomean,
+    }
 }
 
 fn target_point(fig: &Figure, series_label: &str, target_idx: usize) -> f64 {
@@ -306,15 +360,22 @@ fn compare_fig3(fig: &Figure) -> Comparison {
             ("flat", v("kernel-loop-flat", 1)),
         ]),
     });
-    Comparison { id: fig.id, numbers: None, checks, geomean: None }
+    Comparison {
+        id: fig.id,
+        numbers: None,
+        checks,
+        geomean: None,
+    }
 }
 
 fn compare_fig4a(fig: &Figure) -> Comparison {
     // All four kernels stay within one memory-bound envelope per target.
     let mut checks = Vec::new();
     for (idx, target) in ["aocl", "sdaccel", "cpu", "gpu"].iter().enumerate() {
-        let vals: Vec<f64> =
-            ["copy", "scale", "add", "triad"].iter().map(|op| target_point(fig, op, idx)).collect();
+        let vals: Vec<f64> = ["copy", "scale", "add", "triad"]
+            .iter()
+            .map(|op| target_point(fig, op, idx))
+            .collect();
         let min = vals.iter().cloned().fold(f64::MAX, f64::min);
         let max = vals.iter().cloned().fold(0.0, f64::max);
         checks.push(Check {
@@ -326,7 +387,12 @@ fn compare_fig4a(fig: &Figure) -> Comparison {
             },
         });
     }
-    Comparison { id: fig.id, numbers: None, checks, geomean: None }
+    Comparison {
+        id: fig.id,
+        numbers: None,
+        checks,
+        geomean: None,
+    }
 }
 
 fn compare_fig4b(fig: &Figure) -> Comparison {
@@ -363,11 +429,21 @@ fn compare_fig4b(fig: &Figure) -> Comparison {
     let vec_s = ys(fig, "vector-size");
     let numbers = paper_table(
         "N",
-        &paperdata::FIG1B_WIDTHS.iter().map(|&w| w as f64).collect::<Vec<_>>(),
+        &paperdata::FIG1B_WIDTHS
+            .iter()
+            .map(|&w| w as f64)
+            .collect::<Vec<_>>(),
         &[("vector-size", &paperdata::FIG1B_AOCL[..], vec_s.clone())],
     );
-    let geomean = numbers.is_some().then(|| geomean_ratio(&vec_s, &paperdata::FIG1B_AOCL));
-    Comparison { id: fig.id, numbers, checks, geomean }
+    let geomean = numbers
+        .is_some()
+        .then(|| geomean_ratio(&vec_s, &paperdata::FIG1B_AOCL));
+    Comparison {
+        id: fig.id,
+        numbers,
+        checks,
+        geomean,
+    }
 }
 
 /// Render a regenerated figure as a text block (series table + chart).
@@ -474,7 +550,13 @@ mod tests {
         // Sabotage the GPU series so the w16 decline check fails.
         fig.series[3] = Series::new(
             "gpu",
-            vec![(1.0, 100.0), (2.0, 120.0), (4.0, 140.0), (8.0, 160.0), (16.0, 200.0)],
+            vec![
+                (1.0, 100.0),
+                (2.0, 120.0),
+                (4.0, 140.0),
+                (8.0, 160.0),
+                (16.0, 200.0),
+            ],
         );
         let cmp = compare_figure(&fig);
         assert!(!cmp.all_ok());

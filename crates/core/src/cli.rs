@@ -4,6 +4,7 @@
 //! binary in the workspace root is a thin wrapper.
 
 use crate::config::BenchConfig;
+use crate::engine::{default_jobs, Engine};
 use crate::report::Table;
 use crate::runner::Runner;
 use kernelgen::{
@@ -34,6 +35,9 @@ pub struct CliRequest {
     pub aocl: Option<(u32, u32)>,
     /// Timed repetitions.
     pub ntimes: u32,
+    /// Worker threads for multi-kernel runs; `None` picks the default
+    /// (`MPSTREAM_JOBS` or the machine's available parallelism).
+    pub jobs: Option<usize>,
     /// Skip functional validation.
     pub no_validate: bool,
     /// Emit CSV instead of an aligned table.
@@ -55,6 +59,7 @@ impl Default for CliRequest {
             unroll: 1,
             aocl: None,
             ntimes: 5,
+            jobs: None,
             no_validate: false,
             csv: false,
             show_kernel: false,
@@ -77,6 +82,9 @@ usage: mpstream [options]
   --simd <N>                        AOCL num_simd_work_items
   --compute-units <N>               AOCL num_compute_units
   --ntimes <N>                      timed repetitions (default 5)
+  --jobs <N>                        worker threads for multi-kernel runs
+                                    (default: MPSTREAM_JOBS env var, else
+                                    the machine's available parallelism)
   --no-validate                     skip STREAM-style result validation
   --csv                             CSV output
   --show-kernel                     print the generated OpenCL kernel
@@ -94,7 +102,11 @@ pub fn parse_size(s: &str) -> Result<u64, String> {
     // Allow decimal MB-style values like 0.25M.
     if let Ok(f) = num.parse::<f64>() {
         if f > 0.0 {
-            return Ok(if mult == 1 { f.round() as u64 } else { (f * mult as f64).round() as u64 });
+            return Ok(if mult == 1 {
+                f.round() as u64
+            } else {
+                (f * mult as f64).round() as u64
+            });
         }
     }
     Err(format!("invalid size '{s}' (try 4M, 512K, 1G){}", ""))
@@ -107,7 +119,9 @@ pub fn parse_args(args: &[String]) -> Result<Option<CliRequest>, String> {
     let mut loop_set = false;
     let mut it = args.iter();
     let need = |it: &mut std::slice::Iter<String>, flag: &str| {
-        it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
     };
 
     while let Some(arg) = it.next() {
@@ -173,11 +187,14 @@ pub fn parse_args(args: &[String]) -> Result<Option<CliRequest>, String> {
                 };
             }
             "--unroll" => {
-                req.unroll =
-                    need(&mut it, "--unroll")?.parse().map_err(|_| "invalid --unroll".to_string())?;
+                req.unroll = need(&mut it, "--unroll")?
+                    .parse()
+                    .map_err(|_| "invalid --unroll".to_string())?;
             }
             "--simd" => {
-                let n = need(&mut it, "--simd")?.parse().map_err(|_| "invalid --simd".to_string())?;
+                let n = need(&mut it, "--simd")?
+                    .parse()
+                    .map_err(|_| "invalid --simd".to_string())?;
                 let (_, cu) = req.aocl.unwrap_or((1, 1));
                 req.aocl = Some((n, cu));
             }
@@ -189,8 +206,18 @@ pub fn parse_args(args: &[String]) -> Result<Option<CliRequest>, String> {
                 req.aocl = Some((simd, n));
             }
             "--ntimes" => {
-                req.ntimes =
-                    need(&mut it, "--ntimes")?.parse().map_err(|_| "invalid --ntimes".to_string())?;
+                req.ntimes = need(&mut it, "--ntimes")?
+                    .parse()
+                    .map_err(|_| "invalid --ntimes".to_string())?;
+            }
+            "--jobs" => {
+                let n: usize = need(&mut it, "--jobs")?
+                    .parse()
+                    .map_err(|_| "invalid --jobs".to_string())?;
+                if n == 0 {
+                    return Err("--jobs needs at least 1".to_string());
+                }
+                req.jobs = Some(n);
             }
             "--no-validate" => req.no_validate = true,
             "--csv" => req.csv = true,
@@ -218,7 +245,10 @@ pub fn kernel_config(req: &CliRequest, op: StreamOp) -> Result<KernelConfig, Str
     cfg.unroll = req.unroll;
     if let Some((simd, cu)) = req.aocl {
         cfg.reqd_work_group_size = simd > 1;
-        cfg.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: simd, num_compute_units: cu });
+        cfg.vendor = VendorOpts::Aocl(AoclOpts {
+            num_simd_work_items: simd,
+            num_compute_units: cu,
+        });
     }
     Ok(cfg)
 }
@@ -230,24 +260,36 @@ pub fn execute(req: &CliRequest) -> Result<String, String> {
         return Ok(kernelgen::generate_source(&cfg));
     }
 
-    let runner = Runner::for_target(req.target);
-    let info = runner.device().info().clone();
+    let info = Runner::for_target(req.target).device().info().clone();
     let mut table = Table::new(&["kernel", "bytes/iter", "best GB/s", "avg ms", "valid"]);
     let mut failures = Vec::new();
 
+    let mut work = Vec::with_capacity(req.ops.len());
     for &op in &req.ops {
         let cfg = kernel_config(req, op)?;
-        let bc = BenchConfig::new(cfg)
-            .with_ntimes(req.ntimes)
-            .with_validation(!req.no_validate && req.size_bytes <= BenchConfig::AUTO_VALIDATE_LIMIT_BYTES);
-        match runner.run(&bc) {
+        work.push(
+            BenchConfig::new(cfg)
+                .with_ntimes(req.ntimes)
+                .with_validation(
+                    !req.no_validate && req.size_bytes <= BenchConfig::AUTO_VALIDATE_LIMIT_BYTES,
+                ),
+        );
+    }
+
+    // One kernel per work item, fanned across the engine's pool; the
+    // outcomes come back in request order regardless of --jobs.
+    let engine = Engine::with_jobs(req.jobs.unwrap_or_else(default_jobs));
+    for (op, outcome) in req.ops.iter().zip(engine.run_list(req.target, &work)) {
+        match outcome.result {
             Ok(m) => {
                 table.row(&[
                     op.name().to_string(),
                     m.bytes_moved.to_string(),
                     format!("{:.3}", m.gbps()),
                     format!("{:.4}", m.avg_wall_ns / 1e6),
-                    m.validated.map(|v| v.to_string()).unwrap_or_else(|| "skipped".into()),
+                    m.validated
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|| "skipped".into()),
                 ]);
             }
             Err(e) => failures.push(format!("{}: {e}", op.name())),
@@ -258,7 +300,11 @@ pub fn execute(req: &CliRequest) -> Result<String, String> {
         "MP-STREAM on {} (peak {:.1} GB/s)\narray size {} bytes x {:?}, {} repetitions\n\n",
         info.name, info.peak_gbps, req.size_bytes, req.dtype, req.ntimes
     );
-    out.push_str(&if req.csv { table.to_csv() } else { table.to_text() });
+    out.push_str(&if req.csv {
+        table.to_csv()
+    } else {
+        table.to_text()
+    });
     for f in failures {
         out.push_str(&format!("FAILED {f}\n"));
     }
@@ -313,9 +359,30 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let r = parse(&[
-            "--target", "aocl", "--kernel", "triad", "--size", "16M", "--dtype", "double",
-            "--vector", "8", "--loop", "nested", "--pattern", "stride4", "--unroll", "2",
-            "--simd", "2", "--compute-units", "4", "--ntimes", "7", "--no-validate", "--csv",
+            "--target",
+            "aocl",
+            "--kernel",
+            "triad",
+            "--size",
+            "16M",
+            "--dtype",
+            "double",
+            "--vector",
+            "8",
+            "--loop",
+            "nested",
+            "--pattern",
+            "stride4",
+            "--unroll",
+            "2",
+            "--simd",
+            "2",
+            "--compute-units",
+            "4",
+            "--ntimes",
+            "7",
+            "--no-validate",
+            "--csv",
         ])
         .unwrap()
         .unwrap();
@@ -335,8 +402,31 @@ mod tests {
     fn fpga_defaults_to_flat_loop() {
         let r = parse(&["--target", "sdaccel"]).unwrap().unwrap();
         assert_eq!(r.loop_mode, LoopMode::SingleWorkItemFlat);
-        let r = parse(&["--target", "sdaccel", "--loop", "ndrange"]).unwrap().unwrap();
+        let r = parse(&["--target", "sdaccel", "--loop", "ndrange"])
+            .unwrap()
+            .unwrap();
         assert_eq!(r.loop_mode, LoopMode::NdRange);
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_rejects_zero() {
+        assert_eq!(parse(&[]).unwrap().unwrap().jobs, None);
+        assert_eq!(parse(&["--jobs", "2"]).unwrap().unwrap().jobs, Some(2));
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn execute_is_identical_across_jobs() {
+        let mut serial = parse(&["--size", "64K", "--ntimes", "1", "--jobs", "1"])
+            .unwrap()
+            .unwrap();
+        serial.ops = StreamOp::ALL.to_vec();
+        let parallel = CliRequest {
+            jobs: Some(4),
+            ..serial.clone()
+        };
+        assert_eq!(execute(&serial).unwrap(), execute(&parallel).unwrap());
     }
 
     #[test]
@@ -364,8 +454,9 @@ mod tests {
 
     #[test]
     fn execute_reports_synthesis_failures() {
-        let mut r =
-            parse(&["--target", "aocl", "--vector", "16", "--unroll", "16"]).unwrap().unwrap();
+        let mut r = parse(&["--target", "aocl", "--vector", "16", "--unroll", "16"])
+            .unwrap()
+            .unwrap();
         r.ops = vec![StreamOp::Copy];
         let out = execute(&r).expect("report produced");
         assert!(out.contains("FAILED copy"), "{out}");
@@ -373,7 +464,9 @@ mod tests {
 
     #[test]
     fn show_kernel_prints_source() {
-        let r = parse(&["--show-kernel", "--kernel", "scale"]).unwrap().unwrap();
+        let r = parse(&["--show-kernel", "--kernel", "scale"])
+            .unwrap()
+            .unwrap();
         let out = execute(&r).expect("source");
         assert!(out.contains("__kernel void mp_scale"));
     }

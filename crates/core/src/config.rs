@@ -42,13 +42,22 @@ impl BenchConfig {
     /// repetitions, device-global streams, validation when affordable.
     pub fn new(kernel: KernelConfig) -> Self {
         let validate = kernel.array_bytes() <= Self::AUTO_VALIDATE_LIMIT_BYTES;
-        BenchConfig { kernel, ntimes: 3, warmup: 1, validate, location: StreamLocation::DeviceGlobal }
+        BenchConfig {
+            kernel,
+            ntimes: 3,
+            warmup: 1,
+            validate,
+            location: StreamLocation::DeviceGlobal,
+        }
     }
 
     /// Convenience: the paper's baseline kernel (32-bit COPY, contiguous,
     /// no optimizations) at `bytes` per array.
     pub fn copy_of_bytes(bytes: u64) -> Self {
-        Self::new(KernelConfig::baseline(StreamOp::Copy, bytes / DataType::I32.word_bytes()))
+        Self::new(KernelConfig::baseline(
+            StreamOp::Copy,
+            bytes / DataType::I32.word_bytes(),
+        ))
     }
 
     /// Builder: set repetitions.
@@ -82,7 +91,10 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = BenchConfig::copy_of_bytes(1 << 20).with_ntimes(0).with_validation(false).over_link();
+        let c = BenchConfig::copy_of_bytes(1 << 20)
+            .with_ntimes(0)
+            .with_validation(false)
+            .over_link();
         assert_eq!(c.ntimes, 1, "clamped to at least one repetition");
         assert!(!c.validate);
         assert_eq!(c.location, StreamLocation::HostOverLink);

@@ -2,17 +2,29 @@
 //!
 //! The paper motivates MP-STREAM as a tool for "manual or automated
 //! design space exploration". This module provides the automated side:
-//! three explorers over a [`ParamSpace`], driven by an objective
-//! function (typically "measured GB/s on a target", but decoupled so the
-//! strategies are unit-testable). Configurations whose evaluation fails
-//! (FPGA synthesis over capacity, invalid combination) score `None` and
-//! are remembered as failures — a real sweep wants to know about them.
+//! four explorers over a [`ParamSpace`], driven by an objective function
+//! returning a full [`Measurement`] (typically a device run, but
+//! decoupled so the strategies are unit-testable with
+//! [`Measurement::synthetic`]). Configurations whose evaluation fails
+//! (FPGA synthesis over capacity, invalid combination) carry their error
+//! and are remembered as failures — a real sweep wants to know about
+//! them.
+//!
+//! Two entry points: [`explore`] drives an arbitrary objective serially
+//! (the search strategies are inherently sequential or unit-test
+//! driven), while [`explore_target`] is the strategy layer over the
+//! [`Engine`] — exhaustive and random searches fan their fixed
+//! candidate lists across the thread pool, and the sequential climbers
+//! share the engine's build cache so revisited neighbourhoods skip
+//! synthesis.
 
+use crate::config::BenchConfig;
+use crate::engine::{Engine, Outcome};
+use crate::rng::SplitMix64;
+use crate::runner::{Measurement, Runner};
 use crate::space::ParamSpace;
 use kernelgen::KernelConfig;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use mpcl::ClError;
 
 /// Exploration strategy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,65 +46,68 @@ pub enum Explorer {
     Anneal { budget: usize, seed: u64, t0: f64 },
 }
 
-/// One evaluated point.
-#[derive(Debug, Clone)]
-pub struct Evaluation {
-    /// The configuration.
-    pub config: KernelConfig,
-    /// Objective value (higher is better), `None` if evaluation failed.
-    pub score: Option<f64>,
-}
-
-/// The result of a search.
+/// The result of a search. `trace` holds every evaluated [`Outcome`] in
+/// visit order (the same vocabulary sweeps use).
 #[derive(Debug, Clone)]
 pub struct DseResult {
     /// Best-scoring configuration, if any evaluation succeeded.
-    pub best: Option<Evaluation>,
+    pub best: Option<Outcome>,
     /// Every evaluation, in visit order.
-    pub trace: Vec<Evaluation>,
+    pub trace: Vec<Outcome>,
     /// How many evaluations failed (synthesis errors etc.).
     pub failures: usize,
 }
 
 impl DseResult {
-    fn from_trace(trace: Vec<Evaluation>) -> Self {
-        let failures = trace.iter().filter(|e| e.score.is_none()).count();
+    fn from_trace(trace: Vec<Outcome>) -> Self {
+        let failures = trace.iter().filter(|o| o.result.is_err()).count();
         let best = trace
             .iter()
-            .filter(|e| e.score.is_some())
+            .filter(|o| o.gbps().is_some())
             .max_by(|a, b| {
-                a.score.partial_cmp(&b.score).expect("scores are comparable")
+                a.gbps()
+                    .partial_cmp(&b.gbps())
+                    .expect("scores are comparable")
             })
             .cloned();
-        DseResult { best, trace, failures }
+        DseResult {
+            best,
+            trace,
+            failures,
+        }
     }
 }
 
-/// Run a search over `space`, scoring with `objective`.
+/// Run a search over `space`, scoring with `objective` on the calling
+/// thread. Higher [`Measurement::gbps`] is better.
 pub fn explore(
     space: &ParamSpace,
     strategy: Explorer,
-    mut objective: impl FnMut(&KernelConfig) -> Option<f64>,
+    mut objective: impl FnMut(&KernelConfig) -> Result<Measurement, ClError>,
 ) -> DseResult {
     let candidates = space.configs();
     if candidates.is_empty() {
-        return DseResult { best: None, trace: Vec::new(), failures: 0 };
+        return DseResult {
+            best: None,
+            trace: Vec::new(),
+            failures: 0,
+        };
     }
     let trace = match strategy {
         Explorer::Exhaustive => candidates
             .iter()
-            .map(|c| Evaluation { config: c.clone(), score: objective(c) })
+            .map(|c| Outcome {
+                config: c.clone(),
+                result: objective(c),
+            })
             .collect(),
-        Explorer::RandomSearch { budget, seed } => {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut order: Vec<usize> = (0..candidates.len()).collect();
-            order.shuffle(&mut rng);
-            order
-                .into_iter()
-                .take(budget)
-                .map(|i| Evaluation { config: candidates[i].clone(), score: objective(&candidates[i]) })
-                .collect()
-        }
+        Explorer::RandomSearch { budget, seed } => sample_order(&candidates, budget, seed)
+            .into_iter()
+            .map(|i| Outcome {
+                config: candidates[i].clone(),
+                result: objective(&candidates[i]),
+            })
+            .collect(),
         Explorer::HillClimb { budget, seed } => {
             hill_climb(&candidates, budget, seed, &mut objective)
         }
@@ -101,6 +116,47 @@ pub fn explore(
         }
     };
     DseResult::from_trace(trace)
+}
+
+/// Run a search over `space` on a standard target through `engine`.
+/// Exhaustive and random searches execute across the engine's thread
+/// pool (their visit lists don't depend on the scores); hill-climbing
+/// and annealing are sequential by nature and run on the calling thread,
+/// accelerated by the engine's shared build cache.
+pub fn explore_target(
+    engine: &Engine,
+    target: targets::TargetId,
+    space: &ParamSpace,
+    strategy: Explorer,
+    protocol: impl Fn(KernelConfig) -> BenchConfig,
+) -> DseResult {
+    match strategy {
+        Explorer::Exhaustive => {
+            DseResult::from_trace(engine.run_configs(target, space.configs(), protocol))
+        }
+        Explorer::RandomSearch { budget, seed } => {
+            let candidates = space.configs();
+            let picked: Vec<KernelConfig> = sample_order(&candidates, budget, seed)
+                .into_iter()
+                .map(|i| candidates[i].clone())
+                .collect();
+            DseResult::from_trace(engine.run_configs(target, picked, protocol))
+        }
+        Explorer::HillClimb { .. } | Explorer::Anneal { .. } => {
+            let runner =
+                Runner::for_target(target).with_cache(std::sync::Arc::clone(engine.cache()));
+            explore(space, strategy, |c| runner.run(&protocol(c.clone())))
+        }
+    }
+}
+
+/// The seeded visit order of a random search: a shuffled index prefix.
+fn sample_order(candidates: &[KernelConfig], budget: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SplitMix64::new(seed);
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    rng.shuffle(&mut order);
+    order.truncate(budget);
+    order
 }
 
 /// Neighbourhood for hill-climbing: two configurations are neighbours if
@@ -134,29 +190,33 @@ fn hill_climb(
     candidates: &[KernelConfig],
     budget: usize,
     seed: u64,
-    objective: &mut impl FnMut(&KernelConfig) -> Option<f64>,
-) -> Vec<Evaluation> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut trace: Vec<Evaluation> = Vec::new();
+    objective: &mut impl FnMut(&KernelConfig) -> Result<Measurement, ClError>,
+) -> Vec<Outcome> {
+    let mut rng = SplitMix64::new(seed);
+    let mut trace: Vec<Outcome> = Vec::new();
     let mut evaluated: Vec<Option<Option<f64>>> = vec![None; candidates.len()];
 
     let eval = |i: usize,
-                    trace: &mut Vec<Evaluation>,
-                    evaluated: &mut Vec<Option<Option<f64>>>,
-                    objective: &mut dyn FnMut(&KernelConfig) -> Option<f64>|
+                trace: &mut Vec<Outcome>,
+                evaluated: &mut Vec<Option<Option<f64>>>,
+                objective: &mut dyn FnMut(&KernelConfig) -> Result<Measurement, ClError>|
      -> Option<f64> {
         if let Some(cached) = evaluated[i] {
             return cached;
         }
-        let score = objective(&candidates[i]);
+        let outcome = Outcome {
+            config: candidates[i].clone(),
+            result: objective(&candidates[i]),
+        };
+        let score = outcome.gbps();
         evaluated[i] = Some(score);
-        trace.push(Evaluation { config: candidates[i].clone(), score });
+        trace.push(outcome);
         score
     };
 
     while trace.len() < budget {
         // Random restart.
-        let mut current = rng.gen_range(0..candidates.len());
+        let mut current = rng.gen_index(candidates.len());
         let mut current_score = eval(current, &mut trace, &mut evaluated, objective);
         loop {
             if trace.len() >= budget {
@@ -192,27 +252,30 @@ fn anneal(
     budget: usize,
     seed: u64,
     t0: f64,
-    objective: &mut impl FnMut(&KernelConfig) -> Option<f64>,
-) -> Vec<Evaluation> {
+    objective: &mut impl FnMut(&KernelConfig) -> Result<Measurement, ClError>,
+) -> Vec<Outcome> {
     assert!(t0 > 0.0, "initial temperature must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut trace: Vec<Evaluation> = Vec::new();
+    let mut rng = SplitMix64::new(seed);
+    let mut trace: Vec<Outcome> = Vec::new();
     let mut cache: Vec<Option<Option<f64>>> = vec![None; candidates.len()];
 
-    let mut eval = |i: usize, trace: &mut Vec<Evaluation>, cache: &mut Vec<Option<Option<f64>>>|
-     -> Option<f64> {
-        if let Some(cached) = cache[i] {
-            return cached;
-        }
-        let score = objective(&candidates[i]);
-        cache[i] = Some(score);
-        trace.push(Evaluation { config: candidates[i].clone(), score });
-        score
-    };
+    let mut eval =
+        |i: usize, trace: &mut Vec<Outcome>, cache: &mut Vec<Option<Option<f64>>>| -> Option<f64> {
+            if let Some(cached) = cache[i] {
+                return cached;
+            }
+            let outcome = Outcome {
+                config: candidates[i].clone(),
+                result: objective(&candidates[i]),
+            };
+            let score = outcome.gbps();
+            cache[i] = Some(score);
+            trace.push(outcome);
+            score
+        };
 
-    let mut current = rng.gen_range(0..candidates.len());
-    let mut current_score =
-        eval(current, &mut trace, &mut cache).unwrap_or(f64::NEG_INFINITY);
+    let mut current = rng.gen_index(candidates.len());
+    let mut current_score = eval(current, &mut trace, &mut cache).unwrap_or(f64::NEG_INFINITY);
     // Geometric cooling to ~1% of t0 over the budget.
     let alpha = 0.01f64.powf(1.0 / budget.max(2) as f64);
     let mut temp = t0;
@@ -230,17 +293,17 @@ fn anneal(
         if ns.is_empty() || stall > 4 * ns.len().max(1) {
             // Isolated point or frozen walk: random restart (reheat a
             // little so the new region can be explored).
-            current = rng.gen_range(0..candidates.len());
+            current = rng.gen_index(candidates.len());
             current_score = eval(current, &mut trace, &mut cache).unwrap_or(f64::NEG_INFINITY);
             temp = (temp * 4.0).min(t0);
             stall = 0;
             continue;
         }
-        let next = ns[rng.gen_range(0..ns.len())];
+        let next = ns[rng.gen_index(ns.len())];
         let fresh = cache[next].is_none();
         let next_score = eval(next, &mut trace, &mut cache).unwrap_or(f64::NEG_INFINITY);
         let delta = next_score - current_score;
-        let accept = delta >= 0.0 || rng.gen::<f64>() < (delta / temp).exp();
+        let accept = delta >= 0.0 || rng.gen_f64() < (delta / temp).exp();
         if accept {
             current = next;
             current_score = next_score;
@@ -257,23 +320,25 @@ mod tests {
     use kernelgen::LoopMode;
 
     fn space() -> ParamSpace {
-        ParamSpace {
-            widths: vec![1, 2, 4, 8, 16],
-            unrolls: vec![1, 2, 4],
-            loop_modes: LoopMode::ALL.to_vec(),
-            ..Default::default()
-        }
+        ParamSpace::new()
+            .widths([1, 2, 4, 8, 16])
+            .unrolls([1, 2, 4])
+            .loop_modes(LoopMode::ALL)
     }
 
     /// A synthetic objective with a known optimum: prefer wide vectors,
     /// flat loops, unroll 4.
-    fn objective(c: &KernelConfig) -> Option<f64> {
+    fn objective(c: &KernelConfig) -> Result<Measurement, ClError> {
         let mut s = c.vector_width.get() as f64;
         if c.loop_mode == LoopMode::SingleWorkItemFlat {
             s *= 2.0;
         }
         s += c.unroll as f64;
-        Some(s)
+        Ok(Measurement::synthetic(s))
+    }
+
+    fn score(o: &Outcome) -> Option<f64> {
+        o.gbps()
     }
 
     #[test]
@@ -289,37 +354,70 @@ mod tests {
 
     #[test]
     fn random_search_respects_budget_and_seed() {
-        let r1 = explore(&space(), Explorer::RandomSearch { budget: 10, seed: 42 }, objective);
-        let r2 = explore(&space(), Explorer::RandomSearch { budget: 10, seed: 42 }, objective);
+        let r1 = explore(
+            &space(),
+            Explorer::RandomSearch {
+                budget: 10,
+                seed: 42,
+            },
+            objective,
+        );
+        let r2 = explore(
+            &space(),
+            Explorer::RandomSearch {
+                budget: 10,
+                seed: 42,
+            },
+            objective,
+        );
         assert_eq!(r1.trace.len(), 10);
-        let s1: Vec<_> = r1.trace.iter().map(|e| e.score).collect();
-        let s2: Vec<_> = r2.trace.iter().map(|e| e.score).collect();
+        let s1: Vec<_> = r1.trace.iter().map(score).collect();
+        let s2: Vec<_> = r2.trace.iter().map(score).collect();
         assert_eq!(s1, s2, "seeded determinism");
     }
 
     #[test]
     fn hill_climb_reaches_good_configs_with_small_budget() {
-        let r = explore(&space(), Explorer::HillClimb { budget: 30, seed: 7 }, objective);
+        let r = explore(
+            &space(),
+            Explorer::HillClimb {
+                budget: 30,
+                seed: 7,
+            },
+            objective,
+        );
         let best = r.best.expect("has best");
-        assert!(best.score.unwrap() >= 20.0, "score {:?}", best.score);
+        assert!(score(&best).unwrap() >= 20.0, "score {:?}", score(&best));
         assert!(r.trace.len() <= 30);
     }
 
     #[test]
     fn annealing_reaches_good_configs() {
-        let r = explore(&space(), Explorer::Anneal { budget: 40, seed: 11, t0: 8.0 }, objective);
+        let r = explore(
+            &space(),
+            Explorer::Anneal {
+                budget: 40,
+                seed: 11,
+                t0: 8.0,
+            },
+            objective,
+        );
         let best = r.best.expect("has best");
-        assert!(best.score.unwrap() >= 20.0, "score {:?}", best.score);
+        assert!(score(&best).unwrap() >= 20.0, "score {:?}", score(&best));
         assert!(r.trace.len() <= 40);
     }
 
     #[test]
     fn annealing_is_seeded_deterministic() {
-        let strat = Explorer::Anneal { budget: 25, seed: 3, t0: 4.0 };
+        let strat = Explorer::Anneal {
+            budget: 25,
+            seed: 3,
+            t0: 4.0,
+        };
         let a = explore(&space(), strat, objective);
         let b = explore(&space(), strat, objective);
-        let sa: Vec<_> = a.trace.iter().map(|e| e.score).collect();
-        let sb: Vec<_> = b.trace.iter().map(|e| e.score).collect();
+        let sa: Vec<_> = a.trace.iter().map(score).collect();
+        let sb: Vec<_> = b.trace.iter().map(score).collect();
         assert_eq!(sa, sb);
     }
 
@@ -329,26 +427,36 @@ mod tests {
         // that greedy search can fall into; annealing's random accepts
         // should find the global at vec16/flat/unroll4 more reliably
         // from the same budget.
-        let deceptive = |c: &KernelConfig| -> Option<f64> {
+        let deceptive = |c: &KernelConfig| -> Result<Measurement, ClError> {
             let w = c.vector_width.get() as f64;
             let mut s = if w <= 2.0 { 10.0 + c.unroll as f64 } else { w };
             if c.loop_mode == LoopMode::SingleWorkItemFlat {
                 s *= 2.0;
             }
-            Some(s)
+            Ok(Measurement::synthetic(s))
         };
-        let r = explore(&space(), Explorer::Anneal { budget: 45, seed: 5, t0: 10.0 }, deceptive);
+        let r = explore(
+            &space(),
+            Explorer::Anneal {
+                budget: 45,
+                seed: 5,
+                t0: 10.0,
+            },
+            deceptive,
+        );
         // Global optimum: vec16 flat => 32+.
-        assert!(r.best.expect("best").score.unwrap() >= 28.0);
+        assert!(score(&r.best.expect("best")).unwrap() >= 28.0);
     }
 
     #[test]
     fn failures_are_counted_not_fatal() {
-        let r = explore(
-            &space(),
-            Explorer::Exhaustive,
-            |c| if c.unroll == 2 { None } else { objective(c) },
-        );
+        let r = explore(&space(), Explorer::Exhaustive, |c| {
+            if c.unroll == 2 {
+                Err(ClError::BuildProgramFailure("synthetic failure".into()))
+            } else {
+                objective(c)
+            }
+        });
         assert!(r.failures > 0);
         assert!(r.best.is_some());
         assert_ne!(r.best.unwrap().config.unroll, 2);
@@ -356,7 +464,7 @@ mod tests {
 
     #[test]
     fn empty_space_is_handled() {
-        let s = ParamSpace { widths: vec![], ..Default::default() };
+        let s = ParamSpace::new().widths([]);
         let r = explore(&s, Explorer::Exhaustive, objective);
         assert!(r.best.is_none());
         assert!(r.trace.is_empty());
@@ -369,5 +477,47 @@ mod tests {
         for n in neighbours(&cfgs, base) {
             assert!(differs_in_one_dim(&cfgs[n], base));
         }
+    }
+
+    #[test]
+    fn explore_target_random_matches_serial_visit_order() {
+        use targets::TargetId;
+        let space = ParamSpace::new()
+            .sizes_bytes([1 << 16])
+            .widths([1, 2, 4, 8])
+            .loop_modes([LoopMode::SingleWorkItemFlat])
+            .unrolls([1, 2]);
+        let strat = Explorer::RandomSearch { budget: 5, seed: 9 };
+        let protocol = |k: KernelConfig| BenchConfig::new(k).with_ntimes(1).with_validation(false);
+        let engine = Engine::with_jobs(4);
+        let par = explore_target(&engine, TargetId::FpgaAocl, &space, strat, protocol);
+        let runner = Runner::for_target(TargetId::FpgaAocl);
+        let ser = explore(&space, strat, |c| runner.run(&protocol(c.clone())));
+        assert_eq!(par.trace.len(), ser.trace.len());
+        for (a, b) in par.trace.iter().zip(&ser.trace) {
+            assert_eq!(a.config, b.config, "same seeded visit order");
+            assert_eq!(a.gbps(), b.gbps());
+        }
+    }
+
+    #[test]
+    fn explore_target_climbers_share_the_engine_cache() {
+        use targets::TargetId;
+        let space = ParamSpace::new()
+            .sizes_bytes([1 << 16])
+            .widths([1, 2, 4])
+            .loop_modes([LoopMode::SingleWorkItemFlat]);
+        let engine = Engine::with_jobs(2);
+        let protocol = |k: KernelConfig| BenchConfig::new(k).with_ntimes(1).with_validation(false);
+        let strat = Explorer::HillClimb {
+            budget: 12,
+            seed: 1,
+        };
+        explore_target(&engine, TargetId::FpgaAocl, &space, strat, protocol);
+        let first = engine.cache_stats();
+        assert!(first.misses > 0);
+        explore_target(&engine, TargetId::FpgaAocl, &space, strat, protocol);
+        let delta = engine.cache_stats().since(first);
+        assert_eq!(delta.misses, 0, "revisits hit the shared cache");
     }
 }

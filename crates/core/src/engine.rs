@@ -1,0 +1,264 @@
+//! The parallel execution engine behind sweeps and DSE.
+//!
+//! Everything that measures more than one configuration funnels through
+//! here: the engine takes a work-list of [`BenchConfig`]s, executes them
+//! across a pool of scoped worker threads (one [`Runner`] per worker),
+//! and returns one [`Outcome`] per input **in input order** — results
+//! are byte-identical to a serial run no matter the thread count,
+//! because the device models are deterministic and every run gets a
+//! fresh context.
+//!
+//! Sizing: the pool defaults to [`default_jobs`] — the `MPSTREAM_JOBS`
+//! environment variable when set, otherwise the machine's available
+//! parallelism — and never spawns more workers than there are work
+//! items. `--jobs` on the CLI and figure harness overrides it.
+//!
+//! Caching: every engine owns a [`BuildCache`] shared by its workers, so
+//! a configuration is synthesized once per device model per engine
+//! lifetime; sweep layers report per-call hit/miss deltas.
+
+use crate::config::BenchConfig;
+use crate::runner::{Measurement, Runner};
+use kernelgen::KernelConfig;
+use mpcl::{BuildCache, CacheStats, ClError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// One executed configuration: the shared result vocabulary of sweeps
+/// and explorers (previously the duplicated `SweepPoint`/`Evaluation`).
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The configuration.
+    pub config: KernelConfig,
+    /// Measurement, or the error (typically an FPGA synthesis failure —
+    /// a first-class result of a sweep, not a crash).
+    pub result: Result<Measurement, ClError>,
+}
+
+impl Outcome {
+    /// Bandwidth if the run succeeded.
+    pub fn gbps(&self) -> Option<f64> {
+        self.result.as_ref().ok().map(|m| m.gbps())
+    }
+
+    /// FPGA logic usage if reported.
+    pub fn logic(&self) -> Option<u64> {
+        self.result
+            .as_ref()
+            .ok()
+            .and_then(|m| m.resources)
+            .map(|r| r.logic)
+    }
+
+    /// Did the run succeed?
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// Default worker count: `MPSTREAM_JOBS` when set to a positive integer,
+/// otherwise the machine's available parallelism (1 if unknown).
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("MPSTREAM_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A reusable parallel executor: a thread-pool size plus a shared
+/// build-artifact cache.
+#[derive(Debug)]
+pub struct Engine {
+    jobs: usize,
+    cache: Arc<BuildCache>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Engine sized by [`default_jobs`].
+    pub fn new() -> Self {
+        Engine::with_jobs(default_jobs())
+    }
+
+    /// Engine with an explicit worker count (clamped to at least 1).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Engine {
+            jobs: jobs.max(1),
+            cache: Arc::new(BuildCache::new()),
+        }
+    }
+
+    /// Worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The shared build cache.
+    pub fn cache(&self) -> &Arc<BuildCache> {
+        &self.cache
+    }
+
+    /// Cumulative build-cache counters over this engine's lifetime.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Execute `work` on a standard target, one fresh device per worker.
+    pub fn run_list(&self, target: targets::TargetId, work: &[BenchConfig]) -> Vec<Outcome> {
+        self.run_list_with(|| Runner::for_target(target), work)
+    }
+
+    /// Execute `work` with one runner per worker from `make_runner`
+    /// (called once per worker thread; the engine's cache is attached to
+    /// each). Results are returned in `work` order.
+    pub fn run_list_with(
+        &self,
+        make_runner: impl Fn() -> Runner + Sync,
+        work: &[BenchConfig],
+    ) -> Vec<Outcome> {
+        let jobs = self.jobs.min(work.len()).max(1);
+        if jobs == 1 {
+            let runner = make_runner().with_cache(Arc::clone(&self.cache));
+            return work
+                .iter()
+                .map(|bc| Outcome {
+                    config: bc.kernel.clone(),
+                    result: runner.run(bc),
+                })
+                .collect();
+        }
+
+        // Work-stealing by atomic index; each worker owns one device and
+        // reports (index, outcome) pairs, which are re-assembled in
+        // input order afterwards. A panicking worker poisons nothing:
+        // the scope propagates the panic after the others finish.
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Outcome)>();
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let next = &next;
+                let make_runner = &make_runner;
+                let cache = Arc::clone(&self.cache);
+                s.spawn(move || {
+                    let runner = make_runner().with_cache(cache);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(bc) = work.get(i) else { break };
+                        let outcome = Outcome {
+                            config: bc.kernel.clone(),
+                            result: runner.run(bc),
+                        };
+                        if tx.send((i, outcome)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        drop(tx);
+
+        let mut slots: Vec<Option<Outcome>> = work.iter().map(|_| None).collect();
+        for (i, outcome) in rx {
+            slots[i] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index executed"))
+            .collect()
+    }
+
+    /// Execute every valid configuration of a `ParamSpace`-like config
+    /// list under one measurement protocol.
+    pub fn run_configs(
+        &self,
+        target: targets::TargetId,
+        configs: Vec<KernelConfig>,
+        protocol: impl Fn(KernelConfig) -> BenchConfig,
+    ) -> Vec<Outcome> {
+        let work: Vec<BenchConfig> = configs.into_iter().map(protocol).collect();
+        self.run_list(target, &work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BenchConfig;
+    use crate::space::ParamSpace;
+    use kernelgen::{LoopMode, StreamOp};
+    use targets::TargetId;
+
+    fn work_list() -> Vec<BenchConfig> {
+        ParamSpace::new()
+            .ops([StreamOp::Copy, StreamOp::Triad])
+            .sizes_bytes([1 << 16])
+            .widths([1, 2, 4, 8])
+            .loop_modes([LoopMode::SingleWorkItemFlat])
+            .configs()
+            .into_iter()
+            .map(|k| BenchConfig::new(k).with_ntimes(1).with_validation(false))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_in_order_and_values() {
+        let work = work_list();
+        let serial = Engine::with_jobs(1).run_list(TargetId::FpgaAocl, &work);
+        let parallel = Engine::with_jobs(4).run_list(TargetId::FpgaAocl, &work);
+        assert_eq!(serial.len(), work.len());
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.config, p.config, "input order preserved");
+            assert_eq!(s.gbps(), p.gbps(), "identical measurements");
+        }
+    }
+
+    #[test]
+    fn engine_cache_counts_hits_on_revisit() {
+        let work = work_list();
+        let engine = Engine::with_jobs(2);
+        engine.run_list(TargetId::FpgaAocl, &work);
+        let first = engine.cache_stats();
+        assert_eq!(
+            first.misses as usize,
+            work.len(),
+            "first pass builds everything"
+        );
+        engine.run_list(TargetId::FpgaAocl, &work);
+        let second = engine.cache_stats().since(first);
+        assert_eq!(second.misses, 0, "second pass is all hits");
+        assert_eq!(second.hits as usize, work.len());
+    }
+
+    #[test]
+    fn more_jobs_than_work_is_fine() {
+        let work = work_list();
+        let out = Engine::with_jobs(64).run_list(TargetId::Cpu, &work);
+        assert_eq!(out.len(), work.len());
+        assert!(out.iter().all(|o| o.is_ok()));
+    }
+
+    #[test]
+    fn empty_work_list() {
+        assert!(Engine::with_jobs(4).run_list(TargetId::Cpu, &[]).is_empty());
+    }
+
+    #[test]
+    fn default_jobs_is_positive_and_env_overrides() {
+        assert!(default_jobs() >= 1);
+        // Engine::with_jobs clamps zero.
+        assert_eq!(Engine::with_jobs(0).jobs(), 1);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! One function per figure panel; each builds the same parameter sweep
 //! the paper ran, executes it on the four simulated targets via the
-//! [`Runner`], and returns labelled [`Series`] ready for the report
+//! [`Engine`], and returns labelled [`Series`] ready for the report
 //! layer. FPGA synthesis failures become notes (and missing points),
 //! exactly as a real sweep would record them.
 //!
@@ -14,8 +14,8 @@
 
 use crate::bandwidth::{fig1_sizes, fig2_sizes, gbps_to_kbps};
 use crate::config::BenchConfig;
+use crate::engine::{default_jobs, Engine};
 use crate::report::Series;
-use crate::runner::Runner;
 use kernelgen::{
     AccessPattern, AoclOpts, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts,
 };
@@ -104,34 +104,70 @@ fn copy_kernel(target: TargetId, bytes: u64) -> KernelConfig {
     k
 }
 
-/// Run one kernel on one target; `Err` text is a note, `Ok` is GB/s.
-fn measure(target: TargetId, kernel: KernelConfig, ntimes: u32) -> Result<f64, String> {
-    let bc = BenchConfig::new(kernel).with_ntimes(ntimes);
-    Runner::for_target(target)
-        .run(&bc)
-        .map(|m| {
-            debug_assert!(m.validated != Some(false), "validation failed on {target:?}");
-            m.gbps()
+/// Run a batch of kernels on one target across the engine's thread
+/// pool, in order; `Err` text is a note, `Ok` is GB/s.
+fn measure_list(
+    engine: &Engine,
+    target: TargetId,
+    kernels: Vec<KernelConfig>,
+    ntimes: u32,
+) -> Vec<Result<f64, String>> {
+    let work: Vec<BenchConfig> = kernels
+        .into_iter()
+        .map(|k| BenchConfig::new(k).with_ntimes(ntimes))
+        .collect();
+    engine
+        .run_list(target, &work)
+        .into_iter()
+        .map(|o| {
+            o.result
+                .map(|m| {
+                    debug_assert!(
+                        m.validated != Some(false),
+                        "validation failed on {target:?}"
+                    );
+                    m.gbps()
+                })
+                .map_err(|e| format!("{}: {e}", target.label()))
         })
-        .map_err(|e| format!("{}: {e}", target.label()))
+        .collect()
 }
 
-/// Options controlling sweep sizes (tests use `quick`).
+/// Options controlling sweep sizes (tests use `quick`) and parallelism.
 #[derive(Debug, Clone, Copy)]
 pub struct RunOpts {
     /// Reduce point counts and repetitions for fast smoke runs.
     pub quick: bool,
+    /// Worker threads per figure; `None` picks the default
+    /// (`MPSTREAM_JOBS` or the machine's available parallelism).
+    pub jobs: Option<usize>,
 }
 
 impl RunOpts {
     /// Full paper-fidelity sweep.
     pub fn full() -> Self {
-        RunOpts { quick: false }
+        RunOpts {
+            quick: false,
+            jobs: None,
+        }
     }
 
     /// Reduced sweep for tests.
     pub fn quick() -> Self {
-        RunOpts { quick: true }
+        RunOpts {
+            quick: true,
+            jobs: None,
+        }
+    }
+
+    /// Builder: set the worker-thread count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    fn engine(&self) -> Engine {
+        Engine::with_jobs(self.jobs.unwrap_or_else(default_jobs))
     }
 
     fn ntimes(&self) -> u32 {
@@ -165,13 +201,21 @@ pub fn run_figure(id: FigureId, opts: RunOpts) -> Figure {
 
 /// Figure 1a: COPY bandwidth vs array size on all four targets.
 pub fn fig1a(opts: RunOpts) -> Figure {
+    let engine = opts.engine();
     let sizes = opts.thin(fig1_sizes());
     let mut series = Vec::new();
     let mut notes = Vec::new();
     for target in TargetId::ALL {
+        let kernels = sizes
+            .iter()
+            .map(|&bytes| copy_kernel(target, bytes))
+            .collect();
         let mut pts = Vec::new();
-        for &bytes in &sizes {
-            match measure(target, copy_kernel(target, bytes), opts.ntimes()) {
+        for (&bytes, r) in sizes
+            .iter()
+            .zip(measure_list(&engine, target, kernels, opts.ntimes()))
+        {
+            match r {
                 Ok(gbps) => pts.push((bytes as f64 / 1e6, gbps)),
                 Err(e) => notes.push(e),
             }
@@ -190,15 +234,29 @@ pub fn fig1a(opts: RunOpts) -> Figure {
 
 /// Figure 1b: COPY bandwidth vs vector width at 4 MB arrays.
 pub fn fig1b(opts: RunOpts) -> Figure {
-    let widths: Vec<u32> = if opts.quick { vec![1, 4, 16] } else { vec![1, 2, 4, 8, 16] };
+    let engine = opts.engine();
+    let widths: Vec<u32> = if opts.quick {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
     let mut series = Vec::new();
     let mut notes = Vec::new();
     for target in TargetId::ALL {
+        let kernels = widths
+            .iter()
+            .map(|&w| {
+                let mut k = copy_kernel(target, PLATEAU_BYTES);
+                k.vector_width = VectorWidth::new(w).expect("allowed width");
+                k
+            })
+            .collect();
         let mut pts = Vec::new();
-        for &w in &widths {
-            let mut k = copy_kernel(target, PLATEAU_BYTES);
-            k.vector_width = VectorWidth::new(w).expect("allowed width");
-            match measure(target, k, opts.ntimes()) {
+        for (&w, r) in widths
+            .iter()
+            .zip(measure_list(&engine, target, kernels, opts.ntimes()))
+        {
+            match r {
                 Ok(gbps) => pts.push((w as f64, gbps)),
                 Err(e) => notes.push(e),
             }
@@ -217,6 +275,7 @@ pub fn fig1b(opts: RunOpts) -> Figure {
 
 /// Figure 2: contiguous vs column-major ("strided") access across sizes.
 pub fn fig2(opts: RunOpts) -> Figure {
+    let engine = opts.engine();
     let mut series = Vec::new();
     let mut notes = Vec::new();
     for (pattern, suffix) in [
@@ -225,12 +284,26 @@ pub fn fig2(opts: RunOpts) -> Figure {
     ] {
         for target in TargetId::ALL {
             // The paper's FPGA series stop at 64 MB; CPU/GPU go to ~1 GB.
-            let sizes = opts.thin(if target.is_fpga() { fig1_sizes() } else { fig2_sizes() });
+            let sizes = opts.thin(if target.is_fpga() {
+                fig1_sizes()
+            } else {
+                fig2_sizes()
+            });
+            let kernels = sizes
+                .iter()
+                .map(|&bytes| {
+                    let mut k = copy_kernel(target, bytes);
+                    k.pattern = pattern;
+                    k
+                })
+                .collect();
             let mut pts = Vec::new();
-            for &bytes in &sizes {
-                let mut k = copy_kernel(target, bytes);
-                k.pattern = pattern;
-                match measure(target, k, opts.ntimes()) {
+            for (&bytes, r) in
+                sizes
+                    .iter()
+                    .zip(measure_list(&engine, target, kernels, opts.ntimes()))
+            {
+                match r {
                     Ok(gbps) => pts.push((bytes as f64 / 1e6, gbps)),
                     Err(e) => notes.push(e),
                 }
@@ -250,16 +323,31 @@ pub fn fig2(opts: RunOpts) -> Figure {
 
 /// Figure 3: the three loop managements on each target (KB/s).
 pub fn fig3(opts: RunOpts) -> Figure {
+    let engine = opts.engine();
     let mut series = Vec::new();
     let mut notes = Vec::new();
-    for mode in LoopMode::ALL {
+    // Batch per target (each batch shares one device across the pool),
+    // then regroup the cells into one series per loop mode.
+    let cells: Vec<Vec<Result<f64, String>>> = TargetId::ALL
+        .into_iter()
+        .map(|target| {
+            let kernels = LoopMode::ALL
+                .into_iter()
+                .map(|mode| {
+                    let mut k = copy_kernel(target, PLATEAU_BYTES);
+                    k.loop_mode = mode;
+                    k
+                })
+                .collect();
+            measure_list(&engine, target, kernels, opts.ntimes())
+        })
+        .collect();
+    for (j, mode) in LoopMode::ALL.into_iter().enumerate() {
         let mut pts = Vec::new();
-        for (i, target) in TargetId::ALL.into_iter().enumerate() {
-            let mut k = copy_kernel(target, PLATEAU_BYTES);
-            k.loop_mode = mode;
-            match measure(target, k, opts.ntimes()) {
-                Ok(gbps) => pts.push((i as f64 + 1.0, gbps_to_kbps(gbps))),
-                Err(e) => notes.push(e),
+        for (i, row) in cells.iter().enumerate() {
+            match &row[j] {
+                Ok(gbps) => pts.push((i as f64 + 1.0, gbps_to_kbps(*gbps))),
+                Err(e) => notes.push(e.clone()),
             }
         }
         series.push(Series::new(mode.label(), pts));
@@ -276,16 +364,29 @@ pub fn fig3(opts: RunOpts) -> Figure {
 
 /// Figure 4a: all four STREAM kernels on all targets (KB/s).
 pub fn fig4a(opts: RunOpts) -> Figure {
+    let engine = opts.engine();
     let mut series = Vec::new();
     let mut notes = Vec::new();
-    for op in StreamOp::ALL {
+    let cells: Vec<Vec<Result<f64, String>>> = TargetId::ALL
+        .into_iter()
+        .map(|target| {
+            let kernels = StreamOp::ALL
+                .into_iter()
+                .map(|op| {
+                    let mut k = copy_kernel(target, PLATEAU_BYTES);
+                    k.op = op;
+                    k
+                })
+                .collect();
+            measure_list(&engine, target, kernels, opts.ntimes())
+        })
+        .collect();
+    for (j, op) in StreamOp::ALL.into_iter().enumerate() {
         let mut pts = Vec::new();
-        for (i, target) in TargetId::ALL.into_iter().enumerate() {
-            let mut k = copy_kernel(target, PLATEAU_BYTES);
-            k.op = op;
-            match measure(target, k, opts.ntimes()) {
-                Ok(gbps) => pts.push((i as f64 + 1.0, gbps_to_kbps(gbps))),
-                Err(e) => notes.push(e),
+        for (i, row) in cells.iter().enumerate() {
+            match &row[j] {
+                Ok(gbps) => pts.push((i as f64 + 1.0, gbps_to_kbps(*gbps))),
+                Err(e) => notes.push(e.clone()),
             }
         }
         series.push(Series::new(op.name(), pts));
@@ -303,38 +404,55 @@ pub fn fig4a(opts: RunOpts) -> Figure {
 /// Figure 4b: AOCL-specific replication vs native vectorization, on the
 /// AOCL target, N in {1, 2, 4, 8, 16}.
 pub fn fig4b(opts: RunOpts) -> Figure {
-    let ns: Vec<u32> = if opts.quick { vec![1, 4, 16] } else { vec![1, 2, 4, 8, 16] };
+    let engine = opts.engine();
+    let ns: Vec<u32> = if opts.quick {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
     let target = TargetId::FpgaAocl;
     let mut notes = Vec::new();
+
+    // Three kernels per N — native vectorization, num_simd_work_items
+    // (requires NDRange + reqd work-group size), num_compute_units — in
+    // one engine batch.
+    let mut kernels = Vec::with_capacity(3 * ns.len());
+    for &n in &ns {
+        let mut k = copy_kernel(target, PLATEAU_BYTES);
+        k.vector_width = VectorWidth::new(n).expect("allowed");
+        kernels.push(k);
+
+        let mut k = copy_kernel(target, PLATEAU_BYTES);
+        k.loop_mode = LoopMode::NdRange;
+        k.reqd_work_group_size = true;
+        k.vendor = VendorOpts::Aocl(AoclOpts {
+            num_simd_work_items: n,
+            num_compute_units: 1,
+        });
+        kernels.push(k);
+
+        let mut k = copy_kernel(target, PLATEAU_BYTES);
+        k.vendor = VendorOpts::Aocl(AoclOpts {
+            num_simd_work_items: 1,
+            num_compute_units: n,
+        });
+        kernels.push(k);
+    }
+    let results = measure_list(&engine, target, kernels, opts.ntimes());
 
     let mut vec_pts = Vec::new();
     let mut simd_pts = Vec::new();
     let mut cu_pts = Vec::new();
-    for &n in &ns {
-        // Native vectorization (single-work-item flat loop).
-        let mut k = copy_kernel(target, PLATEAU_BYTES);
-        k.vector_width = VectorWidth::new(n).expect("allowed");
-        match measure(target, k, opts.ntimes()) {
-            Ok(g) => vec_pts.push((n as f64, g)),
-            Err(e) => notes.push(format!("vec{n}: {e}")),
-        }
-
-        // num_simd_work_items (requires NDRange + reqd work-group size).
-        let mut k = copy_kernel(target, PLATEAU_BYTES);
-        k.loop_mode = LoopMode::NdRange;
-        k.reqd_work_group_size = true;
-        k.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: n, num_compute_units: 1 });
-        match measure(target, k, opts.ntimes()) {
-            Ok(g) => simd_pts.push((n as f64, g)),
-            Err(e) => notes.push(format!("simd{n}: {e}")),
-        }
-
-        // num_compute_units.
-        let mut k = copy_kernel(target, PLATEAU_BYTES);
-        k.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 1, num_compute_units: n });
-        match measure(target, k, opts.ntimes()) {
-            Ok(g) => cu_pts.push((n as f64, g)),
-            Err(e) => notes.push(format!("cu{n}: {e}")),
+    for (chunk, &n) in results.chunks(3).zip(&ns) {
+        for (r, (pts, label)) in chunk.iter().zip([
+            (&mut vec_pts, "vec"),
+            (&mut simd_pts, "simd"),
+            (&mut cu_pts, "cu"),
+        ]) {
+            match r {
+                Ok(g) => pts.push((n as f64, *g)),
+                Err(e) => notes.push(format!("{label}{n}: {e}")),
+            }
         }
     }
 
@@ -384,7 +502,12 @@ mod tests {
     fn fig3_quick_fpga_prefers_single_work_item() {
         let f = fig3(RunOpts::quick());
         let find = |label: &str| {
-            f.series.iter().find(|s| s.label == label).expect("series").points.clone()
+            f.series
+                .iter()
+                .find(|s| s.label == label)
+                .expect("series")
+                .points
+                .clone()
         };
         let nd = find("ndrange-kernel");
         let flat = find("kernel-loop-flat");
@@ -393,14 +516,23 @@ mod tests {
         assert!(flat[0].1 > nd[0].1, "aocl prefers the loop form");
         assert!(nested[1].1 > flat[1].1, "sdaccel prefers the nested form");
         assert!(nd[2].1 > flat[2].1, "cpu prefers ndrange");
-        assert!(nd[3].1 > 100.0 * flat[3].1, "gpu collapses on one work-item");
+        assert!(
+            nd[3].1 > 100.0 * flat[3].1,
+            "gpu collapses on one work-item"
+        );
     }
 
     #[test]
     fn fig4b_quick_native_vectorization_wins_at_16() {
         let f = fig4b(RunOpts::quick());
         let last = |label: &str| {
-            f.series.iter().find(|s| s.label == label).expect("series").points.last().copied()
+            f.series
+                .iter()
+                .find(|s| s.label == label)
+                .expect("series")
+                .points
+                .last()
+                .copied()
         };
         let v = last("vector-size").expect("vec point");
         let cu = last("num-compute-units").expect("cu point");

@@ -53,8 +53,14 @@ fn run(runner: &Runner, cfg: KernelConfig) -> Measurement {
 /// true with the HMC-class memory system it points to.
 pub fn ext_energy() -> ExtensionReport {
     const BYTES: u64 = 16 << 20;
-    let mut table =
-        Table::new(&["target", "config", "GB/s", "mJ / launch", "GB/J", "traffic amp"]);
+    let mut table = Table::new(&[
+        "target",
+        "config",
+        "GB/s",
+        "mJ / launch",
+        "GB/J",
+        "traffic amp",
+    ]);
     let mut best: Vec<(String, f64)> = Vec::new();
 
     let mut targets: Vec<(String, Runner, bool)> = TargetId::ALL
@@ -81,7 +87,10 @@ pub fn ext_energy() -> ExtensionReport {
 
     best.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     let notes = vec![
-        format!("most energy-efficient target: {} ({:.3} GB/J)", best[0].0, best[0].1),
+        format!(
+            "most energy-efficient target: {} ({:.3} GB/J)",
+            best[0].0, best[0].1
+        ),
         "with 2015 DDR3 boards the GPU amortizes its 200 W; the HMC-class \
          memory the paper anticipates flips the ranking to the FPGA"
             .into(),
@@ -185,11 +194,18 @@ pub fn ext_hmc() -> ExtensionReport {
 /// COPY at 16 MB on every target.
 pub fn ext_host_link() -> ExtensionReport {
     const BYTES: u64 = 16 << 20;
-    let mut table = Table::new(&["target", "device-global GB/s", "host-over-link GB/s", "slowdown"]);
+    let mut table = Table::new(&[
+        "target",
+        "device-global GB/s",
+        "host-over-link GB/s",
+        "slowdown",
+    ]);
     for target in TargetId::ALL {
         let runner = Runner::for_target(target);
         let mut device = BenchConfig::copy_of_bytes(BYTES).with_validation(false);
-        let mut link = BenchConfig::copy_of_bytes(BYTES).with_validation(false).over_link();
+        let mut link = BenchConfig::copy_of_bytes(BYTES)
+            .with_validation(false)
+            .over_link();
         if target.is_fpga() {
             device.kernel.loop_mode = LoopMode::SingleWorkItemFlat;
             link.kernel.loop_mode = LoopMode::SingleWorkItemFlat;
@@ -262,11 +278,20 @@ pub fn ext_wgsize() -> ExtensionReport {
 pub fn ext_newer_board() -> ExtensionReport {
     const BYTES: u64 = 4 << 20;
     let boards: Vec<(&str, Runner)> = vec![
-        ("stratix-v ddr3 (2015)", Runner::for_target(TargetId::FpgaAocl)),
+        (
+            "stratix-v ddr3 (2015)",
+            Runner::for_target(TargetId::FpgaAocl),
+        ),
         ("arria-10 ddr4 (17.x)", Runner::new(arria10_device())),
         ("hmc outlook", Runner::new(hmc_device())),
     ];
-    let mut table = Table::new(&["board", "scalar GB/s", "vec16 GB/s", "fmax MHz", "peak GB/s"]);
+    let mut table = Table::new(&[
+        "board",
+        "scalar GB/s",
+        "vec16 GB/s",
+        "fmax MHz",
+        "peak GB/s",
+    ]);
     let mut gains = Vec::new();
     for (label, runner) in &boards {
         let scalar = run(runner, copy_cfg(true, BYTES, 1));
@@ -293,7 +318,14 @@ pub fn ext_newer_board() -> ExtensionReport {
 
 /// All extension experiments, in presentation order.
 pub fn all_extensions() -> Vec<ExtensionReport> {
-    vec![ext_energy(), ext_dtype(), ext_hmc(), ext_newer_board(), ext_host_link(), ext_wgsize()]
+    vec![
+        ext_energy(),
+        ext_dtype(),
+        ext_hmc(),
+        ext_newer_board(),
+        ext_host_link(),
+        ext_wgsize(),
+    ]
 }
 
 #[cfg(test)]

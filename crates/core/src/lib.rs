@@ -14,8 +14,12 @@
 //!   [`runner::Measurement`];
 //! * [`space`] — [`space::ParamSpace`]: cartesian sweeps over the tuning
 //!   dimensions of §III;
+//! * [`engine`] — the parallel execution engine: a work-list of
+//!   configurations fanned across a thread pool with a shared
+//!   build-artifact cache, returning deterministic-order
+//!   [`engine::Outcome`]s;
 //! * [`dse`] — automated design-space exploration (exhaustive, random,
-//!   hill-climbing) over a parameter space;
+//!   hill-climbing, annealing) over a parameter space;
 //! * [`report`] — tables, CSV and ASCII log-log charts for the harness;
 //! * [`paperdata`] — the paper's plotted data points (transcribed from
 //!   the figures) plus shape checks used by EXPERIMENTS.md;
@@ -26,20 +30,24 @@ pub mod bandwidth;
 pub mod cli;
 pub mod config;
 pub mod dse;
+pub mod engine;
 pub mod experiments;
 pub mod extensions;
 pub mod paperdata;
 pub mod report;
+pub mod rng;
 pub mod runner;
 pub mod space;
 pub mod sweep;
 
 pub use bandwidth::{gbps_to_kbps, mb_label};
 pub use config::{BenchConfig, StreamLocation};
-pub use dse::{explore, DseResult, Explorer};
+pub use dse::{explore, explore_target, DseResult, Explorer};
+pub use engine::{default_jobs, Engine, Outcome};
 pub use experiments::{run_figure, Figure, FigureId, RunOpts};
 pub use extensions::{all_extensions, ExtensionReport};
 pub use report::{ascii_loglog, Series, Table};
+pub use rng::SplitMix64;
 pub use runner::{Measurement, Runner};
-pub use sweep::{pareto_front, run_space, ParetoPoint, SweepResult};
 pub use space::ParamSpace;
+pub use sweep::{pareto_front, run_space, sweep_space, ParetoPoint, SweepResult};

@@ -16,7 +16,9 @@ pub const FIG1A_SDACCEL: [f64; 9] = [0.03, 0.09, 0.21, 0.35, 0.53, 0.64, 0.70, 0
 /// Figure 1a, CPU series.
 pub const FIG1A_CPU: [f64; 9] = [0.05, 0.19, 0.72, 2.52, 7.44, 18.16, 27.04, 25.24, 25.10];
 /// Figure 1a, GPU series.
-pub const FIG1A_GPU: [f64; 9] = [0.14, 0.95, 3.71, 14.74, 50.13, 112.79, 173.72, 204.5, 203.87];
+pub const FIG1A_GPU: [f64; 9] = [
+    0.14, 0.95, 3.71, 14.74, 50.13, 112.79, 173.72, 204.5, 203.87,
+];
 
 /// Figure 1b — COPY bandwidth (GB/s) vs vector width {1,2,4,8,16} at
 /// 4 MB arrays.
@@ -39,8 +41,9 @@ pub const FIG2_SDACCEL_CONTIG: [f64; 9] = [0.03, 0.1, 0.2, 0.4, 0.5, 0.6, 0.7, 0
 pub const FIG2_CPU_CONTIG: [f64; 11] =
     [0.1, 0.2, 0.7, 2.5, 7.4, 18.2, 27.0, 25.2, 25.1, 26.7, 26.7];
 /// Figure 2, GPU contiguous.
-pub const FIG2_GPU_CONTIG: [f64; 11] =
-    [0.1, 1.0, 3.7, 14.7, 50.1, 112.8, 173.7, 204.5, 203.9, 216.4, 220.1];
+pub const FIG2_GPU_CONTIG: [f64; 11] = [
+    0.1, 1.0, 3.7, 14.7, 50.1, 112.8, 173.7, 204.5, 203.9, 216.4, 220.1,
+];
 /// Figure 2 — strided (column-major) series.
 pub const FIG2_AOCL_STRIDED: [f64; 9] = [0.1, 0.2, 0.4, 0.7, 0.8, 1.7, 0.5, 0.4, 0.3];
 /// Figure 2, SDAccel strided (flat ~0.01 GB/s).
@@ -52,8 +55,12 @@ pub const FIG2_GPU_STRIDED: [f64; 11] =
     [0.1, 0.6, 2.5, 7.6, 18.2, 26.6, 29.4, 29.5, 27.3, 9.9, 6.7];
 
 /// Peak bandwidths the paper quotes per target (the dotted lines).
-pub const PEAK_GBPS: [(&str, f64); 4] =
-    [("aocl", 25.6), ("sdaccel", 10.6), ("cpu", 34.0), ("gpu", 336.0)];
+pub const PEAK_GBPS: [(&str, f64); 4] = [
+    ("aocl", 25.6),
+    ("sdaccel", 10.6),
+    ("cpu", 34.0),
+    ("gpu", 336.0),
+];
 
 // ---------------------------------------------------------------------
 // Shape checks.
@@ -98,9 +105,14 @@ pub fn check_rise_and_plateau(
         return Shape::Deviates(vec!["series too short".into()]);
     }
     let max = measured.iter().cloned().fold(0.0, f64::max);
-    let tail_max = measured[measured.len() - tail..].iter().cloned().fold(0.0, f64::max);
+    let tail_max = measured[measured.len() - tail..]
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max);
     if tail_max < max / plateau_band {
-        problems.push(format!("tail max {tail_max:.3} not within {plateau_band}x of max {max:.3}"));
+        problems.push(format!(
+            "tail max {tail_max:.3} not within {plateau_band}x of max {max:.3}"
+        ));
     }
     if measured[0] * rise_factor > max {
         problems.push(format!(
@@ -118,7 +130,9 @@ pub fn check_ratio_band(measured: &[f64], paper: &[f64], band: f64) -> Shape {
     let mut problems = Vec::new();
     for (i, (&m, &p)) in measured.iter().zip(paper.iter()).enumerate() {
         if m <= 0.0 || p <= 0.0 {
-            problems.push(format!("point {i}: non-positive value (measured {m}, paper {p})"));
+            problems.push(format!(
+                "point {i}: non-positive value (measured {m}, paper {p})"
+            ));
             continue;
         }
         let r = m / p;
@@ -176,7 +190,10 @@ mod tests {
     fn paper_data_itself_passes_its_shape_checks() {
         // Fig 1a: every target rises and plateaus.
         for series in [&FIG1A_AOCL[..], &FIG1A_SDACCEL, &FIG1A_CPU, &FIG1A_GPU] {
-            assert!(check_rise_and_plateau(series, 3, 1.5, 5.0).ok(), "{series:?}");
+            assert!(
+                check_rise_and_plateau(series, 3, 1.5, 5.0).ok(),
+                "{series:?}"
+            );
         }
         // GPU > CPU > AOCL > SDAccel at 4 MB (index 6).
         let at4 = [

@@ -15,7 +15,10 @@ pub struct Series {
 impl Series {
     /// Construct from a label and points.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     /// The y values only.
@@ -34,7 +37,10 @@ pub struct Table {
 impl Table {
     /// Start a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header count).
@@ -88,9 +94,23 @@ impl Table {
         let esc = |s: &str| s.replace('|', "\\|");
         let mut out = String::new();
         out.push_str("| ");
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(" | "));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
         out.push_str(" |\n|");
-        out.push_str(&self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|"),
+        );
         out.push_str("|\n");
         for row in &self.rows {
             out.push_str("| ");
@@ -110,7 +130,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

@@ -12,7 +12,11 @@
 
 use crate::config::{BenchConfig, StreamLocation};
 use kernelgen::{DataType, KernelConfig, StreamOp};
-use mpcl::{Buffer, ClError, CommandQueue, Context, Device, Kernel, MemFlags, Program, ResourceUsage};
+use mpcl::{
+    Buffer, BuildCache, ClError, CommandQueue, Context, Device, Kernel, MemFlags, Program,
+    ResourceUsage,
+};
+use std::sync::Arc;
 
 /// The outcome of one benchmark run.
 #[derive(Debug, Clone)]
@@ -67,22 +71,60 @@ impl Measurement {
     pub fn traffic_amplification(&self) -> f64 {
         self.dram_bytes_per_launch as f64 / self.bytes_moved as f64
     }
+
+    /// A fabricated measurement with the given bandwidth, for testing
+    /// search strategies without a device (everything but `gbps()` is
+    /// placeholder).
+    pub fn synthetic(gbps: f64) -> Measurement {
+        let bytes_moved = 1u64 << 20;
+        Measurement {
+            device: "synthetic".into(),
+            bytes_moved,
+            best_wall_ns: bytes_moved as f64 / gbps.max(f64::MIN_POSITIVE),
+            avg_wall_ns: bytes_moved as f64 / gbps.max(f64::MIN_POSITIVE),
+            best_kernel_ns: bytes_moved as f64 / gbps.max(f64::MIN_POSITIVE),
+            validated: None,
+            dram_bytes_per_launch: bytes_moved,
+            energy_j: None,
+            fmax_mhz: None,
+            resources: None,
+            build_log: String::new(),
+        }
+    }
 }
 
-/// Runs benchmark configurations on one device.
+/// Runs benchmark configurations on one device. Clones share the device
+/// and the build cache, so a clone per worker thread is cheap.
+#[derive(Clone)]
 pub struct Runner {
     device: Device,
+    cache: Option<Arc<BuildCache>>,
 }
 
 impl Runner {
     /// Wrap a device.
     pub fn new(device: Device) -> Self {
-        Runner { device }
+        Runner {
+            device,
+            cache: None,
+        }
     }
 
     /// Runner for one of the four standard paper targets.
     pub fn for_target(id: targets::TargetId) -> Self {
         Runner::new(targets::standard_device(id))
+    }
+
+    /// Attach a build-artifact cache: repeated configurations skip the
+    /// synthesis model (see [`mpcl::BuildCache`] for keying).
+    pub fn with_cache(mut self, cache: Arc<BuildCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached build cache, if any.
+    pub fn cache(&self) -> Option<&Arc<BuildCache>> {
+        self.cache.as_ref()
     }
 
     /// The device this runner drives.
@@ -118,7 +160,10 @@ impl Runner {
             }
         }
 
-        let program = Program::build(&ctx, kernel_cfg.clone())?;
+        let program = match &self.cache {
+            Some(cache) => Program::build_cached(&ctx, kernel_cfg.clone(), cache)?,
+            None => Program::build(&ctx, kernel_cfg.clone())?,
+        };
         let kernel = Kernel::new(&program, &a, &b, c.as_ref())?;
 
         for _ in 0..bc.warmup {
@@ -251,13 +296,19 @@ fn check_results(cfg: &KernelConfig, a: &[u8]) -> bool {
     let n = cfg.n_words;
     match cfg.dtype {
         DataType::I32 => (0..n).all(|i| {
-            let got =
-                i32::from_ne_bytes(a[(i * 4) as usize..(i * 4 + 4) as usize].try_into().expect("4"));
+            let got = i32::from_ne_bytes(
+                a[(i * 4) as usize..(i * 4 + 4) as usize]
+                    .try_into()
+                    .expect("4"),
+            );
             got as f64 == expected(cfg, i)
         }),
         DataType::F64 => (0..n).all(|i| {
-            let got =
-                f64::from_ne_bytes(a[(i * 8) as usize..(i * 8 + 8) as usize].try_into().expect("8"));
+            let got = f64::from_ne_bytes(
+                a[(i * 8) as usize..(i * 8 + 8) as usize]
+                    .try_into()
+                    .expect("8"),
+            );
             (got - expected(cfg, i)).abs() <= 1e-9 * expected(cfg, i).abs().max(1.0)
         }),
     }
@@ -274,7 +325,9 @@ mod tests {
         if target.is_fpga() {
             kernel.loop_mode = LoopMode::SingleWorkItemFlat;
         }
-        Runner::for_target(target).run(&BenchConfig::new(kernel)).expect("run ok")
+        Runner::for_target(target)
+            .run(&BenchConfig::new(kernel))
+            .expect("run ok")
     }
 
     #[test]
@@ -293,7 +346,9 @@ mod tests {
             let mut kernel = KernelConfig::baseline(op, 1 << 12);
             kernel.dtype = DataType::F64;
             kernel.q = 2.5;
-            let m = Runner::for_target(TargetId::Cpu).run(&BenchConfig::new(kernel)).expect("ok");
+            let m = Runner::for_target(TargetId::Cpu)
+                .run(&BenchConfig::new(kernel))
+                .expect("ok");
             assert_eq!(m.validated, Some(true), "{op:?}");
         }
     }
@@ -303,7 +358,9 @@ mod tests {
         let mut kernel = KernelConfig::baseline(StreamOp::Triad, 1 << 14);
         kernel.vector_width = VectorWidth::new(8).unwrap();
         kernel.loop_mode = LoopMode::SingleWorkItemFlat;
-        let m = Runner::for_target(TargetId::FpgaAocl).run(&BenchConfig::new(kernel)).expect("ok");
+        let m = Runner::for_target(TargetId::FpgaAocl)
+            .run(&BenchConfig::new(kernel))
+            .expect("ok");
         assert_eq!(m.validated, Some(true));
         assert!(m.fmax_mhz.is_some(), "FPGA reports a clock");
         assert!(m.resources.is_some(), "FPGA reports resources");
@@ -315,8 +372,10 @@ mod tests {
         kernel.loop_mode = LoopMode::NdRange;
         kernel.reqd_work_group_size = true;
         kernel.vector_width = VectorWidth::new(16).unwrap();
-        kernel.vendor =
-            VendorOpts::Aocl(AoclOpts { num_simd_work_items: 16, num_compute_units: 16 });
+        kernel.vendor = VendorOpts::Aocl(AoclOpts {
+            num_simd_work_items: 16,
+            num_compute_units: 16,
+        });
         let err = Runner::for_target(TargetId::FpgaAocl).run(&BenchConfig::new(kernel));
         assert!(matches!(err, Err(ClError::BuildProgramFailure(_))));
     }

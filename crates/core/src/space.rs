@@ -50,6 +50,79 @@ impl Default for ParamSpace {
 }
 
 impl ParamSpace {
+    /// The default single-point space, ready for chained builders:
+    /// `ParamSpace::new().ops(StreamOp::ALL).widths([1, 4, 16])`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the STREAM kernels to sweep.
+    pub fn ops(mut self, ops: impl IntoIterator<Item = StreamOp>) -> Self {
+        self.ops = ops.into_iter().collect();
+        self
+    }
+
+    /// Set the array sizes, in bytes per array.
+    pub fn sizes_bytes(mut self, sizes: impl IntoIterator<Item = u64>) -> Self {
+        self.sizes_bytes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Set the array sizes, in MiB per array (the unit the paper's
+    /// figures use on their x-axes).
+    pub fn sizes_mb(mut self, mb: impl IntoIterator<Item = u64>) -> Self {
+        self.sizes_bytes = mb.into_iter().map(|m| m << 20).collect();
+        self
+    }
+
+    /// Set the element types.
+    pub fn dtypes(mut self, dtypes: impl IntoIterator<Item = DataType>) -> Self {
+        self.dtypes = dtypes.into_iter().collect();
+        self
+    }
+
+    /// Set the vectorization widths.
+    pub fn widths(mut self, widths: impl IntoIterator<Item = u32>) -> Self {
+        self.widths = widths.into_iter().collect();
+        self
+    }
+
+    /// Set the access patterns.
+    pub fn patterns(mut self, patterns: impl IntoIterator<Item = AccessPattern>) -> Self {
+        self.patterns = patterns.into_iter().collect();
+        self
+    }
+
+    /// Set the loop managements.
+    pub fn loop_modes(mut self, modes: impl IntoIterator<Item = LoopMode>) -> Self {
+        self.loop_modes = modes.into_iter().collect();
+        self
+    }
+
+    /// Set the unroll factors.
+    pub fn unrolls(mut self, unrolls: impl IntoIterator<Item = u32>) -> Self {
+        self.unrolls = unrolls.into_iter().collect();
+        self
+    }
+
+    /// Set the vendor-specific option sets.
+    pub fn vendors(mut self, vendors: impl IntoIterator<Item = VendorOpts>) -> Self {
+        self.vendors = vendors.into_iter().collect();
+        self
+    }
+
+    /// Set the work-group size for NDRange points.
+    pub fn work_group_size(mut self, wg: u32) -> Self {
+        self.work_group_size = wg;
+        self
+    }
+
+    /// Emit `reqd_work_group_size` attributes.
+    pub fn reqd_work_group_size(mut self, reqd: bool) -> Self {
+        self.reqd_work_group_size = reqd;
+        self
+    }
+
     /// Number of raw combinations (before validity filtering).
     pub fn raw_len(&self) -> usize {
         self.ops.len()
@@ -73,7 +146,9 @@ impl ParamSpace {
                             for &loop_mode in &self.loop_modes {
                                 for &unroll in &self.unrolls {
                                     for &vendor in &self.vendors {
-                                        let Ok(width) = VectorWidth::new(w) else { continue };
+                                        let Ok(width) = VectorWidth::new(w) else {
+                                            continue;
+                                        };
                                         let cfg = KernelConfig {
                                             op,
                                             dtype,
@@ -117,45 +192,63 @@ mod tests {
 
     #[test]
     fn cartesian_product_size() {
-        let s = ParamSpace {
-            ops: StreamOp::ALL.to_vec(),
-            widths: vec![1, 4, 16],
-            loop_modes: LoopMode::ALL.to_vec(),
-            ..Default::default()
-        };
+        let s = ParamSpace::new()
+            .ops(StreamOp::ALL)
+            .widths([1, 4, 16])
+            .loop_modes(LoopMode::ALL);
         assert_eq!(s.raw_len(), 4 * 3 * 3);
         assert_eq!(s.configs().len(), 36, "all combinations valid here");
     }
 
     #[test]
     fn invalid_combinations_are_filtered() {
-        let s = ParamSpace {
-            sizes_bytes: vec![4096],
-            widths: vec![1, 3, 16], // 3 is not an OpenCL vector width
-            ..Default::default()
-        };
+        // 3 is not an OpenCL vector width.
+        let s = ParamSpace::new().sizes_bytes([4096]).widths([1, 3, 16]);
         assert_eq!(s.configs().len(), 2);
     }
 
     #[test]
     fn strides_that_do_not_divide_are_filtered() {
-        let s = ParamSpace {
-            sizes_bytes: vec![4096], // 1024 words
-            patterns: vec![
-                AccessPattern::Contiguous,
-                AccessPattern::Strided { stride: 7 }, // does not divide 1024
-                AccessPattern::Strided { stride: 4 },
-            ],
-            ..Default::default()
-        };
+        // 1024 words; stride 7 does not divide it.
+        let s = ParamSpace::new().sizes_bytes([4096]).patterns([
+            AccessPattern::Contiguous,
+            AccessPattern::Strided { stride: 7 },
+            AccessPattern::Strided { stride: 4 },
+        ]);
         assert_eq!(s.configs().len(), 2);
     }
 
     #[test]
     fn deterministic_order() {
-        let s = ParamSpace { widths: vec![1, 2, 4], ..Default::default() };
+        let s = ParamSpace::new().widths([1, 2, 4]);
         let a = s.configs();
         let b = s.configs();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_matches_struct_literal() {
+        let built = ParamSpace::new()
+            .ops([StreamOp::Triad])
+            .sizes_mb([4])
+            .dtypes([DataType::F64])
+            .widths([2, 8])
+            .loop_modes([LoopMode::SingleWorkItemFlat])
+            .unrolls([2])
+            .work_group_size(128)
+            .reqd_work_group_size(true);
+        let literal = ParamSpace {
+            ops: vec![StreamOp::Triad],
+            sizes_bytes: vec![4 << 20],
+            dtypes: vec![DataType::F64],
+            widths: vec![2, 8],
+            loop_modes: vec![LoopMode::SingleWorkItemFlat],
+            unrolls: vec![2],
+            work_group_size: 128,
+            reqd_work_group_size: true,
+            ..Default::default()
+        };
+        assert_eq!(built.configs(), literal.configs());
+        assert_eq!(built.raw_len(), literal.raw_len());
     }
 }

@@ -1,60 +1,46 @@
 //! Sweep execution and multi-objective analysis.
 //!
-//! [`run_space`] executes every configuration of a [`ParamSpace`] on one
-//! device and collects outcomes (including synthesis failures, which are
-//! first-class results of an FPGA sweep). [`pareto_front`] then extracts
-//! the bandwidth-vs-resources Pareto frontier — the set a designer
-//! actually chooses from, since on an FPGA the benchmark kernel shares
-//! the fabric with the application.
+//! A sweep is a thin strategy layer over the [`Engine`]:
+//! [`sweep_space`] expands a [`ParamSpace`] into a work-list, hands it to
+//! the engine's thread pool, and wraps the ordered [`Outcome`]s — plus
+//! the build-cache counters for this sweep — in a [`SweepResult`].
+//! [`run_space`] keeps the original one-runner entry point as a shim.
+//! [`pareto_front`] then extracts the bandwidth-vs-resources Pareto
+//! frontier — the set a designer actually chooses from, since on an FPGA
+//! the benchmark kernel shares the fabric with the application.
 
 use crate::config::BenchConfig;
+use crate::engine::{Engine, Outcome};
 use crate::report::Table;
 use crate::runner::{Measurement, Runner};
 use crate::space::ParamSpace;
 use kernelgen::KernelConfig;
-use mpcl::ClError;
-
-/// One sweep point's outcome.
-#[derive(Debug, Clone)]
-pub struct SweepPoint {
-    /// The configuration.
-    pub config: KernelConfig,
-    /// Measurement, or the error (typically a synthesis failure).
-    pub outcome: Result<Measurement, ClError>,
-}
-
-impl SweepPoint {
-    /// Bandwidth if the run succeeded.
-    pub fn gbps(&self) -> Option<f64> {
-        self.outcome.as_ref().ok().map(|m| m.gbps())
-    }
-
-    /// FPGA logic usage if reported.
-    pub fn logic(&self) -> Option<u64> {
-        self.outcome.as_ref().ok().and_then(|m| m.resources).map(|r| r.logic)
-    }
-}
+use mpcl::CacheStats;
 
 /// The result of sweeping a space on one device.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
     /// Every point, in the space's deterministic order.
-    pub points: Vec<SweepPoint>,
+    pub points: Vec<Outcome>,
+    /// Build-cache hits/misses incurred by this sweep.
+    pub cache: CacheStats,
 }
 
 impl SweepResult {
     /// Successful points only.
     pub fn ok_points(&self) -> impl Iterator<Item = (&KernelConfig, &Measurement)> {
-        self.points.iter().filter_map(|p| p.outcome.as_ref().ok().map(|m| (&p.config, m)))
+        self.points
+            .iter()
+            .filter_map(|p| p.result.as_ref().ok().map(|m| (&p.config, m)))
     }
 
     /// Number of failed points (synthesis errors etc.).
     pub fn failures(&self) -> usize {
-        self.points.iter().filter(|p| p.outcome.is_err()).count()
+        self.points.iter().filter(|p| p.result.is_err()).count()
     }
 
     /// The best configuration by bandwidth, if any succeeded.
-    pub fn best(&self) -> Option<&SweepPoint> {
+    pub fn best(&self) -> Option<&Outcome> {
         self.points
             .iter()
             .filter(|p| p.gbps().is_some())
@@ -73,12 +59,16 @@ impl SweepResult {
                 p.config.unroll,
                 p.config.vendor
             );
-            match &p.outcome {
+            match &p.result {
                 Ok(m) => t.row(&[
                     cfg,
                     format!("{:.2}", m.gbps()),
-                    m.fmax_mhz.map(|f| format!("{f:.0}")).unwrap_or_else(|| "-".into()),
-                    m.resources.map(|r| r.logic.to_string()).unwrap_or_else(|| "-".into()),
+                    m.fmax_mhz
+                        .map(|f| format!("{f:.0}"))
+                        .unwrap_or_else(|| "-".into()),
+                    m.resources
+                        .map(|r| r.logic.to_string())
+                        .unwrap_or_else(|| "-".into()),
                     String::new(),
                 ]),
                 Err(e) => {
@@ -92,22 +82,41 @@ impl SweepResult {
     }
 }
 
-/// Execute every configuration of `space` on `runner`'s device.
-/// `protocol` customizes the measurement (repetitions, validation).
+/// Execute every configuration of `space` on `target` across the
+/// engine's thread pool. `protocol` customizes the measurement
+/// (repetitions, validation). Point order follows
+/// [`ParamSpace::configs`] regardless of the worker count.
+pub fn sweep_space(
+    engine: &Engine,
+    target: targets::TargetId,
+    space: &ParamSpace,
+    protocol: impl Fn(KernelConfig) -> BenchConfig,
+) -> SweepResult {
+    let before = engine.cache_stats();
+    let points = engine.run_configs(target, space.configs(), protocol);
+    SweepResult {
+        points,
+        cache: engine.cache_stats().since(before),
+    }
+}
+
+/// Execute every configuration of `space` on `runner`'s device, serially
+/// on the calling thread. This is the original single-runner entry
+/// point, now a shim over the engine; prefer [`sweep_space`] for
+/// parallel sweeps.
 pub fn run_space(
     runner: &Runner,
     space: &ParamSpace,
     protocol: impl Fn(KernelConfig) -> BenchConfig,
 ) -> SweepResult {
-    let points = space
-        .configs()
-        .into_iter()
-        .map(|config| {
-            let outcome = runner.run(&protocol(config.clone()));
-            SweepPoint { config, outcome }
-        })
-        .collect();
-    SweepResult { points }
+    let engine = Engine::with_jobs(1);
+    let before = engine.cache_stats();
+    let work: Vec<BenchConfig> = space.configs().into_iter().map(protocol).collect();
+    let points = engine.run_list_with(|| runner.clone(), &work);
+    SweepResult {
+        points,
+        cache: engine.cache_stats().since(before),
+    }
 }
 
 /// A point on the bandwidth-vs-logic Pareto frontier.
@@ -134,10 +143,18 @@ pub fn pareto_front(sweep: &SweepResult) -> Vec<ParetoPoint> {
         .filter_map(|p| {
             let gbps = p.gbps()?;
             let logic = p.logic()?;
-            Some(ParetoPoint { config: p.config.clone(), gbps, logic })
+            Some(ParetoPoint {
+                config: p.config.clone(),
+                gbps,
+                logic,
+            })
         })
         .collect();
-    candidates.sort_by(|a, b| a.logic.cmp(&b.logic).then(b.gbps.partial_cmp(&a.gbps).expect("finite")));
+    candidates.sort_by(|a, b| {
+        a.logic
+            .cmp(&b.logic)
+            .then(b.gbps.partial_cmp(&a.gbps).expect("finite"))
+    });
 
     let mut front: Vec<ParetoPoint> = Vec::new();
     let mut best_gbps = f64::NEG_INFINITY;
@@ -159,20 +176,20 @@ mod tests {
     use targets::TargetId;
 
     fn small_space() -> ParamSpace {
-        ParamSpace {
-            ops: vec![StreamOp::Copy],
-            sizes_bytes: vec![1 << 20],
-            widths: vec![1, 4, 16],
-            loop_modes: vec![LoopMode::SingleWorkItemFlat],
-            unrolls: vec![1, 4],
-            ..Default::default()
-        }
+        ParamSpace::new()
+            .ops([StreamOp::Copy])
+            .sizes_bytes([1 << 20])
+            .widths([1, 4, 16])
+            .loop_modes([LoopMode::SingleWorkItemFlat])
+            .unrolls([1, 4])
     }
 
     fn sweep() -> SweepResult {
-        run_space(&Runner::for_target(TargetId::FpgaAocl), &small_space(), |k| {
-            BenchConfig::new(k).with_ntimes(1).with_validation(false)
-        })
+        run_space(
+            &Runner::for_target(TargetId::FpgaAocl),
+            &small_space(),
+            |k| BenchConfig::new(k).with_ntimes(1).with_validation(false),
+        )
     }
 
     #[test]
@@ -181,7 +198,31 @@ mod tests {
         assert_eq!(s.points.len(), 6);
         assert!(s.failures() <= 1, "at most the 16x4 point may overflow");
         let best = s.best().expect("some point succeeded");
-        assert!(best.config.vector_width.get() >= 4, "wide vectors win on the FPGA");
+        assert!(
+            best.config.vector_width.get() >= 4,
+            "wide vectors win on the FPGA"
+        );
+    }
+
+    #[test]
+    fn sweep_space_matches_run_space_and_counts_cache() {
+        let engine = Engine::with_jobs(2);
+        let protocol = |k: KernelConfig| BenchConfig::new(k).with_ntimes(1).with_validation(false);
+        let a = sweep_space(&engine, TargetId::FpgaAocl, &small_space(), protocol);
+        let b = sweep();
+        assert_eq!(a.points.len(), b.points.len());
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.config, y.config);
+            assert_eq!(x.gbps(), y.gbps());
+        }
+        assert_eq!(
+            a.cache.misses as usize,
+            a.points.len(),
+            "fresh engine builds all"
+        );
+        let again = sweep_space(&engine, TargetId::FpgaAocl, &small_space(), protocol);
+        assert_eq!(again.cache.misses, 0, "second sweep fully cached");
+        assert_eq!(again.cache.hits as usize, again.points.len());
     }
 
     #[test]
@@ -204,14 +245,17 @@ mod tests {
             let dominated_or_on = front
                 .iter()
                 .any(|f| f.logic <= logic && f.gbps >= m.gbps() * 0.995);
-            assert!(dominated_or_on, "point {:?} escapes the front", cfg.vector_width);
+            assert!(
+                dominated_or_on,
+                "point {:?} escapes the front",
+                cfg.vector_width
+            );
         }
     }
 
     #[test]
     fn table_lists_failures_with_reason() {
-        let mut space = small_space();
-        space.unrolls = vec![16]; // 16x16 will overflow
+        let space = small_space().unrolls([16]); // 16x16 will overflow
         let s = run_space(&Runner::for_target(TargetId::FpgaAocl), &space, |k| {
             BenchConfig::new(k).with_ntimes(1).with_validation(false)
         });

@@ -47,7 +47,13 @@ pub enum IndexOrder {
     Contiguous { next: u64, n: u64 },
     /// `k*stride + phase` for `phase` in 0..phases, `k` in 0..per_phase —
     /// covers both the column-major and the fixed-stride patterns.
-    Phased { stride: u64, per_phase: u64, phases: u64, k: u64, phase: u64 },
+    Phased {
+        stride: u64,
+        per_phase: u64,
+        phases: u64,
+        k: u64,
+        phase: u64,
+    },
 }
 
 impl IndexOrder {
@@ -58,7 +64,13 @@ impl IndexOrder {
             AccessPattern::Contiguous => IndexOrder::Contiguous { next: 0, n },
             AccessPattern::ColMajor { .. } => {
                 let (rows, cols) = cfg.matrix_shape();
-                IndexOrder::Phased { stride: cols, per_phase: rows, phases: cols, k: 0, phase: 0 }
+                IndexOrder::Phased {
+                    stride: cols,
+                    per_phase: rows,
+                    phases: cols,
+                    k: 0,
+                    phase: 0,
+                }
             }
             AccessPattern::Strided { stride } => IndexOrder::Phased {
                 stride: stride as u64,
@@ -85,7 +97,13 @@ impl Iterator for IndexOrder {
                     Some(i)
                 }
             }
-            IndexOrder::Phased { stride, per_phase, phases, k, phase } => {
+            IndexOrder::Phased {
+                stride,
+                per_phase,
+                phases,
+                k,
+                phase,
+            } => {
                 if *phase >= *phases {
                     return None;
                 }
@@ -213,8 +231,22 @@ mod tests {
         let p = plan(StreamOp::Copy, 4);
         let accs: Vec<_> = access_stream(&p, 1).collect();
         assert_eq!(accs.len(), 8);
-        assert_eq!(accs[0], Access { addr: 16, bytes: 4, kind: AccessKind::Read }); // b[0]
-        assert_eq!(accs[1], Access { addr: 0, bytes: 4, kind: AccessKind::Write }); // a[0]
+        assert_eq!(
+            accs[0],
+            Access {
+                addr: 16,
+                bytes: 4,
+                kind: AccessKind::Read
+            }
+        ); // b[0]
+        assert_eq!(
+            accs[1],
+            Access {
+                addr: 0,
+                bytes: 4,
+                kind: AccessKind::Write
+            }
+        ); // a[0]
         assert_eq!(accs[2].addr, 20); // b[1]
     }
 
@@ -225,7 +257,14 @@ mod tests {
         assert_eq!(accs.len(), 6);
         assert_eq!(accs[0].addr, 8); // b[0]
         assert_eq!(accs[1].addr, 16); // c[0]
-        assert_eq!(accs[2], Access { addr: 0, bytes: 4, kind: AccessKind::Write });
+        assert_eq!(
+            accs[2],
+            Access {
+                addr: 0,
+                bytes: 4,
+                kind: AccessKind::Write
+            }
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl fmt::Display for CheckError {
 impl std::error::Error for CheckError {}
 
 fn err<T>(offset: usize, message: impl Into<String>) -> Result<T, CheckError> {
-    Err(CheckError { offset, message: message.into() })
+    Err(CheckError {
+        offset,
+        message: message.into(),
+    })
 }
 
 /// Tokenize OpenCL-C source. Comments (`//`, `/* */`) are skipped;
@@ -126,7 +129,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, CheckError> {
                 let ok = text.chars().all(|ch| {
                     ch.is_ascii_digit()
                         || ch == '.'
-                        || matches!(ch, 'u' | 'l' | 'U' | 'L' | 'f' | 'F' | 'e' | 'E' | 'x' | 'X')
+                        || matches!(
+                            ch,
+                            'u' | 'l' | 'U' | 'L' | 'f' | 'F' | 'e' | 'E' | 'x' | 'X'
+                        )
                         || ch.is_ascii_hexdigit()
                 });
                 if !ok {
@@ -201,7 +207,10 @@ pub fn kernel_signature(tokens: &[Token]) -> Result<KernelSignature, CheckError>
     let kpos = tokens
         .iter()
         .position(|t| matches!(t, Token::Ident(s) if s == "__kernel"))
-        .ok_or(CheckError { offset: 0, message: "no __kernel function".into() })?;
+        .ok_or(CheckError {
+            offset: 0,
+            message: "no __kernel function".into(),
+        })?;
     // __kernel void NAME ( args )
     let name = match tokens.get(kpos + 2) {
         Some(Token::Ident(s)) => s.clone(),
@@ -220,9 +229,10 @@ pub fn kernel_signature(tokens: &[Token]) -> Result<KernelSignature, CheckError>
     let mut current: Vec<&Token> = Vec::new();
     let mut idx = kpos + 4;
     loop {
-        let t = tokens
-            .get(idx)
-            .ok_or(CheckError { offset: idx, message: "unterminated argument list".into() })?;
+        let t = tokens.get(idx).ok_or(CheckError {
+            offset: idx,
+            message: "unterminated argument list".into(),
+        })?;
         match t {
             Token::Punct('(') => depth += 1,
             Token::Punct(')') => {
@@ -268,21 +278,58 @@ fn parse_arg(tokens: &[&Token], at: usize) -> Result<KernelArg, CheckError> {
     Ok(KernelArg {
         qualifier,
         is_const,
-        ty: ty.ok_or(CheckError { offset: at, message: "argument missing type".into() })?,
+        ty: ty.ok_or(CheckError {
+            offset: at,
+            message: "argument missing type".into(),
+        })?,
         is_pointer,
-        name: name.ok_or(CheckError { offset: at, message: "argument missing name".into() })?,
+        name: name.ok_or(CheckError {
+            offset: at,
+            message: "argument missing name".into(),
+        })?,
     })
 }
 
 /// OpenCL-C builtins and keywords the generated kernels may reference.
 fn known_builtins() -> HashSet<&'static str> {
     [
-        "get_global_id", "get_local_id", "get_group_id", "get_global_size", "get_local_size",
-        "size_t", "void", "int", "uint", "long", "ulong", "float", "double", "char", "uchar",
-        "short", "ushort", "bool", "for", "while", "if", "else", "return", "const", "restrict",
-        "__kernel", "__global", "__local", "__constant", "__private", "__attribute__",
-        "opencl_unroll_hint", "reqd_work_group_size", "num_simd_work_items", "num_compute_units",
-        "xcl_pipeline_loop", "xcl_pipeline_workitems",
+        "get_global_id",
+        "get_local_id",
+        "get_group_id",
+        "get_global_size",
+        "get_local_size",
+        "size_t",
+        "void",
+        "int",
+        "uint",
+        "long",
+        "ulong",
+        "float",
+        "double",
+        "char",
+        "uchar",
+        "short",
+        "ushort",
+        "bool",
+        "for",
+        "while",
+        "if",
+        "else",
+        "return",
+        "const",
+        "restrict",
+        "__kernel",
+        "__global",
+        "__local",
+        "__constant",
+        "__private",
+        "__attribute__",
+        "opencl_unroll_hint",
+        "reqd_work_group_size",
+        "num_simd_work_items",
+        "num_compute_units",
+        "xcl_pipeline_loop",
+        "xcl_pipeline_workitems",
     ]
     .into_iter()
     .collect()
@@ -292,8 +339,19 @@ fn is_type_name(s: &str) -> bool {
     let base = s.trim_end_matches(|c: char| c.is_ascii_digit());
     matches!(
         base,
-        "int" | "uint" | "long" | "ulong" | "float" | "double" | "char" | "uchar" | "short"
-            | "ushort" | "size_t" | "bool" | "void"
+        "int"
+            | "uint"
+            | "long"
+            | "ulong"
+            | "float"
+            | "double"
+            | "char"
+            | "uchar"
+            | "short"
+            | "ushort"
+            | "size_t"
+            | "bool"
+            | "void"
     )
 }
 
@@ -314,7 +372,7 @@ pub fn check_source(src: &str) -> Result<KernelSignature, CheckError> {
     for t in &tokens {
         if let Token::Directive(d) = t {
             if let Some(rest) = d.strip_prefix("define") {
-                if let Some(name) = rest.trim().split_whitespace().next() {
+                if let Some(name) = rest.split_whitespace().next() {
                     known.insert(name.to_string());
                 }
             }
@@ -325,7 +383,10 @@ pub fn check_source(src: &str) -> Result<KernelSignature, CheckError> {
     let body_start = tokens
         .iter()
         .position(|t| matches!(t, Token::Punct('{')))
-        .ok_or(CheckError { offset: 0, message: "kernel has no body".into() })?;
+        .ok_or(CheckError {
+            offset: 0,
+            message: "kernel has no body".into(),
+        })?;
     let mut prev_was_type = false;
     for (idx, t) in tokens.iter().enumerate().skip(body_start) {
         match t {
@@ -358,7 +419,9 @@ mod tests {
         assert_eq!(toks[0], Token::Ident("int".into()));
         assert_eq!(toks[2], Token::Punct('='));
         assert_eq!(toks[3], Token::Number("42".into()));
-        assert!(toks.iter().all(|t| !matches!(t, Token::Ident(s) if s == "comment")));
+        assert!(toks
+            .iter()
+            .all(|t| !matches!(t, Token::Ident(s) if s == "comment")));
     }
 
     #[test]
@@ -409,8 +472,9 @@ mod tests {
                             cfg.unroll = unroll;
                             cfg.reqd_work_group_size = true;
                             let src = generate_source(&cfg);
-                            let sig = check_source(&src)
-                                .unwrap_or_else(|e| panic!("{op:?}/{mode:?}/{pattern:?}: {e}\n{src}"));
+                            let sig = check_source(&src).unwrap_or_else(|e| {
+                                panic!("{op:?}/{mode:?}/{pattern:?}: {e}\n{src}")
+                            });
                             assert_eq!(sig.name, format!("mp_{}", op.name()));
                             assert_eq!(sig.args.len() as u64, op.arrays() + op.uses_q() as u64);
                         }
@@ -424,7 +488,10 @@ mod tests {
     fn vendor_attributes_pass_the_checker() {
         let mut cfg = KernelConfig::baseline(StreamOp::Copy, 1 << 12);
         cfg.reqd_work_group_size = true;
-        cfg.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 4, num_compute_units: 2 });
+        cfg.vendor = VendorOpts::Aocl(AoclOpts {
+            num_simd_work_items: 4,
+            num_compute_units: 2,
+        });
         assert!(check_source(&generate_source(&cfg)).is_ok());
     }
 

@@ -26,7 +26,11 @@ pub struct HostOptions {
 
 impl Default for HostOptions {
     fn default() -> Self {
-        HostOptions { platform_filter: String::new(), ntimes: 10, binary_kernel: false }
+        HostOptions {
+            platform_filter: String::new(),
+            ntimes: 10,
+            binary_kernel: false,
+        }
     }
 }
 
@@ -47,7 +51,10 @@ pub fn generate_host_program(cfg: &KernelConfig, opts: &HostOptions) -> String {
         _ => 1,
     };
 
-    let _ = writeln!(s, "/* MP-STREAM host program — generated for: {kernel_name},");
+    let _ = writeln!(
+        s,
+        "/* MP-STREAM host program — generated for: {kernel_name},"
+    );
     let _ = writeln!(
         s,
         " * {} x {ty}, vec{}, {}, {} */",
@@ -59,8 +66,15 @@ pub fn generate_host_program(cfg: &KernelConfig, opts: &HostOptions) -> String {
     s.push_str(HEADER);
     let _ = writeln!(s, "#define N_WORDS {n}ul");
     let _ = writeln!(s, "#define NTIMES {}", opts.ntimes.max(1));
-    let _ = writeln!(s, "#define BYTES_MOVED ((double)N_WORDS * sizeof({ty}) * {arrays}.0)");
-    let _ = writeln!(s, "static const char *PLATFORM_FILTER = \"{}\";", opts.platform_filter);
+    let _ = writeln!(
+        s,
+        "#define BYTES_MOVED ((double)N_WORDS * sizeof({ty}) * {arrays}.0)"
+    );
+    let _ = writeln!(
+        s,
+        "static const char *PLATFORM_FILTER = \"{}\";",
+        opts.platform_filter
+    );
     s.push('\n');
 
     if opts.binary_kernel {
@@ -91,7 +105,10 @@ pub fn generate_host_program(cfg: &KernelConfig, opts: &HostOptions) -> String {
         );
     }
     s.push_str("    CHECK(clBuildProgram(program, 1, &dev, \"\", NULL, NULL));\n");
-    let _ = writeln!(s, "    cl_kernel kernel = clCreateKernel(program, \"{kernel_name}\", &err);");
+    let _ = writeln!(
+        s,
+        "    cl_kernel kernel = clCreateKernel(program, \"{kernel_name}\", &err);"
+    );
     s.push_str("    CHECK(err);\n\n");
 
     // Buffers and arguments. Argument order matches source.rs: b, [c], a, [q].
@@ -102,22 +119,39 @@ pub fn generate_host_program(cfg: &KernelConfig, opts: &HostOptions) -> String {
     }
     s.push_str("    cl_mem buf_a = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, bytes, NULL, &err); CHECK(err);\n");
     let _ = writeln!(s, "    {ty} *host = malloc(bytes);");
-    let _ = writeln!(s, "    for (size_t i = 0; i < N_WORDS; ++i) host[i] = ({ty})(i % 1021 + 1);");
-    s.push_str("    CHECK(clEnqueueWriteBuffer(queue, buf_b, CL_TRUE, 0, bytes, host, 0, NULL, NULL));\n");
+    let _ = writeln!(
+        s,
+        "    for (size_t i = 0; i < N_WORDS; ++i) host[i] = ({ty})(i % 1021 + 1);"
+    );
+    s.push_str(
+        "    CHECK(clEnqueueWriteBuffer(queue, buf_b, CL_TRUE, 0, bytes, host, 0, NULL, NULL));\n",
+    );
     if cfg.op.uses_c() {
-        let _ = writeln!(s, "    for (size_t i = 0; i < N_WORDS; ++i) host[i] = ({ty})(i % 511 * 2);");
+        let _ = writeln!(
+            s,
+            "    for (size_t i = 0; i < N_WORDS; ++i) host[i] = ({ty})(i % 511 * 2);"
+        );
         s.push_str("    CHECK(clEnqueueWriteBuffer(queue, buf_c, CL_TRUE, 0, bytes, host, 0, NULL, NULL));\n");
     }
     s.push('\n');
 
     let mut arg = 0;
-    let _ = writeln!(s, "    CHECK(clSetKernelArg(kernel, {arg}, sizeof(cl_mem), &buf_b));");
+    let _ = writeln!(
+        s,
+        "    CHECK(clSetKernelArg(kernel, {arg}, sizeof(cl_mem), &buf_b));"
+    );
     arg += 1;
     if cfg.op.uses_c() {
-        let _ = writeln!(s, "    CHECK(clSetKernelArg(kernel, {arg}, sizeof(cl_mem), &buf_c));");
+        let _ = writeln!(
+            s,
+            "    CHECK(clSetKernelArg(kernel, {arg}, sizeof(cl_mem), &buf_c));"
+        );
         arg += 1;
     }
-    let _ = writeln!(s, "    CHECK(clSetKernelArg(kernel, {arg}, sizeof(cl_mem), &buf_a));");
+    let _ = writeln!(
+        s,
+        "    CHECK(clSetKernelArg(kernel, {arg}, sizeof(cl_mem), &buf_a));"
+    );
     arg += 1;
     if cfg.op.uses_q() {
         let q = match cfg.dtype {
@@ -126,7 +160,10 @@ pub fn generate_host_program(cfg: &KernelConfig, opts: &HostOptions) -> String {
         };
         s.push_str(&q);
         s.push('\n');
-        let _ = writeln!(s, "    CHECK(clSetKernelArg(kernel, {arg}, sizeof({ty}), &q));");
+        let _ = writeln!(
+            s,
+            "    CHECK(clSetKernelArg(kernel, {arg}, sizeof({ty}), &q));"
+        );
     }
     s.push('\n');
 
@@ -263,7 +300,10 @@ mod tests {
         assert!(!src.contains("KERNEL_SOURCE"));
         assert!(src.contains("PLATFORM_FILTER = \"Altera\""));
         assert!(src.contains("#define NTIMES 5"));
-        assert!(src.contains("size_t global = 1;"), "single work-item launch");
+        assert!(
+            src.contains("size_t global = 1;"),
+            "single work-item launch"
+        );
     }
 
     #[test]

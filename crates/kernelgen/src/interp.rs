@@ -67,7 +67,11 @@ impl Element for f64 {
 /// sizes before dispatching, mirroring `CL_INVALID_BUFFER_SIZE`.
 pub fn execute(cfg: &KernelConfig, a: &mut [u8], b: &[u8], c: &[u8]) {
     let need = cfg.array_bytes() as usize;
-    assert!(a.len() >= need, "destination buffer too small: {} < {need}", a.len());
+    assert!(
+        a.len() >= need,
+        "destination buffer too small: {} < {need}",
+        a.len()
+    );
     assert!(b.len() >= need, "source b too small: {} < {need}", b.len());
     if cfg.op.uses_c() {
         assert!(c.len() >= need, "source c too small: {} < {need}", c.len());

@@ -24,7 +24,12 @@ pub enum StreamOp {
 
 impl StreamOp {
     /// All four kernels in paper order.
-    pub const ALL: [StreamOp; 4] = [StreamOp::Copy, StreamOp::Scale, StreamOp::Add, StreamOp::Triad];
+    pub const ALL: [StreamOp; 4] = [
+        StreamOp::Copy,
+        StreamOp::Scale,
+        StreamOp::Add,
+        StreamOp::Triad,
+    ];
 
     /// Lower-case kernel name as used in reports and generated source.
     pub fn name(self) -> &'static str {
@@ -105,7 +110,10 @@ impl VectorWidth {
         if Self::ALLOWED.contains(&w) {
             Ok(VectorWidth(w))
         } else {
-            Err(format!("vector width must be one of {:?}, got {w}", Self::ALLOWED))
+            Err(format!(
+                "vector width must be one of {:?}, got {w}",
+                Self::ALLOWED
+            ))
         }
     }
 
@@ -185,8 +193,11 @@ pub enum LoopMode {
 
 impl LoopMode {
     /// All three modes, in the paper's order.
-    pub const ALL: [LoopMode; 3] =
-        [LoopMode::NdRange, LoopMode::SingleWorkItemFlat, LoopMode::SingleWorkItemNested];
+    pub const ALL: [LoopMode; 3] = [
+        LoopMode::NdRange,
+        LoopMode::SingleWorkItemFlat,
+        LoopMode::SingleWorkItemNested,
+    ];
 
     /// Label used in Figure 3.
     pub fn label(self) -> &'static str {
@@ -210,7 +221,10 @@ pub struct AoclOpts {
 
 impl Default for AoclOpts {
     fn default() -> Self {
-        AoclOpts { num_simd_work_items: 1, num_compute_units: 1 }
+        AoclOpts {
+            num_simd_work_items: 1,
+            num_compute_units: 1,
+        }
     }
 }
 
@@ -329,7 +343,7 @@ pub fn near_square_cols(n: u64) -> u64 {
     }
     let root = (n as f64).sqrt() as u64;
     for c in (1..=root).rev() {
-        if n % c == 0 {
+        if n.is_multiple_of(c) {
             return c;
         }
     }

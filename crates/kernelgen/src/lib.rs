@@ -31,12 +31,12 @@ pub mod validate;
 
 pub use access::{access_stream, total_accesses};
 pub use check::{check_source, CheckError, KernelSignature};
+pub use host::{generate_host_program, HostOptions};
 pub use interp::execute;
 pub use ir::{
     AccessPattern, AoclOpts, DataType, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts,
     XilinxOpts,
 };
 pub use plan::ExecPlan;
-pub use host::{generate_host_program, HostOptions};
 pub use source::generate_source;
 pub use validate::{validate, ConfigError};

@@ -20,7 +20,12 @@ pub struct ExecPlan {
 impl ExecPlan {
     /// Bind a configuration to buffer base addresses.
     pub fn new(cfg: KernelConfig, base_a: u64, base_b: u64, base_c: u64) -> Self {
-        ExecPlan { cfg, base_a, base_b, base_c }
+        ExecPlan {
+            cfg,
+            base_a,
+            base_b,
+            base_c,
+        }
     }
 
     /// Do the three arrays overlap? (A programming error the runtime

@@ -75,16 +75,28 @@ fn header_comment(s: &mut String, cfg: &KernelConfig) {
 fn attributes(s: &mut String, cfg: &KernelConfig) {
     if let VendorOpts::Aocl(a) = cfg.vendor {
         if a.num_simd_work_items > 1 {
-            writeln!(s, "__attribute__((num_simd_work_items({})))", a.num_simd_work_items)
-                .expect("write");
+            writeln!(
+                s,
+                "__attribute__((num_simd_work_items({})))",
+                a.num_simd_work_items
+            )
+            .expect("write");
         }
         if a.num_compute_units > 1 {
-            writeln!(s, "__attribute__((num_compute_units({})))", a.num_compute_units)
-                .expect("write");
+            writeln!(
+                s,
+                "__attribute__((num_compute_units({})))",
+                a.num_compute_units
+            )
+            .expect("write");
         }
     }
     if cfg.reqd_work_group_size {
-        let wg = if cfg.loop_mode == LoopMode::NdRange { cfg.work_group_size } else { 1 };
+        let wg = if cfg.loop_mode == LoopMode::NdRange {
+            cfg.work_group_size
+        } else {
+            1
+        };
         writeln!(s, "__attribute__((reqd_work_group_size({wg}, 1, 1)))").expect("write");
     }
 }
@@ -120,7 +132,12 @@ fn statement(cfg: &KernelConfig, idx: &str) -> String {
 
 fn unroll_hint(s: &mut String, cfg: &KernelConfig, indent: &str) {
     if cfg.unroll > 1 {
-        writeln!(s, "{indent}__attribute__((opencl_unroll_hint({})))", cfg.unroll).expect("write");
+        writeln!(
+            s,
+            "{indent}__attribute__((opencl_unroll_hint({})))",
+            cfg.unroll
+        )
+        .expect("write");
     }
 }
 
@@ -306,7 +323,10 @@ mod tests {
     fn aocl_attributes_emitted() {
         let mut cfg = base(StreamOp::Copy);
         cfg.reqd_work_group_size = true;
-        cfg.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 4, num_compute_units: 2 });
+        cfg.vendor = VendorOpts::Aocl(AoclOpts {
+            num_simd_work_items: 4,
+            num_compute_units: 2,
+        });
         let src = generate_source(&cfg);
         assert!(src.contains("num_simd_work_items(4)"));
         assert!(src.contains("num_compute_units(2)"));

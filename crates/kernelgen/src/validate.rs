@@ -35,29 +35,49 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::EmptyArray => write!(f, "array length is zero"),
-            ConfigError::LengthNotVectorMultiple { n_words, vector_width } => write!(
+            ConfigError::LengthNotVectorMultiple {
+                n_words,
+                vector_width,
+            } => write!(
                 f,
                 "array length {n_words} is not a multiple of vector width {vector_width}"
             ),
             ConfigError::BadUnroll { unroll, trip_count } => {
-                write!(f, "unroll factor {unroll} does not divide trip count {trip_count}")
+                write!(
+                    f,
+                    "unroll factor {unroll} does not divide trip count {trip_count}"
+                )
             }
-            ConfigError::BadWorkGroup { work_group_size, nd_range } => {
-                write!(f, "work-group size {work_group_size} does not divide NDRange {nd_range}")
+            ConfigError::BadWorkGroup {
+                work_group_size,
+                nd_range,
+            } => {
+                write!(
+                    f,
+                    "work-group size {work_group_size} does not divide NDRange {nd_range}"
+                )
             }
             ConfigError::BadStride { stride, n_vectors } => {
                 write!(f, "stride {stride} invalid for {n_vectors} elements")
             }
             ConfigError::BadCols { cols, n_vectors } => {
-                write!(f, "column count {cols} does not divide {n_vectors} elements")
+                write!(
+                    f,
+                    "column count {cols} does not divide {n_vectors} elements"
+                )
             }
-            ConfigError::BadVendorValue(which) => write!(f, "vendor attribute {which} must be >= 1"),
+            ConfigError::BadVendorValue(which) => {
+                write!(f, "vendor attribute {which} must be >= 1")
+            }
             ConfigError::SimdNeedsNdRange => write!(
                 f,
                 "num_simd_work_items requires an NDRange kernel with a required work-group size"
             ),
             ConfigError::BadPortWidth(w) => {
-                write!(f, "memory port width {w} bits is not a power of two in 32..=512")
+                write!(
+                    f,
+                    "memory port width {w} bits is not a power of two in 32..=512"
+                )
             }
         }
     }
@@ -71,35 +91,46 @@ pub fn validate(cfg: &KernelConfig) -> Result<(), ConfigError> {
         return Err(ConfigError::EmptyArray);
     }
     let vw = cfg.vector_width.get();
-    if cfg.n_words % vw as u64 != 0 {
-        return Err(ConfigError::LengthNotVectorMultiple { n_words: cfg.n_words, vector_width: vw });
+    if !cfg.n_words.is_multiple_of(vw as u64) {
+        return Err(ConfigError::LengthNotVectorMultiple {
+            n_words: cfg.n_words,
+            vector_width: vw,
+        });
     }
     let n_vec = cfg.n_vectors();
 
-    if cfg.unroll == 0 || n_vec % cfg.unroll as u64 != 0 {
-        return Err(ConfigError::BadUnroll { unroll: cfg.unroll, trip_count: n_vec });
+    if cfg.unroll == 0 || !n_vec.is_multiple_of(cfg.unroll as u64) {
+        return Err(ConfigError::BadUnroll {
+            unroll: cfg.unroll,
+            trip_count: n_vec,
+        });
     }
 
-    if cfg.loop_mode == LoopMode::NdRange {
-        if cfg.work_group_size == 0 || n_vec % cfg.work_group_size as u64 != 0 {
+    if cfg.loop_mode == LoopMode::NdRange
+        && (cfg.work_group_size == 0 || !n_vec.is_multiple_of(cfg.work_group_size as u64)) {
             return Err(ConfigError::BadWorkGroup {
                 work_group_size: cfg.work_group_size,
                 nd_range: n_vec,
             });
         }
-    }
 
     match cfg.pattern {
         AccessPattern::Contiguous => {}
         AccessPattern::Strided { stride } => {
-            if stride < 2 || n_vec % stride as u64 != 0 {
-                return Err(ConfigError::BadStride { stride, n_vectors: n_vec });
+            if stride < 2 || !n_vec.is_multiple_of(stride as u64) {
+                return Err(ConfigError::BadStride {
+                    stride,
+                    n_vectors: n_vec,
+                });
             }
         }
         AccessPattern::ColMajor { cols } => {
             if let Some(c) = cols {
-                if c == 0 || n_vec % c as u64 != 0 {
-                    return Err(ConfigError::BadCols { cols: c, n_vectors: n_vec });
+                if c == 0 || !n_vec.is_multiple_of(c as u64) {
+                    return Err(ConfigError::BadCols {
+                        cols: c,
+                        n_vectors: n_vec,
+                    });
                 }
             }
         }
@@ -158,7 +189,10 @@ mod tests {
         let mut c = base();
         c.n_words = 1000;
         c.vector_width = VectorWidth::new(16).unwrap();
-        assert!(matches!(validate(&c), Err(ConfigError::LengthNotVectorMultiple { .. })));
+        assert!(matches!(
+            validate(&c),
+            Err(ConfigError::LengthNotVectorMultiple { .. })
+        ));
     }
 
     #[test]
@@ -175,7 +209,10 @@ mod tests {
     fn work_group_must_divide_ndrange() {
         let mut c = base();
         c.work_group_size = 100; // 2^16 % 100 != 0
-        assert!(matches!(validate(&c), Err(ConfigError::BadWorkGroup { .. })));
+        assert!(matches!(
+            validate(&c),
+            Err(ConfigError::BadWorkGroup { .. })
+        ));
     }
 
     #[test]
@@ -209,7 +246,10 @@ mod tests {
     #[test]
     fn aocl_simd_requires_ndrange_and_reqd_wg() {
         let mut c = base();
-        c.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 4, num_compute_units: 1 });
+        c.vendor = VendorOpts::Aocl(AoclOpts {
+            num_simd_work_items: 4,
+            num_compute_units: 1,
+        });
         assert_eq!(validate(&c), Err(ConfigError::SimdNeedsNdRange));
         c.reqd_work_group_size = true;
         assert_eq!(validate(&c), Ok(()));
@@ -218,7 +258,10 @@ mod tests {
     #[test]
     fn aocl_zero_values_rejected() {
         let mut c = base();
-        c.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 1, num_compute_units: 0 });
+        c.vendor = VendorOpts::Aocl(AoclOpts {
+            num_simd_work_items: 1,
+            num_compute_units: 0,
+        });
         assert!(matches!(validate(&c), Err(ConfigError::BadVendorValue(_))));
     }
 
@@ -239,7 +282,10 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = ConfigError::BadStride { stride: 7, n_vectors: 100 };
+        let e = ConfigError::BadStride {
+            stride: 7,
+            n_vectors: 100,
+        };
         assert!(e.to_string().contains("stride 7"));
     }
 }

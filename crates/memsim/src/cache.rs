@@ -25,10 +25,13 @@ impl CacheConfig {
 
     /// Validate the geometry (panics with a descriptive message).
     fn check(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways >= 1, "need at least one way");
         assert!(
-            self.size_bytes % (self.ways as u64 * self.line_bytes as u64) == 0,
+            self.size_bytes.is_multiple_of(self.ways as u64 * self.line_bytes as u64),
             "capacity must be a whole number of sets"
         );
         assert!(self.sets() >= 1, "cache too small for its ways/line");
@@ -70,7 +73,13 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.check();
         let n = (cfg.sets() * cfg.ways as u64) as usize;
-        Cache { cfg, lines: vec![Line::default(); n], tick: 0, hits: 0, misses: 0 }
+        Cache {
+            cfg,
+            lines: vec![Line::default(); n],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The geometry of this cache.
@@ -130,7 +139,10 @@ impl Cache {
                 l.last_use = self.tick;
                 l.dirty |= write;
                 self.hits += 1;
-                return LookupResult { hit: true, writeback: None };
+                return LookupResult {
+                    hit: true,
+                    writeback: None,
+                };
             }
         }
 
@@ -157,8 +169,16 @@ impl Cache {
             None
         };
 
-        self.lines[victim] = Line { line_no, valid: true, dirty: write, last_use: self.tick };
-        LookupResult { hit: false, writeback }
+        self.lines[victim] = Line {
+            line_no,
+            valid: true,
+            dirty: write,
+            last_use: self.tick,
+        };
+        LookupResult {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Probe without modifying state: would `addr` hit?
@@ -176,7 +196,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64 B = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
@@ -275,6 +299,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_line_size_panics() {
-        let _ = Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 48 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 48,
+        });
     }
 }

@@ -41,14 +41,22 @@ impl Coalescer {
     pub fn new(segment_bytes: u32, window: usize) -> Self {
         assert!(segment_bytes.is_power_of_two());
         assert!(window >= 1);
-        Coalescer { segment_bytes, window, mode: CoalesceMode::AlignedSegment }
+        Coalescer {
+            segment_bytes,
+            window,
+            mode: CoalesceMode::AlignedSegment,
+        }
     }
 
     /// Create an extent (burst) coalescer.
     pub fn extent(max_burst_bytes: u32, window: usize) -> Self {
         assert!(max_burst_bytes.is_power_of_two());
         assert!(window >= 1);
-        Coalescer { segment_bytes: max_burst_bytes, window, mode: CoalesceMode::Extent }
+        Coalescer {
+            segment_bytes: max_burst_bytes,
+            window,
+            mode: CoalesceMode::Extent,
+        }
     }
 
     /// Coalesce one window of accesses (typically one warp's lane
@@ -77,7 +85,11 @@ impl Coalescer {
         segments.sort_unstable_by_key(|&(b, _)| b);
         segments
             .into_iter()
-            .map(|(base, kind)| Access { addr: base, bytes: self.segment_bytes, kind })
+            .map(|(base, kind)| Access {
+                addr: base,
+                bytes: self.segment_bytes,
+                kind,
+            })
             .collect()
     }
 
@@ -101,7 +113,12 @@ impl Coalescer {
     where
         I: IntoIterator<Item = Access>,
     {
-        CoalesceIter { co: *self, inner: iter.into_iter(), pending: Vec::new(), out: Vec::new() }
+        CoalesceIter {
+            co: *self,
+            inner: iter.into_iter(),
+            pending: Vec::new(),
+            out: Vec::new(),
+        }
     }
 }
 
@@ -219,7 +236,10 @@ mod tests {
         let window: Vec<_> = (0..4).map(|i| Access::read(i * 4096, 4)).collect();
         let out = co.coalesce_window(&window);
         assert_eq!(out.len(), 4);
-        assert!(out.iter().all(|a| a.bytes == 4), "exact extents, no segment padding");
+        assert!(
+            out.iter().all(|a| a.bytes == 4),
+            "exact extents, no segment padding"
+        );
     }
 
     #[test]

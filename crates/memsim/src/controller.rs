@@ -75,7 +75,11 @@ impl MemoryController {
     /// pending-queue depth the scheduler may reorder within.
     pub fn new(cfg: DramConfig, policy: SchedPolicy, window: usize) -> Self {
         assert!(window >= 1, "need at least one pending slot");
-        MemoryController { dram: Dram::new(cfg), policy, window }
+        MemoryController {
+            dram: Dram::new(cfg),
+            policy,
+            window,
+        }
     }
 
     /// The policy in effect.
@@ -173,7 +177,10 @@ impl MemoryController {
 pub fn interleaved_trace(n_pairs: usize, second_base: u64) -> Vec<TimedRequest> {
     let mut out = Vec::with_capacity(2 * n_pairs);
     for i in 0..n_pairs as u64 {
-        out.push(TimedRequest { arrival: 2 * i, access: Access::read(i * 64, 64) });
+        out.push(TimedRequest {
+            arrival: 2 * i,
+            access: Access::read(i * 64, 64),
+        });
         out.push(TimedRequest {
             arrival: 2 * i + 1,
             access: Access::read(second_base + i * 64, 64),
@@ -206,7 +213,10 @@ mod tests {
     #[test]
     fn sequential_trace_is_policy_insensitive() {
         let trace: Vec<TimedRequest> = (0..256u64)
-            .map(|i| TimedRequest { arrival: i, access: Access::read(i * 64, 64) })
+            .map(|i| TimedRequest {
+                arrival: i,
+                access: Access::read(i * 64, 64),
+            })
             .collect();
         let f = MemoryController::new(cfg(), SchedPolicy::Fcfs, 16).replay(&trace);
         let fr = MemoryController::new(cfg(), SchedPolicy::FrFcfs { cap: 8 }, 16).replay(&trace);
@@ -235,11 +245,17 @@ mod tests {
         // first-ready scheduler starves it until the flood drains; the
         // cap bounds how long it can be bypassed.
         let mut trace: Vec<TimedRequest> = (0..31u64)
-            .map(|i| TimedRequest { arrival: 0, access: Access::read(i * 64, 64) })
+            .map(|i| TimedRequest {
+                arrival: 0,
+                access: Access::read(i * 64, 64),
+            })
             .collect();
         trace.insert(
             1,
-            TimedRequest { arrival: 0, access: Access::read(1 << 20, 64) },
+            TimedRequest {
+                arrival: 0,
+                access: Access::read(1 << 20, 64),
+            },
         );
         let greedy =
             MemoryController::new(cfg(), SchedPolicy::FrFcfs { cap: u32::MAX }, 32).replay(&trace);
@@ -263,8 +279,12 @@ mod tests {
 
     #[test]
     fn latencies_are_accounted() {
-        let trace: Vec<TimedRequest> =
-            (0..16u64).map(|i| TimedRequest { arrival: 0, access: Access::read(i * 64, 64) }).collect();
+        let trace: Vec<TimedRequest> = (0..16u64)
+            .map(|i| TimedRequest {
+                arrival: 0,
+                access: Access::read(i * 64, 64),
+            })
+            .collect();
         let out = MemoryController::new(cfg(), SchedPolicy::Fcfs, 4).replay(&trace);
         assert!(out.total_latency_cycles > 0);
         assert!(out.max_latency_cycles >= out.mean_latency(16) as u64);
@@ -274,8 +294,14 @@ mod tests {
     #[should_panic(expected = "sorted by arrival")]
     fn unsorted_trace_rejected() {
         let trace = vec![
-            TimedRequest { arrival: 5, access: Access::read(0, 64) },
-            TimedRequest { arrival: 1, access: Access::read(64, 64) },
+            TimedRequest {
+                arrival: 5,
+                access: Access::read(0, 64),
+            },
+            TimedRequest {
+                arrival: 1,
+                access: Access::read(64, 64),
+            },
         ];
         MemoryController::new(cfg(), SchedPolicy::Fcfs, 4).replay(&trace);
     }

@@ -189,7 +189,7 @@ struct Channel {
 #[derive(Debug, Clone)]
 pub struct Dram {
     cfg: DramConfig,
-    banks: Vec<Bank>,    // channels * banks_per_channel
+    banks: Vec<Bank>, // channels * banks_per_channel
     channels: Vec<Channel>,
     stats: MemStats,
 }
@@ -201,7 +201,12 @@ impl Dram {
         assert!(cfg.interleave_bytes > 0 && cfg.row_bytes > 0);
         let banks = vec![Bank::default(); (cfg.channels * cfg.banks_per_channel) as usize];
         let channels = vec![Channel::default(); cfg.channels as usize];
-        Dram { cfg, banks, channels, stats: MemStats::new() }
+        Dram {
+            cfg,
+            banks,
+            channels,
+            stats: MemStats::new(),
+        }
     }
 
     /// The configuration this device was built with.
@@ -251,7 +256,8 @@ impl Dram {
         let mut addr = acc.addr;
         let mut remaining = acc.bytes as u64;
         while remaining > 0 {
-            let in_chunk = (self.cfg.interleave_bytes as u64 - addr % self.cfg.interleave_bytes as u64)
+            let in_chunk = (self.cfg.interleave_bytes as u64
+                - addr % self.cfg.interleave_bytes as u64)
                 .min(remaining);
             let (s, d) = self.service_chunk(at, addr, in_chunk as u32, acc.kind);
             start_min = start_min.min(s);
@@ -272,7 +278,11 @@ impl Dram {
         let local = stripe * cfg.interleave_bytes as u64 + addr % cfg.interleave_bytes as u64;
         let bank_idx = ((local / cfg.row_bytes as u64) % cfg.banks_per_channel as u64) as usize;
         let row = local / (cfg.row_bytes as u64 * cfg.banks_per_channel as u64);
-        (chan_idx, chan_idx * cfg.banks_per_channel as usize + bank_idx, row)
+        (
+            chan_idx,
+            chan_idx * cfg.banks_per_channel as usize + bank_idx,
+            row,
+        )
     }
 
     /// Would an access at `addr` hit its bank's currently open row?

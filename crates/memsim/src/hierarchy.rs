@@ -143,7 +143,13 @@ impl MemHierarchy {
         let line = caches.first().map(|c| c.config().line_bytes).unwrap_or(64);
         let prefetcher = cfg.prefetch.map(|p| StreamPrefetcher::new(line, p.degree));
         let dram = Dram::new(cfg.dram.clone());
-        MemHierarchy { cfg, caches, tlb, prefetcher, dram }
+        MemHierarchy {
+            cfg,
+            caches,
+            tlb,
+            prefetcher,
+            dram,
+        }
     }
 
     /// The configuration.
@@ -190,7 +196,10 @@ impl MemHierarchy {
     }
 
     fn line_bytes(&self) -> u64 {
-        self.caches.first().map(|c| c.config().line_bytes as u64).unwrap_or(0)
+        self.caches
+            .first()
+            .map(|c| c.config().line_bytes as u64)
+            .unwrap_or(0)
     }
 
     fn run_engine(&mut self, stream: impl Iterator<Item = Access>, cap: u64) -> StreamOutcome {
@@ -205,7 +214,7 @@ impl MemHierarchy {
         let mut outstanding: Vec<f64> = Vec::with_capacity(self.cfg.mlp);
         let mut pf_ready: HashMap<u64, f64> = HashMap::new();
         let mut last_done = 0.0f64; // completion horizon of posted traffic
-        // Write-combining run for streaming stores: [start, end) bytes.
+                                    // Write-combining run for streaming stores: [start, end) bytes.
         let mut wc_run: Option<(u64, u64)> = None;
         let mut n = 0u64;
 
@@ -271,8 +280,9 @@ impl MemHierarchy {
         // outstanding transaction and posted write.
         if let Some((start, end)) = wc_run.take() {
             let cycles_at = self.dram.ns_to_cycles(t);
-            let (_, done) =
-                self.dram.service(cycles_at, Access::write(start, (end - start) as u32));
+            let (_, done) = self
+                .dram
+                .service(cycles_at, Access::write(start, (end - start) as u32));
             last_done = last_done.max(self.dram.cycles_to_ns(done));
         }
         for c in outstanding {
@@ -299,7 +309,11 @@ impl MemHierarchy {
             stats.prefetches_issued = p.issued() - pf_base;
         }
 
-        StreamOutcome { ns: self.dram.derate_ns(t), stats, simulated_accesses: n }
+        StreamOutcome {
+            ns: self.dram.derate_ns(t),
+            stats,
+            simulated_accesses: n,
+        }
     }
 
     /// One cache-line-granular access through the cache levels.
@@ -392,7 +406,11 @@ impl MemHierarchy {
             *t += *self.cfg.hit_ns.last().unwrap_or(&0.0);
         } else {
             self.issue_demand(
-                Access { addr: line_base, bytes: line as u32, kind: AccessKind::Read },
+                Access {
+                    addr: line_base,
+                    bytes: line as u32,
+                    kind: AccessKind::Read,
+                },
                 t,
                 outstanding,
                 last_done,
@@ -407,8 +425,9 @@ impl MemHierarchy {
                     continue;
                 }
                 let cycles_at = self.dram.ns_to_cycles(*t);
-                let (_, done) =
-                    self.dram.service(cycles_at, Access::read(pline, line as u32));
+                let (_, done) = self
+                    .dram
+                    .service(cycles_at, Access::read(pline, line as u32));
                 let ready = self.dram.cycles_to_ns(done) + self.cfg.dram_extra_latency_ns;
                 pf_ready.insert(pline, ready);
                 *last_done = last_done.max(ready);
@@ -470,11 +489,23 @@ mod tests {
     fn cpu_like(mlp: usize, prefetch: bool) -> MemHierarchy {
         MemHierarchy::new(MemHierarchyConfig {
             caches: vec![
-                CacheConfig { size_bytes: 32 * 1024, ways: 8, line_bytes: 64 },
-                CacheConfig { size_bytes: 256 * 1024, ways: 8, line_bytes: 64 },
+                CacheConfig {
+                    size_bytes: 32 * 1024,
+                    ways: 8,
+                    line_bytes: 64,
+                },
+                CacheConfig {
+                    size_bytes: 256 * 1024,
+                    ways: 8,
+                    line_bytes: 64,
+                },
             ],
             hit_ns: vec![0.0, 2.0],
-            tlb: Some(TlbConfig { entries: 64, page_bytes: 4096, walk_ns: 30.0 }),
+            tlb: Some(TlbConfig {
+                entries: 64,
+                page_bytes: 4096,
+                walk_ns: 30.0,
+            }),
             // Degree must cover the latency-bandwidth product (~17 lines
             // here) for the stream to become bus-bound.
             prefetch: prefetch.then_some(PrefetchConfig { degree: 32 }),
@@ -545,7 +576,12 @@ mod tests {
         let pass1 = h.run(seq_reads(4096, 4));
         // Note: `run` does not reset state, so the second pass hits.
         let pass2 = h.run(seq_reads(4096, 4));
-        assert!(pass2.ns < pass1.ns * 0.25, "p2 {} p1 {}", pass2.ns, pass1.ns);
+        assert!(
+            pass2.ns < pass1.ns * 0.25,
+            "p2 {} p1 {}",
+            pass2.ns,
+            pass1.ns
+        );
         assert_eq!(pass2.stats.cache_misses[0], 0);
     }
 
@@ -610,7 +646,11 @@ mod tests {
     fn tlb_misses_slow_the_stream() {
         let n = 20_000u64;
         let mut no_walk = cpu_like(8, false);
-        no_walk.cfg.tlb = Some(TlbConfig { entries: 64, page_bytes: 4096, walk_ns: 0.0 });
+        no_walk.cfg.tlb = Some(TlbConfig {
+            entries: 64,
+            page_bytes: 4096,
+            walk_ns: 0.0,
+        });
         no_walk.tlb = Some(Tlb::new(64, 4096));
         let base = no_walk.run(seq_reads(n, 4096));
         let with = cpu_like(8, false).run(seq_reads(n, 4096));
@@ -622,7 +662,11 @@ mod tests {
 
     #[test]
     fn outcome_bandwidth_helper() {
-        let out = StreamOutcome { ns: 1000.0, stats: MemStats::new(), simulated_accesses: 0 };
+        let out = StreamOutcome {
+            ns: 1000.0,
+            stats: MemStats::new(),
+            simulated_accesses: 0,
+        };
         assert!((out.bandwidth_gbps(4000) - 4.0).abs() < 1e-12);
     }
 }

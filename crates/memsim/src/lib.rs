@@ -39,7 +39,9 @@ pub mod tlb;
 pub use cache::{Cache, CacheConfig};
 pub use clock::Freq;
 pub use coalesce::{CoalesceMode, Coalescer};
-pub use controller::{interleaved_trace, MemoryController, ReplayOutcome, SchedPolicy, TimedRequest};
+pub use controller::{
+    interleaved_trace, MemoryController, ReplayOutcome, SchedPolicy, TimedRequest,
+};
 pub use dram::{Dram, DramConfig};
 pub use hierarchy::{
     MemHierarchy, MemHierarchyConfig, PrefetchConfig, StreamOutcome, TlbConfig, WritePolicy,

@@ -21,18 +21,33 @@ pub struct LinkConfig {
 impl LinkConfig {
     /// PCIe Gen3 x16-ish (GPU): ~12 GB/s effective.
     pub fn pcie_gen3_x16() -> Self {
-        LinkConfig { latency_ns: 800.0, gbps: 12.0, packet_bytes: 256, per_packet_ns: 2.0 }
+        LinkConfig {
+            latency_ns: 800.0,
+            gbps: 12.0,
+            packet_bytes: 256,
+            per_packet_ns: 2.0,
+        }
     }
 
     /// PCIe Gen3 x8-ish (FPGA boards): ~6 GB/s effective.
     pub fn pcie_gen3_x8() -> Self {
-        LinkConfig { latency_ns: 900.0, gbps: 6.0, packet_bytes: 256, per_packet_ns: 4.0 }
+        LinkConfig {
+            latency_ns: 900.0,
+            gbps: 6.0,
+            packet_bytes: 256,
+            per_packet_ns: 4.0,
+        }
     }
 
     /// A CPU "device" talks to host memory directly: negligible latency,
     /// very high bandwidth (acts as a near-no-op link).
     pub fn loopback() -> Self {
-        LinkConfig { latency_ns: 50.0, gbps: 30.0, packet_bytes: 4096, per_packet_ns: 0.0 }
+        LinkConfig {
+            latency_ns: 50.0,
+            gbps: 30.0,
+            packet_bytes: 4096,
+            per_packet_ns: 0.0,
+        }
     }
 }
 

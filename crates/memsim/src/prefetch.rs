@@ -78,9 +78,7 @@ impl StreamPrefetcher {
                     // One line was consumed by this demand miss.
                     s.issued_ahead = s.issued_ahead.saturating_sub(1);
                     while s.issued_ahead < self.degree {
-                        let ahead = (s.next_line as i64
-                            + s.stride * s.issued_ahead as i64)
-                            as u64;
+                        let ahead = (s.next_line as i64 + s.stride * s.issued_ahead as i64) as u64;
                         out.push(ahead);
                         s.issued_ahead += 1;
                         self.issued += 1;

@@ -38,13 +38,21 @@ impl Access {
     /// Construct a read access.
     pub fn read(addr: u64, bytes: u32) -> Self {
         debug_assert!(bytes > 0);
-        Access { addr, bytes, kind: AccessKind::Read }
+        Access {
+            addr,
+            bytes,
+            kind: AccessKind::Read,
+        }
     }
 
     /// Construct a write access.
     pub fn write(addr: u64, bytes: u32) -> Self {
         debug_assert!(bytes > 0);
-        Access { addr, bytes, kind: AccessKind::Write }
+        Access {
+            addr,
+            bytes,
+            kind: AccessKind::Write,
+        }
     }
 
     /// Exclusive end address of the access.

@@ -101,7 +101,13 @@ mod tests {
 
     #[test]
     fn accesses_and_bytes_sum() {
-        let s = MemStats { reads: 3, writes: 2, bytes_read: 12, bytes_written: 8, ..Default::default() };
+        let s = MemStats {
+            reads: 3,
+            writes: 2,
+            bytes_read: 12,
+            bytes_written: 8,
+            ..Default::default()
+        };
         assert_eq!(s.accesses(), 5);
         assert_eq!(s.bytes(), 20);
     }
@@ -113,14 +119,27 @@ mod tests {
 
     #[test]
     fn row_hit_rate_mixed() {
-        let s = MemStats { row_hits: 3, row_misses: 1, ..Default::default() };
+        let s = MemStats {
+            row_hits: 3,
+            row_misses: 1,
+            ..Default::default()
+        };
         assert!((s.row_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn merge_adds_everything() {
-        let mut a = MemStats { reads: 1, cache_hits: [1, 2, 3], ..Default::default() };
-        let b = MemStats { reads: 2, cache_hits: [10, 20, 30], writebacks: 7, ..Default::default() };
+        let mut a = MemStats {
+            reads: 1,
+            cache_hits: [1, 2, 3],
+            ..Default::default()
+        };
+        let b = MemStats {
+            reads: 2,
+            cache_hits: [10, 20, 30],
+            writebacks: 7,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.reads, 3);
         assert_eq!(a.cache_hits, [11, 22, 33]);

@@ -20,7 +20,10 @@ impl Tlb {
     /// Create a TLB covering `capacity` pages of `page_bytes` each.
     pub fn new(capacity: usize, page_bytes: u64) -> Self {
         assert!(capacity > 0, "TLB needs at least one entry");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
             page_bytes,
             entries: Vec::with_capacity(capacity),

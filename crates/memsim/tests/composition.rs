@@ -27,7 +27,11 @@ fn hierarchy(caches: Vec<CacheConfig>, hit_ns: Vec<f64>, mlp: usize) -> MemHiera
     MemHierarchy::new(MemHierarchyConfig {
         caches,
         hit_ns,
-        tlb: Some(TlbConfig { entries: 64, page_bytes: 2 << 20, walk_ns: 60.0 }),
+        tlb: Some(TlbConfig {
+            entries: 64,
+            page_bytes: 2 << 20,
+            walk_ns: 60.0,
+        }),
         prefetch: Some(PrefetchConfig { degree: 32 }),
         dram: dram(),
         issue_bytes_per_ns: 32.0,
@@ -41,9 +45,21 @@ fn hierarchy(caches: Vec<CacheConfig>, hit_ns: Vec<f64>, mlp: usize) -> MemHiera
 
 fn three_levels() -> Vec<CacheConfig> {
     vec![
-        CacheConfig { size_bytes: 32 << 10, ways: 8, line_bytes: 64 },
-        CacheConfig { size_bytes: 256 << 10, ways: 8, line_bytes: 64 },
-        CacheConfig { size_bytes: 8 << 20, ways: 16, line_bytes: 64 },
+        CacheConfig {
+            size_bytes: 32 << 10,
+            ways: 8,
+            line_bytes: 64,
+        },
+        CacheConfig {
+            size_bytes: 256 << 10,
+            ways: 8,
+            line_bytes: 64,
+        },
+        CacheConfig {
+            size_bytes: 8 << 20,
+            ways: 16,
+            line_bytes: 64,
+        },
     ]
 }
 
@@ -73,9 +89,7 @@ fn channel_parallelism_doubles_saturated_bandwidth() {
 fn l3_resident_working_set_never_touches_dram_after_warmup() {
     let mut h = hierarchy(three_levels(), vec![0.0, 0.5, 1.5], 16);
     // 1 MiB working set: fits L3, exceeds L1+L2.
-    let pass = |h: &mut MemHierarchy| {
-        h.run((0..16_384u64).map(|i| Access::read(i * 64, 64)))
-    };
+    let pass = |h: &mut MemHierarchy| h.run((0..16_384u64).map(|i| Access::read(i * 64, 64)));
     pass(&mut h); // warm
     let warm = pass(&mut h);
     assert_eq!(
@@ -127,7 +141,10 @@ fn write_combining_respects_flush_granularity() {
     let n = 65_536u64;
     let out = h.run((0..n).map(|i| Access::write(i * 4, 4)));
     let bytes = n * 4;
-    assert_eq!(out.stats.dram_bytes, bytes, "every store byte reaches DRAM once");
+    assert_eq!(
+        out.stats.dram_bytes, bytes,
+        "every store byte reaches DRAM once"
+    );
     let chunks = bytes / 256;
     assert!(
         out.stats.dram_transactions >= chunks && out.stats.dram_transactions <= chunks + 4,
@@ -142,7 +159,10 @@ fn coalescer_modes_disagree_exactly_on_sparse_patterns() {
     let aligned = Coalescer::new(128, 32);
     let extent = Coalescer::extent(128, 32);
     assert_eq!(aligned.mode, CoalesceMode::AlignedSegment);
-    let a_bytes: u64 = aligned.coalesce(sparse.clone()).map(|t| t.bytes as u64).sum();
+    let a_bytes: u64 = aligned
+        .coalesce(sparse.clone())
+        .map(|t| t.bytes as u64)
+        .sum();
     let e_bytes: u64 = extent.coalesce(sparse).map(|t| t.bytes as u64).sum();
     assert_eq!(a_bytes, 64 * 128, "segments move whole 128B lines");
     assert_eq!(e_bytes, 64 * 4, "extent bursts move exactly what was asked");
@@ -153,7 +173,11 @@ fn cache_hash_spreads_power_of_two_strides() {
     // 4 KiB stride over a 768-set cache: linear indexing would hit ~24
     // sets; the hashed index must keep the conflict-miss rate low for a
     // working set well under capacity.
-    let mut c = Cache::new(CacheConfig { size_bytes: 1536 << 10, ways: 16, line_bytes: 128 });
+    let mut c = Cache::new(CacheConfig {
+        size_bytes: 1536 << 10,
+        ways: 16,
+        line_bytes: 128,
+    });
     let lines = 1024u64;
     for pass in 0..3 {
         let mut misses0 = c.misses();

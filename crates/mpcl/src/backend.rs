@@ -170,25 +170,53 @@ mod tests {
 
     #[test]
     fn resource_sum_and_utilisation() {
-        let a = ResourceUsage { logic: 100, bram: 10, dsp: 2 };
-        let b = ResourceUsage { logic: 50, bram: 0, dsp: 0 };
+        let a = ResourceUsage {
+            logic: 100,
+            bram: 10,
+            dsp: 2,
+        };
+        let b = ResourceUsage {
+            logic: 50,
+            bram: 0,
+            dsp: 0,
+        };
         let s = a.plus(b);
         assert_eq!(s.logic, 150);
-        let cap = ResourceUsage { logic: 300, bram: 20, dsp: 100 };
+        let cap = ResourceUsage {
+            logic: 300,
+            bram: 20,
+            dsp: 100,
+        };
         assert!((s.utilisation(cap) - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn utilisation_picks_binding_resource() {
-        let u = ResourceUsage { logic: 10, bram: 19, dsp: 0 };
-        let cap = ResourceUsage { logic: 100, bram: 20, dsp: 10 };
+        let u = ResourceUsage {
+            logic: 10,
+            bram: 19,
+            dsp: 0,
+        };
+        let cap = ResourceUsage {
+            logic: 100,
+            bram: 20,
+            dsp: 10,
+        };
         assert!((u.utilisation(cap) - 0.95).abs() < 1e-12);
     }
 
     #[test]
     fn zero_capacity_resource_ignored() {
-        let u = ResourceUsage { logic: 10, bram: 0, dsp: 0 };
-        let cap = ResourceUsage { logic: 100, bram: 0, dsp: 0 };
+        let u = ResourceUsage {
+            logic: 10,
+            bram: 0,
+            dsp: 0,
+        };
+        let cap = ResourceUsage {
+            logic: 100,
+            bram: 0,
+            dsp: 0,
+        };
         assert!((u.utilisation(cap) - 0.1).abs() < 1e-12);
     }
 }

@@ -1,0 +1,222 @@
+//! A shared build-artifact cache.
+//!
+//! Building a program for an FPGA target models pipeline synthesis — in
+//! the real toolchains this is the hours-long step, and every sweep or
+//! hill-climb that revisits a configuration pays it again. A
+//! [`BuildCache`] memoizes [`build`](crate::Program::build_cached)
+//! results so revisits are free, exactly like the `aoc`/`xocc` binary
+//! caches users keep next to their sweep scripts.
+//!
+//! Keying: a cache entry is identified by `(device name, KernelConfig)`.
+//! The device *name* — not the handle identity — is deliberate: the
+//! standard targets mint a fresh `Device` per instantiation (as parallel
+//! sweep workers do), but two devices of the same model are
+//! interchangeable compilation targets. `KernelConfig` carries an `f64`
+//! scalar, so the config half of the key is its exhaustive `Debug`
+//! rendering rather than a `Hash` impl.
+//!
+//! Failed builds are cached too: "design does not fit" is a deterministic
+//! verdict of the model, and re-synthesizing to rediscover it is exactly
+//! the waste this cache removes.
+
+use crate::backend::BuildArtifact;
+use crate::error::ClError;
+use kernelgen::KernelConfig;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Entry = Arc<OnceLock<Result<Arc<BuildArtifact>, ClError>>>;
+
+/// Hit/miss counters of a [`BuildCache`], cheap to copy out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the backend build.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Counter difference since an earlier snapshot (for per-sweep
+    /// reporting on a long-lived cache).
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+/// A thread-safe synthesis/build cache, shared across runners.
+///
+/// Concurrent misses on the same key build **once**: the first worker
+/// populates the entry while others block on it, so the miss count equals
+/// the number of distinct keys regardless of the thread count.
+#[derive(Debug, Default)]
+pub struct BuildCache {
+    map: Mutex<HashMap<(String, String), Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BuildCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached configurations (including cached failures).
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("mpcl mutex poisoned").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up `(device_name, cfg)`, running `build` on a miss.
+    pub fn get_or_build(
+        &self,
+        device_name: &str,
+        cfg: &KernelConfig,
+        build: impl FnOnce() -> Result<BuildArtifact, ClError>,
+    ) -> Result<Arc<BuildArtifact>, ClError> {
+        let key = (device_name.to_string(), format!("{cfg:?}"));
+        let entry: Entry = {
+            let mut map = self.map.lock().expect("mpcl mutex poisoned");
+            map.entry(key).or_default().clone()
+        };
+        let mut built_here = false;
+        let result = entry.get_or_init(|| {
+            built_here = true;
+            build().map(Arc::new)
+        });
+        if built_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n_words: u64) -> KernelConfig {
+        KernelConfig::baseline(kernelgen::StreamOp::Copy, n_words)
+    }
+
+    fn artifact() -> BuildArtifact {
+        BuildArtifact::simple(1)
+    }
+
+    #[test]
+    fn second_lookup_hits_and_skips_build() {
+        let cache = BuildCache::new();
+        let mut builds = 0;
+        for _ in 0..3 {
+            cache
+                .get_or_build("dev", &cfg(1024), || {
+                    builds += 1;
+                    Ok(artifact())
+                })
+                .unwrap();
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_configs_and_devices_are_distinct_keys() {
+        let cache = BuildCache::new();
+        cache
+            .get_or_build("dev-a", &cfg(1024), || Ok(artifact()))
+            .unwrap();
+        cache
+            .get_or_build("dev-a", &cfg(2048), || Ok(artifact()))
+            .unwrap();
+        cache
+            .get_or_build("dev-b", &cfg(1024), || Ok(artifact()))
+            .unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn failures_are_cached() {
+        let cache = BuildCache::new();
+        let mut builds = 0;
+        for _ in 0..2 {
+            let r = cache.get_or_build("dev", &cfg(1024), || {
+                builds += 1;
+                Err(ClError::BuildProgramFailure("does not fit".into()))
+            });
+            assert!(matches!(r, Err(ClError::BuildProgramFailure(_))));
+        }
+        assert_eq!(builds, 1, "the failure verdict is remembered");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn concurrent_misses_build_once() {
+        let cache = Arc::new(BuildCache::new());
+        let builds = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let builds = Arc::clone(&builds);
+                s.spawn(move || {
+                    cache
+                        .get_or_build("dev", &cfg(4096), || {
+                            builds.fetch_add(1, Ordering::Relaxed);
+                            Ok(artifact())
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn stats_since_subtracts() {
+        let a = CacheStats {
+            hits: 10,
+            misses: 4,
+        };
+        let b = CacheStats { hits: 3, misses: 4 };
+        assert_eq!(a.since(b), CacheStats { hits: 7, misses: 0 });
+        assert!((a.hit_rate() - 10.0 / 14.0).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

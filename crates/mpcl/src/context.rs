@@ -9,10 +9,10 @@
 
 use crate::error::ClError;
 use crate::platform::Device;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 static NEXT_CTX_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -63,7 +63,10 @@ impl Context {
         Context {
             inner: Arc::new(CtxInner {
                 device,
-                mem: Mutex::new(MemSpace { next: BUFFER_ALIGN, ..Default::default() }),
+                mem: Mutex::new(MemSpace {
+                    next: BUFFER_ALIGN,
+                    ..Default::default()
+                }),
                 id: NEXT_CTX_ID.fetch_add(1, Ordering::Relaxed),
             }),
         }
@@ -81,17 +84,23 @@ impl Context {
 
     /// Bytes currently allocated to buffers.
     pub fn allocated_bytes(&self) -> u64 {
-        self.inner.mem.lock().used
+        self.inner.mem.lock().expect("mpcl mutex poisoned").used
     }
 
     fn alloc(&self, len: u64) -> Result<u64, ClError> {
         let limit = self.inner.device.info().global_mem_bytes;
         if len == 0 {
-            return Err(ClError::InvalidBufferSize { requested: 0, limit });
+            return Err(ClError::InvalidBufferSize {
+                requested: 0,
+                limit,
+            });
         }
-        let mut mem = self.inner.mem.lock();
+        let mut mem = self.inner.mem.lock().expect("mpcl mutex poisoned");
         if mem.used + len > limit {
-            return Err(ClError::InvalidBufferSize { requested: len, limit });
+            return Err(ClError::InvalidBufferSize {
+                requested: len,
+                limit,
+            });
         }
         let base = mem.next;
         let span = len.div_ceil(BUFFER_ALIGN) * BUFFER_ALIGN;
@@ -102,7 +111,7 @@ impl Context {
     }
 
     fn free(&self, base: u64) {
-        let mut mem = self.inner.mem.lock();
+        let mut mem = self.inner.mem.lock().expect("mpcl mutex poisoned");
         if let Some(a) = mem.allocs.remove(&base) {
             mem.used -= a.len;
         }
@@ -111,17 +120,21 @@ impl Context {
     /// Copy `data` into device memory at `base` (host→device transfer's
     /// functional half).
     pub(crate) fn write_bytes(&self, base: u64, data: &[u8]) {
-        let mut mem = self.inner.mem.lock();
+        let mut mem = self.inner.mem.lock().expect("mpcl mutex poisoned");
         let alloc = mem.allocs.get_mut(&base).expect("write to freed buffer");
-        let store = alloc.data.get_or_insert_with(|| vec![0; alloc.len as usize]);
+        let store = alloc
+            .data
+            .get_or_insert_with(|| vec![0; alloc.len as usize]);
         store[..data.len()].copy_from_slice(data);
     }
 
     /// Copy device memory at `base` out to `out`.
     pub(crate) fn read_bytes(&self, base: u64, out: &mut [u8]) {
-        let mut mem = self.inner.mem.lock();
+        let mut mem = self.inner.mem.lock().expect("mpcl mutex poisoned");
         let alloc = mem.allocs.get_mut(&base).expect("read from freed buffer");
-        let store = alloc.data.get_or_insert_with(|| vec![0; alloc.len as usize]);
+        let store = alloc
+            .data
+            .get_or_insert_with(|| vec![0; alloc.len as usize]);
         out.copy_from_slice(&store[..out.len()]);
     }
 
@@ -135,7 +148,7 @@ impl Context {
         base_c: Option<u64>,
         f: impl FnOnce(&mut [u8], &[u8], &[u8]),
     ) {
-        let mut mem = self.inner.mem.lock();
+        let mut mem = self.inner.mem.lock().expect("mpcl mutex poisoned");
         // Materialize every participant first.
         for base in [Some(base_a), Some(base_b), base_c].into_iter().flatten() {
             let alloc = mem.allocs.get_mut(&base).expect("kernel arg freed");
@@ -186,7 +199,12 @@ impl Buffer {
     /// Allocate `len` bytes on the context's device.
     pub fn new(ctx: &Context, flags: MemFlags, len: u64) -> Result<Self, ClError> {
         let base = ctx.alloc(len)?;
-        Ok(Buffer { ctx: ctx.clone(), base, len, flags })
+        Ok(Buffer {
+            ctx: ctx.clone(),
+            base,
+            len,
+            flags,
+        })
     }
 
     /// Size in bytes.

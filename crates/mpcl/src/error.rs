@@ -35,7 +35,10 @@ impl fmt::Display for ClError {
         match self {
             ClError::DeviceNotFound => write!(f, "CL_DEVICE_NOT_FOUND"),
             ClError::InvalidBufferSize { requested, limit } => {
-                write!(f, "CL_INVALID_BUFFER_SIZE: {requested} bytes (device limit {limit})")
+                write!(
+                    f,
+                    "CL_INVALID_BUFFER_SIZE: {requested} bytes (device limit {limit})"
+                )
             }
             ClError::InvalidKernelArgs(why) => write!(f, "CL_INVALID_KERNEL_ARGS: {why}"),
             ClError::BuildProgramFailure(log) => {
@@ -59,9 +62,14 @@ mod tests {
 
     #[test]
     fn display_contains_cl_code() {
-        let e = ClError::InvalidBufferSize { requested: 10, limit: 5 };
+        let e = ClError::InvalidBufferSize {
+            requested: 10,
+            limit: 5,
+        };
         assert!(e.to_string().contains("CL_INVALID_BUFFER_SIZE"));
-        assert!(ClError::DeviceNotFound.to_string().contains("CL_DEVICE_NOT_FOUND"));
+        assert!(ClError::DeviceNotFound
+            .to_string()
+            .contains("CL_DEVICE_NOT_FOUND"));
     }
 
     #[test]

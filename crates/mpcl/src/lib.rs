@@ -21,13 +21,17 @@
 //! the timeline together, mirroring what an OpenCL runtime does.
 
 pub mod backend;
+pub mod cache;
 pub mod context;
 pub mod error;
 pub mod platform;
 pub mod program;
 pub mod queue;
 
-pub use backend::{BuildArtifact, DeviceBackend, DeviceInfo, DeviceType, KernelCost, PowerModel, ResourceUsage};
+pub use backend::{
+    BuildArtifact, DeviceBackend, DeviceInfo, DeviceType, KernelCost, PowerModel, ResourceUsage,
+};
+pub use cache::{BuildCache, CacheStats};
 pub use context::{Buffer, Context, MemFlags};
 pub use error::ClError;
 pub use platform::{Device, Platform};

@@ -1,9 +1,9 @@
 //! Platform and device enumeration.
 
 use crate::backend::{DeviceBackend, DeviceInfo, DeviceType};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 static NEXT_DEVICE_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -39,13 +39,16 @@ impl Device {
 
     /// Run `f` with exclusive access to the backend model.
     pub(crate) fn with_backend<R>(&self, f: impl FnOnce(&mut dyn DeviceBackend) -> R) -> R {
-        let mut guard = self.backend.lock();
+        let mut guard = self.backend.lock().expect("mpcl mutex poisoned");
         f(guard.as_mut())
     }
 
     /// The device's board power model, if the backend provides one.
     pub fn power_model(&self) -> Option<crate::backend::PowerModel> {
-        self.backend.lock().power_model()
+        self.backend
+            .lock()
+            .expect("mpcl mutex poisoned")
+            .power_model()
     }
 }
 
@@ -75,7 +78,12 @@ impl Platform {
         version: impl Into<String>,
         devices: Vec<Device>,
     ) -> Self {
-        Platform { name: name.into(), vendor: vendor.into(), version: version.into(), devices }
+        Platform {
+            name: name.into(),
+            vendor: vendor.into(),
+            version: version.into(),
+            devices,
+        }
     }
 
     /// Platform name (e.g. `"Intel(R) OpenCL"`).
@@ -140,7 +148,10 @@ pub(crate) mod test_support {
 
         fn kernel_cost(&mut self, _artifact: &BuildArtifact, plan: &ExecPlan) -> KernelCost {
             // 1 byte/ns = 1 GB/s; traffic equals payload exactly.
-            KernelCost { ns: plan.cfg.bytes_moved() as f64, dram_bytes: plan.cfg.bytes_moved() }
+            KernelCost {
+                ns: plan.cfg.bytes_moved() as f64,
+                dram_bytes: plan.cfg.bytes_moved(),
+            }
         }
 
         fn transfer_ns(&mut self, bytes: u64) -> f64 {

@@ -1,6 +1,7 @@
 //! Programs (compiled kernels) and kernels with bound arguments.
 
 use crate::backend::BuildArtifact;
+use crate::cache::BuildCache;
 use crate::context::{Buffer, Context};
 use crate::error::ClError;
 use kernelgen::{validate, ExecPlan, KernelConfig, LoopMode};
@@ -19,7 +20,39 @@ pub struct Program {
 impl Program {
     /// Validate and build `cfg` for the context's device.
     pub fn build(ctx: &Context, cfg: KernelConfig) -> Result<Self, ClError> {
-        validate(&cfg).map_err(|e| ClError::BuildProgramFailure(e.to_string()))?;
+        let artifact = Arc::new(Self::check_and_synthesize(ctx, &cfg)?);
+        Ok(Program {
+            ctx: ctx.clone(),
+            cfg: Arc::new(cfg),
+            artifact,
+        })
+    }
+
+    /// Like [`build`](Self::build), but consulting `cache` first: a
+    /// revisit of `(device name, cfg)` — by this or any other context on
+    /// the same device model — reuses the cached synthesis result
+    /// (success *or* failure) instead of re-running the backend.
+    pub fn build_cached(
+        ctx: &Context,
+        cfg: KernelConfig,
+        cache: &BuildCache,
+    ) -> Result<Self, ClError> {
+        // Pre-synthesis validation stays outside the cache: it is cheap,
+        // and work-group limits depend on the device handle at hand.
+        Self::check(ctx, &cfg)?;
+        let artifact = cache.get_or_build(&ctx.device().info().name, &cfg, || {
+            ctx.device().with_backend(|b| b.build(&cfg))
+        })?;
+        Ok(Program {
+            ctx: ctx.clone(),
+            cfg: Arc::new(cfg),
+            artifact,
+        })
+    }
+
+    /// Configuration and device checks shared by both build paths.
+    fn check(ctx: &Context, cfg: &KernelConfig) -> Result<(), ClError> {
+        validate(cfg).map_err(|e| ClError::BuildProgramFailure(e.to_string()))?;
         if cfg.loop_mode == LoopMode::NdRange
             && cfg.work_group_size > ctx.device().info().max_work_group_size
         {
@@ -29,8 +62,12 @@ impl Program {
                 ctx.device().info().max_work_group_size
             )));
         }
-        let artifact = ctx.device().with_backend(|b| b.build(&cfg))?;
-        Ok(Program { ctx: ctx.clone(), cfg: Arc::new(cfg), artifact: Arc::new(artifact) })
+        Ok(())
+    }
+
+    fn check_and_synthesize(ctx: &Context, cfg: &KernelConfig) -> Result<BuildArtifact, ClError> {
+        Self::check(ctx, cfg)?;
+        ctx.device().with_backend(|b| b.build(cfg))
     }
 
     /// The configuration this program implements.
@@ -112,7 +149,10 @@ impl Kernel {
         if plan.overlapping() {
             return Err(ClError::MemCopyOverlap);
         }
-        Ok(Kernel { program: program.clone(), plan })
+        Ok(Kernel {
+            program: program.clone(),
+            plan,
+        })
     }
 
     /// The program this kernel was created from.
@@ -225,7 +265,10 @@ mod tests {
         let p = Program::build(&c1, cfg(StreamOp::Copy)).unwrap();
         let a = Buffer::new(&c2, MemFlags::WriteOnly, 4096).unwrap();
         let b = Buffer::new(&c1, MemFlags::ReadOnly, 4096).unwrap();
-        assert_eq!(Kernel::new(&p, &a, &b, None).unwrap_err(), ClError::InvalidContext);
+        assert_eq!(
+            Kernel::new(&p, &a, &b, None).unwrap_err(),
+            ClError::InvalidContext
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@
 use crate::context::{Buffer, Context};
 use crate::error::ClError;
 use crate::program::Kernel;
-use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Fixed driver-side cost of moving a command from "queued" to
 /// "submitted" (host driver work, not device-visible).
@@ -59,13 +59,21 @@ pub struct CommandQueue {
 impl CommandQueue {
     /// Create a profiling-enabled queue.
     pub fn new(ctx: &Context) -> Self {
-        CommandQueue { ctx: ctx.clone(), now_ns: Arc::new(Mutex::new(0.0)), functional: true }
+        CommandQueue {
+            ctx: ctx.clone(),
+            now_ns: Arc::new(Mutex::new(0.0)),
+            functional: true,
+        }
     }
 
     /// Create a queue that skips functional execution (timing-only runs
     /// for very large arrays; results cannot be validated).
     pub fn new_timing_only(ctx: &Context) -> Self {
-        CommandQueue { ctx: ctx.clone(), now_ns: Arc::new(Mutex::new(0.0)), functional: false }
+        CommandQueue {
+            ctx: ctx.clone(),
+            now_ns: Arc::new(Mutex::new(0.0)),
+            functional: false,
+        }
     }
 
     /// Does this queue execute kernels functionally?
@@ -76,7 +84,7 @@ impl CommandQueue {
     /// Current simulated time, ns (everything enqueued has completed —
     /// the queue is in-order and synchronous, i.e. `clFinish` semantics).
     pub fn now_ns(&self) -> f64 {
-        *self.now_ns.lock()
+        *self.now_ns.lock().expect("mpcl mutex poisoned")
     }
 
     /// The queue's context.
@@ -135,13 +143,17 @@ impl CommandQueue {
         }
         let plan = kernel.plan();
         let (launch, cost) = self.ctx.device().with_backend(|b| {
-            (b.launch_overhead_ns(), b.kernel_cost(kernel.program().artifact(), plan))
+            (
+                b.launch_overhead_ns(),
+                b.kernel_cost(kernel.program().artifact(), plan),
+            )
         });
         if self.functional {
             let base_c = plan.cfg.op.uses_c().then_some(plan.base_c);
-            self.ctx.with_kernel_memory(plan.base_a, plan.base_b, base_c, |a, b, c| {
-                kernelgen::execute(&plan.cfg, a, b, c);
-            });
+            self.ctx
+                .with_kernel_memory(plan.base_a, plan.base_b, base_c, |a, b, c| {
+                    kernelgen::execute(&plan.cfg, a, b, c);
+                });
         }
         Ok(self.advance(launch, cost.ns, cost.dram_bytes))
     }
@@ -181,7 +193,7 @@ impl CommandQueue {
     /// length must divide the buffer length.
     pub fn enqueue_fill(&self, buf: &Buffer, pattern: &[u8]) -> Result<Event, ClError> {
         self.check_same_ctx(buf)?;
-        if pattern.is_empty() || buf.len() % pattern.len() as u64 != 0 {
+        if pattern.is_empty() || !buf.len().is_multiple_of(pattern.len() as u64) {
             return Err(ClError::InvalidValue(format!(
                 "pattern of {} bytes does not divide buffer of {} bytes",
                 pattern.len(),
@@ -207,13 +219,19 @@ impl CommandQueue {
     }
 
     fn advance(&self, launch_ns: f64, duration_ns: f64, dram_bytes: u64) -> Event {
-        let mut now = self.now_ns.lock();
+        let mut now = self.now_ns.lock().expect("mpcl mutex poisoned");
         let queued = *now;
         let submit = queued + SUBMIT_NS;
         let start = submit + launch_ns;
         let end = start + duration_ns;
         *now = end;
-        Event { queued_ns: queued, submit_ns: submit, start_ns: start, end_ns: end, dram_bytes }
+        Event {
+            queued_ns: queued,
+            submit_ns: submit,
+            start_ns: start,
+            end_ns: end,
+            dram_bytes,
+        }
     }
 }
 
@@ -256,9 +274,15 @@ mod tests {
     fn size_mismatch_rejected() {
         let (ctx, q) = setup();
         let buf = Buffer::new(&ctx, MemFlags::ReadWrite, 4).unwrap();
-        assert!(matches!(q.enqueue_write(&buf, &[1, 2]), Err(ClError::InvalidValue(_))));
+        assert!(matches!(
+            q.enqueue_write(&buf, &[1, 2]),
+            Err(ClError::InvalidValue(_))
+        ));
         let mut out = [0u8; 8];
-        assert!(matches!(q.enqueue_read(&buf, &mut out), Err(ClError::InvalidValue(_))));
+        assert!(matches!(
+            q.enqueue_read(&buf, &mut out),
+            Err(ClError::InvalidValue(_))
+        ));
     }
 
     #[test]
@@ -326,7 +350,10 @@ mod tests {
         let (ctx1, q1) = setup();
         let ctx2 = Context::new(fake_device());
         let buf2 = Buffer::new(&ctx2, MemFlags::ReadWrite, 4).unwrap();
-        assert_eq!(q1.enqueue_write(&buf2, &[0u8; 4]).unwrap_err(), ClError::InvalidContext);
+        assert_eq!(
+            q1.enqueue_write(&buf2, &[0u8; 4]).unwrap_err(),
+            ClError::InvalidContext
+        );
         let cfg = KernelConfig::baseline(StreamOp::Copy, 256);
         let p2 = Program::build(&ctx2, cfg).unwrap();
         let a2 = Buffer::new(&ctx2, MemFlags::WriteOnly, 1024).unwrap();
@@ -355,7 +382,10 @@ mod tests {
         let (ctx, q) = setup();
         let a = Buffer::new(&ctx, MemFlags::ReadWrite, 8).unwrap();
         let b = Buffer::new(&ctx, MemFlags::ReadWrite, 16).unwrap();
-        assert!(matches!(q.enqueue_copy(&a, &b), Err(ClError::InvalidValue(_))));
+        assert!(matches!(
+            q.enqueue_copy(&a, &b),
+            Err(ClError::InvalidValue(_))
+        ));
         assert_eq!(q.enqueue_copy(&a, &a).unwrap_err(), ClError::MemCopyOverlap);
     }
 
@@ -368,8 +398,14 @@ mod tests {
         q.enqueue_read(&buf, &mut out).unwrap();
         assert_eq!(out, [0xAB, 0xCD, 0xAB, 0xCD, 0xAB, 0xCD, 0xAB, 0xCD]);
         // Pattern that does not divide the buffer is rejected.
-        assert!(matches!(q.enqueue_fill(&buf, &[1, 2, 3]), Err(ClError::InvalidValue(_))));
-        assert!(matches!(q.enqueue_fill(&buf, &[]), Err(ClError::InvalidValue(_))));
+        assert!(matches!(
+            q.enqueue_fill(&buf, &[1, 2, 3]),
+            Err(ClError::InvalidValue(_))
+        ));
+        assert!(matches!(
+            q.enqueue_fill(&buf, &[]),
+            Err(ClError::InvalidValue(_))
+        ));
     }
 
     #[test]

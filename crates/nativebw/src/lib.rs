@@ -3,7 +3,7 @@
 //! Everything else in this workspace runs on *simulated* devices; this
 //! crate ties the project to reality by implementing the classic STREAM
 //! benchmark (McCalpin) natively in Rust: four kernels over `f64`
-//! arrays, multi-threaded with statically partitioned crossbeam scoped
+//! arrays, multi-threaded with statically partitioned std scoped
 //! threads, best-of-N timing and the original's closed-form result
 //! validation. It also measures a column-major ("strided") copy so the
 //! host machine's contiguity penalty can be compared with the simulated
@@ -15,7 +15,7 @@
 //! * per-kernel bandwidth uses the *minimum* time across iterations;
 //! * bytes counted are 2 arrays for COPY/SCALE and 3 for ADD/TRIAD.
 
-use crossbeam::thread;
+use std::thread;
 use std::time::Instant;
 
 /// The four STREAM kernels.
@@ -29,8 +29,12 @@ pub enum NativeKernel {
 
 impl NativeKernel {
     /// All four, in STREAM order.
-    pub const ALL: [NativeKernel; 4] =
-        [NativeKernel::Copy, NativeKernel::Scale, NativeKernel::Add, NativeKernel::Triad];
+    pub const ALL: [NativeKernel; 4] = [
+        NativeKernel::Copy,
+        NativeKernel::Scale,
+        NativeKernel::Add,
+        NativeKernel::Triad,
+    ];
 
     /// Kernel name.
     pub fn name(self) -> &'static str {
@@ -69,7 +73,9 @@ impl Default for NativeConfig {
     fn default() -> Self {
         NativeConfig {
             n: 8 << 20, // 64 MB per array
-            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
             ntimes: 10,
             q: 3.0,
         }
@@ -110,14 +116,18 @@ pub struct StreamReport {
 }
 
 /// Apply `f` to aligned chunks of the destination across threads.
-fn parallel_zip2(threads: usize, dst: &mut [f64], src: &[f64], f: impl Fn(&mut [f64], &[f64]) + Sync) {
+fn parallel_zip2(
+    threads: usize,
+    dst: &mut [f64],
+    src: &[f64],
+    f: impl Fn(&mut [f64], &[f64]) + Sync,
+) {
     let chunk = dst.len().div_ceil(threads.max(1));
     thread::scope(|s| {
         for (d, a) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
-            s.spawn(|_| f(d, a));
+            s.spawn(|| f(d, a));
         }
-    })
-    .expect("worker panicked");
+    });
 }
 
 fn parallel_zip3(
@@ -129,11 +139,14 @@ fn parallel_zip3(
 ) {
     let chunk = dst.len().div_ceil(threads.max(1));
     thread::scope(|s| {
-        for ((d, a), b) in dst.chunks_mut(chunk).zip(s1.chunks(chunk)).zip(s2.chunks(chunk)) {
-            s.spawn(|_| f(d, a, b));
+        for ((d, a), b) in dst
+            .chunks_mut(chunk)
+            .zip(s1.chunks(chunk))
+            .zip(s2.chunks(chunk))
+        {
+            s.spawn(|| f(d, a, b));
         }
-    })
-    .expect("worker panicked");
+    });
 }
 
 /// Run the STREAM protocol and report per-kernel bandwidth.
@@ -211,7 +224,11 @@ pub fn stream_benchmark(cfg: &NativeConfig) -> StreamReport {
         })
         .collect();
 
-    StreamReport { kernels, validated, config: cfg.clone() }
+    StreamReport {
+        kernels,
+        validated,
+        config: cfg.clone(),
+    }
 }
 
 /// Column-major ("strided") copy bandwidth over a `rows x cols`
@@ -231,9 +248,8 @@ pub fn strided_copy_gbps(rows: usize, cols: usize, threads: usize, ntimes: usize
         thread::scope(|s| {
             for t0 in (0..cols).step_by(per.max(1)) {
                 let src = &src;
-                let dst_ptr = dst_ptr;
-                s.spawn(move |_| {
-                    // Rebind the wrapper so the closure captures the
+                s.spawn(move || {
+                    // Move the wrapper in so the closure captures the
                     // `Send` newtype, not the raw pointer field.
                     let p = dst_ptr;
                     let end = (t0 + per).min(cols);
@@ -247,8 +263,7 @@ pub fn strided_copy_gbps(rows: usize, cols: usize, threads: usize, ntimes: usize
                     }
                 });
             }
-        })
-        .expect("worker panicked");
+        });
         let ns = t.elapsed().as_nanos() as f64;
         if it > 0 {
             best = best.min(ns);
@@ -269,7 +284,12 @@ mod tests {
     use super::*;
 
     fn small() -> NativeConfig {
-        NativeConfig { n: 1 << 16, threads: 2, ntimes: 3, q: 3.0 }
+        NativeConfig {
+            n: 1 << 16,
+            threads: 2,
+            ntimes: 3,
+            q: 3.0,
+        }
     }
 
     #[test]
@@ -291,13 +311,21 @@ mod tests {
 
     #[test]
     fn single_thread_works() {
-        let r = stream_benchmark(&NativeConfig { threads: 1, ..small() });
+        let r = stream_benchmark(&NativeConfig {
+            threads: 1,
+            ..small()
+        });
         assert!(r.validated);
     }
 
     #[test]
     fn more_threads_than_elements_is_fine() {
-        let r = stream_benchmark(&NativeConfig { n: 8, threads: 64, ntimes: 2, q: 3.0 });
+        let r = stream_benchmark(&NativeConfig {
+            n: 8,
+            threads: 64,
+            ntimes: 2,
+            q: 3.0,
+        });
         assert!(r.validated);
     }
 
@@ -311,7 +339,12 @@ mod tests {
     fn contiguous_beats_strided_on_real_hardware() {
         // 32 MB working set: large enough to defeat the LLC partially;
         // contiguous copy should comfortably beat column-major copy.
-        let cfg = NativeConfig { n: 2 << 20, threads: 2, ntimes: 3, q: 3.0 };
+        let cfg = NativeConfig {
+            n: 2 << 20,
+            threads: 2,
+            ntimes: 3,
+            q: 3.0,
+        };
         let contig = stream_benchmark(&cfg).kernels[0].gbps();
         let strided = strided_copy_gbps(2048, 1024, 2, 3);
         assert!(

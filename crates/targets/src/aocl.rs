@@ -17,7 +17,9 @@
 use crate::common::run_plan;
 use crate::resources::{FpgaCapacity, ResourceModel};
 use kernelgen::{ExecPlan, KernelConfig, LoopMode, VendorOpts};
-use memsim::{Coalescer, DramConfig, Link, LinkConfig, MemHierarchy, MemHierarchyConfig, WritePolicy};
+use memsim::{
+    Coalescer, DramConfig, Link, LinkConfig, MemHierarchy, MemHierarchyConfig, WritePolicy,
+};
 use mpcl::{BuildArtifact, ClError, DeviceBackend, DeviceInfo, DeviceType, KernelCost, PowerModel};
 
 /// Tuning constants of the AOCL model.
@@ -110,7 +112,10 @@ struct AoclBackendNamed {
 
 impl DeviceBackend for AoclBackendNamed {
     fn info(&self) -> DeviceInfo {
-        DeviceInfo { name: self.name.into(), ..self.inner.info() }
+        DeviceInfo {
+            name: self.name.into(),
+            ..self.inner.info()
+        }
     }
     fn build(&mut self, cfg: &KernelConfig) -> Result<BuildArtifact, ClError> {
         self.inner.build(cfg)
@@ -126,7 +131,11 @@ impl DeviceBackend for AoclBackendNamed {
     }
     fn power_model(&self) -> Option<PowerModel> {
         // Arria 10 boards draw ~35 W under load.
-        Some(PowerModel { idle_w: 15.0, active_w: 14.0, pj_per_byte: 40.0 })
+        Some(PowerModel {
+            idle_w: 15.0,
+            active_w: 14.0,
+            pj_per_byte: 40.0,
+        })
     }
 }
 
@@ -241,7 +250,10 @@ impl DeviceBackend for AoclBackend {
 
         // Multiple compute units contend at the shared memory controller.
         let ns = out.ns.max(pipe_ns) * (1.0 + t.cu_contention * (cus as f64 - 1.0));
-        KernelCost { ns, dram_bytes: out.stats.dram_bytes }
+        KernelCost {
+            ns,
+            dram_bytes: out.stats.dram_bytes,
+        }
     }
 
     fn transfer_ns(&mut self, bytes: u64) -> f64 {
@@ -294,13 +306,21 @@ mod tests {
     fn vectorization_approaches_peak() {
         // Paper Fig 1b: 2.53 -> 4.61 -> 8.97 -> 14.85 -> 15.26 GB/s.
         let mut b = AoclBackend::new();
-        let widths: Vec<f64> =
-            [1u32, 2, 4, 8, 16].iter().map(|&w| gbps(&with_vec(copy_cfg(4.0), w), &mut b)).collect();
+        let widths: Vec<f64> = [1u32, 2, 4, 8, 16]
+            .iter()
+            .map(|&w| gbps(&with_vec(copy_cfg(4.0), w), &mut b))
+            .collect();
         for pair in widths.windows(2) {
             assert!(pair[1] > pair[0] * 0.95, "non-decreasing: {widths:?}");
         }
-        assert!(widths[4] > 10.0 && widths[4] < 25.6, "w16 near peak: {widths:?}");
-        assert!(widths[4] / widths[0] > 4.0, "big vectorization win: {widths:?}");
+        assert!(
+            widths[4] > 10.0 && widths[4] < 25.6,
+            "w16 near peak: {widths:?}"
+        );
+        assert!(
+            widths[4] / widths[0] > 4.0,
+            "big vectorization win: {widths:?}"
+        );
     }
 
     #[test]
@@ -349,7 +369,10 @@ mod tests {
         let mut b = AoclBackend::new();
         let at = |k: u32, b: &mut AoclBackend| {
             let mut cfg = copy_cfg(4.0);
-            cfg.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 1, num_compute_units: k });
+            cfg.vendor = VendorOpts::Aocl(AoclOpts {
+                num_simd_work_items: 1,
+                num_compute_units: k,
+            });
             gbps(&cfg, b)
         };
         let c1 = at(1, &mut b);
@@ -366,7 +389,10 @@ mod tests {
         let mut b = AoclBackend::new();
         let vec8 = gbps(&with_vec(copy_cfg(4.0), 8), &mut b);
         let mut cu8 = copy_cfg(4.0);
-        cu8.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 1, num_compute_units: 8 });
+        cu8.vendor = VendorOpts::Aocl(AoclOpts {
+            num_simd_work_items: 1,
+            num_compute_units: 8,
+        });
         let cu = gbps(&cu8, &mut b);
         assert!(vec8 > cu, "vec8 {vec8} vs cu8 {cu}");
     }
@@ -378,7 +404,10 @@ mod tests {
         cfg.loop_mode = LoopMode::NdRange;
         cfg.reqd_work_group_size = true;
         cfg.vector_width = VectorWidth::new(16).unwrap();
-        cfg.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 16, num_compute_units: 16 });
+        cfg.vendor = VendorOpts::Aocl(AoclOpts {
+            num_simd_work_items: 16,
+            num_compute_units: 16,
+        });
         match b.build(&cfg) {
             Err(ClError::BuildProgramFailure(log)) => {
                 assert!(log.contains("does not fit"), "{log}");

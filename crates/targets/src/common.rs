@@ -35,7 +35,9 @@ pub fn run_plan(
 ) -> StreamOutcome {
     let total = total_accesses(&plan.cfg);
     let take = total.min(sample_cap.max(1));
-    let stream = access_stream(plan, lane_group).take(take as usize).map(to_mem);
+    let stream = access_stream(plan, lane_group)
+        .take(take as usize)
+        .map(to_mem);
     let mut out = match coalescer {
         Some(co) => hierarchy.run(co.coalesce(stream)),
         None => hierarchy.run(stream),
@@ -59,9 +61,17 @@ mod tests {
 
     fn hierarchy() -> MemHierarchy {
         MemHierarchy::new(MemHierarchyConfig {
-            caches: vec![CacheConfig { size_bytes: 32 * 1024, ways: 8, line_bytes: 64 }],
+            caches: vec![CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            }],
             hit_ns: vec![0.1],
-            tlb: Some(TlbConfig { entries: 64, page_bytes: 4096, walk_ns: 20.0 }),
+            tlb: Some(TlbConfig {
+                entries: 64,
+                page_bytes: 4096,
+                walk_ns: 20.0,
+            }),
             prefetch: Some(PrefetchConfig { degree: 16 }),
             dram: DramConfig::ddr3_quad_channel(),
             issue_bytes_per_ns: 16.0,
@@ -81,9 +91,17 @@ mod tests {
 
     #[test]
     fn kind_conversion() {
-        let r = to_mem(memaccess::Access { addr: 1, bytes: 4, kind: memaccess::AccessKind::Read });
+        let r = to_mem(memaccess::Access {
+            addr: 1,
+            bytes: 4,
+            kind: memaccess::AccessKind::Read,
+        });
         assert_eq!(r.kind, AccessKind::Read);
-        let w = to_mem(memaccess::Access { addr: 1, bytes: 4, kind: memaccess::AccessKind::Write });
+        let w = to_mem(memaccess::Access {
+            addr: 1,
+            bytes: 4,
+            kind: memaccess::AccessKind::Write,
+        });
         assert_eq!(w.kind, AccessKind::Write);
     }
 

@@ -61,9 +61,21 @@ impl Default for CpuTuning {
             issue_bytes_per_ns_per_core: 16.0,
             mlp_per_core: 10,
             prefetch_degree: 32,
-            l1: CacheConfig { size_bytes: 32 << 10, ways: 8, line_bytes: 64 },
-            l2: CacheConfig { size_bytes: 256 << 10, ways: 8, line_bytes: 64 },
-            l3: CacheConfig { size_bytes: 10 << 20, ways: 20, line_bytes: 64 },
+            l1: CacheConfig {
+                size_bytes: 32 << 10,
+                ways: 8,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 << 10,
+                ways: 8,
+                line_bytes: 64,
+            },
+            l3: CacheConfig {
+                size_bytes: 10 << 20,
+                ways: 20,
+                line_bytes: 64,
+            },
             hit_ns_one_core: [0.0, 1.2, 3.2],
             dram: DramConfig::ddr3_quad_channel(),
             dram_extra_latency_ns: 45.0,
@@ -104,7 +116,11 @@ impl CpuBackend {
     fn hierarchy_for(&self, cfg: &KernelConfig) -> MemHierarchy {
         let t = &self.tuning;
         // NDRange uses every core; a single work-item is one thread.
-        let active = if cfg.loop_mode == LoopMode::NdRange { t.cores } else { 1 } as f64;
+        let active = if cfg.loop_mode == LoopMode::NdRange {
+            t.cores
+        } else {
+            1
+        } as f64;
         MemHierarchy::new(MemHierarchyConfig {
             caches: vec![t.l1, t.l2, t.l3],
             hit_ns: t.hit_ns_one_core.iter().map(|h| h / active).collect(),
@@ -113,7 +129,9 @@ impl CpuBackend {
                 page_bytes: t.page_bytes,
                 walk_ns: t.walk_ns / active,
             }),
-            prefetch: Some(PrefetchConfig { degree: t.prefetch_degree }),
+            prefetch: Some(PrefetchConfig {
+                degree: t.prefetch_degree,
+            }),
             dram: t.dram.clone(),
             issue_bytes_per_ns: t.issue_bytes_per_ns_per_core * active,
             issue_ns_per_access: 0.0,
@@ -157,8 +175,17 @@ impl DeviceBackend for CpuBackend {
 
     fn kernel_cost(&mut self, artifact: &BuildArtifact, plan: &ExecPlan) -> KernelCost {
         let mut h = self.hierarchy_for(&plan.cfg);
-        let out = run_plan(&mut h, plan, artifact.lane_group, None, self.tuning.sample_cap);
-        KernelCost { ns: out.ns, dram_bytes: out.stats.dram_bytes }
+        let out = run_plan(
+            &mut h,
+            plan,
+            artifact.lane_group,
+            None,
+            self.tuning.sample_cap,
+        );
+        KernelCost {
+            ns: out.ns,
+            dram_bytes: out.stats.dram_bytes,
+        }
     }
 
     fn transfer_ns(&mut self, bytes: u64) -> f64 {

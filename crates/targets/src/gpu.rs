@@ -59,7 +59,11 @@ impl Default for GpuTuning {
         GpuTuning {
             warp: 32,
             segment_bytes: 128,
-            l2: CacheConfig { size_bytes: 1536 << 10, ways: 16, line_bytes: 128 },
+            l2: CacheConfig {
+                size_bytes: 1536 << 10,
+                ways: 16,
+                line_bytes: 128,
+            },
             l2_hit_ns: 0.07,
             issue_ns_per_transaction: 0.07,
             mlp_full: 768,
@@ -117,14 +121,30 @@ impl GpuBackend {
         let ndrange = cfg.loop_mode == LoopMode::NdRange;
         MemHierarchyConfig {
             caches: vec![t.l2],
-            hit_ns: vec![if ndrange { t.l2_hit_ns } else { t.single_l2_hit_ns }],
+            hit_ns: vec![if ndrange {
+                t.l2_hit_ns
+            } else {
+                t.single_l2_hit_ns
+            }],
             tlb: None,
             prefetch: None,
             dram: t.dram.clone(),
             issue_bytes_per_ns: 50_000.0, // not the binding resource
-            issue_ns_per_access: if ndrange { t.issue_ns_per_transaction } else { t.single_issue_ns },
-            mlp: if ndrange { self.occupancy_mlp(cfg) } else { t.single_mlp },
-            dram_extra_latency_ns: if ndrange { t.dram_extra_latency_ns } else { 350.0 },
+            issue_ns_per_access: if ndrange {
+                t.issue_ns_per_transaction
+            } else {
+                t.single_issue_ns
+            },
+            mlp: if ndrange {
+                self.occupancy_mlp(cfg)
+            } else {
+                t.single_mlp
+            },
+            dram_extra_latency_ns: if ndrange {
+                t.dram_extra_latency_ns
+            } else {
+                350.0
+            },
             // Write-back L2 with write-validate for full segments: the
             // L2 absorbs strided stores (the Fig. 2 mid-size plateau)
             // while full-line stores skip the read-for-ownership.
@@ -163,7 +183,11 @@ impl DeviceBackend for GpuBackend {
     }
 
     fn build(&mut self, cfg: &KernelConfig) -> Result<BuildArtifact, ClError> {
-        let lane_group = if cfg.loop_mode == LoopMode::NdRange { self.tuning.warp } else { 1 };
+        let lane_group = if cfg.loop_mode == LoopMode::NdRange {
+            self.tuning.warp
+        } else {
+            1
+        };
         Ok(BuildArtifact {
             build_log: "clBuildProgram: ok (nvcc ptx)".into(),
             fmax_mhz: None,
@@ -175,8 +199,15 @@ impl DeviceBackend for GpuBackend {
     fn kernel_cost(&mut self, artifact: &BuildArtifact, plan: &ExecPlan) -> KernelCost {
         let ndrange = plan.cfg.loop_mode == LoopMode::NdRange;
         let mut h = self.hierarchy_for(&plan.cfg);
-        let co = ndrange.then(|| Coalescer::new(self.tuning.segment_bytes, self.tuning.warp as usize));
-        let out = run_plan(&mut h, plan, artifact.lane_group, co, self.tuning.sample_cap);
+        let co =
+            ndrange.then(|| Coalescer::new(self.tuning.segment_bytes, self.tuning.warp as usize));
+        let out = run_plan(
+            &mut h,
+            plan,
+            artifact.lane_group,
+            co,
+            self.tuning.sample_cap,
+        );
         let mut ns = out.ns;
         if ndrange {
             // Warp-instruction front-end cost (charged on the raw lane
@@ -185,7 +216,10 @@ impl DeviceBackend for GpuBackend {
             let lane_accesses = kernelgen::total_accesses(&plan.cfg) as f64;
             ns += lane_accesses * self.tuning.warp_issue_ns / self.tuning.warp as f64;
         }
-        KernelCost { ns, dram_bytes: out.stats.dram_bytes }
+        KernelCost {
+            ns,
+            dram_bytes: out.stats.dram_bytes,
+        }
     }
 
     fn transfer_ns(&mut self, bytes: u64) -> f64 {

@@ -15,9 +15,7 @@
 use crate::aocl::{AoclBackend, AoclTuning};
 use kernelgen::{ExecPlan, KernelConfig};
 use memsim::DramConfig;
-use mpcl::{
-    BuildArtifact, ClError, DeviceBackend, DeviceInfo, DeviceType, KernelCost, PowerModel,
-};
+use mpcl::{BuildArtifact, ClError, DeviceBackend, DeviceInfo, DeviceType, KernelCost, PowerModel};
 
 /// The HMC-equipped FPGA model: an [`AoclBackend`] with HMC memory, a
 /// newer-generation clock, and deeper outstanding-burst support (HMC
@@ -84,7 +82,11 @@ impl DeviceBackend for HmcBackend {
 
     fn power_model(&self) -> Option<PowerModel> {
         // HMC stacks draw more than DDR3 DIMMs but far less than GDDR5.
-        Some(PowerModel { idle_w: 16.0, active_w: 12.0, pj_per_byte: 22.0 })
+        Some(PowerModel {
+            idle_w: 16.0,
+            active_w: 12.0,
+            pj_per_byte: 22.0,
+        })
     }
 }
 
@@ -107,8 +109,10 @@ mod tests {
     }
 
     fn copy_vec16(mb: f64) -> KernelConfig {
-        let mut cfg =
-            KernelConfig::baseline(StreamOp::Copy, ((mb * 1e6 / 4.0) as u64).next_power_of_two());
+        let mut cfg = KernelConfig::baseline(
+            StreamOp::Copy,
+            ((mb * 1e6 / 4.0) as u64).next_power_of_two(),
+        );
         cfg.loop_mode = LoopMode::SingleWorkItemFlat;
         cfg.vector_width = VectorWidth::new(16).expect("allowed");
         cfg
@@ -153,7 +157,10 @@ mod tests {
         let mut hmc = HmcBackend::new();
         let mut over = copy_vec16(4.0);
         over.unroll = 16; // 16 wide x 16 unroll: over capacity
-        assert!(matches!(hmc.build(&over), Err(ClError::BuildProgramFailure(_))));
+        assert!(matches!(
+            hmc.build(&over),
+            Err(ClError::BuildProgramFailure(_))
+        ));
     }
 
     #[test]

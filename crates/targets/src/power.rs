@@ -16,22 +16,38 @@ use mpcl::PowerModel;
 
 /// Xeon E5-2609 v2: 80 W TDP, ~45 W idle package + DIMMs.
 pub fn cpu() -> PowerModel {
-    PowerModel { idle_w: 45.0, active_w: 35.0, pj_per_byte: 60.0 }
+    PowerModel {
+        idle_w: 45.0,
+        active_w: 35.0,
+        pj_per_byte: 60.0,
+    }
 }
 
 /// GTX Titan Black: 250 W TDP board.
 pub fn gpu() -> PowerModel {
-    PowerModel { idle_w: 40.0, active_w: 160.0, pj_per_byte: 25.0 }
+    PowerModel {
+        idle_w: 40.0,
+        active_w: 160.0,
+        pj_per_byte: 25.0,
+    }
 }
 
 /// Nallatech PCIe-385N (Stratix V): ~25 W board.
 pub fn fpga_aocl() -> PowerModel {
-    PowerModel { idle_w: 12.0, active_w: 10.0, pj_per_byte: 55.0 }
+    PowerModel {
+        idle_w: 12.0,
+        active_w: 10.0,
+        pj_per_byte: 55.0,
+    }
 }
 
 /// Alpha-Data ADM-PCIE (Virtex-7): ~25 W board.
 pub fn fpga_sdaccel() -> PowerModel {
-    PowerModel { idle_w: 13.0, active_w: 9.0, pj_per_byte: 55.0 }
+    PowerModel {
+        idle_w: 13.0,
+        active_w: 9.0,
+        pj_per_byte: 55.0,
+    }
 }
 
 /// The model for one of the standard targets.
@@ -75,7 +91,10 @@ mod tests {
         let gpu_eff = gpu().gb_per_joule(payload, gpu_ns, payload);
         let fpga_eff = fpga_aocl().gb_per_joule(payload, fpga_ns, payload);
         // The paper's conjecture holds for the vectorized FPGA point.
-        assert!(fpga_eff > 0.5 * gpu_eff, "fpga {fpga_eff} vs gpu {gpu_eff} GB/J");
+        assert!(
+            fpga_eff > 0.5 * gpu_eff,
+            "fpga {fpga_eff} vs gpu {gpu_eff} GB/J"
+        );
     }
 
     #[test]

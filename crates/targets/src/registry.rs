@@ -19,8 +19,12 @@ pub enum TargetId {
 
 impl TargetId {
     /// All four, in the paper's legend order.
-    pub const ALL: [TargetId; 4] =
-        [TargetId::FpgaAocl, TargetId::FpgaSdaccel, TargetId::Cpu, TargetId::Gpu];
+    pub const ALL: [TargetId; 4] = [
+        TargetId::FpgaAocl,
+        TargetId::FpgaSdaccel,
+        TargetId::Cpu,
+        TargetId::Gpu,
+    ];
 
     /// The figure-legend label.
     pub fn label(self) -> &'static str {
@@ -112,8 +116,14 @@ mod tests {
 
     #[test]
     fn device_types_match() {
-        assert_eq!(standard_device(TargetId::Cpu).info().device_type, DeviceType::Cpu);
-        assert_eq!(standard_device(TargetId::Gpu).info().device_type, DeviceType::Gpu);
+        assert_eq!(
+            standard_device(TargetId::Cpu).info().device_type,
+            DeviceType::Cpu
+        );
+        assert_eq!(
+            standard_device(TargetId::Gpu).info().device_type,
+            DeviceType::Gpu
+        );
         assert_eq!(
             standard_device(TargetId::FpgaAocl).info().device_type,
             DeviceType::Accelerator

@@ -25,8 +25,16 @@ impl FpgaCapacity {
     /// 2014 M20K blocks, 1590 DSPs.
     pub fn stratix_v_gsd5() -> Self {
         FpgaCapacity {
-            capacity: ResourceUsage { logic: 172_600, bram: 2014, dsp: 1590 },
-            shell: ResourceUsage { logic: 28_000, bram: 220, dsp: 0 },
+            capacity: ResourceUsage {
+                logic: 172_600,
+                bram: 2014,
+                dsp: 1590,
+            },
+            shell: ResourceUsage {
+                logic: 28_000,
+                bram: 220,
+                dsp: 0,
+            },
         }
     }
 
@@ -34,8 +42,16 @@ impl FpgaCapacity {
     /// 427 200 ALMs, 2713 M20K blocks, 1518 DSPs.
     pub fn arria10_gx1150() -> Self {
         FpgaCapacity {
-            capacity: ResourceUsage { logic: 427_200, bram: 2713, dsp: 1518 },
-            shell: ResourceUsage { logic: 40_000, bram: 280, dsp: 0 },
+            capacity: ResourceUsage {
+                logic: 427_200,
+                bram: 2713,
+                dsp: 1518,
+            },
+            shell: ResourceUsage {
+                logic: 40_000,
+                bram: 280,
+                dsp: 0,
+            },
         }
     }
 
@@ -43,8 +59,16 @@ impl FpgaCapacity {
     /// 1470 BRAM36, 3600 DSPs.
     pub fn virtex7_690t() -> Self {
         FpgaCapacity {
-            capacity: ResourceUsage { logic: 433_200, bram: 1470, dsp: 3600 },
-            shell: ResourceUsage { logic: 60_000, bram: 180, dsp: 0 },
+            capacity: ResourceUsage {
+                logic: 433_200,
+                bram: 1470,
+                dsp: 3600,
+            },
+            shell: ResourceUsage {
+                logic: 60_000,
+                bram: 180,
+                dsp: 0,
+            },
         }
     }
 }
@@ -97,15 +121,19 @@ impl ResourceModel {
         };
 
         // DSPs: multipliers for the q scalar, per lane; doubles cost 4x.
-        let mult_lanes = if cfg.op.uses_q() { native_words * simd } else { 0 };
+        let mult_lanes = if cfg.op.uses_q() {
+            native_words * simd
+        } else {
+            0
+        };
         let dsp_per_lane = match cfg.dtype {
             DataType::I32 => 1,
             DataType::F64 => 4,
         };
         // ADD consumes a little logic per lane instead, folded into ALU.
 
-        let words_simd = (native_words * simd) as f64
-            * if simd > 1 { self.simd_overhead } else { 1.0 };
+        let words_simd =
+            (native_words * simd) as f64 * if simd > 1 { self.simd_overhead } else { 1.0 };
         let one_cu = ResourceUsage {
             logic: self.kernel_base_logic
                 + (lsus * self.lsu_logic_per_word) * words_simd.ceil() as u64
@@ -157,7 +185,10 @@ mod tests {
         let mut c = cfg();
         c.loop_mode = LoopMode::NdRange;
         c.reqd_work_group_size = true;
-        c.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: simd, num_compute_units: cu });
+        c.vendor = VendorOpts::Aocl(AoclOpts {
+            num_simd_work_items: simd,
+            num_compute_units: cu,
+        });
         c
     }
 
@@ -189,7 +220,10 @@ mod tests {
         let m = ResourceModel::default();
         let one = m.estimate(&with_aocl(1, 1));
         let four = m.estimate(&with_aocl(1, 4));
-        assert!(four.logic > 4 * one.logic, "CU duplication plus arbitration overhead");
+        assert!(
+            four.logic > 4 * one.logic,
+            "CU duplication plus arbitration overhead"
+        );
         assert_eq!(four.bram, 4 * one.bram);
     }
 

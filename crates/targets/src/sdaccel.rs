@@ -15,7 +15,9 @@
 use crate::common::run_plan;
 use crate::resources::{FpgaCapacity, ResourceModel};
 use kernelgen::{ExecPlan, KernelConfig, LoopMode, VendorOpts, XilinxOpts};
-use memsim::{Coalescer, DramConfig, Link, LinkConfig, MemHierarchy, MemHierarchyConfig, WritePolicy};
+use memsim::{
+    Coalescer, DramConfig, Link, LinkConfig, MemHierarchy, MemHierarchyConfig, WritePolicy,
+};
 use mpcl::{BuildArtifact, ClError, DeviceBackend, DeviceInfo, DeviceType, KernelCost, PowerModel};
 
 /// Tuning constants of the SDAccel model.
@@ -109,9 +111,7 @@ impl SdaccelBackend {
     /// attributes force it for other shapes.
     fn fully_pipelined(cfg: &KernelConfig) -> bool {
         let x = Self::xilinx_opts(cfg);
-        cfg.loop_mode == LoopMode::SingleWorkItemNested
-            || x.pipeline_loop
-            || x.max_memory_ports
+        cfg.loop_mode == LoopMode::SingleWorkItemNested || x.pipeline_loop || x.max_memory_ports
     }
 }
 
@@ -162,7 +162,9 @@ impl DeviceBackend for SdaccelBackend {
     fn kernel_cost(&mut self, artifact: &BuildArtifact, plan: &ExecPlan) -> KernelCost {
         let t = &self.tuning;
         let cfg = &plan.cfg;
-        let fmax = artifact.fmax_mhz.expect("sdaccel kernels always report fmax");
+        let fmax = artifact
+            .fmax_mhz
+            .expect("sdaccel kernels always report fmax");
         let cycle_ns = 1000.0 / fmax;
 
         // Initiation interval per access: one beat per access through the
@@ -200,7 +202,10 @@ impl DeviceBackend for SdaccelBackend {
         // The hierarchy paces bursts; the port's initiation interval is
         // per kernel-side access (one AXI beat per access).
         let pipe_ns = kernelgen::total_accesses(cfg) as f64 * issue;
-        KernelCost { ns: out.ns.max(pipe_ns), dram_bytes: out.stats.dram_bytes }
+        KernelCost {
+            ns: out.ns.max(pipe_ns),
+            dram_bytes: out.stats.dram_bytes,
+        }
     }
 
     fn transfer_ns(&mut self, bytes: u64) -> f64 {
@@ -284,7 +289,10 @@ mod tests {
     fn pipeline_attribute_recovers_nested_performance() {
         let mut b = SdaccelBackend::new();
         let mut piped = copy_cfg(4.0);
-        piped.vendor = VendorOpts::Xilinx(XilinxOpts { pipeline_loop: true, ..Default::default() });
+        piped.vendor = VendorOpts::Xilinx(XilinxOpts {
+            pipeline_loop: true,
+            ..Default::default()
+        });
         let p = gbps(&piped, &mut b);
         let mut nested = copy_cfg(4.0);
         nested.loop_mode = LoopMode::SingleWorkItemNested;

@@ -37,8 +37,14 @@ fn main() {
     aocl.vector_width = VectorWidth::new(8).expect("allowed");
     aocl.unroll = 4;
     aocl.reqd_work_group_size = true;
-    aocl.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 4, num_compute_units: 2 });
-    show("AOCL: int8 triad, unroll 4, 4 SIMD work-items, 2 CUs", &aocl);
+    aocl.vendor = VendorOpts::Aocl(AoclOpts {
+        num_simd_work_items: 4,
+        num_compute_units: 2,
+    });
+    show(
+        "AOCL: int8 triad, unroll 4, 4 SIMD work-items, 2 CUs",
+        &aocl,
+    );
 
     // 5. Xilinx pipelined double-precision scale over a strided view.
     let mut xil = KernelConfig::baseline(StreamOp::Scale, 1 << 20);
@@ -51,5 +57,8 @@ fn main() {
         memory_port_width_bits: Some(512),
         ..Default::default()
     });
-    show("SDAccel: double scale, column-major, pipelined, 512-bit ports", &xil);
+    show(
+        "SDAccel: double scale, column-major, pipelined, 512-bit ports",
+        &xil,
+    );
 }

@@ -73,6 +73,8 @@ fn transfer_ns(runner: &mpstream_core::Runner, bytes: u64) -> f64 {
     let ctx = mpcl::Context::new(device);
     let q = mpcl::CommandQueue::new_timing_only(&ctx);
     let buf = mpcl::Buffer::new(&ctx, mpcl::MemFlags::ReadWrite, bytes).expect("buffer");
-    let ev = q.enqueue_write(&buf, &vec![0u8; bytes as usize]).expect("write");
+    let ev = q
+        .enqueue_write(&buf, &vec![0u8; bytes as usize])
+        .expect("write");
     ev.wall_ns()
 }

@@ -14,9 +14,7 @@
 //! cargo run --release --example controller_study
 //! ```
 
-use memsim::{
-    interleaved_trace, Access, DramConfig, MemoryController, SchedPolicy, TimedRequest,
-};
+use memsim::{interleaved_trace, Access, DramConfig, MemoryController, SchedPolicy, TimedRequest};
 use mpstream_core::Table;
 
 fn replay(cfg: DramConfig, policy: SchedPolicy, trace: &[TimedRequest]) -> (f64, f64) {
@@ -35,7 +33,10 @@ fn main() {
     );
 
     let sequential: Vec<TimedRequest> = (0..4096u64)
-        .map(|i| TimedRequest { arrival: i, access: Access::read(i * 64, 64) })
+        .map(|i| TimedRequest {
+            arrival: i,
+            access: Access::read(i * 64, 64),
+        })
         .collect();
     let interleaved = interleaved_trace(2048, 1 << 21);
     let random: Vec<TimedRequest> = (0..4096u64)
@@ -53,9 +54,11 @@ fn main() {
         "FR-FCFS row-hit",
         "speedup",
     ]);
-    for (name, trace) in
-        [("sequential", &sequential), ("interleaved streams", &interleaved), ("random", &random)]
-    {
+    for (name, trace) in [
+        ("sequential", &sequential),
+        ("interleaved streams", &interleaved),
+        ("random", &random),
+    ] {
         let (f_bw, f_rh) = replay(cfg.clone(), SchedPolicy::Fcfs, trace);
         let (r_bw, r_rh) = replay(cfg.clone(), SchedPolicy::FrFcfs { cap: 16 }, trace);
         t.row(&[

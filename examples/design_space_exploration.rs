@@ -4,61 +4,90 @@
 //! explores the memory-access design-space").
 //!
 //! Sweeps vector width x loop mode x unroll x vendor replication with a
-//! hill-climbing explorer under a fixed evaluation budget, then prints
-//! the best configuration found, its synthesis report, and how it
-//! compares with an exhaustive sweep. Synthesis failures (resource
-//! exhaustion) are part of the search space and are counted.
+//! hill-climbing explorer under a fixed evaluation budget, then compares
+//! against an exhaustive sweep fanned across the execution engine's
+//! thread pool. Both searches share one build-artifact cache, so the
+//! exhaustive pass re-synthesizes nothing the climber already visited.
+//! Synthesis failures (resource exhaustion) are part of the search space
+//! and are counted.
 //!
 //! ```text
 //! cargo run --release --example design_space_exploration
 //! ```
 
 use kernelgen::{AoclOpts, LoopMode, StreamOp, VendorOpts};
-use mpstream_core::dse::explore;
-use mpstream_core::{BenchConfig, Explorer, ParamSpace, Runner, Table};
+use mpstream_core::{explore_target, BenchConfig, DseResult, Engine, Explorer, ParamSpace, Table};
 use targets::TargetId;
 
 fn main() {
-    let space = ParamSpace {
-        ops: vec![StreamOp::Copy],
-        sizes_bytes: vec![4 << 20],
-        widths: vec![1, 2, 4, 8, 16],
-        loop_modes: LoopMode::ALL.to_vec(),
-        unrolls: vec![1, 2, 4, 8],
-        vendors: vec![
+    let space = ParamSpace::new()
+        .ops([StreamOp::Copy])
+        .sizes_mb([4])
+        .widths([1, 2, 4, 8, 16])
+        .loop_modes(LoopMode::ALL)
+        .unrolls([1, 2, 4, 8])
+        .vendors([
             VendorOpts::None,
-            VendorOpts::Aocl(AoclOpts { num_simd_work_items: 1, num_compute_units: 2 }),
-            VendorOpts::Aocl(AoclOpts { num_simd_work_items: 1, num_compute_units: 4 }),
-            VendorOpts::Aocl(AoclOpts { num_simd_work_items: 1, num_compute_units: 8 }),
-        ],
-        ..Default::default()
-    };
+            VendorOpts::Aocl(AoclOpts {
+                num_simd_work_items: 1,
+                num_compute_units: 2,
+            }),
+            VendorOpts::Aocl(AoclOpts {
+                num_simd_work_items: 1,
+                num_compute_units: 4,
+            }),
+            VendorOpts::Aocl(AoclOpts {
+                num_simd_work_items: 1,
+                num_compute_units: 8,
+            }),
+        ]);
     println!(
         "Design space: {} raw combinations, {} valid configurations\n",
         space.raw_len(),
         space.configs().len()
     );
 
-    let runner = Runner::for_target(TargetId::FpgaAocl);
-    let mut evaluations = 0usize;
-    let mut objective = |cfg: &kernelgen::KernelConfig| {
-        evaluations += 1;
-        runner
-            .run(&BenchConfig::new(cfg.clone()).with_ntimes(1).with_validation(false))
-            .ok()
-            .map(|m| m.gbps())
-    };
+    let engine = Engine::new();
+    println!(
+        "Execution engine: {} worker thread(s), shared build cache\n",
+        engine.jobs()
+    );
+    let protocol = |k| BenchConfig::new(k).with_ntimes(1).with_validation(false);
 
     println!("Hill-climbing with a budget of 40 evaluations...");
-    let hc = explore(&space, Explorer::HillClimb { budget: 40, seed: 20180521 }, &mut objective);
+    let hc = explore_target(
+        &engine,
+        TargetId::FpgaAocl,
+        &space,
+        Explorer::HillClimb {
+            budget: 40,
+            seed: 20180521,
+        },
+        protocol,
+    );
     report("hill-climb", &hc);
 
-    println!("\nExhaustive sweep for reference (every configuration)...");
-    let ex = explore(&space, Explorer::Exhaustive, &mut objective);
+    println!("\nExhaustive sweep for reference (every configuration, in parallel)...");
+    let ex = explore_target(
+        &engine,
+        TargetId::FpgaAocl,
+        &space,
+        Explorer::Exhaustive,
+        protocol,
+    );
     report("exhaustive", &ex);
 
-    let best_hc = hc.best.as_ref().map(|e| e.score.unwrap_or(0.0)).unwrap_or(0.0);
-    let best_ex = ex.best.as_ref().map(|e| e.score.unwrap_or(0.0)).unwrap_or(0.0);
+    let stats = engine.cache_stats();
+    println!(
+        "\nBuild cache: {} synthesis runs, {} reused ({:.0}% hit rate) — the \
+         exhaustive pass skipped every point the climber had synthesized.",
+        stats.misses,
+        stats.hits,
+        100.0 * stats.hit_rate()
+    );
+
+    let best_hc = hc.best.as_ref().and_then(|o| o.gbps()).unwrap_or(0.0);
+    let best_ex = ex.best.as_ref().and_then(|o| o.gbps()).unwrap_or(0.0);
     println!(
         "\nHill-climb reached {:.0}% of the exhaustive optimum using {} of {} evaluations.",
         100.0 * best_hc / best_ex,
@@ -72,17 +101,23 @@ fn main() {
     }
 }
 
-fn report(label: &str, r: &mpstream_core::DseResult) {
+fn report(label: &str, r: &DseResult) {
     let Some(best) = &r.best else {
         println!("{label}: no configuration built successfully");
         return;
     };
-    let mut t = Table::new(&["search", "evaluations", "synthesis failures", "best GB/s", "config"]);
+    let mut t = Table::new(&[
+        "search",
+        "evaluations",
+        "synthesis failures",
+        "best GB/s",
+        "config",
+    ]);
     t.row(&[
         label.to_string(),
         r.trace.len().to_string(),
         r.failures.to_string(),
-        format!("{:.2}", best.score.unwrap_or(0.0)),
+        format!("{:.2}", best.gbps().unwrap_or(0.0)),
         format!(
             "vec{} {} unroll{} {:?}",
             best.config.vector_width.get(),

@@ -6,7 +6,9 @@
 //! cargo run --example generate_host_code > mp_stream_host.c
 //! ```
 
-use kernelgen::{generate_host_program, HostOptions, KernelConfig, LoopMode, StreamOp, VectorWidth};
+use kernelgen::{
+    generate_host_program, HostOptions, KernelConfig, LoopMode, StreamOp, VectorWidth,
+};
 
 fn main() {
     // The best AOCL configuration the DSE example finds: vectorized,

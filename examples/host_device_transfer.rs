@@ -26,7 +26,9 @@ fn main() {
         let runner = Runner::for_target(target);
         for bytes in [1u64 << 20, 16 << 20] {
             let mut device = BenchConfig::copy_of_bytes(bytes).with_validation(false);
-            let mut link = BenchConfig::copy_of_bytes(bytes).with_validation(false).over_link();
+            let mut link = BenchConfig::copy_of_bytes(bytes)
+                .with_validation(false)
+                .over_link();
             if target.is_fpga() {
                 device.kernel.loop_mode = kernelgen::LoopMode::SingleWorkItemFlat;
                 link.kernel.loop_mode = kernelgen::LoopMode::SingleWorkItemFlat;

@@ -7,7 +7,7 @@
 //! ```
 
 use mpstream_core::Table;
-use nativebw::{strided_copy_gbps, stream_benchmark, NativeConfig};
+use nativebw::{stream_benchmark, strided_copy_gbps, NativeConfig};
 
 fn main() {
     let n: usize = std::env::args()
@@ -15,11 +15,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(8 << 20); // 64 MB per array by default
 
-    let cfg = NativeConfig { n, ..Default::default() };
+    let cfg = NativeConfig {
+        n,
+        ..Default::default()
+    };
     println!(
         "Native STREAM: {} elements/array ({} MB), {} threads, {} iterations\n",
         cfg.n,
-        cfg.n * 8 >> 20,
+        (cfg.n * 8) >> 20,
         cfg.threads,
         cfg.ntimes
     );

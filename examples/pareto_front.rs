@@ -4,35 +4,41 @@
 //! application, so the design point a user wants is rarely "fastest at
 //! any cost" — it is the frontier of configurations where no other
 //! config is both faster *and* smaller. This example sweeps the AOCL
-//! tuning space and prints that frontier.
+//! tuning space across the execution engine's thread pool and prints
+//! that frontier.
 //!
 //! ```text
 //! cargo run --release --example pareto_front
 //! ```
 
 use kernelgen::{LoopMode, StreamOp};
-use mpstream_core::sweep::{pareto_front, run_space};
-use mpstream_core::{BenchConfig, ParamSpace, Runner, Table};
+use mpstream_core::sweep::{pareto_front, sweep_space};
+use mpstream_core::{BenchConfig, Engine, ParamSpace, Table};
 use targets::TargetId;
 
 fn main() {
-    let space = ParamSpace {
-        ops: vec![StreamOp::Copy],
-        sizes_bytes: vec![4 << 20],
-        widths: vec![1, 2, 4, 8, 16],
-        loop_modes: vec![LoopMode::SingleWorkItemFlat, LoopMode::SingleWorkItemNested],
-        unrolls: vec![1, 2, 4],
-        ..Default::default()
-    };
+    let space = ParamSpace::new()
+        .ops([StreamOp::Copy])
+        .sizes_mb([4])
+        .widths([1, 2, 4, 8, 16])
+        .loop_modes([LoopMode::SingleWorkItemFlat, LoopMode::SingleWorkItemNested])
+        .unrolls([1, 2, 4]);
 
-    println!("Sweeping {} configurations on the AOCL FPGA...\n", space.configs().len());
-    let sweep = run_space(&Runner::for_target(TargetId::FpgaAocl), &space, |k| {
+    let engine = Engine::new();
+    println!(
+        "Sweeping {} configurations on the AOCL FPGA across {} worker thread(s)...\n",
+        space.configs().len(),
+        engine.jobs()
+    );
+    let sweep = sweep_space(&engine, TargetId::FpgaAocl, &space, |k| {
         BenchConfig::new(k).with_ntimes(1).with_validation(false)
     });
     println!(
-        "{} points measured, {} synthesis failures\n",
+        "{} points measured, {} synthesis failures ({} builds, {} cache hits)\n",
         sweep.points.len() - sweep.failures(),
-        sweep.failures()
+        sweep.failures(),
+        sweep.cache.misses,
+        sweep.cache.hits
     );
 
     let front = pareto_front(&sweep);

@@ -12,7 +12,14 @@ use targets::standard_platforms;
 fn main() {
     println!("MP-STREAM quickstart — COPY kernel, 4 MB arrays, 32-bit words\n");
 
-    let mut table = Table::new(&["platform", "device", "peak GB/s", "sustained GB/s", "% of peak", "valid"]);
+    let mut table = Table::new(&[
+        "platform",
+        "device",
+        "peak GB/s",
+        "sustained GB/s",
+        "% of peak",
+        "valid",
+    ]);
 
     for platform in standard_platforms() {
         for device in platform.devices() {
@@ -24,7 +31,9 @@ fn main() {
                 bc.kernel.loop_mode = kernelgen::LoopMode::SingleWorkItemFlat;
             }
 
-            let m = Runner::new(device.clone()).run(&bc).expect("benchmark run failed");
+            let m = Runner::new(device.clone())
+                .run(&bc)
+                .expect("benchmark run failed");
             let peak = device.info().peak_gbps;
             table.row(&[
                 platform.name().to_string(),

@@ -18,3 +18,9 @@ pub use mpcl;
 pub use mpstream_core;
 pub use nativebw;
 pub use targets;
+
+// The one-true result vocabulary, re-exported flat: every execution —
+// single run, sweep, or automated search — produces [`Measurement`]s
+// wrapped in [`Outcome`]s, collected into a [`SweepResult`] or
+// [`DseResult`] by the parallel [`Engine`].
+pub use mpstream_core::{DseResult, Engine, Measurement, Outcome, SweepResult};

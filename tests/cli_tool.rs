@@ -35,14 +35,26 @@ fn csv_mode_emits_csv() {
 fn strided_pattern_flows_through() {
     let req = parse(&["--pattern", "colmajor", "--size", "256K", "--ntimes", "1"]);
     let cfg = kernel_config(&req, kernelgen::StreamOp::Copy).expect("config");
-    assert!(matches!(cfg.pattern, kernelgen::AccessPattern::ColMajor { .. }));
+    assert!(matches!(
+        cfg.pattern,
+        kernelgen::AccessPattern::ColMajor { .. }
+    ));
     let out = execute(&req).expect("runs");
     assert!(out.contains("copy"));
 }
 
 #[test]
 fn vendor_flags_build_aocl_attributes() {
-    let req = parse(&["--target", "aocl", "--loop", "ndrange", "--simd", "4", "--compute-units", "2"]);
+    let req = parse(&[
+        "--target",
+        "aocl",
+        "--loop",
+        "ndrange",
+        "--simd",
+        "4",
+        "--compute-units",
+        "2",
+    ]);
     let cfg = kernel_config(&req, kernelgen::StreamOp::Copy).expect("config");
     match cfg.vendor {
         kernelgen::VendorOpts::Aocl(a) => {
@@ -51,7 +63,10 @@ fn vendor_flags_build_aocl_attributes() {
         }
         other => panic!("expected AOCL opts, got {other:?}"),
     }
-    assert!(cfg.reqd_work_group_size, "SIMD requires reqd_work_group_size");
+    assert!(
+        cfg.reqd_work_group_size,
+        "SIMD requires reqd_work_group_size"
+    );
 }
 
 #[test]

@@ -2,9 +2,7 @@
 //! platform enumeration through kernel execution, timing and validation,
 //! on all four simulated targets.
 
-use kernelgen::{
-    AccessPattern, DataType, KernelConfig, LoopMode, StreamOp, VectorWidth,
-};
+use kernelgen::{AccessPattern, DataType, KernelConfig, LoopMode, StreamOp, VectorWidth};
 use mpstream_core::{BenchConfig, Runner, StreamLocation};
 use targets::{standard_platforms, TargetId};
 
@@ -42,7 +40,10 @@ fn simulation_is_deterministic() {
         let bc = BenchConfig::copy_of_bytes(1 << 20);
         let m1 = Runner::for_target(target).run(&bc).expect("run 1");
         let m2 = Runner::for_target(target).run(&bc).expect("run 2");
-        assert_eq!(m1.best_wall_ns, m2.best_wall_ns, "{target:?} must be deterministic");
+        assert_eq!(
+            m1.best_wall_ns, m2.best_wall_ns,
+            "{target:?} must be deterministic"
+        );
         assert_eq!(m1.best_kernel_ns, m2.best_kernel_ns);
     }
 }
@@ -117,7 +118,9 @@ fn wider_vectors_help_fpgas_not_required_on_gpu() {
 
 #[test]
 fn host_link_measurement_bounded_by_pcie() {
-    let bc = BenchConfig::copy_of_bytes(16 << 20).with_validation(false).over_link();
+    let bc = BenchConfig::copy_of_bytes(16 << 20)
+        .with_validation(false)
+        .over_link();
     assert_eq!(bc.location, StreamLocation::HostOverLink);
     let m = Runner::for_target(TargetId::Gpu).run(&bc).expect("run");
     // PCIe x16 is ~12 GB/s; the round-trip measurement must sit below it.
@@ -130,12 +133,18 @@ fn fpga_builds_report_synthesis_artifacts() {
     kernel.loop_mode = LoopMode::SingleWorkItemFlat;
     kernel.vector_width = VectorWidth::new(8).expect("allowed");
     for target in [TargetId::FpgaAocl, TargetId::FpgaSdaccel] {
-        let m = Runner::for_target(target).run(&BenchConfig::new(kernel.clone())).expect("run");
+        let m = Runner::for_target(target)
+            .run(&BenchConfig::new(kernel.clone()))
+            .expect("run");
         let fmax = m.fmax_mhz.expect("fpga fmax");
         assert!(fmax > 50.0 && fmax < 400.0, "{target:?} fmax {fmax}");
         let res = m.resources.expect("fpga resources");
         assert!(res.logic > 0);
-        assert!(m.build_log.contains("%"), "synthesis report: {}", m.build_log);
+        assert!(
+            m.build_log.contains("%"),
+            "synthesis report: {}",
+            m.build_log
+        );
     }
 }
 
@@ -150,6 +159,8 @@ fn generated_source_matches_executed_config() {
     assert!(src.contains("int4"));
     assert!(src.contains("opencl_unroll_hint(2)"));
     // And the same config actually runs.
-    let m = Runner::for_target(TargetId::FpgaSdaccel).run(&BenchConfig::new(kernel)).expect("run");
+    let m = Runner::for_target(TargetId::FpgaSdaccel)
+        .run(&BenchConfig::new(kernel))
+        .expect("run");
     assert_eq!(m.validated, Some(true));
 }

@@ -1,0 +1,126 @@
+//! Engine contract tests: the parallel work-list executor must be a
+//! pure optimization — identical results in identical order at any
+//! thread count — and the shared build cache must absorb all repeated
+//! synthesis work.
+
+use kernelgen::{LoopMode, StreamOp};
+use mpstream_core::sweep::sweep_space;
+use mpstream_core::{BenchConfig, Engine, ParamSpace};
+use std::time::Instant;
+use targets::TargetId;
+
+fn aocl_space() -> ParamSpace {
+    ParamSpace::new()
+        .ops([StreamOp::Copy, StreamOp::Triad])
+        .sizes_mb([1, 2])
+        .widths([1, 2, 4, 8, 16])
+        .loop_modes(LoopMode::ALL)
+        .unrolls([1, 2, 4])
+}
+
+fn protocol(k: kernelgen::KernelConfig) -> BenchConfig {
+    BenchConfig::new(k).with_ntimes(2).with_validation(false)
+}
+
+#[test]
+fn parallel_sweep_is_deterministic_and_ordered() {
+    let space = aocl_space();
+    assert!(
+        space.configs().len() >= 64,
+        "need a >=64-point space to exercise the pool, got {}",
+        space.configs().len()
+    );
+
+    let serial = Engine::with_jobs(1);
+    let t0 = Instant::now();
+    let s1 = sweep_space(&serial, TargetId::FpgaAocl, &space, protocol);
+    let serial_wall = t0.elapsed();
+
+    let parallel = Engine::with_jobs(8);
+    let t0 = Instant::now();
+    let s8 = sweep_space(&parallel, TargetId::FpgaAocl, &space, protocol);
+    let parallel_wall = t0.elapsed();
+
+    // Byte-identical ordering: outcome i corresponds to config i of the
+    // space, regardless of which worker ran it.
+    assert_eq!(s1.points.len(), s8.points.len());
+    for (i, (a, b)) in s1.points.iter().zip(&s8.points).enumerate() {
+        assert_eq!(a.config, b.config, "config order diverged at point {i}");
+        assert_eq!(a.config, space.configs()[i], "point {i} not in space order");
+        assert_eq!(a.gbps(), b.gbps(), "bandwidth diverged at point {i}");
+        assert_eq!(
+            a.result.is_ok(),
+            b.result.is_ok(),
+            "status diverged at point {i}"
+        );
+    }
+
+    // The device models are deterministic simulators, so the parallel
+    // speedup is real compute spread across cores. Only assert it where
+    // there *are* cores; single-core CI boxes still get the full
+    // determinism check above and print both timings for the record.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores > 1 {
+        assert!(
+            parallel_wall < serial_wall,
+            "jobs=8 ({parallel_wall:?}) not faster than jobs=1 ({serial_wall:?}) on {cores} cores"
+        );
+    } else {
+        eprintln!(
+            "note: single-core host ({cores} cpu); speedup assertion skipped \
+             (serial {serial_wall:?}, parallel {parallel_wall:?})"
+        );
+    }
+}
+
+#[test]
+fn repeated_sweep_hits_cache_completely() {
+    let space = aocl_space();
+    let engine = Engine::with_jobs(4);
+
+    let first = sweep_space(&engine, TargetId::FpgaAocl, &space, protocol);
+    // Cold cache: every distinct point is a miss, nothing to hit.
+    assert_eq!(first.cache.misses as usize, space.configs().len());
+    assert_eq!(first.cache.hits, 0);
+
+    let second = sweep_space(&engine, TargetId::FpgaAocl, &space, protocol);
+    // Warm cache: the identical sweep synthesizes nothing.
+    assert_eq!(
+        second.cache.misses, 0,
+        "second sweep rebuilt {} kernels",
+        second.cache.misses
+    );
+    assert_eq!(second.cache.hits as usize, space.configs().len());
+    assert_eq!(second.cache.hit_rate(), 1.0);
+
+    // And the measurements themselves are unchanged by cache reuse.
+    for (a, b) in first.points.iter().zip(&second.points) {
+        assert_eq!(a.gbps(), b.gbps());
+    }
+}
+
+#[test]
+fn failed_builds_are_cached_as_outcomes_too() {
+    // Deep-unrolled wide vectors exceed the Stratix V fabric; those
+    // "does not fit" results must be cached like successes so a retry
+    // sweep does not re-synthesize doomed points.
+    let space = ParamSpace::new()
+        .ops([StreamOp::Triad])
+        .sizes_mb([1])
+        .widths([16])
+        .loop_modes([LoopMode::SingleWorkItemFlat])
+        .unrolls([8]);
+    let engine = Engine::with_jobs(2);
+
+    let first = sweep_space(&engine, TargetId::FpgaAocl, &space, protocol);
+    assert!(
+        first.failures() > 0,
+        "expected at least one synthesis failure"
+    );
+
+    let second = sweep_space(&engine, TargetId::FpgaAocl, &space, protocol);
+    assert_eq!(second.cache.misses, 0);
+    assert_eq!(first.failures(), second.failures());
+}

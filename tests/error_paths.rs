@@ -18,7 +18,10 @@ fn zero_length_array_rejected() {
     // The zero-byte buffer allocation fails before the program builds,
     // mirroring OpenCL's CL_INVALID_BUFFER_SIZE.
     let err = Runner::for_target(TargetId::Cpu).run(&BenchConfig::new(kernel));
-    assert!(matches!(err, Err(ClError::InvalidBufferSize { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(ClError::InvalidBufferSize { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -40,7 +43,10 @@ fn oversized_fpga_design_fails_with_utilisation_report() {
     kernel.reqd_work_group_size = true;
     kernel.vector_width = VectorWidth::new(16).expect("allowed");
     kernel.unroll = 4;
-    kernel.vendor = VendorOpts::Aocl(AoclOpts { num_simd_work_items: 16, num_compute_units: 16 });
+    kernel.vendor = VendorOpts::Aocl(AoclOpts {
+        num_simd_work_items: 16,
+        num_compute_units: 16,
+    });
     let err = Runner::for_target(TargetId::FpgaAocl).run(&BenchConfig::new(kernel));
     match err {
         Err(ClError::BuildProgramFailure(log)) => {
@@ -96,7 +102,10 @@ fn mixing_contexts_rejected() {
     let c2 = ctx(TargetId::Cpu);
     let q1 = CommandQueue::new(&c1);
     let buf2 = Buffer::new(&c2, MemFlags::ReadWrite, 64).expect("buffer");
-    assert_eq!(q1.enqueue_write(&buf2, &[0u8; 64]).unwrap_err(), ClError::InvalidContext);
+    assert_eq!(
+        q1.enqueue_write(&buf2, &[0u8; 64]).unwrap_err(),
+        ClError::InvalidContext
+    );
 }
 
 #[test]
@@ -105,7 +114,10 @@ fn missing_second_source_for_add_rejected() {
     let p = Program::build(&c, KernelConfig::baseline(StreamOp::Add, 1024)).expect("build");
     let a = Buffer::new(&c, MemFlags::WriteOnly, 4096).expect("a");
     let b = Buffer::new(&c, MemFlags::ReadOnly, 4096).expect("b");
-    assert!(matches!(Kernel::new(&p, &a, &b, None), Err(ClError::InvalidKernelArgs(_))));
+    assert!(matches!(
+        Kernel::new(&p, &a, &b, None),
+        Err(ClError::InvalidKernelArgs(_))
+    ));
 }
 
 #[test]

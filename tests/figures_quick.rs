@@ -18,7 +18,11 @@ fn all_six_figures_regenerate_without_notes() {
                 s.points
             );
         }
-        assert!(fig.notes.is_empty(), "{id:?} unexpected notes: {:?}", fig.notes);
+        assert!(
+            fig.notes.is_empty(),
+            "{id:?} unexpected notes: {:?}",
+            fig.notes
+        );
     }
 }
 
@@ -53,5 +57,8 @@ fn fig4a_add_and_triad_move_more_bytes_but_similar_rates() {
 #[test]
 fn quick_and_full_options_differ_in_point_count() {
     let quick = run_figure(FigureId::Fig1b, RunOpts::quick());
-    assert!(quick.series[0].points.len() < 5, "quick mode thins the sweep");
+    assert!(
+        quick.series[0].points.len() < 5,
+        "quick mode thins the sweep"
+    );
 }

@@ -1,65 +1,47 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Randomized-but-deterministic tests over the core invariants:
 //! configuration → codegen/stream/interpreter coherence, coalescer
 //! conservation, simulator determinism, and end-to-end validation on
 //! randomly drawn tuning points.
+//!
+//! Each test draws its cases from a fixed-seed [`SplitMix64`], so every
+//! run (and every machine) checks exactly the same points — failures
+//! reproduce by construction, with no dependency on a property-testing
+//! framework.
 
 use kernelgen::{
     access_stream, generate_source, total_accesses, validate, AccessPattern, DataType, ExecPlan,
     KernelConfig, LoopMode, StreamOp, VectorWidth,
 };
 use memsim::{Access, AccessKind, Coalescer, Dram, DramConfig};
-use mpstream_core::{BenchConfig, Runner};
-use proptest::prelude::*;
+use mpstream_core::{BenchConfig, Runner, SplitMix64};
 use std::collections::HashSet;
 use targets::TargetId;
 
-fn arb_op() -> impl Strategy<Value = StreamOp> {
-    prop_oneof![
-        Just(StreamOp::Copy),
-        Just(StreamOp::Scale),
-        Just(StreamOp::Add),
-        Just(StreamOp::Triad)
-    ]
-}
-
-fn arb_dtype() -> impl Strategy<Value = DataType> {
-    prop_oneof![Just(DataType::I32), Just(DataType::F64)]
-}
-
-fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
-    prop_oneof![
-        Just(AccessPattern::Contiguous),
-        Just(AccessPattern::ColMajor { cols: None }),
-        (1u32..=5).prop_map(|e| AccessPattern::ColMajor { cols: Some(1 << e) }),
-        (1u32..=5).prop_map(|e| AccessPattern::Strided { stride: 1 << e }),
-    ]
-}
-
-fn arb_loop_mode() -> impl Strategy<Value = LoopMode> {
-    prop_oneof![
-        Just(LoopMode::NdRange),
-        Just(LoopMode::SingleWorkItemFlat),
-        Just(LoopMode::SingleWorkItemNested)
-    ]
-}
-
-/// Random valid configurations: power-of-two sizes with power-of-two
-/// widths/strides/unrolls, so divisibility holds by construction —
-/// `validate` is still asserted.
-fn arb_config() -> impl Strategy<Value = KernelConfig> {
-    (
-        arb_op(),
-        arb_dtype(),
-        10u32..=14, // n_words = 2^10 .. 2^14
-        prop::sample::select(&VectorWidth::ALLOWED[..]),
-        arb_pattern(),
-        arb_loop_mode(),
-        prop::sample::select(vec![1u32, 2, 4, 8]),
-    )
-        .prop_map(|(op, dtype, n_exp, width, pattern, loop_mode, unroll)| KernelConfig {
+/// Draw a random valid configuration: power-of-two sizes with
+/// power-of-two widths/strides/unrolls, so divisibility holds by
+/// construction — `validate` is still asserted via the retry loop.
+fn sample_config(rng: &mut SplitMix64) -> KernelConfig {
+    loop {
+        let op = StreamOp::ALL[rng.gen_index(StreamOp::ALL.len())];
+        let dtype = [DataType::I32, DataType::F64][rng.gen_index(2)];
+        let n_words = 1u64 << (10 + rng.gen_index(5)); // 2^10 .. 2^14
+        let width = VectorWidth::ALLOWED[rng.gen_index(VectorWidth::ALLOWED.len())];
+        let pattern = match rng.gen_index(4) {
+            0 => AccessPattern::Contiguous,
+            1 => AccessPattern::ColMajor { cols: None },
+            2 => AccessPattern::ColMajor {
+                cols: Some(1 << (1 + rng.gen_index(5))),
+            },
+            _ => AccessPattern::Strided {
+                stride: 1 << (1 + rng.gen_index(5)),
+            },
+        };
+        let loop_mode = LoopMode::ALL[rng.gen_index(LoopMode::ALL.len())];
+        let unroll = [1u32, 2, 4, 8][rng.gen_index(4)];
+        let cfg = KernelConfig {
             op,
             dtype,
-            n_words: 1 << n_exp,
+            n_words,
             vector_width: VectorWidth::new(width).expect("allowed"),
             pattern,
             loop_mode,
@@ -68,15 +50,18 @@ fn arb_config() -> impl Strategy<Value = KernelConfig> {
             reqd_work_group_size: false,
             vendor: Default::default(),
             q: 3.0,
-        })
-        .prop_filter("valid configuration", |cfg| validate(cfg).is_ok())
+        };
+        if validate(&cfg).is_ok() {
+            return cfg;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn generated_source_is_well_formed(cfg in arb_config()) {
+#[test]
+fn generated_source_is_well_formed() {
+    let mut rng = SplitMix64::new(0x5EED_0001);
+    for _ in 0..64 {
+        let cfg = sample_config(&mut rng);
         let src = generate_source(&cfg);
         let mut depth = 0i64;
         for ch in src.chars() {
@@ -85,23 +70,27 @@ proptest! {
                 '}' => depth -= 1,
                 _ => {}
             }
-            prop_assert!(depth >= 0, "unbalanced braces:\n{}", src);
+            assert!(depth >= 0, "unbalanced braces:\n{src}");
         }
-        prop_assert_eq!(depth, 0);
+        assert_eq!(depth, 0);
         let entry = format!("mp_{}", cfg.op.name());
-        prop_assert!(src.contains(&entry));
+        assert!(src.contains(&entry));
         if cfg.dtype == DataType::F64 {
-            prop_assert!(src.contains("cl_khr_fp64"));
+            assert!(src.contains("cl_khr_fp64"));
         }
     }
+}
 
-    #[test]
-    fn access_stream_is_complete_and_in_bounds(cfg in arb_config(), lane_exp in 0u32..6) {
+#[test]
+fn access_stream_is_complete_and_in_bounds() {
+    let mut rng = SplitMix64::new(0x5EED_0002);
+    for _ in 0..64 {
+        let cfg = sample_config(&mut rng);
+        let lane_group = 1u32 << rng.gen_index(6);
         let bytes = cfg.array_bytes();
         let plan = ExecPlan::new(cfg.clone(), 0, bytes, 2 * bytes);
-        let lane_group = 1 << lane_exp;
         let accs: Vec<_> = access_stream(&plan, lane_group).collect();
-        prop_assert_eq!(accs.len() as u64, total_accesses(&cfg));
+        assert_eq!(accs.len() as u64, total_accesses(&cfg));
 
         // Every access lies inside exactly one array span, and per-array
         // the touched offsets cover the array exactly once.
@@ -115,17 +104,21 @@ proptest! {
                 kernelgen::access::AccessKind::Read => (&mut reads_c, 2 * bytes),
             };
             let off = a.addr - base;
-            prop_assert!(off + a.bytes as u64 <= bytes, "access beyond array: {:?}", a);
-            prop_assert!(set.insert(off), "duplicate access at offset {}", off);
+            assert!(off + a.bytes as u64 <= bytes, "access beyond array: {a:?}");
+            assert!(set.insert(off), "duplicate access at offset {off}");
         }
         let vecs = cfg.n_vectors() as usize;
-        prop_assert_eq!(reads_b.len(), vecs);
-        prop_assert_eq!(writes_a.len(), vecs);
-        prop_assert_eq!(reads_c.len(), if cfg.op.uses_c() { vecs } else { 0 });
+        assert_eq!(reads_b.len(), vecs);
+        assert_eq!(writes_a.len(), vecs);
+        assert_eq!(reads_c.len(), if cfg.op.uses_c() { vecs } else { 0 });
     }
+}
 
-    #[test]
-    fn interpreter_matches_elementwise_reference(cfg in arb_config()) {
+#[test]
+fn interpreter_matches_elementwise_reference() {
+    let mut rng = SplitMix64::new(0x5EED_0003);
+    for _ in 0..64 {
+        let cfg = sample_config(&mut rng);
         let n = cfg.n_words as usize;
         let w = cfg.dtype.word_bytes() as usize;
         // Deterministic pseudo-random sources.
@@ -156,87 +149,106 @@ proptest! {
                 StreamOp::Triad => bv + 3.0 * cv,
             };
             let got = match cfg.dtype {
-                DataType::I32 => i32::from_ne_bytes(a[i * 4..i * 4 + 4].try_into().expect("4")) as f64,
+                DataType::I32 => {
+                    i32::from_ne_bytes(a[i * 4..i * 4 + 4].try_into().expect("4")) as f64
+                }
                 DataType::F64 => f64::from_ne_bytes(a[i * 8..i * 8 + 8].try_into().expect("8")),
             };
-            prop_assert_eq!(got, expect, "element {} of {:?}", i, cfg.op);
+            assert_eq!(got, expect, "element {} of {:?}", i, cfg.op);
         }
     }
+}
 
-    #[test]
-    fn extent_coalescer_conserves_bytes_and_order(
-        offsets in prop::collection::vec(0u64..10_000, 1..200),
-        window in 1usize..64,
-        cap_exp in 5u32..11,
-    ) {
-        let accesses: Vec<Access> = offsets.iter().map(|&o| Access::read(o * 4, 4)).collect();
+#[test]
+fn extent_coalescer_conserves_bytes_and_order() {
+    let mut rng = SplitMix64::new(0x5EED_0004);
+    for _ in 0..64 {
+        let len = 1 + rng.gen_index(199);
+        let accesses: Vec<Access> = (0..len)
+            .map(|_| Access::read(rng.gen_index(10_000) as u64 * 4, 4))
+            .collect();
+        let window = 1 + rng.gen_index(63);
+        let cap_exp = 5 + rng.gen_index(6) as u32;
         let co = Coalescer::extent(1 << cap_exp, window);
         let out: Vec<Access> = co.coalesce(accesses.clone()).collect();
         // Exact byte conservation (extent mode never pads).
         let in_bytes: u64 = accesses.iter().map(|a| a.bytes as u64).sum();
         let out_bytes: u64 = out.iter().map(|a| a.bytes as u64).sum();
-        prop_assert_eq!(in_bytes, out_bytes);
+        assert_eq!(in_bytes, out_bytes);
         // No transaction exceeds the burst cap.
-        prop_assert!(out.iter().all(|a| a.bytes <= 1 << cap_exp));
+        assert!(out.iter().all(|a| a.bytes <= 1 << cap_exp));
     }
+}
 
-    #[test]
-    fn aligned_coalescer_covers_every_request(
-        offsets in prop::collection::vec(0u64..10_000, 1..100),
-    ) {
-        let accesses: Vec<Access> = offsets.iter().map(|&o| Access::read(o * 4, 4)).collect();
+#[test]
+fn aligned_coalescer_covers_every_request() {
+    let mut rng = SplitMix64::new(0x5EED_0005);
+    for _ in 0..64 {
+        let len = 1 + rng.gen_index(99);
+        let accesses: Vec<Access> = (0..len)
+            .map(|_| Access::read(rng.gen_index(10_000) as u64 * 4, 4))
+            .collect();
         let co = Coalescer::new(128, 32);
         let out: Vec<Access> = co.coalesce(accesses.clone()).collect();
         for a in &accesses {
-            prop_assert!(
+            assert!(
                 out.iter().any(|s| s.addr <= a.addr
                     && a.addr + a.bytes as u64 <= s.addr + s.bytes as u64
                     && s.kind == a.kind),
-                "request {:?} not covered", a
+                "request {a:?} not covered"
             );
         }
         // Aligned mode emits whole segments only.
-        prop_assert!(out.iter().all(|s| s.bytes == 128 && s.addr % 128 == 0));
+        assert!(out.iter().all(|s| s.bytes == 128 && s.addr % 128 == 0));
     }
+}
 
-    #[test]
-    fn dram_completion_never_precedes_issue(
-        addr in 0u64..(1 << 24),
-        bytes in prop::sample::select(vec![4u32, 16, 64, 256, 1024]),
-        at in 0u64..100_000,
-        write in any::<bool>(),
-    ) {
+#[test]
+fn dram_completion_never_precedes_issue() {
+    let mut rng = SplitMix64::new(0x5EED_0006);
+    for _ in 0..64 {
+        let addr = rng.gen_index(1 << 24) as u64;
+        let bytes = [4u32, 16, 64, 256, 1024][rng.gen_index(5)];
+        let at = rng.gen_index(100_000) as u64;
+        let write = rng.next_u64() & 1 == 1;
         let mut d = Dram::new(DramConfig::ddr3_quad_channel());
         let acc = Access {
             addr,
             bytes,
-            kind: if write { AccessKind::Write } else { AccessKind::Read },
+            kind: if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
         };
         let (start, done) = d.service(at, acc);
-        prop_assert!(done > at, "done {} must be after issue {}", done, at);
-        prop_assert!(done > start || bytes == 0);
+        assert!(done > at, "done {done} must be after issue {at}");
+        assert!(done > start || bytes == 0);
     }
 }
 
-proptest! {
+#[test]
+fn random_configs_validate_end_to_end_on_cpu_and_aocl() {
     // End-to-end runs are heavier: fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn random_configs_validate_end_to_end_on_cpu_and_aocl(cfg in arb_config()) {
+    let mut rng = SplitMix64::new(0x5EED_0007);
+    for _ in 0..12 {
+        let cfg = sample_config(&mut rng);
         for target in [TargetId::Cpu, TargetId::FpgaAocl] {
             match Runner::for_target(target).run(&BenchConfig::new(cfg.clone()).with_ntimes(1)) {
                 Ok(m) => {
-                    prop_assert_eq!(m.validated, Some(true), "{:?}", target);
-                    prop_assert!(m.gbps().is_finite() && m.gbps() > 0.0);
+                    assert_eq!(m.validated, Some(true), "{target:?}");
+                    assert!(m.gbps().is_finite() && m.gbps() > 0.0);
                 }
                 // Wide-vector x deep-unroll points legitimately exceed
                 // the Stratix V's logic; synthesis failure is a valid
                 // sweep outcome, any other error is a bug.
                 Err(mpcl::ClError::BuildProgramFailure(log)) => {
-                    prop_assert!(log.contains("does not fit"), "unexpected build failure: {}", log);
+                    assert!(
+                        log.contains("does not fit"),
+                        "unexpected build failure: {log}"
+                    );
                 }
-                Err(other) => prop_assert!(false, "unexpected error: {}", other),
+                Err(other) => panic!("unexpected error: {other}"),
             }
         }
     }
