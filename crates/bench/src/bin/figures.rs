@@ -3,13 +3,20 @@
 //! ```text
 //! figures [all|fig1a|fig1b|fig2|fig3|fig4a|fig4b]...
 //!         [--quick] [--jobs N] [--csv-dir DIR] [--write-experiments PATH]
+//!         [--faults SPEC] [--fault-seed N] [--retries N]
 //! ```
 //!
 //! Prints each figure as a table + ASCII log-log chart, compares it
 //! against the paper's plotted values, and (optionally) writes CSVs and
 //! an EXPERIMENTS.md with per-figure paper-vs-measured records.
+//!
+//! `--faults` (or the `MPSTREAM_FAULTS` environment variable) injects
+//! deterministic transient faults into every sweep; with the default
+//! retry budget the figures should come out identical to a fault-free
+//! run — a standing end-to-end check of the resilience layer.
 
 use mpstream_bench::{compare_figure, comparison_markdown, render_figure};
+use mpstream_core::engine::{env_fault_seed, env_fault_spec, env_retries};
 use mpstream_core::experiments::{run_figure, RunOpts};
 use mpstream_core::paperdata::Shape;
 use mpstream_core::{FigureId, Table};
@@ -20,7 +27,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: figures [all|fig1a|fig1b|fig2|fig3|fig4a|fig4b]... \
-         [--quick] [--jobs N] [--csv-dir DIR] [--write-experiments PATH]"
+         [--quick] [--jobs N] [--csv-dir DIR] [--write-experiments PATH] \
+         [--faults SPEC] [--fault-seed N] [--retries N]"
     );
     std::process::exit(2);
 }
@@ -31,6 +39,9 @@ fn main() -> ExitCode {
     let mut jobs: Option<usize> = None;
     let mut csv_dir: Option<PathBuf> = None;
     let mut experiments_path: Option<PathBuf> = None;
+    let mut faults = env_fault_spec();
+    let mut fault_seed = env_fault_seed();
+    let mut retries = env_retries();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,6 +57,25 @@ fn main() -> ExitCode {
             "--csv-dir" => csv_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--write-experiments" => {
                 experiments_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--faults" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                faults = Some(mpcl::FaultSpec::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("[figures] {e}");
+                    usage()
+                }));
+            }
+            "--fault-seed" => {
+                fault_seed = match args.next().and_then(|v| v.parse().ok()) {
+                    None => usage(),
+                    n => n,
+                }
+            }
+            "--retries" => {
+                retries = match args.next().and_then(|v| v.parse().ok()) {
+                    None => usage(),
+                    n => n,
+                }
             }
             other => match FigureId::from_name(other) {
                 Some(id) => ids.push(id),
@@ -63,6 +93,16 @@ fn main() -> ExitCode {
     };
     if let Some(n) = jobs {
         opts = opts.with_jobs(n);
+    }
+    if let Some(spec) = faults {
+        opts = opts.with_faults(spec);
+        eprintln!("[figures] injecting faults: {spec:?}");
+    }
+    if let Some(seed) = fault_seed {
+        opts = opts.with_fault_seed(seed);
+    }
+    if let Some(r) = retries {
+        opts = opts.with_retries(r);
     }
 
     let mut experiments_md = String::from(EXPERIMENTS_HEADER);

@@ -1,0 +1,563 @@
+//! Sweep checkpointing: persist completed [`Outcome`]s so a killed
+//! campaign resumes instead of restarting.
+//!
+//! An FPGA sweep is hours of synthesis; losing a night of results to an
+//! OOM-killed host is the failure mode this module removes. The format
+//! is JSON-lines — one flat JSON object per completed configuration,
+//! appended and flushed as workers finish (out of input order; the
+//! sweep layer re-establishes order on resume). Append-only means a
+//! `kill -9` can at worst truncate the final line; the loader skips an
+//! unparseable trailing record rather than rejecting the file.
+//!
+//! No external serialization crate exists in-tree, so the writer and the
+//! (deliberately minimal, flat-objects-only) parser live here. Records
+//! are keyed by the configuration's exhaustive `Debug` rendering — the
+//! same keying the build cache uses — and carry every [`Measurement`]
+//! field, or the error as a `(code, detail)` pair that
+//! [`ClError::from_parts`] reverses.
+
+use crate::engine::Outcome;
+use crate::runner::Measurement;
+use kernelgen::KernelConfig;
+use mpcl::{ClError, ResourceUsage};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A sweep checkpoint file: completed outcomes loaded at open, new ones
+/// appended (and flushed) as they are recorded.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    file: Mutex<File>,
+    loaded: HashMap<String, Outcome>,
+}
+
+/// The checkpoint key of a configuration (its exhaustive `Debug`
+/// rendering, as the build cache uses).
+pub fn config_key(cfg: &KernelConfig) -> String {
+    format!("{cfg:?}")
+}
+
+impl Checkpoint {
+    /// Start a fresh checkpoint at `path`, truncating any existing file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(Checkpoint {
+            path,
+            file: Mutex::new(file),
+            loaded: HashMap::new(),
+        })
+    }
+
+    /// Open `path` for resumption: previously recorded outcomes become
+    /// available via [`lookup`](Self::lookup) and new ones append after
+    /// them. A missing file starts empty; a corrupt trailing line (the
+    /// signature of a mid-write kill) is dropped.
+    pub fn resume(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut loaded = HashMap::new();
+        match File::open(&path) {
+            Ok(f) => {
+                for line in BufReader::new(f).lines() {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if let Some((key, outcome)) = parse_record(&line) {
+                        loaded.insert(key, outcome);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Checkpoint {
+            path,
+            file: Mutex::new(file),
+            loaded,
+        })
+    }
+
+    /// The file backing this checkpoint.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of outcomes loaded from disk at open.
+    pub fn len(&self) -> usize {
+        self.loaded.len()
+    }
+
+    /// True when nothing was loaded from disk.
+    pub fn is_empty(&self) -> bool {
+        self.loaded.is_empty()
+    }
+
+    /// The previously completed outcome for `cfg`, if recorded. The
+    /// stored result is re-keyed to `cfg` (the file does not carry the
+    /// configuration itself, only its key).
+    pub fn lookup(&self, cfg: &KernelConfig) -> Option<Outcome> {
+        self.loaded.get(&config_key(cfg)).map(|o| Outcome {
+            config: cfg.clone(),
+            result: o.result.clone(),
+            retries: o.retries,
+        })
+    }
+
+    /// Append `outcome` and flush, so a kill right after loses nothing.
+    pub fn record(&self, outcome: &Outcome) -> std::io::Result<()> {
+        let line = render_record(outcome);
+        let mut file = self.file.lock().expect("checkpoint mutex poisoned");
+        writeln!(file, "{line}")?;
+        file.flush()
+    }
+}
+
+/// Render one outcome as a flat JSON object (one line).
+fn render_record(o: &Outcome) -> String {
+    let mut w = JsonLine::new();
+    w.str_field("key", &config_key(&o.config));
+    w.raw_field("retries", &o.retries.to_string());
+    match &o.result {
+        Ok(m) => {
+            w.str_field("status", "ok");
+            w.str_field("device", &m.device);
+            w.raw_field("bytes_moved", &m.bytes_moved.to_string());
+            w.raw_field("best_wall_ns", &fmt_f64(m.best_wall_ns));
+            w.raw_field("avg_wall_ns", &fmt_f64(m.avg_wall_ns));
+            w.raw_field("best_kernel_ns", &fmt_f64(m.best_kernel_ns));
+            w.raw_field(
+                "validated",
+                match m.validated {
+                    Some(true) => "true",
+                    Some(false) => "false",
+                    None => "null",
+                },
+            );
+            w.raw_field("dram_bytes", &m.dram_bytes_per_launch.to_string());
+            w.raw_field(
+                "energy_j",
+                &m.energy_j.map(fmt_f64).unwrap_or_else(|| "null".into()),
+            );
+            w.raw_field(
+                "fmax_mhz",
+                &m.fmax_mhz.map(fmt_f64).unwrap_or_else(|| "null".into()),
+            );
+            let res = |f: fn(&ResourceUsage) -> u64| {
+                m.resources
+                    .as_ref()
+                    .map(|r| f(r).to_string())
+                    .unwrap_or_else(|| "null".into())
+            };
+            w.raw_field("logic", &res(|r| r.logic));
+            w.raw_field("bram", &res(|r| r.bram));
+            w.raw_field("dsp", &res(|r| r.dsp));
+            w.str_field("build_log", &m.build_log);
+        }
+        Err(e) => {
+            w.str_field("status", "err");
+            w.str_field("code", e.code());
+            w.str_field("msg", &e.detail());
+        }
+    }
+    w.finish()
+}
+
+/// Parse one record line back into `(key, outcome)`; `None` when the
+/// line is corrupt (mid-write kill) or incomplete.
+fn parse_record(line: &str) -> Option<(String, Outcome)> {
+    let fields = parse_flat_object(line)?;
+    let str_of = |k: &str| match fields.get(k)? {
+        JsonValue::Str(s) => Some(s.clone()),
+        _ => None,
+    };
+    let raw_of = |k: &str| match fields.get(k)? {
+        JsonValue::Raw(s) => Some(s.as_str()),
+        _ => None,
+    };
+    let key = str_of("key")?;
+    let retries: u32 = raw_of("retries")?.parse().ok()?;
+    let result = match str_of("status")?.as_str() {
+        "ok" => {
+            let opt_f64 = |k: &str| -> Option<Option<f64>> {
+                match raw_of(k)? {
+                    "null" => Some(None),
+                    v => Some(Some(v.parse().ok()?)),
+                }
+            };
+            let opt_u64 = |k: &str| -> Option<Option<u64>> {
+                match raw_of(k)? {
+                    "null" => Some(None),
+                    v => Some(Some(v.parse().ok()?)),
+                }
+            };
+            let resources = match (opt_u64("logic")?, opt_u64("bram")?, opt_u64("dsp")?) {
+                (Some(logic), Some(bram), Some(dsp)) => Some(ResourceUsage { logic, bram, dsp }),
+                _ => None,
+            };
+            Ok(Measurement {
+                device: str_of("device")?,
+                bytes_moved: raw_of("bytes_moved")?.parse().ok()?,
+                best_wall_ns: raw_of("best_wall_ns")?.parse().ok()?,
+                avg_wall_ns: raw_of("avg_wall_ns")?.parse().ok()?,
+                best_kernel_ns: raw_of("best_kernel_ns")?.parse().ok()?,
+                validated: match raw_of("validated")? {
+                    "true" => Some(true),
+                    "false" => Some(false),
+                    "null" => None,
+                    _ => return None,
+                },
+                dram_bytes_per_launch: raw_of("dram_bytes")?.parse().ok()?,
+                energy_j: opt_f64("energy_j")?,
+                fmax_mhz: opt_f64("fmax_mhz")?,
+                resources,
+                build_log: str_of("build_log")?,
+            })
+        }
+        "err" => Err(ClError::from_parts(&str_of("code")?, &str_of("msg")?)),
+        _ => return None,
+    };
+    Some((
+        key,
+        Outcome {
+            // The config is reconstructed by `lookup` from the caller's
+            // side of the key; a placeholder sits here until then.
+            config: KernelConfig::baseline(kernelgen::StreamOp::Copy, 1),
+            result,
+            retries,
+        },
+    ))
+}
+
+/// Format an f64 so `parse::<f64>` round-trips it (Rust's shortest
+/// representation does).
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Incremental writer for one flat JSON object.
+struct JsonLine {
+    out: String,
+}
+
+impl JsonLine {
+    fn new() -> Self {
+        JsonLine { out: "{".into() }
+    }
+
+    fn sep(&mut self) {
+        if self.out.len() > 1 {
+            self.out.push(',');
+        }
+    }
+
+    fn str_field(&mut self, key: &str, value: &str) {
+        self.sep();
+        self.out.push('"');
+        self.out.push_str(key);
+        self.out.push_str("\":\"");
+        self.out.push_str(&escape(value));
+        self.out.push('"');
+    }
+
+    /// A field whose value is already valid JSON (number, bool, null).
+    fn raw_field(&mut self, key: &str, value: &str) {
+        self.sep();
+        self.out.push('"');
+        self.out.push_str(key);
+        self.out.push_str("\":");
+        self.out.push_str(value);
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Str(String),
+    /// A non-string scalar, kept raw: number, `true`/`false`, `null`.
+    Raw(String),
+}
+
+/// Parse a single-line flat JSON object (string/scalar values only — the
+/// only shape this module writes). Returns `None` on any malformation.
+fn parse_flat_object(line: &str) -> Option<HashMap<String, JsonValue>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = HashMap::new();
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+                continue;
+            }
+            '"' => {}
+            _ => return None,
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let value = if chars.peek() == Some(&'"') {
+            JsonValue::Str(parse_string(&mut chars)?)
+        } else {
+            let mut raw = String::new();
+            while let Some(&c) = chars.peek() {
+                if c == ',' || c == '}' {
+                    break;
+                }
+                raw.push(c);
+                chars.next();
+            }
+            let raw = raw.trim().to_string();
+            if raw.is_empty() {
+                return None;
+            }
+            JsonValue::Raw(raw)
+        };
+        fields.insert(key, value);
+    }
+    skip_ws(&mut chars);
+    chars.next().is_none().then_some(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).map_while(|_| chars.next()).collect();
+                    if hex.len() != 4 {
+                        return None;
+                    }
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernelgen::StreamOp;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let n = UNIQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "mpstream-ckpt-{tag}-{}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn sample_ok() -> Outcome {
+        let cfg = KernelConfig::baseline(StreamOp::Triad, 4096);
+        let mut m = Measurement::synthetic(42.5);
+        m.device = "Stratix V (sim)".into();
+        m.validated = Some(true);
+        m.energy_j = Some(0.125);
+        m.fmax_mhz = Some(287.5);
+        m.resources = Some(ResourceUsage {
+            logic: 12345,
+            bram: 67,
+            dsp: 8,
+        });
+        m.build_log = "line1\nline2 \"quoted\" \\slash\ttab".into();
+        Outcome {
+            config: cfg,
+            result: Ok(m),
+            retries: 2,
+        }
+    }
+
+    fn sample_err() -> Outcome {
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 1024);
+        Outcome {
+            config: cfg,
+            result: Err(ClError::BuildProgramFailure("ALM 140%\nover".into())),
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn record_and_resume_round_trips_ok_and_err() {
+        let path = temp_path("roundtrip");
+        {
+            let cp = Checkpoint::create(&path).unwrap();
+            cp.record(&sample_ok()).unwrap();
+            cp.record(&sample_err()).unwrap();
+            assert_eq!(cp.len(), 0, "create starts empty");
+        }
+        let cp = Checkpoint::resume(&path).unwrap();
+        assert_eq!(cp.len(), 2);
+
+        let ok = cp.lookup(&sample_ok().config).expect("recorded");
+        assert_eq!(ok.retries, 2);
+        let (want, got) = (sample_ok().result.unwrap(), ok.result.unwrap());
+        assert_eq!(got.device, want.device);
+        assert_eq!(got.bytes_moved, want.bytes_moved);
+        assert_eq!(got.best_wall_ns, want.best_wall_ns);
+        assert_eq!(got.avg_wall_ns, want.avg_wall_ns);
+        assert_eq!(got.best_kernel_ns, want.best_kernel_ns);
+        assert_eq!(got.validated, want.validated);
+        assert_eq!(got.dram_bytes_per_launch, want.dram_bytes_per_launch);
+        assert_eq!(got.energy_j, want.energy_j);
+        assert_eq!(got.fmax_mhz, want.fmax_mhz);
+        assert_eq!(got.resources, want.resources);
+        assert_eq!(got.build_log, want.build_log);
+
+        let err = cp.lookup(&sample_err().config).expect("recorded");
+        assert_eq!(
+            err.result,
+            Err(ClError::BuildProgramFailure("ALM 140%\nover".into()))
+        );
+        assert_eq!(err.config, sample_err().config, "lookup re-keys config");
+
+        let other = KernelConfig::baseline(StreamOp::Scale, 1024);
+        assert!(cp.lookup(&other).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_trailing_line_is_dropped() {
+        let path = temp_path("corrupt");
+        {
+            let cp = Checkpoint::create(&path).unwrap();
+            cp.record(&sample_ok()).unwrap();
+        }
+        // Simulate a mid-write kill: append half a record.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"key\":\"half-writ").unwrap();
+        }
+        let cp = Checkpoint::resume(&path).unwrap();
+        assert_eq!(cp.len(), 1, "good record kept, torn record dropped");
+        assert!(cp.lookup(&sample_ok().config).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_missing_file_starts_empty_and_appends() {
+        let path = temp_path("fresh");
+        std::fs::remove_file(&path).ok();
+        let cp = Checkpoint::resume(&path).unwrap();
+        assert!(cp.is_empty());
+        cp.record(&sample_err()).unwrap();
+        drop(cp);
+        let cp = Checkpoint::resume(&path).unwrap();
+        assert_eq!(cp.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_truncates_previous_contents() {
+        let path = temp_path("truncate");
+        {
+            let cp = Checkpoint::create(&path).unwrap();
+            cp.record(&sample_ok()).unwrap();
+        }
+        {
+            let _cp = Checkpoint::create(&path).unwrap();
+        }
+        let cp = Checkpoint::resume(&path).unwrap();
+        assert!(cp.is_empty(), "create starts over");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last_record() {
+        let path = temp_path("dup");
+        {
+            let cp = Checkpoint::create(&path).unwrap();
+            cp.record(&sample_err()).unwrap();
+            let mut retried = sample_err();
+            retried.result = Ok(Measurement::synthetic(9.0));
+            retried.retries = 1;
+            cp.record(&retried).unwrap();
+        }
+        let cp = Checkpoint::resume(&path).unwrap();
+        assert_eq!(cp.len(), 1);
+        let o = cp.lookup(&sample_err().config).unwrap();
+        assert!(o.result.is_ok(), "later record wins");
+        assert_eq!(o.retries, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flat_object_parser_rejects_garbage() {
+        assert!(parse_flat_object("").is_none());
+        assert!(parse_flat_object("not json").is_none());
+        assert!(parse_flat_object("{\"a\":1").is_none());
+        assert!(parse_flat_object("{\"a\"}").is_none());
+        assert!(parse_flat_object("{\"a\":1} trailing").is_none());
+        let ok = parse_flat_object("{\"a\": 1, \"b\":\"x\", \"c\":null}").unwrap();
+        assert_eq!(ok["a"], JsonValue::Raw("1".into()));
+        assert_eq!(ok["b"], JsonValue::Str("x".into()));
+        assert_eq!(ok["c"], JsonValue::Raw("null".into()));
+    }
+
+    #[test]
+    fn escape_round_trips_control_chars() {
+        let nasty = "a\"b\\c\nd\te\r\u{1}end";
+        let line = format!("{{\"k\":\"{}\"}}", escape(nasty));
+        let parsed = parse_flat_object(&line).unwrap();
+        assert_eq!(parsed["k"], JsonValue::Str(nasty.into()));
+    }
+}

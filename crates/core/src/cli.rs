@@ -3,18 +3,40 @@
 //! argument grammar and execution are unit-testable. The `mpstream`
 //! binary in the workspace root is a thin wrapper.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::BenchConfig;
-use crate::engine::{default_jobs, Engine};
+use crate::engine::{
+    default_jobs, env_fault_seed, env_fault_spec, env_retries, Engine, ResiliencePolicy,
+    DEFAULT_FAULT_RETRIES, DEFAULT_FAULT_SEED,
+};
 use crate::report::Table;
 use crate::runner::Runner;
+use crate::space::ParamSpace;
+use crate::sweep::{sweep_space, sweep_space_checkpointed};
 use kernelgen::{
     AccessPattern, AoclOpts, DataType, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts,
 };
+use mpcl::{FaultPlan, FaultSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 use targets::TargetId;
+
+/// What the request asks for: a one-shot benchmark run or a sweep over
+/// vector widths and unroll factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CliMode {
+    /// Run each requested kernel once at the given tuning point.
+    Run,
+    /// Sweep the cartesian product of `--vectors` x `--unrolls`.
+    Sweep,
+}
 
 /// A parsed command-line request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CliRequest {
+    /// Run or sweep (the `sweep` subcommand).
+    pub mode: CliMode,
     /// Target to run on.
     pub target: TargetId,
     /// Kernels to run (default: all four).
@@ -44,11 +66,31 @@ pub struct CliRequest {
     pub csv: bool,
     /// Print the generated OpenCL kernel source instead of running.
     pub show_kernel: bool,
+    /// Vector widths swept in sweep mode.
+    pub widths: Vec<u32>,
+    /// Unroll factors swept in sweep mode.
+    pub unrolls: Vec<u32>,
+    /// Fault-injection spec (`--faults`; falls back to `MPSTREAM_FAULTS`).
+    pub faults: Option<FaultSpec>,
+    /// Fault-plan seed (`--fault-seed`; falls back to
+    /// `MPSTREAM_FAULT_SEED`, then [`DEFAULT_FAULT_SEED`]).
+    pub fault_seed: Option<u64>,
+    /// Per-config retry budget (`--retries`; falls back to
+    /// `MPSTREAM_RETRIES`, then [`DEFAULT_FAULT_RETRIES`] when faults are
+    /// enabled, else 0).
+    pub retries: Option<u32>,
+    /// Per-config deadline bounding retries, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Record finished sweep points to this JSONL checkpoint file.
+    pub checkpoint: Option<PathBuf>,
+    /// Skip sweep points already present in `--checkpoint`.
+    pub resume: bool,
 }
 
 impl Default for CliRequest {
     fn default() -> Self {
         CliRequest {
+            mode: CliMode::Run,
             target: TargetId::Cpu,
             ops: StreamOp::ALL.to_vec(),
             size_bytes: 4 << 20,
@@ -63,13 +105,23 @@ impl Default for CliRequest {
             no_validate: false,
             csv: false,
             show_kernel: false,
+            widths: vec![1, 2, 4, 8, 16],
+            unrolls: vec![1],
+            faults: None,
+            fault_seed: None,
+            retries: None,
+            deadline_ms: None,
+            checkpoint: None,
+            resume: false,
         }
     }
 }
 
 /// The usage string printed on `--help` or a parse error.
 pub const USAGE: &str = "\
-usage: mpstream [options]
+usage: mpstream [sweep] [options]
+  sweep                             sweep --vectors x --unrolls instead of
+                                    running each kernel once
   --target <aocl|sdaccel|cpu|gpu>   device to run on (default cpu)
   --kernel <copy|scale|add|triad>   kernel (repeatable; default all four)
   --size <N[K|M|G]>                 bytes per array (default 4M)
@@ -89,6 +141,23 @@ usage: mpstream [options]
   --csv                             CSV output
   --show-kernel                     print the generated OpenCL kernel
   --list-devices                    list the simulated platforms
+  --vectors <a,b,..>                sweep mode: vector widths to sweep
+                                    (default 1,2,4,8,16)
+  --unrolls <a,b,..>                sweep mode: unroll factors to sweep
+                                    (default 1)
+  --faults <spec>                   inject deterministic faults, e.g.
+                                    build=0.2,timeout=0.1,lost=0.05,bitflip=0.01
+                                    (default: MPSTREAM_FAULTS env var)
+  --fault-seed <N>                  fault-plan seed, decimal or 0x-hex
+                                    (default: MPSTREAM_FAULT_SEED, else 0x5EED)
+  --retries <N>                     per-config retry budget for transient
+                                    faults (default: MPSTREAM_RETRIES, else 3
+                                    when faults are on, else 0)
+  --deadline-ms <N>                 per-config deadline bounding retries
+  --checkpoint <path>               sweep mode: record finished points to a
+                                    JSONL file as workers complete
+  --resume                          sweep mode: skip points already in the
+                                    --checkpoint file
   --help                            this text";
 
 /// Parse a size argument like `4M`, `512K`, `1G`, `8192`.
@@ -112,11 +181,39 @@ pub fn parse_size(s: &str) -> Result<u64, String> {
     Err(format!("invalid size '{s}' (try 4M, 512K, 1G){}", ""))
 }
 
+/// Parse a comma-separated list of positive integers (`--vectors`,
+/// `--unrolls`).
+fn parse_u32_list(v: &str, flag: &str) -> Result<Vec<u32>, String> {
+    let parsed: Result<Vec<u32>, _> = v.split(',').map(|t| t.trim().parse::<u32>()).collect();
+    match parsed {
+        Ok(list) if !list.is_empty() && list.iter().all(|&n| n > 0) => Ok(list),
+        _ => Err(format!(
+            "invalid {flag} '{v}' (comma-separated positive integers)"
+        )),
+    }
+}
+
+/// Parse a u64 that may be written in decimal or `0x`-prefixed hex.
+fn parse_u64(v: &str) -> Option<u64> {
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    }
+}
+
 /// Parse the full argument list (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Option<CliRequest>, String> {
     let mut req = CliRequest::default();
     let mut ops: Vec<StreamOp> = Vec::new();
     let mut loop_set = false;
+    // The optional leading subcommand.
+    let args = match args.first().map(String::as_str) {
+        Some("sweep") => {
+            req.mode = CliMode::Sweep;
+            &args[1..]
+        }
+        _ => args,
+    };
     let mut it = args.iter();
     let need = |it: &mut std::slice::Iter<String>, flag: &str| {
         it.next()
@@ -222,17 +319,77 @@ pub fn parse_args(args: &[String]) -> Result<Option<CliRequest>, String> {
             "--no-validate" => req.no_validate = true,
             "--csv" => req.csv = true,
             "--show-kernel" => req.show_kernel = true,
+            "--vectors" => req.widths = parse_u32_list(&need(&mut it, "--vectors")?, "--vectors")?,
+            "--unrolls" => req.unrolls = parse_u32_list(&need(&mut it, "--unrolls")?, "--unrolls")?,
+            "--faults" => req.faults = Some(FaultSpec::parse(&need(&mut it, "--faults")?)?),
+            "--fault-seed" => {
+                let v = need(&mut it, "--fault-seed")?;
+                req.fault_seed =
+                    Some(parse_u64(&v).ok_or_else(|| format!("invalid --fault-seed '{v}'"))?);
+            }
+            "--retries" => {
+                req.retries = Some(
+                    need(&mut it, "--retries")?
+                        .parse()
+                        .map_err(|_| "invalid --retries".to_string())?,
+                );
+            }
+            "--deadline-ms" => {
+                let v = need(&mut it, "--deadline-ms")?;
+                let ms: u64 = v.parse().map_err(|_| "invalid --deadline-ms".to_string())?;
+                if ms == 0 {
+                    return Err("--deadline-ms needs at least 1".to_string());
+                }
+                req.deadline_ms = Some(ms);
+            }
+            "--checkpoint" => req.checkpoint = Some(PathBuf::from(need(&mut it, "--checkpoint")?)),
+            "--resume" => req.resume = true,
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
     if !ops.is_empty() {
         req.ops = ops;
     }
+    if req.resume && req.checkpoint.is_none() {
+        return Err("--resume needs --checkpoint <path>".to_string());
+    }
+    if req.checkpoint.is_some() && req.mode != CliMode::Sweep {
+        return Err("--checkpoint/--resume only apply to the sweep subcommand".to_string());
+    }
     // FPGAs default to their sensible loop form unless told otherwise.
     if !loop_set && req.target.is_fpga() {
         req.loop_mode = LoopMode::SingleWorkItemFlat;
     }
     Ok(Some(req))
+}
+
+/// Resolve the fault plan and resilience policy for a request: explicit
+/// flags win, then the `MPSTREAM_FAULTS` / `MPSTREAM_FAULT_SEED` /
+/// `MPSTREAM_RETRIES` environment, then defaults (retries default to
+/// [`DEFAULT_FAULT_RETRIES`] only when faults are enabled — a fault-free
+/// run has nothing transient to retry).
+pub fn resilience(req: &CliRequest) -> (Option<Arc<FaultPlan>>, ResiliencePolicy) {
+    let spec = req.faults.or_else(env_fault_spec);
+    let plan = spec.map(|s| {
+        let seed = req
+            .fault_seed
+            .or_else(env_fault_seed)
+            .unwrap_or(DEFAULT_FAULT_SEED);
+        Arc::new(FaultPlan::new(s, seed))
+    });
+    let retries = req
+        .retries
+        .or_else(env_retries)
+        .unwrap_or(if plan.is_some() {
+            DEFAULT_FAULT_RETRIES
+        } else {
+            0
+        });
+    let mut policy = ResiliencePolicy::retrying(retries);
+    if let Some(ms) = req.deadline_ms {
+        policy = policy.with_deadline(Duration::from_millis(ms));
+    }
+    (plan, policy)
 }
 
 /// Build the kernel configuration for one op of the request.
@@ -259,6 +416,9 @@ pub fn execute(req: &CliRequest) -> Result<String, String> {
         let cfg = kernel_config(req, req.ops.first().copied().unwrap_or(StreamOp::Copy))?;
         return Ok(kernelgen::generate_source(&cfg));
     }
+    if req.mode == CliMode::Sweep {
+        return execute_sweep(req);
+    }
 
     let info = Runner::for_target(req.target).device().info().clone();
     let mut table = Table::new(&["kernel", "bytes/iter", "best GB/s", "avg ms", "valid"]);
@@ -278,7 +438,10 @@ pub fn execute(req: &CliRequest) -> Result<String, String> {
 
     // One kernel per work item, fanned across the engine's pool; the
     // outcomes come back in request order regardless of --jobs.
-    let engine = Engine::with_jobs(req.jobs.unwrap_or_else(default_jobs));
+    let (plan, policy) = resilience(req);
+    let engine = Engine::with_jobs(req.jobs.unwrap_or_else(default_jobs))
+        .with_policy(policy)
+        .with_faults(plan);
     for (op, outcome) in req.ops.iter().zip(engine.run_list(req.target, &work)) {
         match outcome.result {
             Ok(m) => {
@@ -307,6 +470,76 @@ pub fn execute(req: &CliRequest) -> Result<String, String> {
     });
     for f in failures {
         out.push_str(&format!("FAILED {f}\n"));
+    }
+    Ok(out)
+}
+
+/// Execute a sweep request: the cartesian product of the requested ops,
+/// `--vectors` and `--unrolls` at the fixed size/dtype/loop/pattern,
+/// fanned across the engine's pool — optionally checkpointed so a killed
+/// sweep can `--resume` without redoing finished points.
+fn execute_sweep(req: &CliRequest) -> Result<String, String> {
+    let info = Runner::for_target(req.target).device().info().clone();
+    let (plan, policy) = resilience(req);
+    let engine = Engine::with_jobs(req.jobs.unwrap_or_else(default_jobs))
+        .with_policy(policy)
+        .with_faults(plan);
+
+    let space = ParamSpace::new()
+        .ops(req.ops.iter().copied())
+        .sizes_bytes([req.size_bytes])
+        .dtypes([req.dtype])
+        .widths(req.widths.iter().copied())
+        .patterns([req.pattern])
+        .loop_modes([req.loop_mode])
+        .unrolls(req.unrolls.iter().copied());
+    let protocol = |cfg: KernelConfig| {
+        BenchConfig::new(cfg)
+            .with_ntimes(req.ntimes)
+            .with_validation(
+                !req.no_validate && req.size_bytes <= BenchConfig::AUTO_VALIDATE_LIMIT_BYTES,
+            )
+    };
+
+    let result = match &req.checkpoint {
+        Some(path) => {
+            let ckpt = if req.resume {
+                Checkpoint::resume(path)
+            } else {
+                Checkpoint::create(path)
+            }
+            .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+            sweep_space_checkpointed(&engine, req.target, &space, protocol, &ckpt)
+        }
+        None => sweep_space(&engine, req.target, &space, protocol),
+    };
+
+    let mut out = format!(
+        "MP-STREAM sweep on {} ({} points, {} bytes x {:?}, {} repetitions)\n\n",
+        info.name,
+        result.points.len(),
+        req.size_bytes,
+        req.dtype,
+        req.ntimes
+    );
+    out.push_str(&if req.csv {
+        result.table().to_csv()
+    } else {
+        result.table().to_text()
+    });
+    out.push('\n');
+    out.push_str(&result.summary().to_text());
+    if let Some(best) = result.best() {
+        let k = &best.config;
+        if let Some(gbps) = best.gbps() {
+            out.push_str(&format!(
+                "\nbest: {} v{} u{} -> {:.2} GB/s\n",
+                k.op.name(),
+                k.vector_width.get(),
+                k.unroll,
+                gbps
+            ));
+        }
     }
     Ok(out)
 }
@@ -477,5 +710,167 @@ mod tests {
         for name in ["Intel", "NVIDIA", "Altera", "Xilinx"] {
             assert!(out.contains(name), "{out}");
         }
+    }
+
+    #[test]
+    fn sweep_subcommand_parses_dimensions_and_resilience_flags() {
+        let r = parse(&[
+            "sweep",
+            "--kernel",
+            "triad",
+            "--vectors",
+            "1,4,16",
+            "--unrolls",
+            "1,2",
+            "--faults",
+            "build=0.2,timeout=0.1",
+            "--fault-seed",
+            "0x5EED",
+            "--retries",
+            "5",
+            "--deadline-ms",
+            "250",
+            "--checkpoint",
+            "/tmp/ck.jsonl",
+            "--resume",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(r.mode, CliMode::Sweep);
+        assert_eq!(r.widths, vec![1, 4, 16]);
+        assert_eq!(r.unrolls, vec![1, 2]);
+        let spec = r.faults.expect("spec parsed");
+        assert_eq!(spec.build, 0.2);
+        assert_eq!(spec.timeout, 0.1);
+        assert_eq!(r.fault_seed, Some(0x5EED));
+        assert_eq!(r.retries, Some(5));
+        assert_eq!(r.deadline_ms, Some(250));
+        assert_eq!(r.checkpoint, Some(PathBuf::from("/tmp/ck.jsonl")));
+        assert!(r.resume);
+    }
+
+    #[test]
+    fn sweep_flag_validation() {
+        assert!(parse(&["sweep", "--vectors", ""]).is_err());
+        assert!(parse(&["sweep", "--vectors", "1,0"]).is_err());
+        assert!(parse(&["sweep", "--unrolls", "x"]).is_err());
+        assert!(parse(&["sweep", "--faults", "build=2.0"]).is_err());
+        assert!(parse(&["sweep", "--fault-seed", "zebra"]).is_err());
+        assert!(parse(&["sweep", "--deadline-ms", "0"]).is_err());
+        // --resume without a checkpoint path is meaningless.
+        assert!(parse(&["sweep", "--resume"]).is_err());
+        // Checkpointing only exists in sweep mode.
+        assert!(parse(&["--checkpoint", "/tmp/ck.jsonl"]).is_err());
+    }
+
+    #[test]
+    fn resilience_defaults_follow_fault_presence() {
+        // Env-aware on purpose: the CI fault-injection job runs this
+        // suite with MPSTREAM_FAULTS/MPSTREAM_RETRIES set, which is
+        // exactly the fallback chain under test.
+        let bare = parse(&[]).unwrap().unwrap();
+        let (plan, policy) = resilience(&bare);
+        match env_fault_spec() {
+            None => {
+                assert!(plan.is_none());
+                assert_eq!(policy.max_retries, env_retries().unwrap_or(0));
+            }
+            Some(spec) => {
+                let plan = plan.expect("env spec builds a plan");
+                assert_eq!(plan.spec(), spec);
+                assert_eq!(plan.seed(), env_fault_seed().unwrap_or(DEFAULT_FAULT_SEED));
+            }
+        }
+
+        let faulty = parse(&["--faults", "build=0.3"]).unwrap().unwrap();
+        let (plan, policy) = resilience(&faulty);
+        let plan = plan.expect("plan built");
+        assert_eq!(plan.spec().build, 0.3, "explicit spec beats env");
+        assert_eq!(plan.seed(), env_fault_seed().unwrap_or(DEFAULT_FAULT_SEED));
+        assert_eq!(
+            policy.max_retries,
+            env_retries().unwrap_or(DEFAULT_FAULT_RETRIES)
+        );
+
+        // Explicit flags always win, environment or not.
+        let tuned = parse(&[
+            "--faults",
+            "build=0.3",
+            "--fault-seed",
+            "7",
+            "--retries",
+            "0",
+        ])
+        .unwrap()
+        .unwrap();
+        let (plan, policy) = resilience(&tuned);
+        assert_eq!(plan.expect("plan built").seed(), 7);
+        assert_eq!(policy.max_retries, 0);
+        assert_eq!(policy.per_config_deadline, None);
+    }
+
+    #[test]
+    fn execute_sweep_reports_points_and_summary() {
+        let r = parse(&[
+            "sweep",
+            "--kernel",
+            "copy",
+            "--size",
+            "64K",
+            "--ntimes",
+            "1",
+            "--vectors",
+            "1,2",
+            "--jobs",
+            "1",
+        ])
+        .unwrap()
+        .unwrap();
+        let out = execute(&r).expect("sweep runs");
+        assert!(out.contains("sweep on"), "{out}");
+        assert!(out.contains("2 points"), "{out}");
+        assert!(out.contains("retried"), "summary rendered: {out}");
+        assert!(out.contains("best: copy"), "{out}");
+    }
+
+    #[test]
+    fn execute_sweep_with_faults_matches_fault_free_run() {
+        let base = parse(&[
+            "sweep",
+            "--kernel",
+            "triad",
+            "--size",
+            "64K",
+            "--ntimes",
+            "1",
+            "--vectors",
+            "1,2,4",
+            "--jobs",
+            "2",
+        ])
+        .unwrap()
+        .unwrap();
+        let clean = execute(&base).expect("fault-free sweep");
+        let faulty = CliRequest {
+            faults: Some(FaultSpec::parse("build=0.2,timeout=0.1,lost=0.05,bitflip=0.05").unwrap()),
+            fault_seed: Some(42),
+            retries: Some(10),
+            ..base
+        };
+        let out = execute(&faulty).expect("faulty sweep");
+        // Same measurements survive the injected faults; only the summary
+        // counters differ.
+        let table_of = |s: &str| {
+            s.lines()
+                .take_while(|l| !l.contains("retried"))
+                .filter(|l| l.contains("triad"))
+                .map(|l| {
+                    // Drop the per-point retries column (second-to-last).
+                    let cells: Vec<&str> = l.split_whitespace().collect();
+                    cells[..cells.len() - 1].join(" ")
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(table_of(&clean), table_of(&out));
     }
 }

@@ -96,17 +96,11 @@ pub fn explore(
     let trace = match strategy {
         Explorer::Exhaustive => candidates
             .iter()
-            .map(|c| Outcome {
-                config: c.clone(),
-                result: objective(c),
-            })
+            .map(|c| Outcome::new(c.clone(), objective(c)))
             .collect(),
         Explorer::RandomSearch { budget, seed } => sample_order(&candidates, budget, seed)
             .into_iter()
-            .map(|i| Outcome {
-                config: candidates[i].clone(),
-                result: objective(&candidates[i]),
-            })
+            .map(|i| Outcome::new(candidates[i].clone(), objective(&candidates[i])))
             .collect(),
         Explorer::HillClimb { budget, seed } => {
             hill_climb(&candidates, budget, seed, &mut objective)
@@ -143,9 +137,15 @@ pub fn explore_target(
             DseResult::from_trace(engine.run_configs(target, picked, protocol))
         }
         Explorer::HillClimb { .. } | Explorer::Anneal { .. } => {
-            let runner =
-                Runner::for_target(target).with_cache(std::sync::Arc::clone(engine.cache()));
-            explore(space, strategy, |c| runner.run(&protocol(c.clone())))
+            // Sequential climbers still go through the engine's
+            // resilient core, so injected faults are retried instead of
+            // derailing the walk with spurious dead-ends.
+            let runner = Runner::for_target(target)
+                .with_cache(std::sync::Arc::clone(engine.cache()))
+                .with_faults(engine.fault_plan().cloned());
+            explore(space, strategy, |c| {
+                engine.run_one_with(&runner, &protocol(c.clone())).result
+            })
         }
     }
 }
@@ -204,10 +204,7 @@ fn hill_climb(
         if let Some(cached) = evaluated[i] {
             return cached;
         }
-        let outcome = Outcome {
-            config: candidates[i].clone(),
-            result: objective(&candidates[i]),
-        };
+        let outcome = Outcome::new(candidates[i].clone(), objective(&candidates[i]));
         let score = outcome.gbps();
         evaluated[i] = Some(score);
         trace.push(outcome);
@@ -264,10 +261,7 @@ fn anneal(
             if let Some(cached) = cache[i] {
                 return cached;
             }
-            let outcome = Outcome {
-                config: candidates[i].clone(),
-                result: objective(&candidates[i]),
-            };
+            let outcome = Outcome::new(candidates[i].clone(), objective(&candidates[i]));
             let score = outcome.gbps();
             cache[i] = Some(score);
             trace.push(outcome);

@@ -16,13 +16,28 @@
 //! Caching: every engine owns a [`BuildCache`] shared by its workers, so
 //! a configuration is synthesized once per device model per engine
 //! lifetime; sweep layers report per-call hit/miss deltas.
+//!
+//! Resilience: every configuration executes inside a protected retry
+//! loop. Worker panics are caught (`catch_unwind`) and become
+//! [`ClError::HostPanic`] outcomes instead of killing the sweep;
+//! transient failures ([`ClError::is_transient`] — lost devices,
+//! watchdog timeouts, synthesis-tool crashes — plus launches whose
+//! STREAM validation failed, i.e. silent data corruption) are retried
+//! under a [`ResiliencePolicy`] with deterministic exponential backoff
+//! and an optional per-configuration deadline. Retry activity is
+//! counted in [`RetryStats`], reported by sweeps next to the cache
+//! counters. An [`mpcl::FaultPlan`] attached via
+//! [`Engine::with_faults`] is threaded into every worker's contexts so
+//! the whole machinery can be exercised deterministically.
 
 use crate::config::BenchConfig;
 use crate::runner::{Measurement, Runner};
 use kernelgen::KernelConfig;
-use mpcl::{BuildCache, CacheStats, ClError};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use mpcl::{BuildCache, CacheStats, ClError, FaultCounters, FaultPlan};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Once};
+use std::time::{Duration, Instant};
 
 /// One executed configuration: the shared result vocabulary of sweeps
 /// and explorers (previously the duplicated `SweepPoint`/`Evaluation`).
@@ -33,9 +48,21 @@ pub struct Outcome {
     /// Measurement, or the error (typically an FPGA synthesis failure —
     /// a first-class result of a sweep, not a crash).
     pub result: Result<Measurement, ClError>,
+    /// How many times the configuration was re-attempted after
+    /// transient failures before this result stood.
+    pub retries: u32,
 }
 
 impl Outcome {
+    /// An outcome that needed no retries.
+    pub fn new(config: KernelConfig, result: Result<Measurement, ClError>) -> Self {
+        Outcome {
+            config,
+            result,
+            retries: 0,
+        }
+    }
+
     /// Bandwidth if the run succeeded.
     pub fn gbps(&self) -> Option<f64> {
         self.result.as_ref().ok().map(|m| m.gbps())
@@ -56,27 +83,176 @@ impl Outcome {
     }
 }
 
-/// Default worker count: `MPSTREAM_JOBS` when set to a positive integer,
-/// otherwise the machine's available parallelism (1 if unknown).
-pub fn default_jobs() -> usize {
-    if let Ok(v) = std::env::var("MPSTREAM_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+/// Parse an `MPSTREAM_JOBS`-style override: a positive integer, or
+/// `None` when malformed or zero.
+fn parse_jobs_override(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|n| *n >= 1)
 }
 
-/// A reusable parallel executor: a thread-pool size plus a shared
-/// build-artifact cache.
+/// Default worker count: `MPSTREAM_JOBS` when set to a positive integer,
+/// otherwise the machine's available parallelism (1 if unknown). An
+/// invalid override (`0`, `abc`) falls back to hardware sizing with a
+/// one-time warning on stderr rather than silently.
+pub fn default_jobs() -> usize {
+    let hardware = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("MPSTREAM_JOBS") {
+        Ok(v) => parse_jobs_override(&v).unwrap_or_else(|| {
+            static WARN_ONCE: Once = Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: ignoring invalid MPSTREAM_JOBS={v:?} \
+                     (expected a positive integer); using hardware parallelism"
+                );
+            });
+            hardware()
+        }),
+        Err(_) => hardware(),
+    }
+}
+
+/// Fault spec from `MPSTREAM_FAULTS`, if set and valid (an invalid spec
+/// warns on stderr and is ignored — a typo must not silently disable an
+/// intended fault campaign *and* must not abort an innocent run).
+pub fn env_fault_spec() -> Option<mpcl::FaultSpec> {
+    let v = std::env::var("MPSTREAM_FAULTS").ok()?;
+    match mpcl::FaultSpec::parse(&v) {
+        Ok(spec) if !spec.is_zero() => Some(spec),
+        Ok(_) => None,
+        Err(e) => {
+            eprintln!("warning: ignoring invalid MPSTREAM_FAULTS: {e}");
+            None
+        }
+    }
+}
+
+/// Fault seed from `MPSTREAM_FAULT_SEED`, if set and numeric.
+pub fn env_fault_seed() -> Option<u64> {
+    std::env::var("MPSTREAM_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Retry budget from `MPSTREAM_RETRIES`, if set and numeric.
+pub fn env_retries() -> Option<u32> {
+    std::env::var("MPSTREAM_RETRIES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Default fault seed when a fault campaign is requested without one.
+pub const DEFAULT_FAULT_SEED: u64 = 0x5EED;
+
+/// Default retry budget when faults are enabled and no explicit budget
+/// was given.
+pub const DEFAULT_FAULT_RETRIES: u32 = 3;
+
+/// How the engine responds to transient failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Re-attempts allowed per configuration after transient failures
+    /// (0 = fail fast, the historical behaviour).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry (deterministic — no
+    /// jitter, so reruns sleep identically).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Wall-clock budget per configuration: once exceeded, no further
+    /// retries are attempted (the in-flight attempt is not preempted).
+    pub per_config_deadline: Option<Duration>,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            max_retries: 0,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(100),
+            per_config_deadline: None,
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// A policy allowing `max_retries` re-attempts (default backoff, no
+    /// deadline).
+    pub fn retrying(max_retries: u32) -> Self {
+        ResiliencePolicy {
+            max_retries,
+            ..Default::default()
+        }
+    }
+
+    /// Replace the backoff schedule (base doubles per retry up to cap;
+    /// `Duration::ZERO` disables sleeping, as the tests do).
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Set the per-configuration deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.per_config_deadline = Some(deadline);
+        self
+    }
+
+    /// Deterministic exponential backoff before retry number `retry`
+    /// (1-based): `base * 2^(retry-1)`, capped.
+    pub fn backoff_after(&self, retry: u32) -> Duration {
+        let doublings = retry.saturating_sub(1).min(20);
+        self.backoff_base
+            .saturating_mul(1u32 << doublings)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Counters of the engine's resilience machinery, cheap to copy out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Re-attempts performed after transient failures.
+    pub retries: u64,
+    /// Transient failures observed (including ones that were retried
+    /// away and launches failing STREAM validation).
+    pub transient_errors: u64,
+    /// Configurations whose retry budget or deadline ran out while
+    /// still failing transiently.
+    pub gave_up: u64,
+    /// Worker panics converted into [`ClError::HostPanic`] outcomes.
+    pub panics_isolated: u64,
+}
+
+impl RetryStats {
+    /// Counter difference since an earlier snapshot.
+    pub fn since(&self, earlier: RetryStats) -> RetryStats {
+        RetryStats {
+            retries: self.retries.saturating_sub(earlier.retries),
+            transient_errors: self
+                .transient_errors
+                .saturating_sub(earlier.transient_errors),
+            gave_up: self.gave_up.saturating_sub(earlier.gave_up),
+            panics_isolated: self.panics_isolated.saturating_sub(earlier.panics_isolated),
+        }
+    }
+}
+
+/// A reusable parallel executor: a thread-pool size, a shared
+/// build-artifact cache, a resilience policy and (optionally) a fault
+/// plan to stress it with.
 #[derive(Debug)]
 pub struct Engine {
     jobs: usize,
     cache: Arc<BuildCache>,
+    policy: ResiliencePolicy,
+    faults: Option<Arc<FaultPlan>>,
+    retries: AtomicU64,
+    transient_errors: AtomicU64,
+    gave_up: AtomicU64,
+    panics_isolated: AtomicU64,
 }
 
 impl Default for Engine {
@@ -96,12 +272,49 @@ impl Engine {
         Engine {
             jobs: jobs.max(1),
             cache: Arc::new(BuildCache::new()),
+            policy: ResiliencePolicy::default(),
+            faults: None,
+            retries: AtomicU64::new(0),
+            transient_errors: AtomicU64::new(0),
+            gave_up: AtomicU64::new(0),
+            panics_isolated: AtomicU64::new(0),
         }
+    }
+
+    /// Set the resilience policy.
+    pub fn with_policy(mut self, policy: ResiliencePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attach a fault-injection plan, threaded into every worker's
+    /// contexts (`None` detaches).
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The active resilience policy.
+    pub fn policy(&self) -> ResiliencePolicy {
+        self.policy
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// Injection counters of the attached fault plan (zero when none).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+            .as_ref()
+            .map(|f| f.counters())
+            .unwrap_or_default()
     }
 
     /// The shared build cache.
@@ -114,52 +327,184 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// Cumulative retry/panic counters over this engine's lifetime.
+    pub fn retry_stats(&self) -> RetryStats {
+        RetryStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            transient_errors: self.transient_errors.load(Ordering::Relaxed),
+            gave_up: self.gave_up.load(Ordering::Relaxed),
+            panics_isolated: self.panics_isolated.load(Ordering::Relaxed),
+        }
+    }
+
     /// Execute `work` on a standard target, one fresh device per worker.
     pub fn run_list(&self, target: targets::TargetId, work: &[BenchConfig]) -> Vec<Outcome> {
         self.run_list_with(|| Runner::for_target(target), work)
     }
 
     /// Execute `work` with one runner per worker from `make_runner`
-    /// (called once per worker thread; the engine's cache is attached to
-    /// each). Results are returned in `work` order.
+    /// (called once per worker thread; the engine's cache and fault plan
+    /// are attached to each). Results are returned in `work` order.
     pub fn run_list_with(
         &self,
         make_runner: impl Fn() -> Runner + Sync,
         work: &[BenchConfig],
     ) -> Vec<Outcome> {
-        let jobs = self.jobs.min(work.len()).max(1);
+        self.run_list_observed(make_runner, work, |_| {})
+    }
+
+    /// Like [`run_list_with`](Self::run_list_with), calling `observe` on
+    /// each outcome as soon as its worker finishes it (out of input
+    /// order; the returned vector is still input-ordered). Used for
+    /// incremental checkpointing.
+    pub fn run_list_observed(
+        &self,
+        make_runner: impl Fn() -> Runner + Sync,
+        work: &[BenchConfig],
+        observe: impl Fn(&Outcome) + Sync,
+    ) -> Vec<Outcome> {
+        self.execute_indexed(
+            work.len(),
+            || self.equip(make_runner()),
+            |runner, i| self.run_one_with(runner, &work[i]),
+            observe,
+        )
+    }
+
+    /// Attach this engine's cache and fault plan to a runner.
+    fn equip(&self, runner: Runner) -> Runner {
+        runner
+            .with_cache(Arc::clone(&self.cache))
+            .with_faults(self.faults.clone())
+    }
+
+    /// Execute one configuration on `runner` under the engine's
+    /// resilience policy (retry loop, backoff, deadline, panic
+    /// isolation). The runner should carry the engine's cache/fault
+    /// plan — [`run_list_with`](Self::run_list_with) workers do; attach
+    /// them with [`Runner::with_cache`]/[`Runner::with_faults`] when
+    /// driving this directly (as the DSE climbers do).
+    pub fn run_one_with(&self, runner: &Runner, bc: &BenchConfig) -> Outcome {
+        self.run_protected(&bc.kernel, || runner.run(bc))
+    }
+
+    /// The resilient execution core: run `attempt` under
+    /// `catch_unwind`, classify the result, and retry transient
+    /// failures per the policy. Panics become [`ClError::HostPanic`]
+    /// (permanent). A successful measurement that failed STREAM
+    /// validation counts as transient — silent data corruption is
+    /// exactly what a retry can clear.
+    pub fn run_protected(
+        &self,
+        config: &KernelConfig,
+        attempt: impl Fn() -> Result<Measurement, ClError>,
+    ) -> Outcome {
+        let started = Instant::now();
+        let mut retries = 0u32;
+        loop {
+            let result = match catch_unwind(AssertUnwindSafe(&attempt)) {
+                Ok(r) => r,
+                Err(payload) => {
+                    self.panics_isolated.fetch_add(1, Ordering::Relaxed);
+                    Err(ClError::HostPanic(panic_message(payload)))
+                }
+            };
+            let transient = match &result {
+                Err(e) => e.is_transient(),
+                Ok(m) => m.validated == Some(false),
+            };
+            if !transient {
+                return Outcome {
+                    config: config.clone(),
+                    result,
+                    retries,
+                };
+            }
+            self.transient_errors.fetch_add(1, Ordering::Relaxed);
+            let deadline_passed = self
+                .policy
+                .per_config_deadline
+                .is_some_and(|d| started.elapsed() >= d);
+            if retries >= self.policy.max_retries || deadline_passed {
+                self.gave_up.fetch_add(1, Ordering::Relaxed);
+                return Outcome {
+                    config: config.clone(),
+                    result,
+                    retries,
+                };
+            }
+            retries += 1;
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            let backoff = self.policy.backoff_after(retries);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+
+    /// Execute an arbitrary per-configuration objective across the pool
+    /// under the resilience policy — the engine-backed path for
+    /// explorers whose objective is not a [`Runner`] (and the test
+    /// hook for panic isolation). Results are input-ordered.
+    pub fn run_objective_list(
+        &self,
+        configs: &[KernelConfig],
+        objective: impl Fn(&KernelConfig) -> Result<Measurement, ClError> + Sync,
+    ) -> Vec<Outcome> {
+        self.execute_indexed(
+            configs.len(),
+            || (),
+            |(), i| self.run_protected(&configs[i], || objective(&configs[i])),
+            |_| {},
+        )
+    }
+
+    /// The shared pool core: evaluate indices `0..n` across up to
+    /// `jobs` workers (each owning one `make_worker()` value), calling
+    /// `observe` on every outcome as produced, and return outcomes in
+    /// index order.
+    fn execute_indexed<W>(
+        &self,
+        n: usize,
+        make_worker: impl Fn() -> W + Sync,
+        eval: impl Fn(&W, usize) -> Outcome + Sync,
+        observe: impl Fn(&Outcome) + Sync,
+    ) -> Vec<Outcome> {
+        let jobs = self.jobs.min(n).max(1);
         if jobs == 1 {
-            let runner = make_runner().with_cache(Arc::clone(&self.cache));
-            return work
-                .iter()
-                .map(|bc| Outcome {
-                    config: bc.kernel.clone(),
-                    result: runner.run(bc),
+            let worker = make_worker();
+            return (0..n)
+                .map(|i| {
+                    let outcome = eval(&worker, i);
+                    observe(&outcome);
+                    outcome
                 })
                 .collect();
         }
 
         // Work-stealing by atomic index; each worker owns one device and
         // reports (index, outcome) pairs, which are re-assembled in
-        // input order afterwards. A panicking worker poisons nothing:
-        // the scope propagates the panic after the others finish.
+        // input order afterwards. Configuration-level panics never reach
+        // here (eval catches them); a panicking worker loop itself would
+        // still only propagate after the other workers finish.
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, Outcome)>();
         std::thread::scope(|s| {
             for _ in 0..jobs {
                 let tx = tx.clone();
                 let next = &next;
-                let make_runner = &make_runner;
-                let cache = Arc::clone(&self.cache);
+                let make_worker = &make_worker;
+                let eval = &eval;
+                let observe = &observe;
                 s.spawn(move || {
-                    let runner = make_runner().with_cache(cache);
+                    let worker = make_worker();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(bc) = work.get(i) else { break };
-                        let outcome = Outcome {
-                            config: bc.kernel.clone(),
-                            result: runner.run(bc),
-                        };
+                        if i >= n {
+                            break;
+                        }
+                        let outcome = eval(&worker, i);
+                        observe(&outcome);
                         if tx.send((i, outcome)).is_err() {
                             break;
                         }
@@ -169,7 +514,7 @@ impl Engine {
         });
         drop(tx);
 
-        let mut slots: Vec<Option<Outcome>> = work.iter().map(|_| None).collect();
+        let mut slots: Vec<Option<Outcome>> = (0..n).map(|_| None).collect();
         for (i, outcome) in rx {
             slots[i] = Some(outcome);
         }
@@ -189,6 +534,18 @@ impl Engine {
     ) -> Vec<Outcome> {
         let work: Vec<BenchConfig> = configs.into_iter().map(protocol).collect();
         self.run_list(target, &work)
+    }
+}
+
+/// Render a panic payload (usually a `&str` or `String`) for
+/// [`ClError::HostPanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -248,6 +605,7 @@ mod tests {
         let out = Engine::with_jobs(64).run_list(TargetId::Cpu, &work);
         assert_eq!(out.len(), work.len());
         assert!(out.iter().all(|o| o.is_ok()));
+        assert!(out.iter().all(|o| o.retries == 0), "no faults, no retries");
     }
 
     #[test]
@@ -260,5 +618,115 @@ mod tests {
         assert!(default_jobs() >= 1);
         // Engine::with_jobs clamps zero.
         assert_eq!(Engine::with_jobs(0).jobs(), 1);
+    }
+
+    #[test]
+    fn jobs_override_parsing_rejects_invalid_values() {
+        assert_eq!(parse_jobs_override("4"), Some(4));
+        assert_eq!(parse_jobs_override(" 8 "), Some(8));
+        assert_eq!(parse_jobs_override("0"), None, "zero workers is invalid");
+        assert_eq!(parse_jobs_override("abc"), None);
+        assert_eq!(parse_jobs_override(""), None);
+        assert_eq!(parse_jobs_override("-2"), None);
+        assert_eq!(parse_jobs_override("1.5"), None);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = ResiliencePolicy::retrying(8)
+            .with_backoff(Duration::from_millis(10), Duration::from_millis(35));
+        assert_eq!(p.backoff_after(1), Duration::from_millis(10));
+        assert_eq!(p.backoff_after(2), Duration::from_millis(20));
+        assert_eq!(p.backoff_after(3), Duration::from_millis(35), "capped");
+        assert_eq!(p.backoff_after(30), Duration::from_millis(35));
+        let zero = ResiliencePolicy::retrying(1).with_backoff(Duration::ZERO, Duration::ZERO);
+        assert!(zero.backoff_after(5).is_zero());
+    }
+
+    #[test]
+    fn run_protected_retries_transient_and_counts() {
+        let engine = Engine::with_jobs(1).with_policy(
+            ResiliencePolicy::retrying(3).with_backoff(Duration::ZERO, Duration::ZERO),
+        );
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 1024);
+        let calls = AtomicU64::new(0);
+        let out = engine.run_protected(&cfg, || {
+            if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                Err(ClError::DeviceLost)
+            } else {
+                Ok(Measurement::synthetic(10.0))
+            }
+        });
+        assert!(out.is_ok());
+        assert_eq!(out.retries, 2);
+        let stats = engine.retry_stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.transient_errors, 2);
+        assert_eq!(stats.gave_up, 0);
+    }
+
+    #[test]
+    fn run_protected_gives_up_after_budget() {
+        let engine = Engine::with_jobs(1).with_policy(
+            ResiliencePolicy::retrying(2).with_backoff(Duration::ZERO, Duration::ZERO),
+        );
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 1024);
+        let out = engine.run_protected(&cfg, || Err(ClError::Timeout("stuck".into())));
+        assert_eq!(out.result, Err(ClError::Timeout("stuck".into())));
+        assert_eq!(out.retries, 2, "budget exhausted");
+        assert_eq!(engine.retry_stats().gave_up, 1);
+    }
+
+    #[test]
+    fn run_protected_does_not_retry_permanent_errors() {
+        let engine = Engine::with_jobs(1).with_policy(
+            ResiliencePolicy::retrying(5).with_backoff(Duration::ZERO, Duration::ZERO),
+        );
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 1024);
+        let calls = AtomicU64::new(0);
+        let out = engine.run_protected(&cfg, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(ClError::BuildProgramFailure("does not fit".into()))
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "no retry");
+        assert_eq!(out.retries, 0);
+        assert_eq!(engine.retry_stats(), RetryStats::default());
+    }
+
+    #[test]
+    fn deadline_stops_retrying() {
+        let engine = Engine::with_jobs(1).with_policy(
+            ResiliencePolicy::retrying(u32::MAX)
+                .with_backoff(Duration::ZERO, Duration::ZERO)
+                .with_deadline(Duration::from_millis(20)),
+        );
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 1024);
+        let out = engine.run_protected(&cfg, || {
+            std::thread::sleep(Duration::from_millis(5));
+            Err(ClError::DeviceLost)
+        });
+        assert!(out.result.is_err());
+        assert!(out.retries < 100, "deadline bounded the retries");
+        assert_eq!(engine.retry_stats().gave_up, 1);
+    }
+
+    #[test]
+    fn failed_validation_is_retried() {
+        let engine = Engine::with_jobs(1).with_policy(
+            ResiliencePolicy::retrying(1).with_backoff(Duration::ZERO, Duration::ZERO),
+        );
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 1024);
+        let calls = AtomicU64::new(0);
+        let out = engine.run_protected(&cfg, || {
+            let mut m = Measurement::synthetic(10.0);
+            m.validated = Some(calls.fetch_add(1, Ordering::Relaxed) > 0);
+            Ok(m)
+        });
+        assert_eq!(out.retries, 1);
+        assert_eq!(
+            out.result.unwrap().validated,
+            Some(true),
+            "retry cleared it"
+        );
     }
 }

@@ -14,11 +14,15 @@
 
 use crate::bandwidth::{fig1_sizes, fig2_sizes, gbps_to_kbps};
 use crate::config::BenchConfig;
-use crate::engine::{default_jobs, Engine};
+use crate::engine::{
+    default_jobs, Engine, ResiliencePolicy, DEFAULT_FAULT_RETRIES, DEFAULT_FAULT_SEED,
+};
 use crate::report::Series;
 use kernelgen::{
     AccessPattern, AoclOpts, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts,
 };
+use mpcl::{FaultPlan, FaultSpec};
+use std::sync::Arc;
 use targets::TargetId;
 
 /// Figure identifiers, matching the paper.
@@ -141,6 +145,13 @@ pub struct RunOpts {
     /// Worker threads per figure; `None` picks the default
     /// (`MPSTREAM_JOBS` or the machine's available parallelism).
     pub jobs: Option<usize>,
+    /// Inject deterministic faults into every figure's sweep.
+    pub faults: Option<FaultSpec>,
+    /// Fault-plan seed; `None` uses [`DEFAULT_FAULT_SEED`].
+    pub fault_seed: Option<u64>,
+    /// Per-config retry budget; `None` uses [`DEFAULT_FAULT_RETRIES`]
+    /// when faults are on, else 0.
+    pub retries: Option<u32>,
 }
 
 impl RunOpts {
@@ -149,6 +160,9 @@ impl RunOpts {
         RunOpts {
             quick: false,
             jobs: None,
+            faults: None,
+            fault_seed: None,
+            retries: None,
         }
     }
 
@@ -156,7 +170,7 @@ impl RunOpts {
     pub fn quick() -> Self {
         RunOpts {
             quick: true,
-            jobs: None,
+            ..Self::full()
         }
     }
 
@@ -166,8 +180,40 @@ impl RunOpts {
         self
     }
 
+    /// Builder: inject deterministic faults (seeded by
+    /// [`Self::with_fault_seed`], else [`DEFAULT_FAULT_SEED`]).
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// Builder: set the fault-plan seed.
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
+        self
+    }
+
+    /// Builder: set the per-config retry budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = Some(retries);
+        self
+    }
+
     fn engine(&self) -> Engine {
+        let plan = self.faults.map(|spec| {
+            Arc::new(FaultPlan::new(
+                spec,
+                self.fault_seed.unwrap_or(DEFAULT_FAULT_SEED),
+            ))
+        });
+        let retries = self.retries.unwrap_or(if plan.is_some() {
+            DEFAULT_FAULT_RETRIES
+        } else {
+            0
+        });
         Engine::with_jobs(self.jobs.unwrap_or_else(default_jobs))
+            .with_policy(ResiliencePolicy::retrying(retries))
+            .with_faults(plan)
     }
 
     fn ntimes(&self) -> u32 {
@@ -520,6 +566,24 @@ mod tests {
             nd[3].1 > 100.0 * flat[3].1,
             "gpu collapses on one work-item"
         );
+    }
+
+    #[test]
+    fn fig1b_quick_with_faults_and_retries_matches_fault_free() {
+        let clean = fig1b(RunOpts::quick().with_jobs(2));
+        let spec = FaultSpec::parse("build=0.2,timeout=0.1,lost=0.05,bitflip=0.05").unwrap();
+        let faulty = fig1b(
+            RunOpts::quick()
+                .with_jobs(2)
+                .with_faults(spec)
+                .with_fault_seed(42)
+                .with_retries(10),
+        );
+        assert!(faulty.notes.is_empty(), "{:?}", faulty.notes);
+        for (a, b) in clean.series.iter().zip(&faulty.series) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.points, b.points, "{}", a.label);
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //!   that regenerates it on the simulated targets.
 
 pub mod bandwidth;
+pub mod checkpoint;
 pub mod cli;
 pub mod config;
 pub mod dse;
@@ -41,13 +42,16 @@ pub mod space;
 pub mod sweep;
 
 pub use bandwidth::{gbps_to_kbps, mb_label};
+pub use checkpoint::Checkpoint;
 pub use config::{BenchConfig, StreamLocation};
 pub use dse::{explore, explore_target, DseResult, Explorer};
-pub use engine::{default_jobs, Engine, Outcome};
+pub use engine::{default_jobs, Engine, Outcome, ResiliencePolicy, RetryStats};
 pub use experiments::{run_figure, Figure, FigureId, RunOpts};
 pub use extensions::{all_extensions, ExtensionReport};
-pub use report::{ascii_loglog, Series, Table};
+pub use report::{ascii_loglog, sweep_summary_table, Series, SweepSummary, Table};
 pub use rng::SplitMix64;
 pub use runner::{Measurement, Runner};
 pub use space::ParamSpace;
-pub use sweep::{pareto_front, run_space, sweep_space, ParetoPoint, SweepResult};
+pub use sweep::{
+    pareto_front, run_space, sweep_space, sweep_space_checkpointed, ParetoPoint, SweepResult,
+};

@@ -1,6 +1,9 @@
 //! Report rendering: aligned text tables, CSV, and ASCII log-log charts
-//! for the figure-regeneration binaries.
+//! for the figure-regeneration binaries — plus the sweep degradation
+//! summary ([`sweep_summary_table`]) that makes partial (fault-degraded
+//! or resumed) sweeps legible at a glance.
 
+use mpcl::CacheStats;
 use std::fmt::Write as _;
 
 /// A labelled series of (x, y) points — one line of a paper figure.
@@ -147,6 +150,66 @@ impl Table {
     }
 }
 
+/// What happened to a sweep, counted — input for
+/// [`sweep_summary_table`]. The sweep layer fills this from a
+/// `SweepResult`; it lives here so the rendering (and its column set)
+/// stays a report concern.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SweepSummary {
+    /// Points in the sweep.
+    pub points: usize,
+    /// Points with a successful measurement.
+    pub ok: usize,
+    /// Points whose result is an error.
+    pub failed: usize,
+    /// Points that needed at least one retry.
+    pub retried: usize,
+    /// Points whose retry budget/deadline ran out while still failing
+    /// transiently.
+    pub gave_up: u64,
+    /// Points answered from a checkpoint instead of executed.
+    pub resumed: usize,
+    /// Build-cache counters for the sweep.
+    pub cache: CacheStats,
+    /// Total re-attempts performed.
+    pub retries: u64,
+    /// Worker panics isolated into error outcomes.
+    pub panics: u64,
+    /// Faults injected by an attached fault plan.
+    pub faults_injected: u64,
+}
+
+/// One-row sweep degradation summary: alongside ok/failed, the
+/// retried/gave-up/resumed columns make a partial (fault-degraded or
+/// checkpoint-resumed) sweep legible at a glance.
+pub fn sweep_summary_table(s: &SweepSummary) -> Table {
+    let mut t = Table::new(&[
+        "points",
+        "ok",
+        "failed",
+        "retried",
+        "gave up",
+        "resumed",
+        "retries",
+        "panics",
+        "faults",
+        "cache hit/miss",
+    ]);
+    t.row(&[
+        s.points.to_string(),
+        s.ok.to_string(),
+        s.failed.to_string(),
+        s.retried.to_string(),
+        s.gave_up.to_string(),
+        s.resumed.to_string(),
+        s.retries.to_string(),
+        s.panics.to_string(),
+        s.faults_injected.to_string(),
+        format!("{}/{}", s.cache.hits, s.cache.misses),
+    ]);
+    t
+}
+
 /// Render series as an ASCII chart with log-scaled axes (the paper's
 /// figures are all log-log or log-linear). Each series gets a marker
 /// letter; overlapping cells show the later series.
@@ -218,6 +281,31 @@ mod tests {
         assert!(txt.lines().count() == 4);
         let lines: Vec<&str> = txt.lines().collect();
         assert_eq!(lines[0].len(), lines[2].len(), "aligned columns");
+    }
+
+    #[test]
+    fn sweep_summary_has_degradation_columns() {
+        let t = sweep_summary_table(&SweepSummary {
+            points: 20,
+            ok: 18,
+            failed: 2,
+            retried: 4,
+            gave_up: 2,
+            resumed: 5,
+            cache: CacheStats {
+                hits: 12,
+                misses: 8,
+            },
+            retries: 6,
+            panics: 1,
+            faults_injected: 7,
+        });
+        let txt = t.to_text();
+        for col in ["failed", "retried", "gave up", "resumed", "panics"] {
+            assert!(txt.contains(col), "missing column {col}: {txt}");
+        }
+        assert!(txt.contains("12/8"), "{txt}");
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

@@ -13,13 +13,13 @@
 use crate::config::{BenchConfig, StreamLocation};
 use kernelgen::{DataType, KernelConfig, StreamOp};
 use mpcl::{
-    Buffer, BuildCache, ClError, CommandQueue, Context, Device, Kernel, MemFlags, Program,
-    ResourceUsage,
+    Buffer, BuildCache, ClError, CommandQueue, Context, Device, FaultPlan, Kernel, MemFlags,
+    Program, ResourceUsage,
 };
 use std::sync::Arc;
 
 /// The outcome of one benchmark run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Device name the run executed on.
     pub device: String,
@@ -99,6 +99,7 @@ impl Measurement {
 pub struct Runner {
     device: Device,
     cache: Option<Arc<BuildCache>>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Runner {
@@ -107,6 +108,7 @@ impl Runner {
         Runner {
             device,
             cache: None,
+            faults: None,
         }
     }
 
@@ -127,6 +129,18 @@ impl Runner {
         self.cache.as_ref()
     }
 
+    /// Attach (or detach) a fault-injection plan: every run's context is
+    /// created with it, so builds and launches roll the plan's dice.
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
     /// The device this runner drives.
     pub fn device(&self) -> &Device {
         &self.device
@@ -136,7 +150,7 @@ impl Runner {
     /// invalid configurations surface as `Err`.
     pub fn run(&self, bc: &BenchConfig) -> Result<Measurement, ClError> {
         let kernel_cfg = &bc.kernel;
-        let ctx = Context::new(self.device.clone());
+        let ctx = Context::with_faults(self.device.clone(), self.faults.clone());
         let queue = if bc.validate {
             CommandQueue::new(&ctx)
         } else {

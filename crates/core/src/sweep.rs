@@ -5,17 +5,21 @@
 //! the engine's thread pool, and wraps the ordered [`Outcome`]s — plus
 //! the build-cache counters for this sweep — in a [`SweepResult`].
 //! [`run_space`] keeps the original one-runner entry point as a shim.
+//! [`sweep_space_checkpointed`] records every completed point to a
+//! [`Checkpoint`] as workers finish, and skips points the checkpoint
+//! already holds — the `--checkpoint`/`--resume` workflow.
 //! [`pareto_front`] then extracts the bandwidth-vs-resources Pareto
 //! frontier — the set a designer actually chooses from, since on an FPGA
 //! the benchmark kernel shares the fabric with the application.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::BenchConfig;
-use crate::engine::{Engine, Outcome};
-use crate::report::Table;
+use crate::engine::{Engine, Outcome, RetryStats};
+use crate::report::{sweep_summary_table, SweepSummary, Table};
 use crate::runner::{Measurement, Runner};
 use crate::space::ParamSpace;
 use kernelgen::KernelConfig;
-use mpcl::CacheStats;
+use mpcl::{CacheStats, FaultCounters};
 
 /// The result of sweeping a space on one device.
 #[derive(Debug, Clone)]
@@ -24,6 +28,12 @@ pub struct SweepResult {
     pub points: Vec<Outcome>,
     /// Build-cache hits/misses incurred by this sweep.
     pub cache: CacheStats,
+    /// Retry/panic counters incurred by this sweep.
+    pub retry: RetryStats,
+    /// Faults injected during this sweep (zero without a fault plan).
+    pub faults: FaultCounters,
+    /// Points answered from a checkpoint instead of executed.
+    pub resumed: usize,
 }
 
 impl SweepResult {
@@ -39,6 +49,29 @@ impl SweepResult {
         self.points.iter().filter(|p| p.result.is_err()).count()
     }
 
+    /// Number of points that needed at least one retry.
+    pub fn retried_points(&self) -> usize {
+        self.points.iter().filter(|p| p.retries > 0).count()
+    }
+
+    /// One-row degradation summary (ok / failed / retried / gave-up /
+    /// resumed plus cache and fault counters) — see
+    /// [`sweep_summary_table`].
+    pub fn summary(&self) -> Table {
+        sweep_summary_table(&SweepSummary {
+            points: self.points.len(),
+            ok: self.points.len() - self.failures(),
+            failed: self.failures(),
+            retried: self.retried_points(),
+            gave_up: self.retry.gave_up,
+            resumed: self.resumed,
+            cache: self.cache,
+            retries: self.retry.retries,
+            panics: self.retry.panics_isolated,
+            faults_injected: self.faults.total(),
+        })
+    }
+
     /// The best configuration by bandwidth, if any succeeded.
     pub fn best(&self) -> Option<&Outcome> {
         self.points
@@ -47,9 +80,10 @@ impl SweepResult {
             .max_by(|a, b| a.gbps().partial_cmp(&b.gbps()).expect("finite"))
     }
 
-    /// Render a summary table (config, GB/s or failure, fmax, logic).
+    /// Render a summary table (config, GB/s or failure, fmax, logic,
+    /// retries taken, note).
     pub fn table(&self) -> Table {
-        let mut t = Table::new(&["config", "GB/s", "fmax MHz", "logic", "note"]);
+        let mut t = Table::new(&["config", "GB/s", "fmax MHz", "logic", "retries", "note"]);
         for p in &self.points {
             let cfg = format!(
                 "{} vec{} {} u{} {:?}",
@@ -59,6 +93,7 @@ impl SweepResult {
                 p.config.unroll,
                 p.config.vendor
             );
+            let retries = p.retries.to_string();
             match &p.result {
                 Ok(m) => t.row(&[
                     cfg,
@@ -69,12 +104,13 @@ impl SweepResult {
                     m.resources
                         .map(|r| r.logic.to_string())
                         .unwrap_or_else(|| "-".into()),
+                    retries,
                     String::new(),
                 ]),
                 Err(e) => {
                     let mut note = e.to_string().replace('\n', " | ");
                     note.truncate(90);
-                    t.row(&[cfg, "-".into(), "-".into(), "-".into(), note])
+                    t.row(&[cfg, "-".into(), "-".into(), "-".into(), retries, note])
                 }
             };
         }
@@ -92,11 +128,93 @@ pub fn sweep_space(
     space: &ParamSpace,
     protocol: impl Fn(KernelConfig) -> BenchConfig,
 ) -> SweepResult {
-    let before = engine.cache_stats();
+    let (cache0, retry0, faults0) = snapshots(engine);
     let points = engine.run_configs(target, space.configs(), protocol);
+    finish(engine, points, cache0, retry0, faults0, 0)
+}
+
+/// Like [`sweep_space`], but recording every completed point to
+/// `checkpoint` as workers finish, and answering points the checkpoint
+/// already holds without executing them (their count lands in
+/// [`SweepResult::resumed`]). Point order still follows
+/// [`ParamSpace::configs`].
+pub fn sweep_space_checkpointed(
+    engine: &Engine,
+    target: targets::TargetId,
+    space: &ParamSpace,
+    protocol: impl Fn(KernelConfig) -> BenchConfig,
+    checkpoint: &Checkpoint,
+) -> SweepResult {
+    let (cache0, retry0, faults0) = snapshots(engine);
+    let all: Vec<BenchConfig> = space.configs().into_iter().map(protocol).collect();
+
+    // Split into already-checkpointed and still-to-run, remembering
+    // where each pending config sits in the full ordering.
+    let mut slots: Vec<Option<Outcome>> = Vec::with_capacity(all.len());
+    let mut pending: Vec<BenchConfig> = Vec::new();
+    let mut pending_slots: Vec<usize> = Vec::new();
+    for (i, bc) in all.iter().enumerate() {
+        match checkpoint.lookup(&bc.kernel) {
+            Some(done) => slots.push(Some(done)),
+            None => {
+                slots.push(None);
+                pending.push(bc.clone());
+                pending_slots.push(i);
+            }
+        }
+    }
+    let resumed = all.len() - pending.len();
+
+    let executed = engine.run_list_observed(
+        || Runner::for_target(target),
+        &pending,
+        |outcome| {
+            if let Err(e) = checkpoint.record(outcome) {
+                eprintln!(
+                    "warning: checkpoint write to {} failed: {e}",
+                    checkpoint.path().display()
+                );
+            }
+        },
+    );
+    for (slot, outcome) in pending_slots.into_iter().zip(executed) {
+        slots[slot] = Some(outcome);
+    }
+    let points = slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect();
+    finish(engine, points, cache0, retry0, faults0, resumed)
+}
+
+fn snapshots(engine: &Engine) -> (CacheStats, RetryStats, FaultCounters) {
+    (
+        engine.cache_stats(),
+        engine.retry_stats(),
+        engine.fault_counters(),
+    )
+}
+
+fn finish(
+    engine: &Engine,
+    points: Vec<Outcome>,
+    cache0: CacheStats,
+    retry0: RetryStats,
+    faults0: FaultCounters,
+    resumed: usize,
+) -> SweepResult {
+    let f1 = engine.fault_counters();
     SweepResult {
         points,
-        cache: engine.cache_stats().since(before),
+        cache: engine.cache_stats().since(cache0),
+        retry: engine.retry_stats().since(retry0),
+        faults: FaultCounters {
+            build: f1.build - faults0.build,
+            timeout: f1.timeout - faults0.timeout,
+            device_lost: f1.device_lost - faults0.device_lost,
+            bit_flip: f1.bit_flip - faults0.bit_flip,
+        },
+        resumed,
     }
 }
 
@@ -110,13 +228,10 @@ pub fn run_space(
     protocol: impl Fn(KernelConfig) -> BenchConfig,
 ) -> SweepResult {
     let engine = Engine::with_jobs(1);
-    let before = engine.cache_stats();
+    let (cache0, retry0, faults0) = snapshots(&engine);
     let work: Vec<BenchConfig> = space.configs().into_iter().map(protocol).collect();
     let points = engine.run_list_with(|| runner.clone(), &work);
-    SweepResult {
-        points,
-        cache: engine.cache_stats().since(before),
-    }
+    finish(&engine, points, cache0, retry0, faults0, 0)
 }
 
 /// A point on the bandwidth-vs-logic Pareto frontier.

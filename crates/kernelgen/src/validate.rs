@@ -107,12 +107,13 @@ pub fn validate(cfg: &KernelConfig) -> Result<(), ConfigError> {
     }
 
     if cfg.loop_mode == LoopMode::NdRange
-        && (cfg.work_group_size == 0 || !n_vec.is_multiple_of(cfg.work_group_size as u64)) {
-            return Err(ConfigError::BadWorkGroup {
-                work_group_size: cfg.work_group_size,
-                nd_range: n_vec,
-            });
-        }
+        && (cfg.work_group_size == 0 || !n_vec.is_multiple_of(cfg.work_group_size as u64))
+    {
+        return Err(ConfigError::BadWorkGroup {
+            work_group_size: cfg.work_group_size,
+            nd_range: n_vec,
+        });
+    }
 
     match cfg.pattern {
         AccessPattern::Contiguous => {}

@@ -31,7 +31,8 @@ impl CacheConfig {
         );
         assert!(self.ways >= 1, "need at least one way");
         assert!(
-            self.size_bytes.is_multiple_of(self.ways as u64 * self.line_bytes as u64),
+            self.size_bytes
+                .is_multiple_of(self.ways as u64 * self.line_bytes as u64),
             "capacity must be a whole number of sets"
         );
         assert!(self.sets() >= 1, "cache too small for its ways/line");

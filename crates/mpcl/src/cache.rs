@@ -15,9 +15,12 @@
 //! scalar, so the config half of the key is its exhaustive `Debug`
 //! rendering rather than a `Hash` impl.
 //!
-//! Failed builds are cached too: "design does not fit" is a deterministic
-//! verdict of the model, and re-synthesizing to rediscover it is exactly
-//! the waste this cache removes.
+//! *Permanently* failed builds are cached too: "design does not fit" is a
+//! deterministic verdict of the model, and re-synthesizing to rediscover
+//! it is exactly the waste this cache removes. *Transient* failures
+//! ([`ClError::is_transient`] — tool crashes, lost devices) are **not**
+//! memoized: they describe one unlucky attempt, not the configuration,
+//! and caching one would poison every later sweep that revisits the key.
 
 use crate::backend::BuildArtifact;
 use crate::error::ClError;
@@ -98,7 +101,9 @@ impl BuildCache {
         self.len() == 0
     }
 
-    /// Look up `(device_name, cfg)`, running `build` on a miss.
+    /// Look up `(device_name, cfg)`, running `build` on a miss. A build
+    /// that fails transiently is returned but **not** retained: the next
+    /// lookup of the same key builds again.
     pub fn get_or_build(
         &self,
         device_name: &str,
@@ -108,7 +113,7 @@ impl BuildCache {
         let key = (device_name.to_string(), format!("{cfg:?}"));
         let entry: Entry = {
             let mut map = self.map.lock().expect("mpcl mutex poisoned");
-            map.entry(key).or_default().clone()
+            map.entry(key.clone()).or_default().clone()
         };
         let mut built_here = false;
         let result = entry.get_or_init(|| {
@@ -117,6 +122,16 @@ impl BuildCache {
         });
         if built_here {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            // Evict transient failures so a flaky build attempt does not
+            // become the key's permanent verdict. Only the worker that
+            // populated the entry evicts, and only if the map still holds
+            // *this* entry (a concurrent retry may have re-inserted).
+            if matches!(result, Err(e) if e.is_transient()) {
+                let mut map = self.map.lock().expect("mpcl mutex poisoned");
+                if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &entry)) {
+                    map.remove(&key);
+                }
+            }
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -170,7 +185,7 @@ mod tests {
     }
 
     #[test]
-    fn failures_are_cached() {
+    fn permanent_failures_are_cached() {
         let cache = BuildCache::new();
         let mut builds = 0;
         for _ in 0..2 {
@@ -182,6 +197,36 @@ mod tests {
         }
         assert_eq!(builds, 1, "the failure verdict is remembered");
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn transient_failures_are_not_cached() {
+        let cache = BuildCache::new();
+        let mut attempts = 0;
+        // First attempt: the synthesis tool "crashes".
+        let r = cache.get_or_build("dev", &cfg(1024), || {
+            attempts += 1;
+            Err(ClError::TransientBuildFailure("license server down".into()))
+        });
+        assert!(matches!(r, Err(ClError::TransientBuildFailure(_))));
+        assert_eq!(cache.len(), 0, "flaky attempt must not poison the key");
+        // Retry: builds again and the success IS cached.
+        let r = cache.get_or_build("dev", &cfg(1024), || {
+            attempts += 1;
+            Ok(artifact())
+        });
+        assert!(r.is_ok());
+        assert_eq!(attempts, 2, "retry re-ran the backend");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        // Third lookup is a plain hit.
+        let r = cache.get_or_build("dev", &cfg(1024), || {
+            attempts += 1;
+            Err(ClError::DeviceLost)
+        });
+        assert!(r.is_ok());
+        assert_eq!(attempts, 2);
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! gigabytes of zeroed pages.
 
 use crate::error::ClError;
+use crate::fault::FaultPlan;
 use crate::platform::Device;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,6 +50,7 @@ struct CtxInner {
     device: Device,
     mem: Mutex<MemSpace>,
     id: u64,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// An OpenCL-style context for one device.
@@ -60,6 +62,12 @@ pub struct Context {
 impl Context {
     /// Create a context on `device`.
     pub fn new(device: Device) -> Self {
+        Context::with_faults(device, None)
+    }
+
+    /// Create a context on `device` with an optional fault-injection
+    /// plan; builds and enqueues through this context consult the plan.
+    pub fn with_faults(device: Device, faults: Option<Arc<FaultPlan>>) -> Self {
         Context {
             inner: Arc::new(CtxInner {
                 device,
@@ -68,6 +76,7 @@ impl Context {
                     ..Default::default()
                 }),
                 id: NEXT_CTX_ID.fetch_add(1, Ordering::Relaxed),
+                faults,
             }),
         }
     }
@@ -75,6 +84,11 @@ impl Context {
     /// The device this context was created on.
     pub fn device(&self) -> &Device {
         &self.inner.device
+    }
+
+    /// The fault-injection plan active on this context, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.inner.faults.as_ref()
     }
 
     /// Stable identity (used to reject cross-context object mixing).
@@ -136,6 +150,17 @@ impl Context {
             .data
             .get_or_insert_with(|| vec![0; alloc.len as usize]);
         out.copy_from_slice(&store[..out.len()]);
+    }
+
+    /// Flip the low bit of the byte at `offset` within the allocation at
+    /// `base` — the functional half of an injected memory fault. The
+    /// allocation materializes (zeroed) if it was never written.
+    pub(crate) fn flip_bit(&self, base: u64, offset: u64) {
+        let mut mem = self.inner.mem.lock().expect("mpcl mutex poisoned");
+        let alloc = mem.allocs.get_mut(&base).expect("flip in freed buffer");
+        let len = alloc.len as usize;
+        let store = alloc.data.get_or_insert_with(|| vec![0; len]);
+        store[(offset as usize).min(len - 1)] ^= 1;
     }
 
     /// Execute `f` with the destination buffer's bytes mutably and the

@@ -28,6 +28,124 @@ pub enum ClError {
     /// Objects from different contexts were mixed
     /// (`CL_INVALID_CONTEXT`).
     InvalidContext,
+    /// The device dropped off the bus mid-command (seen on real FPGA
+    /// boards as `CL_DEVICE_NOT_AVAILABLE` after a reconfiguration
+    /// glitch). Transient: re-creating the context usually recovers.
+    DeviceLost,
+    /// An enqueued command exceeded its deadline (driver watchdog or
+    /// host-side timeout around a hung enqueue). Transient.
+    Timeout(String),
+    /// Program build failed for a *tool* reason, not a design reason —
+    /// the synthesis toolchain crashed, ran out of licenses, or hit a
+    /// filesystem race. Unlike [`ClError::BuildProgramFailure`] (the
+    /// design does not fit — deterministic and permanent), retrying a
+    /// transient build failure is expected to succeed.
+    TransientBuildFailure(String),
+    /// Host-side code panicked while executing a configuration; the
+    /// panic was isolated to that configuration's outcome. Permanent —
+    /// retrying a poisoned configuration would panic again.
+    HostPanic(String),
+}
+
+/// Whether an error is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// Retrying the same operation may succeed (tool crash, device
+    /// drop-out, watchdog timeout).
+    Transient,
+    /// Retrying is pointless: the verdict is deterministic (design does
+    /// not fit, invalid arguments, host bug).
+    Permanent,
+}
+
+impl ClError {
+    /// Classify this error for retry purposes.
+    pub fn retry_class(&self) -> RetryClass {
+        match self {
+            ClError::DeviceLost | ClError::Timeout(_) | ClError::TransientBuildFailure(_) => {
+                RetryClass::Transient
+            }
+            _ => RetryClass::Permanent,
+        }
+    }
+
+    /// Is this a transient error (see [`RetryClass`])?
+    pub fn is_transient(&self) -> bool {
+        self.retry_class() == RetryClass::Transient
+    }
+
+    /// Stable variant name, used as the tag when persisting errors to a
+    /// sweep checkpoint.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ClError::DeviceNotFound => "DeviceNotFound",
+            ClError::InvalidBufferSize { .. } => "InvalidBufferSize",
+            ClError::InvalidKernelArgs(_) => "InvalidKernelArgs",
+            ClError::BuildProgramFailure(_) => "BuildProgramFailure",
+            ClError::InvalidWorkGroupSize(_) => "InvalidWorkGroupSize",
+            ClError::MemCopyOverlap => "MemCopyOverlap",
+            ClError::InvalidValue(_) => "InvalidValue",
+            ClError::InvalidContext => "InvalidContext",
+            ClError::DeviceLost => "DeviceLost",
+            ClError::Timeout(_) => "Timeout",
+            ClError::TransientBuildFailure(_) => "TransientBuildFailure",
+            ClError::HostPanic(_) => "HostPanic",
+        }
+    }
+
+    /// The variant's payload, paired with [`ClError::code`] for
+    /// checkpoint persistence; [`ClError::from_parts`] reverses it.
+    pub fn detail(&self) -> String {
+        match self {
+            ClError::InvalidBufferSize { requested, limit } => {
+                format!("requested={requested} limit={limit}")
+            }
+            ClError::InvalidKernelArgs(s)
+            | ClError::BuildProgramFailure(s)
+            | ClError::InvalidWorkGroupSize(s)
+            | ClError::InvalidValue(s)
+            | ClError::Timeout(s)
+            | ClError::TransientBuildFailure(s)
+            | ClError::HostPanic(s) => s.clone(),
+            _ => String::new(),
+        }
+    }
+
+    /// Rebuild an error from a `(code, detail)` pair produced by
+    /// [`ClError::code`]/[`ClError::detail`]. Unknown codes fall back to
+    /// [`ClError::InvalidValue`] carrying the detail text.
+    pub fn from_parts(code: &str, detail: &str) -> ClError {
+        let msg = || detail.to_string();
+        match code {
+            "DeviceNotFound" => ClError::DeviceNotFound,
+            "InvalidBufferSize" => {
+                let grab = |key: &str| {
+                    detail.split_whitespace().find_map(|kv| {
+                        kv.strip_prefix(key)
+                            .and_then(|v| v.strip_prefix('='))
+                            .and_then(|v| v.parse::<u64>().ok())
+                    })
+                };
+                match (grab("requested"), grab("limit")) {
+                    (Some(requested), Some(limit)) => {
+                        ClError::InvalidBufferSize { requested, limit }
+                    }
+                    _ => ClError::InvalidValue(msg()),
+                }
+            }
+            "InvalidKernelArgs" => ClError::InvalidKernelArgs(msg()),
+            "BuildProgramFailure" => ClError::BuildProgramFailure(msg()),
+            "InvalidWorkGroupSize" => ClError::InvalidWorkGroupSize(msg()),
+            "MemCopyOverlap" => ClError::MemCopyOverlap,
+            "InvalidValue" => ClError::InvalidValue(msg()),
+            "InvalidContext" => ClError::InvalidContext,
+            "DeviceLost" => ClError::DeviceLost,
+            "Timeout" => ClError::Timeout(msg()),
+            "TransientBuildFailure" => ClError::TransientBuildFailure(msg()),
+            "HostPanic" => ClError::HostPanic(msg()),
+            _ => ClError::InvalidValue(msg()),
+        }
+    }
 }
 
 impl fmt::Display for ClError {
@@ -50,6 +168,12 @@ impl fmt::Display for ClError {
             ClError::MemCopyOverlap => write!(f, "CL_MEM_COPY_OVERLAP"),
             ClError::InvalidValue(why) => write!(f, "CL_INVALID_VALUE: {why}"),
             ClError::InvalidContext => write!(f, "CL_INVALID_CONTEXT"),
+            ClError::DeviceLost => write!(f, "CL_DEVICE_NOT_AVAILABLE (device lost)"),
+            ClError::Timeout(why) => write!(f, "CL_TIMEOUT: {why}"),
+            ClError::TransientBuildFailure(log) => {
+                write!(f, "CL_BUILD_PROGRAM_FAILURE (transient):\n{log}")
+            }
+            ClError::HostPanic(why) => write!(f, "HOST_PANIC: {why}"),
         }
     }
 }
@@ -76,5 +200,59 @@ mod tests {
     fn build_failure_carries_log() {
         let e = ClError::BuildProgramFailure("ALM utilisation 140%".into());
         assert!(e.to_string().contains("140%"));
+    }
+
+    #[test]
+    fn retry_classification() {
+        assert!(ClError::DeviceLost.is_transient());
+        assert!(ClError::Timeout("watchdog".into()).is_transient());
+        assert!(ClError::TransientBuildFailure("tool crash".into()).is_transient());
+        assert_eq!(
+            ClError::TransientBuildFailure("x".into()).retry_class(),
+            RetryClass::Transient
+        );
+        for permanent in [
+            ClError::DeviceNotFound,
+            ClError::BuildProgramFailure("does not fit".into()),
+            ClError::InvalidContext,
+            ClError::MemCopyOverlap,
+            ClError::HostPanic("index out of bounds".into()),
+        ] {
+            assert!(!permanent.is_transient(), "{permanent}");
+            assert_eq!(permanent.retry_class(), RetryClass::Permanent);
+        }
+    }
+
+    #[test]
+    fn code_detail_round_trips_every_variant() {
+        let all = [
+            ClError::DeviceNotFound,
+            ClError::InvalidBufferSize {
+                requested: 10,
+                limit: 5,
+            },
+            ClError::InvalidKernelArgs("arg b".into()),
+            ClError::BuildProgramFailure("log text".into()),
+            ClError::InvalidWorkGroupSize("512 > 256".into()),
+            ClError::MemCopyOverlap,
+            ClError::InvalidValue("bad".into()),
+            ClError::InvalidContext,
+            ClError::DeviceLost,
+            ClError::Timeout("deadline".into()),
+            ClError::TransientBuildFailure("license".into()),
+            ClError::HostPanic("boom".into()),
+        ];
+        for e in all {
+            let back = ClError::from_parts(e.code(), &e.detail());
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn unknown_code_degrades_to_invalid_value() {
+        assert_eq!(
+            ClError::from_parts("SomethingNew", "payload"),
+            ClError::InvalidValue("payload".into())
+        );
     }
 }

@@ -24,6 +24,7 @@ pub mod backend;
 pub mod cache;
 pub mod context;
 pub mod error;
+pub mod fault;
 pub mod platform;
 pub mod program;
 pub mod queue;
@@ -33,7 +34,8 @@ pub use backend::{
 };
 pub use cache::{BuildCache, CacheStats};
 pub use context::{Buffer, Context, MemFlags};
-pub use error::ClError;
+pub use error::{ClError, RetryClass};
+pub use fault::{FaultCounters, FaultPlan, FaultSite, FaultSpec};
 pub use platform::{Device, Platform};
 pub use program::{Kernel, Program};
 pub use queue::{CommandQueue, Event};

@@ -40,6 +40,10 @@ impl Program {
         // Pre-synthesis validation stays outside the cache: it is cheap,
         // and work-group limits depend on the device handle at hand.
         Self::check(ctx, &cfg)?;
+        // Fault injection also sits outside the cache — an injected
+        // transient tool crash fails *this attempt*, it must not be
+        // memoized as the configuration's permanent verdict.
+        Self::inject_build_fault(ctx, &cfg)?;
         let artifact = cache.get_or_build(&ctx.device().info().name, &cfg, || {
             ctx.device().with_backend(|b| b.build(&cfg))
         })?;
@@ -67,7 +71,19 @@ impl Program {
 
     fn check_and_synthesize(ctx: &Context, cfg: &KernelConfig) -> Result<BuildArtifact, ClError> {
         Self::check(ctx, cfg)?;
+        Self::inject_build_fault(ctx, cfg)?;
         ctx.device().with_backend(|b| b.build(cfg))
+    }
+
+    /// Roll the context's fault plan (if any) for this build attempt.
+    fn inject_build_fault(ctx: &Context, cfg: &KernelConfig) -> Result<(), ClError> {
+        if let Some(plan) = ctx.fault_plan() {
+            let key = format!("{}:{:?}", ctx.device().info().name, cfg);
+            if let Some(e) = plan.inject_build_failure(&key) {
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 
     /// The configuration this program implements.

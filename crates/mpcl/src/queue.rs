@@ -142,6 +142,19 @@ impl CommandQueue {
             return Err(ClError::InvalidContext);
         }
         let plan = kernel.plan();
+        // Fault plan: the launch may be lost or time out before the
+        // device runs anything.
+        let fault_key = self.ctx.fault_plan().map(|fp| {
+            (
+                Arc::clone(fp),
+                format!("{}:{:?}", self.ctx.device().info().name, plan.cfg),
+            )
+        });
+        if let Some((plan_fp, key)) = &fault_key {
+            if let Some(e) = plan_fp.inject_enqueue_fault(key) {
+                return Err(e);
+            }
+        }
         let (launch, cost) = self.ctx.device().with_backend(|b| {
             (
                 b.launch_overhead_ns(),
@@ -154,6 +167,14 @@ impl CommandQueue {
                 .with_kernel_memory(plan.base_a, plan.base_b, base_c, |a, b, c| {
                     kernelgen::execute(&plan.cfg, a, b, c);
                 });
+            // Silent data corruption: flip one bit in the destination
+            // after the launch, for STREAM verification to catch.
+            // Timing-only queues have no data to corrupt.
+            if let Some((plan_fp, key)) = &fault_key {
+                if let Some(off) = plan_fp.inject_bit_flip(key, plan.cfg.array_bytes()) {
+                    self.ctx.flip_bit(plan.base_a, off);
+                }
+            }
         }
         Ok(self.advance(launch, cost.ns, cost.dram_bytes))
     }

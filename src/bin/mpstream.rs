@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! mpstream --target aocl --kernel copy --size 4M --vector 16 --loop flat
+//! mpstream sweep --target aocl --vectors 1,2,4,8,16 --unrolls 1,2 \
+//!          --faults build=0.2,timeout=0.1 --checkpoint sweep.jsonl --resume
 //! mpstream --list-devices
 //! mpstream --show-kernel --target sdaccel --loop nested
 //! ```

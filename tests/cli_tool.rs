@@ -96,3 +96,111 @@ fn invalid_vector_width_surfaces_cleanly() {
     let err = kernel_config(&req, kernelgen::StreamOp::Copy).unwrap_err();
     assert!(err.contains("vector width"), "{err}");
 }
+
+fn temp_checkpoint(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("mpstream-cli-{tag}-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn sweep_end_to_end_with_faults() {
+    let req = parse(&[
+        "sweep",
+        "--kernel",
+        "copy",
+        "--kernel",
+        "triad",
+        "--size",
+        "64K",
+        "--ntimes",
+        "1",
+        "--vectors",
+        "1,2,4",
+        "--faults",
+        "build=0.1,timeout=0.05,lost=0.03,bitflip=0.05",
+        "--fault-seed",
+        "99",
+        "--retries",
+        "5",
+        "--jobs",
+        "2",
+    ]);
+    let out = execute(&req).expect("faulty sweep completes");
+    assert!(out.contains("6 points"), "{out}");
+    // Degradation summary rendered, with zero terminal failures.
+    assert!(out.contains("gave up"), "{out}");
+    assert!(out.contains("best:"), "{out}");
+    assert!(!out.contains("FAILED"), "{out}");
+}
+
+#[test]
+fn sweep_checkpoint_then_resume_through_the_cli() {
+    let path = temp_checkpoint("resume");
+    let path_str = path.to_str().unwrap().to_string();
+    let first = parse(&[
+        "sweep",
+        "--kernel",
+        "copy",
+        "--size",
+        "64K",
+        "--ntimes",
+        "1",
+        "--vectors",
+        "1,2",
+        "--checkpoint",
+        &path_str,
+    ]);
+    execute(&first).expect("first sweep");
+
+    // Resume over a superset: the two checkpointed widths are answered
+    // from the file; only widths 4 and 8 run.
+    let resumed = parse(&[
+        "sweep",
+        "--kernel",
+        "copy",
+        "--size",
+        "64K",
+        "--ntimes",
+        "1",
+        "--vectors",
+        "1,2,4,8",
+        "--checkpoint",
+        &path_str,
+        "--resume",
+    ]);
+    let out = execute(&resumed).expect("resumed sweep");
+    assert!(out.contains("4 points"), "{out}");
+    // Summary's resumed column: points(4) ok(4) failed(0) retried(0)
+    // gave-up(0) resumed(2)...
+    let summary_row = out
+        .lines()
+        .skip_while(|l| !l.contains("resumed"))
+        .nth(2)
+        .expect("summary data row");
+    let cells: Vec<&str> = summary_row.split_whitespace().collect();
+    assert_eq!(cells[5], "2", "resumed count: {out}");
+
+    // Without --resume the checkpoint is truncated and everything runs.
+    let fresh = parse(&[
+        "sweep",
+        "--kernel",
+        "copy",
+        "--size",
+        "64K",
+        "--ntimes",
+        "1",
+        "--vectors",
+        "1,2",
+        "--checkpoint",
+        &path_str,
+    ]);
+    let out = execute(&fresh).expect("fresh sweep");
+    let summary_row = out
+        .lines()
+        .skip_while(|l| !l.contains("resumed"))
+        .nth(2)
+        .expect("summary data row");
+    let cells: Vec<&str> = summary_row.split_whitespace().collect();
+    assert_eq!(cells[5], "0", "nothing resumed after truncation: {out}");
+
+    std::fs::remove_file(&path).ok();
+}
