@@ -3,7 +3,7 @@
 //! ```text
 //! figures [all|fig1a|fig1b|fig2|fig3|fig4a|fig4b]...
 //!         [--quick] [--jobs N] [--csv-dir DIR] [--write-experiments PATH]
-//!         [--faults SPEC] [--fault-seed N] [--retries N]
+//!         [--faults SPEC] [--fault-seed N] [--retries N] [--trace FILE]
 //! ```
 //!
 //! Prints each figure as a table + ASCII log-log chart, compares it
@@ -14,12 +14,17 @@
 //! deterministic transient faults into every sweep; with the default
 //! retry budget the figures should come out identical to a fault-free
 //! run — a standing end-to-end check of the resilience layer.
+//!
+//! `--trace FILE` writes one Chrome `trace_event` JSON file covering all
+//! requested figures (chrome://tracing or Perfetto). With
+//! `MPSTREAM_TRACE_CANONICAL=1` the canonical jobs-invariant form is
+//! written instead — the CI determinism job diffs it across `--jobs`.
 
 use mpstream_bench::{compare_figure, comparison_markdown, render_figure};
 use mpstream_core::engine::{env_fault_seed, env_fault_spec, env_retries};
 use mpstream_core::experiments::{run_figure, RunOpts};
 use mpstream_core::paperdata::Shape;
-use mpstream_core::{FigureId, Table};
+use mpstream_core::{FigureId, Table, Trace};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,7 +33,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: figures [all|fig1a|fig1b|fig2|fig3|fig4a|fig4b]... \
          [--quick] [--jobs N] [--csv-dir DIR] [--write-experiments PATH] \
-         [--faults SPEC] [--fault-seed N] [--retries N]"
+         [--faults SPEC] [--fault-seed N] [--retries N] [--trace FILE]"
     );
     std::process::exit(2);
 }
@@ -42,6 +47,7 @@ fn main() -> ExitCode {
     let mut faults = env_fault_spec();
     let mut fault_seed = env_fault_seed();
     let mut retries = env_retries();
+    let mut trace_path: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -77,6 +83,7 @@ fn main() -> ExitCode {
                     n => n,
                 }
             }
+            "--trace" => trace_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             other => match FigureId::from_name(other) {
                 Some(id) => ids.push(id),
                 None => usage(),
@@ -104,6 +111,10 @@ fn main() -> ExitCode {
     if let Some(r) = retries {
         opts = opts.with_retries(r);
     }
+    let trace = trace_path.as_ref().map(|_| Trace::new());
+    if let Some(t) = &trace {
+        opts = opts.with_trace(t.clone());
+    }
 
     let mut experiments_md = String::from(EXPERIMENTS_HEADER);
     let mut failures = 0usize;
@@ -114,7 +125,7 @@ fn main() -> ExitCode {
             id.name(),
             if quick { "quick" } else { "full" }
         );
-        let fig = run_figure(id, opts);
+        let fig = run_figure(id, opts.clone());
         println!("{}", render_figure(&fig));
 
         let cmp = compare_figure(&fig);
@@ -152,6 +163,24 @@ fn main() -> ExitCode {
     if let Some(path) = experiments_path {
         std::fs::write(&path, experiments_md).expect("write EXPERIMENTS.md");
         eprintln!("[figures] wrote {}", path.display());
+    }
+
+    if let (Some(path), Some(t)) = (&trace_path, &trace) {
+        let canonical = std::env::var("MPSTREAM_TRACE_CANONICAL")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let json = if canonical {
+            t.canonical_chrome_json()
+        } else {
+            t.to_chrome_json()
+        };
+        std::fs::write(path, json).expect("write trace");
+        eprintln!(
+            "[figures] wrote {} ({} events{})",
+            path.display(),
+            t.len(),
+            if canonical { ", canonical" } else { "" }
+        );
     }
 
     if failures > 0 {

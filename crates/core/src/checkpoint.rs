@@ -19,7 +19,7 @@
 use crate::engine::Outcome;
 use crate::runner::Measurement;
 use kernelgen::KernelConfig;
-use mpcl::{ClError, ResourceUsage};
+use mpcl::{CacheStatus, ClError, ResourceUsage};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
@@ -158,6 +158,13 @@ fn render_record(o: &Outcome) -> String {
             w.raw_field("bram", &res(|r| r.bram));
             w.raw_field("dsp", &res(|r| r.dsp));
             w.str_field("build_log", &m.build_log);
+            w.raw_field("build_ns", &fmt_f64(m.build_ns));
+            w.raw_field("xfer_ns", &fmt_f64(m.xfer_ns));
+            w.raw_field("kernel_ns", &fmt_f64(m.kernel_ns));
+            w.str_field("cache", m.cache.label());
+            w.raw_field("row_hits", &m.row_hits.to_string());
+            w.raw_field("row_misses", &m.row_misses.to_string());
+            w.raw_field("row_empty", &m.row_empty.to_string());
         }
         Err(e) => {
             w.str_field("status", "err");
@@ -217,6 +224,28 @@ fn parse_record(line: &str) -> Option<(String, Outcome)> {
                 fmax_mhz: opt_f64("fmax_mhz")?,
                 resources,
                 build_log: str_of("build_log")?,
+                // Metrics added after the format's first release:
+                // records written by older versions fall back to their
+                // zero values instead of being rejected.
+                build_ns: raw_of("build_ns")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.0),
+                xfer_ns: raw_of("xfer_ns")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.0),
+                kernel_ns: raw_of("kernel_ns")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.0),
+                cache: str_of("cache")
+                    .and_then(|s| CacheStatus::from_label(&s))
+                    .unwrap_or(CacheStatus::Uncached),
+                row_hits: raw_of("row_hits").and_then(|v| v.parse().ok()).unwrap_or(0),
+                row_misses: raw_of("row_misses")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
+                row_empty: raw_of("row_empty")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
             })
         }
         "err" => Err(ClError::from_parts(&str_of("code")?, &str_of("msg")?)),

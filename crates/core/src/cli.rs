@@ -13,6 +13,7 @@ use crate::report::Table;
 use crate::runner::Runner;
 use crate::space::ParamSpace;
 use crate::sweep::{sweep_space, sweep_space_checkpointed};
+use crate::trace::Trace;
 use kernelgen::{
     AccessPattern, AoclOpts, DataType, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts,
 };
@@ -85,6 +86,8 @@ pub struct CliRequest {
     pub checkpoint: Option<PathBuf>,
     /// Skip sweep points already present in `--checkpoint`.
     pub resume: bool,
+    /// Write a Chrome `trace_event` JSON trace of the run here.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for CliRequest {
@@ -113,6 +116,7 @@ impl Default for CliRequest {
             deadline_ms: None,
             checkpoint: None,
             resume: false,
+            trace: None,
         }
     }
 }
@@ -158,6 +162,10 @@ usage: mpstream [sweep] [options]
                                     JSONL file as workers complete
   --resume                          sweep mode: skip points already in the
                                     --checkpoint file
+  --trace <file>                    write a Chrome trace_event JSON trace
+                                    (open with chrome://tracing or Perfetto;
+                                    MPSTREAM_TRACE_CANONICAL=1 writes the
+                                    canonical jobs-invariant form)
   --help                            this text";
 
 /// Parse a size argument like `4M`, `512K`, `1G`, `8192`.
@@ -344,6 +352,7 @@ pub fn parse_args(args: &[String]) -> Result<Option<CliRequest>, String> {
             }
             "--checkpoint" => req.checkpoint = Some(PathBuf::from(need(&mut it, "--checkpoint")?)),
             "--resume" => req.resume = true,
+            "--trace" => req.trace = Some(PathBuf::from(need(&mut it, "--trace")?)),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -390,6 +399,31 @@ pub fn resilience(req: &CliRequest) -> (Option<Arc<FaultPlan>>, ResiliencePolicy
         policy = policy.with_deadline(Duration::from_millis(ms));
     }
     (plan, policy)
+}
+
+/// The trace sink a request asks for: an armed [`Trace`] when `--trace`
+/// was given, else `None` (tracing is then a no-op throughout).
+fn trace_sink(req: &CliRequest) -> Option<Arc<Trace>> {
+    req.trace.as_ref().map(|_| Trace::new())
+}
+
+/// Write the collected trace where `--trace` pointed. With
+/// `MPSTREAM_TRACE_CANONICAL=1` in the environment the canonical form
+/// (virtual lanes only, sorted) is written instead — byte-identical
+/// across `--jobs` counts, which is what the CI determinism job diffs.
+fn write_trace(req: &CliRequest, trace: Option<&Arc<Trace>>) -> Result<(), String> {
+    let (Some(path), Some(t)) = (req.trace.as_ref(), trace) else {
+        return Ok(());
+    };
+    let canonical = std::env::var("MPSTREAM_TRACE_CANONICAL")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let json = if canonical {
+        t.canonical_chrome_json()
+    } else {
+        t.to_chrome_json()
+    };
+    std::fs::write(path, json).map_err(|e| format!("trace {}: {e}", path.display()))
 }
 
 /// Build the kernel configuration for one op of the request.
@@ -439,9 +473,11 @@ pub fn execute(req: &CliRequest) -> Result<String, String> {
     // One kernel per work item, fanned across the engine's pool; the
     // outcomes come back in request order regardless of --jobs.
     let (plan, policy) = resilience(req);
+    let trace = trace_sink(req);
     let engine = Engine::with_jobs(req.jobs.unwrap_or_else(default_jobs))
         .with_policy(policy)
-        .with_faults(plan);
+        .with_faults(plan)
+        .with_trace(trace.clone());
     for (op, outcome) in req.ops.iter().zip(engine.run_list(req.target, &work)) {
         match outcome.result {
             Ok(m) => {
@@ -471,6 +507,7 @@ pub fn execute(req: &CliRequest) -> Result<String, String> {
     for f in failures {
         out.push_str(&format!("FAILED {f}\n"));
     }
+    write_trace(req, trace.as_ref())?;
     Ok(out)
 }
 
@@ -481,9 +518,11 @@ pub fn execute(req: &CliRequest) -> Result<String, String> {
 fn execute_sweep(req: &CliRequest) -> Result<String, String> {
     let info = Runner::for_target(req.target).device().info().clone();
     let (plan, policy) = resilience(req);
+    let trace = trace_sink(req);
     let engine = Engine::with_jobs(req.jobs.unwrap_or_else(default_jobs))
         .with_policy(policy)
-        .with_faults(plan);
+        .with_faults(plan)
+        .with_trace(trace.clone());
 
     let space = ParamSpace::new()
         .ops(req.ops.iter().copied())
@@ -541,6 +580,16 @@ fn execute_sweep(req: &CliRequest) -> Result<String, String> {
             ));
         }
     }
+    // Per-config execution metrics last: tests that compare the point
+    // table across fault plans truncate at the summary, and the cache
+    // column here is a scheduling fact that may differ across runs.
+    out.push('\n');
+    out.push_str(&if req.csv {
+        result.metrics_table().to_csv()
+    } else {
+        result.metrics_table().to_text()
+    });
+    write_trace(req, trace.as_ref())?;
     Ok(out)
 }
 

@@ -32,6 +32,7 @@
 
 use crate::config::BenchConfig;
 use crate::runner::{Measurement, Runner};
+use crate::trace::{self, Trace, TID_ENGINE};
 use kernelgen::KernelConfig;
 use mpcl::{BuildCache, CacheStats, ClError, FaultCounters, FaultPlan};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -249,6 +250,7 @@ pub struct Engine {
     cache: Arc<BuildCache>,
     policy: ResiliencePolicy,
     faults: Option<Arc<FaultPlan>>,
+    trace: Option<Arc<Trace>>,
     retries: AtomicU64,
     transient_errors: AtomicU64,
     gave_up: AtomicU64,
@@ -274,6 +276,7 @@ impl Engine {
             cache: Arc::new(BuildCache::new()),
             policy: ResiliencePolicy::default(),
             faults: None,
+            trace: None,
             retries: AtomicU64::new(0),
             transient_errors: AtomicU64::new(0),
             gave_up: AtomicU64::new(0),
@@ -292,6 +295,19 @@ impl Engine {
     pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Attach a trace sink: every configuration executed through this
+    /// engine records spans/counters into it (`None` detaches — the
+    /// default, costing nothing).
+    pub fn with_trace(mut self, trace: Option<Arc<Trace>>) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace(&self) -> Option<&Arc<Trace>> {
+        self.trace.as_ref()
     }
 
     /// Worker count.
@@ -366,7 +382,13 @@ impl Engine {
         self.execute_indexed(
             work.len(),
             || self.equip(make_runner()),
-            |runner, i| self.run_one_with(runner, &work[i]),
+            |runner, i| {
+                let _task = self
+                    .trace
+                    .as_ref()
+                    .map(|t| trace::begin_task(Arc::clone(t), i as u64));
+                self.run_one_with(runner, &work[i])
+            },
             observe,
         )
     }
@@ -402,6 +424,7 @@ impl Engine {
         let started = Instant::now();
         let mut retries = 0u32;
         loop {
+            let t0 = trace::vclock_ns();
             let result = match catch_unwind(AssertUnwindSafe(&attempt)) {
                 Ok(r) => r,
                 Err(payload) => {
@@ -413,6 +436,40 @@ impl Engine {
                 Err(e) => e.is_transient(),
                 Ok(m) => m.validated == Some(false),
             };
+            // The attempt span covers the virtual time the attempt
+            // consumed (synthesis + queue activity, advanced by the
+            // runner); faults and failed validations get an instant so
+            // a fault-injected trace shows exactly the injected sites.
+            let mut span_args = trace::args([("n", retries.into())]);
+            match &result {
+                Err(e) => {
+                    span_args.push(("error".into(), e.code().into()));
+                    if e.is_transient() {
+                        trace::instant(
+                            TID_ENGINE,
+                            "fault",
+                            trace::vclock_ns(),
+                            trace::args([("code", e.code().into())]),
+                        );
+                    }
+                }
+                Ok(m) if m.validated == Some(false) => {
+                    trace::instant(
+                        TID_ENGINE,
+                        "fault",
+                        trace::vclock_ns(),
+                        trace::args([("code", "ValidationFailed".into())]),
+                    );
+                }
+                Ok(_) => {}
+            }
+            trace::span(
+                TID_ENGINE,
+                "attempt",
+                t0,
+                trace::vclock_ns() - t0,
+                span_args,
+            );
             if !transient {
                 return Outcome {
                     config: config.clone(),
@@ -437,6 +494,18 @@ impl Engine {
             self.retries.fetch_add(1, Ordering::Relaxed);
             let backoff = self.policy.backoff_after(retries);
             if !backoff.is_zero() {
+                // The backoff sleep is part of the deterministic
+                // schedule (no jitter), so it lives on the virtual
+                // timeline too.
+                let backoff_ns = backoff.as_nanos() as f64;
+                trace::span(
+                    TID_ENGINE,
+                    "backoff",
+                    trace::vclock_ns(),
+                    backoff_ns,
+                    trace::args([("retry", retries.into())]),
+                );
+                trace::advance_vclock(backoff_ns);
                 std::thread::sleep(backoff);
             }
         }
@@ -454,7 +523,13 @@ impl Engine {
         self.execute_indexed(
             configs.len(),
             || (),
-            |(), i| self.run_protected(&configs[i], || objective(&configs[i])),
+            |(), i| {
+                let _task = self
+                    .trace
+                    .as_ref()
+                    .map(|t| trace::begin_task(Arc::clone(t), i as u64));
+                self.run_protected(&configs[i], || objective(&configs[i]))
+            },
             |_| {},
         )
     }
@@ -471,10 +546,20 @@ impl Engine {
         observe: impl Fn(&Outcome) + Sync,
     ) -> Vec<Outcome> {
         let jobs = self.jobs.min(n).max(1);
+        let schedule = |worker: usize, i: usize| {
+            if let Some(t) = &self.trace {
+                t.wall_instant(
+                    i as u64,
+                    "schedule",
+                    trace::args([("worker", (worker as u64).into())]),
+                );
+            }
+        };
         if jobs == 1 {
             let worker = make_worker();
             return (0..n)
                 .map(|i| {
+                    schedule(0, i);
                     let outcome = eval(&worker, i);
                     observe(&outcome);
                     outcome
@@ -490,12 +575,13 @@ impl Engine {
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, Outcome)>();
         std::thread::scope(|s| {
-            for _ in 0..jobs {
+            for w in 0..jobs {
                 let tx = tx.clone();
                 let next = &next;
                 let make_worker = &make_worker;
                 let eval = &eval;
                 let observe = &observe;
+                let schedule = &schedule;
                 s.spawn(move || {
                     let worker = make_worker();
                     loop {
@@ -503,6 +589,7 @@ impl Engine {
                         if i >= n {
                             break;
                         }
+                        schedule(w, i);
                         let outcome = eval(&worker, i);
                         observe(&outcome);
                         if tx.send((i, outcome)).is_err() {

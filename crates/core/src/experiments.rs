@@ -18,6 +18,7 @@ use crate::engine::{
     default_jobs, Engine, ResiliencePolicy, DEFAULT_FAULT_RETRIES, DEFAULT_FAULT_SEED,
 };
 use crate::report::Series;
+use crate::trace::Trace;
 use kernelgen::{
     AccessPattern, AoclOpts, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts,
 };
@@ -138,7 +139,7 @@ fn measure_list(
 }
 
 /// Options controlling sweep sizes (tests use `quick`) and parallelism.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunOpts {
     /// Reduce point counts and repetitions for fast smoke runs.
     pub quick: bool,
@@ -152,6 +153,8 @@ pub struct RunOpts {
     /// Per-config retry budget; `None` uses [`DEFAULT_FAULT_RETRIES`]
     /// when faults are on, else 0.
     pub retries: Option<u32>,
+    /// Trace sink shared by every figure's engine (`--trace`).
+    pub trace: Option<Arc<Trace>>,
 }
 
 impl RunOpts {
@@ -163,6 +166,7 @@ impl RunOpts {
             faults: None,
             fault_seed: None,
             retries: None,
+            trace: None,
         }
     }
 
@@ -199,6 +203,12 @@ impl RunOpts {
         self
     }
 
+    /// Builder: collect structured trace events into `trace`.
+    pub fn with_trace(mut self, trace: Arc<Trace>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     fn engine(&self) -> Engine {
         let plan = self.faults.map(|spec| {
             Arc::new(FaultPlan::new(
@@ -214,6 +224,7 @@ impl RunOpts {
         Engine::with_jobs(self.jobs.unwrap_or_else(default_jobs))
             .with_policy(ResiliencePolicy::retrying(retries))
             .with_faults(plan)
+            .with_trace(self.trace.clone())
     }
 
     fn ntimes(&self) -> u32 {

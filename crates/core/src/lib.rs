@@ -40,6 +40,7 @@ pub mod rng;
 pub mod runner;
 pub mod space;
 pub mod sweep;
+pub mod trace;
 
 pub use bandwidth::{gbps_to_kbps, mb_label};
 pub use checkpoint::Checkpoint;
@@ -55,3 +56,4 @@ pub use space::ParamSpace;
 pub use sweep::{
     pareto_front, run_space, sweep_space, sweep_space_checkpointed, ParetoPoint, SweepResult,
 };
+pub use trace::Trace;

@@ -3,8 +3,23 @@
 //! summary ([`sweep_summary_table`]) that makes partial (fault-degraded
 //! or resumed) sweeps legible at a glance.
 
+use kernelgen::KernelConfig;
 use mpcl::CacheStats;
 use std::fmt::Write as _;
+
+/// The one-line label report tables use for a configuration (op, vector
+/// width, loop mode, unroll, vendor opts) — shared by the sweep point
+/// table and the per-config metrics table so rows line up across both.
+pub fn config_label(cfg: &KernelConfig) -> String {
+    format!(
+        "{} vec{} {} u{} {:?}",
+        cfg.op.name(),
+        cfg.vector_width.get(),
+        cfg.loop_mode.label(),
+        cfg.unroll,
+        cfg.vendor
+    )
+}
 
 /// A labelled series of (x, y) points — one line of a paper figure.
 #[derive(Debug, Clone, PartialEq)]
@@ -177,6 +192,58 @@ pub struct SweepSummary {
     pub panics: u64,
     /// Faults injected by an attached fault plan.
     pub faults_injected: u64,
+}
+
+/// One row of the per-configuration execution-metrics table — where a
+/// point's simulated time went (synthesis, transfers, kernel), what the
+/// resilience layer did for it, and how DRAM behaved. The sweep layer
+/// fills this from successful `SweepResult` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigMetrics {
+    /// Configuration label (see [`config_label`]).
+    pub label: String,
+    /// Sustained bandwidth, GB/s.
+    pub gbps: f64,
+    /// Modelled synthesis/compile time, ns.
+    pub build_ns: f64,
+    /// Total simulated transfer time, ns.
+    pub xfer_ns: f64,
+    /// Total simulated kernel execution time, ns.
+    pub kernel_ns: f64,
+    /// Re-attempts the point needed.
+    pub retries: u32,
+    /// Build-cache status label (`hit`/`miss`/`uncached`).
+    pub cache: &'static str,
+    /// DRAM row-buffer hit rate, 0..=1.
+    pub row_hit_rate: f64,
+}
+
+/// Render the per-configuration metrics table
+/// (`build_ns`/`xfer_ns`/`kernel_ns`/`retries`/`cache`/row hit-rate).
+pub fn config_metrics_table(rows: &[ConfigMetrics]) -> Table {
+    let mut t = Table::new(&[
+        "config",
+        "GB/s",
+        "build_ns",
+        "xfer_ns",
+        "kernel_ns",
+        "retries",
+        "cache",
+        "row hit%",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.label.clone(),
+            format!("{:.2}", r.gbps),
+            format!("{:.0}", r.build_ns),
+            format!("{:.0}", r.xfer_ns),
+            format!("{:.0}", r.kernel_ns),
+            r.retries.to_string(),
+            r.cache.to_string(),
+            format!("{:.1}", r.row_hit_rate * 100.0),
+        ]);
+    }
+    t
 }
 
 /// One-row sweep degradation summary: alongside ok/failed, the

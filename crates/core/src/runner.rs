@@ -11,15 +11,16 @@
 //! makes small arrays overhead-bound exactly as in the paper's figures.
 
 use crate::config::{BenchConfig, StreamLocation};
+use crate::trace;
 use kernelgen::{DataType, KernelConfig, StreamOp};
 use mpcl::{
-    Buffer, BuildCache, ClError, CommandQueue, Context, Device, FaultPlan, Kernel, MemFlags,
-    Program, ResourceUsage,
+    Buffer, BuildCache, CacheStatus, ClError, CmdKind, CmdRecord, CommandQueue, Context, Device,
+    FaultPlan, Kernel, MemFlags, Program, ResourceUsage,
 };
 use std::sync::Arc;
 
 /// The outcome of one benchmark run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Device name the run executed on.
     pub device: String,
@@ -47,6 +48,49 @@ pub struct Measurement {
     pub resources: Option<ResourceUsage>,
     /// Compiler/synthesis log.
     pub build_log: String,
+    /// Modelled synthesis/compile time of the configuration, ns — a
+    /// property of the configuration, identical whether the artifact
+    /// came from a fresh build or the cache.
+    pub build_ns: f64,
+    /// Total simulated host↔device transfer time (writes + reads), ns.
+    pub xfer_ns: f64,
+    /// Total simulated device execution time of completed (non-aborted)
+    /// kernel launches, ns, summed over warm-up and timed repetitions.
+    pub kernel_ns: f64,
+    /// Whether the build artifact came from the shared cache. Excluded
+    /// from equality: which worker builds first is a scheduling fact.
+    pub cache: CacheStatus,
+    /// DRAM row-buffer hits across completed kernel launches.
+    pub row_hits: u64,
+    /// DRAM row-buffer misses (row conflict) across completed launches.
+    pub row_misses: u64,
+    /// DRAM row-buffer empty activations across completed launches.
+    pub row_empty: u64,
+}
+
+impl PartialEq for Measurement {
+    fn eq(&self, other: &Self) -> bool {
+        // `cache` is deliberately excluded: hit-vs-miss depends on
+        // which worker reached the configuration (or retry attempt)
+        // first, not on what was measured.
+        self.device == other.device
+            && self.bytes_moved == other.bytes_moved
+            && self.best_wall_ns == other.best_wall_ns
+            && self.avg_wall_ns == other.avg_wall_ns
+            && self.best_kernel_ns == other.best_kernel_ns
+            && self.validated == other.validated
+            && self.dram_bytes_per_launch == other.dram_bytes_per_launch
+            && self.energy_j == other.energy_j
+            && self.fmax_mhz == other.fmax_mhz
+            && self.resources == other.resources
+            && self.build_log == other.build_log
+            && self.build_ns == other.build_ns
+            && self.xfer_ns == other.xfer_ns
+            && self.kernel_ns == other.kernel_ns
+            && self.row_hits == other.row_hits
+            && self.row_misses == other.row_misses
+            && self.row_empty == other.row_empty
+    }
 }
 
 impl Measurement {
@@ -72,6 +116,17 @@ impl Measurement {
         self.dram_bytes_per_launch as f64 / self.bytes_moved as f64
     }
 
+    /// DRAM row-buffer hit rate over the completed kernel launches
+    /// (1.0 when the model recorded no row activity).
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_empty;
+        if total == 0 {
+            1.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
     /// A fabricated measurement with the given bandwidth, for testing
     /// search strategies without a device (everything but `gbps()` is
     /// placeholder).
@@ -89,6 +144,13 @@ impl Measurement {
             fmax_mhz: None,
             resources: None,
             build_log: String::new(),
+            build_ns: 0.0,
+            xfer_ns: 0.0,
+            kernel_ns: 0.0,
+            cache: CacheStatus::Uncached,
+            row_hits: 0,
+            row_misses: 0,
+            row_empty: 0,
         }
     }
 }
@@ -148,20 +210,110 @@ impl Runner {
 
     /// Execute one configuration. Build failures (FPGA synthesis) and
     /// invalid configurations surface as `Err`.
+    ///
+    /// When the calling thread is armed for tracing
+    /// ([`trace::begin_task`]), the attempt's build and queue activity
+    /// is recorded on the virtual timeline — even for failed attempts,
+    /// so aborted launches keep their timestamps in the trace.
     pub fn run(&self, bc: &BenchConfig) -> Result<Measurement, ClError> {
-        let kernel_cfg = &bc.kernel;
         let ctx = Context::with_faults(self.device.clone(), self.faults.clone());
         let queue = if bc.validate {
             CommandQueue::new(&ctx)
         } else {
             CommandQueue::new_timing_only(&ctx)
         };
+        let mut build: Option<(f64, CacheStatus)> = None;
+        let result = self.run_inner(bc, &ctx, &queue, &mut build);
+        let log = queue.take_log();
+        self.emit_trace(&queue, &log, build);
+        result.map(|mut m| {
+            if let Some((synthesis_ns, status)) = build {
+                m.build_ns = synthesis_ns;
+                m.cache = status;
+            }
+            for rec in &log {
+                match rec.kind {
+                    CmdKind::Write | CmdKind::Read => m.xfer_ns += rec.event.duration_ns(),
+                    CmdKind::Kernel if !rec.aborted => {
+                        m.kernel_ns += rec.event.duration_ns();
+                        m.row_hits += rec.event.row_hits;
+                        m.row_misses += rec.event.row_misses;
+                        m.row_empty += rec.event.row_empty;
+                    }
+                    _ => {}
+                }
+            }
+            m
+        })
+    }
 
+    /// Record this attempt's build span, cache status, queue-command
+    /// spans and DRAM row counters, then advance the virtual clock past
+    /// everything the attempt simulated. No-op on unarmed threads.
+    fn emit_trace(
+        &self,
+        queue: &CommandQueue,
+        log: &[CmdRecord],
+        build: Option<(f64, CacheStatus)>,
+    ) {
+        if !trace::is_active() {
+            return;
+        }
+        let base = trace::vclock_ns();
+        let mut synth = 0.0;
+        if let Some((synthesis_ns, status)) = build {
+            synth = synthesis_ns;
+            // The span duration is the configuration's synthesis cost
+            // whether or not this worker actually built it — the trace
+            // shows the modelled timeline, and stays byte-identical
+            // across worker counts. Which worker won the build is a
+            // wall fact, recorded as such.
+            trace::span(trace::TID_BUILD, "build", base, synthesis_ns, vec![]);
+            trace::wall_instant("cache", trace::args([("status", status.label().into())]));
+        }
+        let q0 = base + synth;
+        for rec in log {
+            let ev = &rec.event;
+            let mut span_args = Vec::new();
+            if rec.aborted {
+                span_args.push(("aborted".to_string(), true.into()));
+            }
+            trace::span(
+                trace::TID_QUEUE,
+                rec.kind.name(),
+                q0 + ev.queued_ns,
+                ev.end_ns - ev.queued_ns,
+                span_args,
+            );
+            if rec.kind == CmdKind::Kernel {
+                trace::counter(
+                    trace::TID_QUEUE,
+                    "dram_rows",
+                    q0 + ev.end_ns,
+                    trace::args([
+                        ("hits", ev.row_hits.into()),
+                        ("misses", ev.row_misses.into()),
+                        ("empty", ev.row_empty.into()),
+                    ]),
+                );
+            }
+        }
+        trace::advance_vclock(synth + queue.now_ns());
+    }
+
+    fn run_inner(
+        &self,
+        bc: &BenchConfig,
+        ctx: &Context,
+        queue: &CommandQueue,
+        build: &mut Option<(f64, CacheStatus)>,
+    ) -> Result<Measurement, ClError> {
+        let kernel_cfg = &bc.kernel;
         let bytes = kernel_cfg.array_bytes();
-        let a = Buffer::new(&ctx, MemFlags::WriteOnly, bytes)?;
-        let b = Buffer::new(&ctx, MemFlags::ReadOnly, bytes)?;
+        let a = Buffer::new(ctx, MemFlags::WriteOnly, bytes)?;
+        let b = Buffer::new(ctx, MemFlags::ReadOnly, bytes)?;
         let c = if kernel_cfg.op.uses_c() {
-            Some(Buffer::new(&ctx, MemFlags::ReadOnly, bytes)?)
+            Some(Buffer::new(ctx, MemFlags::ReadOnly, bytes)?)
         } else {
             None
         };
@@ -175,9 +327,10 @@ impl Runner {
         }
 
         let program = match &self.cache {
-            Some(cache) => Program::build_cached(&ctx, kernel_cfg.clone(), cache)?,
-            None => Program::build(&ctx, kernel_cfg.clone())?,
+            Some(cache) => Program::build_cached(ctx, kernel_cfg.clone(), cache)?,
+            None => Program::build(ctx, kernel_cfg.clone())?,
         };
+        *build = Some((program.artifact().synthesis_ns, program.cache_status()));
         let kernel = Kernel::new(&program, &a, &b, c.as_ref())?;
 
         for _ in 0..bc.warmup {
@@ -249,6 +402,14 @@ impl Runner {
             fmax_mhz: program.artifact().fmax_mhz,
             resources: program.artifact().resources,
             build_log: program.artifact().build_log.clone(),
+            // Filled by `run` from the build record and command log.
+            build_ns: 0.0,
+            xfer_ns: 0.0,
+            kernel_ns: 0.0,
+            cache: CacheStatus::Uncached,
+            row_hits: 0,
+            row_misses: 0,
+            row_empty: 0,
         })
     }
 }

@@ -15,9 +15,12 @@
 use crate::checkpoint::Checkpoint;
 use crate::config::BenchConfig;
 use crate::engine::{Engine, Outcome, RetryStats};
-use crate::report::{sweep_summary_table, SweepSummary, Table};
+use crate::report::{
+    config_label, config_metrics_table, sweep_summary_table, ConfigMetrics, SweepSummary, Table,
+};
 use crate::runner::{Measurement, Runner};
 use crate::space::ParamSpace;
+use crate::trace;
 use kernelgen::KernelConfig;
 use mpcl::{CacheStats, FaultCounters};
 
@@ -85,14 +88,7 @@ impl SweepResult {
     pub fn table(&self) -> Table {
         let mut t = Table::new(&["config", "GB/s", "fmax MHz", "logic", "retries", "note"]);
         for p in &self.points {
-            let cfg = format!(
-                "{} vec{} {} u{} {:?}",
-                p.config.op.name(),
-                p.config.vector_width.get(),
-                p.config.loop_mode.label(),
-                p.config.unroll,
-                p.config.vendor
-            );
+            let cfg = config_label(&p.config);
             let retries = p.retries.to_string();
             match &p.result {
                 Ok(m) => t.row(&[
@@ -115,6 +111,32 @@ impl SweepResult {
             };
         }
         t
+    }
+
+    /// Render the per-configuration execution-metrics table: where each
+    /// successful point's simulated time went (build, transfers,
+    /// kernel), the retries it needed, its build-cache status and its
+    /// DRAM row-buffer hit rate. Failed points are omitted — their
+    /// failure reason lives in [`SweepResult::table`].
+    pub fn metrics_table(&self) -> Table {
+        let rows: Vec<ConfigMetrics> = self
+            .points
+            .iter()
+            .filter_map(|p| {
+                let m = p.result.as_ref().ok()?;
+                Some(ConfigMetrics {
+                    label: config_label(&p.config),
+                    gbps: m.gbps(),
+                    build_ns: m.build_ns,
+                    xfer_ns: m.xfer_ns,
+                    kernel_ns: m.kernel_ns,
+                    retries: p.retries,
+                    cache: m.cache.label(),
+                    row_hit_rate: m.row_hit_rate(),
+                })
+            })
+            .collect();
+        config_metrics_table(&rows)
     }
 }
 
@@ -169,11 +191,21 @@ pub fn sweep_space_checkpointed(
         || Runner::for_target(target),
         &pending,
         |outcome| {
-            if let Err(e) = checkpoint.record(outcome) {
-                eprintln!(
-                    "warning: checkpoint write to {} failed: {e}",
-                    checkpoint.path().display()
-                );
+            let ok = match checkpoint.record(outcome) {
+                Ok(()) => true,
+                Err(e) => {
+                    eprintln!(
+                        "warning: checkpoint write to {} failed: {e}",
+                        checkpoint.path().display()
+                    );
+                    false
+                }
+            };
+            // Checkpoint writes happen in completion order, a wall-clock
+            // fact — record them in the wall lane so the canonical
+            // (virtual) trace stays jobs-invariant.
+            if let Some(t) = engine.trace() {
+                t.wall_instant(0, "checkpoint-write", trace::args([("ok", ok.into())]));
             }
         },
     );

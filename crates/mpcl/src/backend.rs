@@ -2,6 +2,7 @@
 
 use crate::error::ClError;
 use kernelgen::{ExecPlan, KernelConfig};
+use memsim::MemStats;
 
 /// Broad device category, as `CL_DEVICE_TYPE` reports it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,6 +82,11 @@ pub struct BuildArtifact {
     /// lock-step (warp width, SIMD/unroll replication); feeds the
     /// access-stream generator.
     pub lane_group: u32,
+    /// Simulated compile/synthesis time, nanoseconds. A property of the
+    /// *configuration* (identical whether the artifact came from a fresh
+    /// build or the cache), which is what keeps trace timelines stable
+    /// across worker counts.
+    pub synthesis_ns: f64,
 }
 
 impl BuildArtifact {
@@ -91,12 +97,13 @@ impl BuildArtifact {
             fmax_mhz: None,
             resources: None,
             lane_group,
+            synthesis_ns: 0.0,
         }
     }
 }
 
 /// What one kernel launch cost on the device.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelCost {
     /// Device execution time, nanoseconds (excluding host launch
     /// overhead, which is reported separately).
@@ -105,6 +112,9 @@ pub struct KernelCost {
     /// (partial segments, fills, writebacks), so it can exceed the
     /// STREAM-counted payload. Feeds the energy model.
     pub dram_bytes: u64,
+    /// Memory-system counters the device model collected while timing
+    /// the launch (row-buffer behaviour, cache hits, TLB walks, ...).
+    pub stats: MemStats,
 }
 
 /// Board-level power parameters (see `targets::power` for the paper

@@ -31,6 +31,38 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 type Entry = Arc<OnceLock<Result<Arc<BuildArtifact>, ClError>>>;
 
+/// How one build request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Answered from the cache.
+    Hit,
+    /// Ran the backend build and populated the cache.
+    Miss,
+    /// Built without consulting any cache.
+    Uncached,
+}
+
+impl CacheStatus {
+    /// Stable lower-case label (used in reports and checkpoint records).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Uncached => "uncached",
+        }
+    }
+
+    /// Parse a [`label`](Self::label) back; `None` for unknown text.
+    pub fn from_label(s: &str) -> Option<CacheStatus> {
+        match s {
+            "hit" => Some(CacheStatus::Hit),
+            "miss" => Some(CacheStatus::Miss),
+            "uncached" => Some(CacheStatus::Uncached),
+            _ => None,
+        }
+    }
+}
+
 /// Hit/miss counters of a [`BuildCache`], cheap to copy out.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -110,6 +142,17 @@ impl BuildCache {
         cfg: &KernelConfig,
         build: impl FnOnce() -> Result<BuildArtifact, ClError>,
     ) -> Result<Arc<BuildArtifact>, ClError> {
+        self.get_or_build_status(device_name, cfg, build).0
+    }
+
+    /// Like [`get_or_build`](Self::get_or_build), additionally reporting
+    /// whether this particular request hit the cache or ran the build.
+    pub fn get_or_build_status(
+        &self,
+        device_name: &str,
+        cfg: &KernelConfig,
+        build: impl FnOnce() -> Result<BuildArtifact, ClError>,
+    ) -> (Result<Arc<BuildArtifact>, ClError>, CacheStatus) {
         let key = (device_name.to_string(), format!("{cfg:?}"));
         let entry: Entry = {
             let mut map = self.map.lock().expect("mpcl mutex poisoned");
@@ -135,7 +178,12 @@ impl BuildCache {
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        result.clone()
+        let status = if built_here {
+            CacheStatus::Miss
+        } else {
+            CacheStatus::Hit
+        };
+        (result.clone(), status)
     }
 }
 
@@ -251,6 +299,25 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn status_reports_miss_then_hit() {
+        let cache = BuildCache::new();
+        let (r, s) = cache.get_or_build_status("dev", &cfg(1024), || Ok(artifact()));
+        assert!(r.is_ok());
+        assert_eq!(s, CacheStatus::Miss);
+        let (r, s) = cache.get_or_build_status("dev", &cfg(1024), || Ok(artifact()));
+        assert!(r.is_ok());
+        assert_eq!(s, CacheStatus::Hit);
+    }
+
+    #[test]
+    fn status_labels_round_trip() {
+        for s in [CacheStatus::Hit, CacheStatus::Miss, CacheStatus::Uncached] {
+            assert_eq!(CacheStatus::from_label(s.label()), Some(s));
+        }
+        assert_eq!(CacheStatus::from_label("warm"), None);
     }
 
     #[test]

@@ -32,10 +32,10 @@ pub mod queue;
 pub use backend::{
     BuildArtifact, DeviceBackend, DeviceInfo, DeviceType, KernelCost, PowerModel, ResourceUsage,
 };
-pub use cache::{BuildCache, CacheStats};
+pub use cache::{BuildCache, CacheStats, CacheStatus};
 pub use context::{Buffer, Context, MemFlags};
 pub use error::{ClError, RetryClass};
 pub use fault::{FaultCounters, FaultPlan, FaultSite, FaultSpec};
 pub use platform::{Device, Platform};
 pub use program::{Kernel, Program};
-pub use queue::{CommandQueue, Event};
+pub use queue::{CmdKind, CmdRecord, CommandQueue, Event};

@@ -142,7 +142,10 @@ pub(crate) mod test_support {
             if self.fail_build {
                 Err(ClError::BuildProgramFailure("synthetic failure".into()))
             } else {
-                Ok(BuildArtifact::simple(1))
+                Ok(BuildArtifact {
+                    synthesis_ns: 2_500.0,
+                    ..BuildArtifact::simple(1)
+                })
             }
         }
 
@@ -151,6 +154,12 @@ pub(crate) mod test_support {
             KernelCost {
                 ns: plan.cfg.bytes_moved() as f64,
                 dram_bytes: plan.cfg.bytes_moved(),
+                stats: memsim::MemStats {
+                    dram_bytes: plan.cfg.bytes_moved(),
+                    row_hits: 3,
+                    row_misses: 1,
+                    ..Default::default()
+                },
             }
         }
 

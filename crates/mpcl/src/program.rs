@@ -1,7 +1,7 @@
 //! Programs (compiled kernels) and kernels with bound arguments.
 
 use crate::backend::BuildArtifact;
-use crate::cache::BuildCache;
+use crate::cache::{BuildCache, CacheStatus};
 use crate::context::{Buffer, Context};
 use crate::error::ClError;
 use kernelgen::{validate, ExecPlan, KernelConfig, LoopMode};
@@ -15,6 +15,7 @@ pub struct Program {
     ctx: Context,
     cfg: Arc<KernelConfig>,
     artifact: Arc<BuildArtifact>,
+    cache_status: CacheStatus,
 }
 
 impl Program {
@@ -25,6 +26,7 @@ impl Program {
             ctx: ctx.clone(),
             cfg: Arc::new(cfg),
             artifact,
+            cache_status: CacheStatus::Uncached,
         })
     }
 
@@ -44,13 +46,15 @@ impl Program {
         // transient tool crash fails *this attempt*, it must not be
         // memoized as the configuration's permanent verdict.
         Self::inject_build_fault(ctx, &cfg)?;
-        let artifact = cache.get_or_build(&ctx.device().info().name, &cfg, || {
-            ctx.device().with_backend(|b| b.build(&cfg))
-        })?;
+        let (result, cache_status) =
+            cache.get_or_build_status(&ctx.device().info().name, &cfg, || {
+                ctx.device().with_backend(|b| b.build(&cfg))
+            });
         Ok(Program {
             ctx: ctx.clone(),
             cfg: Arc::new(cfg),
-            artifact,
+            artifact: result?,
+            cache_status,
         })
     }
 
@@ -94,6 +98,13 @@ impl Program {
     /// The build artifact (synthesis report for FPGAs).
     pub fn artifact(&self) -> &BuildArtifact {
         &self.artifact
+    }
+
+    /// How this program's build request was satisfied:
+    /// [`CacheStatus::Uncached`] for [`build`](Self::build), the cache's
+    /// verdict for [`build_cached`](Self::build_cached).
+    pub fn cache_status(&self) -> CacheStatus {
+        self.cache_status
     }
 
     /// The OpenCL-C source this program corresponds to.

@@ -32,6 +32,14 @@ pub struct Event {
     /// launches report the model's bus traffic including waste; buffer
     /// transfers report their payload).
     pub dram_bytes: u64,
+    /// DRAM transactions that hit an open row (kernel launches only).
+    pub row_hits: u64,
+    /// DRAM transactions that closed + opened a row (kernel launches
+    /// only).
+    pub row_misses: u64,
+    /// DRAM transactions that found the bank idle (kernel launches
+    /// only).
+    pub row_empty: u64,
 }
 
 impl Event {
@@ -48,11 +56,55 @@ impl Event {
     }
 }
 
+/// What kind of command a log record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdKind {
+    /// `clEnqueueWriteBuffer`.
+    Write,
+    /// `clEnqueueReadBuffer`.
+    Read,
+    /// `clEnqueueNDRangeKernel`.
+    Kernel,
+    /// `clEnqueueCopyBuffer`.
+    Copy,
+    /// `clEnqueueFillBuffer`.
+    Fill,
+}
+
+impl CmdKind {
+    /// Stable lower-case name, used as the trace span name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmdKind::Write => "write",
+            CmdKind::Read => "read",
+            CmdKind::Kernel => "kernel",
+            CmdKind::Copy => "copy",
+            CmdKind::Fill => "fill",
+        }
+    }
+}
+
+/// One entry of the queue's command log: everything the queue clock saw,
+/// including commands whose `Event` was never returned to the caller
+/// because a fault fired after the device had already spent the time
+/// (`aborted`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmdRecord {
+    /// Command kind.
+    pub kind: CmdKind,
+    /// Profiling timestamps.
+    pub event: Event,
+    /// The command consumed device time but failed to complete from the
+    /// host's point of view (fault-injected timeout).
+    pub aborted: bool,
+}
+
 /// An in-order command queue on one context.
 #[derive(Clone)]
 pub struct CommandQueue {
     ctx: Context,
     now_ns: Arc<Mutex<f64>>,
+    log: Arc<Mutex<Vec<CmdRecord>>>,
     functional: bool,
 }
 
@@ -62,6 +114,7 @@ impl CommandQueue {
         CommandQueue {
             ctx: ctx.clone(),
             now_ns: Arc::new(Mutex::new(0.0)),
+            log: Arc::new(Mutex::new(Vec::new())),
             functional: true,
         }
     }
@@ -72,8 +125,20 @@ impl CommandQueue {
         CommandQueue {
             ctx: ctx.clone(),
             now_ns: Arc::new(Mutex::new(0.0)),
+            log: Arc::new(Mutex::new(Vec::new())),
             functional: false,
         }
+    }
+
+    /// Drain the command log: every command the queue executed so far,
+    /// in order, including aborted ones. The log is cleared.
+    pub fn take_log(&self) -> Vec<CmdRecord> {
+        std::mem::take(&mut *self.log.lock().expect("mpcl mutex poisoned"))
+    }
+
+    /// Snapshot the command log without clearing it.
+    pub fn log_snapshot(&self) -> Vec<CmdRecord> {
+        self.log.lock().expect("mpcl mutex poisoned").clone()
     }
 
     /// Does this queue execute kernels functionally?
@@ -115,7 +180,7 @@ impl CommandQueue {
         if self.functional {
             self.ctx.write_bytes(buf.device_addr(), data);
         }
-        Ok(self.advance(0.0, ns, buf.len()))
+        Ok(self.advance(CmdKind::Write, 0.0, ns, buf.len()))
     }
 
     /// Device→host transfer (`clEnqueueReadBuffer`).
@@ -132,7 +197,7 @@ impl CommandQueue {
         if self.functional {
             self.ctx.read_bytes(buf.device_addr(), out);
         }
-        Ok(self.advance(0.0, ns, buf.len()))
+        Ok(self.advance(CmdKind::Read, 0.0, ns, buf.len()))
     }
 
     /// Kernel launch (`clEnqueueNDRangeKernel`): times the kernel on the
@@ -142,18 +207,20 @@ impl CommandQueue {
             return Err(ClError::InvalidContext);
         }
         let plan = kernel.plan();
-        // Fault plan: the launch may be lost or time out before the
-        // device runs anything.
+        // Fault plan: the launch may be lost or time out.
         let fault_key = self.ctx.fault_plan().map(|fp| {
             (
                 Arc::clone(fp),
                 format!("{}:{:?}", self.ctx.device().info().name, plan.cfg),
             )
         });
-        if let Some((plan_fp, key)) = &fault_key {
-            if let Some(e) = plan_fp.inject_enqueue_fault(key) {
-                return Err(e);
-            }
+        let injected = fault_key
+            .as_ref()
+            .and_then(|(plan_fp, key)| plan_fp.inject_enqueue_fault(key));
+        if let Some(e @ ClError::DeviceLost) = injected {
+            // The device vanished before running anything: no profiling
+            // timestamps exist for this command.
+            return Err(e);
         }
         let (launch, cost) = self.ctx.device().with_backend(|b| {
             (
@@ -161,6 +228,26 @@ impl CommandQueue {
                 b.kernel_cost(kernel.program().artifact(), plan),
             )
         });
+        let rows = [
+            cost.stats.row_hits,
+            cost.stats.row_misses,
+            cost.stats.row_empty,
+        ];
+        if let Some(e) = injected {
+            // Timeout: the device spent the full launch+kernel time but
+            // the host gave up waiting. Keep the partial profiling record
+            // in the command log (flagged `aborted`) instead of dropping
+            // the timestamps on the floor.
+            self.advance_full(
+                CmdKind::Kernel,
+                launch,
+                cost.ns,
+                cost.dram_bytes,
+                rows,
+                true,
+            );
+            return Err(e);
+        }
         if self.functional {
             let base_c = plan.cfg.op.uses_c().then_some(plan.base_c);
             self.ctx
@@ -176,7 +263,14 @@ impl CommandQueue {
                 }
             }
         }
-        Ok(self.advance(launch, cost.ns, cost.dram_bytes))
+        Ok(self.advance_full(
+            CmdKind::Kernel,
+            launch,
+            cost.ns,
+            cost.dram_bytes,
+            rows,
+            false,
+        ))
     }
 
     /// Device-to-device copy (`clEnqueueCopyBuffer`): both buffers live
@@ -206,7 +300,7 @@ impl CommandQueue {
             self.ctx.read_bytes(src.device_addr(), &mut tmp);
             self.ctx.write_bytes(dst.device_addr(), &tmp);
         }
-        Ok(self.advance(0.0, ns, 2 * src.len()))
+        Ok(self.advance(CmdKind::Copy, 0.0, ns, 2 * src.len()))
     }
 
     /// Fill a buffer with a repeating pattern (`clEnqueueFillBuffer`):
@@ -230,7 +324,7 @@ impl CommandQueue {
             }
             self.ctx.write_bytes(buf.device_addr(), &data);
         }
-        Ok(self.advance(0.0, ns, buf.len()))
+        Ok(self.advance(CmdKind::Fill, 0.0, ns, buf.len()))
     }
 
     /// Block until all enqueued commands complete (`clFinish`). The
@@ -239,20 +333,44 @@ impl CommandQueue {
         self.now_ns()
     }
 
-    fn advance(&self, launch_ns: f64, duration_ns: f64, dram_bytes: u64) -> Event {
+    fn advance(&self, kind: CmdKind, launch_ns: f64, duration_ns: f64, dram_bytes: u64) -> Event {
+        self.advance_full(kind, launch_ns, duration_ns, dram_bytes, [0; 3], false)
+    }
+
+    fn advance_full(
+        &self,
+        kind: CmdKind,
+        launch_ns: f64,
+        duration_ns: f64,
+        dram_bytes: u64,
+        rows: [u64; 3],
+        aborted: bool,
+    ) -> Event {
         let mut now = self.now_ns.lock().expect("mpcl mutex poisoned");
         let queued = *now;
         let submit = queued + SUBMIT_NS;
         let start = submit + launch_ns;
         let end = start + duration_ns;
         *now = end;
-        Event {
+        let event = Event {
             queued_ns: queued,
             submit_ns: submit,
             start_ns: start,
             end_ns: end,
             dram_bytes,
-        }
+            row_hits: rows[0],
+            row_misses: rows[1],
+            row_empty: rows[2],
+        };
+        self.log
+            .lock()
+            .expect("mpcl mutex poisoned")
+            .push(CmdRecord {
+                kind,
+                event,
+                aborted,
+            });
+        event
     }
 }
 
@@ -427,6 +545,78 @@ mod tests {
             q.enqueue_fill(&buf, &[]),
             Err(ClError::InvalidValue(_))
         ));
+    }
+
+    #[test]
+    fn command_log_records_every_command_in_order() {
+        let (ctx, q) = setup();
+        let n = 256u64;
+        let cfg = KernelConfig::baseline(StreamOp::Copy, n);
+        let p = Program::build(&ctx, cfg).unwrap();
+        let a = Buffer::new(&ctx, MemFlags::WriteOnly, n * 4).unwrap();
+        let b = Buffer::new(&ctx, MemFlags::ReadOnly, n * 4).unwrap();
+        q.enqueue_write(&b, &vec![0u8; (n * 4) as usize]).unwrap();
+        let k = Kernel::new(&p, &a, &b, None).unwrap();
+        q.enqueue_kernel(&k).unwrap();
+        let mut out = vec![0u8; (n * 4) as usize];
+        q.enqueue_read(&a, &mut out).unwrap();
+
+        let log = q.log_snapshot();
+        let kinds: Vec<CmdKind> = log.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, [CmdKind::Write, CmdKind::Kernel, CmdKind::Read]);
+        assert!(log.iter().all(|r| !r.aborted));
+        // take_log drains.
+        assert_eq!(q.take_log().len(), 3);
+        assert!(q.log_snapshot().is_empty());
+    }
+
+    #[test]
+    fn injected_timeout_logs_aborted_record_with_timestamps() {
+        // Regression: the profiling timestamps of a timed-out launch used
+        // to be computed and then dropped; they must survive in the log
+        // with the `aborted` flag so traces can show the lost time.
+        use crate::fault::{FaultPlan, FaultSpec};
+        let plan = Arc::new(FaultPlan::new(FaultSpec::parse("timeout=0.95").unwrap(), 7));
+        let ctx = Context::with_faults(fake_device(), Some(plan));
+        let q = CommandQueue::new(&ctx);
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 256);
+        let p = Program::build(&ctx, cfg).unwrap();
+        let a = Buffer::new(&ctx, MemFlags::WriteOnly, 1024).unwrap();
+        let b = Buffer::new(&ctx, MemFlags::ReadOnly, 1024).unwrap();
+        let k = Kernel::new(&p, &a, &b, None).unwrap();
+
+        // At 95% per attempt one of the first launches times out.
+        let timed_out = (0..20).any(|_| matches!(q.enqueue_kernel(&k), Err(ClError::Timeout(_))));
+        assert!(timed_out, "no timeout in 20 draws at p=0.95");
+        let log = q.take_log();
+        let rec = log
+            .iter()
+            .find(|r| r.aborted)
+            .expect("timed-out launch must be logged with the aborted flag");
+        assert_eq!(rec.kind, CmdKind::Kernel);
+        // The device spent real (simulated) time before the host gave up.
+        assert!(rec.event.duration_ns() > 0.0);
+        assert!(rec.event.start_ns > rec.event.submit_ns);
+        // The in-order queue clock moved past every aborted command.
+        assert_eq!(q.now_ns(), log.last().unwrap().event.end_ns);
+    }
+
+    #[test]
+    fn injected_device_loss_leaves_no_record() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let plan = Arc::new(FaultPlan::new(FaultSpec::parse("lost=0.95").unwrap(), 7));
+        let ctx = Context::with_faults(fake_device(), Some(plan));
+        let q = CommandQueue::new(&ctx);
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 256);
+        let p = Program::build(&ctx, cfg).unwrap();
+        let a = Buffer::new(&ctx, MemFlags::WriteOnly, 1024).unwrap();
+        let b = Buffer::new(&ctx, MemFlags::ReadOnly, 1024).unwrap();
+        let k = Kernel::new(&p, &a, &b, None).unwrap();
+        let lost = (0..20).any(|_| matches!(q.enqueue_kernel(&k), Err(ClError::DeviceLost)));
+        assert!(lost, "no device loss in 20 draws at p=0.95");
+        // Lost launches never reach the device: only completed launches
+        // (if any) appear in the log, none flagged aborted.
+        assert!(q.take_log().iter().all(|r| !r.aborted));
     }
 
     #[test]

@@ -207,6 +207,8 @@ impl DeviceBackend for AoclBackend {
             fmax_mhz: Some(fmax),
             resources: Some(usage),
             lane_group: t.lsu_burst_elems,
+            // Full place-and-route: hours, growing with congestion.
+            synthesis_ns: (1.0 + util) * 3.6e12,
         })
     }
 
@@ -253,6 +255,7 @@ impl DeviceBackend for AoclBackend {
         KernelCost {
             ns,
             dram_bytes: out.stats.dram_bytes,
+            stats: out.stats,
         }
     }
 

@@ -45,7 +45,12 @@ pub fn run_plan(
     if take < total {
         let scale = total as f64 / take as f64;
         out.ns *= scale;
-        out.stats.dram_bytes = (out.stats.dram_bytes as f64 * scale) as u64;
+        let scaled = |x: u64| (x as f64 * scale) as u64;
+        out.stats.dram_bytes = scaled(out.stats.dram_bytes);
+        out.stats.dram_transactions = scaled(out.stats.dram_transactions);
+        out.stats.row_hits = scaled(out.stats.row_hits);
+        out.stats.row_misses = scaled(out.stats.row_misses);
+        out.stats.row_empty = scaled(out.stats.row_empty);
     }
     out.simulated_accesses = take;
     out

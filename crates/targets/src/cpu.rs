@@ -170,6 +170,7 @@ impl DeviceBackend for CpuBackend {
             fmax_mhz: None,
             resources: None,
             lane_group: 1,
+            synthesis_ns: 12_000.0,
         })
     }
 
@@ -185,6 +186,7 @@ impl DeviceBackend for CpuBackend {
         KernelCost {
             ns: out.ns,
             dram_bytes: out.stats.dram_bytes,
+            stats: out.stats,
         }
     }
 

@@ -193,6 +193,7 @@ impl DeviceBackend for GpuBackend {
             fmax_mhz: None,
             resources: None,
             lane_group,
+            synthesis_ns: 45_000_000.0,
         })
     }
 
@@ -219,6 +220,7 @@ impl DeviceBackend for GpuBackend {
         KernelCost {
             ns,
             dram_bytes: out.stats.dram_bytes,
+            stats: out.stats,
         }
     }
 

@@ -156,6 +156,8 @@ impl DeviceBackend for SdaccelBackend {
             fmax_mhz: Some(fmax),
             resources: Some(usage),
             lane_group,
+            // Full place-and-route: hours, growing with congestion.
+            synthesis_ns: (1.0 + util) * 3.6e12,
         })
     }
 
@@ -205,6 +207,7 @@ impl DeviceBackend for SdaccelBackend {
         KernelCost {
             ns: out.ns.max(pipe_ns),
             dram_bytes: out.stats.dram_bytes,
+            stats: out.stats,
         }
     }
 

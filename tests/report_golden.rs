@@ -1,0 +1,83 @@
+//! Golden-file tests for the report layer: the sweep point table, the
+//! degradation summary and the per-config metrics table are pinned
+//! byte-for-byte against files in `tests/golden/`. The simulator is
+//! deterministic, so any diff here is a real formatting or metrics
+//! change.
+//!
+//! To regenerate the goldens after an *intentional* change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test report_golden
+//! ```
+//!
+//! then review the diff under `tests/golden/` like any other code
+//! change and commit it with the change that caused it.
+
+use kernelgen::{KernelConfig, StreamOp};
+use mpstream_core::sweep::sweep_space;
+use mpstream_core::{BenchConfig, Engine, ParamSpace, SweepResult};
+use std::path::PathBuf;
+use targets::TargetId;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").ok().as_deref() == Some("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with \
+             UPDATE_GOLDEN=1 cargo test --test report_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "report output for {name} diverged from its golden; if the \
+         change is intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test report_golden"
+    );
+}
+
+/// The reference sweep: serial (so the cache column is deterministic),
+/// fault-free, on the CPU model.
+fn reference_sweep() -> SweepResult {
+    let space = ParamSpace::new()
+        .ops([StreamOp::Copy, StreamOp::Triad])
+        .sizes_bytes([64 << 10])
+        .widths([1, 4]);
+    let protocol = |k: KernelConfig| BenchConfig::new(k).with_ntimes(1).with_validation(true);
+    sweep_space(&Engine::with_jobs(1), TargetId::Cpu, &space, protocol)
+}
+
+#[test]
+fn sweep_point_table_matches_golden() {
+    let s = reference_sweep();
+    check_golden("sweep_table.txt", &s.table().to_text());
+}
+
+#[test]
+fn sweep_summary_table_matches_golden() {
+    let s = reference_sweep();
+    check_golden("sweep_summary.txt", &s.summary().to_text());
+}
+
+#[test]
+fn metrics_table_matches_golden() {
+    let s = reference_sweep();
+    check_golden("metrics_table.txt", &s.metrics_table().to_text());
+}
+
+#[test]
+fn metrics_table_csv_matches_golden() {
+    let s = reference_sweep();
+    check_golden("metrics_table.csv", &s.metrics_table().to_csv());
+}

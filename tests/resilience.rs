@@ -3,14 +3,17 @@
 //! budget, (b) degrade to per-point failures — never aborts — without
 //! one, (c) stay byte-identical across thread counts, (d) isolate
 //! worker panics, and (e) resume from a checkpoint re-executing only
-//! unfinished configurations.
+//! unfinished configurations — including from a checkpoint whose tail
+//! was torn mid-record, and while the shared trace sink is being
+//! appended to by an unrelated thread.
 
 use kernelgen::{KernelConfig, StreamOp};
 use mpcl::{ClError, FaultPlan, FaultSpec};
 use mpstream_core::sweep::{sweep_space, sweep_space_checkpointed};
+use mpstream_core::trace::{self, Trace};
 use mpstream_core::{BenchConfig, Checkpoint, Engine, ParamSpace, ResiliencePolicy};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use targets::TargetId;
 
@@ -212,6 +215,115 @@ fn checkpoint_resume_reexecutes_only_unfinished_configs() {
     }
     // And the summary records the resumption.
     assert!(resumed.summary().to_text().contains("resumed"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_survives_a_checkpoint_tail_truncated_mid_record() {
+    let space = cpu_space();
+    let path = temp_path("torn");
+
+    // A complete checkpointed sweep, then a simulated mid-write kill:
+    // keep every record but the last, and half of that one.
+    {
+        let ckpt = Checkpoint::create(&path).unwrap();
+        let engine = faulty_engine(2, 5);
+        let first = sweep_space_checkpointed(&engine, TargetId::Cpu, &space, protocol, &ckpt);
+        assert_eq!(first.failures(), 0);
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), space.configs().len());
+    let last = lines.last().unwrap();
+    let torn = format!(
+        "{}\n{}",
+        lines[..lines.len() - 1].join("\n"),
+        &last[..last.len() / 2]
+    );
+    std::fs::write(&path, torn).unwrap();
+
+    // The loader drops exactly the torn record...
+    let ckpt = Checkpoint::resume(&path).unwrap();
+    assert_eq!(ckpt.len(), space.configs().len() - 1);
+
+    // ...and the resumed sweep re-executes only that point.
+    let engine = faulty_engine(2, 5);
+    let resumed = sweep_space_checkpointed(&engine, TargetId::Cpu, &space, protocol, &ckpt);
+    assert_eq!(resumed.resumed, space.configs().len() - 1);
+    assert_eq!(resumed.cache.misses, 1);
+
+    // Final metrics — bandwidth, time breakdown, DRAM rows, validation —
+    // are indistinguishable from a fault-free uninterrupted sweep.
+    let clean = sweep_space(&Engine::with_jobs(2), TargetId::Cpu, &space, protocol);
+    for (a, b) in clean.points.iter().zip(&resumed.points) {
+        assert_eq!(a.config, b.config);
+        assert_eq!(
+            a.result.as_ref().ok(),
+            b.result.as_ref().ok(),
+            "metrics diverged on {:?}",
+            a.config
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resumed_sweep_with_concurrent_trace_appends_matches_clean_metrics() {
+    let full = cpu_space();
+    let partial = cpu_space().widths([1, 2]);
+    let path = temp_path("trace-append");
+
+    {
+        let ckpt = Checkpoint::create(&path).unwrap();
+        let engine = faulty_engine(2, 5);
+        let first = sweep_space_checkpointed(&engine, TargetId::Cpu, &partial, protocol, &ckpt);
+        assert_eq!(first.failures(), 0);
+    }
+
+    let ckpt = Checkpoint::resume(&path).unwrap();
+    let sink = Trace::new();
+    let engine = faulty_engine(2, 5).with_trace(Some(sink.clone()));
+
+    // Hammer the shared trace from an unrelated thread for the whole
+    // duration of the resumed sweep.
+    let stop = Arc::new(AtomicBool::new(false));
+    let appender = {
+        let sink = sink.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                sink.wall_instant(999, "external-append", trace::args([("n", n.into())]));
+                n += 1;
+                std::thread::yield_now();
+            }
+            n
+        })
+    };
+    let resumed = sweep_space_checkpointed(&engine, TargetId::Cpu, &full, protocol, &ckpt);
+    stop.store(true, Ordering::Relaxed);
+    let appended = appender.join().unwrap();
+
+    assert_eq!(resumed.resumed, partial.configs().len());
+    assert_eq!(resumed.failures(), 0);
+
+    // The concurrent appends change neither the sweep's metrics...
+    let clean = sweep_space(&Engine::with_jobs(2), TargetId::Cpu, &full, protocol);
+    for (a, b) in clean.points.iter().zip(&resumed.points) {
+        assert_eq!(a.config, b.config);
+        assert_eq!(
+            a.result.as_ref().ok(),
+            b.result.as_ref().ok(),
+            "metrics diverged on {:?}",
+            a.config
+        );
+    }
+    // ...nor the canonical (virtual-lane) trace; they surface only in
+    // the full wall-event export.
+    assert!(!sink.canonical_chrome_json().contains("external-append"));
+    assert!(appended > 0, "appender never ran");
+    assert!(sink.to_chrome_json().contains("external-append"));
 
     std::fs::remove_file(&path).ok();
 }

@@ -1,0 +1,480 @@
+//! Golden-trace tests for the structured tracing layer.
+//!
+//! The contract under test: every *virtual* event in a trace sits on the
+//! deterministic simulated timeline, so the canonical export
+//! ([`Trace::canonical_chrome_json`]) of the same seed + work-list is
+//! byte-identical at any worker count — clean or fault-injected. Wall
+//! events (scheduling, cache status, checkpoint writes) are allowed to
+//! differ and are excluded from the canonical form.
+//!
+//! The second half property-tests the Chrome `trace_event` writer with
+//! the in-tree SplitMix64: arbitrary span trees must serialize to JSON
+//! that a minimal in-test parser can round-trip back to the recorded
+//! events, field for field.
+
+use kernelgen::KernelConfig;
+use mpcl::{FaultPlan, FaultSpec};
+use mpstream_core::sweep::sweep_space;
+use mpstream_core::trace::{
+    self, ArgValue, EventKind, Scope, Trace, TraceEvent, TID_BUILD, TID_ENGINE, TID_QUEUE,
+};
+use mpstream_core::{BenchConfig, Engine, ParamSpace, ResiliencePolicy, SplitMix64};
+use std::sync::Arc;
+use targets::TargetId;
+
+const FAULTY: &str = "build=0.1,timeout=0.05,lost=0.03,bitflip=0.05";
+const SEED: u64 = 0x2026_0807;
+
+fn cpu_space() -> ParamSpace {
+    ParamSpace::new().sizes_bytes([64 << 10]).widths([1, 2, 4])
+}
+
+fn protocol(k: KernelConfig) -> BenchConfig {
+    BenchConfig::new(k).with_ntimes(1).with_validation(true)
+}
+
+/// Run the standard sweep at `jobs` workers and return the canonical
+/// trace, optionally under the reference fault plan.
+fn traced_sweep(jobs: usize, faults: Option<&str>) -> (String, Engine, Arc<Trace>) {
+    let trace = Trace::new();
+    let plan = faults.map(|spec| Arc::new(FaultPlan::new(FaultSpec::parse(spec).unwrap(), SEED)));
+    let retries = if plan.is_some() { 5 } else { 0 };
+    let engine = Engine::with_jobs(jobs)
+        .with_policy(ResiliencePolicy::retrying(retries))
+        .with_faults(plan)
+        .with_trace(Some(trace.clone()));
+    let result = sweep_space(&engine, TargetId::Cpu, &cpu_space(), protocol);
+    assert_eq!(result.failures(), 0, "{}", result.table().to_text());
+    (trace.canonical_chrome_json(), engine, trace)
+}
+
+#[test]
+fn canonical_trace_is_byte_identical_across_job_counts() {
+    let (serial, _, _) = traced_sweep(1, None);
+    let (parallel, _, _) = traced_sweep(8, None);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "clean trace diverged across --jobs");
+    // The instrumented sites all show up.
+    for name in ["attempt", "build", "write", "kernel", "dram_rows"] {
+        assert!(serial.contains(&format!("\"name\":\"{name}\"")), "{serial}");
+    }
+    // A fault-free run traces no fault instants and no backoff sleeps.
+    assert!(!serial.contains("\"name\":\"fault\""), "{serial}");
+    assert!(!serial.contains("\"name\":\"backoff\""), "{serial}");
+}
+
+#[test]
+fn canonical_trace_is_byte_identical_across_job_counts_under_faults() {
+    let (serial, engine, _) = traced_sweep(1, Some(FAULTY));
+    let (parallel, _, _) = traced_sweep(8, Some(FAULTY));
+    assert_eq!(serial, parallel, "faulted trace diverged across --jobs");
+    assert!(
+        engine.fault_counters().total() > 0,
+        "nothing injected at seed {SEED:#x}"
+    );
+    // Recovery is visible on the deterministic timeline.
+    assert!(serial.contains("\"name\":\"fault\""), "{serial}");
+    assert!(serial.contains("\"name\":\"backoff\""), "{serial}");
+}
+
+#[test]
+fn fault_instants_match_injected_faults_exactly() {
+    // Build faults abort an attempt before any other site can fire, so
+    // injected count and traced instants must agree one-for-one.
+    let (_, engine, trace) = traced_sweep(2, Some("build=0.3"));
+    let fault_events: Vec<TraceEvent> = trace
+        .events()
+        .into_iter()
+        .filter(|e| e.name == "fault")
+        .collect();
+    let injected = engine.fault_counters();
+    assert!(injected.build > 0, "no build faults at seed {SEED:#x}");
+    assert_eq!(fault_events.len() as u64, injected.total());
+    for ev in &fault_events {
+        assert_eq!(ev.scope, Scope::Virtual, "fault sites are deterministic");
+        assert_eq!(ev.tid, TID_ENGINE);
+        assert_eq!(
+            ev.args,
+            vec![(
+                "code".to_string(),
+                ArgValue::Str("TransientBuildFailure".into())
+            )],
+            "only the injected site may appear"
+        );
+    }
+    // Every fault forced a retry: attempt spans outnumber configs by
+    // exactly the injected count.
+    let attempts = trace
+        .events()
+        .iter()
+        .filter(|e| e.name == "attempt")
+        .count() as u64;
+    assert_eq!(
+        attempts,
+        cpu_space().configs().len() as u64 + injected.total()
+    );
+}
+
+#[test]
+fn wall_events_record_scheduling_without_entering_canonical_form() {
+    let (canon, _, trace) = traced_sweep(4, None);
+    let events = trace.events();
+    let schedules = events
+        .iter()
+        .filter(|e| e.name == "schedule" && e.scope == Scope::Wall)
+        .count();
+    assert_eq!(
+        schedules,
+        cpu_space().configs().len(),
+        "one schedule instant per configuration"
+    );
+    let cache_status = events
+        .iter()
+        .filter(|e| e.name == "cache" && e.scope == Scope::Wall)
+        .count();
+    assert_eq!(cache_status, cpu_space().configs().len());
+    assert!(!canon.contains("\"cat\":\"wall\""), "{canon}");
+    // The full export keeps them for human inspection.
+    assert!(trace.to_chrome_json().contains("\"name\":\"schedule\""));
+}
+
+// ---------------------------------------------------------------------
+// Property tests: the Chrome trace_event writer vs a minimal parser.
+// ---------------------------------------------------------------------
+
+/// A minimal JSON value — just enough to parse what the writer emits.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> f64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+}
+
+/// Recursive-descent parser for the JSON subset the writer produces
+/// (strings, numbers, bools, arrays, objects — no null, no unicode
+/// escapes beyond `\u00XX`).
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            s: text.as_bytes(),
+            i: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.s.len() {
+            return Err(format!("trailing bytes at {}", p.i));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && (self.s[self.i] as char).is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.i < self.s.len() && self.s[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("eof")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' | b'f' => self.boolean(),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut kv = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(kv));
+        }
+        loop {
+            let k = self.string()?;
+            self.expect(b':')?;
+            kv.push((k, self.value()?));
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(kv));
+                }
+                _ => return Err(format!("bad object at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("bad array at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.s.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.s.get(self.i).ok_or("eof in escape")?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("bad \\u escape")?;
+                            let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(cp).ok_or("bad codepoint")?);
+                            self.i += 4;
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                c => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    let start = self.i - 1;
+                    let len = match c {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self.s.get(start..start + len).ok_or("eof in utf8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.i = start + len;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn boolean(&mut self) -> Result<Json, String> {
+        if self.s[self.i..].starts_with(b"true") {
+            self.i += 4;
+            Ok(Json::Bool(true))
+        } else if self.s[self.i..].starts_with(b"false") {
+            self.i += 5;
+            Ok(Json::Bool(false))
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while let Some(&c) = self.s.get(self.i) {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+}
+
+fn parse_trace(json: &str) -> Vec<Json> {
+    let doc = Parser::parse(json).expect("writer output must parse");
+    match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events.clone(),
+        other => panic!("no traceEvents array: {other:?}"),
+    }
+}
+
+/// Record a random tree of spans (plus counters and instants) under an
+/// armed task, returning what was emitted. Timestamps are integer
+/// nanoseconds, the domain the µs formatter is exact over.
+fn random_events(rng: &mut SplitMix64, depth: u32, t0: f64, budget: f64, out: &mut u32) {
+    if depth == 0 || budget < 4.0 || *out > 40 {
+        return;
+    }
+    let names = [
+        "build",
+        "kernel",
+        "write",
+        "attempt",
+        "odd\"name\\",
+        "t\tab",
+    ];
+    let n_children = rng.gen_index(3) + 1;
+    let slot = (budget / n_children as f64).floor();
+    for c in 0..n_children {
+        let ts = t0 + (c as f64) * slot;
+        let dur = (slot * 0.5).floor().max(1.0);
+        let tid = [TID_ENGINE, TID_BUILD, TID_QUEUE][rng.gen_index(3)];
+        let name = names[rng.gen_index(names.len())];
+        match rng.gen_index(4) {
+            0 => trace::counter(
+                tid,
+                name,
+                ts,
+                trace::args([("hits", rng.next_u64().into()), ("ok", true.into())]),
+            ),
+            1 => trace::instant(tid, name, ts, trace::args([("code", "Timeout".into())])),
+            _ => trace::span(
+                tid,
+                name,
+                ts,
+                dur,
+                trace::args([("n", (rng.gen_index(9) as u64).into())]),
+            ),
+        }
+        *out += 1;
+        random_events(rng, depth - 1, ts, dur - 2.0, out);
+    }
+}
+
+#[test]
+fn arbitrary_span_trees_round_trip_through_chrome_json() {
+    let mut rng = SplitMix64::new(0xDECA_FBAD);
+    for round in 0..25u64 {
+        let sink = Trace::new();
+        let pids = rng.gen_index(4) + 1;
+        for pid in 0..pids {
+            let _task = trace::begin_task(sink.clone(), pid as u64);
+            let mut emitted = 0;
+            random_events(&mut rng, 3, 0.0, 1_000_000.0, &mut emitted);
+        }
+        if rng.gen_index(3) == 0 {
+            sink.wall_instant(0, "schedule", trace::args([("worker", 3u64.into())]));
+        }
+
+        let recorded = sink.events();
+        let parsed = parse_trace(&sink.to_chrome_json());
+        assert_eq!(parsed.len(), recorded.len(), "round {round}");
+
+        // to_chrome_json preserves recording order: compare field by
+        // field through the parser.
+        for (ev, js) in recorded.iter().zip(&parsed) {
+            assert_eq!(js.get("name").unwrap().as_str(), ev.name);
+            assert_eq!(js.get("pid").unwrap().as_f64(), ev.pid as f64);
+            assert_eq!(js.get("tid").unwrap().as_f64(), ev.tid as f64);
+            assert_eq!(js.get("ts").unwrap().as_f64(), ev.ts_ns / 1000.0);
+            let (ph, cat) = (
+                js.get("ph").unwrap().as_str(),
+                js.get("cat").unwrap().as_str(),
+            );
+            match (&ev.kind, &ev.scope) {
+                (EventKind::Span { dur_ns }, _) => {
+                    assert_eq!(ph, "X");
+                    assert_eq!(js.get("dur").unwrap().as_f64(), dur_ns / 1000.0);
+                }
+                (EventKind::Counter, _) => assert_eq!(ph, "C"),
+                (EventKind::Instant, Scope::Virtual) => assert_eq!(ph, "i"),
+                (EventKind::Instant, Scope::Wall) => {
+                    assert_eq!(ph, "i");
+                    assert_eq!(cat, "wall");
+                }
+            }
+            for (k, v) in &ev.args {
+                let got = js
+                    .get("args")
+                    .and_then(|a| a.get(k))
+                    .unwrap_or_else(|| panic!("arg {k} lost"));
+                match v {
+                    ArgValue::Str(s) => assert_eq!(got.as_str(), s),
+                    ArgValue::Num(n) => assert_eq!(got.as_f64(), *n),
+                    ArgValue::Bool(b) => assert_eq!(got, &Json::Bool(*b)),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn canonical_form_is_invariant_under_recording_order() {
+    // Property version of the unit test: random event sets recorded in
+    // two shuffled task orders canonicalize identically.
+    let mut rng = SplitMix64::new(0x5EED_CAFE);
+    for _ in 0..10 {
+        let pids: Vec<u64> = (0..(rng.gen_index(5) as u64 + 2)).collect();
+        let seeds: Vec<u64> = pids.iter().map(|_| rng.next_u64()).collect();
+        let record_all = |order: &[usize]| {
+            let sink = Trace::new();
+            for &idx in order {
+                let _task = trace::begin_task(sink.clone(), pids[idx]);
+                let mut task_rng = SplitMix64::new(seeds[idx]);
+                let mut emitted = 0;
+                random_events(&mut task_rng, 2, 0.0, 100_000.0, &mut emitted);
+            }
+            sink.canonical_chrome_json()
+        };
+        let forward: Vec<usize> = (0..pids.len()).collect();
+        let mut shuffled = forward.clone();
+        rng.shuffle(&mut shuffled);
+        assert_eq!(record_all(&forward), record_all(&shuffled));
+    }
+}
