@@ -9,14 +9,20 @@
 //! `kill -9` can at worst truncate the final line; the loader skips an
 //! unparseable trailing record rather than rejecting the file.
 //!
-//! No external serialization crate exists in-tree, so the writer and the
-//! (deliberately minimal, flat-objects-only) parser live here. Records
-//! are keyed by the configuration's exhaustive `Debug` rendering — the
-//! same keying the build cache uses — and carry every [`Measurement`]
-//! field, or the error as a `(code, detail)` pair that
-//! [`ClError::from_parts`] reverses.
+//! The JSON dialect lives in [`crate::json`] (shared with the serving
+//! layer's wire protocol and job journal). Records are keyed by the
+//! configuration's exhaustive `Debug` rendering — the same keying the
+//! build cache uses — and carry every [`Measurement`] field, or the
+//! error as a `(code, detail)` pair that [`ClError::from_parts`]
+//! reverses.
+//!
+//! Long-lived stores (the `mpstream serve` result store keeps one
+//! checkpoint file per job, forever) accumulate superseded records for
+//! re-run keys; [`Checkpoint::compact`] rewrites a file down to the
+//! last record per `(device, config)` key, dropping any torn tail.
 
 use crate::engine::Outcome;
+use crate::json::{parse_flat_object, CompactStats, JsonLine, JsonValue};
 use crate::runner::Measurement;
 use kernelgen::KernelConfig;
 use mpcl::{CacheStatus, ClError, ResourceUsage};
@@ -83,6 +89,25 @@ impl Checkpoint {
         })
     }
 
+    /// Rewrite the checkpoint file at `path` keeping only the last
+    /// record per `(device, config)` key, in first-appearance order;
+    /// torn or foreign lines are dropped. The rewrite is atomic
+    /// (temp file + rename). Error records carry no device and compact
+    /// under an empty device. A missing file is a no-op. The server
+    /// runs this over its result store on startup, so a store that was
+    /// killed mid-write (torn tail) or re-ran configurations
+    /// (duplicates) converges back to one clean record per point.
+    pub fn compact(path: impl AsRef<Path>) -> std::io::Result<CompactStats> {
+        crate::json::compact_jsonl(path.as_ref(), |fields| {
+            let key = fields.get("key")?.as_str()?;
+            let device = fields
+                .get("device")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("");
+            Some(format!("{device}\u{1f}{key}"))
+        })
+    }
+
     /// The file backing this checkpoint.
     pub fn path(&self) -> &Path {
         &self.path
@@ -119,7 +144,7 @@ impl Checkpoint {
 }
 
 /// Render one outcome as a flat JSON object (one line).
-fn render_record(o: &Outcome) -> String {
+pub(crate) fn render_record(o: &Outcome) -> String {
     let mut w = JsonLine::new();
     w.str_field("key", &config_key(&o.config));
     w.raw_field("retries", &o.retries.to_string());
@@ -177,16 +202,10 @@ fn render_record(o: &Outcome) -> String {
 
 /// Parse one record line back into `(key, outcome)`; `None` when the
 /// line is corrupt (mid-write kill) or incomplete.
-fn parse_record(line: &str) -> Option<(String, Outcome)> {
+pub(crate) fn parse_record(line: &str) -> Option<(String, Outcome)> {
     let fields = parse_flat_object(line)?;
-    let str_of = |k: &str| match fields.get(k)? {
-        JsonValue::Str(s) => Some(s.clone()),
-        _ => None,
-    };
-    let raw_of = |k: &str| match fields.get(k)? {
-        JsonValue::Raw(s) => Some(s.as_str()),
-        _ => None,
-    };
+    let str_of = |k: &str| Some(fields.get(k)?.as_str()?.to_string());
+    let raw_of = |k: &str| fields.get(k)?.as_raw();
     let key = str_of("key")?;
     let retries: u32 = raw_of("retries")?.parse().ok()?;
     let result = match str_of("status")?.as_str() {
@@ -267,158 +286,6 @@ fn parse_record(line: &str) -> Option<(String, Outcome)> {
 /// representation does).
 fn fmt_f64(v: f64) -> String {
     format!("{v}")
-}
-
-/// Incremental writer for one flat JSON object.
-struct JsonLine {
-    out: String,
-}
-
-impl JsonLine {
-    fn new() -> Self {
-        JsonLine { out: "{".into() }
-    }
-
-    fn sep(&mut self) {
-        if self.out.len() > 1 {
-            self.out.push(',');
-        }
-    }
-
-    fn str_field(&mut self, key: &str, value: &str) {
-        self.sep();
-        self.out.push('"');
-        self.out.push_str(key);
-        self.out.push_str("\":\"");
-        self.out.push_str(&escape(value));
-        self.out.push('"');
-    }
-
-    /// A field whose value is already valid JSON (number, bool, null).
-    fn raw_field(&mut self, key: &str, value: &str) {
-        self.sep();
-        self.out.push('"');
-        self.out.push_str(key);
-        self.out.push_str("\":");
-        self.out.push_str(value);
-    }
-
-    fn finish(mut self) -> String {
-        self.out.push('}');
-        self.out
-    }
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-#[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
-    Str(String),
-    /// A non-string scalar, kept raw: number, `true`/`false`, `null`.
-    Raw(String),
-}
-
-/// Parse a single-line flat JSON object (string/scalar values only — the
-/// only shape this module writes). Returns `None` on any malformation.
-fn parse_flat_object(line: &str) -> Option<HashMap<String, JsonValue>> {
-    let mut chars = line.trim().chars().peekable();
-    let mut fields = HashMap::new();
-    if chars.next()? != '{' {
-        return None;
-    }
-    loop {
-        skip_ws(&mut chars);
-        match chars.peek()? {
-            '}' => {
-                chars.next();
-                break;
-            }
-            ',' => {
-                chars.next();
-                continue;
-            }
-            '"' => {}
-            _ => return None,
-        }
-        let key = parse_string(&mut chars)?;
-        skip_ws(&mut chars);
-        if chars.next()? != ':' {
-            return None;
-        }
-        skip_ws(&mut chars);
-        let value = if chars.peek() == Some(&'"') {
-            JsonValue::Str(parse_string(&mut chars)?)
-        } else {
-            let mut raw = String::new();
-            while let Some(&c) = chars.peek() {
-                if c == ',' || c == '}' {
-                    break;
-                }
-                raw.push(c);
-                chars.next();
-            }
-            let raw = raw.trim().to_string();
-            if raw.is_empty() {
-                return None;
-            }
-            JsonValue::Raw(raw)
-        };
-        fields.insert(key, value);
-    }
-    skip_ws(&mut chars);
-    chars.next().is_none().then_some(fields)
-}
-
-fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
-    while chars.peek().is_some_and(|c| c.is_whitespace()) {
-        chars.next();
-    }
-}
-
-fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
-    if chars.next()? != '"' {
-        return None;
-    }
-    let mut out = String::new();
-    loop {
-        match chars.next()? {
-            '"' => return Some(out),
-            '\\' => match chars.next()? {
-                '"' => out.push('"'),
-                '\\' => out.push('\\'),
-                '/' => out.push('/'),
-                'n' => out.push('\n'),
-                'r' => out.push('\r'),
-                't' => out.push('\t'),
-                'u' => {
-                    let hex: String = (0..4).map_while(|_| chars.next()).collect();
-                    if hex.len() != 4 {
-                        return None;
-                    }
-                    let code = u32::from_str_radix(&hex, 16).ok()?;
-                    out.push(char::from_u32(code)?);
-                }
-                _ => return None,
-            },
-            c => out.push(c),
-        }
-    }
 }
 
 #[cfg(test)]
@@ -570,23 +437,71 @@ mod tests {
     }
 
     #[test]
-    fn flat_object_parser_rejects_garbage() {
-        assert!(parse_flat_object("").is_none());
-        assert!(parse_flat_object("not json").is_none());
-        assert!(parse_flat_object("{\"a\":1").is_none());
-        assert!(parse_flat_object("{\"a\"}").is_none());
-        assert!(parse_flat_object("{\"a\":1} trailing").is_none());
-        let ok = parse_flat_object("{\"a\": 1, \"b\":\"x\", \"c\":null}").unwrap();
-        assert_eq!(ok["a"], JsonValue::Raw("1".into()));
-        assert_eq!(ok["b"], JsonValue::Str("x".into()));
-        assert_eq!(ok["c"], JsonValue::Raw("null".into()));
+    fn compact_collapses_duplicates_and_torn_tail_to_clean_state() {
+        let path = temp_path("compact");
+        {
+            let cp = Checkpoint::create(&path).unwrap();
+            // An error record, plus two generations of the same
+            // (device, config) point — a re-run that succeeded later.
+            cp.record(&sample_err()).unwrap();
+            cp.record(&sample_ok()).unwrap();
+            let mut newer = sample_ok();
+            newer.retries = 3;
+            if let Ok(m) = &mut newer.result {
+                m.best_wall_ns *= 2.0;
+            }
+            cp.record(&newer).unwrap();
+        }
+        // A torn tail from a mid-write kill.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"key\":\"torn").unwrap();
+        }
+        let stats = Checkpoint::compact(&path).unwrap();
+        assert_eq!(stats.kept, 2, "one record per (device, config)");
+        assert_eq!(stats.superseded, 1);
+        assert_eq!(stats.corrupt, 1);
+
+        // The compacted file is clean: every line parses, the latest
+        // generation survived, and compacting again changes nothing.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(parse_record(line).is_some(), "clean record: {line}");
+        }
+        let cp = Checkpoint::resume(&path).unwrap();
+        assert_eq!(cp.len(), 2);
+        let o = cp.lookup(&sample_ok().config).unwrap();
+        assert_eq!(o.retries, 3, "latest generation won");
+        let e = cp.lookup(&sample_err().config).unwrap();
+        assert!(e.result.is_err(), "unrelated error record survives");
+        let again = Checkpoint::compact(&path).unwrap();
+        assert_eq!(again.superseded, 0);
+        assert_eq!(again.corrupt, 0);
+        assert_eq!(again.kept, 2);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text, "idempotent");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn escape_round_trips_control_chars() {
-        let nasty = "a\"b\\c\nd\te\r\u{1}end";
-        let line = format!("{{\"k\":\"{}\"}}", escape(nasty));
-        let parsed = parse_flat_object(&line).unwrap();
-        assert_eq!(parsed["k"], JsonValue::Str(nasty.into()));
+    fn compact_distinguishes_devices_with_the_same_config() {
+        let path = temp_path("compact-dev");
+        {
+            let cp = Checkpoint::create(&path).unwrap();
+            let mut a = sample_ok();
+            if let Ok(m) = &mut a.result {
+                m.device = "device-A".into();
+            }
+            let mut b = sample_ok();
+            if let Ok(m) = &mut b.result {
+                m.device = "device-B".into();
+            }
+            cp.record(&a).unwrap();
+            cp.record(&b).unwrap();
+        }
+        let stats = Checkpoint::compact(&path).unwrap();
+        assert_eq!(stats.kept, 2, "same config on two devices both survive");
+        assert_eq!(stats.superseded, 0);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -461,23 +461,13 @@ pub fn execute(req: &CliRequest) -> Result<String, String> {
     let mut work = Vec::with_capacity(req.ops.len());
     for &op in &req.ops {
         let cfg = kernel_config(req, op)?;
-        work.push(
-            BenchConfig::new(cfg)
-                .with_ntimes(req.ntimes)
-                .with_validation(
-                    !req.no_validate && req.size_bytes <= BenchConfig::AUTO_VALIDATE_LIMIT_BYTES,
-                ),
-        );
+        work.push(bench_protocol(req, cfg));
     }
 
     // One kernel per work item, fanned across the engine's pool; the
     // outcomes come back in request order regardless of --jobs.
-    let (plan, policy) = resilience(req);
     let trace = trace_sink(req);
-    let engine = Engine::with_jobs(req.jobs.unwrap_or_else(default_jobs))
-        .with_policy(policy)
-        .with_faults(plan)
-        .with_trace(trace.clone());
+    let engine = build_engine(req, trace.clone());
     for (op, outcome) in req.ops.iter().zip(engine.run_list(req.target, &work)) {
         match outcome.result {
             Ok(m) => {
@@ -511,48 +501,65 @@ pub fn execute(req: &CliRequest) -> Result<String, String> {
     Ok(out)
 }
 
-/// Execute a sweep request: the cartesian product of the requested ops,
-/// `--vectors` and `--unrolls` at the fixed size/dtype/loop/pattern,
-/// fanned across the engine's pool — optionally checkpointed so a killed
-/// sweep can `--resume` without redoing finished points.
-fn execute_sweep(req: &CliRequest) -> Result<String, String> {
-    let info = Runner::for_target(req.target).device().info().clone();
-    let (plan, policy) = resilience(req);
-    let trace = trace_sink(req);
-    let engine = Engine::with_jobs(req.jobs.unwrap_or_else(default_jobs))
-        .with_policy(policy)
-        .with_faults(plan)
-        .with_trace(trace.clone());
-
-    let space = ParamSpace::new()
+/// The parameter space a sweep request covers: the cartesian product of
+/// the requested ops, `--vectors` and `--unrolls` at the fixed
+/// size/dtype/loop/pattern. Shared by the offline CLI sweep and the
+/// serve daemon so a submitted job sees exactly the points the CLI
+/// would.
+pub fn sweep_param_space(req: &CliRequest) -> ParamSpace {
+    ParamSpace::new()
         .ops(req.ops.iter().copied())
         .sizes_bytes([req.size_bytes])
         .dtypes([req.dtype])
         .widths(req.widths.iter().copied())
         .patterns([req.pattern])
         .loop_modes([req.loop_mode])
-        .unrolls(req.unrolls.iter().copied());
-    let protocol = |cfg: KernelConfig| {
-        BenchConfig::new(cfg)
-            .with_ntimes(req.ntimes)
-            .with_validation(
-                !req.no_validate && req.size_bytes <= BenchConfig::AUTO_VALIDATE_LIMIT_BYTES,
-            )
-    };
+        .unrolls(req.unrolls.iter().copied())
+}
 
-    let result = match &req.checkpoint {
-        Some(path) => {
-            let ckpt = if req.resume {
-                Checkpoint::resume(path)
-            } else {
-                Checkpoint::create(path)
-            }
-            .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
-            sweep_space_checkpointed(&engine, req.target, &space, protocol, &ckpt)
-        }
-        None => sweep_space(&engine, req.target, &space, protocol),
-    };
+/// The measurement protocol (repetitions, validation) a request applies
+/// to one configuration.
+pub fn bench_protocol(req: &CliRequest, cfg: KernelConfig) -> BenchConfig {
+    BenchConfig::new(cfg)
+        .with_ntimes(req.ntimes)
+        .with_validation(
+            !req.no_validate && req.size_bytes <= BenchConfig::AUTO_VALIDATE_LIMIT_BYTES,
+        )
+}
 
+/// Build the execution engine a request asks for: `--jobs` workers, the
+/// resolved resilience policy and fault plan, and the given trace sink.
+pub fn build_engine(req: &CliRequest, trace: Option<Arc<Trace>>) -> Engine {
+    let (plan, policy) = resilience(req);
+    Engine::with_jobs(req.jobs.unwrap_or_else(default_jobs))
+        .with_policy(policy)
+        .with_faults(plan)
+        .with_trace(trace)
+}
+
+/// Run the sweep a request describes on an already-built engine,
+/// recording points to `ckpt` as workers complete when one is given.
+/// Factored out of [`execute`] so the serve daemon can run the same
+/// sweep (same space, same protocol) against its own per-job checkpoint
+/// and cancel token.
+pub fn run_sweep(
+    engine: &Engine,
+    req: &CliRequest,
+    ckpt: Option<&Checkpoint>,
+) -> crate::sweep::SweepResult {
+    let space = sweep_param_space(req);
+    let protocol = |cfg: KernelConfig| bench_protocol(req, cfg);
+    match ckpt {
+        Some(ckpt) => sweep_space_checkpointed(engine, req.target, &space, protocol, ckpt),
+        None => sweep_space(engine, req.target, &space, protocol),
+    }
+}
+
+/// Render the sweep report text for a result — the exact bytes the
+/// offline `mpstream sweep` prints, so a served job's fetched report can
+/// be compared byte-for-byte against a local run.
+pub fn render_sweep_report(req: &CliRequest, result: &crate::sweep::SweepResult) -> String {
+    let info = Runner::for_target(req.target).device().info().clone();
     let mut out = format!(
         "MP-STREAM sweep on {} ({} points, {} bytes x {:?}, {} repetitions)\n\n",
         info.name,
@@ -589,6 +596,29 @@ fn execute_sweep(req: &CliRequest) -> Result<String, String> {
     } else {
         result.metrics_table().to_text()
     });
+    out
+}
+
+/// Execute a sweep request: the cartesian product of the requested ops,
+/// `--vectors` and `--unrolls` at the fixed size/dtype/loop/pattern,
+/// fanned across the engine's pool — optionally checkpointed so a killed
+/// sweep can `--resume` without redoing finished points.
+fn execute_sweep(req: &CliRequest) -> Result<String, String> {
+    let trace = trace_sink(req);
+    let engine = build_engine(req, trace.clone());
+    let result = match &req.checkpoint {
+        Some(path) => {
+            let ckpt = if req.resume {
+                Checkpoint::resume(path)
+            } else {
+                Checkpoint::create(path)
+            }
+            .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+            run_sweep(&engine, req, Some(&ckpt))
+        }
+        None => run_sweep(&engine, req, None),
+    };
+    let out = render_sweep_report(req, &result);
     write_trace(req, trace.as_ref())?;
     Ok(out)
 }

@@ -61,15 +61,15 @@ pub struct DseResult {
 impl DseResult {
     fn from_trace(trace: Vec<Outcome>) -> Self {
         let failures = trace.iter().filter(|o| o.result.is_err()).count();
+        // NaN-safe best pick: a NaN bandwidth (a degenerate measurement,
+        // e.g. zero timed bytes) must neither panic the comparison nor
+        // win it, so NaN scores are filtered out and the survivors are
+        // totally ordered by `f64::total_cmp`.
         let best = trace
             .iter()
-            .filter(|o| o.gbps().is_some())
-            .max_by(|a, b| {
-                a.gbps()
-                    .partial_cmp(&b.gbps())
-                    .expect("scores are comparable")
-            })
-            .cloned();
+            .filter_map(|o| o.gbps().filter(|g| !g.is_nan()).map(|g| (o, g)))
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(o, _)| o.clone());
         DseResult {
             best,
             trace,
@@ -440,6 +440,33 @@ mod tests {
         );
         // Global optimum: vec16 flat => 32+.
         assert!(score(&r.best.expect("best")).unwrap() >= 28.0);
+    }
+
+    #[test]
+    fn nan_bandwidth_neither_panics_nor_wins() {
+        // A degenerate measurement whose bandwidth computes to NaN.
+        let nan_measurement = || {
+            let mut m = Measurement::synthetic(1.0);
+            m.best_wall_ns = f64::NAN;
+            assert!(m.gbps().is_nan());
+            Ok(m)
+        };
+        // Regression: the best-pick used `partial_cmp(..).expect(..)`,
+        // so one NaN measurement panicked the whole search.
+        let r = explore(&space(), Explorer::Exhaustive, |c| {
+            if c.vector_width.get() == 16 {
+                nan_measurement()
+            } else {
+                objective(c)
+            }
+        });
+        let best = r.best.expect("finite points still produce a best");
+        assert!(score(&best).unwrap().is_finite());
+        assert_ne!(best.config.vector_width.get(), 16, "NaN never wins");
+
+        // All-NaN searches have no best rather than a NaN best.
+        let all_nan = explore(&space(), Explorer::Exhaustive, |_| nan_measurement());
+        assert!(all_nan.best.is_none());
     }
 
     #[test]

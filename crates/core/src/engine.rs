@@ -36,9 +36,39 @@ use crate::trace::{self, Trace, TID_ENGINE};
 use kernelgen::KernelConfig;
 use mpcl::{BuildCache, CacheStats, ClError, FaultCounters, FaultPlan};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Once};
 use std::time::{Duration, Instant};
+
+/// A shared cooperative-cancellation flag. Clone it freely: all clones
+/// observe the same state. An [`Engine`] carrying a token (see
+/// [`Engine::with_cancel`]) stops dispatching new configurations once
+/// the token is cancelled — in-flight configurations finish (and are
+/// checkpointed as usual), never-started ones come back as
+/// [`ClError::Cancelled`] outcomes, which are **not** passed to the
+/// checkpointing observer, so a cancelled sweep resumes exactly where
+/// it stopped.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// One executed configuration: the shared result vocabulary of sweeps
 /// and explorers (previously the duplicated `SweepPoint`/`Evaluation`).
@@ -251,6 +281,7 @@ pub struct Engine {
     policy: ResiliencePolicy,
     faults: Option<Arc<FaultPlan>>,
     trace: Option<Arc<Trace>>,
+    cancel: Option<CancelToken>,
     retries: AtomicU64,
     transient_errors: AtomicU64,
     gave_up: AtomicU64,
@@ -277,6 +308,7 @@ impl Engine {
             policy: ResiliencePolicy::default(),
             faults: None,
             trace: None,
+            cancel: None,
             retries: AtomicU64::new(0),
             transient_errors: AtomicU64::new(0),
             gave_up: AtomicU64::new(0),
@@ -308,6 +340,24 @@ impl Engine {
     /// The attached trace sink, if any.
     pub fn trace(&self) -> Option<&Arc<Trace>> {
         self.trace.as_ref()
+    }
+
+    /// Attach a cooperative cancellation token (`None` detaches). Once
+    /// the token fires, workers stop claiming new configurations and
+    /// the retry loop stops re-attempting; see [`CancelToken`].
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The attached cancel token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Has the attached token requested cancellation?
+    fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Worker count.
@@ -379,7 +429,7 @@ impl Engine {
         work: &[BenchConfig],
         observe: impl Fn(&Outcome) + Sync,
     ) -> Vec<Outcome> {
-        self.execute_indexed(
+        let slots = self.execute_indexed(
             work.len(),
             || self.equip(make_runner()),
             |runner, i| {
@@ -390,7 +440,23 @@ impl Engine {
                 self.run_one_with(runner, &work[i])
             },
             observe,
-        )
+        );
+        self.fill_cancelled(slots, |i| work[i].kernel.clone())
+    }
+
+    /// Replace the `None` slots a cancelled pool run leaves behind with
+    /// [`ClError::Cancelled`] outcomes (never observed, never
+    /// checkpointed — a resumed sweep re-runs them).
+    fn fill_cancelled(
+        &self,
+        slots: Vec<Option<Outcome>>,
+        config_of: impl Fn(usize) -> KernelConfig,
+    ) -> Vec<Outcome> {
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| Outcome::new(config_of(i), Err(ClError::Cancelled))))
+            .collect()
     }
 
     /// Attach this engine's cache and fault plan to a runner.
@@ -478,6 +544,16 @@ impl Engine {
                 };
             }
             self.transient_errors.fetch_add(1, Ordering::Relaxed);
+            // A fired cancel token ends the retry loop like an exhausted
+            // budget: the transient result stands (it is not recorded as
+            // gave-up — the operator asked for it).
+            if self.is_cancelled() {
+                return Outcome {
+                    config: config.clone(),
+                    result,
+                    retries,
+                };
+            }
             let deadline_passed = self
                 .policy
                 .per_config_deadline
@@ -520,7 +596,7 @@ impl Engine {
         configs: &[KernelConfig],
         objective: impl Fn(&KernelConfig) -> Result<Measurement, ClError> + Sync,
     ) -> Vec<Outcome> {
-        self.execute_indexed(
+        let slots = self.execute_indexed(
             configs.len(),
             || (),
             |(), i| {
@@ -531,20 +607,23 @@ impl Engine {
                 self.run_protected(&configs[i], || objective(&configs[i]))
             },
             |_| {},
-        )
+        );
+        self.fill_cancelled(slots, |i| configs[i].clone())
     }
 
     /// The shared pool core: evaluate indices `0..n` across up to
     /// `jobs` workers (each owning one `make_worker()` value), calling
     /// `observe` on every outcome as produced, and return outcomes in
-    /// index order.
+    /// index order. A fired cancel token stops workers from claiming
+    /// further indices; unclaimed slots come back `None` (callers
+    /// synthesize [`ClError::Cancelled`] outcomes for them).
     fn execute_indexed<W>(
         &self,
         n: usize,
         make_worker: impl Fn() -> W + Sync,
         eval: impl Fn(&W, usize) -> Outcome + Sync,
         observe: impl Fn(&Outcome) + Sync,
-    ) -> Vec<Outcome> {
+    ) -> Vec<Option<Outcome>> {
         let jobs = self.jobs.min(n).max(1);
         let schedule = |worker: usize, i: usize| {
             if let Some(t) = &self.trace {
@@ -559,10 +638,13 @@ impl Engine {
             let worker = make_worker();
             return (0..n)
                 .map(|i| {
+                    if self.is_cancelled() {
+                        return None;
+                    }
                     schedule(0, i);
                     let outcome = eval(&worker, i);
                     observe(&outcome);
-                    outcome
+                    Some(outcome)
                 })
                 .collect();
         }
@@ -585,6 +667,9 @@ impl Engine {
                 s.spawn(move || {
                     let worker = make_worker();
                     loop {
+                        if self.is_cancelled() {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
@@ -606,9 +691,6 @@ impl Engine {
             slots[i] = Some(outcome);
         }
         slots
-            .into_iter()
-            .map(|s| s.expect("every index executed"))
-            .collect()
     }
 
     /// Execute every valid configuration of a `ParamSpace`-like config
@@ -795,6 +877,69 @@ mod tests {
         assert!(out.result.is_err());
         assert!(out.retries < 100, "deadline bounded the retries");
         assert_eq!(engine.retry_stats().gave_up, 1);
+    }
+
+    #[test]
+    fn pre_cancelled_engine_runs_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        for jobs in [1, 4] {
+            let engine = Engine::with_jobs(jobs).with_cancel(Some(token.clone()));
+            let work = work_list();
+            let out = engine.run_list(TargetId::Cpu, &work);
+            assert_eq!(out.len(), work.len(), "every slot answered");
+            for (o, w) in out.iter().zip(&work) {
+                assert_eq!(o.config, w.kernel, "cancelled outcome keeps its config");
+                assert_eq!(o.result, Err(ClError::Cancelled));
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_mid_run_stops_dispatch_and_skips_observe() {
+        let token = CancelToken::new();
+        let engine = Engine::with_jobs(1).with_cancel(Some(token.clone()));
+        let work = work_list();
+        let observed = AtomicU64::new(0);
+        let out = engine.run_list_observed(
+            || Runner::for_target(TargetId::Cpu),
+            &work,
+            |o| {
+                assert!(o.result != Err(ClError::Cancelled), "never observed");
+                // Cancel after the second completed configuration.
+                if observed.fetch_add(1, Ordering::Relaxed) == 1 {
+                    token.cancel();
+                }
+            },
+        );
+        assert_eq!(observed.load(Ordering::Relaxed), 2);
+        assert_eq!(out.len(), work.len());
+        assert!(out[..2].iter().all(|o| o.is_ok()));
+        assert!(out[2..].iter().all(|o| o.result == Err(ClError::Cancelled)));
+    }
+
+    #[test]
+    fn cancel_stops_the_retry_loop() {
+        let token = CancelToken::new();
+        let engine = Engine::with_jobs(1)
+            .with_policy(
+                ResiliencePolicy::retrying(u32::MAX).with_backoff(Duration::ZERO, Duration::ZERO),
+            )
+            .with_cancel(Some(token.clone()));
+        let cfg = KernelConfig::baseline(StreamOp::Copy, 1024);
+        let calls = AtomicU64::new(0);
+        let out = engine.run_protected(&cfg, || {
+            if calls.fetch_add(1, Ordering::Relaxed) == 2 {
+                token.cancel();
+            }
+            Err(ClError::DeviceLost)
+        });
+        assert!(out.result.is_err());
+        assert!(
+            calls.load(Ordering::Relaxed) <= 4,
+            "cancellation broke an otherwise unbounded retry loop"
+        );
+        assert_eq!(engine.retry_stats().gave_up, 0, "cancel is not give-up");
     }
 
     #[test]

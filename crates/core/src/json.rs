@@ -1,0 +1,391 @@
+//! Minimal flat-JSON machinery shared by the persistence and serving
+//! layers.
+//!
+//! No external serialization crate exists in-tree, so everything that
+//! speaks JSON — the sweep [`Checkpoint`](crate::checkpoint::Checkpoint)
+//! format, the `mpstream serve` wire protocol and its job journal —
+//! shares this one deliberately small dialect: **single-line flat
+//! objects** whose values are strings or raw scalars (numbers, bools,
+//! `null`). Lists are carried as comma-joined strings. That shape is
+//! expressive enough for every record the workspace writes, and small
+//! enough that the parser can be exhaustively property-tested.
+//!
+//! [`compact_jsonl`] is the shared append-log compaction: JSONL files in
+//! this workspace are append-only (crash-safe by construction — a
+//! `kill -9` can at worst tear the final line), so long-lived stores
+//! accumulate duplicate records for re-run keys plus at most one torn
+//! tail. Compaction rewrites the file keeping only the last record per
+//! key, dropping corrupt lines, via a temp-file-and-rename so a crash
+//! mid-compaction never loses the original.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// One value of a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A non-string scalar, kept raw: number, `true`/`false`, `null`.
+    Raw(String),
+}
+
+impl JsonValue {
+    /// The string payload, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            JsonValue::Raw(_) => None,
+        }
+    }
+
+    /// The raw scalar text, if this is a non-string value.
+    pub fn as_raw(&self) -> Option<&str> {
+        match self {
+            JsonValue::Raw(s) => Some(s),
+            JsonValue::Str(_) => None,
+        }
+    }
+
+    /// Parse a raw scalar as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_raw()?.parse().ok()
+    }
+
+    /// Parse a raw scalar as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_raw()?.parse().ok()
+    }
+
+    /// Parse a raw scalar as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.as_raw()? {
+            "true" => Some(true),
+            "false" => Some(false),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed flat object: field name to value.
+pub type JsonObject = HashMap<String, JsonValue>;
+
+/// Incremental writer for one flat JSON object (a single line).
+#[derive(Debug)]
+pub struct JsonLine {
+    out: String,
+}
+
+impl Default for JsonLine {
+    fn default() -> Self {
+        JsonLine::new()
+    }
+}
+
+impl JsonLine {
+    /// Start an object.
+    pub fn new() -> Self {
+        JsonLine { out: "{".into() }
+    }
+
+    fn sep(&mut self) {
+        if self.out.len() > 1 {
+            self.out.push(',');
+        }
+    }
+
+    /// Append a string-valued field (escaped).
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.sep();
+        self.out.push('"');
+        self.out.push_str(key);
+        self.out.push_str("\":\"");
+        self.out.push_str(&escape(value));
+        self.out.push('"');
+        self
+    }
+
+    /// Append a field whose value is already valid JSON (number, bool,
+    /// `null`).
+    pub fn raw_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.sep();
+        self.out.push('"');
+        self.out.push_str(key);
+        self.out.push_str("\":");
+        self.out.push_str(value);
+        self
+    }
+
+    /// Append an unsigned integer field.
+    pub fn u64_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw_field(key, &value.to_string())
+    }
+
+    /// Close the object and return the line.
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a single-line flat JSON object (string/scalar values only — the
+/// only shape this workspace writes). Returns `None` on any
+/// malformation, which callers treat as a torn or foreign record.
+pub fn parse_flat_object(line: &str) -> Option<JsonObject> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = HashMap::new();
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+                continue;
+            }
+            '"' => {}
+            _ => return None,
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let value = if chars.peek() == Some(&'"') {
+            JsonValue::Str(parse_string(&mut chars)?)
+        } else {
+            let mut raw = String::new();
+            while let Some(&c) = chars.peek() {
+                if c == ',' || c == '}' {
+                    break;
+                }
+                raw.push(c);
+                chars.next();
+            }
+            let raw = raw.trim().to_string();
+            if raw.is_empty() {
+                return None;
+            }
+            JsonValue::Raw(raw)
+        };
+        fields.insert(key, value);
+    }
+    skip_ws(&mut chars);
+    chars.next().is_none().then_some(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).map_while(|_| chars.next()).collect();
+                    if hex.len() != 4 {
+                        return None;
+                    }
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// What [`compact_jsonl`] did to a file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Records surviving compaction.
+    pub kept: usize,
+    /// Older duplicates dropped (a newer record for the same key won).
+    pub superseded: usize,
+    /// Unparseable lines dropped (torn tail, foreign garbage).
+    pub corrupt: usize,
+}
+
+/// Rewrite the JSONL file at `path` keeping only the **last** record per
+/// key, in first-appearance order. `key_of` extracts each record's key
+/// from its parsed fields; lines that fail to parse, or whose key is
+/// `None`, are dropped (counted in [`CompactStats::corrupt`]). Surviving
+/// lines are preserved byte-exactly. The rewrite goes through a sibling
+/// temp file and an atomic rename, so a crash mid-compaction leaves the
+/// original intact. A missing file is a no-op.
+pub fn compact_jsonl(
+    path: &Path,
+    key_of: impl Fn(&JsonObject) -> Option<String>,
+) -> std::io::Result<CompactStats> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(CompactStats::default()),
+        Err(e) => return Err(e),
+    };
+    let mut stats = CompactStats::default();
+    // Key -> slot index; slots hold the latest line for each key at the
+    // position the key first appeared, so compaction is deterministic
+    // and stable.
+    let mut slot_of: HashMap<String, usize> = HashMap::new();
+    let mut slots: Vec<String> = Vec::new();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let key = parse_flat_object(&line).and_then(|fields| key_of(&fields));
+        match key {
+            None => stats.corrupt += 1,
+            Some(key) => match slot_of.get(&key) {
+                Some(&i) => {
+                    slots[i] = line;
+                    stats.superseded += 1;
+                }
+                None => {
+                    slot_of.insert(key, slots.len());
+                    slots.push(line);
+                }
+            },
+        }
+    }
+    stats.kept = slots.len();
+
+    let tmp = path.with_extension("compact-tmp");
+    {
+        let mut out = File::create(&tmp)?;
+        for line in &slots {
+            writeln!(out, "{line}")?;
+        }
+        out.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_object_parser_rejects_garbage() {
+        assert!(parse_flat_object("").is_none());
+        assert!(parse_flat_object("not json").is_none());
+        assert!(parse_flat_object("{\"a\":1").is_none());
+        assert!(parse_flat_object("{\"a\"}").is_none());
+        assert!(parse_flat_object("{\"a\":1} trailing").is_none());
+        let ok = parse_flat_object("{\"a\": 1, \"b\":\"x\", \"c\":null}").unwrap();
+        assert_eq!(ok["a"], JsonValue::Raw("1".into()));
+        assert_eq!(ok["b"], JsonValue::Str("x".into()));
+        assert_eq!(ok["c"], JsonValue::Raw("null".into()));
+    }
+
+    #[test]
+    fn escape_round_trips_control_chars() {
+        let nasty = "a\"b\\c\nd\te\r\u{1}end";
+        let line = format!("{{\"k\":\"{}\"}}", escape(nasty));
+        let parsed = parse_flat_object(&line).unwrap();
+        assert_eq!(parsed["k"], JsonValue::Str(nasty.into()));
+    }
+
+    #[test]
+    fn value_accessors() {
+        let o = parse_flat_object("{\"n\":42,\"f\":1.5,\"b\":true,\"s\":\"x\"}").unwrap();
+        assert_eq!(o["n"].as_u64(), Some(42));
+        assert_eq!(o["f"].as_f64(), Some(1.5));
+        assert_eq!(o["b"].as_bool(), Some(true));
+        assert_eq!(o["s"].as_str(), Some("x"));
+        assert_eq!(o["s"].as_u64(), None);
+        assert_eq!(o["n"].as_str(), None);
+    }
+
+    #[test]
+    fn json_line_builds_objects() {
+        let mut w = JsonLine::new();
+        w.str_field("a", "x\"y")
+            .u64_field("n", 7)
+            .raw_field("z", "null");
+        let line = w.finish();
+        let back = parse_flat_object(&line).unwrap();
+        assert_eq!(back["a"], JsonValue::Str("x\"y".into()));
+        assert_eq!(back["n"].as_u64(), Some(7));
+        assert_eq!(back["z"], JsonValue::Raw("null".into()));
+    }
+
+    #[test]
+    fn compact_keeps_last_record_per_key_and_drops_torn_tail() {
+        let path = std::env::temp_dir().join(format!(
+            "mpstream-json-compact-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            "{\"k\":\"a\",\"v\":1}\n{\"k\":\"b\",\"v\":2}\n{\"k\":\"a\",\"v\":3}\n{\"k\":\"half",
+        )
+        .unwrap();
+        let stats = compact_jsonl(&path, |o| Some(o.get("k")?.as_str()?.to_string())).unwrap();
+        assert_eq!(
+            stats,
+            CompactStats {
+                kept: 2,
+                superseded: 1,
+                corrupt: 1
+            }
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"k\":\"a\",\"v\":3}\n{\"k\":\"b\",\"v\":2}\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_missing_file_is_noop() {
+        let path = std::env::temp_dir().join("mpstream-json-compact-missing.jsonl");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            compact_jsonl(&path, |_| None).unwrap(),
+            CompactStats::default()
+        );
+        assert!(!path.exists());
+    }
+}

@@ -34,6 +34,7 @@ pub mod dse;
 pub mod engine;
 pub mod experiments;
 pub mod extensions;
+pub mod json;
 pub mod paperdata;
 pub mod report;
 pub mod rng;
@@ -46,7 +47,7 @@ pub use bandwidth::{gbps_to_kbps, mb_label};
 pub use checkpoint::Checkpoint;
 pub use config::{BenchConfig, StreamLocation};
 pub use dse::{explore, explore_target, DseResult, Explorer};
-pub use engine::{default_jobs, Engine, Outcome, ResiliencePolicy, RetryStats};
+pub use engine::{default_jobs, CancelToken, Engine, Outcome, ResiliencePolicy, RetryStats};
 pub use experiments::{run_figure, Figure, FigureId, RunOpts};
 pub use extensions::{all_extensions, ExtensionReport};
 pub use report::{ascii_loglog, sweep_summary_table, Series, SweepSummary, Table};

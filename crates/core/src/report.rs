@@ -80,6 +80,16 @@ impl Table {
 
     /// Render as aligned monospace text.
     pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write_text(&mut out)
+            .expect("writing to a String cannot fail");
+        out
+    }
+
+    /// Render as aligned monospace text into any [`std::fmt::Write`]
+    /// sink — lets callers (the report files, the serve crate's text
+    /// endpoints) stream a table straight into a response body.
+    pub fn write_text(&self, out: &mut impl std::fmt::Write) -> std::fmt::Result {
         let cols = self.headers.len();
         let mut width = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
@@ -90,21 +100,19 @@ impl Table {
                 width[i] = width[i].max(c.len());
             }
         }
-        let mut out = String::new();
-        let render = |cells: &[String], out: &mut String| {
+        let render = |cells: &[String], out: &mut dyn std::fmt::Write| {
             for (i, c) in cells.iter().enumerate() {
-                let _ = write!(out, "{:>w$}  ", c, w = width[i]);
+                write!(out, "{:>w$}  ", c, w = width[i])?;
             }
-            out.push('\n');
+            writeln!(out)
         };
-        render(&self.headers, &mut out);
+        render(&self.headers, out)?;
         let total: usize = width.iter().sum::<usize>() + 2 * cols;
-        out.push_str(&"-".repeat(total));
-        out.push('\n');
+        writeln!(out, "{}", "-".repeat(total))?;
         for row in &self.rows {
-            render(row, &mut out);
+            render(row, out)?;
         }
-        out
+        Ok(())
     }
 
     /// Render as a GitHub-flavoured Markdown table.
@@ -140,6 +148,15 @@ impl Table {
 
     /// Render as CSV (RFC-4180-ish; quotes fields containing commas).
     pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        self.write_csv(&mut out)
+            .expect("writing to a String cannot fail");
+        out
+    }
+
+    /// Render as CSV into any [`std::fmt::Write`] sink (see
+    /// [`Table::write_text`] for why).
+    pub fn write_csv(&self, out: &mut impl std::fmt::Write) -> std::fmt::Result {
         let esc = |s: &str| {
             if s.contains(',') || s.contains('"') {
                 format!("\"{}\"", s.replace('"', "\"\""))
@@ -147,21 +164,23 @@ impl Table {
                 s.to_string()
             }
         };
-        let mut out = String::new();
-        out.push_str(
-            &self
-                .headers
+        writeln!(
+            out,
+            "{}",
+            self.headers
                 .iter()
                 .map(|h| esc(h))
                 .collect::<Vec<_>>()
-                .join(","),
-        );
-        out.push('\n');
+                .join(",")
+        )?;
         for row in &self.rows {
-            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
-            out.push('\n');
+            writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            )?;
         }
-        out
+        Ok(())
     }
 }
 
@@ -382,6 +401,18 @@ mod tests {
         let md = t.to_markdown();
         assert!(md.starts_with("| a | b |\n|---|---|\n"));
         assert!(md.contains("x\\|y"), "{md}");
+    }
+
+    #[test]
+    fn writer_renderers_match_string_renderers() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into(), "two".into()]);
+        let mut text = String::new();
+        t.write_text(&mut text).unwrap();
+        assert_eq!(text, t.to_text());
+        let mut csv = String::new();
+        t.write_csv(&mut csv).unwrap();
+        assert_eq!(csv, t.to_csv());
     }
 
     #[test]

@@ -75,12 +75,15 @@ impl SweepResult {
         })
     }
 
-    /// The best configuration by bandwidth, if any succeeded.
+    /// The best configuration by bandwidth, if any succeeded. NaN
+    /// bandwidths (degenerate measurements) are excluded rather than
+    /// compared, so they can neither panic nor win.
     pub fn best(&self) -> Option<&Outcome> {
         self.points
             .iter()
-            .filter(|p| p.gbps().is_some())
-            .max_by(|a, b| a.gbps().partial_cmp(&b.gbps()).expect("finite"))
+            .filter_map(|p| p.gbps().filter(|g| !g.is_nan()).map(|g| (p, g)))
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(p, _)| p)
     }
 
     /// Render a summary table (config, GB/s or failure, fmax, logic,
@@ -297,11 +300,7 @@ pub fn pareto_front(sweep: &SweepResult) -> Vec<ParetoPoint> {
             })
         })
         .collect();
-    candidates.sort_by(|a, b| {
-        a.logic
-            .cmp(&b.logic)
-            .then(b.gbps.partial_cmp(&a.gbps).expect("finite"))
-    });
+    candidates.sort_by(|a, b| a.logic.cmp(&b.logic).then(b.gbps.total_cmp(&a.gbps)));
 
     let mut front: Vec<ParetoPoint> = Vec::new();
     let mut best_gbps = f64::NEG_INFINITY;

@@ -45,6 +45,12 @@ pub enum ClError {
     /// panic was isolated to that configuration's outcome. Permanent —
     /// retrying a poisoned configuration would panic again.
     HostPanic(String),
+    /// The configuration was cooperatively cancelled before it ran (a
+    /// cancelled sweep job or a shutting-down server). Permanent for
+    /// retry purposes — the cancellation was deliberate — but *not* a
+    /// verdict on the configuration: cancelled outcomes are never
+    /// checkpointed, so a resumed sweep re-runs them.
+    Cancelled,
 }
 
 /// Whether an error is worth retrying.
@@ -90,6 +96,7 @@ impl ClError {
             ClError::Timeout(_) => "Timeout",
             ClError::TransientBuildFailure(_) => "TransientBuildFailure",
             ClError::HostPanic(_) => "HostPanic",
+            ClError::Cancelled => "Cancelled",
         }
     }
 
@@ -143,6 +150,7 @@ impl ClError {
             "Timeout" => ClError::Timeout(msg()),
             "TransientBuildFailure" => ClError::TransientBuildFailure(msg()),
             "HostPanic" => ClError::HostPanic(msg()),
+            "Cancelled" => ClError::Cancelled,
             _ => ClError::InvalidValue(msg()),
         }
     }
@@ -174,6 +182,7 @@ impl fmt::Display for ClError {
                 write!(f, "CL_BUILD_PROGRAM_FAILURE (transient):\n{log}")
             }
             ClError::HostPanic(why) => write!(f, "HOST_PANIC: {why}"),
+            ClError::Cancelled => write!(f, "CANCELLED"),
         }
     }
 }
@@ -217,6 +226,7 @@ mod tests {
             ClError::InvalidContext,
             ClError::MemCopyOverlap,
             ClError::HostPanic("index out of bounds".into()),
+            ClError::Cancelled,
         ] {
             assert!(!permanent.is_transient(), "{permanent}");
             assert_eq!(permanent.retry_class(), RetryClass::Permanent);
@@ -241,6 +251,7 @@ mod tests {
             ClError::Timeout("deadline".into()),
             ClError::TransientBuildFailure("license".into()),
             ClError::HostPanic("boom".into()),
+            ClError::Cancelled,
         ];
         for e in all {
             let back = ClError::from_parts(e.code(), &e.detail());

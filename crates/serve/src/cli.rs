@@ -1,0 +1,416 @@
+//! Argument grammar and execution for the service subcommands:
+//! `mpstream serve|submit|status|fetch|cancel`. Factored as a library
+//! (like `mpstream_core::cli`) so it is unit-testable; the workspace
+//! binary dispatches here when the first argument names one of these
+//! subcommands.
+
+use crate::client::http_request;
+use crate::server::{ServeOpts, Server};
+use crate::signal::ShutdownSignal;
+use crate::spec;
+use mpstream_core::cli as core_cli;
+use mpstream_core::json::parse_flat_object;
+use std::path::PathBuf;
+
+/// Usage text for the service subcommands.
+pub const USAGE: &str = "\
+usage: mpstream serve [--addr H:P] [--store DIR] [--jobs N] [--queue N]
+       mpstream submit [--addr H:P] <sweep flags>   queue a sweep, print its job id
+       mpstream status [--addr H:P] [ID]            one job's progress, or all jobs
+       mpstream fetch  [--addr H:P] ID [--results]  fetch the report (or raw results)
+       mpstream cancel [--addr H:P] ID              cancel a queued or running job
+
+  --addr <host:port>   server address (default 127.0.0.1:8377)
+  serve --store <dir>  result-store directory (default ./mpstream-store)
+  serve --jobs <N>     HTTP worker threads (default 4)
+  serve --queue <N>    job-queue capacity before 503 (default 16)
+  submit takes the same flags as `mpstream sweep` (see `mpstream --help`),
+  minus the local-only --checkpoint/--resume/--trace.";
+
+/// A parsed service subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeCommand {
+    /// Run the daemon.
+    Serve(ServeOpts),
+    /// POST a sweep spec.
+    Submit {
+        /// Server address.
+        addr: String,
+        /// The job-spec JSON line.
+        spec: String,
+    },
+    /// GET one job's status, or all jobs.
+    Status {
+        /// Server address.
+        addr: String,
+        /// Job id, or `None` for the full listing.
+        id: Option<u64>,
+    },
+    /// GET a job's report or raw results.
+    Fetch {
+        /// Server address.
+        addr: String,
+        /// Job id.
+        id: u64,
+        /// Page through the raw checkpoint lines instead.
+        results: bool,
+    },
+    /// POST a cancellation.
+    Cancel {
+        /// Server address.
+        addr: String,
+        /// Job id.
+        id: u64,
+    },
+}
+
+/// Does this argument vector start with a service subcommand?
+pub fn is_serve_command(args: &[String]) -> bool {
+    matches!(
+        args.first().map(String::as_str),
+        Some("serve" | "submit" | "status" | "fetch" | "cancel")
+    )
+}
+
+/// Parse a service argument vector (`Ok(None)` for `--help`).
+pub fn parse_serve_args(args: &[String]) -> Result<Option<ServeCommand>, String> {
+    let (verb, mut rest): (&str, Vec<String>) = match args.split_first() {
+        Some((v, rest)) => (v.as_str(), rest.to_vec()),
+        None => return Err("missing subcommand".into()),
+    };
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(None);
+    }
+    let mut addr = "127.0.0.1:8377".to_string();
+    if let Some(pos) = rest.iter().position(|a| a == "--addr") {
+        if pos + 1 >= rest.len() {
+            return Err("--addr needs a value".into());
+        }
+        addr = rest.remove(pos + 1);
+        rest.remove(pos);
+    }
+
+    match verb {
+        "serve" => {
+            let mut opts = ServeOpts {
+                addr,
+                ..ServeOpts::default()
+            };
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                let mut need = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match arg.as_str() {
+                    "--store" => opts.store_dir = PathBuf::from(need("--store")?),
+                    "--jobs" => {
+                        opts.http_workers = need("--jobs")?
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| n > 0)
+                            .ok_or("--jobs needs a positive integer")?;
+                    }
+                    "--queue" => {
+                        opts.queue_capacity = need("--queue")?
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| n > 0)
+                            .ok_or("--queue needs a positive integer")?;
+                    }
+                    other => return Err(format!("unknown serve argument '{other}'")),
+                }
+            }
+            Ok(Some(ServeCommand::Serve(opts)))
+        }
+        "submit" => {
+            // Everything left is sweep grammar; reuse the core parser.
+            let mut sweep_args = vec!["sweep".to_string()];
+            sweep_args.extend(rest);
+            let req =
+                core_cli::parse_args(&sweep_args)?.ok_or("submit takes sweep flags, not --help")?;
+            let spec = spec::request_to_spec(&req)?;
+            Ok(Some(ServeCommand::Submit { addr, spec }))
+        }
+        "status" => {
+            let id = match rest.as_slice() {
+                [] => None,
+                [id] => Some(parse_job_id(id)?),
+                _ => return Err("status takes at most one job id".into()),
+            };
+            Ok(Some(ServeCommand::Status { addr, id }))
+        }
+        "fetch" => {
+            let results = rest.iter().any(|a| a == "--results");
+            let ids: Vec<&String> = rest.iter().filter(|a| *a != "--results").collect();
+            match ids.as_slice() {
+                [id] => Ok(Some(ServeCommand::Fetch {
+                    addr,
+                    id: parse_job_id(id)?,
+                    results,
+                })),
+                _ => Err("fetch takes exactly one job id".into()),
+            }
+        }
+        "cancel" => match rest.as_slice() {
+            [id] => Ok(Some(ServeCommand::Cancel {
+                addr,
+                id: parse_job_id(id)?,
+            })),
+            _ => Err("cancel takes exactly one job id".into()),
+        },
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn parse_job_id(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("invalid job id '{s}'"))
+}
+
+/// Expect a 2xx reply, turning anything else into a readable error.
+fn expect_ok(
+    reply: crate::client::HttpReply,
+    what: &str,
+) -> Result<crate::client::HttpReply, String> {
+    if (200..300).contains(&reply.status) {
+        Ok(reply)
+    } else {
+        let detail = parse_flat_object(reply.text().trim())
+            .and_then(|o| o.get("error")?.as_str().map(str::to_string))
+            .unwrap_or_else(|| reply.text().trim().to_string());
+        Err(format!("{what}: HTTP {} — {detail}", reply.status))
+    }
+}
+
+/// Execute a client subcommand, returning the text to print.
+/// ([`ServeCommand::Serve`] is executed by [`run_server`] instead —
+/// it blocks for the daemon's lifetime.)
+pub fn run_client(cmd: &ServeCommand) -> Result<String, String> {
+    match cmd {
+        ServeCommand::Serve(_) => Err("serve must go through run_server".into()),
+        ServeCommand::Submit { addr, spec } => {
+            let reply = expect_ok(
+                http_request(addr, "POST", "/jobs", spec.as_bytes())?,
+                "submit",
+            )?;
+            let obj =
+                parse_flat_object(reply.text().trim()).ok_or("submit: unparseable server reply")?;
+            let id = obj.get("id").and_then(|v| v.as_u64()).unwrap_or(0);
+            let total = obj.get("total").and_then(|v| v.as_u64()).unwrap_or(0);
+            Ok(format!("job {id} queued ({total} points)\n"))
+        }
+        ServeCommand::Status { addr, id } => {
+            let path = match id {
+                Some(id) => format!("/jobs/{id}"),
+                None => "/jobs".to_string(),
+            };
+            let reply = expect_ok(http_request(addr, "GET", &path, b"")?, "status")?;
+            let mut out = String::new();
+            for line in reply.text().lines() {
+                let Some(obj) = parse_flat_object(line) else {
+                    continue;
+                };
+                let field = |k: &str| obj.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+                let state = obj
+                    .get("state")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("unknown");
+                out.push_str(&format!(
+                    "job {}: {} ({}/{} points)\n",
+                    field("id"),
+                    state,
+                    field("done"),
+                    field("total"),
+                ));
+            }
+            if out.is_empty() {
+                out.push_str("no jobs\n");
+            }
+            Ok(out)
+        }
+        ServeCommand::Fetch { addr, id, results } => {
+            if !results {
+                let reply = expect_ok(
+                    http_request(addr, "GET", &format!("/jobs/{id}/report"), b"")?,
+                    "fetch",
+                )?;
+                return Ok(reply.text());
+            }
+            // Page through the raw result feed.
+            let mut out = String::new();
+            let mut offset = 0usize;
+            loop {
+                let reply = expect_ok(
+                    http_request(
+                        addr,
+                        "GET",
+                        &format!("/jobs/{id}/results?offset={offset}&limit=256"),
+                        b"",
+                    )?,
+                    "fetch",
+                )?;
+                let count: usize = reply
+                    .header("x-count")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0);
+                let total: usize = reply
+                    .header("x-total")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0);
+                out.push_str(&reply.text());
+                offset += count;
+                if count == 0 || offset >= total {
+                    return Ok(out);
+                }
+            }
+        }
+        ServeCommand::Cancel { addr, id } => {
+            let reply = expect_ok(
+                http_request(addr, "POST", &format!("/jobs/{id}/cancel"), b"")?,
+                "cancel",
+            )?;
+            let state = parse_flat_object(reply.text().trim())
+                .and_then(|o| o.get("state")?.as_str().map(str::to_string))
+                .unwrap_or_else(|| "unknown".into());
+            Ok(format!("job {id}: {state}\n"))
+        }
+    }
+}
+
+/// Run the daemon until SIGTERM/SIGINT, then drain and return. Prints
+/// the bound address on startup so scripts can scrape it.
+pub fn run_server(opts: ServeOpts) -> Result<(), String> {
+    let server = Server::bind(opts.clone()).map_err(|e| format!("bind {}: {e}", opts.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let handle = server.shutdown_handle().map_err(|e| e.to_string())?;
+    let signal = ShutdownSignal::install().map_err(|e| format!("signal handler: {e}"))?;
+    std::thread::Builder::new()
+        .name("mpstream-signal-watch".into())
+        .spawn(move || {
+            signal.wait();
+            handle.trigger();
+        })
+        .map_err(|e| e.to_string())?;
+    let stats = server.store().startup_stats();
+    println!(
+        "mpstream serve: listening on {addr}, store {} ({} files compacted: {} kept, {} superseded, {} corrupt dropped)",
+        opts.store_dir.display(),
+        stats.files,
+        stats.compaction.kept,
+        stats.compaction.superseded,
+        stats.compaction.corrupt,
+    );
+    server.run().map_err(|e| e.to_string())?;
+    println!("mpstream serve: drained, exiting");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Option<ServeCommand>, String> {
+        parse_serve_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let cmd = parse(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--store",
+            "/tmp/s",
+            "--jobs",
+            "8",
+            "--queue",
+            "2",
+        ])
+        .unwrap()
+        .unwrap();
+        match cmd {
+            ServeCommand::Serve(opts) => {
+                assert_eq!(opts.addr, "0.0.0.0:9000");
+                assert_eq!(opts.store_dir, PathBuf::from("/tmp/s"));
+                assert_eq!(opts.http_workers, 8);
+                assert_eq!(opts.queue_capacity, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["serve", "--jobs", "0"]).is_err());
+        assert!(parse(&["serve", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn submit_reuses_the_sweep_grammar() {
+        let cmd = parse(&[
+            "submit",
+            "--addr",
+            "h:1",
+            "--kernel",
+            "copy",
+            "--vectors",
+            "1,2",
+        ])
+        .unwrap()
+        .unwrap();
+        match cmd {
+            ServeCommand::Submit { addr, spec } => {
+                assert_eq!(addr, "h:1");
+                let req = spec::spec_to_request(&spec).unwrap();
+                assert_eq!(req.widths, vec![1, 2]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Invalid sweep flags fail at parse time, before any network.
+        assert!(parse(&["submit", "--kernel", "fma"]).is_err());
+        assert!(parse(&["submit", "--checkpoint", "x"]).is_err());
+    }
+
+    #[test]
+    fn status_fetch_cancel_grammar() {
+        assert_eq!(
+            parse(&["status"]).unwrap().unwrap(),
+            ServeCommand::Status {
+                addr: "127.0.0.1:8377".into(),
+                id: None
+            }
+        );
+        assert_eq!(
+            parse(&["status", "7"]).unwrap().unwrap(),
+            ServeCommand::Status {
+                addr: "127.0.0.1:8377".into(),
+                id: Some(7)
+            }
+        );
+        assert_eq!(
+            parse(&["fetch", "3", "--results"]).unwrap().unwrap(),
+            ServeCommand::Fetch {
+                addr: "127.0.0.1:8377".into(),
+                id: 3,
+                results: true
+            }
+        );
+        assert_eq!(
+            parse(&["cancel", "3"]).unwrap().unwrap(),
+            ServeCommand::Cancel {
+                addr: "127.0.0.1:8377".into(),
+                id: 3
+            }
+        );
+        assert!(parse(&["fetch"]).is_err());
+        assert!(parse(&["cancel", "x"]).is_err());
+        assert!(parse(&["status", "1", "2"]).is_err());
+        assert_eq!(parse(&["status", "--help"]).unwrap(), None);
+    }
+
+    #[test]
+    fn serve_command_detection() {
+        let v = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert!(is_serve_command(&v(&["serve"])));
+        assert!(is_serve_command(&v(&["submit", "--kernel", "copy"])));
+        assert!(!is_serve_command(&v(&["sweep"])));
+        assert!(!is_serve_command(&v(&[])));
+    }
+}

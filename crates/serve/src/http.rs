@@ -1,0 +1,442 @@
+//! A deliberately small HTTP/1.1 implementation on `std::io` — just
+//! enough protocol for the serve daemon's JSON/text endpoints, written
+//! defensively because it faces arbitrary bytes from the network.
+//!
+//! Supported: request lines up to [`MAX_REQUEST_LINE`] bytes, up to
+//! [`MAX_HEADERS`] headers of up to [`MAX_HEADER_LINE`] bytes each,
+//! `Content-Length` bodies up to [`MAX_BODY`] bytes, keep-alive and
+//! pipelining. Not supported (rejected, never guessed at): chunked
+//! transfer encoding, HTTP/2 upgrade, multiline headers. The parser
+//! must never panic — `tests/serve_http.rs` fuzzes it with seeded
+//! byte soup to hold it to that.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line (method + target + version), bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Longest accepted single header line, bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Most headers accepted on one request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method verb, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path portion of the target, before any `?`.
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers, with lower-cased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Does the client ask to close the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be parsed, with the status code the
+/// connection should answer before closing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed request line, header, or body framing → 400.
+    Bad(&'static str),
+    /// Request line or a header exceeded its size limit → 431.
+    TooLarge(&'static str),
+    /// Declared body exceeds [`MAX_BODY`] → 413.
+    BodyTooLarge,
+    /// The underlying socket failed (timeout, reset); no response owed.
+    Io(std::io::ErrorKind),
+}
+
+impl ParseError {
+    /// Status code to answer with (`None`: the socket is gone).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            ParseError::Bad(_) => Some(400),
+            ParseError::TooLarge(_) => Some(431),
+            ParseError::BodyTooLarge => Some(413),
+            ParseError::Io(_) => None,
+        }
+    }
+
+    /// Human-readable reason, used as the error response body.
+    pub fn reason(&self) -> String {
+        match self {
+            ParseError::Bad(why) => format!("bad request: {why}"),
+            ParseError::TooLarge(what) => format!("{what} too large"),
+            ParseError::BodyTooLarge => format!("body exceeds {MAX_BODY} bytes"),
+            ParseError::Io(kind) => format!("io: {kind:?}"),
+        }
+    }
+}
+
+/// Read one line terminated by `\n` without ever buffering more than
+/// `limit` bytes; strips the trailing `\r\n` or `\n`. `Ok(None)` is
+/// clean EOF before any byte — how a keep-alive connection ends.
+fn read_limited_line(
+    r: &mut impl BufRead,
+    limit: usize,
+    what: &'static str,
+) -> Result<Option<Vec<u8>>, ParseError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return if line.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(ParseError::Bad("truncated line"))
+                };
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(line));
+                }
+                if line.len() >= limit {
+                    return Err(ParseError::TooLarge(what));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e.kind())),
+        }
+    }
+}
+
+/// Parse the query string portion (`a=1&b=two`) into pairs. No
+/// percent-decoding: the daemon's parameter values (labels, counts) are
+/// plain tokens by construction.
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (part.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// Parse the next request off a connection. `Ok(None)` means the peer
+/// closed cleanly between requests (normal keep-alive shutdown).
+pub fn parse_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError> {
+    let Some(line) = read_limited_line(r, MAX_REQUEST_LINE, "request line")? else {
+        return Ok(None);
+    };
+    let line = String::from_utf8(line).map_err(|_| ParseError::Bad("request line not utf-8"))?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(ParseError::Bad("malformed request line")),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ParseError::Bad("malformed method"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::Bad("unsupported version"));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::Bad("target must be absolute path"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_limited_line(r, MAX_HEADER_LINE, "header")?
+            .ok_or(ParseError::Bad("eof in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::TooLarge("header count"));
+        }
+        let line = String::from_utf8(line).map_err(|_| ParseError::Bad("header not utf-8"))?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ParseError::Bad("header missing colon"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::Bad("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let lookup = |n: &str| {
+        headers
+            .iter()
+            .find(|(name, _)| name == n)
+            .map(|(_, v)| v.as_str())
+    };
+    if lookup("transfer-encoding").is_some() {
+        return Err(ParseError::Bad("transfer-encoding not supported"));
+    }
+    let body = match lookup("content-length") {
+        None => Vec::new(),
+        Some(v) => {
+            let len: usize = v
+                .parse()
+                .map_err(|_| ParseError::Bad("invalid content-length"))?;
+            if len > MAX_BODY {
+                return Err(ParseError::BodyTooLarge);
+            }
+            let mut body = vec![0u8; len];
+            let mut filled = 0;
+            while filled < len {
+                match r.read(&mut body[filled..]) {
+                    Ok(0) => return Err(ParseError::Bad("truncated body")),
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(ParseError::Io(e.kind())),
+                }
+            }
+            body
+        }
+    };
+
+    Ok(Some(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// Start a response with the given status code.
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status)
+            .header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// Flat-JSON response (one object per line).
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status)
+            .header("Content-Type", "application/json")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// Add a header.
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Set the body.
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// The status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// The reason phrase for the codes this daemon emits.
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+
+    /// Serialize onto a connection. `close` adds `Connection: close`.
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> std::io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, self.reason())?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        if close {
+            write!(w, "Connection: close\r\n")?;
+        }
+        write!(w, "\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+        parse_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let req = parse(b"GET /jobs/3/results?offset=10&limit=5 HTTP/1.1\r\nHost: x\r\nX-Mixed-Case: Value\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/jobs/3/results");
+        assert_eq!(req.query_param("offset"), Some("10"));
+        assert_eq!(req.query_param("limit"), Some("5"));
+        assert_eq!(req.header("x-mixed-case"), Some("Value"));
+        assert!(req.body.is_empty());
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_post_body_and_pipelined_followup() {
+        let wire = b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut r = BufReader::new(&wire[..]);
+        let first = parse_request(&mut r).unwrap().unwrap();
+        assert_eq!(first.body, b"body");
+        let second = parse_request(&mut r).unwrap().unwrap();
+        assert_eq!(second.path, "/healthz");
+        assert!(second.wants_close());
+        assert_eq!(parse_request(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            &b"GET\r\n\r\n"[..],
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            match parse(bad) {
+                Err(ParseError::Bad(_)) => {}
+                other => panic!(
+                    "{:?} should be Bad, got {other:?}",
+                    String::from_utf8_lossy(bad)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_requests_are_bad_not_eof() {
+        assert!(matches!(
+            parse(b"GET /x HT"),
+            Err(ParseError::Bad("truncated line"))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nHost: y\r\n"),
+            Err(ParseError::Bad("eof in headers"))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ParseError::Bad("truncated body"))
+        ));
+    }
+
+    #[test]
+    fn oversize_lines_and_bodies_are_rejected_with_the_right_status() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        assert_eq!(parse(long_line.as_bytes()).unwrap_err().status(), Some(431));
+
+        let long_header = format!(
+            "GET /x HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "b".repeat(MAX_HEADER_LINE)
+        );
+        assert_eq!(
+            parse(long_header.as_bytes()).unwrap_err().status(),
+            Some(431)
+        );
+
+        let many_headers = format!(
+            "GET /x HTTP/1.1\r\n{}\r\n",
+            (0..=MAX_HEADERS)
+                .map(|i| format!("X-{i}: v\r\n"))
+                .collect::<String>()
+        );
+        assert_eq!(
+            parse(many_headers.as_bytes()).unwrap_err(),
+            ParseError::TooLarge("header count")
+        );
+
+        let huge_body = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(parse(huge_body.as_bytes()).unwrap_err().status(), Some(413));
+    }
+
+    #[test]
+    fn empty_stream_is_clean_eof() {
+        assert_eq!(parse(b"").unwrap(), None);
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let mut wire = Vec::new();
+        Response::text(200, "ok\n")
+            .header("X-Extra", "1")
+            .write_to(&mut wire, true)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("X-Extra: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+}

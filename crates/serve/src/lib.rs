@@ -1,0 +1,40 @@
+//! # mpstream-serve — benchmark-as-a-service
+//!
+//! The daemon layer over the core sweep/DSE engine: a zero-dependency
+//! HTTP/1.1 server (`std::net` only) that accepts sweep jobs, runs
+//! them on the [`mpstream_core::Engine`], persists every finished
+//! point to a crash-safe store, and exposes progress and Prometheus
+//! metrics. The pieces:
+//!
+//! * [`http`] — the defensive request parser and response writer;
+//! * [`spec`] — the wire form of a sweep job (flat JSON ⇄ the CLI's
+//!   own [`CliRequest`](mpstream_core::cli::CliRequest), so submitted
+//!   jobs have exactly the offline semantics);
+//! * [`store`] — the persistent result store: job journal, per-job
+//!   sweep checkpoints, rendered reports; compacts itself on startup;
+//! * [`jobs`] — the bounded job queue and runner thread, with
+//!   cooperative cancellation and resume-after-restart;
+//! * [`metrics`] — daemon counters in Prometheus exposition format;
+//! * [`server`] — accept loop, worker pool, routing, graceful drain;
+//! * [`signal`] — SIGTERM/SIGINT via the self-pipe trick, no libc
+//!   crate;
+//! * [`client`] — the minimal HTTP client behind `mpstream
+//!   submit|status|fetch|cancel`;
+//! * [`cli`] — argument grammar and execution for the service
+//!   subcommands.
+
+pub mod cli;
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+pub mod server;
+pub mod signal;
+pub mod spec;
+pub mod store;
+
+pub use cli::{is_serve_command, parse_serve_args, run_client, run_server, ServeCommand, USAGE};
+pub use jobs::JobManager;
+pub use metrics::Metrics;
+pub use server::{ServeOpts, Server};
+pub use store::{JobRecord, JobState, ResultStore};

@@ -1,0 +1,246 @@
+//! Daemon-wide counters exported in Prometheus text exposition format.
+//!
+//! Two kinds of signal meet here: HTTP-plane counters (requests,
+//! rejections, queue depth) bumped inline by the server, and
+//! engine-plane counters (retries, give-ups, panics, build-cache
+//! hits/misses, injected faults) aggregated from each finished job's
+//! `SweepResult` — the same numbers the PR-3 trace/metrics layer puts
+//! in the sweep summary table, re-exported as a scrape target.
+
+use mpstream_core::sweep::SweepResult;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// All counters. Every field is monotonic except `queue_depth` and
+/// `jobs_running`, which are gauges.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests parsed (any method/path).
+    pub http_requests: AtomicU64,
+    /// Requests answered 4xx (parse errors, unknown routes).
+    pub http_client_errors: AtomicU64,
+    /// Requests answered 503 because a queue was full.
+    pub http_busy: AtomicU64,
+    /// Connections dropped because the accept pool was saturated.
+    pub connections_rejected: AtomicU64,
+    /// Jobs accepted by POST /jobs.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs finished successfully (report written).
+    pub jobs_completed: AtomicU64,
+    /// Jobs that ended in cancellation.
+    pub jobs_cancelled: AtomicU64,
+    /// Jobs that failed outright (store/config error).
+    pub jobs_failed: AtomicU64,
+    /// Jobs currently queued (gauge).
+    pub queue_depth: AtomicU64,
+    /// Jobs currently executing (gauge; 0 or 1 with one runner).
+    pub jobs_running: AtomicU64,
+    /// Sweep points executed (not resumed) across all jobs.
+    pub points_executed: AtomicU64,
+    /// Sweep points answered from a job's checkpoint on resume.
+    pub points_resumed: AtomicU64,
+    /// Engine re-attempts after transient failures.
+    pub engine_retries: AtomicU64,
+    /// Transient failures observed by the engine.
+    pub engine_transient_errors: AtomicU64,
+    /// Points whose retry budget/deadline ran out.
+    pub engine_gave_up: AtomicU64,
+    /// Worker panics isolated into error outcomes.
+    pub engine_panics: AtomicU64,
+    /// Build-cache hits across all jobs.
+    pub cache_hits: AtomicU64,
+    /// Build-cache misses across all jobs.
+    pub cache_misses: AtomicU64,
+    /// Faults injected by attached fault plans.
+    pub faults_injected: AtomicU64,
+}
+
+impl Metrics {
+    /// Bump a counter.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Set a gauge.
+    pub fn set(gauge: &AtomicU64, n: u64) {
+        gauge.store(n, Ordering::Relaxed);
+    }
+
+    /// Fold one finished job's sweep counters in. Points the engine
+    /// never claimed (a cancelled run fills them with
+    /// `ClError::Cancelled`) do not count as executed.
+    pub fn absorb_sweep(&self, result: &SweepResult) {
+        let executed = result
+            .points
+            .iter()
+            .filter(|o| !matches!(o.result, Err(mpcl::ClError::Cancelled)))
+            .count()
+            .saturating_sub(result.resumed);
+        Self::add(&self.points_executed, executed as u64);
+        Self::add(&self.points_resumed, result.resumed as u64);
+        Self::add(&self.engine_retries, result.retry.retries);
+        Self::add(&self.engine_transient_errors, result.retry.transient_errors);
+        Self::add(&self.engine_gave_up, result.retry.gave_up);
+        Self::add(&self.engine_panics, result.retry.panics_isolated);
+        Self::add(&self.cache_hits, result.cache.hits);
+        Self::add(&self.cache_misses, result.cache.misses);
+        Self::add(&self.faults_injected, result.faults.total());
+    }
+
+    /// Render the scrape body.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut metric = |name: &str, kind: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        metric(
+            "mpstream_http_requests_total",
+            "counter",
+            "HTTP requests parsed.",
+            get(&self.http_requests),
+        );
+        metric(
+            "mpstream_http_client_errors_total",
+            "counter",
+            "Requests answered with a 4xx status.",
+            get(&self.http_client_errors),
+        );
+        metric(
+            "mpstream_http_busy_total",
+            "counter",
+            "Requests answered 503 because a queue was full.",
+            get(&self.http_busy),
+        );
+        metric(
+            "mpstream_connections_rejected_total",
+            "counter",
+            "Connections shed because the accept pool was saturated.",
+            get(&self.connections_rejected),
+        );
+        metric(
+            "mpstream_jobs_submitted_total",
+            "counter",
+            "Sweep jobs accepted.",
+            get(&self.jobs_submitted),
+        );
+        metric(
+            "mpstream_jobs_completed_total",
+            "counter",
+            "Sweep jobs finished with a report.",
+            get(&self.jobs_completed),
+        );
+        metric(
+            "mpstream_jobs_cancelled_total",
+            "counter",
+            "Sweep jobs cancelled.",
+            get(&self.jobs_cancelled),
+        );
+        metric(
+            "mpstream_jobs_failed_total",
+            "counter",
+            "Sweep jobs that failed.",
+            get(&self.jobs_failed),
+        );
+        metric(
+            "mpstream_job_queue_depth",
+            "gauge",
+            "Jobs waiting in the bounded queue.",
+            get(&self.queue_depth),
+        );
+        metric(
+            "mpstream_jobs_running",
+            "gauge",
+            "Jobs currently executing.",
+            get(&self.jobs_running),
+        );
+        metric(
+            "mpstream_points_executed_total",
+            "counter",
+            "Sweep points executed by the engine.",
+            get(&self.points_executed),
+        );
+        metric(
+            "mpstream_points_resumed_total",
+            "counter",
+            "Sweep points answered from a job checkpoint.",
+            get(&self.points_resumed),
+        );
+        metric(
+            "mpstream_engine_retries_total",
+            "counter",
+            "Engine re-attempts after transient failures.",
+            get(&self.engine_retries),
+        );
+        metric(
+            "mpstream_engine_transient_errors_total",
+            "counter",
+            "Transient failures observed by the engine.",
+            get(&self.engine_transient_errors),
+        );
+        metric(
+            "mpstream_engine_gave_up_total",
+            "counter",
+            "Points whose retry budget or deadline ran out.",
+            get(&self.engine_gave_up),
+        );
+        metric(
+            "mpstream_engine_panics_total",
+            "counter",
+            "Worker panics isolated into error outcomes.",
+            get(&self.engine_panics),
+        );
+        metric(
+            "mpstream_build_cache_hits_total",
+            "counter",
+            "Build-artifact cache hits.",
+            get(&self.cache_hits),
+        );
+        metric(
+            "mpstream_build_cache_misses_total",
+            "counter",
+            "Build-artifact cache misses.",
+            get(&self.cache_misses),
+        );
+        metric(
+            "mpstream_faults_injected_total",
+            "counter",
+            "Faults injected by attached fault plans.",
+            get(&self.faults_injected),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_well_formed_exposition_text() {
+        let m = Metrics::default();
+        Metrics::inc(&m.http_requests);
+        Metrics::add(&m.cache_hits, 5);
+        Metrics::set(&m.queue_depth, 3);
+        let text = m.render_prometheus();
+        assert!(text.contains("mpstream_http_requests_total 1\n"), "{text}");
+        assert!(text.contains("mpstream_build_cache_hits_total 5\n"));
+        assert!(text.contains("mpstream_job_queue_depth 3\n"));
+        // Every sample line is preceded by HELP and TYPE for its name.
+        for chunk in text.split("# HELP ").skip(1) {
+            let name = chunk.split_whitespace().next().unwrap();
+            assert!(chunk.contains(&format!("# TYPE {name}")), "{name}");
+            assert!(
+                chunk.lines().any(|l| l.starts_with(name)),
+                "sample for {name}"
+            );
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! The daemon: a `TcpListener` accept loop in front of a bounded
+//! worker pool, routing the small JSON/text API onto the
+//! [`JobManager`] and [`ResultStore`].
+//!
+//! Backpressure is explicit at both layers. Connections beyond the
+//! worker pool's buffered channel get an inline `503 Retry-After: 1`
+//! and are counted, never silently dropped; submits beyond the job
+//! queue's capacity get the same treatment from the manager. Shutdown
+//! is graceful: the trigger (SIGTERM via [`crate::signal`], or a test
+//! handle) sets a flag and self-connects to unblock `accept`; the
+//! accept loop stops, workers finish their current exchanges and
+//! drain, the in-flight job is cooperatively cancelled and re-queued,
+//! and `run` returns so the process can exit 0.
+
+use crate::http::{parse_request, Request, Response};
+use crate::jobs::{JobManager, SubmitError};
+use crate::metrics::Metrics;
+use crate::store::{JobState, ResultQuery, ResultStore};
+use mpstream_core::json::JsonLine;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOpts {
+    /// Bind address, e.g. `127.0.0.1:8377` (`:0` picks a free port).
+    pub addr: String,
+    /// Result-store directory.
+    pub store_dir: PathBuf,
+    /// HTTP worker threads (the accept pool's width).
+    pub http_workers: usize,
+    /// Job-queue capacity before submits get 503.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            addr: "127.0.0.1:8377".into(),
+            store_dir: PathBuf::from("mpstream-store"),
+            http_workers: 4,
+            queue_capacity: 16,
+        }
+    }
+}
+
+/// Hands out of a running server: trigger shutdown from another thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Begin graceful shutdown: set the flag and poke the accept loop.
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Self-connect so a blocked accept() wakes up and sees the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+struct Shared {
+    manager: Arc<JobManager>,
+    metrics: Arc<Metrics>,
+}
+
+/// A bound (not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    opts: ServeOpts,
+}
+
+impl Server {
+    /// Open the store, build the manager, bind the listener.
+    pub fn bind(opts: ServeOpts) -> std::io::Result<Server> {
+        let metrics = Arc::new(Metrics::default());
+        let store = Arc::new(ResultStore::open(&opts.store_dir)?);
+        let manager = JobManager::new(store, Arc::clone(&metrics), opts.queue_capacity);
+        let listener = TcpListener::bind(&opts.addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared { manager, metrics }),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            opts,
+        })
+    }
+
+    /// The bound address (resolves `:0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The store behind this server.
+    pub fn store(&self) -> Arc<ResultStore> {
+        Arc::clone(self.shared.manager.store())
+    }
+
+    /// A handle that can stop [`run`](Self::run) from another thread.
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Serve until shutdown is triggered, then drain and return.
+    pub fn run(self) -> std::io::Result<()> {
+        let runner = self.shared.manager.spawn_runner();
+
+        let (tx, rx) = sync_channel::<TcpStream>(self.opts.http_workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..self.opts.http_workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("mpstream-http-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn http worker")
+            })
+            .collect();
+
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(stream)) => {
+                    // Accept pool saturated: shed the connection loudly.
+                    Metrics::inc(&self.shared.metrics.connections_rejected);
+                    shed(stream);
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
+
+        // Drain: no new connections; workers finish buffered ones.
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        // Stop the runner; an in-flight job is cancelled cooperatively
+        // and re-queued (its finished points are already checkpointed).
+        self.shared.manager.shutdown();
+        let _ = runner.join();
+        Ok(())
+    }
+}
+
+/// Best-effort inline 503 for a connection that never got a worker.
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let _ = Response::text(503, "server saturated; retry\n")
+        .header("Retry-After", "1")
+        .write_to(&mut stream, true);
+    drain(&stream);
+}
+
+/// Read the peer's remaining bytes before closing. Dropping a socket
+/// with unread input makes the kernel answer with RST, which can
+/// destroy a response the peer has not read yet — a shed 503 or a 400
+/// would be lost to "connection reset". Bounded by the read timeout.
+fn drain(stream: &TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    let mut budget = 64 * 1024;
+    while budget > 0 {
+        match std::io::Read::read(&mut (&*stream), &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget -= n.min(budget),
+        }
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Arc<Shared>) {
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("http rx mutex poisoned");
+            guard.recv()
+        };
+        match stream {
+            Ok(s) => handle_connection(s, shared),
+            Err(_) => return, // sender dropped: shutdown
+        }
+    }
+}
+
+/// Serve one connection: parse/route/respond until close or error.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match parse_request(&mut reader) {
+            Ok(None) => return,
+            Err(e) => {
+                if let Some(status) = e.status() {
+                    Metrics::inc(&shared.metrics.http_client_errors);
+                    if Response::text(status, format!("{}\n", e.reason()))
+                        .write_to(&mut writer, true)
+                        .is_ok()
+                    {
+                        drain(&writer);
+                    }
+                }
+                return;
+            }
+            Ok(Some(req)) => {
+                Metrics::inc(&shared.metrics.http_requests);
+                let close = req.wants_close();
+                let resp = route(&req, shared);
+                if (400..500).contains(&resp.status()) {
+                    Metrics::inc(&shared.metrics.http_client_errors);
+                }
+                if resp.write_to(&mut writer, close).is_err() || close {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn json_error(status: u16, message: &str) -> Response {
+    let mut w = JsonLine::new();
+    w.str_field("error", message);
+    Response::json(status, w.finish() + "\n")
+}
+
+fn job_status_line(rec: &crate::store::JobRecord, done: usize) -> String {
+    let mut w = JsonLine::new();
+    w.u64_field("id", rec.id);
+    w.str_field("state", rec.state.label());
+    w.u64_field("done", done as u64);
+    w.u64_field("total", rec.total as u64);
+    if !rec.error.is_empty() {
+        w.str_field("error", &rec.error);
+    }
+    w.finish()
+}
+
+/// Dispatch one parsed request.
+fn route(req: &Request, shared: &Arc<Shared>) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let manager = &shared.manager;
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+        ("GET", ["metrics"]) => {
+            // Refresh the queue gauge at scrape time.
+            Metrics::set(&shared.metrics.queue_depth, manager.queue_depth() as u64);
+            Response::text(200, shared.metrics.render_prometheus())
+        }
+        ("POST", ["jobs"]) => {
+            let Ok(body) = std::str::from_utf8(&req.body) else {
+                return json_error(400, "body must be utf-8 JSON");
+            };
+            match manager.submit(body.trim()) {
+                Ok(rec) => {
+                    let mut w = JsonLine::new();
+                    w.u64_field("id", rec.id);
+                    w.str_field("state", rec.state.label());
+                    w.u64_field("total", rec.total as u64);
+                    Response::json(202, w.finish() + "\n")
+                }
+                Err(SubmitError::Busy { capacity }) => {
+                    json_error(503, &format!("job queue full (capacity {capacity})"))
+                        .header("Retry-After", "1")
+                }
+                Err(SubmitError::Invalid(why)) => json_error(400, &why),
+                Err(SubmitError::Store(why)) => json_error(500, &why),
+            }
+        }
+        ("GET", ["jobs"]) => {
+            let mut body = String::new();
+            for rec in manager.store().jobs() {
+                let done = manager.store().done_points(rec.id);
+                body.push_str(&job_status_line(&rec, done));
+                body.push('\n');
+            }
+            Response::json(200, body)
+        }
+        ("GET", ["jobs", id]) => match parse_id(id).and_then(|id| manager.status(id)) {
+            Some((rec, done)) => Response::json(200, job_status_line(&rec, done) + "\n"),
+            None => json_error(404, "no such job"),
+        },
+        ("POST", ["jobs", id, "cancel"]) => {
+            match parse_id(id).and_then(|id| manager.cancel(id).map(|s| (id, s))) {
+                Some((id, state)) => {
+                    let mut w = JsonLine::new();
+                    w.u64_field("id", id);
+                    w.str_field("state", state.label());
+                    Response::json(200, w.finish() + "\n")
+                }
+                None => json_error(404, "no such job"),
+            }
+        }
+        ("GET", ["jobs", id, "results"]) => match parse_id(id) {
+            Some(id) if manager.store().get(id).is_some() => {
+                let lines = manager.store().result_lines(id);
+                let offset = req
+                    .query_param("offset")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(0);
+                let limit = req
+                    .query_param("limit")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(256)
+                    .min(4096);
+                let page: Vec<&String> = lines.iter().skip(offset).take(limit).collect();
+                let mut body = String::new();
+                for line in &page {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+                Response::json(200, body)
+                    .header("X-Offset", offset.to_string())
+                    .header("X-Count", page.len().to_string())
+                    .header("X-Total", lines.len().to_string())
+            }
+            _ => json_error(404, "no such job"),
+        },
+        ("GET", ["jobs", id, "report"]) => match parse_id(id) {
+            Some(id) => match manager.store().get(id) {
+                Some(rec) if rec.state == JobState::Done => match manager.store().read_report(id) {
+                    Some(report) => Response::text(200, report),
+                    None => json_error(500, "report missing from store"),
+                },
+                Some(rec) => json_error(
+                    404,
+                    &format!("job is {}; report exists once done", rec.state.label()),
+                ),
+                None => json_error(404, "no such job"),
+            },
+            None => json_error(404, "no such job"),
+        },
+        ("GET", ["results"]) => {
+            let q = ResultQuery {
+                device: req.query_param("device").unwrap_or("").to_string(),
+                config: req.query_param("config").unwrap_or("").to_string(),
+                op: req.query_param("op").unwrap_or("").to_string(),
+                job: req.query_param("job").and_then(|v| v.parse().ok()),
+            };
+            let lines = manager.store().query(&q);
+            let mut body = String::new();
+            for line in &lines {
+                body.push_str(line);
+                body.push('\n');
+            }
+            Response::json(200, body).header("X-Count", lines.len().to_string())
+        }
+        (_, ["healthz" | "metrics" | "jobs" | "results", ..]) => {
+            json_error(405, "method not allowed")
+        }
+        _ => json_error(404, "no such endpoint"),
+    }
+}
+
+fn parse_id(s: &str) -> Option<u64> {
+    s.parse().ok()
+}

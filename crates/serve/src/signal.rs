@@ -1,0 +1,138 @@
+//! Graceful-shutdown signals via the classic self-pipe trick, with no
+//! libc crate: `std` already links the platform C library, so the four
+//! symbols needed (`pipe`, `write`, `read`, `signal`) are declared
+//! directly. The signal handler does the only async-signal-safe thing —
+//! write one byte to a pipe — and a watcher thread blocked on the read
+//! end turns that byte into an orderly shutdown.
+//!
+//! On non-Unix platforms this module compiles to a stub whose
+//! [`ShutdownSignal::wait`] blocks forever; Ctrl-C then simply kills
+//! the process, which is the pre-daemon behaviour.
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn pipe(fds: *mut i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Write end of the self-pipe, shared with the signal handler.
+    static PIPE_WR: AtomicI32 = AtomicI32::new(-1);
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: one write(2), errors ignored (a full pipe
+        // means a byte is already pending, which is all that's needed).
+        let fd = PIPE_WR.load(Ordering::SeqCst);
+        if fd >= 0 {
+            let byte = [1u8];
+            unsafe {
+                let _ = write(fd, byte.as_ptr(), 1);
+            }
+        }
+    }
+
+    /// The read side of the installed handler.
+    #[derive(Debug)]
+    pub struct ShutdownSignal {
+        read_fd: i32,
+    }
+
+    impl ShutdownSignal {
+        /// Install handlers for SIGTERM and SIGINT. Installing twice in
+        /// one process is refused — the pipe is process-global.
+        pub fn install() -> std::io::Result<ShutdownSignal> {
+            if INSTALLED.swap(true, Ordering::SeqCst) {
+                return Err(std::io::Error::other("signal handler already installed"));
+            }
+            let mut fds = [-1i32; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            PIPE_WR.store(fds[1], Ordering::SeqCst);
+            unsafe {
+                signal(SIGTERM, on_signal);
+                signal(SIGINT, on_signal);
+            }
+            Ok(ShutdownSignal { read_fd: fds[0] })
+        }
+
+        /// Block until a signal arrives (a byte lands on the pipe).
+        pub fn wait(&self) {
+            let mut byte = [0u8; 1];
+            loop {
+                let n = unsafe { read(self.read_fd, byte.as_mut_ptr(), 1) };
+                if n >= 1 {
+                    return;
+                }
+                if n == 0 {
+                    // Write end closed: treat as shutdown.
+                    return;
+                }
+                // n < 0: EINTR or transient error — retry.
+            }
+        }
+
+        /// Trigger the pipe from in-process, exactly as a signal would
+        /// (used by tests and programmatic shutdown).
+        pub fn raise(&self) {
+            on_signal(SIGTERM);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// Stub: no signals to install; `wait` parks forever.
+    #[derive(Debug)]
+    pub struct ShutdownSignal;
+
+    impl ShutdownSignal {
+        pub fn install() -> std::io::Result<ShutdownSignal> {
+            Ok(ShutdownSignal)
+        }
+
+        pub fn wait(&self) {
+            loop {
+                std::thread::park();
+            }
+        }
+
+        pub fn raise(&self) {}
+    }
+}
+
+pub use imp::ShutdownSignal;
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn raise_unblocks_wait() {
+        // One installer per process: this is the only test touching it.
+        let sig = Arc::new(ShutdownSignal::install().unwrap());
+        assert!(ShutdownSignal::install().is_err(), "second install refused");
+        let waiter = Arc::clone(&sig);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            waiter.wait();
+            tx.send(()).unwrap();
+        });
+        // Give the waiter a moment to block, then fire the handler the
+        // way a real SIGTERM delivery would.
+        std::thread::sleep(Duration::from_millis(50));
+        sig.raise();
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("wait() returned after signal");
+    }
+}

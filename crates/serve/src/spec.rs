@@ -1,0 +1,348 @@
+//! The wire form of a sweep job: one flat JSON object (the dialect in
+//! `mpstream_core::json`) carrying the same parameters the `mpstream
+//! sweep` command line does.
+//!
+//! Rather than maintain a parallel validation path, the server converts
+//! the JSON back into the *exact* CLI argument vector and feeds it
+//! through [`cli::parse_args`] — a submitted job is accepted iff the
+//! equivalent offline command line would be, and executes with
+//! identical semantics. The client side ([`request_to_spec`]) is the
+//! inverse: it renders an already-parsed [`CliRequest`] into JSON.
+
+use mpstream_core::cli::{self, CliMode, CliRequest};
+use mpstream_core::json::{parse_flat_object, JsonLine, JsonObject, JsonValue};
+
+use kernelgen::LoopMode;
+
+/// The CLI token for a loop mode (`--loop <token>`).
+fn loop_token(mode: LoopMode) -> &'static str {
+    match mode {
+        LoopMode::NdRange => "ndrange",
+        LoopMode::SingleWorkItemFlat => "flat",
+        LoopMode::SingleWorkItemNested => "nested",
+    }
+}
+
+/// Render a parsed sweep request as the job-spec JSON line.
+///
+/// Only sweep-shaped requests make sense on the wire; the local-only
+/// concerns (`--checkpoint`, `--resume`, `--trace`, `--show-kernel`)
+/// are rejected — the server owns persistence for submitted jobs.
+pub fn request_to_spec(req: &CliRequest) -> Result<String, String> {
+    if req.mode != CliMode::Sweep {
+        return Err("only sweep requests can be submitted (use the `sweep` flags)".into());
+    }
+    if req.checkpoint.is_some() || req.resume {
+        return Err("--checkpoint/--resume are local-only; the server persists jobs".into());
+    }
+    if req.trace.is_some() {
+        return Err("--trace is local-only".into());
+    }
+    if req.show_kernel {
+        return Err("--show-kernel is local-only".into());
+    }
+    let join = |list: &[u32]| {
+        list.iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let mut w = JsonLine::new();
+    w.str_field("target", req.target.label());
+    w.str_field(
+        "kernels",
+        &req.ops
+            .iter()
+            .map(|op| op.name())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    w.u64_field("size_bytes", req.size_bytes);
+    w.str_field(
+        "dtype",
+        match req.dtype {
+            kernelgen::DataType::I32 => "int",
+            kernelgen::DataType::F64 => "double",
+        },
+    );
+    w.str_field("vectors", &join(&req.widths));
+    w.str_field("unrolls", &join(&req.unrolls));
+    w.str_field("loop", loop_token(req.loop_mode));
+    w.str_field("pattern", &req.pattern.label());
+    w.u64_field("ntimes", u64::from(req.ntimes));
+    if let Some(jobs) = req.jobs {
+        w.u64_field("jobs", jobs as u64);
+    }
+    if req.no_validate {
+        w.raw_field("no_validate", "true");
+    }
+    if req.csv {
+        w.raw_field("csv", "true");
+    }
+    if let Some((simd, cu)) = req.aocl {
+        w.u64_field("simd", u64::from(simd));
+        w.u64_field("compute_units", u64::from(cu));
+    }
+    if let Some(spec) = req.faults {
+        w.str_field(
+            "faults",
+            &format!(
+                "build={},timeout={},lost={},bitflip={}",
+                spec.build, spec.timeout, spec.device_lost, spec.bit_flip
+            ),
+        );
+    }
+    if let Some(seed) = req.fault_seed {
+        w.u64_field("fault_seed", seed);
+    }
+    if let Some(retries) = req.retries {
+        w.u64_field("retries", u64::from(retries));
+    }
+    if let Some(ms) = req.deadline_ms {
+        w.u64_field("deadline_ms", ms);
+    }
+    Ok(w.finish())
+}
+
+/// Reconstruct the CLI argument vector a spec object stands for.
+fn spec_to_argv(obj: &JsonObject) -> Result<Vec<String>, String> {
+    let str_of = |k: &str| -> Result<Option<&str>, String> {
+        match obj.get(k) {
+            None => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(Some)
+                .ok_or_else(|| format!("field '{k}' must be a string")),
+        }
+    };
+    let u64_of = |k: &str| -> Result<Option<u64>, String> {
+        match obj.get(k) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("field '{k}' must be an unsigned number")),
+        }
+    };
+    let bool_of = |k: &str| -> Result<bool, String> {
+        match obj.get(k) {
+            None => Ok(false),
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| format!("field '{k}' must be a bool")),
+        }
+    };
+
+    fn flag(argv: &mut Vec<String>, name: &str, value: String) {
+        argv.push(name.to_string());
+        argv.push(value);
+    }
+
+    let mut argv = vec!["sweep".to_string()];
+    if let Some(t) = str_of("target")? {
+        flag(&mut argv, "--target", t.to_string());
+    }
+    for kernel in str_of("kernels")?.unwrap_or("").split(',') {
+        if !kernel.is_empty() {
+            flag(&mut argv, "--kernel", kernel.to_string());
+        }
+    }
+    if let Some(n) = u64_of("size_bytes")? {
+        flag(&mut argv, "--size", n.to_string());
+    }
+    if let Some(d) = str_of("dtype")? {
+        flag(&mut argv, "--dtype", d.to_string());
+    }
+    if let Some(v) = str_of("vectors")? {
+        flag(&mut argv, "--vectors", v.to_string());
+    }
+    if let Some(u) = str_of("unrolls")? {
+        flag(&mut argv, "--unrolls", u.to_string());
+    }
+    if let Some(l) = str_of("loop")? {
+        flag(&mut argv, "--loop", l.to_string());
+    }
+    if let Some(p) = str_of("pattern")? {
+        flag(&mut argv, "--pattern", p.to_string());
+    }
+    if let Some(n) = u64_of("ntimes")? {
+        flag(&mut argv, "--ntimes", n.to_string());
+    }
+    if let Some(n) = u64_of("jobs")? {
+        flag(&mut argv, "--jobs", n.to_string());
+    }
+    if bool_of("no_validate")? {
+        argv.push("--no-validate".to_string());
+    }
+    if bool_of("csv")? {
+        argv.push("--csv".to_string());
+    }
+    if let Some(n) = u64_of("simd")? {
+        flag(&mut argv, "--simd", n.to_string());
+    }
+    if let Some(n) = u64_of("compute_units")? {
+        flag(&mut argv, "--compute-units", n.to_string());
+    }
+    if let Some(f) = str_of("faults")? {
+        flag(&mut argv, "--faults", f.to_string());
+    }
+    if let Some(n) = u64_of("fault_seed")? {
+        flag(&mut argv, "--fault-seed", n.to_string());
+    }
+    if let Some(n) = u64_of("retries")? {
+        flag(&mut argv, "--retries", n.to_string());
+    }
+    if let Some(n) = u64_of("deadline_ms")? {
+        flag(&mut argv, "--deadline-ms", n.to_string());
+    }
+    Ok(argv)
+}
+
+/// Parse a job-spec JSON line into the request it stands for, applying
+/// the full CLI validation.
+pub fn spec_to_request(line: &str) -> Result<CliRequest, String> {
+    let obj = parse_flat_object(line).ok_or("spec is not a flat JSON object")?;
+    for key in obj.keys() {
+        const KNOWN: &[&str] = &[
+            "target",
+            "kernels",
+            "size_bytes",
+            "dtype",
+            "vectors",
+            "unrolls",
+            "loop",
+            "pattern",
+            "ntimes",
+            "jobs",
+            "no_validate",
+            "csv",
+            "simd",
+            "compute_units",
+            "faults",
+            "fault_seed",
+            "retries",
+            "deadline_ms",
+        ];
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(format!("unknown spec field '{key}'"));
+        }
+    }
+    let argv = spec_to_argv(&obj)?;
+    match cli::parse_args(&argv)? {
+        Some(req) => Ok(req),
+        None => Err("spec parsed to --help".into()),
+    }
+}
+
+/// How many points the sweep a spec describes will run.
+pub fn total_points(req: &CliRequest) -> usize {
+    cli::sweep_param_space(req).configs().len()
+}
+
+/// Drop-in accessor used by the store: read a string field off a parsed
+/// object, `None` when absent or non-string.
+pub fn str_field<'a>(obj: &'a JsonObject, key: &str) -> Option<&'a str> {
+    obj.get(key).and_then(JsonValue::as_str)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_cli(args: &[&str]) -> CliRequest {
+        cli::parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn spec_round_trips_a_full_request() {
+        let req = parse_cli(&[
+            "sweep",
+            "--target",
+            "aocl",
+            "--kernel",
+            "copy",
+            "--kernel",
+            "triad",
+            "--size",
+            "64K",
+            "--dtype",
+            "double",
+            "--vectors",
+            "1,4,16",
+            "--unrolls",
+            "1,2",
+            "--loop",
+            "nested",
+            "--pattern",
+            "stride4",
+            "--ntimes",
+            "3",
+            "--jobs",
+            "2",
+            "--no-validate",
+            "--csv",
+            "--simd",
+            "2",
+            "--compute-units",
+            "4",
+            "--faults",
+            "build=0.2,timeout=0.1",
+            "--fault-seed",
+            "42",
+            "--retries",
+            "5",
+            "--deadline-ms",
+            "250",
+        ]);
+        let line = request_to_spec(&req).unwrap();
+        let back = spec_to_request(&line).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn spec_round_trips_defaults() {
+        let req = parse_cli(&["sweep"]);
+        let back = spec_to_request(&request_to_spec(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn local_only_flags_are_rejected() {
+        let mut req = parse_cli(&["sweep"]);
+        req.checkpoint = Some("x.jsonl".into());
+        assert!(request_to_spec(&req).is_err());
+        let mut req = parse_cli(&["sweep"]);
+        req.trace = Some("t.json".into());
+        assert!(request_to_spec(&req).is_err());
+        let req = parse_cli(&[]);
+        assert!(request_to_spec(&req).is_err(), "run mode is not a job");
+    }
+
+    #[test]
+    fn malformed_specs_error_cleanly() {
+        assert!(spec_to_request("not json").is_err());
+        assert!(spec_to_request("{\"surprise\":\"field\"}").is_err());
+        assert!(
+            spec_to_request("{\"target\":\"tpu\"}").is_err(),
+            "cli validation applies"
+        );
+        assert!(spec_to_request("{\"vectors\":\"1,0\"}").is_err());
+        assert!(spec_to_request("{\"ntimes\":\"three\"}").is_err());
+    }
+
+    #[test]
+    fn total_points_matches_the_cartesian_product() {
+        let req = parse_cli(&[
+            "sweep",
+            "--kernel",
+            "copy",
+            "--vectors",
+            "1,2,4",
+            "--unrolls",
+            "1,2",
+        ]);
+        assert_eq!(total_points(&req), 6);
+    }
+}

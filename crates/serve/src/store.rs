@@ -1,0 +1,449 @@
+//! The daemon's persistent result store: a directory of append-only
+//! JSONL files, all in the `mpstream_core::json` dialect.
+//!
+//! * `jobs.jsonl` — the job journal. One line per state change; the
+//!   last line per id wins. Replaying it at startup reconstructs every
+//!   job the daemon has ever accepted, which is how completed sweeps
+//!   survive restarts and how interrupted ones get re-queued.
+//! * `job-<id>.jsonl` — one sweep checkpoint per job, written by the
+//!   engine as workers finish points (the PR-2 checkpoint format,
+//!   verbatim). Doubles as the job's incremental result feed: `GET
+//!   /jobs/<id>/results` pages over its lines, and a restarted daemon
+//!   resumes the sweep from it.
+//! * `job-<id>.report` — the rendered report of a finished job, the
+//!   exact bytes the offline `mpstream sweep` would print.
+//!
+//! Everything is append-then-flush, so a crash at any instant loses at
+//! most one torn line. [`ResultStore::open`] compacts the journal and
+//! every checkpoint on startup (last record per key, torn tails
+//! dropped), converging the directory back to a clean state.
+
+use mpstream_core::json::{compact_jsonl, parse_flat_object, CompactStats, JsonLine};
+use mpstream_core::Checkpoint;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Lifecycle of a job. `Queued` and `Running` are the live states a
+/// restart re-queues; the other three are terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for the runner.
+    Queued,
+    /// Executing on the engine.
+    Running,
+    /// Finished; report written.
+    Done,
+    /// Aborted by an execution/store error (see the record's `error`).
+    Failed,
+    /// Cooperatively cancelled.
+    Cancelled,
+}
+
+impl JobState {
+    /// Wire/journal label.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parse a journal label.
+    pub fn from_label(s: &str) -> Option<JobState> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// Is this a state a restarted daemon should resume?
+    pub fn is_live(self) -> bool {
+        matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+/// One job as the journal knows it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Job id (dense, assigned at submit).
+    pub id: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// The job-spec JSON line as submitted.
+    pub spec: String,
+    /// Total sweep points the spec describes.
+    pub total: usize,
+    /// Failure reason when `state` is `Failed`, else empty.
+    pub error: String,
+}
+
+impl JobRecord {
+    fn render(&self) -> String {
+        let mut w = JsonLine::new();
+        w.u64_field("id", self.id);
+        w.str_field("state", self.state.label());
+        w.u64_field("total", self.total as u64);
+        w.str_field("spec", &self.spec);
+        w.str_field("error", &self.error);
+        w.finish()
+    }
+
+    fn parse(line: &str) -> Option<JobRecord> {
+        let obj = parse_flat_object(line)?;
+        Some(JobRecord {
+            id: obj.get("id")?.as_u64()?,
+            state: JobState::from_label(obj.get("state")?.as_str()?)?,
+            spec: obj.get("spec")?.as_str()?.to_string(),
+            total: obj.get("total")?.as_u64()? as usize,
+            error: obj.get("error")?.as_str()?.to_string(),
+        })
+    }
+}
+
+/// Filters for the historical `GET /results` query. Empty strings match
+/// everything; matching is case-insensitive substring.
+#[derive(Debug, Clone, Default)]
+pub struct ResultQuery {
+    /// Substring of the measurement's device name.
+    pub device: String,
+    /// Substring of the configuration key (its `Debug` rendering).
+    pub config: String,
+    /// Kernel op name (`copy`/`scale`/`add`/`triad`).
+    pub op: String,
+    /// Restrict to one job id.
+    pub job: Option<u64>,
+}
+
+/// What startup housekeeping did, summed over all files.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StartupStats {
+    /// Files compacted (journal + per-job checkpoints).
+    pub files: usize,
+    /// Aggregate compaction counters.
+    pub compaction: CompactStats,
+}
+
+/// The store handle. All mutation goes through the journal append lock,
+/// so concurrent HTTP readers see a consistent view.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    journal: Mutex<File>,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    startup: StartupStats,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) the store directory: compact the
+    /// journal and every job checkpoint, then replay the journal.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+
+        let mut startup = StartupStats::default();
+        let mut fold = |stats: CompactStats| {
+            startup.files += 1;
+            startup.compaction.kept += stats.kept;
+            startup.compaction.superseded += stats.superseded;
+            startup.compaction.corrupt += stats.corrupt;
+        };
+
+        let journal_path = dir.join("jobs.jsonl");
+        fold(compact_jsonl(&journal_path, |obj| {
+            Some(obj.get("id")?.as_raw()?.to_string())
+        })?);
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("job-") && name.ends_with(".jsonl") {
+                fold(Checkpoint::compact(&path)?);
+            }
+        }
+
+        let mut jobs = HashMap::new();
+        match File::open(&journal_path) {
+            Ok(f) => {
+                for line in BufReader::new(f).lines() {
+                    if let Some(rec) = JobRecord::parse(&line?) {
+                        jobs.insert(rec.id, rec);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)?;
+        Ok(ResultStore {
+            dir,
+            journal: Mutex::new(journal),
+            jobs: Mutex::new(jobs),
+            startup,
+        })
+    }
+
+    /// What startup compaction did.
+    pub fn startup_stats(&self) -> StartupStats {
+        self.startup
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Next unused job id (dense from 1).
+    pub fn next_id(&self) -> u64 {
+        let jobs = self.jobs.lock().expect("store mutex poisoned");
+        jobs.keys().max().copied().unwrap_or(0) + 1
+    }
+
+    /// Append a record to the journal (flushed) and the in-memory view.
+    pub fn record(&self, rec: &JobRecord) -> std::io::Result<()> {
+        let line = rec.render();
+        let mut journal = self.journal.lock().expect("store mutex poisoned");
+        writeln!(journal, "{line}")?;
+        journal.flush()?;
+        drop(journal);
+        self.jobs
+            .lock()
+            .expect("store mutex poisoned")
+            .insert(rec.id, rec.clone());
+        Ok(())
+    }
+
+    /// The current record for a job.
+    pub fn get(&self, id: u64) -> Option<JobRecord> {
+        self.jobs
+            .lock()
+            .expect("store mutex poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// All jobs, ordered by id.
+    pub fn jobs(&self) -> Vec<JobRecord> {
+        let mut all: Vec<JobRecord> = self
+            .jobs
+            .lock()
+            .expect("store mutex poisoned")
+            .values()
+            .cloned()
+            .collect();
+        all.sort_by_key(|r| r.id);
+        all
+    }
+
+    /// Path of a job's sweep checkpoint.
+    pub fn checkpoint_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("job-{id}.jsonl"))
+    }
+
+    /// Path of a job's rendered report.
+    pub fn report_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("job-{id}.report"))
+    }
+
+    /// Persist a finished job's report.
+    pub fn write_report(&self, id: u64, text: &str) -> std::io::Result<()> {
+        std::fs::write(self.report_path(id), text)
+    }
+
+    /// A finished job's report, if written.
+    pub fn read_report(&self, id: u64) -> Option<String> {
+        std::fs::read_to_string(self.report_path(id)).ok()
+    }
+
+    /// Completed points of a job: parseable lines of its checkpoint.
+    /// Crash-consistent by construction — the engine appends and
+    /// flushes each point as a worker finishes it.
+    pub fn done_points(&self, id: u64) -> usize {
+        self.result_lines(id).len()
+    }
+
+    /// The raw (parseable) checkpoint lines of a job, in completion
+    /// order — the incremental result feed.
+    pub fn result_lines(&self, id: u64) -> Vec<String> {
+        let Ok(f) = File::open(self.checkpoint_path(id)) else {
+            return Vec::new();
+        };
+        BufReader::new(f)
+            .lines()
+            .map_while(Result::ok)
+            .filter(|l| parse_flat_object(l).is_some_and(|obj| obj.contains_key("key")))
+            .collect()
+    }
+
+    /// Query historical results across all jobs. Each returned line is
+    /// the stored checkpoint record with a `job` field spliced in front
+    /// for provenance.
+    pub fn query(&self, q: &ResultQuery) -> Vec<String> {
+        let mut out = Vec::new();
+        for rec in self.jobs() {
+            if q.job.is_some_and(|id| id != rec.id) {
+                continue;
+            }
+            for line in self.result_lines(rec.id) {
+                let Some(obj) = parse_flat_object(&line) else {
+                    continue;
+                };
+                let field = |k: &str| {
+                    obj.get(k)
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("")
+                        .to_lowercase()
+                };
+                if !q.device.is_empty() && !field("device").contains(&q.device.to_lowercase()) {
+                    continue;
+                }
+                let key = field("key");
+                if !q.config.is_empty() && !key.contains(&q.config.to_lowercase()) {
+                    continue;
+                }
+                if !q.op.is_empty() && !key.contains(&format!("op: {}", q.op.to_lowercase())) {
+                    continue;
+                }
+                // Splice provenance in front: the line is `{...}`.
+                out.push(format!("{{\"job\":{},{}", rec.id, &line[1..]));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let n = UNIQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("mpstream-store-{tag}-{}-{n}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn sample(id: u64, state: JobState) -> JobRecord {
+        JobRecord {
+            id,
+            state,
+            spec: "{\"kernels\":\"copy\"}".into(),
+            total: 10,
+            error: String::new(),
+        }
+    }
+
+    #[test]
+    fn journal_survives_reopen_with_last_state_winning() {
+        let dir = temp_dir("journal");
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            assert_eq!(store.next_id(), 1);
+            store.record(&sample(1, JobState::Queued)).unwrap();
+            store.record(&sample(2, JobState::Queued)).unwrap();
+            store.record(&sample(1, JobState::Running)).unwrap();
+            store.record(&sample(1, JobState::Done)).unwrap();
+        }
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.next_id(), 3);
+        assert_eq!(store.get(1).unwrap().state, JobState::Done);
+        assert_eq!(store.get(2).unwrap().state, JobState::Queued);
+        assert_eq!(store.jobs().len(), 2);
+        // Reopen compacted 4 journal lines down to 2.
+        let stats = store.startup_stats();
+        assert_eq!(stats.compaction.superseded, 2, "{stats:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_journal_tail_is_dropped_on_open() {
+        let dir = temp_dir("torn");
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.record(&sample(1, JobState::Queued)).unwrap();
+        }
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join("jobs.jsonl"))
+                .unwrap();
+            write!(f, "{{\"id\":2,\"sta").unwrap();
+        }
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.jobs().len(), 1);
+        assert_eq!(store.startup_stats().compaction.corrupt, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reports_round_trip() {
+        let dir = temp_dir("report");
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.read_report(7).is_none());
+        store.write_report(7, "the report\n").unwrap();
+        assert_eq!(store.read_report(7).unwrap(), "the report\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_filters_by_device_config_op_and_job() {
+        let dir = temp_dir("query");
+        let store = ResultStore::open(&dir).unwrap();
+        store.record(&sample(1, JobState::Done)).unwrap();
+        store.record(&sample(2, JobState::Done)).unwrap();
+        std::fs::write(
+            store.checkpoint_path(1),
+            "{\"key\":\"KernelConfig { op: Copy, n: 1024 }\",\"retries\":0,\"status\":\"ok\",\"device\":\"Xeon (sim)\"}\n",
+        )
+        .unwrap();
+        std::fs::write(
+            store.checkpoint_path(2),
+            "{\"key\":\"KernelConfig { op: Triad, n: 1024 }\",\"retries\":0,\"status\":\"ok\",\"device\":\"Stratix V (sim)\"}\n",
+        )
+        .unwrap();
+
+        assert_eq!(store.query(&ResultQuery::default()).len(), 2);
+        let by_device = store.query(&ResultQuery {
+            device: "stratix".into(),
+            ..Default::default()
+        });
+        assert_eq!(by_device.len(), 1);
+        assert!(by_device[0].starts_with("{\"job\":2,"), "{by_device:?}");
+        let by_op = store.query(&ResultQuery {
+            op: "copy".into(),
+            ..Default::default()
+        });
+        assert_eq!(by_op.len(), 1);
+        assert!(by_op[0].contains("Xeon"));
+        let by_config = store.query(&ResultQuery {
+            config: "n: 1024".into(),
+            ..Default::default()
+        });
+        assert_eq!(by_config.len(), 2);
+        let by_job = store.query(&ResultQuery {
+            job: Some(2),
+            ..Default::default()
+        });
+        assert_eq!(by_job.len(), 1);
+        // Spliced provenance lines still parse in the shared dialect.
+        for line in store.query(&ResultQuery::default()) {
+            let obj = parse_flat_object(&line).expect("spliced line parses");
+            assert!(obj.contains_key("job"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,284 @@
+//! Seeded fuzz / property tests for the serve daemon's HTTP parser:
+//! malformed request lines, oversized headers, truncated bodies, random
+//! byte soup, and pipelined request streams. The invariants under test:
+//!
+//! * `parse_request` never panics, whatever the bytes;
+//! * every failure maps to 400/431/413 (or an I/O error with no status),
+//!   never a success with inconsistent fields;
+//! * a strict prefix of a valid request never parses as complete;
+//! * over a real socket, garbage gets an error response (or a close)
+//!   and the connection pool survives to serve the next client.
+//!
+//! Deterministic: every generator runs off a fixed-seed SplitMix64.
+
+use mpstream_core::SplitMix64;
+use mpstream_serve::http::{
+    parse_request, ParseError, MAX_BODY, MAX_HEADERS, MAX_HEADER_LINE, MAX_REQUEST_LINE,
+};
+use std::io::BufReader;
+
+fn parse(bytes: &[u8]) -> Result<Option<mpstream_serve::http::Request>, ParseError> {
+    parse_request(&mut BufReader::new(bytes))
+}
+
+/// A failure must carry a well-defined client-facing status (or be an
+/// I/O condition with none); a success must have internally consistent
+/// fields. Returns true if the input parsed as a complete request.
+fn assert_outcome_sane(bytes: &[u8]) -> bool {
+    match parse(bytes) {
+        Ok(None) => false,
+        Ok(Some(req)) => {
+            assert!(!req.method.is_empty());
+            assert!(req.method.bytes().all(|b| b.is_ascii_uppercase()));
+            assert!(req.path.starts_with('/'));
+            assert!(req.headers.len() <= MAX_HEADERS);
+            assert!(req.body.len() <= MAX_BODY);
+            true
+        }
+        Err(e) => {
+            match e.status() {
+                Some(400 | 431 | 413) => {}
+                Some(other) => panic!("unexpected parse status {other} for {e:?}"),
+                None => assert!(matches!(e, ParseError::Io(_))),
+            }
+            assert!(!e.reason().is_empty());
+            false
+        }
+    }
+}
+
+#[test]
+fn random_byte_soup_never_panics() {
+    let mut rng = SplitMix64::new(0x5eed_0001);
+    for _ in 0..2000 {
+        let len = rng.gen_index(2048);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+        assert_outcome_sane(&bytes);
+    }
+}
+
+/// Byte soup biased toward HTTP-looking tokens, which reaches much
+/// deeper into the parser than uniform noise.
+#[test]
+fn structured_soup_never_panics() {
+    const TOKENS: &[&str] = &[
+        "GET ",
+        "POST ",
+        "PUT ",
+        "get ",
+        "/jobs",
+        "/jobs/1/results",
+        "?offset=1&limit=",
+        " HTTP/1.1",
+        " HTTP/1.0",
+        " HTTP/9.9",
+        "\r\n",
+        "\n",
+        "\r",
+        "Content-Length: ",
+        "Content-Length: -1",
+        "Content-Length: 99999999999999999999",
+        "Transfer-Encoding: chunked",
+        "Connection: close",
+        "Host: x",
+        ": no-name",
+        "bad header",
+        "0",
+        "17",
+        "{\"kernels\":\"copy\"}",
+        "\u{00}\u{01}\u{ff}",
+        " ",
+    ];
+    let mut rng = SplitMix64::new(0x5eed_0002);
+    for _ in 0..2000 {
+        let mut wire = String::new();
+        for _ in 0..rng.gen_index(24) {
+            wire.push_str(TOKENS[rng.gen_index(TOKENS.len())]);
+        }
+        assert_outcome_sane(wire.as_bytes());
+    }
+}
+
+/// Random single-byte mutations of a valid request must never panic,
+/// and must never yield a request whose fields violate the invariants.
+#[test]
+fn mutated_valid_requests_never_panic() {
+    let valid =
+        b"POST /jobs HTTP/1.1\r\nHost: fuzz\r\nContent-Length: 18\r\n\r\n{\"kernels\":\"copy\"}"
+            .to_vec();
+    assert!(assert_outcome_sane(&valid), "baseline must parse");
+
+    let mut rng = SplitMix64::new(0x5eed_0003);
+    for _ in 0..2000 {
+        let mut bytes = valid.clone();
+        for _ in 0..1 + rng.gen_index(4) {
+            match rng.gen_index(4) {
+                0 => {
+                    // Flip one byte.
+                    if !bytes.is_empty() {
+                        let i = rng.gen_index(bytes.len());
+                        bytes[i] = (rng.next_u64() & 0xff) as u8;
+                    }
+                }
+                1 => {
+                    // Truncate.
+                    bytes.truncate(rng.gen_index(bytes.len() + 1));
+                }
+                2 => {
+                    // Insert a random byte.
+                    let i = rng.gen_index(bytes.len() + 1);
+                    bytes.insert(i, (rng.next_u64() & 0xff) as u8);
+                }
+                _ => {
+                    // Delete one byte.
+                    if !bytes.is_empty() {
+                        let i = rng.gen_index(bytes.len());
+                        bytes.remove(i);
+                    }
+                }
+            }
+        }
+        assert_outcome_sane(&bytes);
+    }
+}
+
+/// No strict prefix of a valid request with a body may parse as a
+/// complete request; every prefix must be clean EOF or a 4xx error.
+#[test]
+fn truncated_requests_never_parse_complete() {
+    let valid = b"POST /jobs HTTP/1.1\r\nHost: fuzz\r\nContent-Length: 4\r\n\r\nbody";
+    assert!(assert_outcome_sane(valid));
+    for cut in 0..valid.len() {
+        let prefix = &valid[..cut];
+        match parse(prefix) {
+            Ok(None) => assert_eq!(cut, 0, "only the empty prefix is clean EOF"),
+            Ok(Some(req)) => panic!("prefix of {cut} bytes parsed as complete: {req:?}"),
+            Err(e) => assert_eq!(e.status(), Some(400), "prefix {cut}: {e:?}"),
+        }
+    }
+}
+
+/// Oversized inputs map to 431 (line/header) or 413 (body), at random
+/// oversize amounts, without panicking or misclassifying.
+#[test]
+fn oversized_inputs_get_431_or_413() {
+    let mut rng = SplitMix64::new(0x5eed_0004);
+    for _ in 0..50 {
+        let extra = 1 + rng.gen_index(512);
+
+        let long_line = format!(
+            "GET /{} HTTP/1.1\r\n\r\n",
+            "a".repeat(MAX_REQUEST_LINE + extra)
+        );
+        assert_eq!(parse(long_line.as_bytes()).unwrap_err().status(), Some(431));
+
+        let long_header = format!(
+            "GET /x HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "b".repeat(MAX_HEADER_LINE + extra)
+        );
+        assert_eq!(
+            parse(long_header.as_bytes()).unwrap_err().status(),
+            Some(431)
+        );
+
+        let big_body = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + extra
+        );
+        assert_eq!(parse(big_body.as_bytes()).unwrap_err().status(), Some(413));
+    }
+}
+
+/// Random pipelines of valid requests parse back in order, then hit
+/// clean EOF — the keep-alive loop never loses framing.
+#[test]
+fn pipelined_streams_keep_framing() {
+    let mut rng = SplitMix64::new(0x5eed_0005);
+    for _ in 0..200 {
+        let n = 1 + rng.gen_index(8);
+        let mut wire = Vec::new();
+        let mut expected = Vec::new();
+        for i in 0..n {
+            let body: Vec<u8> = (0..rng.gen_index(64))
+                .map(|_| b'a' + (rng.next_u64() % 26) as u8)
+                .collect();
+            let path = format!("/jobs/{i}");
+            wire.extend_from_slice(
+                format!(
+                    "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+            wire.extend_from_slice(&body);
+            expected.push((path, body));
+        }
+        let mut reader = BufReader::new(&wire[..]);
+        for (path, body) in &expected {
+            let req = parse_request(&mut reader).unwrap().unwrap();
+            assert_eq!(&req.path, path);
+            assert_eq!(&req.body, body);
+        }
+        assert_eq!(parse_request(&mut reader).unwrap(), None, "clean EOF");
+    }
+}
+
+/// Over a real socket: garbage requests get an error status or a close,
+/// the worker pool survives, and a well-formed request still succeeds.
+#[test]
+fn server_survives_garbage_over_socket() {
+    use mpstream_serve::{ServeOpts, Server};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let dir = std::env::temp_dir().join(format!("mpstream-httpfuzz-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let server = Server::bind(ServeOpts {
+        addr: "127.0.0.1:0".into(),
+        store_dir: dir.clone(),
+        http_workers: 2,
+        queue_capacity: 2,
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.shutdown_handle().unwrap();
+    let running = std::thread::spawn(move || server.run());
+
+    let mut rng = SplitMix64::new(0x5eed_0006);
+    for round in 0..60 {
+        let garbage: Vec<u8> = match round % 3 {
+            0 => (0..rng.gen_index(256))
+                .map(|_| (rng.next_u64() & 0xff) as u8)
+                .collect(),
+            1 => format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 1)).into_bytes(),
+            _ => b"NOT A REQUEST\r\n\r\n".to_vec(),
+        };
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        conn.write_all(&garbage).unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        let _ = conn.read_to_string(&mut reply); // reset mid-read is acceptable
+        if let Some(rest) = reply.strip_prefix("HTTP/1.1 ") {
+            let status: u16 = rest[..3].parse().unwrap();
+            assert!(
+                matches!(status, 400 | 404 | 405 | 413 | 431),
+                "garbage answered with {status}: {reply:?}"
+            );
+        } else {
+            // No response at all is only acceptable as a plain close.
+            assert!(reply.is_empty(), "non-HTTP reply: {reply:?}");
+        }
+    }
+
+    // The pool must still serve a healthy client after all that.
+    let reply =
+        mpstream_serve::client::http_request(&addr.to_string(), "GET", "/healthz", b"").unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.text(), "ok\n");
+
+    handle.trigger();
+    running.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

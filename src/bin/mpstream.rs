@@ -5,12 +5,16 @@
 //! mpstream --target aocl --kernel copy --size 4M --vector 16 --loop flat
 //! mpstream sweep --target aocl --vectors 1,2,4,8,16 --unrolls 1,2 \
 //!          --faults build=0.2,timeout=0.1 --checkpoint sweep.jsonl --resume
+//! mpstream serve --addr 127.0.0.1:8377 --store ./mpstream-store
+//! mpstream submit --kernel triad --vectors 1,2,4,8,16
+//! mpstream status 1 && mpstream fetch 1
 //! mpstream --list-devices
 //! mpstream --show-kernel --target sdaccel --loop nested
 //! ```
 //!
-//! All parsing and execution lives in `mpstream_core::cli` (unit-tested);
-//! this binary only wires stdin/stdout/exit codes.
+//! All parsing and execution lives in `mpstream_core::cli` (sweeps and
+//! single runs) and `mpstream_serve::cli` (the daemon and its clients),
+//! both unit-tested; this binary only wires stdin/stdout/exit codes.
 
 use mpstream_core::cli;
 use std::process::ExitCode;
@@ -20,6 +24,37 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--list-devices") {
         print!("{}", cli::list_devices());
         return ExitCode::SUCCESS;
+    }
+    if mpstream_serve::is_serve_command(&args) {
+        return match mpstream_serve::parse_serve_args(&args) {
+            Ok(None) => {
+                println!("{}", mpstream_serve::USAGE);
+                ExitCode::SUCCESS
+            }
+            Ok(Some(mpstream_serve::ServeCommand::Serve(opts))) => {
+                match mpstream_serve::run_server(opts) {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::from(1)
+                    }
+                }
+            }
+            Ok(Some(cmd)) => match mpstream_serve::run_client(&cmd) {
+                Ok(out) => {
+                    print!("{out}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(1)
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", mpstream_serve::USAGE);
+                ExitCode::from(2)
+            }
+        };
     }
     match cli::parse_args(&args) {
         Ok(None) => {

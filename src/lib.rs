@@ -8,7 +8,9 @@
 //! * [`targets`] — the four paper evaluation targets (CPU, GPU, two FPGAs);
 //! * [`core`](mpstream_core) — the benchmark itself: tuning configs,
 //!   runner, design-space exploration and reporting;
-//! * [`nativebw`] — a real multi-threaded STREAM for the host machine.
+//! * [`nativebw`] — a real multi-threaded STREAM for the host machine;
+//! * [`serve`](mpstream_serve) — the benchmark-as-a-service daemon:
+//!   HTTP job submission, persistent results, Prometheus metrics.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
@@ -16,6 +18,7 @@ pub use kernelgen;
 pub use memsim;
 pub use mpcl;
 pub use mpstream_core;
+pub use mpstream_serve;
 pub use nativebw;
 pub use targets;
 

@@ -1,0 +1,323 @@
+//! End-to-end tests for `mpstream serve`: a submitted job's fetched
+//! report must be byte-identical to the offline CLI, a daemon killed
+//! mid-sweep must resume from its store to the same result set, the
+//! bounded accept pool must shed (not drop) load under a soak, /metrics
+//! must reflect the work, and the spawned binary must drain and exit 0
+//! on SIGTERM.
+
+use mpstream_core::checkpoint::Checkpoint;
+use mpstream_core::cli as core_cli;
+use mpstream_core::json::parse_flat_object;
+use mpstream_serve::client::http_request;
+use mpstream_serve::spec::request_to_spec;
+use mpstream_serve::{ServeOpts, Server};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static UNIQ: AtomicU64 = AtomicU64::new(0);
+    let n = UNIQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("mpstream-e2e-{tag}-{}-{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Bind a server on a free port over `dir` and run it on a thread.
+/// Returns `(addr, shutdown handle, join handle)`.
+fn start_server(
+    dir: &Path,
+    http_workers: usize,
+    queue_capacity: usize,
+) -> (
+    String,
+    mpstream_serve::server::ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind(ServeOpts {
+        addr: "127.0.0.1:0".into(),
+        store_dir: dir.to_path_buf(),
+        http_workers,
+        queue_capacity,
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.shutdown_handle().unwrap();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+fn sweep_request(args: &[&str]) -> core_cli::CliRequest {
+    let mut argv = vec!["sweep".to_string()];
+    argv.extend(args.iter().map(|s| s.to_string()));
+    core_cli::parse_args(&argv).unwrap().unwrap()
+}
+
+/// POST the job and return its id.
+fn submit(addr: &str, spec: &str) -> u64 {
+    let reply = http_request(addr, "POST", "/jobs", spec.as_bytes()).unwrap();
+    assert_eq!(reply.status, 202, "{}", reply.text());
+    parse_flat_object(reply.text().trim())
+        .and_then(|o| o.get("id")?.as_u64())
+        .expect("submit reply has an id")
+}
+
+/// Poll `GET /jobs/<id>` until `pred(state, done)` holds; panics after
+/// the deadline. Returns the `(state, done)` that satisfied it.
+fn poll_until(addr: &str, id: u64, what: &str, pred: impl Fn(&str, u64) -> bool) -> (String, u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let reply = http_request(addr, "GET", &format!("/jobs/{id}"), b"").unwrap();
+        assert_eq!(reply.status, 200, "{}", reply.text());
+        let obj = parse_flat_object(reply.text().trim()).unwrap();
+        let state = obj
+            .get("state")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .to_string();
+        let done = obj.get("done").and_then(|v| v.as_u64()).unwrap_or(0);
+        assert_ne!(state, "failed", "job failed: {}", reply.text());
+        if pred(&state, done) {
+            return (state, done);
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// A served job's report must be the exact bytes the offline CLI
+/// prints for the same flags, and /metrics must reflect the work.
+#[test]
+fn served_report_is_byte_identical_to_offline_cli() {
+    // --jobs 1 so the build-cache column (a scheduling fact at jobs>1)
+    // is deterministic across the two runs.
+    let args = [
+        "--kernel",
+        "copy",
+        "--kernel",
+        "triad",
+        "--size",
+        "131072",
+        "--vectors",
+        "1,2,4,8",
+        "--ntimes",
+        "1",
+        "--jobs",
+        "1",
+    ];
+    let req = sweep_request(&args);
+    let offline = core_cli::execute(&req).unwrap();
+
+    let dir = temp_dir("identical");
+    let (addr, handle, join) = start_server(&dir, 2, 4);
+
+    let id = submit(&addr, &request_to_spec(&req).unwrap());
+    let (_, done) = poll_until(&addr, id, "job done", |s, _| s == "done");
+    assert_eq!(
+        done as usize,
+        core_cli::sweep_param_space(&req).configs().len()
+    );
+
+    let report = http_request(&addr, "GET", &format!("/jobs/{id}/report"), b"").unwrap();
+    assert_eq!(report.status, 200);
+    assert_eq!(
+        report.text(),
+        offline,
+        "served report differs from offline CLI"
+    );
+
+    // The raw result feed pages through every checkpointed point.
+    let results = http_request(&addr, "GET", &format!("/jobs/{id}/results?limit=3"), b"").unwrap();
+    assert_eq!(results.status, 200);
+    assert_eq!(results.header("x-count"), Some("3"));
+    assert_eq!(results.header("x-total"), Some(done.to_string().as_str()));
+
+    // Metrics reflect the job and the scrapes themselves.
+    let metrics = http_request(&addr, "GET", "/metrics", b"").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    assert!(text.contains("mpstream_jobs_completed_total 1"), "{text}");
+    assert!(text.contains("mpstream_points_executed_total"), "{text}");
+    assert!(
+        text.contains("# TYPE mpstream_http_requests_total counter"),
+        "{text}"
+    );
+
+    handle.trigger();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Kill the daemon mid-sweep; a fresh daemon over the same store must
+/// resume the job and finish with the same result set as an
+/// uninterrupted offline run.
+#[test]
+fn restart_mid_sweep_resumes_to_identical_results() {
+    // ~40 points x ~0.2s each (debug build): slow enough to interrupt.
+    let args = [
+        "--size",
+        "262144",
+        "--vectors",
+        "1,2,4,8,16",
+        "--unrolls",
+        "1,2",
+        "--ntimes",
+        "2",
+        "--jobs",
+        "1",
+    ];
+    let req = sweep_request(&args);
+    let dir = temp_dir("resume");
+
+    let (addr, handle, join) = start_server(&dir, 2, 4);
+    let id = submit(&addr, &request_to_spec(&req).unwrap());
+    // Let it make real progress, then pull the plug mid-run.
+    let (_, done_at_kill) = poll_until(&addr, id, "mid-run progress", |s, done| {
+        s == "running" && done >= 2
+    });
+    handle.trigger();
+    join.join().unwrap().unwrap();
+
+    // The interrupted job is re-queued (not cancelled, not done) so a
+    // restart picks it up; its finished points are already on disk.
+    let (addr, handle, join) = start_server(&dir, 2, 4);
+    let (_, done) = poll_until(&addr, id, "resumed job done", |s, _| s == "done");
+    let total = core_cli::sweep_param_space(&req).configs().len();
+    assert_eq!(done as usize, total);
+
+    let metrics = http_request(&addr, "GET", "/metrics", b"").unwrap();
+    let resumed = metrics
+        .text()
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("mpstream_points_resumed_total ")
+                .map(str::to_string)
+        })
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    assert!(
+        resumed >= done_at_kill,
+        "expected >= {done_at_kill} resumed points, metrics said {resumed}"
+    );
+    handle.trigger();
+    join.join().unwrap().unwrap();
+
+    // Every point in the store must match an uninterrupted offline run.
+    let engine = core_cli::build_engine(&req, None);
+    let offline = core_cli::run_sweep(&engine, &req, None);
+    let ckpt = Checkpoint::resume(dir.join(format!("job-{id}.jsonl"))).unwrap();
+    assert_eq!(offline.points.len(), total);
+    for point in &offline.points {
+        let stored = ckpt
+            .lookup(&point.config)
+            .unwrap_or_else(|| panic!("store missing {:?}", point.config));
+        assert_eq!(
+            stored.gbps(),
+            point.gbps(),
+            "bandwidth mismatch for {:?}",
+            point.config
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// 1000 sequential requests all succeed; 64 concurrent clients against
+/// a 2-worker pool each get either a real answer or an explicit 503
+/// with Retry-After — nothing hangs, nothing is silently dropped.
+#[test]
+fn soak_bounded_pool_sheds_loudly_never_silently() {
+    let dir = temp_dir("soak");
+    let (addr, handle, join) = start_server(&dir, 2, 2);
+
+    for i in 0..1000 {
+        let reply = http_request(&addr, "GET", "/healthz", b"").unwrap();
+        assert_eq!(reply.status, 200, "sequential request {i}");
+    }
+
+    let workers: Vec<_> = (0..64)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || http_request(&addr, "GET", "/healthz", b""))
+        })
+        .collect();
+    let mut ok = 0u32;
+    let mut shed = 0u32;
+    for w in workers {
+        let reply = w
+            .join()
+            .unwrap()
+            .expect("no connection may be dropped without a reply");
+        match reply.status {
+            200 => ok += 1,
+            503 => {
+                assert_eq!(reply.header("retry-after"), Some("1"));
+                shed += 1;
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert_eq!(ok + shed, 64, "every concurrent request got an answer");
+    assert!(ok > 0, "the pool served nobody");
+
+    // Shed connections are counted, not silent.
+    let metrics = http_request(&addr, "GET", "/metrics", b"").unwrap();
+    let rejected = metrics
+        .text()
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("mpstream_connections_rejected_total ")
+                .map(str::to_string)
+        })
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap();
+    assert_eq!(rejected, shed as u64, "503 count must match the metric");
+
+    handle.trigger();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The spawned `mpstream serve` binary announces its address, serves,
+/// and on SIGTERM drains and exits 0.
+#[test]
+fn spawned_daemon_sigterm_drains_and_exits_zero() {
+    use std::io::{BufRead, BufReader, Read};
+    use std::process::{Command, Stdio};
+
+    let dir = temp_dir("sigterm");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mpstream"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--store"])
+        .arg(&dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    let addr = banner
+        .strip_prefix("mpstream serve: listening on ")
+        .and_then(|rest| rest.split(',').next())
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    let reply = http_request(&addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(reply.status, 200);
+
+    let killed = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(killed.success());
+    let status = child.wait().unwrap();
+    assert!(status.success(), "daemon exited {status:?} on SIGTERM");
+
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(
+        rest.contains("drained, exiting"),
+        "missing drain message: {rest:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
