@@ -166,9 +166,7 @@ fn main() -> ExitCode {
     }
 
     if let (Some(path), Some(t)) = (&trace_path, &trace) {
-        let canonical = std::env::var("MPSTREAM_TRACE_CANONICAL")
-            .map(|v| v == "1")
-            .unwrap_or(false);
+        let canonical = mpstream_core::env::flag_enabled("MPSTREAM_TRACE_CANONICAL");
         let json = if canonical {
             t.canonical_chrome_json()
         } else {

@@ -37,11 +37,9 @@ impl Harness {
             .skip(1)
             .filter(|a| !a.starts_with('-'))
             .collect();
-        let samples = std::env::var("MPSTREAM_BENCH_SAMPLES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&n: &usize| n >= 1)
-            .unwrap_or(10);
+        let samples =
+            mpstream_core::env::positive_or_warn("MPSTREAM_BENCH_SAMPLES", "the default (10)")
+                .unwrap_or(10);
         Self { filter, samples }
     }
 

@@ -1,0 +1,243 @@
+//! Argument grammar and execution for the cluster subcommands:
+//! `mpstream coordinator` and `mpstream worker`. Factored like
+//! [`mpstream_serve::cli`]; the workspace binary dispatches here when
+//! the first argument names one of these subcommands.
+
+use crate::coordinator::{Coordinator, CoordinatorOpts};
+use crate::worker::{Worker, WorkerOpts};
+use mpstream_serve::signal::ShutdownSignal;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// Usage text for the cluster subcommands.
+pub const USAGE: &str = "\
+usage: mpstream coordinator [--addr H:P] [--store DIR] [--jobs N] [--queue N]
+                            [--lease-ms N] [--shard-points N]
+       mpstream worker --join H:P [--addr H:P] [--store DIR] [--poll-ms N]
+                       [--trace FILE]
+
+  coordinator accepts jobs exactly like `mpstream serve` (submit/
+  status/fetch/cancel against it as usual) but delegates execution to
+  registered workers, sharding each sweep and merging the results.
+    --addr <host:port>    listen address (default 127.0.0.1:8377)
+    --store <dir>         result-store directory (default ./mpstream-store)
+    --jobs <N>            HTTP worker threads (default 4)
+    --queue <N>           job-queue capacity before 503 (default 16)
+    --lease-ms <N>        shard lease lifetime (default 5000)
+    --shard-points <N>    sweep points per shard (default 8)
+
+  worker joins a coordinator and executes leased shards; its own
+  /metrics and /healthz are served on --addr.
+    --join <host:port>    the coordinator to join (required)
+    --addr <host:port>    observability address (default 127.0.0.1:0)
+    --store <dir>         local store directory (default under the temp dir)
+    --poll-ms <N>         idle poll interval (default 200)
+    --trace <file>        write a Chrome trace of executed shards on exit";
+
+/// A parsed cluster subcommand.
+#[derive(Debug, Clone)]
+pub enum ClusterCommand {
+    /// Run the coordinator daemon.
+    Coordinator(CoordinatorOpts),
+    /// Run a worker daemon.
+    Worker(WorkerOpts),
+}
+
+/// Does this argument vector start with a cluster subcommand?
+pub fn is_cluster_command(args: &[String]) -> bool {
+    matches!(
+        args.first().map(String::as_str),
+        Some("coordinator" | "worker")
+    )
+}
+
+fn positive(flag: &str, value: String) -> Result<usize, String> {
+    value
+        .parse()
+        .ok()
+        .filter(|&n: &usize| n > 0)
+        .ok_or_else(|| format!("{flag} needs a positive integer"))
+}
+
+/// Parse a cluster argument vector (`Ok(None)` for `--help`).
+pub fn parse_cluster_args(args: &[String]) -> Result<Option<ClusterCommand>, String> {
+    let (verb, rest): (&str, &[String]) = match args.split_first() {
+        Some((v, rest)) => (v.as_str(), rest),
+        None => return Err("missing subcommand".into()),
+    };
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(None);
+    }
+    match verb {
+        "coordinator" => {
+            let mut opts = CoordinatorOpts::default();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                let mut need = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match arg.as_str() {
+                    "--addr" => opts.serve.addr = need("--addr")?,
+                    "--store" => opts.serve.store_dir = PathBuf::from(need("--store")?),
+                    "--jobs" => opts.serve.http_workers = positive("--jobs", need("--jobs")?)?,
+                    "--queue" => opts.serve.queue_capacity = positive("--queue", need("--queue")?)?,
+                    "--lease-ms" => {
+                        opts.lease = Duration::from_millis(positive(
+                            "--lease-ms",
+                            need("--lease-ms")?,
+                        )? as u64)
+                    }
+                    "--shard-points" => {
+                        opts.shard_points = positive("--shard-points", need("--shard-points")?)?
+                    }
+                    other => return Err(format!("unknown coordinator argument '{other}'")),
+                }
+            }
+            Ok(Some(ClusterCommand::Coordinator(opts)))
+        }
+        "worker" => {
+            let mut opts = WorkerOpts::default();
+            let mut join = None;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                let mut need = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match arg.as_str() {
+                    "--join" => join = Some(need("--join")?),
+                    "--addr" => opts.serve.addr = need("--addr")?,
+                    "--store" => opts.serve.store_dir = PathBuf::from(need("--store")?),
+                    "--poll-ms" => {
+                        opts.poll =
+                            Duration::from_millis(positive("--poll-ms", need("--poll-ms")?)? as u64)
+                    }
+                    "--trace" => opts.trace = Some(PathBuf::from(need("--trace")?)),
+                    other => return Err(format!("unknown worker argument '{other}'")),
+                }
+            }
+            opts.join = join.ok_or("worker needs --join <host:port>")?;
+            Ok(Some(ClusterCommand::Worker(opts)))
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+/// Run the coordinator daemon until SIGTERM/SIGINT, then drain and
+/// return. Prints the bound address on startup so scripts can scrape
+/// it (same shape as `mpstream serve`).
+pub fn run_coordinator(opts: CoordinatorOpts) -> Result<(), String> {
+    let lease_ms = opts.lease.as_millis();
+    let shard_points = opts.shard_points;
+    let store_dir = opts.serve.store_dir.clone();
+    let coordinator =
+        Coordinator::bind(opts.clone()).map_err(|e| format!("bind {}: {e}", opts.serve.addr))?;
+    let addr = coordinator.local_addr().map_err(|e| e.to_string())?;
+    let handle = coordinator.shutdown_handle().map_err(|e| e.to_string())?;
+    let signal = ShutdownSignal::install().map_err(|e| format!("signal handler: {e}"))?;
+    std::thread::Builder::new()
+        .name("mpstream-signal-watch".into())
+        .spawn(move || {
+            signal.wait();
+            handle.trigger();
+        })
+        .map_err(|e| e.to_string())?;
+    println!(
+        "mpstream coordinator: listening on {addr}, store {} (lease {lease_ms}ms, {shard_points} points/shard)",
+        store_dir.display(),
+    );
+    coordinator.run().map_err(|e| e.to_string())?;
+    println!("mpstream coordinator: drained, exiting");
+    Ok(())
+}
+
+/// Run a worker daemon until SIGTERM/SIGINT, then finish the current
+/// shard, drain and return.
+pub fn run_worker(opts: WorkerOpts) -> Result<(), String> {
+    let join = opts.join.clone();
+    let worker =
+        Worker::bind(opts.clone()).map_err(|e| format!("bind {}: {e}", opts.serve.addr))?;
+    let addr = worker.local_addr().map_err(|e| e.to_string())?;
+    let stop = worker.stop_flag();
+    let signal = ShutdownSignal::install().map_err(|e| format!("signal handler: {e}"))?;
+    std::thread::Builder::new()
+        .name("mpstream-signal-watch".into())
+        .spawn(move || {
+            signal.wait();
+            stop.store(true, Ordering::Release);
+        })
+        .map_err(|e| e.to_string())?;
+    println!("mpstream worker: listening on {addr}, joining {join}");
+    worker.run().map_err(|e| e.to_string())?;
+    println!("mpstream worker: drained, exiting");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Option<ClusterCommand>, String> {
+        parse_cluster_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn recognises_cluster_subcommands() {
+        let v = |args: &[&str]| args.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(is_cluster_command(&v(&["coordinator"])));
+        assert!(is_cluster_command(&v(&["worker", "--join", "x"])));
+        assert!(!is_cluster_command(&v(&["serve"])));
+        assert!(!is_cluster_command(&v(&["sweep"])));
+        assert!(!is_cluster_command(&v(&[])));
+    }
+
+    #[test]
+    fn coordinator_flags_parse() {
+        let cmd = parse(&[
+            "coordinator",
+            "--addr",
+            "0.0.0.0:9000",
+            "--store",
+            "/tmp/s",
+            "--lease-ms",
+            "250",
+            "--shard-points",
+            "2",
+        ])
+        .unwrap()
+        .unwrap();
+        let ClusterCommand::Coordinator(opts) = cmd else {
+            panic!("expected coordinator");
+        };
+        assert_eq!(opts.serve.addr, "0.0.0.0:9000");
+        assert_eq!(opts.serve.store_dir, PathBuf::from("/tmp/s"));
+        assert_eq!(opts.lease, Duration::from_millis(250));
+        assert_eq!(opts.shard_points, 2);
+    }
+
+    #[test]
+    fn worker_requires_join() {
+        assert!(parse(&["worker"]).is_err());
+        let cmd = parse(&["worker", "--join", "127.0.0.1:9000", "--poll-ms", "50"])
+            .unwrap()
+            .unwrap();
+        let ClusterCommand::Worker(opts) = cmd else {
+            panic!("expected worker");
+        };
+        assert_eq!(opts.join, "127.0.0.1:9000");
+        assert_eq!(opts.poll, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn help_and_unknown_flags() {
+        assert!(parse(&["coordinator", "--help"]).unwrap().is_none());
+        assert!(parse(&["worker", "-h"]).unwrap().is_none());
+        assert!(parse(&["coordinator", "--bogus"]).is_err());
+        assert!(parse(&["worker", "--join", "x", "--bogus"]).is_err());
+        assert!(parse(&["orchestrate"]).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # mpstream-cluster — distributed sweep execution
+//!
+//! Coordinator/worker sharding over the serve protocol, with a
+//! fault-tolerant merge. A **coordinator** is a normal serve daemon
+//! (same submit/status/fetch/cancel surface, same job manager and
+//! result store) whose executor, instead of running sweeps locally,
+//! splits each job's deterministic parameter space into contiguous
+//! **shards** with stable FNV-1a identities and hands them out to
+//! registered **workers** over four extra endpoints:
+//!
+//! | endpoint          | who calls it | meaning                                |
+//! |-------------------|--------------|----------------------------------------|
+//! | `POST /register`  | worker       | join the pool, get a worker id         |
+//! | `POST /lease`     | worker       | claim a queued shard (204 = no work)   |
+//! | `POST /heartbeat` | worker       | extend a lease; `ok:false` = lost it   |
+//! | `POST /complete`  | worker       | deliver a shard's checkpoint records   |
+//!
+//! Workers execute shards on fresh per-shard engines, so the offline
+//! CLI's whole environment surface (`MPSTREAM_FAULTS`, `MPSTREAM_JOBS`,
+//! retry policy, tracing) applies per worker unchanged. The merged
+//! report is **byte-identical to a single-node run**: shards cover the
+//! space exactly once, the deterministic simulation makes re-executed
+//! shards reproduce the same records, merged checkpoint lines are
+//! deduplicated by config key, and per-shard counters are summed from
+//! a journal that admits each shard exactly once.
+//!
+//! The pieces:
+//!
+//! * [`shard`] — shard identity/planning and the wire records;
+//! * [`coordinator`] — lease bookkeeping, the exactly-once merge
+//!   journal, the dispatch executor and the `/metrics` gauges;
+//! * [`worker`] — the register/lease/execute/complete poll loop;
+//! * [`cli`] — argument grammar and execution for
+//!   `mpstream coordinator|worker`.
+
+pub mod cli;
+pub mod coordinator;
+pub mod shard;
+pub mod worker;
+
+pub use cli::{
+    is_cluster_command, parse_cluster_args, run_coordinator, run_worker, ClusterCommand, USAGE,
+};
+pub use coordinator::{Cluster, Coordinator, CoordinatorOpts};
+pub use shard::{shard_id, Lease, MergedShard, ShardCounters, ShardPlan};
+pub use worker::{Worker, WorkerOpts};

@@ -1,0 +1,352 @@
+//! Shard identity, planning and the cluster wire records.
+//!
+//! A *shard* is a contiguous index range of a sweep's deterministic
+//! cartesian configuration order. Its identity is a stable FNV-1a hash
+//! over `target:spec:start..end`, so re-submitting the same sweep (or
+//! restarting the coordinator) reproduces the same shard ids — that is
+//! what makes the merge journal idempotent: a shard that was already
+//! merged under one coordinator incarnation is recognised and skipped
+//! by the next.
+//!
+//! Everything that crosses the wire or the journal is flat one-line
+//! JSON rendered with [`JsonLine`] and parsed with
+//! [`parse_flat_object`], the same grammar the serve layer speaks.
+
+use mpstream_core::engine::{fnv1a, plan_shards, RetryStats};
+use mpstream_core::json::{parse_flat_object, JsonLine, JsonObject};
+use mpstream_core::sweep::SweepResult;
+
+/// One planned shard of a job's sweep: a stable id plus the half-open
+/// config-index range `[start, end)` it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Stable identity, sixteen lower-case hex digits.
+    pub id: String,
+    /// First config index (inclusive).
+    pub start: usize,
+    /// Past-the-end config index.
+    pub end: usize,
+}
+
+/// The stable shard id: FNV-1a over `target:spec:start..end`.
+pub fn shard_id(target: &str, spec: &str, start: usize, end: usize) -> String {
+    format!(
+        "{:016x}",
+        fnv1a(format!("{target}:{spec}:{start}..{end}").as_bytes())
+    )
+}
+
+/// Split a sweep of `total` configs into shards of at most
+/// `shard_points` points each, with stable ids.
+pub fn plan(target: &str, spec: &str, total: usize, shard_points: usize) -> Vec<ShardPlan> {
+    plan_shards(total, shard_points)
+        .into_iter()
+        .map(|(start, end)| ShardPlan {
+            id: shard_id(target, spec, start, end),
+            start,
+            end,
+        })
+        .collect()
+}
+
+/// Counter deltas one worker incurred executing one shard. Summed over
+/// a job's merged shards these reconstruct the cache/retry/fault
+/// sections of the single-node report exactly, because each shard runs
+/// on a fresh engine and each shard is merged exactly once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Build-cache hits.
+    pub cache_hits: u64,
+    /// Build-cache misses.
+    pub cache_misses: u64,
+    /// Re-attempts after transient failures.
+    pub retries: u64,
+    /// Transient failures observed.
+    pub transient_errors: u64,
+    /// Configs whose retry budget ran out.
+    pub gave_up: u64,
+    /// Worker panics isolated into outcomes.
+    pub panics_isolated: u64,
+    /// Injected build faults.
+    pub fault_build: u64,
+    /// Injected enqueue timeouts.
+    pub fault_timeout: u64,
+    /// Injected device-lost faults.
+    pub fault_device_lost: u64,
+    /// Injected bit flips.
+    pub fault_bit_flip: u64,
+}
+
+impl ShardCounters {
+    /// Snapshot a freshly-run engine's absolute counters (valid as
+    /// deltas because cluster workers build one engine per shard).
+    pub fn from_engine(engine: &mpstream_core::Engine) -> ShardCounters {
+        let cache = engine.cache_stats();
+        let retry = engine.retry_stats();
+        let faults = engine.fault_counters();
+        ShardCounters {
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            retries: retry.retries,
+            transient_errors: retry.transient_errors,
+            gave_up: retry.gave_up,
+            panics_isolated: retry.panics_isolated,
+            fault_build: faults.build,
+            fault_timeout: faults.timeout,
+            fault_device_lost: faults.device_lost,
+            fault_bit_flip: faults.bit_flip,
+        }
+    }
+
+    /// Add another shard's counters into this accumulator.
+    pub fn absorb(&mut self, other: &ShardCounters) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.retries += other.retries;
+        self.transient_errors += other.transient_errors;
+        self.gave_up += other.gave_up;
+        self.panics_isolated += other.panics_isolated;
+        self.fault_build += other.fault_build;
+        self.fault_timeout += other.fault_timeout;
+        self.fault_device_lost += other.fault_device_lost;
+        self.fault_bit_flip += other.fault_bit_flip;
+    }
+
+    /// Pour the accumulated counters into an (otherwise assembled)
+    /// [`SweepResult`], so the merged report renders the same
+    /// cache/retry/fault rows a single-node run would.
+    pub fn fill_result(&self, result: &mut SweepResult) {
+        result.cache = mpcl::CacheStats {
+            hits: self.cache_hits,
+            misses: self.cache_misses,
+        };
+        result.retry = RetryStats {
+            retries: self.retries,
+            transient_errors: self.transient_errors,
+            gave_up: self.gave_up,
+            panics_isolated: self.panics_isolated,
+        };
+        result.faults = mpcl::FaultCounters {
+            build: self.fault_build,
+            timeout: self.fault_timeout,
+            device_lost: self.fault_device_lost,
+            bit_flip: self.fault_bit_flip,
+        };
+    }
+
+    fn write_fields(&self, w: &mut JsonLine) {
+        w.u64_field("cache_hits", self.cache_hits);
+        w.u64_field("cache_misses", self.cache_misses);
+        w.u64_field("retries", self.retries);
+        w.u64_field("transient", self.transient_errors);
+        w.u64_field("gave_up", self.gave_up);
+        w.u64_field("panics", self.panics_isolated);
+        w.u64_field("fault_build", self.fault_build);
+        w.u64_field("fault_timeout", self.fault_timeout);
+        w.u64_field("fault_lost", self.fault_device_lost);
+        w.u64_field("fault_bitflip", self.fault_bit_flip);
+    }
+
+    fn parse_fields(obj: &JsonObject) -> Option<ShardCounters> {
+        let f = |k: &str| obj.get(k).and_then(|v| v.as_u64());
+        Some(ShardCounters {
+            cache_hits: f("cache_hits")?,
+            cache_misses: f("cache_misses")?,
+            retries: f("retries")?,
+            transient_errors: f("transient")?,
+            gave_up: f("gave_up")?,
+            panics_isolated: f("panics")?,
+            fault_build: f("fault_build")?,
+            fault_timeout: f("fault_timeout")?,
+            fault_device_lost: f("fault_lost")?,
+            fault_bit_flip: f("fault_bitflip")?,
+        })
+    }
+}
+
+/// A merged shard as journalled by the coordinator (`shards.jsonl`)
+/// and as carried in the header line of a worker's `POST /complete`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedShard {
+    /// The shard's stable id.
+    pub shard: String,
+    /// The job it belongs to.
+    pub job: u64,
+    /// First config index (inclusive).
+    pub start: usize,
+    /// Past-the-end config index.
+    pub end: usize,
+    /// Counter deltas the executing worker reported.
+    pub counters: ShardCounters,
+}
+
+impl MergedShard {
+    /// One-line JSON form.
+    pub fn render(&self) -> String {
+        let mut w = JsonLine::new();
+        w.str_field("shard", &self.shard);
+        w.u64_field("job", self.job);
+        w.u64_field("start", self.start as u64);
+        w.u64_field("end", self.end as u64);
+        self.counters.write_fields(&mut w);
+        w.finish()
+    }
+
+    /// Parse the one-line JSON form; `None` for anything malformed.
+    pub fn parse(line: &str) -> Option<MergedShard> {
+        let obj = parse_flat_object(line)?;
+        Some(MergedShard {
+            shard: obj.get("shard")?.as_str()?.to_string(),
+            job: obj.get("job")?.as_u64()?,
+            start: obj.get("start")?.as_u64()? as usize,
+            end: obj.get("end")?.as_u64()? as usize,
+            counters: ShardCounters::parse_fields(&obj)?,
+        })
+    }
+}
+
+/// A lease as granted by `POST /lease`: which shard of which job to
+/// run, the spec to run it against, and how long the lease lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// The job the shard belongs to.
+    pub job: u64,
+    /// The shard's stable id.
+    pub shard: String,
+    /// First config index (inclusive).
+    pub start: usize,
+    /// Past-the-end config index.
+    pub end: usize,
+    /// The job-spec JSON line (the serve wire grammar).
+    pub spec: String,
+    /// Lease lifetime granted by the coordinator.
+    pub lease_ms: u64,
+}
+
+impl Lease {
+    /// One-line JSON form (the spec line nests as an escaped string).
+    pub fn render(&self) -> String {
+        let mut w = JsonLine::new();
+        w.u64_field("job", self.job);
+        w.str_field("shard", &self.shard);
+        w.u64_field("start", self.start as u64);
+        w.u64_field("end", self.end as u64);
+        w.str_field("spec", &self.spec);
+        w.u64_field("lease_ms", self.lease_ms);
+        w.finish()
+    }
+
+    /// Parse the one-line JSON form; `None` for anything malformed.
+    pub fn parse(line: &str) -> Option<Lease> {
+        let obj = parse_flat_object(line)?;
+        Some(Lease {
+            job: obj.get("job")?.as_u64()?,
+            shard: obj.get("shard")?.as_str()?.to_string(),
+            start: obj.get("start")?.as_u64()? as usize,
+            end: obj.get("end")?.as_u64()? as usize,
+            spec: obj.get("spec")?.as_str()?.to_string(),
+            lease_ms: obj.get("lease_ms")?.as_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ids_are_stable_and_distinct() {
+        let a = shard_id("cpu-avx2", "{\"kernels\":\"copy\"}", 0, 8);
+        let b = shard_id("cpu-avx2", "{\"kernels\":\"copy\"}", 0, 8);
+        let c = shard_id("cpu-avx2", "{\"kernels\":\"copy\"}", 8, 16);
+        let d = shard_id("fpga-small", "{\"kernels\":\"copy\"}", 0, 8);
+        assert_eq!(a, b, "same inputs must yield the same id");
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|ch| ch.is_ascii_hexdigit()));
+        assert_ne!(a, c, "different ranges must differ");
+        assert_ne!(a, d, "different targets must differ");
+    }
+
+    #[test]
+    fn plan_covers_the_space_with_stable_ids() {
+        let shards = plan("cpu-avx2", "{}", 10, 4);
+        assert_eq!(
+            shards.iter().map(|s| (s.start, s.end)).collect::<Vec<_>>(),
+            vec![(0, 4), (4, 8), (8, 10)]
+        );
+        let again = plan("cpu-avx2", "{}", 10, 4);
+        assert_eq!(shards, again);
+        let ids: std::collections::BTreeSet<&str> = shards.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids.len(), shards.len(), "ids must be distinct");
+    }
+
+    #[test]
+    fn merged_shard_round_trips() {
+        let rec = MergedShard {
+            shard: "00ff00ff00ff00ff".into(),
+            job: 7,
+            start: 8,
+            end: 16,
+            counters: ShardCounters {
+                cache_hits: 1,
+                cache_misses: 7,
+                retries: 2,
+                transient_errors: 3,
+                gave_up: 0,
+                panics_isolated: 0,
+                fault_build: 1,
+                fault_timeout: 0,
+                fault_device_lost: 1,
+                fault_bit_flip: 0,
+            },
+        };
+        assert_eq!(MergedShard::parse(&rec.render()), Some(rec));
+        assert_eq!(MergedShard::parse("{\"shard\":\"x\"}"), None);
+        assert_eq!(MergedShard::parse("not json"), None);
+    }
+
+    #[test]
+    fn lease_round_trips_with_embedded_spec() {
+        let lease = Lease {
+            job: 3,
+            shard: "abcdef0123456789".into(),
+            start: 0,
+            end: 8,
+            spec: "{\"kernels\":\"copy,triad\",\"size_bytes\":131072}".into(),
+            lease_ms: 5000,
+        };
+        let line = lease.render();
+        assert_eq!(Lease::parse(&line), Some(lease.clone()));
+        // The embedded spec must survive as a parseable flat object.
+        let inner = Lease::parse(&line).unwrap().spec;
+        assert!(parse_flat_object(&inner).is_some());
+    }
+
+    #[test]
+    fn counters_fill_a_sweep_result() {
+        let mut acc = ShardCounters::default();
+        acc.absorb(&ShardCounters {
+            cache_misses: 4,
+            retries: 1,
+            ..Default::default()
+        });
+        acc.absorb(&ShardCounters {
+            cache_hits: 2,
+            cache_misses: 1,
+            fault_bit_flip: 3,
+            ..Default::default()
+        });
+        let mut result = SweepResult {
+            points: Vec::new(),
+            cache: Default::default(),
+            retry: Default::default(),
+            faults: Default::default(),
+            resumed: 0,
+        };
+        acc.fill_result(&mut result);
+        assert_eq!(result.cache.hits, 2);
+        assert_eq!(result.cache.misses, 5);
+        assert_eq!(result.retry.retries, 1);
+        assert_eq!(result.faults.bit_flip, 3);
+    }
+}

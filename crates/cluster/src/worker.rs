@@ -1,0 +1,322 @@
+//! The worker: a serve daemon that pulls shards from a coordinator.
+//!
+//! A worker is two things at once: a plain [`Server`] bound to its own
+//! address (so `/healthz` and `/metrics` report on it like any other
+//! daemon), and a poll loop that registers with the coordinator,
+//! leases shards, executes them on a fresh per-shard [`Engine`]
+//! (`MPSTREAM_FAULTS`, `MPSTREAM_JOBS`, retry policy — everything the
+//! offline CLI honours — flows through [`core_cli::build_engine`]
+//! unchanged), and posts the results back.
+//!
+//! Liveness is cooperative: every finished point sends a heartbeat;
+//! `{"ok":false}` means the lease lapsed (the coordinator re-queued
+//! the shard), so the worker cancels the rest of the shard and drops
+//! its half-finished copy rather than double-reporting.
+//!
+//! [`Engine`]: mpstream_core::Engine
+
+use crate::shard::{Lease, MergedShard, ShardCounters};
+use mpstream_core::checkpoint;
+use mpstream_core::cli as core_cli;
+use mpstream_core::config::BenchConfig;
+use mpstream_core::engine::CancelToken;
+use mpstream_core::json::{parse_flat_object, JsonLine};
+use mpstream_core::sweep::SweepResult;
+use mpstream_core::trace::{self, Trace};
+use mpstream_core::Runner;
+use mpstream_serve::client::{http_request_opts, ClientOpts};
+use mpstream_serve::server::{ServeOpts, Server};
+use mpstream_serve::spec;
+use mpstream_serve::Metrics;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a worker is configured.
+#[derive(Debug, Clone)]
+pub struct WorkerOpts {
+    /// Coordinator address to join (`host:port`).
+    pub join: String,
+    /// The worker's own observability daemon (address, store, ...).
+    pub serve: ServeOpts,
+    /// How long to sleep when the coordinator has no work.
+    pub poll: Duration,
+    /// Write a Chrome trace of executed shards here on exit.
+    pub trace: Option<PathBuf>,
+}
+
+/// Distinguishes the default store directories of workers sharing a
+/// process (the e2e tests start several).
+static WORKER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Default for WorkerOpts {
+    fn default() -> Self {
+        let seq = WORKER_SEQ.fetch_add(1, Ordering::Relaxed);
+        WorkerOpts {
+            join: "127.0.0.1:8377".to_string(),
+            serve: ServeOpts {
+                addr: "127.0.0.1:0".to_string(),
+                store_dir: std::env::temp_dir()
+                    .join(format!("mpstream-worker-{}-{seq}", std::process::id())),
+                ..ServeOpts::default()
+            },
+            poll: Duration::from_millis(200),
+            trace: None,
+        }
+    }
+}
+
+/// The registration/lease/execute/complete loop, separated from the
+/// worker's own HTTP server so the two can run on different threads.
+#[derive(Debug)]
+struct Puller {
+    metrics: Arc<Metrics>,
+    join: String,
+    poll: Duration,
+    trace: Option<Arc<Trace>>,
+    stop: Arc<AtomicBool>,
+    client: ClientOpts,
+}
+
+impl Puller {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Register with the coordinator, patiently: it may not be up yet,
+    /// or may be restarting. `None` when stopped while trying.
+    fn register(&self, own_addr: &str) -> Option<u64> {
+        let mut body = JsonLine::new();
+        body.str_field("addr", own_addr);
+        let body = body.finish();
+        loop {
+            if self.stopping() {
+                return None;
+            }
+            if let Ok(reply) = http_request_opts(
+                &self.join,
+                "POST",
+                "/register",
+                body.as_bytes(),
+                &self.client,
+            ) {
+                if reply.status == 200 {
+                    if let Some(id) = parse_flat_object(reply.text().trim())
+                        .and_then(|o| o.get("worker")?.as_u64())
+                    {
+                        return Some(id);
+                    }
+                }
+            }
+            std::thread::sleep(self.poll);
+        }
+    }
+
+    /// Execute one leased shard and post the results back. A lost
+    /// lease (heartbeat answered `ok:false`) or a stop request cancels
+    /// mid-shard; the partial results are discarded, never posted.
+    fn run_lease(&self, worker_id: u64, lease: &Lease) {
+        let Ok(req) = spec::spec_to_request(&lease.spec) else {
+            return;
+        };
+        let configs = core_cli::sweep_param_space(&req).configs();
+        if lease.start >= lease.end || lease.end > configs.len() {
+            return;
+        }
+        let work: Vec<BenchConfig> = configs[lease.start..lease.end]
+            .iter()
+            .map(|c| core_cli::bench_protocol(&req, c.clone()))
+            .collect();
+        if let Some(t) = &self.trace {
+            t.wall_instant(
+                lease.start as u64,
+                "shard-lease",
+                trace::args([
+                    ("shard", lease.shard.as_str().into()),
+                    ("job", lease.job.into()),
+                    ("points", (work.len() as u64).into()),
+                ]),
+            );
+        }
+
+        let token = CancelToken::new();
+        let engine =
+            core_cli::build_engine(&req, self.trace.clone()).with_cancel(Some(token.clone()));
+        let mut hb = JsonLine::new();
+        hb.u64_field("worker", worker_id);
+        hb.u64_field("job", lease.job);
+        hb.str_field("shard", &lease.shard);
+        let hb = hb.finish();
+        let observe = |_outcome: &mpstream_core::Outcome| {
+            if self.stopping() {
+                token.cancel();
+                return;
+            }
+            // A briefly unreachable coordinator is not a lost lease;
+            // keep working and let /complete decide. Only an explicit
+            // "ok": false (or a non-200) from a reachable coordinator
+            // cancels the shard.
+            if let Ok(reply) = http_request_opts(
+                &self.join,
+                "POST",
+                "/heartbeat",
+                hb.as_bytes(),
+                &self.client,
+            ) {
+                let ok = reply.status == 200
+                    && parse_flat_object(reply.text().trim())
+                        .and_then(|o| o.get("ok")?.as_bool())
+                        .unwrap_or(false);
+                if !ok {
+                    token.cancel();
+                }
+            }
+        };
+        let outcomes = engine.run_list_observed(|| Runner::for_target(req.target), &work, observe);
+        if token.is_cancelled() {
+            return;
+        }
+
+        let counters = ShardCounters::from_engine(&engine);
+        let header = MergedShard {
+            shard: lease.shard.clone(),
+            job: lease.job,
+            start: lease.start,
+            end: lease.end,
+            counters,
+        };
+        let mut body = header.render();
+        body.push('\n');
+        for outcome in &outcomes {
+            body.push_str(&checkpoint::render_record(outcome));
+            body.push('\n');
+        }
+        let _ = http_request_opts(
+            &self.join,
+            "POST",
+            "/complete",
+            body.as_bytes(),
+            &self.client,
+        );
+
+        // Account the shard in the worker's own /metrics (the engine
+        // was fresh, so its counters are exactly this shard's).
+        let mut result = SweepResult {
+            points: outcomes,
+            cache: Default::default(),
+            retry: Default::default(),
+            faults: Default::default(),
+            resumed: 0,
+        };
+        counters.fill_result(&mut result);
+        self.metrics.absorb_sweep(&result);
+        if let Some(t) = &self.trace {
+            t.wall_instant(
+                lease.start as u64,
+                "shard-complete",
+                trace::args([
+                    ("shard", lease.shard.as_str().into()),
+                    ("job", lease.job.into()),
+                ]),
+            );
+        }
+    }
+
+    /// Poll the coordinator for shards until stopped.
+    fn poll_loop(&self, own_addr: &str) {
+        let Some(mut worker_id) = self.register(own_addr) else {
+            return;
+        };
+        loop {
+            if self.stopping() {
+                return;
+            }
+            let mut body = JsonLine::new();
+            body.u64_field("worker", worker_id);
+            let body = body.finish();
+            match http_request_opts(&self.join, "POST", "/lease", body.as_bytes(), &self.client) {
+                Ok(reply) if reply.status == 200 => {
+                    if let Some(lease) = Lease::parse(reply.text().trim()) {
+                        self.run_lease(worker_id, &lease);
+                    }
+                }
+                Ok(reply) if reply.status == 409 => {
+                    // Coordinator restarted and forgot us.
+                    match self.register(own_addr) {
+                        Some(id) => worker_id = id,
+                        None => return,
+                    }
+                }
+                _ => std::thread::sleep(self.poll),
+            }
+        }
+    }
+}
+
+/// A bound worker, ready to [`run`](Worker::run).
+pub struct Worker {
+    server: Server,
+    puller: Puller,
+    trace_path: Option<PathBuf>,
+}
+
+impl Worker {
+    /// Bind the worker's own observability daemon. The poll loop does
+    /// not start until [`run`](Worker::run).
+    pub fn bind(opts: WorkerOpts) -> std::io::Result<Worker> {
+        let server = Server::bind(opts.serve)?;
+        let metrics = server.metrics();
+        Ok(Worker {
+            server,
+            puller: Puller {
+                metrics,
+                join: opts.join,
+                poll: opts.poll,
+                trace: opts.trace.as_ref().map(|_| Trace::new()),
+                stop: Arc::new(AtomicBool::new(false)),
+                client: ClientOpts::default(),
+            },
+            trace_path: opts.trace,
+        })
+    }
+
+    /// The worker daemon's actually-bound address.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.server.local_addr()
+    }
+
+    /// Shared flag that makes [`run`](Worker::run) return after the
+    /// current shard (checked between polls and between points).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.puller.stop)
+    }
+
+    /// Serve and poll until the stop flag is raised, then drain the
+    /// observability daemon and (optionally) write the shard trace.
+    pub fn run(self) -> std::io::Result<()> {
+        let Worker {
+            server,
+            puller,
+            trace_path,
+        } = self;
+        let addr = server.local_addr()?;
+        let handle = server.shutdown_handle()?;
+        let http = std::thread::Builder::new()
+            .name("mpstream-worker-http".into())
+            .spawn(move || server.run())?;
+        puller.poll_loop(&addr.to_string());
+        handle.trigger();
+        http.join()
+            .map_err(|_| std::io::Error::other("worker http thread panicked"))??;
+        if let (Some(path), Some(t)) = (&trace_path, &puller.trace) {
+            let json = if mpstream_core::env::flag_enabled("MPSTREAM_TRACE_CANONICAL") {
+                t.canonical_chrome_json()
+            } else {
+                t.to_chrome_json()
+            };
+            std::fs::write(path, json)?;
+        }
+        Ok(())
+    }
+}

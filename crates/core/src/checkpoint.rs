@@ -144,7 +144,12 @@ impl Checkpoint {
 }
 
 /// Render one outcome as a flat JSON object (one line).
-pub(crate) fn render_record(o: &Outcome) -> String {
+///
+/// Public because the checkpoint record doubles as the cluster wire
+/// format: workers render finished points with this exact codec and
+/// ship the lines to the coordinator, whose merged per-job file is then
+/// indistinguishable from one a local engine appended itself.
+pub fn render_record(o: &Outcome) -> String {
     let mut w = JsonLine::new();
     w.str_field("key", &config_key(&o.config));
     w.raw_field("retries", &o.retries.to_string());
@@ -202,7 +207,13 @@ pub(crate) fn render_record(o: &Outcome) -> String {
 
 /// Parse one record line back into `(key, outcome)`; `None` when the
 /// line is corrupt (mid-write kill) or incomplete.
-pub(crate) fn parse_record(line: &str) -> Option<(String, Outcome)> {
+///
+/// The returned [`Outcome`] carries a placeholder config — records are
+/// keyed by the rendered `key` string, not a reconstructed config; use
+/// [`Checkpoint::lookup`] to re-associate real configs. Public for the
+/// same reason as [`render_record`]: the cluster merge path validates
+/// and re-keys worker-shipped lines with the real parser.
+pub fn parse_record(line: &str) -> Option<(String, Outcome)> {
     let fields = parse_flat_object(line)?;
     let str_of = |k: &str| Some(fields.get(k)?.as_str()?.to_string());
     let raw_of = |k: &str| fields.get(k)?.as_raw();

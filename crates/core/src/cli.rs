@@ -415,9 +415,7 @@ fn write_trace(req: &CliRequest, trace: Option<&Arc<Trace>>) -> Result<(), Strin
     let (Some(path), Some(t)) = (req.trace.as_ref(), trace) else {
         return Ok(());
     };
-    let canonical = std::env::var("MPSTREAM_TRACE_CANONICAL")
-        .map(|v| v == "1")
-        .unwrap_or(false);
+    let canonical = crate::env::flag_enabled("MPSTREAM_TRACE_CANONICAL");
     let json = if canonical {
         t.canonical_chrome_json()
     } else {

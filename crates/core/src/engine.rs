@@ -37,7 +37,7 @@ use kernelgen::KernelConfig;
 use mpcl::{BuildCache, CacheStats, ClError, FaultCounters, FaultPlan};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Once};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// A shared cooperative-cancellation flag. Clone it freely: all clones
@@ -114,35 +114,17 @@ impl Outcome {
     }
 }
 
-/// Parse an `MPSTREAM_JOBS`-style override: a positive integer, or
-/// `None` when malformed or zero.
-fn parse_jobs_override(v: &str) -> Option<usize> {
-    v.trim().parse::<usize>().ok().filter(|n| *n >= 1)
-}
-
 /// Default worker count: `MPSTREAM_JOBS` when set to a positive integer,
 /// otherwise the machine's available parallelism (1 if unknown). An
 /// invalid override (`0`, `abc`) falls back to hardware sizing with a
-/// one-time warning on stderr rather than silently.
+/// one-time warning on stderr rather than silently
+/// (see [`crate::env::positive_or_warn`]).
 pub fn default_jobs() -> usize {
-    let hardware = || {
+    crate::env::positive_or_warn("MPSTREAM_JOBS", "hardware parallelism").unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
-    };
-    match std::env::var("MPSTREAM_JOBS") {
-        Ok(v) => parse_jobs_override(&v).unwrap_or_else(|| {
-            static WARN_ONCE: Once = Once::new();
-            WARN_ONCE.call_once(|| {
-                eprintln!(
-                    "warning: ignoring invalid MPSTREAM_JOBS={v:?} \
-                     (expected a positive integer); using hardware parallelism"
-                );
-            });
-            hardware()
-        }),
-        Err(_) => hardware(),
-    }
+    })
 }
 
 /// Fault spec from `MPSTREAM_FAULTS`, if set and valid (an invalid spec
@@ -162,16 +144,45 @@ pub fn env_fault_spec() -> Option<mpcl::FaultSpec> {
 
 /// Fault seed from `MPSTREAM_FAULT_SEED`, if set and numeric.
 pub fn env_fault_seed() -> Option<u64> {
-    std::env::var("MPSTREAM_FAULT_SEED")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
+    crate::env::parsed("MPSTREAM_FAULT_SEED")
 }
 
 /// Retry budget from `MPSTREAM_RETRIES`, if set and numeric.
 pub fn env_retries() -> Option<u32> {
-    std::env::var("MPSTREAM_RETRIES")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
+    crate::env::parsed("MPSTREAM_RETRIES")
+}
+
+/// FNV-1a over `bytes` (64-bit). Used wherever a *stable* identity is
+/// derived from a textual key — fault-injection rolls key on it, and
+/// the cluster layer derives shard ids from it — so the value must
+/// never change across versions: offset basis `0xcbf29ce484222325`,
+/// prime `0x100000001b3`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Split a sweep of `total` configurations into contiguous shards of at
+/// most `shard_points` points each, as `(start, end)` index ranges into
+/// the deterministic cartesian order of the [`crate::space::ParamSpace`].
+/// The planning is a pure function of its inputs, so re-planning the
+/// same sweep yields the same shards (the cluster layer relies on this
+/// for idempotent re-submission). `shard_points` is clamped to >= 1;
+/// the final shard may be short.
+pub fn plan_shards(total: usize, shard_points: usize) -> Vec<(usize, usize)> {
+    let step = shard_points.max(1);
+    let mut shards = Vec::with_capacity(total.div_ceil(step));
+    let mut start = 0;
+    while start < total {
+        let end = (start + step).min(total);
+        shards.push((start, end));
+        start = end;
+    }
+    shards
 }
 
 /// Default fault seed when a fault campaign is requested without one.
@@ -789,15 +800,30 @@ mod tests {
         assert_eq!(Engine::with_jobs(0).jobs(), 1);
     }
 
+    // MPSTREAM_JOBS override parsing (positive integers only, warn-once
+    // on garbage) lives in `crate::env` now and is tested there.
+
     #[test]
-    fn jobs_override_parsing_rejects_invalid_values() {
-        assert_eq!(parse_jobs_override("4"), Some(4));
-        assert_eq!(parse_jobs_override(" 8 "), Some(8));
-        assert_eq!(parse_jobs_override("0"), None, "zero workers is invalid");
-        assert_eq!(parse_jobs_override("abc"), None);
-        assert_eq!(parse_jobs_override(""), None);
-        assert_eq!(parse_jobs_override("-2"), None);
-        assert_eq!(parse_jobs_override("1.5"), None);
+    fn fnv1a_matches_published_vectors() {
+        // Reference values for the 64-bit FNV-1a parameters.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn plan_shards_covers_the_range_exactly_once() {
+        assert!(plan_shards(0, 8).is_empty());
+        assert_eq!(plan_shards(5, 8), vec![(0, 5)]);
+        assert_eq!(plan_shards(8, 8), vec![(0, 8)]);
+        assert_eq!(plan_shards(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(plan_shards(3, 0), vec![(0, 1), (1, 2), (2, 3)], "clamped");
+        // Every index appears exactly once, in order, at any granularity.
+        for step in 1..20 {
+            let shards = plan_shards(97, step);
+            let flat: Vec<usize> = shards.iter().flat_map(|&(s, e)| s..e).collect();
+            assert_eq!(flat, (0..97).collect::<Vec<_>>(), "step {step}");
+        }
     }
 
     #[test]

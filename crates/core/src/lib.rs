@@ -32,6 +32,7 @@ pub mod cli;
 pub mod config;
 pub mod dse;
 pub mod engine;
+pub mod env;
 pub mod experiments;
 pub mod extensions;
 pub mod json;

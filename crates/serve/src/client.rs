@@ -1,10 +1,16 @@
 //! A minimal blocking HTTP/1.1 client for the thin `mpstream
-//! submit|status|fetch|cancel` subcommands and the test suites — one
-//! request per connection (`Connection: close`), `Content-Length`
-//! bodies only, mirroring exactly what the server implements.
+//! submit|status|fetch|cancel` subcommands, the cluster layer, and the
+//! test suites — one request per connection (`Connection: close`),
+//! `Content-Length` bodies only, mirroring exactly what the server
+//! implements. Every phase of the exchange is bounded: connects time
+//! out instead of hanging on a black-holed peer, and a refused
+//! connection (daemon restarting, worker not up yet) is retried a
+//! bounded number of times with the engine's deterministic exponential
+//! backoff.
 
+use mpstream_core::engine::ResiliencePolicy;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A completed exchange.
@@ -33,19 +39,85 @@ impl HttpReply {
     }
 }
 
-/// Perform one request against `addr` (e.g. `127.0.0.1:8377`).
+/// Timeout and retry budget for one exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientOpts {
+    /// TCP connect deadline per attempt.
+    pub connect_timeout: Duration,
+    /// Socket read deadline (covers the whole response).
+    pub read_timeout: Duration,
+    /// Socket write deadline.
+    pub write_timeout: Duration,
+    /// Extra connect attempts after a refused connection (0 = fail on
+    /// the first refusal). Other errors never retry — only "nothing is
+    /// listening yet", the one failure that is routinely transient.
+    pub connect_retries: u32,
+}
+
+impl Default for ClientOpts {
+    fn default() -> Self {
+        ClientOpts {
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(120),
+            write_timeout: Duration::from_secs(30),
+            connect_retries: 3,
+        }
+    }
+}
+
+/// Connect with per-attempt timeouts, retrying refused connections with
+/// the engine's deterministic backoff (10ms base, 500ms cap — same
+/// doubling schedule sweeps use, so reruns sleep identically).
+fn connect(addr: &str, opts: &ClientOpts) -> Result<TcpStream, String> {
+    let backoff = ResiliencePolicy::retrying(opts.connect_retries)
+        .with_backoff(Duration::from_millis(10), Duration::from_millis(500));
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        // Resolve fresh each attempt (connect_timeout needs a SocketAddr).
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve {addr}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("resolve {addr}: no addresses"))?;
+        match TcpStream::connect_timeout(&resolved, opts.connect_timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::ConnectionRefused
+                    && attempt <= opts.connect_retries =>
+            {
+                std::thread::sleep(backoff.backoff_after(attempt));
+            }
+            Err(e) => return Err(format!("connect {addr}: {e}")),
+        }
+    }
+}
+
+/// Perform one request against `addr` (e.g. `127.0.0.1:8377`) with the
+/// default timeouts and retry budget.
 pub fn http_request(
     addr: &str,
     method: &str,
     path: &str,
     body: &[u8],
 ) -> Result<HttpReply, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    http_request_opts(addr, method, path, body, &ClientOpts::default())
+}
+
+/// Perform one request against `addr` under explicit `opts`.
+pub fn http_request_opts(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    opts: &ClientOpts,
+) -> Result<HttpReply, String> {
+    let stream = connect(addr, opts)?;
     stream
-        .set_read_timeout(Some(Duration::from_secs(120)))
+        .set_read_timeout(Some(opts.read_timeout))
         .map_err(|e| e.to_string())?;
     stream
-        .set_write_timeout(Some(Duration::from_secs(30)))
+        .set_write_timeout(Some(opts.write_timeout))
         .map_err(|e| e.to_string())?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     write!(
@@ -106,4 +178,63 @@ pub fn http_request(
         headers,
         body,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    /// A port nothing listens on: bind, note the port, drop the
+    /// listener. (The OS won't reassign it to another process within
+    /// the test's lifetime often enough to matter, and a refused
+    /// connection is exactly what we want either way.)
+    fn dead_addr() -> String {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        addr
+    }
+
+    #[test]
+    fn refused_connection_retries_then_reports() {
+        let addr = dead_addr();
+        let opts = ClientOpts {
+            connect_retries: 2,
+            ..ClientOpts::default()
+        };
+        let start = Instant::now();
+        let err = http_request_opts(&addr, "GET", "/healthz", b"", &opts).unwrap_err();
+        assert!(err.contains("connect"), "{err}");
+        // 2 retries at 10ms + 20ms deterministic backoff.
+        assert!(start.elapsed() >= Duration::from_millis(30), "{err}");
+    }
+
+    #[test]
+    fn zero_retry_budget_fails_fast() {
+        let addr = dead_addr();
+        let opts = ClientOpts {
+            connect_retries: 0,
+            ..ClientOpts::default()
+        };
+        let start = Instant::now();
+        assert!(http_request_opts(&addr, "GET", "/", b"", &opts).is_err());
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "no backoff sleeps"
+        );
+    }
+
+    #[test]
+    fn unresolvable_host_is_an_error_not_a_panic() {
+        let err = http_request_opts(
+            "no-such-host.invalid:1",
+            "GET",
+            "/",
+            b"",
+            &ClientOpts::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("resolve") || err.contains("connect"), "{err}");
+    }
 }

@@ -1,5 +1,5 @@
 //! The job manager: a bounded queue of submitted sweeps drained by one
-//! runner thread onto the core [`Engine`].
+//! runner thread onto the core engine.
 //!
 //! One runner on purpose: each sweep already fans out across the
 //! engine's worker pool (`jobs` in the spec), so running jobs serially
@@ -20,8 +20,26 @@ use crate::store::{JobRecord, JobState, ResultStore};
 use mpstream_core::cli::{self, CliRequest};
 use mpstream_core::{CancelToken, Checkpoint};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+/// A pluggable job execution strategy. Runs one job to completion and
+/// returns `Ok(Some(report))` when finished, `Ok(None)` when the token
+/// cancelled it mid-run (the manager then decides cancelled-vs-requeue),
+/// or `Err` on hard failure. The default executes on the in-process
+/// engine (`JobManager::execute_local`); the cluster coordinator
+/// installs a shard-dispatching executor instead.
+pub type JobExecutor =
+    Arc<dyn Fn(&JobRecord, &CancelToken) -> Result<Option<String>, String> + Send + Sync>;
+
+/// Newtype so `JobManager` can keep deriving `Debug`.
+struct Exec(JobExecutor);
+
+impl std::fmt::Debug for Exec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JobExecutor")
+    }
+}
 
 /// Why a submit was refused.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +77,7 @@ pub struct JobManager {
     capacity: usize,
     inner: Mutex<Inner>,
     wake: Condvar,
+    executor: OnceLock<Exec>,
 }
 
 impl JobManager {
@@ -78,12 +97,25 @@ impl JobManager {
             capacity: capacity.max(1),
             inner: Mutex::new(inner),
             wake: Condvar::new(),
+            executor: OnceLock::new(),
         })
     }
 
     /// The backing store.
     pub fn store(&self) -> &Arc<ResultStore> {
         &self.store
+    }
+
+    /// The metrics registry jobs are accounted against.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Replace the local-engine execution path with a custom
+    /// [`JobExecutor`]. First caller wins; later calls are ignored.
+    /// Install before [`spawn_runner`](Self::spawn_runner).
+    pub fn set_executor(&self, exec: JobExecutor) {
+        let _ = self.executor.set(Exec(exec));
     }
 
     /// Jobs currently waiting.
@@ -247,15 +279,18 @@ impl JobManager {
         }
     }
 
+    /// Run `rec` through the installed executor (or the local engine)
+    /// and record its terminal state.
     fn execute(&self, rec: &JobRecord, token: &CancelToken) -> Result<(), String> {
-        let req: CliRequest = spec::spec_to_request(&rec.spec)?;
-        let engine = cli::build_engine(&req, None).with_cancel(Some(token.clone()));
-        let ckpt = Checkpoint::resume(self.store.checkpoint_path(rec.id))
-            .map_err(|e| format!("checkpoint: {e}"))?;
-        let result = cli::run_sweep(&engine, &req, Some(&ckpt));
-        self.metrics.absorb_sweep(&result);
+        let report = match self.executor.get() {
+            Some(Exec(exec)) => exec(rec, token)?,
+            None => self.execute_local(rec, token)?,
+        };
 
-        if token.is_cancelled() {
+        let Some(report) = report else {
+            // Cancelled mid-run. A user cancel converges to Cancelled;
+            // a shutdown drain re-queues for the next start — finished
+            // points are already in the store either way.
             let user_cancelled = {
                 let inner = self.inner.lock().expect("jobs mutex poisoned");
                 inner
@@ -267,7 +302,6 @@ impl JobManager {
                 Metrics::inc(&self.metrics.jobs_cancelled);
                 JobState::Cancelled
             } else {
-                // Shutdown drain: back to the queue for the next start.
                 JobState::Queued
             };
             self.store
@@ -277,9 +311,8 @@ impl JobManager {
                 })
                 .map_err(|e| e.to_string())?;
             return Ok(());
-        }
+        };
 
-        let report = cli::render_sweep_report(&req, &result);
         self.store
             .write_report(rec.id, &report)
             .map_err(|e| format!("report: {e}"))?;
@@ -291,6 +324,25 @@ impl JobManager {
             .map_err(|e| e.to_string())?;
         Metrics::inc(&self.metrics.jobs_completed);
         Ok(())
+    }
+
+    /// The default execution path: the in-process engine, resuming from
+    /// the job's checkpoint. `None` when the token fired mid-run.
+    fn execute_local(
+        &self,
+        rec: &JobRecord,
+        token: &CancelToken,
+    ) -> Result<Option<String>, String> {
+        let req: CliRequest = spec::spec_to_request(&rec.spec)?;
+        let engine = cli::build_engine(&req, None).with_cancel(Some(token.clone()));
+        let ckpt = Checkpoint::resume(self.store.checkpoint_path(rec.id))
+            .map_err(|e| format!("checkpoint: {e}"))?;
+        let result = cli::run_sweep(&engine, &req, Some(&ckpt));
+        self.metrics.absorb_sweep(&result);
+        if token.is_cancelled() {
+            return Ok(None);
+        }
+        Ok(Some(cli::render_sweep_report(&req, &result)))
     }
 }
 

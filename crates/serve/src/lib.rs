@@ -34,7 +34,7 @@ pub mod spec;
 pub mod store;
 
 pub use cli::{is_serve_command, parse_serve_args, run_client, run_server, ServeCommand, USAGE};
-pub use jobs::JobManager;
+pub use jobs::{JobExecutor, JobManager};
 pub use metrics::Metrics;
-pub use server::{ServeOpts, Server};
+pub use server::{RouteHook, ServeOpts, Server};
 pub use store::{JobRecord, JobState, ResultStore};

@@ -10,11 +10,30 @@
 use mpstream_core::sweep::SweepResult;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Extra exposition text appended to every scrape. The callback writes
+/// complete `# HELP`/`# TYPE`/sample stanzas; the cluster coordinator
+/// uses this to publish its worker/shard gauges without the base
+/// daemon knowing they exist.
+pub type ExtraRenderer = Box<dyn Fn(&mut String) + Send + Sync>;
+
+/// Newtype so `Metrics` can keep deriving `Debug` (a `dyn Fn` has no
+/// useful debug form).
+struct Extra(ExtraRenderer);
+
+impl std::fmt::Debug for Extra {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ExtraRenderer")
+    }
+}
 
 /// All counters. Every field is monotonic except `queue_depth` and
 /// `jobs_running`, which are gauges.
 #[derive(Debug, Default)]
 pub struct Metrics {
+    /// Optional scrape-time extension (set at most once).
+    extra: OnceLock<Extra>,
     /// HTTP requests parsed (any method/path).
     pub http_requests: AtomicU64,
     /// Requests answered 4xx (parse errors, unknown routes).
@@ -69,6 +88,12 @@ impl Metrics {
     /// Set a gauge.
     pub fn set(gauge: &AtomicU64, n: u64) {
         gauge.store(n, Ordering::Relaxed);
+    }
+
+    /// Install a renderer appended to every scrape. First caller wins;
+    /// later calls are ignored (one extension per daemon).
+    pub fn set_extra_renderer(&self, f: ExtraRenderer) {
+        let _ = self.extra.set(Extra(f));
     }
 
     /// Fold one finished job's sweep counters in. Points the engine
@@ -215,6 +240,9 @@ impl Metrics {
             "Faults injected by attached fault plans.",
             get(&self.faults_injected),
         );
+        if let Some(Extra(f)) = self.extra.get() {
+            f(&mut out);
+        }
         out
     }
 }
@@ -242,5 +270,16 @@ mod tests {
                 "sample for {name}"
             );
         }
+    }
+
+    #[test]
+    fn extra_renderer_appends_once_first_install_wins() {
+        let m = Metrics::default();
+        assert!(!m.render_prometheus().contains("extra_gauge"));
+        m.set_extra_renderer(Box::new(|out| out.push_str("extra_gauge 7\n")));
+        m.set_extra_renderer(Box::new(|out| out.push_str("loser_gauge 0\n")));
+        let text = m.render_prometheus();
+        assert!(text.ends_with("extra_gauge 7\n"), "{text}");
+        assert!(!text.contains("loser_gauge"));
     }
 }

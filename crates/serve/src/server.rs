@@ -22,8 +22,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
+
+/// A pluggable route consulted *before* the built-in API. Returning
+/// `None` falls through to the standard routes. The cluster coordinator
+/// registers its `/register`, `/lease`, `/heartbeat` and `/complete`
+/// endpoints through this without the base daemon knowing about them.
+pub type RouteHook = Arc<dyn Fn(&Request) -> Option<Response> + Send + Sync>;
 
 /// Server configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +74,7 @@ impl ShutdownHandle {
 struct Shared {
     manager: Arc<JobManager>,
     metrics: Arc<Metrics>,
+    hook: OnceLock<RouteHook>,
 }
 
 /// A bound (not yet running) server.
@@ -87,7 +94,11 @@ impl Server {
         let listener = TcpListener::bind(&opts.addr)?;
         Ok(Server {
             listener,
-            shared: Arc::new(Shared { manager, metrics }),
+            shared: Arc::new(Shared {
+                manager,
+                metrics,
+                hook: OnceLock::new(),
+            }),
             shutdown: Arc::new(AtomicBool::new(false)),
             opts,
         })
@@ -101,6 +112,22 @@ impl Server {
     /// The store behind this server.
     pub fn store(&self) -> Arc<ResultStore> {
         Arc::clone(self.shared.manager.store())
+    }
+
+    /// The daemon's metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// The job manager.
+    pub fn manager(&self) -> Arc<JobManager> {
+        Arc::clone(&self.shared.manager)
+    }
+
+    /// Install a [`RouteHook`] consulted before the built-in routes.
+    /// First caller wins; later calls are ignored.
+    pub fn set_route_hook(&self, hook: RouteHook) {
+        let _ = self.shared.hook.set(hook);
     }
 
     /// A handle that can stop [`run`](Self::run) from another thread.
@@ -258,6 +285,11 @@ fn job_status_line(rec: &crate::store::JobRecord, done: usize) -> String {
 
 /// Dispatch one parsed request.
 fn route(req: &Request, shared: &Arc<Shared>) -> Response {
+    if let Some(hook) = shared.hook.get() {
+        if let Some(resp) = hook(req) {
+            return resp;
+        }
+    }
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     let manager = &shared.manager;
     match (req.method.as_str(), segments.as_slice()) {

@@ -22,7 +22,7 @@ use mpstream_core::json::{compact_jsonl, parse_flat_object, CompactStats, JsonLi
 use mpstream_core::Checkpoint;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -133,6 +133,79 @@ pub struct StartupStats {
     pub compaction: CompactStats,
 }
 
+/// One indexed checkpoint record: the pre-lowered match fields plus the
+/// stored line, so a query touches no file and re-parses nothing.
+#[derive(Debug)]
+struct IndexEntry {
+    /// `device` field, lowercased ("" when absent/non-string).
+    device: String,
+    /// `key` field, lowercased ("" when absent/non-string).
+    key: String,
+    /// The raw stored line.
+    line: String,
+}
+
+/// Per-job query index over a checkpoint file, kept in step with the
+/// file by byte offset: a sync reads only the appended suffix.
+#[derive(Debug, Default)]
+struct JobIndex {
+    /// Bytes of the checkpoint already folded into `entries`.
+    offset: u64,
+    /// Parseable records in file order.
+    entries: Vec<IndexEntry>,
+}
+
+/// Fold any bytes appended to `path` since the last sync into `ji`. A
+/// shrunken file (startup compaction ran, or a merge compacted it)
+/// resets and rebuilds. An unterminated tail line is *deferred*, not
+/// indexed — every writer appends whole `writeln!`-terminated lines, so
+/// a missing newline means the record is still in flight.
+fn sync_index(path: &Path, ji: &mut JobIndex) {
+    let Ok(mut f) = File::open(path) else {
+        ji.offset = 0;
+        ji.entries.clear();
+        return;
+    };
+    let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+    if len < ji.offset {
+        ji.offset = 0;
+        ji.entries.clear();
+    }
+    if len == ji.offset || f.seek(SeekFrom::Start(ji.offset)).is_err() {
+        return;
+    }
+    let mut reader = BufReader::new(f);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if !line.ends_with('\n') {
+                    break;
+                }
+                ji.offset += n as u64;
+                let trimmed = line.trim_end();
+                if let Some(obj) = parse_flat_object(trimmed) {
+                    if obj.contains_key("key") {
+                        let field = |k: &str| {
+                            obj.get(k)
+                                .and_then(|v| v.as_str())
+                                .unwrap_or("")
+                                .to_lowercase()
+                        };
+                        ji.entries.push(IndexEntry {
+                            device: field("device"),
+                            key: field("key"),
+                            line: trimmed.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The store handle. All mutation goes through the journal append lock,
 /// so concurrent HTTP readers see a consistent view.
 #[derive(Debug)]
@@ -140,6 +213,12 @@ pub struct ResultStore {
     dir: PathBuf,
     journal: Mutex<File>,
     jobs: Mutex<HashMap<u64, JobRecord>>,
+    /// Per-job `(device, config-key, op)` query index, built at open
+    /// (post-compaction), advanced on append, lazily re-synced against
+    /// the checkpoint file length on every query — the engine appends
+    /// checkpoints directly, so the index discovers those lines by the
+    /// grown file, reading only the new suffix.
+    index: Mutex<HashMap<u64, JobIndex>>,
     startup: StartupStats,
 }
 
@@ -186,10 +265,20 @@ impl ResultStore {
             .create(true)
             .append(true)
             .open(&journal_path)?;
+
+        // Build the query index over the freshly compacted checkpoints.
+        let mut index = HashMap::new();
+        for id in jobs.keys() {
+            let mut ji = JobIndex::default();
+            sync_index(&dir.join(format!("job-{id}.jsonl")), &mut ji);
+            index.insert(*id, ji);
+        }
+
         Ok(ResultStore {
             dir,
             journal: Mutex::new(journal),
             jobs: Mutex::new(jobs),
+            index: Mutex::new(index),
             startup,
         })
     }
@@ -286,10 +375,66 @@ impl ResultStore {
             .collect()
     }
 
-    /// Query historical results across all jobs. Each returned line is
-    /// the stored checkpoint record with a `job` field spliced in front
-    /// for provenance.
+    /// Append already-rendered checkpoint record lines to a job's
+    /// checkpoint file (one write, one flush) and fold them into the
+    /// query index in the same step. The cluster merge path lands
+    /// worker-shipped shards through this.
+    pub fn append_result_lines(&self, id: u64, lines: &[String]) -> std::io::Result<()> {
+        let path = self.checkpoint_path(id);
+        // Hold the index lock across the write so a concurrent query's
+        // resync cannot interleave with a half-appended batch.
+        let mut index = self.index.lock().expect("store mutex poisoned");
+        let mut f = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut buf = String::new();
+        for line in lines {
+            buf.push_str(line.trim_end());
+            buf.push('\n');
+        }
+        f.write_all(buf.as_bytes())?;
+        f.flush()?;
+        drop(f);
+        sync_index(&path, index.entry(id).or_default());
+        Ok(())
+    }
+
+    /// Query historical results across all jobs, answered from the
+    /// in-memory `(device, config, op)` index (re-synced against each
+    /// checkpoint's appended suffix first). Each returned line is the
+    /// stored checkpoint record with a `job` field spliced in front for
+    /// provenance.
     pub fn query(&self, q: &ResultQuery) -> Vec<String> {
+        let device = q.device.to_lowercase();
+        let config = q.config.to_lowercase();
+        let op = format!("op: {}", q.op.to_lowercase());
+        let mut out = Vec::new();
+        for rec in self.jobs() {
+            if q.job.is_some_and(|id| id != rec.id) {
+                continue;
+            }
+            let mut index = self.index.lock().expect("store mutex poisoned");
+            let ji = index.entry(rec.id).or_default();
+            sync_index(&self.checkpoint_path(rec.id), ji);
+            for e in &ji.entries {
+                if !q.device.is_empty() && !e.device.contains(&device) {
+                    continue;
+                }
+                if !q.config.is_empty() && !e.key.contains(&config) {
+                    continue;
+                }
+                if !q.op.is_empty() && !e.key.contains(&op) {
+                    continue;
+                }
+                // Splice provenance in front: the line is `{...}`.
+                out.push(format!("{{\"job\":{},{}", rec.id, &e.line[1..]));
+            }
+        }
+        out
+    }
+
+    /// The pre-index `query` implementation: a full linear rescan of
+    /// every checkpoint per request. Kept as the reference the indexed
+    /// path is equivalence-tested against.
+    pub fn query_scan(&self, q: &ResultQuery) -> Vec<String> {
         let mut out = Vec::new();
         for rec in self.jobs() {
             if q.job.is_some_and(|id| id != rec.id) {
@@ -443,6 +588,95 @@ mod tests {
         for line in store.query(&ResultQuery::default()) {
             let obj = parse_flat_object(&line).expect("spliced line parses");
             assert!(obj.contains_key("job"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The indexed query path must answer every query with exactly the
+    /// lines the linear rescan finds — including after out-of-band
+    /// appends (the engine writing checkpoints directly) and after
+    /// appends through the store's own API.
+    #[test]
+    fn indexed_query_is_equivalent_to_the_scan_path() {
+        let dir = temp_dir("index-equiv");
+        let store = ResultStore::open(&dir).unwrap();
+        store.record(&sample(1, JobState::Done)).unwrap();
+        store.record(&sample(2, JobState::Running)).unwrap();
+        let rec = |op: &str, n: u32, device: &str| {
+            format!(
+                "{{\"key\":\"KernelConfig {{ op: {op}, n: {n} }}\",\"retries\":0,\
+                 \"status\":\"ok\",\"device\":\"{device}\"}}"
+            )
+        };
+        std::fs::write(
+            store.checkpoint_path(1),
+            format!(
+                "{}\n{}\n",
+                rec("Copy", 1024, "Xeon (sim)"),
+                rec("Triad", 2048, "Xeon (sim)")
+            ),
+        )
+        .unwrap();
+
+        let queries = [
+            ResultQuery::default(),
+            ResultQuery {
+                device: "xeon".into(),
+                ..Default::default()
+            },
+            ResultQuery {
+                op: "triad".into(),
+                ..Default::default()
+            },
+            ResultQuery {
+                config: "N: 2048".into(),
+                ..Default::default()
+            },
+            ResultQuery {
+                job: Some(2),
+                ..Default::default()
+            },
+            ResultQuery {
+                device: "stratix".into(),
+                op: "copy".into(),
+                ..Default::default()
+            },
+        ];
+        for q in &queries {
+            assert_eq!(store.query(q), store.query_scan(q), "{q:?}");
+        }
+
+        // Out-of-band append (what the engine does): the index must
+        // pick the new suffix up on the next query.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(store.checkpoint_path(1))
+                .unwrap();
+            writeln!(f, "{}", rec("Add", 4096, "Stratix V (sim)")).unwrap();
+        }
+        // Append through the store API (what the cluster merge does).
+        store
+            .append_result_lines(2, &[rec("Scale", 512, "Titan (sim)")])
+            .unwrap();
+        // A corrupt torn tail is excluded by both paths.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(store.checkpoint_path(2))
+                .unwrap();
+            write!(f, "{{\"key\":\"torn").unwrap();
+        }
+        for q in &queries {
+            assert_eq!(store.query(q), store.query_scan(q), "after append: {q:?}");
+        }
+        assert_eq!(store.query(&ResultQuery::default()).len(), 4);
+
+        // Reopen rebuilds the index from the compacted files.
+        drop(store);
+        let store = ResultStore::open(&dir).unwrap();
+        for q in &queries {
+            assert_eq!(store.query(q), store.query_scan(q), "after reopen: {q:?}");
         }
         std::fs::remove_dir_all(&dir).ok();
     }

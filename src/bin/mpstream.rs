@@ -8,13 +8,16 @@
 //! mpstream serve --addr 127.0.0.1:8377 --store ./mpstream-store
 //! mpstream submit --kernel triad --vectors 1,2,4,8,16
 //! mpstream status 1 && mpstream fetch 1
+//! mpstream coordinator --addr 127.0.0.1:8377 --shard-points 4
+//! mpstream worker --join 127.0.0.1:8377
 //! mpstream --list-devices
 //! mpstream --show-kernel --target sdaccel --loop nested
 //! ```
 //!
 //! All parsing and execution lives in `mpstream_core::cli` (sweeps and
-//! single runs) and `mpstream_serve::cli` (the daemon and its clients),
-//! both unit-tested; this binary only wires stdin/stdout/exit codes.
+//! single runs), `mpstream_serve::cli` (the daemon and its clients) and
+//! `mpstream_cluster::cli` (the coordinator/worker daemons), all
+//! unit-tested; this binary only wires stdin/stdout/exit codes.
 
 use mpstream_core::cli;
 use std::process::ExitCode;
@@ -52,6 +55,35 @@ fn main() -> ExitCode {
             },
             Err(e) => {
                 eprintln!("error: {e}\n\n{}", mpstream_serve::USAGE);
+                ExitCode::from(2)
+            }
+        };
+    }
+    if mpstream_cluster::is_cluster_command(&args) {
+        return match mpstream_cluster::parse_cluster_args(&args) {
+            Ok(None) => {
+                println!("{}", mpstream_cluster::USAGE);
+                ExitCode::SUCCESS
+            }
+            Ok(Some(cmd)) => {
+                let run = match cmd {
+                    mpstream_cluster::ClusterCommand::Coordinator(opts) => {
+                        mpstream_cluster::run_coordinator(opts)
+                    }
+                    mpstream_cluster::ClusterCommand::Worker(opts) => {
+                        mpstream_cluster::run_worker(opts)
+                    }
+                };
+                match run {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::from(1)
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", mpstream_cluster::USAGE);
                 ExitCode::from(2)
             }
         };

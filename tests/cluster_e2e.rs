@@ -1,0 +1,362 @@
+//! End-to-end tests for the distributed sweep cluster: a 2-worker
+//! cluster's fetched report must be byte-identical to the offline CLI,
+//! a worker that dies holding a lease must not stall the sweep or
+//! duplicate results (its shard is re-leased and the re-lease is
+//! visible in /metrics), the merge must be exactly-once under
+//! duplicate deliveries, and a restarted coordinator must remember its
+//! merged shards from the journal.
+
+use mpstream_cluster::shard::MergedShard;
+use mpstream_cluster::{Coordinator, CoordinatorOpts, ShardCounters, Worker, WorkerOpts};
+use mpstream_core::checkpoint;
+use mpstream_core::cli as core_cli;
+use mpstream_core::json::parse_flat_object;
+use mpstream_serve::client::http_request;
+use mpstream_serve::spec::request_to_spec;
+use mpstream_serve::ServeOpts;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static UNIQ: AtomicU64 = AtomicU64::new(0);
+    let n = UNIQ.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("mpstream-cluster-{tag}-{}-{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Bind a coordinator on a free port over `dir` and run it on a
+/// thread. Returns `(addr, shutdown handle, join handle)`.
+fn start_coordinator(
+    dir: &Path,
+    lease: Duration,
+    shard_points: usize,
+) -> (
+    String,
+    mpstream_serve::server::ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let coordinator = Coordinator::bind(CoordinatorOpts {
+        serve: ServeOpts {
+            addr: "127.0.0.1:0".into(),
+            store_dir: dir.to_path_buf(),
+            http_workers: 2,
+            queue_capacity: 4,
+        },
+        lease,
+        shard_points,
+    })
+    .unwrap();
+    let addr = coordinator.local_addr().unwrap().to_string();
+    let handle = coordinator.shutdown_handle().unwrap();
+    let join = std::thread::spawn(move || coordinator.run());
+    (addr, handle, join)
+}
+
+/// Bind an in-process worker joined to `addr` and run it on a thread.
+fn start_worker(
+    join_addr: &str,
+    dir: &Path,
+) -> (
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let worker = Worker::bind(WorkerOpts {
+        join: join_addr.to_string(),
+        serve: ServeOpts {
+            addr: "127.0.0.1:0".into(),
+            store_dir: dir.to_path_buf(),
+            http_workers: 2,
+            queue_capacity: 4,
+        },
+        poll: Duration::from_millis(25),
+        trace: None,
+    })
+    .unwrap();
+    let stop = worker.stop_flag();
+    let join = std::thread::spawn(move || worker.run());
+    (stop, join)
+}
+
+fn sweep_request(args: &[&str]) -> core_cli::CliRequest {
+    let mut argv = vec!["sweep".to_string()];
+    argv.extend(args.iter().map(|s| s.to_string()));
+    core_cli::parse_args(&argv).unwrap().unwrap()
+}
+
+/// The deterministic quick sweep both byte-identity tests use:
+/// `--jobs 1` keeps the build-cache column a pure function of the
+/// config order, on workers exactly as offline.
+const SWEEP_ARGS: [&str; 12] = [
+    "--kernel",
+    "copy",
+    "--kernel",
+    "triad",
+    "--size",
+    "131072",
+    "--vectors",
+    "1,2,4,8",
+    "--ntimes",
+    "1",
+    "--jobs",
+    "1",
+];
+
+fn submit(addr: &str, spec: &str) -> u64 {
+    let reply = http_request(addr, "POST", "/jobs", spec.as_bytes()).unwrap();
+    assert_eq!(reply.status, 202, "{}", reply.text());
+    parse_flat_object(reply.text().trim())
+        .and_then(|o| o.get("id")?.as_u64())
+        .expect("submit reply has an id")
+}
+
+fn poll_done(addr: &str, id: u64, what: &str) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let reply = http_request(addr, "GET", &format!("/jobs/{id}"), b"").unwrap();
+        assert_eq!(reply.status, 200, "{}", reply.text());
+        let obj = parse_flat_object(reply.text().trim()).unwrap();
+        let state = obj
+            .get("state")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .to_string();
+        assert_ne!(state, "failed", "job failed: {}", reply.text());
+        if state == "done" {
+            return obj.get("done").and_then(|v| v.as_u64()).unwrap_or(0);
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn fetch_report(addr: &str, id: u64) -> String {
+    let reply = http_request(addr, "GET", &format!("/jobs/{id}/report"), b"").unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.text());
+    reply.text()
+}
+
+/// The value of a bare (unlabelled) metric in Prometheus exposition.
+fn metric_value(metrics_text: &str, name: &str) -> u64 {
+    metrics_text
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} not found:\n{metrics_text}"))
+}
+
+/// Two workers, one coordinator: the fetched report must be the exact
+/// bytes the offline CLI prints, and the cluster gauges must account
+/// every shard exactly once.
+#[test]
+fn two_worker_cluster_report_is_byte_identical_to_offline_cli() {
+    let req = sweep_request(&SWEEP_ARGS);
+    let offline = core_cli::execute(&req).unwrap();
+    let total = core_cli::sweep_param_space(&req).configs().len();
+
+    let dir = temp_dir("identical");
+    let (addr, handle, join) = start_coordinator(&dir, Duration::from_secs(5), 3);
+    let (stop_a, join_a) = start_worker(&addr, &dir.join("worker-a"));
+    let (stop_b, join_b) = start_worker(&addr, &dir.join("worker-b"));
+
+    let id = submit(&addr, &request_to_spec(&req).unwrap());
+    let done = poll_done(&addr, id, "cluster job done");
+    assert_eq!(done as usize, total);
+    assert_eq!(
+        fetch_report(&addr, id),
+        offline,
+        "cluster report differs from offline CLI"
+    );
+
+    // 8 configs in shards of 3 -> 3 shards, each merged exactly once.
+    let metrics = http_request(&addr, "GET", "/metrics", b"").unwrap().text();
+    assert_eq!(
+        metric_value(&metrics, "mpstream_cluster_shards_merged_total"),
+        3
+    );
+    assert_eq!(metric_value(&metrics, "mpstream_cluster_shards_queued"), 0);
+    assert_eq!(metric_value(&metrics, "mpstream_cluster_workers_live"), 2);
+    assert_eq!(
+        metric_value(&metrics, "mpstream_points_executed_total"),
+        total as u64
+    );
+
+    // The merged checkpoint holds each config once (compaction after
+    // the merge found nothing to supersede).
+    let stats = checkpoint::Checkpoint::compact(dir.join(format!("job-{id}.jsonl"))).unwrap();
+    assert_eq!(stats.kept, total);
+    assert_eq!(stats.superseded, 0, "a shard was double-merged");
+
+    stop_a.store(true, Ordering::Release);
+    stop_b.store(true, Ordering::Release);
+    join_a.join().unwrap().unwrap();
+    join_b.join().unwrap().unwrap();
+    handle.trigger();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A worker that leases a shard and dies (registered over raw HTTP,
+/// never heartbeats, never completes) must not stall the sweep: its
+/// lease expires, the shard is re-leased to live workers, the re-lease
+/// count lands in /metrics, and the report is still byte-identical.
+#[test]
+fn dead_worker_shard_is_released_without_duplicating_results() {
+    let req = sweep_request(&SWEEP_ARGS);
+    let offline = core_cli::execute(&req).unwrap();
+    let total = core_cli::sweep_param_space(&req).configs().len();
+
+    let dir = temp_dir("dead-worker");
+    let (addr, handle, join) = start_coordinator(&dir, Duration::from_millis(750), 2);
+
+    // The doomed worker registers and grabs the first shard before any
+    // live worker exists, then vanishes.
+    let reply = http_request(&addr, "POST", "/register", b"{\"addr\":\"\"}").unwrap();
+    assert_eq!(reply.status, 200);
+    let ghost = parse_flat_object(reply.text().trim())
+        .and_then(|o| o.get("worker")?.as_u64())
+        .unwrap();
+    let id = submit(&addr, &request_to_spec(&req).unwrap());
+    let lease_body = format!("{{\"worker\":{ghost}}}");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let reply = http_request(&addr, "POST", "/lease", lease_body.as_bytes()).unwrap();
+        if reply.status == 200 {
+            break;
+        }
+        assert_eq!(reply.status, 204, "{}", reply.text());
+        assert!(Instant::now() < deadline, "ghost worker never got a lease");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let (stop_a, join_a) = start_worker(&addr, &dir.join("worker-a"));
+    let (stop_b, join_b) = start_worker(&addr, &dir.join("worker-b"));
+    let done = poll_done(&addr, id, "job done despite a dead worker");
+    assert_eq!(done as usize, total);
+    assert_eq!(
+        fetch_report(&addr, id),
+        offline,
+        "report differs after a shard re-lease"
+    );
+
+    let metrics = http_request(&addr, "GET", "/metrics", b"").unwrap().text();
+    assert!(
+        metric_value(&metrics, "mpstream_cluster_shard_releases_total") >= 1,
+        "expected at least one re-lease:\n{metrics}"
+    );
+    assert!(
+        metric_value(&metrics, "mpstream_cluster_workers_lost") >= 1,
+        "the ghost worker should be marked lost:\n{metrics}"
+    );
+
+    // Exactly-once despite the re-lease: each config appears once.
+    let stats = checkpoint::Checkpoint::compact(dir.join(format!("job-{id}.jsonl"))).unwrap();
+    assert_eq!(stats.kept, total);
+    assert_eq!(stats.superseded, 0, "a re-leased shard was double-merged");
+
+    stop_a.store(true, Ordering::Release);
+    stop_b.store(true, Ordering::Release);
+    join_a.join().unwrap().unwrap();
+    join_b.join().unwrap().unwrap();
+    handle.trigger();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Drive the wire protocol by hand: a duplicate `/complete` for an
+/// already-merged shard must be refused, and a restarted coordinator
+/// must replay the shard journal (merged shards survive restarts).
+#[test]
+fn duplicate_complete_is_refused_and_journal_survives_restart() {
+    let req = sweep_request(&SWEEP_ARGS);
+    let engine = core_cli::build_engine(&req, None);
+    let offline = core_cli::run_sweep(&engine, &req, None);
+    let report = core_cli::render_sweep_report(&req, &offline);
+    let total = offline.points.len();
+
+    let dir = temp_dir("dup");
+    // One shard covers the whole sweep.
+    let (addr, handle, join) = start_coordinator(&dir, Duration::from_secs(30), total);
+
+    let reply = http_request(&addr, "POST", "/register", b"{\"addr\":\"\"}").unwrap();
+    let me = parse_flat_object(reply.text().trim())
+        .and_then(|o| o.get("worker")?.as_u64())
+        .unwrap();
+    let id = submit(&addr, &request_to_spec(&req).unwrap());
+
+    // Claim the single shard.
+    let lease_body = format!("{{\"worker\":{me}}}");
+    let lease = {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let reply = http_request(&addr, "POST", "/lease", lease_body.as_bytes()).unwrap();
+            if reply.status == 200 {
+                break mpstream_cluster::Lease::parse(reply.text().trim()).unwrap();
+            }
+            assert!(Instant::now() < deadline, "never got the shard lease");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+    assert_eq!((lease.start, lease.end), (0, total));
+
+    // Deliver the offline outcomes as the shard's results.
+    let header = MergedShard {
+        shard: lease.shard.clone(),
+        job: id,
+        start: lease.start,
+        end: lease.end,
+        counters: ShardCounters {
+            cache_hits: offline.cache.hits,
+            cache_misses: offline.cache.misses,
+            retries: offline.retry.retries,
+            transient_errors: offline.retry.transient_errors,
+            gave_up: offline.retry.gave_up,
+            panics_isolated: offline.retry.panics_isolated,
+            fault_build: offline.faults.build,
+            fault_timeout: offline.faults.timeout,
+            fault_device_lost: offline.faults.device_lost,
+            fault_bit_flip: offline.faults.bit_flip,
+        },
+    };
+    let mut body = header.render();
+    body.push('\n');
+    for point in &offline.points {
+        body.push_str(&checkpoint::render_record(point));
+        body.push('\n');
+    }
+    let first = http_request(&addr, "POST", "/complete", body.as_bytes()).unwrap();
+    assert_eq!(first.status, 200);
+    assert!(first.text().contains("\"merged\":true"), "{}", first.text());
+
+    let second = http_request(&addr, "POST", "/complete", body.as_bytes()).unwrap();
+    assert_eq!(second.status, 200);
+    assert!(
+        second.text().contains("\"merged\":false"),
+        "duplicate delivery was merged twice: {}",
+        second.text()
+    );
+
+    let done = poll_done(&addr, id, "manually-completed job done");
+    assert_eq!(done as usize, total);
+    assert_eq!(fetch_report(&addr, id), report);
+
+    // Restart the coordinator over the same store: the journal replay
+    // must remember the merged shard and the report must still serve.
+    handle.trigger();
+    join.join().unwrap().unwrap();
+    let (addr, handle, join) = start_coordinator(&dir, Duration::from_secs(30), total);
+    let metrics = http_request(&addr, "GET", "/metrics", b"").unwrap().text();
+    assert_eq!(
+        metric_value(&metrics, "mpstream_cluster_shards_merged_total"),
+        1,
+        "journal replay lost the merged shard"
+    );
+    assert_eq!(fetch_report(&addr, id), report);
+
+    handle.trigger();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -357,3 +357,114 @@ fn transient_build_failures_do_not_poison_the_cache() {
         assert_eq!(a.gbps(), b.gbps());
     }
 }
+
+#[test]
+fn compact_keeps_the_complete_record_under_a_torn_newer_tail() {
+    // A re-run that started overwriting an already-checkpointed config
+    // and died mid-line (the cluster's re-leased-shard shape: the same
+    // key appended again, torn at the tail). Compaction must keep the
+    // complete pre-compaction record and count the torn line corrupt —
+    // never let a half-written duplicate supersede good data.
+    let space = cpu_space();
+    let path = temp_path("compact-torn");
+    {
+        let ckpt = Checkpoint::create(&path).unwrap();
+        let first = sweep_space_checkpointed(
+            &Engine::with_jobs(2),
+            TargetId::Cpu,
+            &space,
+            protocol,
+            &ckpt,
+        );
+        assert_eq!(first.failures(), 0);
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    let first_line = text.lines().next().unwrap().to_string();
+    assert!(mpstream_core::checkpoint::parse_record(&first_line).is_some());
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        // No trailing newline: the write was cut off mid-record.
+        write!(f, "{}", &first_line[..first_line.len() - 7]).unwrap();
+    }
+
+    let stats = Checkpoint::compact(&path).unwrap();
+    assert_eq!(stats.kept, space.configs().len());
+    assert_eq!(
+        stats.superseded, 0,
+        "a torn line must not supersede the complete record"
+    );
+    assert_eq!(stats.corrupt, 1);
+
+    // The survivor for that key is the complete original, and the
+    // compacted file loads in full.
+    let compacted = std::fs::read_to_string(&path).unwrap();
+    assert!(compacted.lines().any(|l| l == first_line));
+    let ckpt = Checkpoint::resume(&path).unwrap();
+    assert_eq!(ckpt.len(), space.configs().len());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn compaction_racing_a_concurrent_appender_loses_no_prior_records() {
+    // Compact the checkpoint repeatedly while another thread appends
+    // fresh records through its own handle. Compaction swaps the file
+    // via temp-file + atomic rename, so an append can land on the
+    // superseded inode and vanish — that is acceptable for in-flight
+    // writes. What must hold: every record present before the race
+    // survives byte-for-byte, and the file never parses dirty.
+    let partial = cpu_space().widths([1, 2]);
+    let rest = cpu_space().widths([4, 8]);
+    let path = temp_path("compact-race");
+    let first = {
+        let ckpt = Checkpoint::create(&path).unwrap();
+        sweep_space_checkpointed(
+            &Engine::with_jobs(2),
+            TargetId::Cpu,
+            &partial,
+            protocol,
+            &ckpt,
+        )
+    };
+    assert_eq!(first.failures(), 0);
+    let fresh = sweep_space(&Engine::with_jobs(2), TargetId::Cpu, &rest, protocol);
+
+    let appender = {
+        let path = path.clone();
+        let outcomes = fresh.points.clone();
+        std::thread::spawn(move || {
+            let ckpt = Checkpoint::resume(&path).unwrap();
+            for outcome in &outcomes {
+                ckpt.record(outcome).unwrap();
+            }
+        })
+    };
+    for _ in 0..50 {
+        Checkpoint::compact(&path).unwrap();
+    }
+    appender.join().unwrap();
+
+    // Every pre-race record survived, with its measurement intact.
+    let ckpt = Checkpoint::resume(&path).unwrap();
+    assert!(ckpt.len() >= partial.configs().len());
+    for point in &first.points {
+        let stored = ckpt
+            .lookup(&point.config)
+            .unwrap_or_else(|| panic!("pre-compaction record lost: {:?}", point.config));
+        assert_eq!(stored.gbps(), point.gbps(), "record mutated by the race");
+    }
+    // And whatever the rename race left behind parses cleanly.
+    for line in std::fs::read_to_string(&path).unwrap().lines() {
+        assert!(
+            mpstream_core::checkpoint::parse_record(line).is_some(),
+            "corrupt line after racing compaction: {line:?}"
+        );
+    }
+    let stats = Checkpoint::compact(&path).unwrap();
+    assert_eq!(stats.superseded, 0);
+    assert_eq!(stats.corrupt, 0);
+    std::fs::remove_file(&path).ok();
+}
