@@ -421,6 +421,21 @@ impl Cluster {
     /// merged [`SweepResult`] once every shard has landed.
     fn execute(&self, rec: &JobRecord, token: &CancelToken) -> Result<Option<String>, String> {
         let req = spec::spec_to_request(&rec.spec)?;
+        if req.mode == core_cli::CliMode::Dse {
+            // An iterative search cannot be pre-sharded — each batch
+            // depends on the previous one's measurements — so DSE jobs
+            // run on the coordinator's own engine, checkpointed in the
+            // same store the sharded path merges into.
+            let engine = core_cli::build_engine(&req, None).with_cancel(Some(token.clone()));
+            let ckpt = Checkpoint::resume(self.store.checkpoint_path(rec.id))
+                .map_err(|e| format!("checkpoint: {e}"))?;
+            let result = core_cli::run_dse(&engine, &req, Some(&ckpt));
+            self.metrics.absorb_dse(&result);
+            if token.is_cancelled() {
+                return Ok(None);
+            }
+            return Ok(Some(core_cli::render_dse_report(&req, &result)));
+        }
         let space = core_cli::sweep_param_space(&req);
         let configs = space.configs();
         let plans = shard::plan(

@@ -23,15 +23,68 @@ use std::sync::Arc;
 use std::time::Duration;
 use targets::TargetId;
 
-/// What the request asks for: a one-shot benchmark run or a sweep over
-/// vector widths and unroll factors.
+/// What the request asks for: a one-shot benchmark run, a sweep over
+/// vector widths and unroll factors, or an automated search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CliMode {
     /// Run each requested kernel once at the given tuning point.
     Run,
     /// Sweep the cartesian product of `--vectors` x `--unrolls`.
     Sweep,
+    /// Search the same product (all loop modes) with a `--strategy`
+    /// instead of exhaustively, reporting best-config and Pareto front.
+    Dse,
 }
+
+/// The search strategy a `dse` request names (`--strategy`). Each maps
+/// to one of the [`crate::dse::Strategy`] implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DseStrategy {
+    /// Exhaustive grid — every point, like a sweep.
+    Grid,
+    /// Seeded uniform random sample.
+    Random,
+    /// Steepest-ascent hill climbing with random restarts.
+    Hill,
+    /// Simulated annealing.
+    Anneal,
+    /// Genetic search (tournament selection + one-dim mutation).
+    Genetic,
+    /// Surrogate-model search (ridge regression over kernel features).
+    Model,
+}
+
+impl DseStrategy {
+    /// The `--strategy` spelling of this variant.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DseStrategy::Grid => "grid",
+            DseStrategy::Random => "random",
+            DseStrategy::Hill => "hill",
+            DseStrategy::Anneal => "anneal",
+            DseStrategy::Genetic => "genetic",
+            DseStrategy::Model => "model",
+        }
+    }
+
+    /// Parse a `--strategy` value.
+    pub fn from_label(s: &str) -> Option<DseStrategy> {
+        Some(match s {
+            "grid" => DseStrategy::Grid,
+            "random" => DseStrategy::Random,
+            "hill" => DseStrategy::Hill,
+            "anneal" => DseStrategy::Anneal,
+            "genetic" => DseStrategy::Genetic,
+            "model" => DseStrategy::Model,
+            _ => return None,
+        })
+    }
+}
+
+/// The `--dse-seed` default: searches are deterministic even when no
+/// seed is given. (42 is also the seed the CI smoke job's quality bound
+/// is pinned against.)
+pub const DEFAULT_DSE_SEED: u64 = 42;
 
 /// A parsed command-line request.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +135,13 @@ pub struct CliRequest {
     pub retries: Option<u32>,
     /// Per-config deadline bounding retries, in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Search strategy for the `dse` subcommand.
+    pub strategy: DseStrategy,
+    /// Evaluation budget for the `dse` subcommand (`None` picks a
+    /// strategy-appropriate default; see [`dse_budget`]).
+    pub budget: Option<usize>,
+    /// Seed for the `dse` search (default [`DEFAULT_DSE_SEED`]).
+    pub dse_seed: Option<u64>,
     /// Record finished sweep points to this JSONL checkpoint file.
     pub checkpoint: Option<PathBuf>,
     /// Skip sweep points already present in `--checkpoint`.
@@ -114,6 +174,9 @@ impl Default for CliRequest {
             fault_seed: None,
             retries: None,
             deadline_ms: None,
+            strategy: DseStrategy::Model,
+            budget: None,
+            dse_seed: None,
             checkpoint: None,
             resume: false,
             trace: None,
@@ -123,9 +186,13 @@ impl Default for CliRequest {
 
 /// The usage string printed on `--help` or a parse error.
 pub const USAGE: &str = "\
-usage: mpstream [sweep] [options]
+usage: mpstream [sweep|dse] [options]
   sweep                             sweep --vectors x --unrolls instead of
                                     running each kernel once
+  dse                               search the sweep space (all loop modes)
+                                    with --strategy instead of exhaustively,
+                                    reporting the best config and the
+                                    bandwidth-vs-logic Pareto front
   --target <aocl|sdaccel|cpu|gpu>   device to run on (default cpu)
   --kernel <copy|scale|add|triad>   kernel (repeatable; default all four)
   --size <N[K|M|G]>                 bytes per array (default 4M)
@@ -158,10 +225,17 @@ usage: mpstream [sweep] [options]
                                     faults (default: MPSTREAM_RETRIES, else 3
                                     when faults are on, else 0)
   --deadline-ms <N>                 per-config deadline bounding retries
-  --checkpoint <path>               sweep mode: record finished points to a
-                                    JSONL file as workers complete
-  --resume                          sweep mode: skip points already in the
-                                    --checkpoint file
+  --strategy <name>                 dse mode: grid|random|hill|anneal|
+                                    genetic|model (default model)
+  --budget <N>                      dse mode: evaluation budget (default:
+                                    the whole space for grid, else
+                                    ~a tenth of it)
+  --dse-seed <N>                    dse mode: search seed, decimal or
+                                    0x-hex (default 42)
+  --checkpoint <path>               sweep/dse mode: record finished points
+                                    to a JSONL file as workers complete
+  --resume                          sweep/dse mode: skip points already in
+                                    the --checkpoint file
   --trace <file>                    write a Chrome trace_event JSON trace
                                     (open with chrome://tracing or Perfetto;
                                     MPSTREAM_TRACE_CANONICAL=1 writes the
@@ -214,10 +288,15 @@ pub fn parse_args(args: &[String]) -> Result<Option<CliRequest>, String> {
     let mut req = CliRequest::default();
     let mut ops: Vec<StreamOp> = Vec::new();
     let mut loop_set = false;
+    let mut strategy_set = false;
     // The optional leading subcommand.
     let args = match args.first().map(String::as_str) {
         Some("sweep") => {
             req.mode = CliMode::Sweep;
+            &args[1..]
+        }
+        Some("dse") => {
+            req.mode = CliMode::Dse;
             &args[1..]
         }
         _ => args,
@@ -350,6 +429,26 @@ pub fn parse_args(args: &[String]) -> Result<Option<CliRequest>, String> {
                 }
                 req.deadline_ms = Some(ms);
             }
+            "--strategy" => {
+                let v = need(&mut it, "--strategy")?;
+                req.strategy =
+                    DseStrategy::from_label(&v).ok_or_else(|| format!("unknown strategy '{v}'"))?;
+                strategy_set = true;
+            }
+            "--budget" => {
+                let n: usize = need(&mut it, "--budget")?
+                    .parse()
+                    .map_err(|_| "invalid --budget".to_string())?;
+                if n == 0 {
+                    return Err("--budget needs at least 1".to_string());
+                }
+                req.budget = Some(n);
+            }
+            "--dse-seed" => {
+                let v = need(&mut it, "--dse-seed")?;
+                req.dse_seed =
+                    Some(parse_u64(&v).ok_or_else(|| format!("invalid --dse-seed '{v}'"))?);
+            }
             "--checkpoint" => req.checkpoint = Some(PathBuf::from(need(&mut it, "--checkpoint")?)),
             "--resume" => req.resume = true,
             "--trace" => req.trace = Some(PathBuf::from(need(&mut it, "--trace")?)),
@@ -362,8 +461,14 @@ pub fn parse_args(args: &[String]) -> Result<Option<CliRequest>, String> {
     if req.resume && req.checkpoint.is_none() {
         return Err("--resume needs --checkpoint <path>".to_string());
     }
-    if req.checkpoint.is_some() && req.mode != CliMode::Sweep {
-        return Err("--checkpoint/--resume only apply to the sweep subcommand".to_string());
+    if req.checkpoint.is_some() && !matches!(req.mode, CliMode::Sweep | CliMode::Dse) {
+        return Err(
+            "--checkpoint/--resume only apply to the sweep and dse subcommands".to_string(),
+        );
+    }
+    if (strategy_set || req.budget.is_some() || req.dse_seed.is_some()) && req.mode != CliMode::Dse
+    {
+        return Err("--strategy/--budget/--dse-seed only apply to the dse subcommand".to_string());
     }
     // FPGAs default to their sensible loop form unless told otherwise.
     if !loop_set && req.target.is_fpga() {
@@ -450,6 +555,9 @@ pub fn execute(req: &CliRequest) -> Result<String, String> {
     }
     if req.mode == CliMode::Sweep {
         return execute_sweep(req);
+    }
+    if req.mode == CliMode::Dse {
+        return execute_dse(req);
     }
 
     let info = Runner::for_target(req.target).device().info().clone();
@@ -617,6 +725,163 @@ fn execute_sweep(req: &CliRequest) -> Result<String, String> {
         None => run_sweep(&engine, req, None),
     };
     let out = render_sweep_report(req, &result);
+    write_trace(req, trace.as_ref())?;
+    Ok(out)
+}
+
+/// The parameter space a `dse` request searches: the sweep product, but
+/// over **all three** loop modes — loop management is one of the
+/// dimensions a search is supposed to settle, not an input.
+pub fn dse_param_space(req: &CliRequest) -> ParamSpace {
+    sweep_param_space(req).loop_modes(LoopMode::ALL)
+}
+
+/// The resolved evaluation budget of a `dse` request over a space of
+/// `space_len` valid points: an explicit `--budget` wins (capped at the
+/// space), grid always covers everything, and the other strategies
+/// default to a tenth of the space (at least 4 points).
+pub fn dse_budget(req: &CliRequest, space_len: usize) -> usize {
+    match (req.budget, req.strategy) {
+        (Some(b), _) => b.min(space_len),
+        (None, DseStrategy::Grid) => space_len,
+        (None, _) => (space_len / 10).max(4).min(space_len),
+    }
+}
+
+/// Build the [`crate::dse::Strategy`] a request names, over `space`.
+pub fn build_strategy(req: &CliRequest, space: &ParamSpace) -> Box<dyn crate::dse::Strategy> {
+    use crate::dse::{
+        AnnealSearch, ExhaustiveSearch, GeneticSearch, HillClimbSearch, ModelSearch, RandomSearch,
+    };
+    let seed = req.dse_seed.unwrap_or(DEFAULT_DSE_SEED);
+    let budget = dse_budget(req, space.configs().len());
+    match req.strategy {
+        DseStrategy::Grid => Box::new(ExhaustiveSearch::new(space)),
+        DseStrategy::Random => Box::new(RandomSearch::new(space, budget, seed)),
+        DseStrategy::Hill => Box::new(HillClimbSearch::new(space, seed)),
+        DseStrategy::Anneal => Box::new(AnnealSearch::new(space, budget, seed, 8.0)),
+        DseStrategy::Genetic => Box::new(GeneticSearch::new(space, budget, seed)),
+        DseStrategy::Model => Box::new(ModelSearch::new(space, budget, seed)),
+    }
+}
+
+/// Run the search a `dse` request describes on an already-built engine,
+/// recording points to `ckpt` when one is given. Factored out of
+/// [`execute`] so the serve daemon can run the same search (same space,
+/// same strategy, same seed) against its own per-job checkpoint and
+/// cancel token.
+pub fn run_dse(
+    engine: &Engine,
+    req: &CliRequest,
+    ckpt: Option<&Checkpoint>,
+) -> crate::dse::DseResult {
+    let space = dse_param_space(req);
+    let n = space.configs().len();
+    let mut strategy = build_strategy(req, &space);
+    let mut result = crate::dse::search_target(
+        engine,
+        req.target,
+        strategy.as_mut(),
+        dse_budget(req, n),
+        |cfg| bench_protocol(req, cfg),
+        ckpt,
+    );
+    result.space_size = n;
+    result
+}
+
+/// Render the DSE report text for a result — the exact bytes the offline
+/// `mpstream dse` prints, byte-identical at any `--jobs`, so a served
+/// job's fetched report can be compared against a local run.
+pub fn render_dse_report(req: &CliRequest, result: &crate::dse::DseResult) -> String {
+    let info = Runner::for_target(req.target).device().info().clone();
+    let mut out = format!(
+        "MP-STREAM dse on {} ({} strategy, evaluated {} of {} points, {} bytes x {:?}, {} repetitions)\n",
+        info.name,
+        result.strategy,
+        result.evaluations(),
+        result.space_size,
+        req.size_bytes,
+        req.dtype,
+        req.ntimes
+    );
+    if result.resumed > 0 || result.failures > 0 || result.cancelled {
+        out.push_str(&format!(
+            "{} resumed, {} failed{}\n",
+            result.resumed,
+            result.failures,
+            if result.cancelled { ", cancelled" } else { "" }
+        ));
+    }
+    out.push('\n');
+
+    let mut t = Table::new(&["config", "GB/s", "logic", "retries", "note"]);
+    for p in &result.trace {
+        let cfg = crate::report::config_label(&p.config);
+        let retries = p.retries.to_string();
+        match &p.result {
+            Ok(m) => t.row(&[
+                cfg,
+                format!("{:.2}", m.gbps()),
+                m.resources
+                    .map(|r| r.logic.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                retries,
+                String::new(),
+            ]),
+            Err(e) => {
+                let mut note = e.to_string().replace('\n', " | ");
+                note.truncate(90);
+                t.row(&[cfg, "-".into(), "-".into(), retries, note])
+            }
+        };
+    }
+    out.push_str(&if req.csv { t.to_csv() } else { t.to_text() });
+
+    if let Some(best) = &result.best {
+        if let Some(gbps) = best.gbps() {
+            let k = &best.config;
+            out.push_str(&format!(
+                "\nbest: {} v{} u{} -> {:.2} GB/s\n",
+                k.op.name(),
+                k.vector_width.get(),
+                k.unroll,
+                gbps
+            ));
+        }
+    }
+
+    let pareto = result.pareto_table();
+    if !pareto.is_empty() {
+        out.push_str("\npareto front (bandwidth vs logic):\n");
+        out.push_str(&if req.csv {
+            pareto.to_csv()
+        } else {
+            pareto.to_text()
+        });
+    }
+    out
+}
+
+/// Execute a `dse` request: build the strategy, drive it through the
+/// engine batch by batch, optionally checkpointed so a killed search can
+/// `--resume` along the same visit order.
+fn execute_dse(req: &CliRequest) -> Result<String, String> {
+    let trace = trace_sink(req);
+    let engine = build_engine(req, trace.clone());
+    let result = match &req.checkpoint {
+        Some(path) => {
+            let ckpt = if req.resume {
+                Checkpoint::resume(path)
+            } else {
+                Checkpoint::create(path)
+            }
+            .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+            run_dse(&engine, req, Some(&ckpt))
+        }
+        None => run_dse(&engine, req, None),
+    };
+    let out = render_dse_report(req, &result);
     write_trace(req, trace.as_ref())?;
     Ok(out)
 }
@@ -884,6 +1149,142 @@ mod tests {
         assert_eq!(plan.expect("plan built").seed(), 7);
         assert_eq!(policy.max_retries, 0);
         assert_eq!(policy.per_config_deadline, None);
+    }
+
+    #[test]
+    fn dse_subcommand_parses_strategy_flags() {
+        let r = parse(&[
+            "dse",
+            "--target",
+            "aocl",
+            "--strategy",
+            "genetic",
+            "--budget",
+            "12",
+            "--dse-seed",
+            "0x5EED",
+            "--checkpoint",
+            "/tmp/dse.jsonl",
+            "--resume",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(r.mode, CliMode::Dse);
+        assert_eq!(r.strategy, DseStrategy::Genetic);
+        assert_eq!(r.budget, Some(12));
+        assert_eq!(r.dse_seed, Some(0x5EED));
+        assert_eq!(r.checkpoint, Some(PathBuf::from("/tmp/dse.jsonl")));
+        assert!(r.resume);
+        // Default strategy is the surrogate model.
+        let d = parse(&["dse"]).unwrap().unwrap();
+        assert_eq!(d.strategy, DseStrategy::Model);
+        assert_eq!(d.budget, None);
+    }
+
+    #[test]
+    fn dse_flag_validation() {
+        assert!(parse(&["dse", "--strategy", "simplex"]).is_err());
+        assert!(parse(&["dse", "--budget", "0"]).is_err());
+        assert!(parse(&["dse", "--dse-seed", "zebra"]).is_err());
+        // dse-only flags are rejected outside the dse subcommand.
+        assert!(parse(&["--strategy", "model"]).is_err());
+        assert!(parse(&["sweep", "--budget", "5"]).is_err());
+        assert!(parse(&["--dse-seed", "1"]).is_err());
+        // But checkpointing works for dse like it does for sweep.
+        assert!(parse(&["dse", "--checkpoint", "/tmp/ck.jsonl"]).is_ok());
+    }
+
+    #[test]
+    fn dse_space_covers_all_loop_modes_and_budget_defaults() {
+        let r = parse(&[
+            "dse",
+            "--target",
+            "aocl",
+            "--kernel",
+            "copy",
+            "--kernel",
+            "triad",
+            "--vectors",
+            "1,2,4,8,16",
+            "--unrolls",
+            "1,2,4",
+        ])
+        .unwrap()
+        .unwrap();
+        let n = dse_param_space(&r).configs().len();
+        assert_eq!(n, 90, "2 ops x 5 widths x 3 unrolls x 3 loop modes");
+        assert_eq!(dse_budget(&r, n), 9, "default budget is a tenth");
+        let grid = CliRequest {
+            strategy: DseStrategy::Grid,
+            ..r.clone()
+        };
+        assert_eq!(dse_budget(&grid, n), n, "grid covers everything");
+        let capped = CliRequest {
+            budget: Some(1000),
+            ..r
+        };
+        assert_eq!(dse_budget(&capped, n), n, "budget capped at the space");
+    }
+
+    #[test]
+    fn execute_dse_reports_best_and_pareto() {
+        let r = parse(&[
+            "dse",
+            "--target",
+            "aocl",
+            "--kernel",
+            "copy",
+            "--size",
+            "64K",
+            "--ntimes",
+            "1",
+            "--strategy",
+            "model",
+            "--budget",
+            "10",
+            "--jobs",
+            "2",
+        ])
+        .unwrap()
+        .unwrap();
+        let out = execute(&r).expect("dse runs");
+        assert!(out.contains("dse on"), "{out}");
+        assert!(out.contains("model strategy"), "{out}");
+        assert!(out.contains("of 15 points"), "{out}");
+        assert!(out.contains("best: copy"), "{out}");
+        assert!(out.contains("pareto front"), "{out}");
+    }
+
+    #[test]
+    fn execute_dse_is_identical_across_jobs() {
+        let base = parse(&[
+            "dse",
+            "--target",
+            "sdaccel",
+            "--kernel",
+            "triad",
+            "--size",
+            "64K",
+            "--ntimes",
+            "1",
+            "--strategy",
+            "genetic",
+            "--budget",
+            "12",
+            "--dse-seed",
+            "7",
+            "--jobs",
+            "1",
+        ])
+        .unwrap()
+        .unwrap();
+        let serial = execute(&base).unwrap();
+        let parallel = execute(&CliRequest {
+            jobs: Some(8),
+            ..base
+        })
+        .unwrap();
+        assert_eq!(serial, parallel, "visit order and report jobs-invariant");
     }
 
     #[test]

@@ -18,8 +18,10 @@
 //!   configurations fanned across a thread pool with a shared
 //!   build-artifact cache, returning deterministic-order
 //!   [`engine::Outcome`]s;
-//! * [`dse`] — automated design-space exploration (exhaustive, random,
-//!   hill-climbing, annealing) over a parameter space;
+//! * [`dse`] — automated design-space exploration: an open ask/tell
+//!   [`dse::Strategy`] trait with exhaustive, random, hill-climbing,
+//!   annealing, genetic and surrogate-model search, every batch
+//!   executing through the engine;
 //! * [`report`] — tables, CSV and ASCII log-log charts for the harness;
 //! * [`paperdata`] — the paper's plotted data points (transcribed from
 //!   the figures) plus shape checks used by EXPERIMENTS.md;
@@ -47,7 +49,10 @@ pub mod trace;
 pub use bandwidth::{gbps_to_kbps, mb_label};
 pub use checkpoint::Checkpoint;
 pub use config::{BenchConfig, StreamLocation};
-pub use dse::{explore, explore_target, DseResult, Explorer};
+pub use dse::{
+    explore, explore_target, search_target, AnnealSearch, DseResult, ExhaustiveSearch, Explorer,
+    GeneticSearch, HillClimbSearch, ModelSearch, RandomSearch, Strategy,
+};
 pub use engine::{default_jobs, CancelToken, Engine, Outcome, ResiliencePolicy, RetryStats};
 pub use experiments::{run_figure, Figure, FigureId, RunOpts};
 pub use extensions::{all_extensions, ExtensionReport};
@@ -56,6 +61,7 @@ pub use rng::SplitMix64;
 pub use runner::{Measurement, Runner};
 pub use space::ParamSpace;
 pub use sweep::{
-    pareto_front, run_space, sweep_space, sweep_space_checkpointed, ParetoPoint, SweepResult,
+    pareto_front, pareto_front_of_points, run_space, sweep_space, sweep_space_checkpointed,
+    ParetoPoint, SweepResult,
 };
 pub use trace::Trace;

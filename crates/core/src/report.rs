@@ -265,6 +265,33 @@ pub fn config_metrics_table(rows: &[ConfigMetrics]) -> Table {
     t
 }
 
+/// One row of the Pareto-frontier table: a non-dominated configuration
+/// with its bandwidth and synthesis-cost proxy (FPGA logic). The DSE
+/// layer fills this from the frontier of a search trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoRow {
+    /// Configuration label (see [`config_label`]).
+    pub label: String,
+    /// Sustained bandwidth, GB/s.
+    pub gbps: f64,
+    /// FPGA logic consumed (the synthesis-cost proxy).
+    pub logic: u64,
+}
+
+/// Render the bandwidth-vs-logic Pareto frontier (ascending logic, so
+/// each row answers "what does the next unit of fabric buy?").
+pub fn pareto_table(rows: &[ParetoRow]) -> Table {
+    let mut t = Table::new(&["config", "GB/s", "logic"]);
+    for r in rows {
+        t.row(&[
+            r.label.clone(),
+            format!("{:.2}", r.gbps),
+            r.logic.to_string(),
+        ]);
+    }
+    t
+}
+
 /// One-row sweep degradation summary: alongside ok/failed, the
 /// retried/gave-up/resumed columns make a partial (fault-degraded or
 /// checkpoint-resumed) sweep legible at a glance.
@@ -392,6 +419,26 @@ mod tests {
         }
         assert!(txt.contains("12/8"), "{txt}");
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn pareto_table_lists_frontier_rows() {
+        let t = pareto_table(&[
+            ParetoRow {
+                label: "copy vec1".into(),
+                gbps: 3.5,
+                logic: 1200,
+            },
+            ParetoRow {
+                label: "copy vec16".into(),
+                gbps: 21.0,
+                logic: 9800,
+            },
+        ]);
+        let txt = t.to_text();
+        assert!(txt.contains("logic"), "{txt}");
+        assert!(txt.contains("21.00"), "{txt}");
+        assert_eq!(t.len(), 2);
     }
 
     #[test]

@@ -287,8 +287,13 @@ pub struct ParetoPoint {
 /// without resource reports (non-FPGA devices) are skipped. The result
 /// is sorted by ascending logic.
 pub fn pareto_front(sweep: &SweepResult) -> Vec<ParetoPoint> {
-    let mut candidates: Vec<ParetoPoint> = sweep
-        .points
+    pareto_front_of_points(&sweep.points)
+}
+
+/// [`pareto_front`] over a bare outcome list — shared with the DSE
+/// layer, whose visit-ordered trace is not a [`SweepResult`].
+pub fn pareto_front_of_points(points: &[Outcome]) -> Vec<ParetoPoint> {
+    let mut candidates: Vec<ParetoPoint> = points
         .iter()
         .filter_map(|p| {
             let gbps = p.gbps()?;

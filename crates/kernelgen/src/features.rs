@@ -1,0 +1,199 @@
+//! Architecture-independent program features of a kernel configuration.
+//!
+//! Chilukuri et al. ("Characterizing Optimizations to Memory Access
+//! Patterns using Architecture-Independent Program Features") show that
+//! sustained bandwidth is largely predictable from properties of the
+//! access stream itself — operational intensity, stride class, access
+//! granularity — without ever consulting the target. The surrogate
+//! model in `mpstream_core::dse` builds on exactly that observation:
+//! every feature here is derived from the kernel IR alone, so a model
+//! fitted on a handful of measured points can rank the rest of the
+//! design space before anything is synthesized.
+//!
+//! The vector is deliberately low-dimensional and log-scaled: the
+//! tuning dimensions (vector width, unroll, stride) act multiplicatively
+//! on the memory system, so a linear model over their logarithms is the
+//! natural first-order fit. Loop management is categorical and one-hot
+//! encoded, with loop-mode × width interaction terms appended because
+//! the profitability of wide accesses depends on how the iteration
+//! space is expressed (an NDRange kernel coalesces differently from a
+//! pipelined single-work-item loop).
+
+use crate::ir::{AccessPattern, KernelConfig, LoopMode, VendorOpts};
+
+/// Names of the feature dimensions, index-aligned with [`features`].
+pub const FEATURE_NAMES: &[&str] = &[
+    "op_intensity",
+    "arrays",
+    "log2_word_bytes",
+    "log2_vector_width",
+    "log2_unroll",
+    "loop_ndrange",
+    "loop_flat",
+    "loop_nested",
+    "pattern_unit_stride",
+    "log2_stride",
+    "log2_bytes_per_iter",
+    "log2_n_words",
+    "log2_simd",
+    "log2_compute_units",
+    "ndrange_x_log2_width",
+    "flat_x_log2_width",
+    "nested_x_log2_width",
+    "flat_x_log2_unroll",
+    "nested_x_log2_unroll",
+];
+
+/// Number of feature dimensions.
+pub const FEATURE_DIM: usize = FEATURE_NAMES.len();
+
+fn log2(x: f64) -> f64 {
+    x.max(1.0).log2()
+}
+
+/// The architecture-independent feature vector of a configuration.
+///
+/// Every entry depends only on the kernel IR — never on the device the
+/// configuration will run on — so the same vector is valid input for a
+/// surrogate trained against any target. See [`FEATURE_NAMES`] for the
+/// dimension labels.
+pub fn features(cfg: &KernelConfig) -> Vec<f64> {
+    let arrays = cfg.op.arrays() as f64;
+    let word_bytes = cfg.dtype.word_bytes() as f64;
+    let width = cfg.vector_width.get() as f64;
+    let unroll = cfg.unroll as f64;
+
+    // Floating-point (or integer) operations per payload byte: COPY
+    // computes nothing, SCALE and ADD one op per element, TRIAD two.
+    let ops_per_elem = match (cfg.op.uses_q(), cfg.op.uses_c()) {
+        (false, false) => 0.0, // copy
+        (true, false) => 1.0,  // scale
+        (false, true) => 1.0,  // add
+        (true, true) => 2.0,   // triad
+    };
+    let op_intensity = ops_per_elem / (arrays * word_bytes);
+
+    let (unit_stride, stride) = match cfg.pattern {
+        AccessPattern::Contiguous => (1.0, 1.0),
+        AccessPattern::ColMajor { .. } => {
+            // Column-major walks jump by the row length of the 2D view.
+            let (_, cols) = cfg.matrix_shape();
+            (0.0, cols as f64)
+        }
+        AccessPattern::Strided { stride } => (0.0, stride as f64),
+    };
+
+    let (ndrange, flat, nested) = match cfg.loop_mode {
+        LoopMode::NdRange => (1.0, 0.0, 0.0),
+        LoopMode::SingleWorkItemFlat => (0.0, 1.0, 0.0),
+        LoopMode::SingleWorkItemNested => (0.0, 0.0, 1.0),
+    };
+
+    let (simd, cu) = match cfg.vendor {
+        VendorOpts::Aocl(a) => (a.num_simd_work_items as f64, a.num_compute_units as f64),
+        _ => (1.0, 1.0),
+    };
+
+    // Payload bytes touched per (unrolled) loop iteration: the access
+    // granularity the memory controller actually sees.
+    let bytes_per_iter = cfg.vector_bytes() as f64 * arrays * unroll;
+
+    vec![
+        op_intensity,
+        arrays,
+        log2(word_bytes),
+        log2(width),
+        log2(unroll),
+        ndrange,
+        flat,
+        nested,
+        unit_stride,
+        log2(stride),
+        log2(bytes_per_iter),
+        log2(cfg.n_words as f64),
+        log2(simd),
+        log2(cu),
+        ndrange * log2(width),
+        flat * log2(width),
+        nested * log2(width),
+        flat * log2(unroll),
+        nested * log2(unroll),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{AoclOpts, StreamOp, VectorWidth};
+
+    fn base() -> KernelConfig {
+        KernelConfig::baseline(StreamOp::Copy, 1 << 20)
+    }
+
+    #[test]
+    fn dimension_count_matches_names() {
+        assert_eq!(features(&base()).len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn op_intensity_orders_the_kernels() {
+        let f = |op| {
+            let mut c = base();
+            c.op = op;
+            features(&c)[0]
+        };
+        assert_eq!(f(StreamOp::Copy), 0.0);
+        assert!(f(StreamOp::Scale) > f(StreamOp::Copy));
+        assert!(f(StreamOp::Triad) > f(StreamOp::Add));
+    }
+
+    #[test]
+    fn log_dimensions_scale_linearly() {
+        let mut c = base();
+        c.vector_width = VectorWidth::new(4).unwrap();
+        let f4 = features(&c);
+        c.vector_width = VectorWidth::new(16).unwrap();
+        let f16 = features(&c);
+        assert_eq!(f4[3], 2.0);
+        assert_eq!(f16[3], 4.0);
+    }
+
+    #[test]
+    fn loop_mode_is_one_hot() {
+        for mode in LoopMode::ALL {
+            let mut c = base();
+            c.loop_mode = mode;
+            let f = features(&c);
+            assert_eq!(f[5] + f[6] + f[7], 1.0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn stride_features_distinguish_patterns() {
+        let mut c = base();
+        assert_eq!(features(&c)[8], 1.0, "contiguous is unit stride");
+        assert_eq!(features(&c)[9], 0.0);
+        c.pattern = AccessPattern::Strided { stride: 8 };
+        let f = features(&c);
+        assert_eq!(f[8], 0.0);
+        assert_eq!(f[9], 3.0);
+    }
+
+    #[test]
+    fn vendor_replication_is_captured() {
+        let mut c = base();
+        c.vendor = VendorOpts::Aocl(AoclOpts {
+            num_simd_work_items: 2,
+            num_compute_units: 8,
+        });
+        let f = features(&c);
+        assert_eq!(f[12], 1.0);
+        assert_eq!(f[13], 3.0);
+    }
+
+    #[test]
+    fn features_are_target_free_and_deterministic() {
+        // Same config, same vector — the contract the surrogate relies on.
+        assert_eq!(features(&base()), features(&base()));
+    }
+}

@@ -17,11 +17,16 @@
 //!   STREAM-style;
 //! * [`access`] — a lazy generator of the kernel's memory-access stream
 //!   in program order, which the device timing models consume;
+//! * [`features()`] — the architecture-independent feature vector of a
+//!   configuration (operational intensity, stride class, access
+//!   granularity), the input of the surrogate model used for
+//!   model-guided design-space exploration;
 //! * [`plan`] — [`plan::ExecPlan`], the bound form (config + buffer base
 //!   addresses) handed to a device backend.
 
 pub mod access;
 pub mod check;
+pub mod features;
 pub mod host;
 pub mod interp;
 pub mod ir;
@@ -31,6 +36,7 @@ pub mod validate;
 
 pub use access::{access_stream, total_accesses};
 pub use check::{check_source, CheckError, KernelSignature};
+pub use features::{features, FEATURE_DIM, FEATURE_NAMES};
 pub use host::{generate_host_program, HostOptions};
 pub use interp::execute;
 pub use ir::{

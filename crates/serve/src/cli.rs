@@ -15,7 +15,7 @@ use std::path::PathBuf;
 /// Usage text for the service subcommands.
 pub const USAGE: &str = "\
 usage: mpstream serve [--addr H:P] [--store DIR] [--jobs N] [--queue N]
-       mpstream submit [--addr H:P] <sweep flags>   queue a sweep, print its job id
+       mpstream submit [--addr H:P] [dse] <flags>   queue a sweep or search, print its job id
        mpstream status [--addr H:P] [ID]            one job's progress, or all jobs
        mpstream fetch  [--addr H:P] ID [--results]  fetch the report (or raw results)
        mpstream cancel [--addr H:P] ID              cancel a queued or running job
@@ -24,8 +24,9 @@ usage: mpstream serve [--addr H:P] [--store DIR] [--jobs N] [--queue N]
   serve --store <dir>  result-store directory (default ./mpstream-store)
   serve --jobs <N>     HTTP worker threads (default 4)
   serve --queue <N>    job-queue capacity before 503 (default 16)
-  submit takes the same flags as `mpstream sweep` (see `mpstream --help`),
-  minus the local-only --checkpoint/--resume/--trace.";
+  submit takes the same flags as `mpstream sweep` (or, with a leading
+  `dse` token, `mpstream dse`; see `mpstream --help`), minus the
+  local-only --checkpoint/--resume/--trace.";
 
 /// A parsed service subcommand.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,11 +126,16 @@ pub fn parse_serve_args(args: &[String]) -> Result<Option<ServeCommand>, String>
             Ok(Some(ServeCommand::Serve(opts)))
         }
         "submit" => {
-            // Everything left is sweep grammar; reuse the core parser.
-            let mut sweep_args = vec!["sweep".to_string()];
-            sweep_args.extend(rest);
-            let req =
-                core_cli::parse_args(&sweep_args)?.ok_or("submit takes sweep flags, not --help")?;
+            // Everything left is sweep or dse grammar; reuse the core
+            // parser. A leading `sweep`/`dse` token passes through,
+            // anything else defaults to a sweep (the PR-4 grammar).
+            let mut core_args: Vec<String> = Vec::new();
+            if !matches!(rest.first().map(String::as_str), Some("sweep" | "dse")) {
+                core_args.push("sweep".to_string());
+            }
+            core_args.extend(rest);
+            let req = core_cli::parse_args(&core_args)?
+                .ok_or("submit takes sweep/dse flags, not --help")?;
             let spec = spec::request_to_spec(&req)?;
             Ok(Some(ServeCommand::Submit { addr, spec }))
         }
@@ -366,6 +372,24 @@ mod tests {
         // Invalid sweep flags fail at parse time, before any network.
         assert!(parse(&["submit", "--kernel", "fma"]).is_err());
         assert!(parse(&["submit", "--checkpoint", "x"]).is_err());
+    }
+
+    #[test]
+    fn submit_accepts_a_leading_dse_token() {
+        let cmd = parse(&["submit", "dse", "--strategy", "genetic", "--budget", "7"])
+            .unwrap()
+            .unwrap();
+        match cmd {
+            ServeCommand::Submit { spec, .. } => {
+                let req = spec::spec_to_request(&spec).unwrap();
+                assert_eq!(req.mode, core_cli::CliMode::Dse);
+                assert_eq!(req.strategy, core_cli::DseStrategy::Genetic);
+                assert_eq!(req.budget, Some(7));
+            }
+            other => panic!("{other:?}"),
+        }
+        // DSE-only flags without the token still fail as sweep flags.
+        assert!(parse(&["submit", "--strategy", "genetic"]).is_err());
     }
 
     #[test]

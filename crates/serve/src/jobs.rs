@@ -337,6 +337,14 @@ impl JobManager {
         let engine = cli::build_engine(&req, None).with_cancel(Some(token.clone()));
         let ckpt = Checkpoint::resume(self.store.checkpoint_path(rec.id))
             .map_err(|e| format!("checkpoint: {e}"))?;
+        if req.mode == cli::CliMode::Dse {
+            let result = cli::run_dse(&engine, &req, Some(&ckpt));
+            self.metrics.absorb_dse(&result);
+            if token.is_cancelled() {
+                return Ok(None);
+            }
+            return Ok(Some(cli::render_dse_report(&req, &result)));
+        }
         let result = cli::run_sweep(&engine, &req, Some(&ckpt));
         self.metrics.absorb_sweep(&result);
         if token.is_cancelled() {

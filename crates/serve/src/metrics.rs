@@ -117,6 +117,23 @@ impl Metrics {
         Self::add(&self.faults_injected, result.faults.total());
     }
 
+    /// Fold one finished DSE job's counters in — the same accounting as
+    /// [`absorb_sweep`](Self::absorb_sweep), over the search trace.
+    /// Cancelled slots never reach a `DseResult` trace, so only the
+    /// resumed count needs subtracting.
+    pub fn absorb_dse(&self, result: &mpstream_core::DseResult) {
+        let executed = result.trace.len().saturating_sub(result.resumed);
+        Self::add(&self.points_executed, executed as u64);
+        Self::add(&self.points_resumed, result.resumed as u64);
+        Self::add(&self.engine_retries, result.retry.retries);
+        Self::add(&self.engine_transient_errors, result.retry.transient_errors);
+        Self::add(&self.engine_gave_up, result.retry.gave_up);
+        Self::add(&self.engine_panics, result.retry.panics_isolated);
+        Self::add(&self.cache_hits, result.cache.hits);
+        Self::add(&self.cache_misses, result.cache.misses);
+        Self::add(&self.faults_injected, result.faults.total());
+    }
+
     /// Render the scrape body.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();

@@ -1,6 +1,7 @@
-//! The wire form of a sweep job: one flat JSON object (the dialect in
-//! `mpstream_core::json`) carrying the same parameters the `mpstream
-//! sweep` command line does.
+//! The wire form of a sweep or DSE job: one flat JSON object (the
+//! dialect in `mpstream_core::json`) carrying the same parameters the
+//! `mpstream sweep` / `mpstream dse` command lines do. A spec with a
+//! `strategy` field is a DSE job; everything else is a sweep.
 //!
 //! Rather than maintain a parallel validation path, the server converts
 //! the JSON back into the *exact* CLI argument vector and feeds it
@@ -23,14 +24,17 @@ fn loop_token(mode: LoopMode) -> &'static str {
     }
 }
 
-/// Render a parsed sweep request as the job-spec JSON line.
+/// Render a parsed sweep or DSE request as the job-spec JSON line.
 ///
-/// Only sweep-shaped requests make sense on the wire; the local-only
-/// concerns (`--checkpoint`, `--resume`, `--trace`, `--show-kernel`)
-/// are rejected — the server owns persistence for submitted jobs.
+/// Only sweep- or dse-shaped requests make sense on the wire; the
+/// local-only concerns (`--checkpoint`, `--resume`, `--trace`,
+/// `--show-kernel`) are rejected — the server owns persistence for
+/// submitted jobs.
 pub fn request_to_spec(req: &CliRequest) -> Result<String, String> {
-    if req.mode != CliMode::Sweep {
-        return Err("only sweep requests can be submitted (use the `sweep` flags)".into());
+    if !matches!(req.mode, CliMode::Sweep | CliMode::Dse) {
+        return Err(
+            "only sweep or dse requests can be submitted (use the `sweep`/`dse` flags)".into(),
+        );
     }
     if req.checkpoint.is_some() || req.resume {
         return Err("--checkpoint/--resume are local-only; the server persists jobs".into());
@@ -101,6 +105,17 @@ pub fn request_to_spec(req: &CliRequest) -> Result<String, String> {
     if let Some(ms) = req.deadline_ms {
         w.u64_field("deadline_ms", ms);
     }
+    if req.mode == CliMode::Dse {
+        // The strategy field is what marks a spec as a DSE job, so it is
+        // always written (resolved to its default if the user gave none).
+        w.str_field("strategy", req.strategy.label());
+        if let Some(b) = req.budget {
+            w.u64_field("budget", b as u64);
+        }
+        if let Some(s) = req.dse_seed {
+            w.u64_field("dse_seed", s);
+        }
+    }
     Ok(w.finish())
 }
 
@@ -138,7 +153,14 @@ fn spec_to_argv(obj: &JsonObject) -> Result<Vec<String>, String> {
         argv.push(value);
     }
 
-    let mut argv = vec!["sweep".to_string()];
+    // A spec carrying a strategy is a DSE job; the subcommand and the
+    // dse-only flags route through the same CLI grammar as everything
+    // else, so validation stays single-sourced.
+    let mut argv = if obj.get("strategy").is_some() {
+        vec!["dse".to_string()]
+    } else {
+        vec!["sweep".to_string()]
+    };
     if let Some(t) = str_of("target")? {
         flag(&mut argv, "--target", t.to_string());
     }
@@ -195,6 +217,15 @@ fn spec_to_argv(obj: &JsonObject) -> Result<Vec<String>, String> {
     if let Some(n) = u64_of("deadline_ms")? {
         flag(&mut argv, "--deadline-ms", n.to_string());
     }
+    if let Some(s) = str_of("strategy")? {
+        flag(&mut argv, "--strategy", s.to_string());
+    }
+    if let Some(n) = u64_of("budget")? {
+        flag(&mut argv, "--budget", n.to_string());
+    }
+    if let Some(n) = u64_of("dse_seed")? {
+        flag(&mut argv, "--dse-seed", n.to_string());
+    }
     Ok(argv)
 }
 
@@ -222,6 +253,9 @@ pub fn spec_to_request(line: &str) -> Result<CliRequest, String> {
             "fault_seed",
             "retries",
             "deadline_ms",
+            "strategy",
+            "budget",
+            "dse_seed",
         ];
         if !KNOWN.contains(&key.as_str()) {
             return Err(format!("unknown spec field '{key}'"));
@@ -234,9 +268,16 @@ pub fn spec_to_request(line: &str) -> Result<CliRequest, String> {
     }
 }
 
-/// How many points the sweep a spec describes will run.
+/// How many points the job a spec describes will run: the whole
+/// cartesian product for a sweep, the resolved evaluation budget for a
+/// DSE search.
 pub fn total_points(req: &CliRequest) -> usize {
-    cli::sweep_param_space(req).configs().len()
+    if req.mode == CliMode::Dse {
+        let n = cli::dse_param_space(req).configs().len();
+        cli::dse_budget(req, n)
+    } else {
+        cli::sweep_param_space(req).configs().len()
+    }
 }
 
 /// Drop-in accessor used by the store: read a string field off a parsed
@@ -330,6 +371,53 @@ mod tests {
         );
         assert!(spec_to_request("{\"vectors\":\"1,0\"}").is_err());
         assert!(spec_to_request("{\"ntimes\":\"three\"}").is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_a_dse_request() {
+        let req = parse_cli(&[
+            "dse",
+            "--target",
+            "aocl",
+            "--kernel",
+            "triad",
+            "--strategy",
+            "genetic",
+            "--budget",
+            "12",
+            "--dse-seed",
+            "7",
+        ]);
+        let line = request_to_spec(&req).unwrap();
+        assert!(line.contains("\"strategy\":\"genetic\""), "{line}");
+        let back = spec_to_request(&line).unwrap();
+        assert_eq!(back, req);
+
+        // Defaults round-trip too: the resolved strategy marks the spec
+        // as DSE even when the user never passed --strategy.
+        let plain = parse_cli(&["dse"]);
+        let back = spec_to_request(&request_to_spec(&plain).unwrap()).unwrap();
+        assert_eq!(back, plain);
+        assert_eq!(back.mode, CliMode::Dse);
+    }
+
+    #[test]
+    fn dse_spec_total_points_is_the_budget() {
+        let req = parse_cli(&[
+            "dse",
+            "--kernel",
+            "copy",
+            "--kernel",
+            "triad",
+            "--vectors",
+            "1,2,4,8,16",
+            "--unrolls",
+            "1,2,4",
+        ]);
+        // 90-point space, default budget = a tenth.
+        assert_eq!(total_points(&req), 9);
+        let explicit = parse_cli(&["dse", "--kernel", "copy", "--budget", "6"]);
+        assert_eq!(total_points(&explicit), 6);
     }
 
     #[test]

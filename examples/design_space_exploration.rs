@@ -3,20 +3,24 @@
 //! space exploration route will benefit from a benchmark that fully
 //! explores the memory-access design-space").
 //!
-//! Sweeps vector width x loop mode x unroll x vendor replication with a
-//! hill-climbing explorer under a fixed evaluation budget, then compares
-//! against an exhaustive sweep fanned across the execution engine's
-//! thread pool. Both searches share one build-artifact cache, so the
-//! exhaustive pass re-synthesizes nothing the climber already visited.
-//! Synthesis failures (resource exhaustion) are part of the search space
-//! and are counted.
+//! Sweeps vector width x loop mode x unroll x vendor replication with
+//! three budgeted searches — the classic hill climber, a seeded genetic
+//! search, and a ridge-regression surrogate model — then compares all
+//! of them against an exhaustive sweep fanned across the execution
+//! engine's thread pool. Every search shares one build-artifact cache,
+//! so the exhaustive pass re-synthesizes nothing the searches already
+//! visited. Synthesis failures (resource exhaustion) are part of the
+//! search space and are counted.
 //!
 //! ```text
 //! cargo run --release --example design_space_exploration
 //! ```
 
 use kernelgen::{AoclOpts, LoopMode, StreamOp, VendorOpts};
-use mpstream_core::{explore_target, BenchConfig, DseResult, Engine, Explorer, ParamSpace, Table};
+use mpstream_core::{
+    explore_target, search_target, BenchConfig, DseResult, Engine, Explorer, GeneticSearch,
+    ModelSearch, ParamSpace, Table,
+};
 use targets::TargetId;
 
 fn main() {
@@ -54,18 +58,47 @@ fn main() {
     );
     let protocol = |k| BenchConfig::new(k).with_ntimes(1).with_validation(false);
 
-    println!("Hill-climbing with a budget of 40 evaluations...");
+    const BUDGET: usize = 40;
+    const SEED: u64 = 20180521;
+
+    println!("Hill-climbing with a budget of {BUDGET} evaluations...");
     let hc = explore_target(
         &engine,
         TargetId::FpgaAocl,
         &space,
         Explorer::HillClimb {
-            budget: 40,
-            seed: 20180521,
+            budget: BUDGET,
+            seed: SEED,
         },
         protocol,
     );
     report("hill-climb", &hc);
+
+    println!("\nGenetic search, same budget...");
+    let mut genetic = GeneticSearch::new(&space, BUDGET, SEED);
+    let ga = search_target(
+        &engine,
+        TargetId::FpgaAocl,
+        &mut genetic,
+        BUDGET,
+        protocol,
+        None,
+    );
+    report("genetic", &ga);
+
+    println!("\nSurrogate-model search (ridge regression), same budget...");
+    let mut model = ModelSearch::new(&space, BUDGET, SEED);
+    let md = search_target(
+        &engine,
+        TargetId::FpgaAocl,
+        &mut model,
+        BUDGET,
+        protocol,
+        None,
+    );
+    report("model", &md);
+    println!("Model search's Pareto front (bandwidth vs synthesized logic):");
+    println!("{}", md.pareto_table().to_text());
 
     println!("\nExhaustive sweep for reference (every configuration, in parallel)...");
     let ex = explore_target(
@@ -80,20 +113,22 @@ fn main() {
     let stats = engine.cache_stats();
     println!(
         "\nBuild cache: {} synthesis runs, {} reused ({:.0}% hit rate) — the \
-         exhaustive pass skipped every point the climber had synthesized.",
+         exhaustive pass skipped every point the searches had synthesized.",
         stats.misses,
         stats.hits,
         100.0 * stats.hit_rate()
     );
 
-    let best_hc = hc.best.as_ref().and_then(|o| o.gbps()).unwrap_or(0.0);
     let best_ex = ex.best.as_ref().and_then(|o| o.gbps()).unwrap_or(0.0);
-    println!(
-        "\nHill-climb reached {:.0}% of the exhaustive optimum using {} of {} evaluations.",
-        100.0 * best_hc / best_ex,
-        hc.trace.len(),
-        ex.trace.len()
-    );
+    for (label, r) in [("Hill-climb", &hc), ("Genetic", &ga), ("Model", &md)] {
+        let best = r.best.as_ref().and_then(|o| o.gbps()).unwrap_or(0.0);
+        println!(
+            "{label} reached {:.0}% of the exhaustive optimum using {} of {} evaluations.",
+            100.0 * best / best_ex,
+            r.trace.len(),
+            ex.trace.len()
+        );
+    }
 
     if let Some(best) = &ex.best {
         println!("\nBest configuration's generated OpenCL kernel:\n");

@@ -5,6 +5,8 @@
 //! mpstream --target aocl --kernel copy --size 4M --vector 16 --loop flat
 //! mpstream sweep --target aocl --vectors 1,2,4,8,16 --unrolls 1,2 \
 //!          --faults build=0.2,timeout=0.1 --checkpoint sweep.jsonl --resume
+//! mpstream dse --target aocl --vectors 1,2,4,8,16 --unrolls 1,2,4 \
+//!          --strategy model --budget 9 --dse-seed 42
 //! mpstream serve --addr 127.0.0.1:8377 --store ./mpstream-store
 //! mpstream submit --kernel triad --vectors 1,2,4,8,16
 //! mpstream status 1 && mpstream fetch 1

@@ -53,6 +53,12 @@ fn sweep_request(args: &[&str]) -> core_cli::CliRequest {
     core_cli::parse_args(&argv).unwrap().unwrap()
 }
 
+fn dse_request(args: &[&str]) -> core_cli::CliRequest {
+    let mut argv = vec!["dse".to_string()];
+    argv.extend(args.iter().map(|s| s.to_string()));
+    core_cli::parse_args(&argv).unwrap().unwrap()
+}
+
 /// POST the job and return its id.
 fn submit(addr: &str, spec: &str) -> u64 {
     let reply = http_request(addr, "POST", "/jobs", spec.as_bytes()).unwrap();
@@ -142,6 +148,64 @@ fn served_report_is_byte_identical_to_offline_cli() {
         text.contains("# TYPE mpstream_http_requests_total counter"),
         "{text}"
     );
+
+    handle.trigger();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A submitted DSE job runs the same iterative search the offline CLI
+/// would: the fetched report is byte-identical, and the job's progress
+/// counts the evaluated points (the budget), not the whole space.
+#[test]
+fn served_dse_report_is_byte_identical_to_offline_cli() {
+    let args = [
+        "--target",
+        "aocl",
+        "--kernel",
+        "copy",
+        "--kernel",
+        "triad",
+        "--size",
+        "65536",
+        "--vectors",
+        "1,2,4,8,16",
+        "--unrolls",
+        "1,2,4",
+        "--ntimes",
+        "1",
+        "--strategy",
+        "model",
+        "--budget",
+        "9",
+        "--dse-seed",
+        "42",
+        "--jobs",
+        "1",
+    ];
+    let req = dse_request(&args);
+    let offline = core_cli::execute(&req).unwrap();
+
+    let dir = temp_dir("dse-identical");
+    let (addr, handle, join) = start_server(&dir, 2, 4);
+
+    let id = submit(&addr, &request_to_spec(&req).unwrap());
+    let (_, done) = poll_until(&addr, id, "dse job done", |s, _| s == "done");
+    assert_eq!(done, 9, "only the budgeted points were evaluated");
+
+    let report = http_request(&addr, "GET", &format!("/jobs/{id}/report"), b"").unwrap();
+    assert_eq!(report.status, 200);
+    assert_eq!(
+        report.text(),
+        offline,
+        "served dse report differs from offline CLI"
+    );
+    assert!(report.text().contains("pareto front"), "{}", report.text());
+
+    let metrics = http_request(&addr, "GET", "/metrics", b"").unwrap();
+    let text = metrics.text();
+    assert!(text.contains("mpstream_jobs_completed_total 1"), "{text}");
+    assert!(text.contains("mpstream_points_executed_total 9"), "{text}");
 
     handle.trigger();
     join.join().unwrap().unwrap();
