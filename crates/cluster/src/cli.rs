@@ -6,6 +6,7 @@
 use crate::coordinator::{Coordinator, CoordinatorOpts};
 use crate::worker::{Worker, WorkerOpts};
 use mpstream_serve::signal::ShutdownSignal;
+use mpstream_serve::RetentionPolicy;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
@@ -14,8 +15,9 @@ use std::time::Duration;
 pub const USAGE: &str = "\
 usage: mpstream coordinator [--addr H:P] [--store DIR] [--jobs N] [--queue N]
                             [--lease-ms N] [--shard-points N]
+                            [--tenants FILE] [--retention TERMS]
        mpstream worker --join H:P [--addr H:P] [--store DIR] [--poll-ms N]
-                       [--trace FILE]
+                       [--quarantine-ms N] [--trace FILE]
 
   coordinator accepts jobs exactly like `mpstream serve` (submit/
   status/fetch/cancel against it as usual) but delegates execution to
@@ -26,6 +28,11 @@ usage: mpstream coordinator [--addr H:P] [--store DIR] [--jobs N] [--queue N]
     --queue <N>           job-queue capacity before 503 (default 16)
     --lease-ms <N>        shard lease lifetime (default 5000)
     --shard-points <N>    sweep points per shard (default 8)
+    --tenants <file>      tenants.jsonl with per-tenant API keys, rate
+                          limits, and queue quotas (default anonymous-only)
+    --retention <terms>   store bounds: max-jobs=N,max-bytes=N[K|M|G],
+                          min-age-s=N (default unbounded)
+    --chaos-profile <p>   chaos-test profile (quick); test hook
 
   worker joins a coordinator and executes leased shards; its own
   /metrics and /healthz are served on --addr.
@@ -33,6 +40,8 @@ usage: mpstream coordinator [--addr H:P] [--store DIR] [--jobs N] [--queue N]
     --addr <host:port>    observability address (default 127.0.0.1:0)
     --store <dir>         local store directory (default under the temp dir)
     --poll-ms <N>         idle poll interval (default 200)
+    --quarantine-ms <N>   circuit-breaker cooldown after the coordinator
+                          stops answering (default 1000)
     --trace <file>        write a Chrome trace of executed shards on exit";
 
 /// A parsed cluster subcommand.
@@ -93,6 +102,18 @@ pub fn parse_cluster_args(args: &[String]) -> Result<Option<ClusterCommand>, Str
                     "--shard-points" => {
                         opts.shard_points = positive("--shard-points", need("--shard-points")?)?
                     }
+                    "--tenants" => {
+                        opts.serve.tenants_file = Some(PathBuf::from(need("--tenants")?))
+                    }
+                    "--retention" => {
+                        opts.serve.retention = RetentionPolicy::parse(&need("--retention")?)?
+                    }
+                    "--chaos-profile" => {
+                        let profile = need("--chaos-profile")?;
+                        // Validate the name at parse time; bind applies it.
+                        opts.serve.clone().apply_chaos_profile(&profile)?;
+                        opts.serve.chaos_profile = Some(profile);
+                    }
                     other => return Err(format!("unknown coordinator argument '{other}'")),
                 }
             }
@@ -115,6 +136,13 @@ pub fn parse_cluster_args(args: &[String]) -> Result<Option<ClusterCommand>, Str
                     "--poll-ms" => {
                         opts.poll =
                             Duration::from_millis(positive("--poll-ms", need("--poll-ms")?)? as u64)
+                    }
+                    "--quarantine-ms" => {
+                        opts.breaker.cooldown = Duration::from_millis(positive(
+                            "--quarantine-ms",
+                            need("--quarantine-ms")?,
+                        )?
+                            as u64)
                     }
                     "--trace" => opts.trace = Some(PathBuf::from(need("--trace")?)),
                     other => return Err(format!("unknown worker argument '{other}'")),
@@ -230,6 +258,57 @@ mod tests {
         };
         assert_eq!(opts.join, "127.0.0.1:9000");
         assert_eq!(opts.poll, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn coordinator_hardening_flags_parse() {
+        let cmd = parse(&[
+            "coordinator",
+            "--tenants",
+            "/tmp/tenants.jsonl",
+            "--retention",
+            "max-jobs=8,max-bytes=4M",
+        ])
+        .unwrap()
+        .unwrap();
+        let ClusterCommand::Coordinator(opts) = cmd else {
+            panic!("expected coordinator");
+        };
+        assert_eq!(
+            opts.serve.tenants_file,
+            Some(PathBuf::from("/tmp/tenants.jsonl"))
+        );
+        assert_eq!(opts.serve.retention.max_jobs, 8);
+        assert_eq!(opts.serve.retention.max_bytes, 4 << 20);
+        match parse(&["coordinator", "--chaos-profile", "quick"])
+            .unwrap()
+            .unwrap()
+        {
+            ClusterCommand::Coordinator(opts) => {
+                assert_eq!(opts.serve.chaos_profile.as_deref(), Some("quick"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["coordinator", "--chaos-profile", "nope"]).is_err());
+        assert!(parse(&["coordinator", "--retention", "max-jobs=zero"]).is_err());
+    }
+
+    #[test]
+    fn worker_quarantine_flag_parses() {
+        let cmd = parse(&[
+            "worker",
+            "--join",
+            "127.0.0.1:9000",
+            "--quarantine-ms",
+            "250",
+        ])
+        .unwrap()
+        .unwrap();
+        let ClusterCommand::Worker(opts) = cmd else {
+            panic!("expected worker");
+        };
+        assert_eq!(opts.breaker.cooldown, Duration::from_millis(250));
+        assert!(parse(&["worker", "--join", "x", "--quarantine-ms", "0"]).is_err());
     }
 
     #[test]

@@ -24,7 +24,8 @@ use mpstream_core::json::{parse_flat_object, JsonLine};
 use mpstream_core::sweep::SweepResult;
 use mpstream_core::trace::{self, Trace};
 use mpstream_core::Runner;
-use mpstream_serve::client::{http_request_opts, ClientOpts};
+use mpstream_serve::breaker::{BreakerOpts, CircuitBreaker};
+use mpstream_serve::client::{http_request_breaker, http_request_opts, ClientOpts, HttpReply};
 use mpstream_serve::server::{ServeOpts, Server};
 use mpstream_serve::spec;
 use mpstream_serve::Metrics;
@@ -44,6 +45,11 @@ pub struct WorkerOpts {
     pub poll: Duration,
     /// Write a Chrome trace of executed shards here on exit.
     pub trace: Option<PathBuf>,
+    /// Circuit-breaker tuning for coordinator calls: after
+    /// `failure_threshold` consecutive failures the worker quarantines
+    /// itself for the (jittered) cooldown instead of tight-looping
+    /// against a dead coordinator.
+    pub breaker: BreakerOpts,
 }
 
 /// Distinguishes the default store directories of workers sharing a
@@ -63,6 +69,12 @@ impl Default for WorkerOpts {
             },
             poll: Duration::from_millis(200),
             trace: None,
+            // Seed varies per worker so co-located workers de-sync
+            // their quarantines (deterministically per process).
+            breaker: BreakerOpts {
+                seed: BreakerOpts::default().seed ^ seq,
+                ..BreakerOpts::default()
+            },
         }
     }
 }
@@ -77,11 +89,38 @@ struct Puller {
     trace: Option<Arc<Trace>>,
     stop: Arc<AtomicBool>,
     client: ClientOpts,
+    breaker: CircuitBreaker,
 }
 
 impl Puller {
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::Acquire)
+    }
+
+    /// One breaker-guarded POST to the coordinator. All control-plane
+    /// calls (`/register`, `/lease`, `/complete`) go through here so
+    /// consecutive failures open the breaker and quarantine the worker
+    /// instead of burning a full connect-retry schedule per poll.
+    fn call(&self, path: &str, body: &[u8]) -> Result<HttpReply, String> {
+        let reply =
+            http_request_breaker(&self.join, "POST", path, body, &self.client, &self.breaker);
+        Metrics::set(&self.metrics.breaker_opens, self.breaker.opens());
+        reply
+    }
+
+    /// Sleep out a failure: the breaker's remaining (jittered)
+    /// quarantine while open, else one poll interval — chunked so a
+    /// stop request still lands promptly.
+    fn quarantine_sleep(&self) {
+        let wait = self
+            .breaker
+            .remaining_quarantine()
+            .unwrap_or(self.poll)
+            .max(self.poll);
+        let deadline = std::time::Instant::now() + wait;
+        while std::time::Instant::now() < deadline && !self.stopping() {
+            std::thread::sleep(Duration::from_millis(50).min(self.poll));
+        }
     }
 
     /// Register with the coordinator, patiently: it may not be up yet,
@@ -94,13 +133,7 @@ impl Puller {
             if self.stopping() {
                 return None;
             }
-            if let Ok(reply) = http_request_opts(
-                &self.join,
-                "POST",
-                "/register",
-                body.as_bytes(),
-                &self.client,
-            ) {
+            if let Ok(reply) = self.call("/register", body.as_bytes()) {
                 if reply.status == 200 {
                     if let Some(id) = parse_flat_object(reply.text().trim())
                         .and_then(|o| o.get("worker")?.as_u64())
@@ -109,7 +142,7 @@ impl Puller {
                     }
                 }
             }
-            std::thread::sleep(self.poll);
+            self.quarantine_sleep();
         }
     }
 
@@ -192,13 +225,7 @@ impl Puller {
             body.push_str(&checkpoint::render_record(outcome));
             body.push('\n');
         }
-        let _ = http_request_opts(
-            &self.join,
-            "POST",
-            "/complete",
-            body.as_bytes(),
-            &self.client,
-        );
+        let _ = self.call("/complete", body.as_bytes());
 
         // Account the shard in the worker's own /metrics (the engine
         // was fresh, so its counters are exactly this shard's).
@@ -235,7 +262,7 @@ impl Puller {
             let mut body = JsonLine::new();
             body.u64_field("worker", worker_id);
             let body = body.finish();
-            match http_request_opts(&self.join, "POST", "/lease", body.as_bytes(), &self.client) {
+            match self.call("/lease", body.as_bytes()) {
                 Ok(reply) if reply.status == 200 => {
                     if let Some(lease) = Lease::parse(reply.text().trim()) {
                         self.run_lease(worker_id, &lease);
@@ -248,7 +275,7 @@ impl Puller {
                         None => return,
                     }
                 }
-                _ => std::thread::sleep(self.poll),
+                _ => self.quarantine_sleep(),
             }
         }
     }
@@ -276,6 +303,7 @@ impl Worker {
                 trace: opts.trace.as_ref().map(|_| Trace::new()),
                 stop: Arc::new(AtomicBool::new(false)),
                 client: ClientOpts::default(),
+                breaker: CircuitBreaker::new(opts.breaker),
             },
             trace_path: opts.trace,
         })

@@ -60,6 +60,15 @@ pub fn flag_enabled(var: &str) -> bool {
     std::env::var(var).map(|v| v == "1").unwrap_or(false)
 }
 
+/// `var` as a trimmed non-empty string. `None` when unset, empty, or
+/// whitespace — for path/name knobs where "" means "not configured".
+pub fn string(var: &str) -> Option<String> {
+    std::env::var(var)
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +97,17 @@ mod tests {
         assert_eq!(parsed::<u64>(var), Some(42));
         std::env::set_var(var, "many");
         assert_eq!(parsed::<u64>(var), None);
+        std::env::remove_var(var);
+    }
+
+    #[test]
+    fn string_trims_and_drops_empty() {
+        let var = "MPSTREAM_TEST_ENV_STRING";
+        assert_eq!(string(var), None);
+        std::env::set_var(var, "  /tmp/tenants.jsonl ");
+        assert_eq!(string(var).as_deref(), Some("/tmp/tenants.jsonl"));
+        std::env::set_var(var, "   ");
+        assert_eq!(string(var), None, "whitespace-only reads as unset");
         std::env::remove_var(var);
     }
 

@@ -1,0 +1,270 @@
+//! A seeded half-open circuit breaker for the HTTP client path.
+//!
+//! The [`ClientOpts`](crate::client::ClientOpts) retry budget handles a
+//! peer that is briefly restarting; it does nothing for a peer that is
+//! *down*, where every caller burns its full connect-retry schedule on
+//! every attempt, forever. The breaker sits above that: after
+//! `failure_threshold` consecutive failures it opens and refuses calls
+//! instantly for a cooldown, then lets exactly one probe through
+//! (half-open). A successful probe closes it; a failed one re-opens it
+//! for another cooldown.
+//!
+//! Cooldowns are jittered from a seeded [`SplitMix64`] so a fleet of
+//! workers quarantining off the same dead coordinator de-synchronises
+//! deterministically: same seeds, same sleeps, every run — the same
+//! discipline as the engine's backoff and the fault planner.
+
+use mpstream_core::SplitMix64;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerOpts {
+    /// Consecutive failures that open the breaker.
+    pub failure_threshold: u32,
+    /// Base quarantine after opening.
+    pub cooldown: Duration,
+    /// Max extra jitter added to each cooldown (0 = none).
+    pub max_jitter: Duration,
+    /// Seed for the jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for BreakerOpts {
+    fn default() -> Self {
+        BreakerOpts {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(1),
+            max_jitter: Duration::from_millis(500),
+            seed: 0x6272_6561_6b65_7221,
+        }
+    }
+}
+
+/// Where the breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; failures are being counted.
+    Closed,
+    /// Calls are refused until the cooldown deadline.
+    Open,
+    /// One probe is in flight; its outcome decides.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    failures: u32,
+    open_until: Instant,
+    probe_inflight: bool,
+    rng: SplitMix64,
+    opens: u64,
+}
+
+/// The breaker. Cheap to share behind an `Arc`; all state is one mutex.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    opts: BreakerOpts,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(opts: BreakerOpts) -> CircuitBreaker {
+        CircuitBreaker {
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                failures: 0,
+                open_until: Instant::now(),
+                probe_inflight: false,
+                rng: SplitMix64::new(opts.seed),
+                opens: 0,
+            }),
+            opts,
+        }
+    }
+
+    /// Current state (transitions lazily on [`try_acquire_at`]).
+    ///
+    /// [`try_acquire_at`]: Self::try_acquire_at
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker poisoned").state
+    }
+
+    /// How many times the breaker has opened.
+    pub fn opens(&self) -> u64 {
+        self.inner.lock().expect("breaker poisoned").opens
+    }
+
+    /// Remaining quarantine while open, without transitioning state —
+    /// callers use this to size a back-off sleep instead of spinning on
+    /// refused [`try_acquire`](Self::try_acquire) calls (which would
+    /// also steal the half-open probe slot).
+    pub fn remaining_quarantine(&self) -> Option<Duration> {
+        let inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::Open => Some(
+                inner
+                    .open_until
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(1)),
+            ),
+            _ => None,
+        }
+    }
+
+    /// May a call proceed? `Err(wait)` while open (the remaining
+    /// quarantine); an expired cooldown admits exactly one half-open
+    /// probe and quarantines everyone else until it resolves.
+    pub fn try_acquire_at(&self, now: Instant) -> Result<(), Duration> {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open => {
+                if now < inner.open_until {
+                    Err(inner.open_until - now)
+                } else {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_inflight = true;
+                    Ok(())
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_inflight {
+                    Err(self.opts.cooldown)
+                } else {
+                    inner.probe_inflight = true;
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// [`try_acquire_at`](Self::try_acquire_at) against the real clock.
+    pub fn try_acquire(&self) -> Result<(), Duration> {
+        self.try_acquire_at(Instant::now())
+    }
+
+    /// Report a successful call: close and reset.
+    pub fn on_success(&self) {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        inner.state = BreakerState::Closed;
+        inner.failures = 0;
+        inner.probe_inflight = false;
+    }
+
+    /// Report a failed call at `now`: a failed half-open probe re-opens
+    /// immediately; in closed state the threshold decides.
+    pub fn on_failure_at(&self, now: Instant) {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        inner.probe_inflight = false;
+        inner.failures = inner.failures.saturating_add(1);
+        let should_open =
+            inner.state == BreakerState::HalfOpen || inner.failures >= self.opts.failure_threshold;
+        if should_open {
+            let jitter = if self.opts.max_jitter.is_zero() {
+                Duration::ZERO
+            } else {
+                let span = self.opts.max_jitter.as_nanos().max(1) as u64;
+                Duration::from_nanos(inner.rng.next_u64() % span)
+            };
+            inner.state = BreakerState::Open;
+            inner.open_until = now + self.opts.cooldown + jitter;
+            inner.opens += 1;
+        }
+    }
+
+    /// [`on_failure_at`](Self::on_failure_at) against the real clock.
+    pub fn on_failure(&self) {
+        self.on_failure_at(Instant::now());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(threshold: u32, cooldown_ms: u64, jitter_ms: u64, seed: u64) -> BreakerOpts {
+        BreakerOpts {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+            max_jitter: Duration::from_millis(jitter_ms),
+            seed,
+        }
+    }
+
+    #[test]
+    fn opens_after_threshold_and_admits_one_probe() {
+        let b = CircuitBreaker::new(opts(3, 100, 0, 1));
+        let t0 = Instant::now();
+        for _ in 0..2 {
+            assert!(b.try_acquire_at(t0).is_ok());
+            b.on_failure_at(t0);
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        assert!(b.try_acquire_at(t0).is_ok());
+        b.on_failure_at(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+
+        // Quarantined, with the exact remaining wait.
+        let wait = b
+            .try_acquire_at(t0 + Duration::from_millis(40))
+            .unwrap_err();
+        assert_eq!(wait, Duration::from_millis(60));
+
+        // Cooldown over: exactly one probe gets through.
+        let t1 = t0 + Duration::from_millis(101);
+        assert!(b.try_acquire_at(t1).is_ok());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.try_acquire_at(t1).is_err(), "second caller quarantined");
+
+        // Probe succeeds: closed, counters reset.
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.try_acquire_at(t1).is_ok());
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let b = CircuitBreaker::new(opts(2, 50, 0, 2));
+        let t0 = Instant::now();
+        b.on_failure_at(t0);
+        b.on_failure_at(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        let t1 = t0 + Duration::from_millis(51);
+        assert!(b.try_acquire_at(t1).is_ok(), "probe admitted");
+        b.on_failure_at(t1);
+        assert_eq!(b.state(), BreakerState::Open, "one failure re-opens");
+        assert_eq!(b.opens(), 2);
+        assert!(b.try_acquire_at(t1 + Duration::from_millis(10)).is_err());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let waits = |seed: u64| {
+            let b = CircuitBreaker::new(opts(1, 100, 300, seed));
+            let t0 = Instant::now();
+            let mut out = Vec::new();
+            for i in 0..4 {
+                // Open it (threshold 1) far past any earlier cooldown.
+                let t = t0 + Duration::from_secs(10 * (i + 1));
+                b.on_failure_at(t);
+                out.push(b.try_acquire_at(t).unwrap_err());
+            }
+            out
+        };
+        let a = waits(42);
+        assert_eq!(a, waits(42), "same seed, same quarantine schedule");
+        assert_ne!(a, waits(43), "different seed de-synchronises");
+        for w in &a {
+            assert!(*w >= Duration::from_millis(100), "{w:?} below cooldown");
+            assert!(
+                *w < Duration::from_millis(400),
+                "{w:?} above cooldown+jitter"
+            );
+        }
+    }
+}

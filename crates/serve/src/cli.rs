@@ -4,26 +4,39 @@
 //! binary dispatches here when the first argument names one of these
 //! subcommands.
 
-use crate::client::http_request;
+use crate::client::{http_request_keyed, ClientOpts};
+use crate::retention::RetentionPolicy;
 use crate::server::{ServeOpts, Server};
 use crate::signal::ShutdownSignal;
 use crate::spec;
 use mpstream_core::cli as core_cli;
 use mpstream_core::json::parse_flat_object;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Usage text for the service subcommands.
 pub const USAGE: &str = "\
 usage: mpstream serve [--addr H:P] [--store DIR] [--jobs N] [--queue N]
+                      [--tenants FILE] [--retention TERMS]
+                      [--deadline-ms N] [--conn-requests N]
        mpstream submit [--addr H:P] [dse] <flags>   queue a sweep or search, print its job id
        mpstream status [--addr H:P] [ID]            one job's progress, or all jobs
        mpstream fetch  [--addr H:P] ID [--results]  fetch the report (or raw results)
        mpstream cancel [--addr H:P] ID              cancel a queued or running job
 
   --addr <host:port>   server address (default 127.0.0.1:8377)
+  --api-key <key>      tenant API key for submit/status/fetch/cancel
+                       (default $MPSTREAM_API_KEY; sent as Bearer auth)
   serve --store <dir>  result-store directory (default ./mpstream-store)
   serve --jobs <N>     HTTP worker threads (default 4)
   serve --queue <N>    job-queue capacity before 503 (default 16)
+  serve --tenants <f>  tenants.jsonl with per-tenant API keys, rate
+                       limits, and queue quotas (default anonymous-only)
+  serve --retention <t> store bounds: max-jobs=N,max-bytes=N[K|M|G],
+                       min-age-s=N (default unbounded)
+  serve --deadline-ms <N>  total per-request read deadline (default 10000)
+  serve --conn-requests <N> requests served per connection (default 256)
+  serve --chaos-profile <p> chaos-test profile (quick); test hook
   submit takes the same flags as `mpstream sweep` (or, with a leading
   `dse` token, `mpstream dse`; see `mpstream --help`), minus the
   local-only --checkpoint/--resume/--trace.";
@@ -37,6 +50,8 @@ pub enum ServeCommand {
     Submit {
         /// Server address.
         addr: String,
+        /// Tenant API key sent as `Authorization: Bearer`.
+        api_key: Option<String>,
         /// The job-spec JSON line.
         spec: String,
     },
@@ -44,6 +59,8 @@ pub enum ServeCommand {
     Status {
         /// Server address.
         addr: String,
+        /// Tenant API key sent as `Authorization: Bearer`.
+        api_key: Option<String>,
         /// Job id, or `None` for the full listing.
         id: Option<u64>,
     },
@@ -51,6 +68,8 @@ pub enum ServeCommand {
     Fetch {
         /// Server address.
         addr: String,
+        /// Tenant API key sent as `Authorization: Bearer`.
+        api_key: Option<String>,
         /// Job id.
         id: u64,
         /// Page through the raw checkpoint lines instead.
@@ -60,6 +79,8 @@ pub enum ServeCommand {
     Cancel {
         /// Server address.
         addr: String,
+        /// Tenant API key sent as `Authorization: Bearer`.
+        api_key: Option<String>,
         /// Job id.
         id: u64,
     },
@@ -89,6 +110,21 @@ pub fn parse_serve_args(args: &[String]) -> Result<Option<ServeCommand>, String>
         }
         addr = rest.remove(pos + 1);
         rest.remove(pos);
+    }
+    // Client subcommands authenticate with --api-key (or the
+    // MPSTREAM_API_KEY env); the daemon itself takes --tenants.
+    let mut api_key = None;
+    if verb != "serve" {
+        if let Some(pos) = rest.iter().position(|a| a == "--api-key") {
+            if pos + 1 >= rest.len() {
+                return Err("--api-key needs a value".into());
+            }
+            api_key = Some(rest.remove(pos + 1));
+            rest.remove(pos);
+        }
+        if api_key.is_none() {
+            api_key = mpstream_core::env::string("MPSTREAM_API_KEY");
+        }
     }
 
     match verb {
@@ -120,6 +156,32 @@ pub fn parse_serve_args(args: &[String]) -> Result<Option<ServeCommand>, String>
                             .filter(|&n: &usize| n > 0)
                             .ok_or("--queue needs a positive integer")?;
                     }
+                    "--tenants" => opts.tenants_file = Some(PathBuf::from(need("--tenants")?)),
+                    "--retention" => {
+                        opts.retention = RetentionPolicy::parse(&need("--retention")?)?;
+                    }
+                    "--deadline-ms" => {
+                        opts.request_deadline = Duration::from_millis(
+                            need("--deadline-ms")?
+                                .parse()
+                                .ok()
+                                .filter(|&n: &u64| n > 0)
+                                .ok_or("--deadline-ms needs a positive integer")?,
+                        );
+                    }
+                    "--conn-requests" => {
+                        opts.max_requests_per_conn = need("--conn-requests")?
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| n > 0)
+                            .ok_or("--conn-requests needs a positive integer")?;
+                    }
+                    "--chaos-profile" => {
+                        let profile = need("--chaos-profile")?;
+                        // Validate the name at parse time; bind applies it.
+                        opts.clone().apply_chaos_profile(&profile)?;
+                        opts.chaos_profile = Some(profile);
+                    }
                     other => return Err(format!("unknown serve argument '{other}'")),
                 }
             }
@@ -137,7 +199,11 @@ pub fn parse_serve_args(args: &[String]) -> Result<Option<ServeCommand>, String>
             let req = core_cli::parse_args(&core_args)?
                 .ok_or("submit takes sweep/dse flags, not --help")?;
             let spec = spec::request_to_spec(&req)?;
-            Ok(Some(ServeCommand::Submit { addr, spec }))
+            Ok(Some(ServeCommand::Submit {
+                addr,
+                api_key,
+                spec,
+            }))
         }
         "status" => {
             let id = match rest.as_slice() {
@@ -145,7 +211,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<Option<ServeCommand>, String>
                 [id] => Some(parse_job_id(id)?),
                 _ => return Err("status takes at most one job id".into()),
             };
-            Ok(Some(ServeCommand::Status { addr, id }))
+            Ok(Some(ServeCommand::Status { addr, api_key, id }))
         }
         "fetch" => {
             let results = rest.iter().any(|a| a == "--results");
@@ -153,6 +219,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<Option<ServeCommand>, String>
             match ids.as_slice() {
                 [id] => Ok(Some(ServeCommand::Fetch {
                     addr,
+                    api_key,
                     id: parse_job_id(id)?,
                     results,
                 })),
@@ -162,6 +229,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<Option<ServeCommand>, String>
         "cancel" => match rest.as_slice() {
             [id] => Ok(Some(ServeCommand::Cancel {
                 addr,
+                api_key,
                 id: parse_job_id(id)?,
             })),
             _ => Err("cancel takes exactly one job id".into()),
@@ -193,11 +261,25 @@ fn expect_ok(
 /// ([`ServeCommand::Serve`] is executed by [`run_server`] instead —
 /// it blocks for the daemon's lifetime.)
 pub fn run_client(cmd: &ServeCommand) -> Result<String, String> {
+    let request = |addr: &str, api_key: &Option<String>, method: &str, path: &str, body: &[u8]| {
+        http_request_keyed(
+            addr,
+            method,
+            path,
+            body,
+            api_key.as_deref(),
+            &ClientOpts::default(),
+        )
+    };
     match cmd {
         ServeCommand::Serve(_) => Err("serve must go through run_server".into()),
-        ServeCommand::Submit { addr, spec } => {
+        ServeCommand::Submit {
+            addr,
+            api_key,
+            spec,
+        } => {
             let reply = expect_ok(
-                http_request(addr, "POST", "/jobs", spec.as_bytes())?,
+                request(addr, api_key, "POST", "/jobs", spec.as_bytes())?,
                 "submit",
             )?;
             let obj =
@@ -206,12 +288,12 @@ pub fn run_client(cmd: &ServeCommand) -> Result<String, String> {
             let total = obj.get("total").and_then(|v| v.as_u64()).unwrap_or(0);
             Ok(format!("job {id} queued ({total} points)\n"))
         }
-        ServeCommand::Status { addr, id } => {
+        ServeCommand::Status { addr, api_key, id } => {
             let path = match id {
                 Some(id) => format!("/jobs/{id}"),
                 None => "/jobs".to_string(),
             };
-            let reply = expect_ok(http_request(addr, "GET", &path, b"")?, "status")?;
+            let reply = expect_ok(request(addr, api_key, "GET", &path, b"")?, "status")?;
             let mut out = String::new();
             for line in reply.text().lines() {
                 let Some(obj) = parse_flat_object(line) else {
@@ -235,10 +317,15 @@ pub fn run_client(cmd: &ServeCommand) -> Result<String, String> {
             }
             Ok(out)
         }
-        ServeCommand::Fetch { addr, id, results } => {
+        ServeCommand::Fetch {
+            addr,
+            api_key,
+            id,
+            results,
+        } => {
             if !results {
                 let reply = expect_ok(
-                    http_request(addr, "GET", &format!("/jobs/{id}/report"), b"")?,
+                    request(addr, api_key, "GET", &format!("/jobs/{id}/report"), b"")?,
                     "fetch",
                 )?;
                 return Ok(reply.text());
@@ -248,8 +335,9 @@ pub fn run_client(cmd: &ServeCommand) -> Result<String, String> {
             let mut offset = 0usize;
             loop {
                 let reply = expect_ok(
-                    http_request(
+                    request(
                         addr,
+                        api_key,
                         "GET",
                         &format!("/jobs/{id}/results?offset={offset}&limit=256"),
                         b"",
@@ -271,9 +359,9 @@ pub fn run_client(cmd: &ServeCommand) -> Result<String, String> {
                 }
             }
         }
-        ServeCommand::Cancel { addr, id } => {
+        ServeCommand::Cancel { addr, api_key, id } => {
             let reply = expect_ok(
-                http_request(addr, "POST", &format!("/jobs/{id}/cancel"), b"")?,
+                request(addr, api_key, "POST", &format!("/jobs/{id}/cancel"), b"")?,
                 "cancel",
             )?;
             let state = parse_flat_object(reply.text().trim())
@@ -307,6 +395,28 @@ pub fn run_server(opts: ServeOpts) -> Result<(), String> {
         stats.compaction.superseded,
         stats.compaction.corrupt,
     );
+    if let Some(profile) = &opts.chaos_profile {
+        println!("mpstream serve: chaos profile '{profile}' active");
+    }
+    if opts.tenants_file.is_some() || !opts.retention.is_unbounded() {
+        println!(
+            "mpstream serve: tenants {}, retention {}",
+            match &opts.tenants_file {
+                Some(p) => p.display().to_string(),
+                None => "anonymous-only".into(),
+            },
+            if opts.retention.is_unbounded() {
+                "unbounded".into()
+            } else {
+                format!(
+                    "max-jobs={} max-bytes={} min-age-s={}",
+                    opts.retention.max_jobs,
+                    opts.retention.max_bytes,
+                    opts.retention.min_age.as_secs()
+                )
+            }
+        );
+    }
     server.run().map_err(|e| e.to_string())?;
     println!("mpstream serve: drained, exiting");
     Ok(())
@@ -349,6 +459,44 @@ mod tests {
     }
 
     #[test]
+    fn serve_hardening_flags_parse() {
+        let cmd = parse(&[
+            "serve",
+            "--tenants",
+            "/tmp/tenants.jsonl",
+            "--retention",
+            "max-jobs=32,max-bytes=64M",
+            "--deadline-ms",
+            "2500",
+            "--conn-requests",
+            "100",
+        ])
+        .unwrap()
+        .unwrap();
+        match cmd {
+            ServeCommand::Serve(opts) => {
+                assert_eq!(opts.tenants_file, Some(PathBuf::from("/tmp/tenants.jsonl")));
+                assert_eq!(opts.retention.max_jobs, 32);
+                assert_eq!(opts.retention.max_bytes, 64 << 20);
+                assert_eq!(opts.request_deadline, Duration::from_millis(2500));
+                assert_eq!(opts.max_requests_per_conn, 100);
+                assert_eq!(opts.chaos_profile, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&["serve", "--chaos-profile", "quick"])
+            .unwrap()
+            .unwrap()
+        {
+            ServeCommand::Serve(opts) => assert_eq!(opts.chaos_profile.as_deref(), Some("quick")),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["serve", "--chaos-profile", "nope"]).is_err());
+        assert!(parse(&["serve", "--retention", "max-jobs=zero"]).is_err());
+        assert!(parse(&["serve", "--deadline-ms", "0"]).is_err());
+    }
+
+    #[test]
     fn submit_reuses_the_sweep_grammar() {
         let cmd = parse(&[
             "submit",
@@ -362,13 +510,24 @@ mod tests {
         .unwrap()
         .unwrap();
         match cmd {
-            ServeCommand::Submit { addr, spec } => {
+            ServeCommand::Submit { addr, spec, .. } => {
                 assert_eq!(addr, "h:1");
                 let req = spec::spec_to_request(&spec).unwrap();
                 assert_eq!(req.widths, vec![1, 2]);
             }
             other => panic!("{other:?}"),
         }
+        // --api-key is peeled off before the sweep grammar sees it.
+        match parse(&["submit", "--api-key", "k1", "--kernel", "copy"])
+            .unwrap()
+            .unwrap()
+        {
+            ServeCommand::Submit { api_key, .. } => assert_eq!(api_key.as_deref(), Some("k1")),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["submit", "--kernel", "copy", "--api-key"]).is_err());
+        // The daemon does not take --api-key; it takes --tenants.
+        assert!(parse(&["serve", "--api-key", "k1"]).is_err());
         // Invalid sweep flags fail at parse time, before any network.
         assert!(parse(&["submit", "--kernel", "fma"]).is_err());
         assert!(parse(&["submit", "--checkpoint", "x"]).is_err());
@@ -398,6 +557,7 @@ mod tests {
             parse(&["status"]).unwrap().unwrap(),
             ServeCommand::Status {
                 addr: "127.0.0.1:8377".into(),
+                api_key: None,
                 id: None
             }
         );
@@ -405,6 +565,7 @@ mod tests {
             parse(&["status", "7"]).unwrap().unwrap(),
             ServeCommand::Status {
                 addr: "127.0.0.1:8377".into(),
+                api_key: None,
                 id: Some(7)
             }
         );
@@ -412,14 +573,16 @@ mod tests {
             parse(&["fetch", "3", "--results"]).unwrap().unwrap(),
             ServeCommand::Fetch {
                 addr: "127.0.0.1:8377".into(),
+                api_key: None,
                 id: 3,
                 results: true
             }
         );
         assert_eq!(
-            parse(&["cancel", "3"]).unwrap().unwrap(),
+            parse(&["cancel", "3", "--api-key", "k2"]).unwrap().unwrap(),
             ServeCommand::Cancel {
                 addr: "127.0.0.1:8377".into(),
+                api_key: Some("k2".into()),
                 id: 3
             }
         );

@@ -8,6 +8,7 @@
 //! bounded number of times with the engine's deterministic exponential
 //! backoff.
 
+use crate::breaker::CircuitBreaker;
 use mpstream_core::engine::ResiliencePolicy;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -112,6 +113,19 @@ pub fn http_request_opts(
     body: &[u8],
     opts: &ClientOpts,
 ) -> Result<HttpReply, String> {
+    http_request_keyed(addr, method, path, body, None, opts)
+}
+
+/// [`http_request_opts`] with an optional tenant API key, sent as
+/// `Authorization: Bearer <key>` (the server also accepts `X-Api-Key`).
+pub fn http_request_keyed(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    api_key: Option<&str>,
+    opts: &ClientOpts,
+) -> Result<HttpReply, String> {
     let stream = connect(addr, opts)?;
     stream
         .set_read_timeout(Some(opts.read_timeout))
@@ -119,10 +133,14 @@ pub fn http_request_opts(
     stream
         .set_write_timeout(Some(opts.write_timeout))
         .map_err(|e| e.to_string())?;
+    let auth = match api_key {
+        Some(key) => format!("Authorization: Bearer {key}\r\n"),
+        None => String::new(),
+    };
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     write!(
         writer,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n{auth}Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     )
     .map_err(|e| format!("send: {e}"))?;
@@ -180,6 +198,42 @@ pub fn http_request_opts(
     })
 }
 
+/// [`http_request_opts`] guarded by a [`CircuitBreaker`]: a call is
+/// refused instantly (without burning the connect-retry budget) while
+/// the breaker quarantines the peer. Transport errors and 5xx replies
+/// count as failures; any other reply closes the breaker. 4xx replies
+/// are successes here — the peer is up and answering, it just dislikes
+/// the request.
+pub fn http_request_breaker(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    opts: &ClientOpts,
+    breaker: &CircuitBreaker,
+) -> Result<HttpReply, String> {
+    if let Err(wait) = breaker.try_acquire() {
+        return Err(format!(
+            "circuit open for {addr}: retry in {}ms",
+            wait.as_millis()
+        ));
+    }
+    match http_request_opts(addr, method, path, body, opts) {
+        Ok(reply) if reply.status >= 500 => {
+            breaker.on_failure();
+            Ok(reply)
+        }
+        Ok(reply) => {
+            breaker.on_success();
+            Ok(reply)
+        }
+        Err(e) => {
+            breaker.on_failure();
+            Err(e)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +277,32 @@ mod tests {
             start.elapsed() < Duration::from_secs(5),
             "no backoff sleeps"
         );
+    }
+
+    #[test]
+    fn breaker_opens_on_dead_peer_and_skips_connect_retries() {
+        let addr = dead_addr();
+        let opts = ClientOpts {
+            connect_retries: 0,
+            ..ClientOpts::default()
+        };
+        let breaker = CircuitBreaker::new(crate::breaker::BreakerOpts {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(30),
+            max_jitter: Duration::ZERO,
+            seed: 7,
+        });
+        for _ in 0..2 {
+            let err =
+                http_request_breaker(&addr, "GET", "/healthz", b"", &opts, &breaker).unwrap_err();
+            assert!(err.contains("connect"), "{err}");
+        }
+        assert_eq!(breaker.opens(), 1);
+        // Open: the refusal is instant and never touches the network.
+        let start = Instant::now();
+        let err = http_request_breaker(&addr, "GET", "/healthz", b"", &opts, &breaker).unwrap_err();
+        assert!(err.contains("circuit open"), "{err}");
+        assert!(start.elapsed() < Duration::from_millis(100));
     }
 
     #[test]

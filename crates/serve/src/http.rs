@@ -10,7 +10,9 @@
 //! must never panic — `tests/serve_http.rs` fuzzes it with seeded
 //! byte soup to hold it to that.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Longest accepted request line (method + target + version), bytes.
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -70,17 +72,28 @@ pub enum ParseError {
     TooLarge(&'static str),
     /// Declared body exceeds [`MAX_BODY`] → 413.
     BodyTooLarge,
-    /// The underlying socket failed (timeout, reset); no response owed.
+    /// The read deadline fired. `mid_request` distinguishes a client
+    /// that started a request and stalled (slowloris — owed a 408 so it
+    /// learns why it was cut off) from a keep-alive connection that
+    /// simply went idle between requests (closed silently).
+    TimedOut {
+        /// Had any byte of the current request been received?
+        mid_request: bool,
+    },
+    /// The underlying socket failed (reset, broken); no response owed.
     Io(std::io::ErrorKind),
 }
 
 impl ParseError {
-    /// Status code to answer with (`None`: the socket is gone).
+    /// Status code to answer with (`None`: the socket is gone or owed
+    /// nothing).
     pub fn status(&self) -> Option<u16> {
         match self {
             ParseError::Bad(_) => Some(400),
             ParseError::TooLarge(_) => Some(431),
             ParseError::BodyTooLarge => Some(413),
+            ParseError::TimedOut { mid_request: true } => Some(408),
+            ParseError::TimedOut { mid_request: false } => None,
             ParseError::Io(_) => None,
         }
     }
@@ -91,8 +104,68 @@ impl ParseError {
             ParseError::Bad(why) => format!("bad request: {why}"),
             ParseError::TooLarge(what) => format!("{what} too large"),
             ParseError::BodyTooLarge => format!("body exceeds {MAX_BODY} bytes"),
+            ParseError::TimedOut { .. } => "request deadline exceeded".to_string(),
             ParseError::Io(kind) => format!("io: {kind:?}"),
         }
+    }
+}
+
+/// Is this I/O error a read timeout? Both kinds occur in the wild for
+/// an expired `SO_RCVTIMEO`, depending on platform.
+fn is_timeout(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// A [`TcpStream`] reader that enforces a *total* deadline across all
+/// reads since the last [`arm`](Self::arm) — the defense `server.rs`
+/// mounts against slow-drip (slowloris) clients. A plain socket read
+/// timeout only bounds the gap between bytes; a client trickling one
+/// byte per interval holds a pool worker forever. Here every read gets
+/// only the time remaining until the deadline, and an exhausted budget
+/// fails with [`std::io::ErrorKind::TimedOut`] even if bytes are still
+/// arriving.
+#[derive(Debug)]
+pub struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+impl DeadlineStream {
+    /// Wrap a stream with `budget` on the clock.
+    pub fn new(stream: TcpStream, budget: Duration) -> DeadlineStream {
+        DeadlineStream {
+            stream,
+            deadline: Instant::now() + budget,
+        }
+    }
+
+    /// Reset the deadline to `budget` from now — called between
+    /// requests so keep-alive connections get a fresh budget per
+    /// request, not per connection.
+    pub fn arm(&mut self, budget: Duration) {
+        self.deadline = Instant::now() + budget;
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request deadline exceeded",
+            ));
+        }
+        self.stream.set_read_timeout(Some(remaining))?;
+        self.stream.read(buf)
     }
 }
 
@@ -128,8 +201,25 @@ fn read_limited_line(
                 line.push(byte[0]);
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(e.kind()) => {
+                // A timeout mid-line means the peer started a request
+                // and stalled; an empty line leaves the verdict to the
+                // caller (request line: idle; header line: mid-request).
+                return Err(ParseError::TimedOut {
+                    mid_request: !line.is_empty(),
+                });
+            }
             Err(e) => return Err(ParseError::Io(e.kind())),
         }
+    }
+}
+
+/// Upgrade a timeout to mid-request: past the request line, any stall
+/// is a started request whatever the current line holds.
+fn timeout_is_mid_request(e: ParseError) -> ParseError {
+    match e {
+        ParseError::TimedOut { .. } => ParseError::TimedOut { mid_request: true },
+        other => other,
     }
 }
 
@@ -174,7 +264,8 @@ pub fn parse_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError
 
     let mut headers = Vec::new();
     loop {
-        let line = read_limited_line(r, MAX_HEADER_LINE, "header")?
+        let line = read_limited_line(r, MAX_HEADER_LINE, "header")
+            .map_err(timeout_is_mid_request)?
             .ok_or(ParseError::Bad("eof in headers"))?;
         if line.is_empty() {
             break;
@@ -217,6 +308,9 @@ pub fn parse_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError
                     Ok(0) => return Err(ParseError::Bad("truncated body")),
                     Ok(n) => filled += n,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) if is_timeout(e.kind()) => {
+                        return Err(ParseError::TimedOut { mid_request: true })
+                    }
                     Err(e) => return Err(ParseError::Io(e.kind())),
                 }
             }
@@ -288,10 +382,13 @@ impl Response {
             200 => "OK",
             202 => "Accepted",
             400 => "Bad Request",
+            401 => "Unauthorized",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             409 => "Conflict",
             413 => "Payload Too Large",
+            429 => "Too Many Requests",
             431 => "Request Header Fields Too Large",
             503 => "Service Unavailable",
             _ => "Response",
@@ -423,6 +520,54 @@ mod tests {
     #[test]
     fn empty_stream_is_clean_eof() {
         assert_eq!(parse(b"").unwrap(), None);
+    }
+
+    /// A loopback pair: the returned closure writes bytes client-side,
+    /// the `DeadlineStream` wraps the accepted server side.
+    fn loopback(budget: Duration) -> (std::net::TcpStream, DeadlineStream) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, DeadlineStream::new(server, budget))
+    }
+
+    #[test]
+    fn deadline_fires_mid_request_as_408() {
+        let (mut client, server) = loopback(Duration::from_millis(80));
+        // Slowloris: start a request, then stall forever.
+        client
+            .write_all(b"GET /healthz HTTP/1.1\r\nX-Slow:")
+            .unwrap();
+        client.flush().unwrap();
+        let err = parse_request(&mut BufReader::new(server)).unwrap_err();
+        assert_eq!(err, ParseError::TimedOut { mid_request: true });
+        assert_eq!(err.status(), Some(408));
+    }
+
+    #[test]
+    fn deadline_on_idle_keepalive_is_silent() {
+        let (_client, server) = loopback(Duration::from_millis(80));
+        // No bytes at all: an idle keep-alive connection, owed nothing.
+        let err = parse_request(&mut BufReader::new(server)).unwrap_err();
+        assert_eq!(err, ParseError::TimedOut { mid_request: false });
+        assert_eq!(err.status(), None);
+    }
+
+    #[test]
+    fn deadline_rearm_grants_a_fresh_budget() {
+        let (mut client, server) = loopback(Duration::from_millis(60));
+        client.write_all(b"GET /a HTTP/1.1\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(server);
+        let first = parse_request(&mut reader).unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        std::thread::sleep(Duration::from_millis(80));
+        // Budget is spent; without re-arming the next parse would 408
+        // even though the client sends promptly.
+        reader.get_mut().arm(Duration::from_millis(500));
+        client.write_all(b"GET /b HTTP/1.1\r\n\r\n").unwrap();
+        let second = parse_request(&mut reader).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
     }
 
     #[test]

@@ -17,11 +17,22 @@
 use crate::metrics::Metrics;
 use crate::spec;
 use crate::store::{JobRecord, JobState, ResultStore};
+use crate::tenant::ANONYMOUS;
 use mpstream_core::cli::{self, CliRequest};
 use mpstream_core::{CancelToken, Checkpoint};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+/// The tenant a record belongs to, with pre-tenancy journals ("") owned
+/// by the anonymous tenant.
+fn tenant_of(rec: &JobRecord) -> &str {
+    if rec.tenant.is_empty() {
+        ANONYMOUS
+    } else {
+        &rec.tenant
+    }
+}
 
 /// A pluggable job execution strategy. Runs one job to completion and
 /// returns `Ok(Some(report))` when finished, `Ok(None)` when the token
@@ -53,6 +64,13 @@ pub enum SubmitError {
     Invalid(String),
     /// The store could not record the job (HTTP 500).
     Store(String),
+    /// The tenant is at its queue quota — retry later (HTTP 429).
+    Quota {
+        /// The tenant that hit its quota.
+        tenant: String,
+        /// The tenant's configured quota, for the error body.
+        quota: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -67,6 +85,10 @@ struct Inner {
     queue: VecDeque<u64>,
     running: Option<Running>,
     shutdown: bool,
+    /// Live (queued or running) jobs per tenant — what queue quotas
+    /// count against. A slot is taken at submit and released the moment
+    /// the job stops being live: queued-cancel or terminal transition.
+    live: HashMap<String, usize>,
 }
 
 /// The manager. Cheap to share; all state is behind one mutex.
@@ -87,6 +109,7 @@ impl JobManager {
         let mut inner = Inner::default();
         for rec in store.jobs() {
             if rec.state.is_live() {
+                *inner.live.entry(tenant_of(&rec).to_string()).or_default() += 1;
                 inner.queue.push_back(rec.id);
             }
         }
@@ -123,8 +146,31 @@ impl JobManager {
         self.inner.lock().expect("jobs mutex poisoned").queue.len()
     }
 
-    /// Validate and enqueue a spec. Returns the queued record.
+    /// Validate and enqueue a spec under the anonymous tenant with no
+    /// quota. Returns the queued record.
     pub fn submit(&self, spec_line: &str) -> Result<JobRecord, SubmitError> {
+        self.submit_for(spec_line, ANONYMOUS, 0)
+    }
+
+    /// Live (queued or running) jobs attributed to `tenant`.
+    pub fn live_jobs(&self, tenant: &str) -> usize {
+        self.inner
+            .lock()
+            .expect("jobs mutex poisoned")
+            .live
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Validate and enqueue a spec for `tenant`, holding it to `quota`
+    /// live jobs (0 = unlimited). Returns the queued record.
+    pub fn submit_for(
+        &self,
+        spec_line: &str,
+        tenant: &str,
+        quota: usize,
+    ) -> Result<JobRecord, SubmitError> {
         let req = spec::spec_to_request(spec_line).map_err(SubmitError::Invalid)?;
         let total = spec::total_points(&req);
         let mut inner = self.inner.lock().expect("jobs mutex poisoned");
@@ -139,22 +185,42 @@ impl JobManager {
                 capacity: self.capacity,
             });
         }
+        let live = inner.live.get(tenant).copied().unwrap_or(0);
+        if quota > 0 && live >= quota {
+            return Err(SubmitError::Quota {
+                tenant: tenant.to_string(),
+                quota,
+            });
+        }
         let rec = JobRecord {
             id: self.store.next_id(),
             state: JobState::Queued,
             spec: spec_line.to_string(),
             total,
             error: String::new(),
+            tenant: tenant.to_string(),
+            updated_unix: 0,
         };
         self.store
             .record(&rec)
             .map_err(|e| SubmitError::Store(e.to_string()))?;
+        *inner.live.entry(tenant.to_string()).or_default() += 1;
         inner.queue.push_back(rec.id);
         Metrics::set(&self.metrics.queue_depth, inner.queue.len() as u64);
         Metrics::inc(&self.metrics.jobs_submitted);
         drop(inner);
         self.wake.notify_all();
         Ok(rec)
+    }
+
+    /// Release `tenant`'s quota slot for a job that stopped being live.
+    fn release_slot(inner: &mut Inner, tenant: &str) {
+        if let Some(n) = inner.live.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                inner.live.remove(tenant);
+            }
+        }
     }
 
     /// A job's record plus its completed-point count.
@@ -173,6 +239,9 @@ impl JobManager {
         let mut inner = self.inner.lock().expect("jobs mutex poisoned");
         if let Some(pos) = inner.queue.iter().position(|&q| q == id) {
             inner.queue.remove(pos);
+            // The job will never run: its tenant's quota slot frees
+            // right now, not when the runner would have reached it.
+            Self::release_slot(&mut inner, tenant_of(&rec));
             Metrics::set(&self.metrics.queue_depth, inner.queue.len() as u64);
             drop(inner);
             let cancelled = JobRecord {
@@ -245,6 +314,22 @@ impl JobManager {
             let mut inner = self.inner.lock().expect("jobs mutex poisoned");
             inner.running = None;
             Metrics::set(&self.metrics.jobs_running, 0);
+            // A terminal landing releases the tenant's quota slot; a
+            // shutdown re-queue keeps it (the job is still live).
+            let terminal = match self.store.get(id) {
+                Some(rec) if !rec.state.is_live() => {
+                    Self::release_slot(&mut inner, tenant_of(&rec));
+                    true
+                }
+                _ => false,
+            };
+            drop(inner);
+            if terminal {
+                // Finished jobs grow the store; hold it to its bounds.
+                if let Err(why) = self.store.run_retention() {
+                    eprintln!("mpstream serve: retention pass failed: {why}");
+                }
+            }
         }
     }
 
@@ -446,6 +531,81 @@ mod tests {
         assert_eq!(mgr.cancel(rec.id), Some(JobState::Cancelled));
         assert_eq!(mgr.store().get(rec.id).unwrap().state, JobState::Cancelled);
         assert_eq!(mgr.cancel(999), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn queue_quota_holds_one_tenant_without_touching_the_other() {
+        let dir = temp_dir("quota");
+        let mgr = manager(&dir, 8);
+        // No runner: everything stays queued and live.
+        mgr.submit_for(TINY, "bursty", 2).unwrap();
+        mgr.submit_for(TINY, "bursty", 2).unwrap();
+        match mgr.submit_for(TINY, "bursty", 2) {
+            Err(SubmitError::Quota { tenant, quota }) => {
+                assert_eq!(tenant, "bursty");
+                assert_eq!(quota, 2);
+            }
+            other => panic!("expected Quota, got {other:?}"),
+        }
+        assert_eq!(mgr.live_jobs("bursty"), 2);
+        // The other tenant and the unlimited path are unaffected.
+        mgr.submit_for(TINY, "steady", 4).unwrap();
+        mgr.submit(TINY).unwrap();
+        assert_eq!(mgr.live_jobs("steady"), 1);
+        assert_eq!(mgr.live_jobs(ANONYMOUS), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_releases_its_quota_slot() {
+        let dir = temp_dir("quota-cancel");
+        let mgr = manager(&dir, 8);
+        let a = mgr.submit_for(TINY, "bursty", 2).unwrap();
+        mgr.submit_for(TINY, "bursty", 2).unwrap();
+        assert!(matches!(
+            mgr.submit_for(TINY, "bursty", 2),
+            Err(SubmitError::Quota { .. })
+        ));
+        assert_eq!(mgr.cancel(a.id), Some(JobState::Cancelled));
+        assert_eq!(mgr.live_jobs("bursty"), 1, "slot freed immediately");
+        mgr.submit_for(TINY, "bursty", 2)
+            .expect("freed slot admits the next submit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quota_slots_rebuild_from_a_reopened_journal() {
+        let dir = temp_dir("quota-reopen");
+        {
+            let mgr = manager(&dir, 8);
+            mgr.submit_for(TINY, "bursty", 2).unwrap();
+            let done = mgr.submit_for(TINY, "steady", 0).unwrap();
+            mgr.cancel(done.id);
+        }
+        let mgr = manager(&dir, 8);
+        assert_eq!(mgr.live_jobs("bursty"), 1, "queued job still holds a slot");
+        assert_eq!(mgr.live_jobs("steady"), 0, "cancelled job holds none");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finished_jobs_release_their_quota_slot() {
+        let dir = temp_dir("quota-finish");
+        let mgr = manager(&dir, 8);
+        let runner = mgr.spawn_runner();
+        let rec = mgr.submit_for(TINY, "bursty", 1).unwrap();
+        wait_for(&mgr, rec.id, JobState::Done);
+        // The slot frees after the terminal transition lands.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while mgr.live_jobs("bursty") != 0 {
+            assert!(Instant::now() < deadline, "slot never released");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        mgr.submit_for(TINY, "bursty", 1)
+            .expect("slot is free again");
+        mgr.shutdown();
+        runner.join().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -22,19 +22,30 @@
 //!   submit|status|fetch|cancel`;
 //! * [`cli`] — argument grammar and execution for the service
 //!   subcommands.
+//!
+//! The production-hardening layer rides on three more modules:
+//! [`tenant`] (API keys, token-bucket rate limits, queue quotas),
+//! [`retention`] (bounded job history), and [`breaker`] (the client's
+//! seeded half-open circuit breaker).
 
+pub mod breaker;
 pub mod cli;
 pub mod client;
 pub mod http;
 pub mod jobs;
 pub mod metrics;
+pub mod retention;
 pub mod server;
 pub mod signal;
 pub mod spec;
 pub mod store;
+pub mod tenant;
 
+pub use breaker::{BreakerOpts, BreakerState, CircuitBreaker};
 pub use cli::{is_serve_command, parse_serve_args, run_client, run_server, ServeCommand, USAGE};
 pub use jobs::{JobExecutor, JobManager};
 pub use metrics::Metrics;
+pub use retention::{RetentionPolicy, RetentionStats};
 pub use server::{RouteHook, ServeOpts, Server};
 pub use store::{JobRecord, JobState, ResultStore};
+pub use tenant::{Tenant, TenantRegistry, TenantSpec};

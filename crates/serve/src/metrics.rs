@@ -8,9 +8,10 @@
 //! in the sweep summary table, re-exported as a scrape target.
 
 use mpstream_core::sweep::SweepResult;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex};
 
 /// Extra exposition text appended to every scrape. The callback writes
 /// complete `# HELP`/`# TYPE`/sample stanzas; the cluster coordinator
@@ -28,12 +29,29 @@ impl std::fmt::Debug for Extra {
     }
 }
 
-/// All counters. Every field is monotonic except `queue_depth` and
-/// `jobs_running`, which are gauges.
+/// Per-tenant admission counters, rendered as labeled samples
+/// (`mpstream_tenant_requests_total{tenant="..."}`) so one scrape shows
+/// which tenant is being throttled and which is getting through.
+#[derive(Debug, Default)]
+pub struct TenantCounters {
+    /// Requests attributed to this tenant (after auth).
+    pub requests: AtomicU64,
+    /// Requests answered 429 by the tenant's token bucket.
+    pub throttled: AtomicU64,
+    /// Submissions answered 429 by the tenant's queue quota.
+    pub quota_rejected: AtomicU64,
+    /// Jobs this tenant got accepted.
+    pub submitted: AtomicU64,
+}
+
+/// All counters. Every field is monotonic except `queue_depth`,
+/// `jobs_running`, and the `store_*` occupancy gauges.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    /// Optional scrape-time extension (set at most once).
-    extra: OnceLock<Extra>,
+    /// Scrape-time extensions, appended in install order.
+    extra: Mutex<Vec<Extra>>,
+    /// Per-tenant counters, keyed by tenant name.
+    tenants: Mutex<BTreeMap<String, Arc<TenantCounters>>>,
     /// HTTP requests parsed (any method/path).
     pub http_requests: AtomicU64,
     /// Requests answered 4xx (parse errors, unknown routes).
@@ -42,6 +60,32 @@ pub struct Metrics {
     pub http_busy: AtomicU64,
     /// Connections dropped because the accept pool was saturated.
     pub connections_rejected: AtomicU64,
+    /// Requests cut off by the per-request deadline (408s).
+    pub http_timeouts: AtomicU64,
+    /// Requests answered 429 by rate limit or queue quota.
+    pub http_throttled: AtomicU64,
+    /// Requests answered 401 for an unknown API key.
+    pub http_unauthorized: AtomicU64,
+    /// Connections closed after serving the per-connection request cap.
+    pub conn_requests_capped: AtomicU64,
+    /// Client circuit-breaker open transitions observed by this process.
+    pub breaker_opens: AtomicU64,
+    /// Journal files compacted at store open (set once at bind).
+    pub store_files_compacted: AtomicU64,
+    /// Records kept by startup compaction (set once at bind).
+    pub store_records_kept: AtomicU64,
+    /// Records superseded by startup compaction (set once at bind).
+    pub store_records_superseded: AtomicU64,
+    /// Corrupt records dropped by startup compaction (set once at bind).
+    pub store_records_corrupt: AtomicU64,
+    /// Jobs currently retained in the store (gauge).
+    pub store_jobs: AtomicU64,
+    /// Bytes currently on disk under the store directory (gauge).
+    pub store_bytes: AtomicU64,
+    /// Jobs evicted by the retention policy.
+    pub store_evicted: AtomicU64,
+    /// Bytes reclaimed by the retention policy.
+    pub store_bytes_reclaimed: AtomicU64,
     /// Jobs accepted by POST /jobs.
     pub jobs_submitted: AtomicU64,
     /// Jobs finished successfully (report written).
@@ -90,10 +134,18 @@ impl Metrics {
         gauge.store(n, Ordering::Relaxed);
     }
 
-    /// Install a renderer appended to every scrape. First caller wins;
-    /// later calls are ignored (one extension per daemon).
+    /// Install a renderer appended to every scrape, after any renderers
+    /// installed before it. The coordinator and the breaker layer each
+    /// publish their own stanzas this way.
     pub fn set_extra_renderer(&self, f: ExtraRenderer) {
-        let _ = self.extra.set(Extra(f));
+        self.extra.lock().expect("metrics poisoned").push(Extra(f));
+    }
+
+    /// The counters for `tenant`, created on first touch. Cheap enough
+    /// for the request path: one short-lived lock and a map probe.
+    pub fn tenant(&self, tenant: &str) -> Arc<TenantCounters> {
+        let mut map = self.tenants.lock().expect("metrics poisoned");
+        Arc::clone(map.entry(tenant.to_string()).or_default())
     }
 
     /// Fold one finished job's sweep counters in. Points the engine
@@ -257,10 +309,136 @@ impl Metrics {
             "Faults injected by attached fault plans.",
             get(&self.faults_injected),
         );
-        if let Some(Extra(f)) = self.extra.get() {
+        metric(
+            "mpstream_http_timeouts_total",
+            "counter",
+            "Requests cut off by the per-request deadline.",
+            get(&self.http_timeouts),
+        );
+        metric(
+            "mpstream_http_throttled_total",
+            "counter",
+            "Requests answered 429 by rate limit or queue quota.",
+            get(&self.http_throttled),
+        );
+        metric(
+            "mpstream_http_unauthorized_total",
+            "counter",
+            "Requests answered 401 for an unknown API key.",
+            get(&self.http_unauthorized),
+        );
+        metric(
+            "mpstream_conn_requests_capped_total",
+            "counter",
+            "Connections closed at the per-connection request cap.",
+            get(&self.conn_requests_capped),
+        );
+        metric(
+            "mpstream_breaker_opens_total",
+            "counter",
+            "Client circuit-breaker open transitions.",
+            get(&self.breaker_opens),
+        );
+        metric(
+            "mpstream_store_files_compacted",
+            "gauge",
+            "Journal files compacted at store open.",
+            get(&self.store_files_compacted),
+        );
+        metric(
+            "mpstream_store_records_kept",
+            "gauge",
+            "Records kept by startup compaction.",
+            get(&self.store_records_kept),
+        );
+        metric(
+            "mpstream_store_records_superseded",
+            "gauge",
+            "Records superseded by startup compaction.",
+            get(&self.store_records_superseded),
+        );
+        metric(
+            "mpstream_store_records_corrupt",
+            "gauge",
+            "Corrupt records dropped by startup compaction.",
+            get(&self.store_records_corrupt),
+        );
+        metric(
+            "mpstream_store_jobs",
+            "gauge",
+            "Jobs currently retained in the store.",
+            get(&self.store_jobs),
+        );
+        metric(
+            "mpstream_store_bytes",
+            "gauge",
+            "Bytes on disk under the store directory.",
+            get(&self.store_bytes),
+        );
+        metric(
+            "mpstream_store_evicted_total",
+            "counter",
+            "Jobs evicted by the retention policy.",
+            get(&self.store_evicted),
+        );
+        metric(
+            "mpstream_store_bytes_reclaimed_total",
+            "counter",
+            "Bytes reclaimed by the retention policy.",
+            get(&self.store_bytes_reclaimed),
+        );
+        self.render_tenants(&mut out);
+        for Extra(f) in self.extra.lock().expect("metrics poisoned").iter() {
             f(&mut out);
         }
         out
+    }
+
+    /// Render the per-tenant counters as labeled samples, one
+    /// HELP/TYPE stanza per metric name covering every tenant.
+    fn render_tenants(&self, out: &mut String) {
+        let map = self.tenants.lock().expect("metrics poisoned");
+        if map.is_empty() {
+            return;
+        }
+        type Column = (
+            &'static str,
+            &'static str,
+            fn(&TenantCounters) -> &AtomicU64,
+        );
+        let columns: [Column; 4] = [
+            (
+                "mpstream_tenant_requests_total",
+                "Requests attributed to the tenant.",
+                |t| &t.requests,
+            ),
+            (
+                "mpstream_tenant_throttled_total",
+                "Requests answered 429 by the tenant's token bucket.",
+                |t| &t.throttled,
+            ),
+            (
+                "mpstream_tenant_quota_rejected_total",
+                "Submissions answered 429 by the tenant's queue quota.",
+                |t| &t.quota_rejected,
+            ),
+            (
+                "mpstream_tenant_jobs_submitted_total",
+                "Jobs the tenant got accepted.",
+                |t| &t.submitted,
+            ),
+        ];
+        for (name, help, field) in columns {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (tenant, counters) in map.iter() {
+                let _ = writeln!(
+                    out,
+                    "{name}{{tenant=\"{tenant}\"}} {}",
+                    field(counters).load(Ordering::Relaxed)
+                );
+            }
+        }
     }
 }
 
@@ -290,13 +468,37 @@ mod tests {
     }
 
     #[test]
-    fn extra_renderer_appends_once_first_install_wins() {
+    fn extra_renderers_append_in_install_order() {
         let m = Metrics::default();
         assert!(!m.render_prometheus().contains("extra_gauge"));
         m.set_extra_renderer(Box::new(|out| out.push_str("extra_gauge 7\n")));
-        m.set_extra_renderer(Box::new(|out| out.push_str("loser_gauge 0\n")));
+        m.set_extra_renderer(Box::new(|out| out.push_str("second_gauge 8\n")));
         let text = m.render_prometheus();
-        assert!(text.ends_with("extra_gauge 7\n"), "{text}");
-        assert!(!text.contains("loser_gauge"));
+        assert!(text.ends_with("extra_gauge 7\nsecond_gauge 8\n"), "{text}");
+    }
+
+    #[test]
+    fn tenant_counters_render_as_labeled_samples() {
+        let m = Metrics::default();
+        assert!(!m.render_prometheus().contains("mpstream_tenant_"));
+        let anon = m.tenant("anon");
+        Metrics::inc(&anon.requests);
+        Metrics::inc(&anon.requests);
+        let bursty = m.tenant("bursty");
+        Metrics::inc(&bursty.throttled);
+        // Counters survive: tenant() hands back the same instance.
+        Metrics::inc(&m.tenant("bursty").throttled);
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("mpstream_tenant_requests_total{tenant=\"anon\"} 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("mpstream_tenant_requests_total{tenant=\"bursty\"} 0\n"));
+        assert!(text.contains("mpstream_tenant_throttled_total{tenant=\"bursty\"} 2\n"));
+        let help_lines = text
+            .lines()
+            .filter(|l| l.starts_with("# HELP mpstream_tenant_requests_total"))
+            .count();
+        assert_eq!(help_lines, 1, "one stanza covers all tenants");
     }
 }

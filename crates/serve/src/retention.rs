@@ -1,0 +1,151 @@
+//! Store retention policy: bounds on job history so disk use stays
+//! finite under unbounded submission.
+//!
+//! A [`RetentionPolicy`] caps the number of retained jobs and the
+//! store's total bytes, with a minimum age guarding recent jobs from
+//! eviction. The [`ResultStore`](crate::store::ResultStore) applies it
+//! at open (right after startup compaction) and periodically while the
+//! daemon runs; only *terminal* jobs (done/failed/cancelled) old enough
+//! under `min_age` are candidates, evicted oldest-first until both
+//! bounds hold. Live jobs are never touched, so a flood of submissions
+//! can fill the queue but never lose an in-flight sweep.
+
+use std::time::Duration;
+
+/// Bounds on retained job history. The default is unbounded — retention
+/// is opt-in via `--retention` so existing stores keep every job, as
+/// before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Max jobs retained in the journal (`usize::MAX` = unbounded).
+    pub max_jobs: usize,
+    /// Max total store bytes (`u64::MAX` = unbounded).
+    pub max_bytes: u64,
+    /// Jobs younger than this are never evicted.
+    pub min_age: Duration,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy::unbounded()
+    }
+}
+
+impl RetentionPolicy {
+    /// No bounds: never evict anything.
+    pub fn unbounded() -> RetentionPolicy {
+        RetentionPolicy {
+            max_jobs: usize::MAX,
+            max_bytes: u64::MAX,
+            min_age: Duration::ZERO,
+        }
+    }
+
+    /// Does this policy ever evict?
+    pub fn is_unbounded(&self) -> bool {
+        self.max_jobs == usize::MAX && self.max_bytes == u64::MAX
+    }
+
+    /// Parse the `--retention` flag value: comma-separated
+    /// `max-jobs=N`, `max-bytes=N[K|M|G]`, `min-age-s=N` in any order;
+    /// omitted keys stay unbounded.
+    pub fn parse(s: &str) -> Result<RetentionPolicy, String> {
+        let mut policy = RetentionPolicy::unbounded();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("retention term '{part}' is not key=value"))?;
+            match key.trim() {
+                "max-jobs" => {
+                    policy.max_jobs = value
+                        .trim()
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or("max-jobs needs a positive integer")?;
+                }
+                "max-bytes" => {
+                    policy.max_bytes = parse_bytes(value.trim())?;
+                }
+                "min-age-s" => {
+                    policy.min_age = Duration::from_secs(
+                        value
+                            .trim()
+                            .parse::<u64>()
+                            .map_err(|_| "min-age-s needs an integer number of seconds")?,
+                    );
+                }
+                other => {
+                    return Err(format!(
+                        "unknown retention key '{other}' \
+                         (expected max-jobs, max-bytes, min-age-s)"
+                    ))
+                }
+            }
+        }
+        Ok(policy)
+    }
+}
+
+/// Parse a byte count with an optional `K`/`M`/`G` suffix (powers of
+/// 1024, case-insensitive).
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (digits, shift) = match s.as_bytes().last() {
+        Some(b'k' | b'K') => (&s[..s.len() - 1], 10),
+        Some(b'm' | b'M') => (&s[..s.len() - 1], 20),
+        Some(b'g' | b'G') => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("'{s}' is not a byte count (try 64M, 512K, 1G)"))?;
+    n.checked_shl(shift)
+        .filter(|v| *v > 0)
+        .ok_or_else(|| format!("byte count '{s}' out of range"))
+}
+
+/// What one retention pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetentionStats {
+    /// Jobs evicted (journal entry, checkpoint, and report removed).
+    pub evicted: usize,
+    /// Bytes reclaimed by those evictions.
+    pub bytes_reclaimed: u64,
+    /// Jobs retained after the pass.
+    pub remaining_jobs: usize,
+    /// Store bytes accounted to retained jobs after the pass.
+    pub remaining_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unbounded_and_parse_fills_in_terms() {
+        assert!(RetentionPolicy::default().is_unbounded());
+        let p = RetentionPolicy::parse("max-jobs=16, max-bytes=2M, min-age-s=60").unwrap();
+        assert_eq!(p.max_jobs, 16);
+        assert_eq!(p.max_bytes, 2 << 20);
+        assert_eq!(p.min_age, Duration::from_secs(60));
+        assert!(!p.is_unbounded());
+
+        let partial = RetentionPolicy::parse("max-jobs=4").unwrap();
+        assert_eq!(partial.max_jobs, 4);
+        assert_eq!(partial.max_bytes, u64::MAX);
+        assert!(!partial.is_unbounded());
+    }
+
+    #[test]
+    fn byte_suffixes_and_bad_terms() {
+        assert_eq!(parse_bytes("512").unwrap(), 512);
+        assert_eq!(parse_bytes("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("64M").unwrap(), 64 << 20);
+        assert_eq!(parse_bytes("1G").unwrap(), 1 << 30);
+        assert!(parse_bytes("lots").is_err());
+        assert!(parse_bytes("0").is_err());
+        for bad in ["max-jobs=0", "max-bytes=", "min-age-s=x", "jobs=1", "nope"] {
+            assert!(RetentionPolicy::parse(bad).is_err(), "{bad}");
+        }
+    }
+}

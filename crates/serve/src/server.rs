@@ -12,10 +12,12 @@
 //! drain, the in-flight job is cooperatively cancelled and re-queued,
 //! and `run` returns so the process can exit 0.
 
-use crate::http::{parse_request, Request, Response};
+use crate::http::{parse_request, DeadlineStream, ParseError, Request, Response};
 use crate::jobs::{JobManager, SubmitError};
 use crate::metrics::Metrics;
+use crate::retention::RetentionPolicy;
 use crate::store::{JobState, ResultQuery, ResultStore};
+use crate::tenant::{request_key, TenantRegistry};
 use mpstream_core::json::JsonLine;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -42,6 +44,20 @@ pub struct ServeOpts {
     pub http_workers: usize,
     /// Job-queue capacity before submits get 503.
     pub queue_capacity: usize,
+    /// Total time one request may take to arrive, headers and body
+    /// included. Slow-drip clients exceed it and get 408 — they cannot
+    /// pin a pool worker past this budget.
+    pub request_deadline: Duration,
+    /// Requests served per connection before it is closed (keep-alive
+    /// recycling, so one chatty peer cannot hold a worker forever).
+    pub max_requests_per_conn: usize,
+    /// `tenants.jsonl` path; `None` runs anonymous-only.
+    pub tenants_file: Option<PathBuf>,
+    /// Store retention bounds (default unbounded).
+    pub retention: RetentionPolicy,
+    /// Chaos-test profile name; applied by [`Server::bind`] on top of
+    /// the other fields. Test hook for the chaos-soak harness.
+    pub chaos_profile: Option<String>,
 }
 
 impl Default for ServeOpts {
@@ -51,6 +67,33 @@ impl Default for ServeOpts {
             store_dir: PathBuf::from("mpstream-store"),
             http_workers: 4,
             queue_capacity: 16,
+            request_deadline: Duration::from_secs(10),
+            max_requests_per_conn: 256,
+            tenants_file: None,
+            retention: RetentionPolicy::unbounded(),
+            chaos_profile: None,
+        }
+    }
+}
+
+impl ServeOpts {
+    /// Overlay a named chaos profile: aggressive small limits that make
+    /// overload and retention behavior reachable in seconds, plus the
+    /// built-in chaos tenant pair ([`TenantRegistry::chaos`]).
+    pub fn apply_chaos_profile(&mut self, name: &str) -> Result<(), String> {
+        match name {
+            "quick" => {
+                self.queue_capacity = 8;
+                self.request_deadline = Duration::from_secs(2);
+                self.max_requests_per_conn = 64;
+                self.retention = RetentionPolicy {
+                    max_jobs: 16,
+                    max_bytes: 1 << 20,
+                    min_age: Duration::ZERO,
+                };
+                Ok(())
+            }
+            other => Err(format!("unknown chaos profile '{other}' (expected: quick)")),
         }
     }
 }
@@ -75,6 +118,9 @@ struct Shared {
     manager: Arc<JobManager>,
     metrics: Arc<Metrics>,
     hook: OnceLock<RouteHook>,
+    tenants: TenantRegistry,
+    request_deadline: Duration,
+    max_requests_per_conn: usize,
 }
 
 /// A bound (not yet running) server.
@@ -87,9 +133,33 @@ pub struct Server {
 
 impl Server {
     /// Open the store, build the manager, bind the listener.
-    pub fn bind(opts: ServeOpts) -> std::io::Result<Server> {
+    pub fn bind(mut opts: ServeOpts) -> std::io::Result<Server> {
+        let invalid = |why: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, why);
+        if let Some(profile) = opts.chaos_profile.clone() {
+            opts.apply_chaos_profile(&profile).map_err(invalid)?;
+        }
+        let tenants = if opts.chaos_profile.is_some() {
+            TenantRegistry::chaos()
+        } else if let Some(path) = &opts.tenants_file {
+            TenantRegistry::load(path).map_err(invalid)?
+        } else {
+            TenantRegistry::anonymous_only()
+        };
         let metrics = Arc::new(Metrics::default());
-        let store = Arc::new(ResultStore::open(&opts.store_dir)?);
+        let store = Arc::new(ResultStore::open_with(&opts.store_dir, opts.retention)?);
+        // Publish what startup compaction did — these numbers used to
+        // live only in the banner line and were lost to scraping.
+        let startup = store.startup_stats();
+        Metrics::set(&metrics.store_files_compacted, startup.files as u64);
+        Metrics::set(&metrics.store_records_kept, startup.compaction.kept as u64);
+        Metrics::set(
+            &metrics.store_records_superseded,
+            startup.compaction.superseded as u64,
+        );
+        Metrics::set(
+            &metrics.store_records_corrupt,
+            startup.compaction.corrupt as u64,
+        );
         let manager = JobManager::new(store, Arc::clone(&metrics), opts.queue_capacity);
         let listener = TcpListener::bind(&opts.addr)?;
         Ok(Server {
@@ -98,6 +168,9 @@ impl Server {
                 manager,
                 metrics,
                 hook: OnceLock::new(),
+                tenants,
+                request_deadline: opts.request_deadline,
+                max_requests_per_conn: opts.max_requests_per_conn.max(1),
             }),
             shutdown: Arc::new(AtomicBool::new(false)),
             opts,
@@ -142,6 +215,30 @@ impl Server {
     pub fn run(self) -> std::io::Result<()> {
         let runner = self.shared.manager.spawn_runner();
 
+        // Periodic retention so long-idle daemons still converge to
+        // their bounds (job completions also trigger a pass).
+        let gc = (!self.opts.retention.is_unbounded()).then(|| {
+            let store = self.store();
+            let stop = Arc::clone(&self.shutdown);
+            std::thread::Builder::new()
+                .name("mpstream-store-gc".into())
+                .spawn(move || {
+                    loop {
+                        // ~5s cadence, checking for shutdown every 250ms.
+                        for _ in 0..20 {
+                            if stop.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(250));
+                        }
+                        if let Err(why) = store.run_retention() {
+                            eprintln!("mpstream serve: retention pass failed: {why}");
+                        }
+                    }
+                })
+                .expect("spawn store gc")
+        });
+
         let (tx, rx) = sync_channel::<TcpStream>(self.opts.http_workers * 2);
         let rx = Arc::new(Mutex::new(rx));
         let workers: Vec<_> = (0..self.opts.http_workers.max(1))
@@ -163,6 +260,9 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            // Responses are small and latency-bound; leaving Nagle on
+            // costs ~40ms per keep-alive round trip to delayed ACKs.
+            let _ = stream.set_nodelay(true);
             match tx.try_send(stream) {
                 Ok(()) => {}
                 Err(TrySendError::Full(stream)) => {
@@ -183,6 +283,10 @@ impl Server {
         // and re-queued (its finished points are already checkpointed).
         self.shared.manager.shutdown();
         let _ = runner.join();
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(gc) = gc {
+            let _ = gc.join();
+        }
         Ok(())
     }
 }
@@ -226,19 +330,26 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Arc<Shared>) {
     }
 }
 
-/// Serve one connection: parse/route/respond until close or error.
+/// Serve one connection: parse/route/respond until close, error,
+/// request deadline, or the per-connection request cap.
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(DeadlineStream::new(stream, shared.request_deadline));
+    let mut served = 0usize;
     loop {
+        // Each request gets a fresh total budget; within one request
+        // the clock never resets, so slow-drip delivery hits 408.
+        reader.get_mut().arm(shared.request_deadline);
         match parse_request(&mut reader) {
             Ok(None) => return,
             Err(e) => {
+                if matches!(e, ParseError::TimedOut { mid_request: true }) {
+                    Metrics::inc(&shared.metrics.http_timeouts);
+                }
                 if let Some(status) = e.status() {
                     Metrics::inc(&shared.metrics.http_client_errors);
                     if Response::text(status, format!("{}\n", e.reason()))
@@ -252,7 +363,12 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             }
             Ok(Some(req)) => {
                 Metrics::inc(&shared.metrics.http_requests);
-                let close = req.wants_close();
+                served += 1;
+                let capped = served >= shared.max_requests_per_conn;
+                if capped {
+                    Metrics::inc(&shared.metrics.conn_requests_capped);
+                }
+                let close = req.wants_close() || capped;
                 let resp = route(&req, shared);
                 if (400..500).contains(&resp.status()) {
                     Metrics::inc(&shared.metrics.http_client_errors);
@@ -283,7 +399,10 @@ fn job_status_line(rec: &crate::store::JobRecord, done: usize) -> String {
     w.finish()
 }
 
-/// Dispatch one parsed request.
+/// Dispatch one parsed request: hook routes and health/metrics first
+/// (exempt from admission — monitoring must reach an overloaded
+/// daemon, and cluster-internal traffic polices itself), then the
+/// tenant admission pipeline (authenticate, rate-limit), then the API.
 fn route(req: &Request, shared: &Arc<Shared>) -> Response {
     if let Some(hook) = shared.hook.get() {
         if let Some(resp) = hook(req) {
@@ -293,18 +412,44 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     let manager = &shared.manager;
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+        ("GET", ["healthz"]) => return Response::text(200, "ok\n"),
         ("GET", ["metrics"]) => {
-            // Refresh the queue gauge at scrape time.
+            // Refresh the gauges at scrape time.
             Metrics::set(&shared.metrics.queue_depth, manager.queue_depth() as u64);
-            Response::text(200, shared.metrics.render_prometheus())
+            let store = manager.store();
+            Metrics::set(&shared.metrics.store_jobs, store.job_count() as u64);
+            Metrics::set(&shared.metrics.store_bytes, store.disk_usage());
+            let (evicted, reclaimed) = store.retention_counters();
+            Metrics::set(&shared.metrics.store_evicted, evicted);
+            Metrics::set(&shared.metrics.store_bytes_reclaimed, reclaimed);
+            return Response::text(200, shared.metrics.render_prometheus());
         }
+        _ => {}
+    }
+
+    let Some(tenant) = shared.tenants.resolve(request_key(req)) else {
+        Metrics::inc(&shared.metrics.http_unauthorized);
+        return json_error(401, "unknown API key");
+    };
+    let counters = shared.metrics.tenant(tenant.name());
+    Metrics::inc(&counters.requests);
+    if let Err(wait) = tenant.try_admit() {
+        Metrics::inc(&shared.metrics.http_throttled);
+        Metrics::inc(&counters.throttled);
+        // Ceil to whole seconds, never 0: "come back when a token is up."
+        let secs = wait.as_secs() + u64::from(wait.subsec_nanos() > 0);
+        return json_error(429, "rate limit exceeded")
+            .header("Retry-After", secs.max(1).to_string());
+    }
+
+    match (req.method.as_str(), segments.as_slice()) {
         ("POST", ["jobs"]) => {
             let Ok(body) = std::str::from_utf8(&req.body) else {
                 return json_error(400, "body must be utf-8 JSON");
             };
-            match manager.submit(body.trim()) {
+            match manager.submit_for(body.trim(), tenant.name(), tenant.queue_quota()) {
                 Ok(rec) => {
+                    Metrics::inc(&counters.submitted);
                     let mut w = JsonLine::new();
                     w.u64_field("id", rec.id);
                     w.str_field("state", rec.state.label());
@@ -314,6 +459,15 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
                 Err(SubmitError::Busy { capacity }) => {
                     json_error(503, &format!("job queue full (capacity {capacity})"))
                         .header("Retry-After", "1")
+                }
+                Err(SubmitError::Quota { tenant, quota }) => {
+                    Metrics::inc(&shared.metrics.http_throttled);
+                    Metrics::inc(&counters.quota_rejected);
+                    json_error(
+                        429,
+                        &format!("tenant {tenant} at queue quota ({quota} live jobs)"),
+                    )
+                    .header("Retry-After", "5")
                 }
                 Err(SubmitError::Invalid(why)) => json_error(400, &why),
                 Err(SubmitError::Store(why)) => json_error(500, &why),

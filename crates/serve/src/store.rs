@@ -18,13 +18,25 @@
 //! every checkpoint on startup (last record per key, torn tails
 //! dropped), converging the directory back to a clean state.
 
+use crate::retention::{RetentionPolicy, RetentionStats};
 use mpstream_core::json::{compact_jsonl, parse_flat_object, CompactStats, JsonLine};
 use mpstream_core::Checkpoint;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Wall-clock seconds since the epoch — the journal's age notion for
+/// retention. Coarse on purpose: eviction decisions span minutes.
+fn now_unix() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
 
 /// Lifecycle of a job. `Queued` and `Running` are the live states a
 /// restart re-queues; the other three are terminal.
@@ -85,6 +97,12 @@ pub struct JobRecord {
     pub total: usize,
     /// Failure reason when `state` is `Failed`, else empty.
     pub error: String,
+    /// Tenant the job was submitted under ("" for pre-tenancy journals;
+    /// treated as the anonymous tenant).
+    pub tenant: String,
+    /// Unix seconds of the last state change, stamped by
+    /// [`ResultStore::record`]. Retention evicts oldest-first by this.
+    pub updated_unix: u64,
 }
 
 impl JobRecord {
@@ -95,6 +113,8 @@ impl JobRecord {
         w.u64_field("total", self.total as u64);
         w.str_field("spec", &self.spec);
         w.str_field("error", &self.error);
+        w.str_field("tenant", &self.tenant);
+        w.u64_field("updated_unix", self.updated_unix);
         w.finish()
     }
 
@@ -106,6 +126,17 @@ impl JobRecord {
             spec: obj.get("spec")?.as_str()?.to_string(),
             total: obj.get("total")?.as_u64()? as usize,
             error: obj.get("error")?.as_str()?.to_string(),
+            // Absent in journals written before tenancy/retention:
+            // default rather than reject, so old stores keep opening.
+            tenant: obj
+                .get("tenant")
+                .and_then(|v| v.as_str())
+                .unwrap_or("")
+                .to_string(),
+            updated_unix: obj
+                .get("updated_unix")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0),
         })
     }
 }
@@ -220,12 +251,25 @@ pub struct ResultStore {
     /// grown file, reading only the new suffix.
     index: Mutex<HashMap<u64, JobIndex>>,
     startup: StartupStats,
+    policy: RetentionPolicy,
+    /// Jobs evicted by retention over this handle's lifetime.
+    evicted: AtomicU64,
+    /// Bytes reclaimed by retention over this handle's lifetime.
+    bytes_reclaimed: AtomicU64,
 }
 
 impl ResultStore {
-    /// Open (creating if needed) the store directory: compact the
-    /// journal and every job checkpoint, then replay the journal.
+    /// Open (creating if needed) the store directory with no retention
+    /// bounds: compact the journal and every job checkpoint, then
+    /// replay the journal.
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::open_with(dir, RetentionPolicy::unbounded())
+    }
+
+    /// [`open`](Self::open) under a retention policy, applied once
+    /// right after startup compaction (and again whenever
+    /// [`run_retention`](Self::run_retention) is called).
+    pub fn open_with(dir: impl AsRef<Path>, policy: RetentionPolicy) -> std::io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
 
@@ -274,13 +318,18 @@ impl ResultStore {
             index.insert(*id, ji);
         }
 
-        Ok(ResultStore {
+        let store = ResultStore {
             dir,
             journal: Mutex::new(journal),
             jobs: Mutex::new(jobs),
             index: Mutex::new(index),
             startup,
-        })
+            policy,
+            evicted: AtomicU64::new(0),
+            bytes_reclaimed: AtomicU64::new(0),
+        };
+        store.run_retention()?;
+        Ok(store)
     }
 
     /// What startup compaction did.
@@ -299,8 +348,12 @@ impl ResultStore {
         jobs.keys().max().copied().unwrap_or(0) + 1
     }
 
-    /// Append a record to the journal (flushed) and the in-memory view.
+    /// Append a record to the journal (flushed) and the in-memory view,
+    /// stamping `updated_unix` so retention sees every state change as
+    /// activity.
     pub fn record(&self, rec: &JobRecord) -> std::io::Result<()> {
+        let mut rec = rec.clone();
+        rec.updated_unix = now_unix();
         let line = rec.render();
         let mut journal = self.journal.lock().expect("store mutex poisoned");
         writeln!(journal, "{line}")?;
@@ -309,7 +362,7 @@ impl ResultStore {
         self.jobs
             .lock()
             .expect("store mutex poisoned")
-            .insert(rec.id, rec.clone());
+            .insert(rec.id, rec);
         Ok(())
     }
 
@@ -466,6 +519,116 @@ impl ResultStore {
         }
         out
     }
+
+    /// The retention policy this store enforces.
+    pub fn retention_policy(&self) -> RetentionPolicy {
+        self.policy
+    }
+
+    /// Cumulative `(jobs evicted, bytes reclaimed)` by retention since
+    /// open — the `/metrics` feed.
+    pub fn retention_counters(&self) -> (u64, u64) {
+        (
+            self.evicted.load(Ordering::Relaxed),
+            self.bytes_reclaimed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total bytes under the store directory right now (journal,
+    /// checkpoints, reports, anything else present).
+    pub fn disk_usage(&self) -> u64 {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter_map(|e| e.metadata().ok())
+            .filter(|m| m.is_file())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    /// Number of jobs the journal currently retains.
+    pub fn job_count(&self) -> usize {
+        self.jobs.lock().expect("store mutex poisoned").len()
+    }
+
+    /// Enforce the retention policy now: while either bound is
+    /// exceeded, evict terminal jobs old enough under `min_age`,
+    /// oldest-first by last state change. Live jobs are never evicted.
+    /// Evicting rewrites the journal (tmp + rename, then a fresh append
+    /// handle) and deletes the job's checkpoint and report.
+    pub fn run_retention(&self) -> std::io::Result<RetentionStats> {
+        if self.policy.is_unbounded() {
+            return Ok(RetentionStats::default());
+        }
+        let now = now_unix();
+        // Lock order everywhere: journal, then jobs, then index.
+        let mut journal = self.journal.lock().expect("store mutex poisoned");
+        let mut jobs = self.jobs.lock().expect("store mutex poisoned");
+        let mut index = self.index.lock().expect("store mutex poisoned");
+
+        let file_len = |p: &Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+        // Bytes accounted to a job: its journal line, checkpoint, and
+        // report. Other directory residents are not retention's to
+        // reclaim, so they don't count against the byte bound.
+        let job_bytes = |rec: &JobRecord| {
+            rec.render().len() as u64
+                + 1
+                + file_len(&self.checkpoint_path(rec.id))
+                + file_len(&self.report_path(rec.id))
+        };
+        let mut total_bytes: u64 = jobs.values().map(job_bytes).sum();
+
+        let mut candidates: Vec<(u64, u64, u64)> = jobs
+            .values()
+            .filter(|r| !r.state.is_live())
+            .filter(|r| now.saturating_sub(r.updated_unix) >= self.policy.min_age.as_secs())
+            .map(|r| (r.updated_unix, r.id, job_bytes(r)))
+            .collect();
+        candidates.sort_unstable();
+
+        let mut stats = RetentionStats::default();
+        let mut victims = candidates.into_iter();
+        while jobs.len() > self.policy.max_jobs || total_bytes > self.policy.max_bytes {
+            let Some((_, id, bytes)) = victims.next() else {
+                break; // Everything left is live or too young.
+            };
+            std::fs::remove_file(self.checkpoint_path(id)).ok();
+            std::fs::remove_file(self.report_path(id)).ok();
+            jobs.remove(&id);
+            index.remove(&id);
+            total_bytes = total_bytes.saturating_sub(bytes);
+            stats.evicted += 1;
+            stats.bytes_reclaimed += bytes;
+        }
+        stats.remaining_jobs = jobs.len();
+        stats.remaining_bytes = total_bytes;
+
+        if stats.evicted > 0 {
+            // Rewrite the journal to only the surviving jobs. The old
+            // append handle points at the replaced inode after the
+            // rename, so it must be reopened under the same lock.
+            let path = self.dir.join("jobs.jsonl");
+            let tmp = self.dir.join("jobs.jsonl.tmp");
+            {
+                let mut f = File::create(&tmp)?;
+                let mut ordered: Vec<&JobRecord> = jobs.values().collect();
+                ordered.sort_by_key(|r| r.id);
+                for rec in ordered {
+                    writeln!(f, "{}", rec.render())?;
+                }
+                f.flush()?;
+            }
+            std::fs::rename(&tmp, &path)?;
+            *journal = OpenOptions::new().create(true).append(true).open(&path)?;
+            self.evicted
+                .fetch_add(stats.evicted as u64, Ordering::Relaxed);
+            self.bytes_reclaimed
+                .fetch_add(stats.bytes_reclaimed, Ordering::Relaxed);
+        }
+        Ok(stats)
+    }
 }
 
 #[cfg(test)]
@@ -489,6 +652,8 @@ mod tests {
             spec: "{\"kernels\":\"copy\"}".into(),
             total: 10,
             error: String::new(),
+            tenant: String::new(),
+            updated_unix: 0,
         }
     }
 
@@ -531,6 +696,100 @@ mod tests {
         let store = ResultStore::open(&dir).unwrap();
         assert_eq!(store.jobs().len(), 1);
         assert_eq!(store.startup_stats().compaction.corrupt, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pre_tenancy_journal_lines_still_parse() {
+        let rec = JobRecord::parse(
+            "{\"id\":4,\"state\":\"done\",\"total\":10,\"spec\":\"{}\",\"error\":\"\"}",
+        )
+        .expect("old journal line parses");
+        assert_eq!(rec.tenant, "");
+        assert_eq!(rec.updated_unix, 0);
+        let rec = JobRecord::parse(&sample(5, JobState::Failed).render()).unwrap();
+        assert_eq!(rec.id, 5);
+        assert_eq!(rec.state, JobState::Failed);
+    }
+
+    #[test]
+    fn retention_evicts_oldest_terminal_jobs_and_spares_live_ones() {
+        let dir = temp_dir("retention");
+        let policy = RetentionPolicy {
+            max_jobs: 2,
+            max_bytes: u64::MAX,
+            min_age: std::time::Duration::ZERO,
+        };
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            for id in 1..=4 {
+                // record() stamps updated_unix with second granularity;
+                // ids double as age order only because all four share
+                // one stamp and eviction ties break by id.
+                store.record(&sample(id, JobState::Done)).unwrap();
+                store.write_report(id, &format!("report {id}\n")).unwrap();
+            }
+            store.record(&sample(5, JobState::Queued)).unwrap();
+        }
+        // Reopen under the policy: 5 jobs, bound is 2 — but the queued
+        // job is live and must survive even above the bound.
+        let store = ResultStore::open_with(&dir, policy).unwrap();
+        let ids: Vec<u64> = store.jobs().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![4, 5], "oldest terminal jobs evicted: {ids:?}");
+        assert!(store.read_report(1).is_none(), "evicted report deleted");
+        assert!(store.read_report(4).is_some());
+        let (evicted, reclaimed) = store.retention_counters();
+        assert_eq!(evicted, 3);
+        assert!(reclaimed > 0);
+
+        // The rewritten journal must survive another reopen, and the
+        // reopened append handle must still reach the live file.
+        store.record(&sample(6, JobState::Queued)).unwrap();
+        drop(store);
+        let store = ResultStore::open(&dir).unwrap();
+        let ids: Vec<u64> = store.jobs().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![4, 5, 6]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_byte_bound_and_min_age_guard() {
+        let dir = temp_dir("retention-bytes");
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            for id in 1..=3 {
+                store.record(&sample(id, JobState::Done)).unwrap();
+                store.write_report(id, &"x".repeat(4096)).unwrap();
+            }
+        }
+        // A byte bound that fits roughly one job's worth of data.
+        let store = ResultStore::open_with(
+            &dir,
+            RetentionPolicy {
+                max_jobs: usize::MAX,
+                max_bytes: 6 * 1024,
+                min_age: std::time::Duration::ZERO,
+            },
+        )
+        .unwrap();
+        assert!(store.job_count() < 3, "byte bound forced evictions");
+        drop(store);
+
+        // min_age an hour: nothing just written may be evicted, even
+        // with max_jobs=1.
+        let store = ResultStore::open_with(
+            &dir,
+            RetentionPolicy {
+                max_jobs: 1,
+                max_bytes: u64::MAX,
+                min_age: std::time::Duration::from_secs(3600),
+            },
+        )
+        .unwrap();
+        let before = store.job_count();
+        assert_eq!(store.run_retention().unwrap().evicted, 0);
+        assert_eq!(store.job_count(), before, "young jobs are protected");
+        assert!(store.disk_usage() > 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

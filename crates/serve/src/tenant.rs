@@ -1,0 +1,451 @@
+//! Per-tenant admission control: API keys, token-bucket rate limits,
+//! and queue quotas.
+//!
+//! Tenants are declared in a `tenants.jsonl` file (the workspace's flat
+//! JSON dialect, one tenant per line) and resolved per request from
+//! `Authorization: Bearer <key>` or `X-Api-Key: <key>`. Requests with
+//! no key belong to the built-in anonymous tenant, which is unlimited
+//! unless the file declares a tenant named `anon` with limits of its
+//! own — so a daemon without a tenants file behaves exactly as before,
+//! while a configured one can pin every client to a budget.
+//!
+//! Rate limiting is a classic token bucket per tenant: `rate_per_sec`
+//! tokens accrue continuously up to `burst`, one request spends one
+//! token, and an empty bucket yields the exact wait until the next
+//! token — the HTTP layer turns that into `429` + `Retry-After`.
+//! Queue quotas (`queue_quota` live jobs per tenant) are enforced by
+//! the [`JobManager`](crate::jobs::JobManager) at submit time.
+
+use mpstream_core::json::parse_flat_object;
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The tenant every keyless request maps to.
+pub const ANONYMOUS: &str = "anon";
+
+/// One tenant's declared limits. Zero means unlimited for both the
+/// rate and the quota, so a bare `{"name":...,"key":...}` line grants
+/// an identified but unthrottled tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name (the `/metrics` label and journal tag).
+    pub name: String,
+    /// API key presented by clients ("" only for the anonymous tenant).
+    pub key: String,
+    /// Sustained request rate (tokens per second; 0 = unlimited).
+    pub rate_per_sec: f64,
+    /// Bucket capacity (burst size; defaults to `rate_per_sec.max(1)`).
+    pub burst: f64,
+    /// Max live (queued or running) jobs (0 = unlimited).
+    pub queue_quota: usize,
+}
+
+impl TenantSpec {
+    /// An unlimited tenant with the given name and key.
+    pub fn unlimited(name: &str, key: &str) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            key: key.to_string(),
+            rate_per_sec: 0.0,
+            burst: 1.0,
+            queue_quota: 0,
+        }
+    }
+
+    fn parse(line: &str) -> Result<TenantSpec, String> {
+        let obj = parse_flat_object(line).ok_or("not a flat JSON object")?;
+        // A typo'd limit field ("rate" for "rate_per_sec") must not
+        // silently configure an unlimited tenant.
+        for field in obj.keys() {
+            if !matches!(
+                field.as_str(),
+                "name" | "key" | "rate_per_sec" | "burst" | "queue_quota"
+            ) {
+                return Err(format!("unknown tenant field \"{field}\""));
+            }
+        }
+        let name = obj
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or("missing \"name\"")?
+            .to_string();
+        if name.is_empty() {
+            return Err("empty \"name\"".into());
+        }
+        let key = obj
+            .get("key")
+            .and_then(|v| v.as_str())
+            .unwrap_or("")
+            .to_string();
+        if key.is_empty() && name != ANONYMOUS {
+            return Err(format!("tenant '{name}' has no \"key\""));
+        }
+        let rate_per_sec = match obj.get("rate_per_sec") {
+            None => 0.0,
+            Some(v) => v
+                .as_f64()
+                .filter(|r| r.is_finite() && *r >= 0.0)
+                .ok_or("\"rate_per_sec\" must be a non-negative number")?,
+        };
+        let burst = match obj.get("burst") {
+            None => rate_per_sec.max(1.0),
+            Some(v) => v
+                .as_f64()
+                .filter(|b| b.is_finite() && *b >= 1.0)
+                .ok_or("\"burst\" must be a number >= 1")?,
+        };
+        let queue_quota = match obj.get("queue_quota") {
+            None => 0,
+            Some(v) => v.as_u64().ok_or("\"queue_quota\" must be an integer")? as usize,
+        };
+        Ok(TenantSpec {
+            name,
+            key,
+            rate_per_sec,
+            burst,
+            queue_quota,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// A resolved tenant: its spec plus the live token bucket.
+#[derive(Debug)]
+pub struct Tenant {
+    spec: TenantSpec,
+    bucket: Mutex<Bucket>,
+}
+
+impl Tenant {
+    fn new(spec: TenantSpec) -> Arc<Tenant> {
+        let bucket = Bucket {
+            tokens: spec.burst,
+            last: Instant::now(),
+        };
+        Arc::new(Tenant {
+            spec,
+            bucket: Mutex::new(bucket),
+        })
+    }
+
+    /// The tenant's name (metrics label, journal tag).
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// The tenant's live-job quota (0 = unlimited).
+    pub fn queue_quota(&self) -> usize {
+        self.spec.queue_quota
+    }
+
+    /// Spend one token, or report how long until one accrues. The
+    /// `now`-taking form exists so tests can drive the clock.
+    pub fn try_admit_at(&self, now: Instant) -> Result<(), Duration> {
+        if self.spec.rate_per_sec <= 0.0 {
+            return Ok(());
+        }
+        let mut b = self.bucket.lock().expect("tenant bucket poisoned");
+        let dt = now.saturating_duration_since(b.last).as_secs_f64();
+        b.tokens = (b.tokens + dt * self.spec.rate_per_sec).min(self.spec.burst);
+        b.last = now;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err(Duration::from_secs_f64(
+                (1.0 - b.tokens) / self.spec.rate_per_sec,
+            ))
+        }
+    }
+
+    /// [`try_admit_at`](Self::try_admit_at) against the real clock.
+    pub fn try_admit(&self) -> Result<(), Duration> {
+        self.try_admit_at(Instant::now())
+    }
+}
+
+/// The set of known tenants, resolvable by API key.
+#[derive(Debug)]
+pub struct TenantRegistry {
+    by_key: HashMap<String, Arc<Tenant>>,
+    anon: Arc<Tenant>,
+}
+
+impl Default for TenantRegistry {
+    fn default() -> Self {
+        TenantRegistry::anonymous_only()
+    }
+}
+
+impl TenantRegistry {
+    /// A registry with only the unlimited anonymous tenant — the
+    /// no-tenants-file default, behaviourally identical to a daemon
+    /// without admission control.
+    pub fn anonymous_only() -> TenantRegistry {
+        TenantRegistry {
+            by_key: HashMap::new(),
+            anon: Tenant::new(TenantSpec::unlimited(ANONYMOUS, "")),
+        }
+    }
+
+    /// Build a registry from explicit specs (a tenant named [`ANONYMOUS`]
+    /// replaces the built-in unlimited one). Duplicate keys or names are
+    /// configuration errors, reported loudly rather than shadowed.
+    pub fn from_specs(specs: Vec<TenantSpec>) -> Result<TenantRegistry, String> {
+        let mut reg = TenantRegistry::anonymous_only();
+        let mut names = HashMap::new();
+        for spec in specs {
+            if names.insert(spec.name.clone(), ()).is_some() {
+                return Err(format!("duplicate tenant name '{}'", spec.name));
+            }
+            if spec.name == ANONYMOUS {
+                reg.anon = Tenant::new(spec);
+                continue;
+            }
+            let key = spec.key.clone();
+            if reg.by_key.insert(key, Tenant::new(spec)).is_some() {
+                return Err("duplicate tenant key".into());
+            }
+        }
+        Ok(reg)
+    }
+
+    /// Load `tenants.jsonl`: one flat JSON object per line; blank lines
+    /// and `#` comments are skipped. Any malformed line fails the load —
+    /// a tenant silently dropped from a typo'd config would be a quota
+    /// bypass.
+    pub fn load(path: &Path) -> Result<TenantRegistry, String> {
+        let f = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut specs = Vec::new();
+        for (lineno, line) in std::io::BufReader::new(f).lines().enumerate() {
+            let line = line.map_err(|e| format!("{}: {e}", path.display()))?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let spec = TenantSpec::parse(line)
+                .map_err(|e| format!("{} line {}: {e}", path.display(), lineno + 1))?;
+            specs.push(spec);
+        }
+        Self::from_specs(specs)
+    }
+
+    /// The built-in chaos-profile pair: a well-behaved unlimited tenant
+    /// and a tightly throttled one, plus an unlimited anon — the cast
+    /// the chaos-soak harness throws at the daemon.
+    pub fn chaos() -> TenantRegistry {
+        Self::from_specs(vec![
+            TenantSpec {
+                name: "steady".into(),
+                key: "chaos-steady".into(),
+                rate_per_sec: 0.0,
+                burst: 1.0,
+                queue_quota: 4,
+            },
+            TenantSpec {
+                name: "bursty".into(),
+                key: "chaos-bursty".into(),
+                rate_per_sec: 5.0,
+                burst: 5.0,
+                queue_quota: 2,
+            },
+        ])
+        .expect("built-in chaos tenants are valid")
+    }
+
+    /// How many keyed tenants are registered (excludes anon).
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Is only the anonymous tenant configured?
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Resolve a presented key: no key → the anonymous tenant;
+    /// `Some(key)` → the tenant owning it, or `None` for an unknown key
+    /// (the HTTP layer answers 401 — never silently demoted to anon,
+    /// which would let a mistyped key bypass its tenant's limits).
+    pub fn resolve(&self, key: Option<&str>) -> Option<&Arc<Tenant>> {
+        match key {
+            None => Some(&self.anon),
+            Some(k) => self.by_key.get(k),
+        }
+    }
+
+    /// The anonymous tenant.
+    pub fn anonymous(&self) -> &Arc<Tenant> {
+        &self.anon
+    }
+}
+
+/// Extract the API key from parsed request headers: `Authorization:
+/// Bearer <key>` (case-insensitive scheme) or `X-Api-Key: <key>`.
+/// `None` when neither is present; `Some("")` never (empty keys read
+/// as absent).
+pub fn request_key(req: &crate::http::Request) -> Option<&str> {
+    if let Some(auth) = req.header("authorization") {
+        let mut parts = auth.trim().splitn(2, ' ');
+        if let (Some(scheme), Some(token)) = (parts.next(), parts.next()) {
+            if scheme.eq_ignore_ascii_case("bearer") && !token.trim().is_empty() {
+                return Some(token.trim());
+            }
+        }
+    }
+    req.header("x-api-key")
+        .map(str::trim)
+        .filter(|k| !k.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, key: &str, rate: f64, burst: f64, quota: usize) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            key: key.into(),
+            rate_per_sec: rate,
+            burst,
+            queue_quota: quota,
+        }
+    }
+
+    #[test]
+    fn bucket_spends_refills_and_reports_retry_after() {
+        let t = Tenant::new(spec("a", "k", 2.0, 2.0, 0));
+        let t0 = Instant::now();
+        assert!(t.try_admit_at(t0).is_ok());
+        assert!(t.try_admit_at(t0).is_ok());
+        // Bucket drained: the third request inside the same instant
+        // must wait half a second for the next token at 2/s.
+        let wait = t.try_admit_at(t0).unwrap_err();
+        assert!(
+            (wait.as_secs_f64() - 0.5).abs() < 1e-9,
+            "wait {wait:?} should be 0.5s"
+        );
+        // After 1s, one token accrued (capped at burst 2).
+        assert!(t.try_admit_at(t0 + Duration::from_secs(1)).is_ok());
+        assert!(t.try_admit_at(t0 + Duration::from_secs(1)).is_ok());
+        assert!(t.try_admit_at(t0 + Duration::from_secs(1)).is_err());
+    }
+
+    #[test]
+    fn zero_rate_is_unlimited() {
+        let t = Tenant::new(spec("a", "k", 0.0, 1.0, 0));
+        let t0 = Instant::now();
+        for _ in 0..10_000 {
+            assert!(t.try_admit_at(t0).is_ok());
+        }
+    }
+
+    #[test]
+    fn registry_resolves_keys_and_rejects_unknown() {
+        let reg = TenantRegistry::from_specs(vec![
+            spec("a", "key-a", 1.0, 1.0, 2),
+            spec("b", "key-b", 0.0, 1.0, 0),
+        ])
+        .unwrap();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.resolve(Some("key-a")).unwrap().name(), "a");
+        assert_eq!(reg.resolve(Some("key-b")).unwrap().queue_quota(), 0);
+        assert_eq!(reg.resolve(None).unwrap().name(), ANONYMOUS);
+        assert!(reg.resolve(Some("nope")).is_none());
+    }
+
+    #[test]
+    fn anon_spec_overrides_the_builtin_unlimited_default() {
+        let reg = TenantRegistry::from_specs(vec![spec(ANONYMOUS, "", 1.0, 1.0, 3)]).unwrap();
+        let anon = reg.resolve(None).unwrap();
+        assert_eq!(anon.queue_quota(), 3);
+        let t0 = Instant::now();
+        assert!(anon.try_admit_at(t0).is_ok());
+        assert!(anon.try_admit_at(t0).is_err(), "anon is now rate limited");
+    }
+
+    #[test]
+    fn duplicate_names_or_keys_fail_loudly() {
+        assert!(TenantRegistry::from_specs(vec![
+            spec("a", "k1", 0.0, 1.0, 0),
+            spec("a", "k2", 0.0, 1.0, 0),
+        ])
+        .is_err());
+        assert!(TenantRegistry::from_specs(vec![
+            spec("a", "same", 0.0, 1.0, 0),
+            spec("b", "same", 0.0, 1.0, 0),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn tenants_file_round_trips_and_rejects_typos() {
+        let dir = std::env::temp_dir().join(format!("mpstream-tenants-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tenants.jsonl");
+        std::fs::write(
+            &path,
+            "# comment\n\
+             {\"name\":\"acme\",\"key\":\"acme-secret\",\"rate_per_sec\":5,\"burst\":10,\"queue_quota\":4}\n\
+             \n\
+             {\"name\":\"free\",\"key\":\"free-key\"}\n",
+        )
+        .unwrap();
+        let reg = TenantRegistry::load(&path).unwrap();
+        assert_eq!(reg.len(), 2);
+        let acme = reg.resolve(Some("acme-secret")).unwrap();
+        assert_eq!(acme.name(), "acme");
+        assert_eq!(acme.queue_quota(), 4);
+        assert_eq!(reg.resolve(Some("free-key")).unwrap().queue_quota(), 0);
+
+        std::fs::write(&path, "{\"name\":\"x\"}\n").unwrap();
+        let err = TenantRegistry::load(&path).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+
+        // A misspelled limit field must fail loudly, not configure an
+        // unlimited tenant.
+        std::fs::write(&path, "{\"name\":\"x\",\"key\":\"k\",\"rate\":1}\n").unwrap();
+        let err = TenantRegistry::load(&path).unwrap_err();
+        assert!(err.contains("unknown tenant field \"rate\""), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn request_key_reads_bearer_and_x_api_key() {
+        let req = |headers: &[(&str, &str)]| crate::http::Request {
+            method: "GET".into(),
+            path: "/jobs".into(),
+            query: Vec::new(),
+            headers: headers
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect(),
+            body: Vec::new(),
+        };
+        assert_eq!(
+            request_key(&req(&[("authorization", "Bearer sekrit")])),
+            Some("sekrit")
+        );
+        assert_eq!(
+            request_key(&req(&[("authorization", "bearer sekrit")])),
+            Some("sekrit")
+        );
+        assert_eq!(request_key(&req(&[("x-api-key", " k1 ")])), Some("k1"));
+        // Bearer wins when both are present (it is the standard header).
+        assert_eq!(
+            request_key(&req(&[("authorization", "Bearer a"), ("x-api-key", "b")])),
+            Some("a")
+        );
+        assert_eq!(request_key(&req(&[("authorization", "Basic xyz")])), None);
+        assert_eq!(request_key(&req(&[("x-api-key", "")])), None);
+        assert_eq!(request_key(&req(&[])), None);
+    }
+}

@@ -37,9 +37,14 @@ fn assert_outcome_sane(bytes: &[u8]) -> bool {
         }
         Err(e) => {
             match e.status() {
-                Some(400 | 431 | 413) => {}
+                Some(400 | 431 | 413 | 408) => {}
                 Some(other) => panic!("unexpected parse status {other} for {e:?}"),
-                None => assert!(matches!(e, ParseError::Io(_))),
+                // Plain I/O errors and idle keep-alive deadlines carry
+                // no client-facing status; the connection just closes.
+                None => assert!(matches!(
+                    e,
+                    ParseError::Io(_) | ParseError::TimedOut { mid_request: false }
+                )),
             }
             assert!(!e.reason().is_empty());
             false
@@ -238,6 +243,7 @@ fn server_survives_garbage_over_socket() {
         store_dir: dir.clone(),
         http_workers: 2,
         queue_capacity: 2,
+        ..ServeOpts::default()
     })
     .unwrap();
     let addr = server.local_addr().unwrap();
@@ -277,6 +283,121 @@ fn server_survives_garbage_over_socket() {
         mpstream_serve::client::http_request(&addr.to_string(), "GET", "/healthz", b"").unwrap();
     assert_eq!(reply.status, 200);
     assert_eq!(reply.text(), "ok\n");
+
+    handle.trigger();
+    running.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Start a server with a short per-request deadline for the slowloris
+/// tests; returns (addr, shutdown handle, join handle, store dir).
+#[allow(clippy::type_complexity)]
+fn deadline_server(
+    tag: &str,
+    deadline: std::time::Duration,
+) -> (
+    std::net::SocketAddr,
+    mpstream_serve::server::ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+    std::path::PathBuf,
+) {
+    use mpstream_serve::{ServeOpts, Server};
+    let dir = std::env::temp_dir().join(format!("mpstream-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let server = Server::bind(ServeOpts {
+        addr: "127.0.0.1:0".into(),
+        store_dir: dir.clone(),
+        http_workers: 2,
+        queue_capacity: 2,
+        request_deadline: deadline,
+        ..ServeOpts::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.shutdown_handle().unwrap();
+    let running = std::thread::spawn(move || server.run());
+    (addr, handle, running, dir)
+}
+
+/// A slow-drip client (one header byte at a time, then silence) burns
+/// through the total request deadline and gets a loud 408 — the budget
+/// covers the whole request, so trickling bytes cannot hold a worker.
+#[test]
+fn slow_drip_headers_hit_the_deadline_as_408() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    let (addr, handle, running, dir) = deadline_server("httpdrip", Duration::from_millis(500));
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    conn.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    // Drip a header byte-at-a-time, slower than the budget allows, then
+    // go silent mid-header; each byte resets nothing — the deadline is
+    // total, not per-read.
+    for b in b"X-Slow" {
+        conn.write_all(&[*b]).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let mut reply = String::new();
+    let _ = conn.read_to_string(&mut reply);
+    assert!(reply.starts_with("HTTP/1.1 408"), "want 408, got {reply:?}");
+
+    // The pool is alive and fast clients are unaffected.
+    let reply =
+        mpstream_serve::client::http_request(&addr.to_string(), "GET", "/healthz", b"").unwrap();
+    assert_eq!(reply.status, 200);
+
+    handle.trigger();
+    running.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Half-closed sockets: an immediate write-shutdown is a silent close
+/// (no 4xx, no stuck worker), and a write-shutdown after a complete
+/// request still receives its response on the open read half.
+#[test]
+fn half_closed_sockets_leave_the_pool_alive() {
+    use std::io::{Read, Write};
+    use std::net::{Shutdown, TcpStream};
+    use std::time::Duration;
+
+    let (addr, handle, running, dir) = deadline_server("httphalf", Duration::from_secs(2));
+
+    // Connect and half-close without sending a byte: clean EOF, the
+    // server closes silently without burning the deadline.
+    let start = std::time::Instant::now();
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    conn.shutdown(Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    let _ = conn.read_to_string(&mut reply);
+    assert!(reply.is_empty(), "EOF must close silently, got {reply:?}");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "EOF close must not wait out the deadline"
+    );
+
+    // A complete request followed by a write-shutdown is still served:
+    // the read half stays open for the response.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    conn.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    conn.shutdown(Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    let _ = conn.read_to_string(&mut reply);
+    assert!(
+        reply.starts_with("HTTP/1.1 200"),
+        "half-closed client still gets its response: {reply:?}"
+    );
+
+    let reply =
+        mpstream_serve::client::http_request(&addr.to_string(), "GET", "/healthz", b"").unwrap();
+    assert_eq!(reply.status, 200);
 
     handle.trigger();
     running.join().unwrap().unwrap();

@@ -45,6 +45,7 @@ fn start_coordinator(
             store_dir: dir.to_path_buf(),
             http_workers: 2,
             queue_capacity: 4,
+            ..ServeOpts::default()
         },
         lease,
         shard_points,
@@ -71,9 +72,11 @@ fn start_worker(
             store_dir: dir.to_path_buf(),
             http_workers: 2,
             queue_capacity: 4,
+            ..ServeOpts::default()
         },
         poll: Duration::from_millis(25),
         trace: None,
+        ..WorkerOpts::default()
     })
     .unwrap();
     let stop = worker.stop_flag();

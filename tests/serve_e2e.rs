@@ -39,6 +39,7 @@ fn start_server(
         store_dir: dir.to_path_buf(),
         http_workers,
         queue_capacity,
+        ..ServeOpts::default()
     })
     .unwrap();
     let addr = server.local_addr().unwrap().to_string();
@@ -335,6 +336,118 @@ fn soak_bounded_pool_sheds_loudly_never_silently() {
         .and_then(|v| v.trim().parse::<u64>().ok())
         .unwrap();
     assert_eq!(rejected, shed as u64, "503 count must match the metric");
+
+    handle.trigger();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A tenant at its queue quota gets 429 + Retry-After; cancelling a
+/// *queued* (never started) job releases its quota slot immediately,
+/// so the very next submit is admitted. Regression test: the slot used
+/// to stay held until the runner eventually skipped the cancelled job.
+#[test]
+fn cancelling_a_queued_job_frees_its_tenant_quota_slot() {
+    use mpstream_serve::client::http_request_keyed;
+    use mpstream_serve::client::ClientOpts;
+
+    let dir = temp_dir("quota");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tenants = dir.join("tenants.jsonl");
+    std::fs::write(
+        &tenants,
+        "{\"name\":\"acme\",\"key\":\"acme-secret\",\"queue_quota\":2}\n",
+    )
+    .unwrap();
+    let server = Server::bind(ServeOpts {
+        addr: "127.0.0.1:0".into(),
+        store_dir: dir.join("store"),
+        http_workers: 2,
+        queue_capacity: 8,
+        tenants_file: Some(tenants),
+        ..ServeOpts::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.shutdown_handle().unwrap();
+    let join = std::thread::spawn(move || server.run());
+    let keyed = |method: &str, path: &str, body: &[u8]| {
+        http_request_keyed(
+            &addr,
+            method,
+            path,
+            body,
+            Some("acme-secret"),
+            &ClientOpts::default(),
+        )
+        .unwrap()
+    };
+
+    // A slow sweep (job A runs on the single runner thread) plus a
+    // queued job B fill the quota of 2.
+    let slow = request_to_spec(&sweep_request(&[
+        "--size",
+        "262144",
+        "--vectors",
+        "1,2,4,8,16",
+        "--unrolls",
+        "1,2",
+        "--ntimes",
+        "2",
+        "--jobs",
+        "1",
+    ]))
+    .unwrap();
+    let reply = keyed("POST", "/jobs", slow.as_bytes());
+    assert_eq!(reply.status, 202, "{}", reply.text());
+    let reply = keyed("POST", "/jobs", slow.as_bytes());
+    assert_eq!(reply.status, 202, "{}", reply.text());
+    let job_b = parse_flat_object(reply.text().trim())
+        .and_then(|o| o.get("id")?.as_u64())
+        .unwrap();
+
+    // Quota full: the third submit is refused loudly, with a hint.
+    let reply = keyed("POST", "/jobs", slow.as_bytes());
+    assert_eq!(reply.status, 429, "{}", reply.text());
+    assert!(
+        reply.header("retry-after").is_some(),
+        "429 must carry Retry-After"
+    );
+
+    // An unknown key is 401, never silently demoted to anonymous.
+    let reply = http_request_keyed(
+        &addr,
+        "POST",
+        "/jobs",
+        slow.as_bytes(),
+        Some("wrong-key"),
+        &ClientOpts::default(),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 401, "{}", reply.text());
+
+    // Cancel the queued job: its slot must free without waiting for
+    // the runner to reach it (job A is still hogging the runner).
+    let reply = keyed("POST", &format!("/jobs/{job_b}/cancel"), b"");
+    assert_eq!(reply.status, 200, "{}", reply.text());
+    let reply = keyed("POST", "/jobs", slow.as_bytes());
+    assert_eq!(
+        reply.status,
+        202,
+        "cancelled queued job must release its quota slot immediately: {}",
+        reply.text()
+    );
+
+    // Per-tenant counters surface in /metrics.
+    let metrics = http_request(&addr, "GET", "/metrics", b"").unwrap().text();
+    assert!(
+        metrics.contains("mpstream_tenant_quota_rejected_total{tenant=\"acme\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("mpstream_tenant_jobs_submitted_total{tenant=\"acme\"} 3"),
+        "{metrics}"
+    );
 
     handle.trigger();
     join.join().unwrap().unwrap();
