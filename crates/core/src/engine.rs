@@ -517,36 +517,26 @@ impl Engine {
             // consumed (synthesis + queue activity, advanced by the
             // runner); faults and failed validations get an instant so
             // a fault-injected trace shows exactly the injected sites.
-            let mut span_args = trace::args([("n", retries.into())]);
             match &result {
-                Err(e) => {
-                    span_args.push(("error".into(), e.code().into()));
-                    if e.is_transient() {
-                        trace::instant(
-                            TID_ENGINE,
-                            "fault",
-                            trace::vclock_ns(),
-                            trace::args([("code", e.code().into())]),
-                        );
-                    }
+                Err(e) if e.is_transient() => {
+                    trace::instant(TID_ENGINE, "fault", trace::vclock_ns(), || {
+                        trace::args([("code", e.code().into())])
+                    });
                 }
                 Ok(m) if m.validated == Some(false) => {
-                    trace::instant(
-                        TID_ENGINE,
-                        "fault",
-                        trace::vclock_ns(),
-                        trace::args([("code", "ValidationFailed".into())]),
-                    );
+                    trace::instant(TID_ENGINE, "fault", trace::vclock_ns(), || {
+                        trace::args([("code", "ValidationFailed".into())])
+                    });
                 }
-                Ok(_) => {}
+                _ => {}
             }
-            trace::span(
-                TID_ENGINE,
-                "attempt",
-                t0,
-                trace::vclock_ns() - t0,
-                span_args,
-            );
+            trace::span(TID_ENGINE, "attempt", t0, trace::vclock_ns() - t0, || {
+                let mut span_args = trace::args([("n", retries.into())]);
+                if let Err(e) = &result {
+                    span_args.push(("error".into(), e.code().into()));
+                }
+                span_args
+            });
             if !transient {
                 return Outcome {
                     config: config.clone(),
@@ -590,7 +580,7 @@ impl Engine {
                     "backoff",
                     trace::vclock_ns(),
                     backoff_ns,
-                    trace::args([("retry", retries.into())]),
+                    || trace::args([("retry", retries.into())]),
                 );
                 trace::advance_vclock(backoff_ns);
                 std::thread::sleep(backoff);

@@ -29,6 +29,7 @@
 //!   that regenerates it on the simulated targets.
 
 pub mod bandwidth;
+pub mod bench_self;
 pub mod checkpoint;
 pub mod cli;
 pub mod config;

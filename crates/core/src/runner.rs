@@ -268,34 +268,33 @@ impl Runner {
             // shows the modelled timeline, and stays byte-identical
             // across worker counts. Which worker won the build is a
             // wall fact, recorded as such.
-            trace::span(trace::TID_BUILD, "build", base, synthesis_ns, vec![]);
-            trace::wall_instant("cache", trace::args([("status", status.label().into())]));
+            trace::span(trace::TID_BUILD, "build", base, synthesis_ns, Vec::new);
+            trace::wall_instant("cache", || trace::args([("status", status.label().into())]));
         }
         let q0 = base + synth;
         for rec in log {
             let ev = &rec.event;
-            let mut span_args = Vec::new();
-            if rec.aborted {
-                span_args.push(("aborted".to_string(), true.into()));
-            }
             trace::span(
                 trace::TID_QUEUE,
                 rec.kind.name(),
                 q0 + ev.queued_ns,
                 ev.end_ns - ev.queued_ns,
-                span_args,
+                || {
+                    if rec.aborted {
+                        vec![("aborted".to_string(), true.into())]
+                    } else {
+                        Vec::new()
+                    }
+                },
             );
             if rec.kind == CmdKind::Kernel {
-                trace::counter(
-                    trace::TID_QUEUE,
-                    "dram_rows",
-                    q0 + ev.end_ns,
+                trace::counter(trace::TID_QUEUE, "dram_rows", q0 + ev.end_ns, || {
                     trace::args([
                         ("hits", ev.row_hits.into()),
                         ("misses", ev.row_misses.into()),
                         ("empty", ev.row_empty.into()),
-                    ]),
-                );
+                    ])
+                });
             }
         }
         trace::advance_vclock(synth + queue.now_ns());

@@ -218,7 +218,10 @@ fn render_chrome_json<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> Strin
 }
 
 fn wrap_chrome_json(lines: impl Iterator<Item = String>) -> String {
-    let mut out = String::from("{\"traceEvents\":[\n");
+    // Rendered lines run ~100-200 bytes; reserving up front keeps the
+    // export from reallocating log2(n) times on big sweeps.
+    let mut out = String::with_capacity(lines.size_hint().0 * 160 + 32);
+    out.push_str("{\"traceEvents\":[\n");
     let mut first = true;
     for line in lines {
         if !first {
@@ -240,7 +243,8 @@ fn us(ns: f64) -> String {
 
 /// Render one event as a single-line `trace_event` object.
 fn render_event(e: &TraceEvent) -> String {
-    let mut out = String::from("{");
+    let mut out = String::with_capacity(160);
+    out.push('{');
     let _ = write!(out, "\"name\":\"{}\"", escape(&e.name));
     let cat = match e.scope {
         Scope::Virtual => "virtual",
@@ -343,7 +347,10 @@ pub fn begin_task(trace: Arc<Trace>, pid: u64) -> TaskGuard {
             trace,
             pid,
             clock_ns: 0.0,
-            buf: Vec::new(),
+            // A typical task records a handful of engine spans plus one
+            // queue span per command; 32 covers the common case without
+            // mid-task reallocation.
+            buf: Vec::with_capacity(32),
         });
         TaskGuard { prev }
     })
@@ -368,7 +375,13 @@ pub fn advance_vclock(ns: f64) {
     });
 }
 
-fn record(tid: u64, name: &str, ts_ns: f64, kind: EventKind, args: Vec<(String, ArgValue)>) {
+fn record(
+    tid: u64,
+    name: &str,
+    ts_ns: f64,
+    kind: EventKind,
+    args: impl FnOnce() -> Vec<(String, ArgValue)>,
+) {
     CTX.with(|c| {
         if let Some(t) = c.borrow_mut().as_mut() {
             t.buf.push(TraceEvent {
@@ -378,7 +391,7 @@ fn record(tid: u64, name: &str, ts_ns: f64, kind: EventKind, args: Vec<(String, 
                 ts_ns,
                 kind,
                 scope: Scope::Virtual,
-                args,
+                args: args(),
             });
         }
     });
@@ -390,26 +403,39 @@ pub fn args<const N: usize>(pairs: [(&str, ArgValue); N]) -> Vec<(String, ArgVal
 }
 
 /// Record a virtual span on lane `tid` (no-op when unarmed).
-pub fn span(tid: u64, name: &str, ts_ns: f64, dur_ns: f64, args: Vec<(String, ArgValue)>) {
+///
+/// `args` is a thunk so unarmed threads — every worker of an untraced
+/// sweep — never allocate the key/value vector. Pass `Vec::new` when
+/// there are no arguments.
+pub fn span(
+    tid: u64,
+    name: &str,
+    ts_ns: f64,
+    dur_ns: f64,
+    args: impl FnOnce() -> Vec<(String, ArgValue)>,
+) {
     record(tid, name, ts_ns, EventKind::Span { dur_ns }, args);
 }
 
 /// Record a virtual counter sample on lane `tid` (no-op when unarmed).
-pub fn counter(tid: u64, name: &str, ts_ns: f64, args: Vec<(String, ArgValue)>) {
+/// `args` is lazy; see [`span`].
+pub fn counter(tid: u64, name: &str, ts_ns: f64, args: impl FnOnce() -> Vec<(String, ArgValue)>) {
     record(tid, name, ts_ns, EventKind::Counter, args);
 }
 
 /// Record a virtual instant on lane `tid` (no-op when unarmed).
-pub fn instant(tid: u64, name: &str, ts_ns: f64, args: Vec<(String, ArgValue)>) {
+/// `args` is lazy; see [`span`].
+pub fn instant(tid: u64, name: &str, ts_ns: f64, args: impl FnOnce() -> Vec<(String, ArgValue)>) {
     record(tid, name, ts_ns, EventKind::Instant, args);
 }
 
 /// Record a wall-scoped instant for the current task (no-op when
 /// unarmed) — sequence-ordered, excluded from canonical output.
-pub fn wall_instant(name: &str, args: Vec<(String, ArgValue)>) {
+/// `args` is lazy; see [`span`].
+pub fn wall_instant(name: &str, args: impl FnOnce() -> Vec<(String, ArgValue)>) {
     CTX.with(|c| {
         if let Some(t) = c.borrow().as_ref() {
-            t.trace.wall_instant(t.pid, name, args);
+            t.trace.wall_instant(t.pid, name, args());
         }
     });
 }
@@ -423,7 +449,7 @@ mod tests {
         assert!(!is_active());
         assert_eq!(vclock_ns(), 0.0);
         advance_vclock(100.0);
-        span(TID_BUILD, "build", 0.0, 10.0, vec![]);
+        span(TID_BUILD, "build", 0.0, 10.0, Vec::new);
         assert_eq!(vclock_ns(), 0.0);
     }
 
@@ -435,13 +461,9 @@ mod tests {
             assert!(is_active());
             advance_vclock(500.0);
             assert_eq!(vclock_ns(), 500.0);
-            span(
-                TID_QUEUE,
-                "kernel",
-                0.0,
-                500.0,
-                args([("aborted", false.into())]),
-            );
+            span(TID_QUEUE, "kernel", 0.0, 500.0, || {
+                args([("aborted", false.into())])
+            });
             assert_eq!(trace.len(), 0, "buffered until the guard drops");
         }
         assert!(!is_active());
@@ -460,7 +482,7 @@ mod tests {
         {
             let _inner = begin_task(trace.clone(), 2);
             assert_eq!(vclock_ns(), 0.0, "inner task gets a fresh clock");
-            instant(TID_ENGINE, "inner", 0.0, vec![]);
+            instant(TID_ENGINE, "inner", 0.0, Vec::new);
         }
         assert_eq!(vclock_ns(), 10.0, "outer clock restored");
         assert_eq!(trace.len(), 1, "inner flushed");
@@ -471,19 +493,13 @@ mod tests {
         let trace = Trace::new();
         {
             let _g = begin_task(trace.clone(), 0);
-            span(TID_BUILD, "build", 0.0, 2500.0, vec![]);
-            counter(
-                TID_QUEUE,
-                "dram_rows",
-                2500.0,
-                args([("hits", 3u64.into()), ("misses", 1u64.into())]),
-            );
-            instant(
-                TID_ENGINE,
-                "fault",
-                100.0,
-                args([("code", "timeout".into())]),
-            );
+            span(TID_BUILD, "build", 0.0, 2500.0, Vec::new);
+            counter(TID_QUEUE, "dram_rows", 2500.0, || {
+                args([("hits", 3u64.into()), ("misses", 1u64.into())])
+            });
+            instant(TID_ENGINE, "fault", 100.0, || {
+                args([("code", "timeout".into())])
+            });
         }
         trace.wall_instant(0, "schedule", args([("worker", 1u64.into())]));
         let json = trace.to_chrome_json();
@@ -501,8 +517,8 @@ mod tests {
         // Record pids out of order, as parallel workers would.
         for pid in [2u64, 0, 1] {
             let _g = begin_task(trace.clone(), pid);
-            span(TID_BUILD, "build", 0.0, 100.0, vec![]);
-            span(TID_QUEUE, "kernel", 100.0, 50.0, vec![]);
+            span(TID_BUILD, "build", 0.0, 100.0, Vec::new);
+            span(TID_QUEUE, "kernel", 100.0, 50.0, Vec::new);
         }
         trace.wall_instant(0, "schedule", vec![]);
         let canon = trace.canonical_chrome_json();
@@ -522,7 +538,7 @@ mod tests {
             let trace = Trace::new();
             for &pid in order {
                 let _g = begin_task(trace.clone(), pid);
-                span(TID_BUILD, "build", 0.0, 100.0 + pid as f64, vec![]);
+                span(TID_BUILD, "build", 0.0, 100.0 + pid as f64, Vec::new);
                 trace.wall_instant(pid, "schedule", vec![]);
             }
             trace.canonical_chrome_json()
@@ -543,12 +559,9 @@ mod tests {
         let trace = Trace::new();
         {
             let _g = begin_task(trace.clone(), 0);
-            instant(
-                TID_ENGINE,
-                "name\"with\\quote",
-                0.0,
-                args([("msg", "line1\nline2".into())]),
-            );
+            instant(TID_ENGINE, "name\"with\\quote", 0.0, || {
+                args([("msg", "line1\nline2".into())])
+            });
         }
         let json = trace.to_chrome_json();
         assert!(json.contains("name\\\"with\\\\quote"), "{json}");

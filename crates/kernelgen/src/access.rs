@@ -161,6 +161,63 @@ pub struct AccessStream {
     instr: u8,
 }
 
+impl AccessStream {
+    /// Append up to `max` accesses to `out`, returning how many were
+    /// appended (fewer only at end of stream). The emitted sequence is
+    /// exactly what repeated [`Iterator::next`] calls would produce;
+    /// simulation hot paths batch through here to amortize per-access
+    /// iterator dispatch into tight per-instruction loops.
+    pub fn fill(&mut self, out: &mut Vec<Access>, max: usize) -> usize {
+        let start = out.len();
+        while out.len() - start < max {
+            if self.cursor < self.group.len() {
+                let want = max - (out.len() - start);
+                let end = self.group.len().min(self.cursor + want);
+                let bytes = self.vector_bytes;
+                let (base, kind) = match self.instr {
+                    0 => (self.base_b, AccessKind::Read),
+                    1 => (
+                        self.base_c.expect("instr 1 only when c present"),
+                        AccessKind::Read,
+                    ),
+                    _ => (self.base_a, AccessKind::Write),
+                };
+                for &idx in &self.group[self.cursor..end] {
+                    out.push(Access {
+                        addr: base + idx * bytes as u64,
+                        bytes,
+                        kind,
+                    });
+                }
+                self.cursor = end;
+                continue;
+            }
+            // Advance to the next instruction, or refill the lane group
+            // (identical to the branch in `next`).
+            self.cursor = 0;
+            self.instr = match (self.instr, self.base_c.is_some()) {
+                (0, true) => 1,
+                (0, false) => 2,
+                (1, _) => 2,
+                _ => {
+                    self.group.clear();
+                    for idx in self.order.by_ref() {
+                        self.group.push(idx);
+                        if self.group.len() == self.lane_group {
+                            break;
+                        }
+                    }
+                    if self.group.is_empty() {
+                        return out.len() - start;
+                    }
+                    0
+                }
+            };
+        }
+        out.len() - start
+    }
+}
+
 impl Iterator for AccessStream {
     type Item = Access;
 
@@ -335,6 +392,51 @@ mod tests {
         let accs: Vec<_> = access_stream(&p, 1).collect();
         assert_eq!(accs.len(), 16); // 8 vectors x 2 arrays
         assert!(accs.iter().all(|a| a.bytes == 32));
+    }
+
+    #[test]
+    fn fill_matches_next_sequence() {
+        for op in StreamOp::ALL {
+            for pattern in [
+                AccessPattern::Contiguous,
+                AccessPattern::ColMajor { cols: Some(8) },
+                AccessPattern::Strided { stride: 4 },
+            ] {
+                for lane in [1u32, 3, 4, 16] {
+                    for chunk in [1usize, 5, 16, 1000] {
+                        let mut cfg = KernelConfig::baseline(op, 64);
+                        cfg.pattern = pattern;
+                        let bytes = cfg.array_bytes();
+                        let p = ExecPlan::new(cfg, 0, bytes, 2 * bytes);
+                        let expect: Vec<_> = access_stream(&p, lane).collect();
+                        let mut got = Vec::new();
+                        let mut s = access_stream(&p, lane);
+                        while s.fill(&mut got, chunk) > 0 {}
+                        assert_eq!(got, expect, "{op:?} {pattern:?} lane={lane} chunk={chunk}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_interleaves_with_next() {
+        let p = plan(StreamOp::Triad, 32);
+        let expect: Vec<_> = access_stream(&p, 4).collect();
+        let mut s = access_stream(&p, 4);
+        let mut got = Vec::new();
+        loop {
+            let filled = s.fill(&mut got, 7);
+            match s.next() {
+                Some(a) => got.push(a),
+                None => {
+                    if filled == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(got, expect);
     }
 
     #[test]

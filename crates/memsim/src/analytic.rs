@@ -1,0 +1,287 @@
+//! Closed-form event counts for provably-regular access patterns.
+//!
+//! A contiguous unit-stride run on a cacheless hierarchy (the FPGA
+//! targets) is completely regular: every access is a DRAM transaction,
+//! chunks walk each channel's local address space monotonically, and
+//! pages are touched in order. Hit/miss/row-buffer counts then have
+//! closed forms — no per-request simulation needed to know *what*
+//! happens, only *when* (timing still requires the event-driven engine,
+//! whose floating-point accumulation order defines the byte-identical
+//! `ns` contract; see DESIGN.md "Simulator performance").
+//!
+//! [`analyze`] returns `None` unless the pattern provably matches the
+//! formulas; the returned counts are validated against the reference
+//! engine by randomized tests here and by `tests/memsim_equivalence.rs`.
+//! This is the oracle the batched fast path is checked against on
+//! regular streams, per Chilukuri et al.'s observation that
+//! architecture-independent features of regular programs are statically
+//! derivable.
+
+use crate::hierarchy::MemHierarchyConfig;
+use crate::req::AccessKind;
+use crate::stats::MemStats;
+
+/// A contiguous unit-stride access run: `accesses` transactions of
+/// `bytes` each, starting at `start`, all reads or all writes.
+#[derive(Debug, Clone, Copy)]
+pub struct UnitStrideRun {
+    /// Byte address of the first access.
+    pub start: u64,
+    /// Number of accesses.
+    pub accesses: u64,
+    /// Bytes per access (the coalesced transaction size).
+    pub bytes: u32,
+    /// Direction of every access in the run.
+    pub kind: AccessKind,
+}
+
+impl UnitStrideRun {
+    /// Total bytes the run moves.
+    pub fn total_bytes(&self) -> u64 {
+        self.accesses * self.bytes as u64
+    }
+}
+
+/// Predict the event counters for running `run` through a *fresh*
+/// hierarchy built from `cfg`, without simulating. Returns `None` when
+/// the closed forms do not provably apply:
+///
+/// * the hierarchy must be cacheless with no prefetcher (every access is
+///   exactly one DRAM transaction stream);
+/// * access size and channel-interleave granularity must nest (one must
+///   divide the other) and the DRAM chunk size must divide the row size,
+///   so chunks never straddle row-buffer boundaries;
+/// * the run must start on a full channel stripe and cover whole
+///   interleave units, so each channel sees one contiguous local range;
+/// * with a TLB, pages must nest with the access size (each access
+///   probes exactly one page, pages are touched monotonically, so every
+///   touched page misses exactly once regardless of TLB capacity).
+pub fn analyze(cfg: &MemHierarchyConfig, run: &UnitStrideRun) -> Option<MemStats> {
+    if !cfg.caches.is_empty() || cfg.prefetch.is_some() {
+        return None;
+    }
+    if run.accesses == 0 || run.bytes == 0 {
+        return None;
+    }
+    let b = run.bytes as u64;
+    let d = &cfg.dram;
+    let ilv = d.interleave_bytes as u64;
+    let chans = d.channels as u64;
+    let row = d.row_bytes as u64;
+    let banks = d.banks_per_channel as u64;
+    let total = run.total_bytes();
+    // Chunks are what `Dram::service` splits an access into.
+    let chunk = b.min(ilv);
+    if !ilv.is_multiple_of(b) && !b.is_multiple_of(ilv) {
+        return None;
+    }
+    if !run.start.is_multiple_of(ilv * chans)
+        || !total.is_multiple_of(ilv)
+        || !row.is_multiple_of(chunk)
+    {
+        return None;
+    }
+
+    let mut s = MemStats::new();
+    match run.kind {
+        AccessKind::Read => {
+            s.reads = run.accesses;
+            s.bytes_read = total;
+        }
+        AccessKind::Write => {
+            s.writes = run.accesses;
+            s.bytes_written = total;
+        }
+    }
+
+    if let Some(tlb) = &cfg.tlb {
+        let page = tlb.page_bytes;
+        if !page.is_multiple_of(b) {
+            return None;
+        }
+        // Pages are visited in non-decreasing order with all accesses to
+        // a page contiguous: each distinct page misses exactly once.
+        let first = run.start / page;
+        let last = (run.start + (run.accesses - 1) * b) / page;
+        s.tlb_misses = last - first + 1;
+        s.tlb_hits = run.accesses - s.tlb_misses;
+    }
+
+    let units = total / ilv;
+    let chunks_per_unit = ilv / chunk;
+    s.dram_transactions = units * chunks_per_unit;
+    s.dram_bytes = total;
+    // Bus direction never flips within a single-kind run, and a fresh
+    // device has no prior transfer to turn around from.
+    s.bus_turnarounds = 0;
+
+    // Interleave units round-robin over channels starting at channel 0
+    // (stripe-aligned start). Channel `c` sees one contiguous local byte
+    // range; row-buffer slots (`local / row_bytes`) are visited
+    // monotonically, so per bank the first touch finds the bank
+    // precharged (empty) and each further slot on that bank is a row
+    // miss; every remaining chunk is a row hit.
+    let local0 = (run.start / (ilv * chans)) * ilv;
+    for c in 0..chans {
+        let units_c = units / chans + u64::from(c < units % chans);
+        if units_c == 0 {
+            continue;
+        }
+        let local_end = local0 + units_c * ilv;
+        let slots = (local_end - 1) / row - local0 / row + 1;
+        let banks_touched = slots.min(banks);
+        s.row_empty += banks_touched;
+        s.row_misses += slots - banks_touched;
+        s.row_hits += units_c * chunks_per_unit - slots;
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramConfig;
+    use crate::hierarchy::{MemHierarchy, TlbConfig, WritePolicy};
+    use crate::req::Access;
+
+    fn cacheless(dram: DramConfig, tlb: Option<TlbConfig>) -> MemHierarchyConfig {
+        MemHierarchyConfig {
+            caches: vec![],
+            hit_ns: vec![],
+            tlb,
+            prefetch: None,
+            dram,
+            issue_bytes_per_ns: 16.0,
+            issue_ns_per_access: 0.5,
+            mlp: 16,
+            dram_extra_latency_ns: 120.0,
+            write_policy: WritePolicy::WriteAllocate,
+            wc_flush_bytes: 512,
+        }
+    }
+
+    fn simulate(cfg: &MemHierarchyConfig, run: &UnitStrideRun) -> MemStats {
+        let mut h = MemHierarchy::new(cfg.clone());
+        let b = run.bytes;
+        let out = h.run((0..run.accesses).map(|i| Access {
+            addr: run.start + i * b as u64,
+            bytes: b,
+            kind: run.kind,
+        }));
+        out.stats
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn matches_simulation_across_fpga_presets() {
+        let presets = [
+            DramConfig::ddr3_fpga_aocl(),
+            DramConfig::ddr4_fpga_arria10(),
+            DramConfig::ddr3_fpga_sdaccel(),
+            DramConfig::hmc_fpga(),
+        ];
+        let mut state = 0xa11c_e5ed_u64;
+        for dram in presets {
+            for kind in [AccessKind::Read, AccessKind::Write] {
+                for _ in 0..4 {
+                    let r = splitmix(&mut state);
+                    let stripe = dram.interleave_bytes as u64 * dram.channels as u64;
+                    let bytes = [64u32, 128, 512, 1024][(r % 4) as usize];
+                    // Whole number of stripes, 1–8 MiB worth of traffic.
+                    let stripes = (r >> 8) % 256 + 32;
+                    let total = stripes * stripe;
+                    let run = UnitStrideRun {
+                        start: ((r >> 20) % 64) * stripe,
+                        accesses: total / bytes as u64,
+                        bytes,
+                        kind,
+                    };
+                    let cfg = cacheless(dram.clone(), None);
+                    let predicted = analyze(&cfg, &run)
+                        .unwrap_or_else(|| panic!("preconditions hold for {run:?}"));
+                    let simulated = simulate(&cfg, &run);
+                    assert_eq!(predicted, simulated, "diverged for {run:?} on {dram:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_simulation_with_tlb() {
+        let cfg = cacheless(
+            DramConfig::ddr3_fpga_aocl(),
+            Some(TlbConfig {
+                entries: 8,
+                page_bytes: 4096,
+                walk_ns: 50.0,
+            }),
+        );
+        let run = UnitStrideRun {
+            start: 0,
+            accesses: 4096,
+            bytes: 512,
+            kind: AccessKind::Read,
+        };
+        let predicted = analyze(&cfg, &run).expect("preconditions hold");
+        let simulated = simulate(&cfg, &run);
+        assert_eq!(predicted, simulated);
+        assert_eq!(predicted.tlb_misses, 512, "one miss per 4 KiB page");
+    }
+
+    #[test]
+    fn rejects_cached_hierarchies_and_ragged_runs() {
+        let with_cache = {
+            let mut c = cacheless(DramConfig::ddr3_fpga_aocl(), None);
+            c.caches = vec![crate::cache::CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 4,
+                line_bytes: 64,
+            }];
+            c.hit_ns = vec![1.0];
+            c
+        };
+        let run = UnitStrideRun {
+            start: 0,
+            accesses: 1024,
+            bytes: 512,
+            kind: AccessKind::Read,
+        };
+        assert!(
+            analyze(&with_cache, &run).is_none(),
+            "caches break the form"
+        );
+
+        let cfg = cacheless(DramConfig::ddr3_fpga_aocl(), None);
+        let misaligned = UnitStrideRun { start: 64, ..run };
+        assert!(analyze(&cfg, &misaligned).is_none(), "stripe alignment");
+        let ragged = UnitStrideRun { bytes: 384, ..run };
+        assert!(
+            analyze(&cfg, &ragged).is_none(),
+            "size must nest with interleave"
+        );
+    }
+
+    #[test]
+    fn row_counts_have_expected_shape() {
+        // 2 channels, 8 banks, 8 KiB rows, 512 B interleave: 4 MiB of
+        // 512 B reads = 8192 transactions, 256 row slots per channel.
+        let cfg = cacheless(DramConfig::ddr3_fpga_aocl(), None);
+        let run = UnitStrideRun {
+            start: 0,
+            accesses: 8192,
+            bytes: 512,
+            kind: AccessKind::Read,
+        };
+        let s = analyze(&cfg, &run).expect("preconditions hold");
+        assert_eq!(s.dram_transactions, 8192);
+        assert_eq!(s.row_empty, 16, "each bank opened once");
+        assert_eq!(s.row_hits + s.row_misses + s.row_empty, 8192);
+    }
+}

@@ -64,6 +64,13 @@ struct Line {
 pub struct Cache {
     cfg: CacheConfig,
     lines: Vec<Line>, // sets * ways
+    /// `cfg.sets()` hoisted out of the per-access path (it divides).
+    sets: u64,
+    /// `sets - 1` when the set count is a power of two (mask instead of
+    /// modulo on the access path); 0 otherwise.
+    set_mask: u64,
+    /// `log2(line_bytes)` — line numbers by shift instead of division.
+    line_shift: u32,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -73,10 +80,14 @@ impl Cache {
     /// Build an empty (all-invalid) cache.
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.check();
-        let n = (cfg.sets() * cfg.ways as u64) as usize;
+        let sets = cfg.sets();
+        let n = (sets * cfg.ways as u64) as usize;
         Cache {
             cfg,
             lines: vec![Line::default(); n],
+            sets,
+            set_mask: if sets.is_power_of_two() { sets - 1 } else { 0 },
+            line_shift: cfg.line_bytes.trailing_zeros(),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -118,40 +129,29 @@ impl Cache {
     /// in real LLCs/GPU L2s does (without it, a 4 KiB-stride column
     /// traversal would collapse onto a handful of sets).
     fn set_base(&self, line_no: u64) -> usize {
-        let sets = self.cfg.sets();
         let hashed = line_no ^ (line_no >> 7) ^ (line_no >> 14) ^ (line_no >> 21);
-        (hashed % sets) as usize * self.cfg.ways as usize
+        let set = if self.set_mask != 0 {
+            hashed & self.set_mask
+        } else {
+            hashed % self.sets
+        };
+        set as usize * self.cfg.ways as usize
     }
 
-    /// Access one line. `addr` may be any byte inside the line; `write`
-    /// marks the line dirty on hit or after fill (write-allocate).
-    /// A miss fills the line (caller is responsible for charging the
-    /// next-level fetch).
-    pub fn access(&mut self, addr: u64, write: bool) -> LookupResult {
-        self.tick += 1;
-        let line_no = addr / self.cfg.line_bytes as u64;
-        let base = self.set_base(line_no);
-        let ways = self.cfg.ways as usize;
+    /// Way index holding `line_no`, if cached. Shared by the access and
+    /// probe paths.
+    #[inline]
+    fn find_way(&self, base: usize, line_no: u64) -> Option<usize> {
+        (base..base + self.cfg.ways as usize)
+            .find(|&i| self.lines[i].valid && self.lines[i].line_no == line_no)
+    }
 
-        // Hit path.
-        for i in base..base + ways {
-            let l = &mut self.lines[i];
-            if l.valid && l.line_no == line_no {
-                l.last_use = self.tick;
-                l.dirty |= write;
-                self.hits += 1;
-                return LookupResult {
-                    hit: true,
-                    writeback: None,
-                };
-            }
-        }
-
-        // Miss: pick invalid way, else LRU victim.
-        self.misses += 1;
+    /// Install `line_no` over the set's invalid or LRU way; returns the
+    /// base address of a displaced dirty line.
+    fn install(&mut self, base: usize, line_no: u64, write: bool) -> Option<u64> {
         let mut victim = base;
         let mut best = u64::MAX;
-        for i in base..base + ways {
+        for i in base..base + self.cfg.ways as usize {
             let l = &self.lines[i];
             if !l.valid {
                 victim = i;
@@ -165,7 +165,7 @@ impl Cache {
 
         let evicted = self.lines[victim];
         let writeback = if evicted.valid && evicted.dirty {
-            Some(evicted.line_no * self.cfg.line_bytes as u64)
+            Some(evicted.line_no << self.line_shift)
         } else {
             None
         };
@@ -176,18 +176,66 @@ impl Cache {
             dirty: write,
             last_use: self.tick,
         };
+        writeback
+    }
+
+    /// Access one line. `addr` may be any byte inside the line; `write`
+    /// marks the line dirty on hit or after fill (write-allocate).
+    /// A miss fills the line (caller is responsible for charging the
+    /// next-level fetch).
+    pub fn access(&mut self, addr: u64, write: bool) -> LookupResult {
+        self.access_line_no(addr >> self.line_shift, write)
+    }
+
+    /// [`Cache::access`] by pre-divided line number — the per-line
+    /// bookkeeping shared by the single-access path, the batched
+    /// [`Cache::access_run`] and the hierarchy's line walk.
+    pub fn access_line_no(&mut self, line_no: u64, write: bool) -> LookupResult {
+        self.tick += 1;
+        let base = self.set_base(line_no);
+        if let Some(i) = self.find_way(base, line_no) {
+            let l = &mut self.lines[i];
+            l.last_use = self.tick;
+            l.dirty |= write;
+            self.hits += 1;
+            return LookupResult {
+                hit: true,
+                writeback: None,
+            };
+        }
+        self.misses += 1;
+        let writeback = self.install(base, line_no, write);
         LookupResult {
             hit: false,
             writeback,
         }
     }
 
+    /// Batch entry point for a coalesced segment: access `count`
+    /// consecutive lines starting at the line containing `addr`, exactly
+    /// as `count` calls to [`Cache::access`] would. The per-line
+    /// [`LookupResult`] is streamed to `visit` (with the line index
+    /// within the run) in access order, so callers can interleave their
+    /// own timing model while the line-number arithmetic and set
+    /// bookkeeping stay inside the cache.
+    pub fn access_run(
+        &mut self,
+        addr: u64,
+        count: u32,
+        write: bool,
+        mut visit: impl FnMut(u32, LookupResult),
+    ) {
+        let first = addr >> self.line_shift;
+        for i in 0..count {
+            let res = self.access_line_no(first + u64::from(i), write);
+            visit(i, res);
+        }
+    }
+
     /// Probe without modifying state: would `addr` hit?
     pub fn probe(&self, addr: u64) -> bool {
-        let line_no = addr / self.cfg.line_bytes as u64;
-        let base = self.set_base(line_no);
-        (base..base + self.cfg.ways as usize)
-            .any(|i| self.lines[i].valid && self.lines[i].line_no == line_no)
+        let line_no = addr >> self.line_shift;
+        self.find_way(self.set_base(line_no), line_no).is_some()
     }
 }
 
@@ -295,6 +343,58 @@ mod tests {
         c.reset();
         assert!(!c.probe(0));
         assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn access_run_matches_per_line_access() {
+        // Drive a batched cache and a per-line twin with the same
+        // SplitMix64 request sequence; every outcome and counter must
+        // match exactly.
+        let mut batched = tiny();
+        let mut serial = tiny();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..500 {
+            let r = next();
+            let addr = r % 4096;
+            let count = ((r >> 32) % 5 + 1) as u32;
+            let write = r & 1 == 0;
+            let mut batch_out = Vec::new();
+            batched.access_run(addr, count, write, |i, res| batch_out.push((i, res)));
+            let first_line = addr & !63;
+            for i in 0..count {
+                let res = serial.access(first_line + u64::from(i) * 64, write);
+                assert_eq!(batch_out[i as usize], (i, res));
+            }
+            assert_eq!(batched.hits(), serial.hits());
+            assert_eq!(batched.misses(), serial.misses());
+        }
+    }
+
+    #[test]
+    fn hashed_index_same_for_pow2_and_generic_path() {
+        // 3-way cache: 512*3/… pick sets not a power of two to exercise
+        // the modulo path against the mask path on a pow2 twin with the
+        // same geometry ratios — here we simply pin that a non-pow2 set
+        // count still spreads and retains lines correctly.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 3 * 128,
+            ways: 2,
+            line_bytes: 64,
+        });
+        assert_eq!(c.config().sets(), 3);
+        for line in 0..6u64 {
+            c.access(line * 64, false);
+        }
+        for line in 0..6u64 {
+            assert!(c.probe(line * 64), "line {line} retained");
+        }
     }
 
     #[test]

@@ -120,6 +120,26 @@ impl Coalescer {
             out: Vec::new(),
         }
     }
+
+    /// Like [`Coalescer::coalesce`], but reuses its window, scratch and
+    /// output buffers across windows instead of allocating fresh vectors
+    /// per window. Emits exactly the same transaction sequence; the
+    /// simulator's fast path uses this to keep the hot loop
+    /// allocation-free, while the [`Coalescer::coalesce`] chain stays
+    /// the straightforward reference implementation.
+    pub fn coalesce_buffered<I>(&self, iter: I) -> BufferedCoalesce<I::IntoIter>
+    where
+        I: IntoIterator<Item = Access>,
+    {
+        BufferedCoalesce {
+            co: *self,
+            inner: iter.into_iter(),
+            pending: Vec::with_capacity(self.window),
+            segs: Vec::new(),
+            out: Vec::new(),
+            cursor: 0,
+        }
+    }
 }
 
 /// Iterator returned by [`Coalescer::coalesce`].
@@ -152,6 +172,85 @@ impl<I: Iterator<Item = Access>> Iterator for CoalesceIter<I> {
             let mut segs = self.co.coalesce_window(&self.pending);
             segs.reverse(); // pop() from the back yields address order
             self.out = segs;
+        }
+    }
+}
+
+/// Iterator returned by [`Coalescer::coalesce_buffered`]. Identical
+/// output to [`CoalesceIter`]; buffers persist across windows.
+#[derive(Debug)]
+pub struct BufferedCoalesce<I: Iterator<Item = Access>> {
+    co: Coalescer,
+    inner: I,
+    pending: Vec<Access>,
+    /// Scratch for aligned-mode segment dedup.
+    segs: Vec<(u64, AccessKind)>,
+    out: Vec<Access>,
+    cursor: usize,
+}
+
+impl<I: Iterator<Item = Access>> Iterator for BufferedCoalesce<I> {
+    type Item = Access;
+
+    #[inline]
+    fn next(&mut self) -> Option<Access> {
+        loop {
+            if self.cursor < self.out.len() {
+                let a = self.out[self.cursor];
+                self.cursor += 1;
+                return Some(a);
+            }
+            self.pending.clear();
+            for a in self.inner.by_ref() {
+                self.pending.push(a);
+                if self.pending.len() == self.co.window {
+                    break;
+                }
+            }
+            if self.pending.is_empty() {
+                return None;
+            }
+            self.out.clear();
+            self.cursor = 0;
+            match self.co.mode {
+                // Same merge rule as `coalesce_extent`, appending into
+                // the reused buffer (cleared above, so windows never
+                // merge across the boundary).
+                CoalesceMode::Extent => {
+                    for &a in &self.pending {
+                        if let Some(last) = self.out.last_mut() {
+                            if last.abuts(&a) && last.bytes + a.bytes <= self.co.segment_bytes {
+                                last.bytes += a.bytes;
+                                continue;
+                            }
+                        }
+                        self.out.push(a);
+                    }
+                }
+                // Same dedup + sort as `coalesce_aligned`, with the
+                // segment list kept in a reused scratch vector.
+                CoalesceMode::AlignedSegment => {
+                    let seg = self.co.segment_bytes as u64;
+                    self.segs.clear();
+                    for a in &self.pending {
+                        let mut s = a.addr & !(seg - 1);
+                        let end = a.end();
+                        while s < end {
+                            if !self.segs.iter().any(|&(b, k)| b == s && k == a.kind) {
+                                self.segs.push((s, a.kind));
+                            }
+                            s += seg;
+                        }
+                    }
+                    self.segs.sort_unstable_by_key(|&(b, _)| b);
+                    self.out
+                        .extend(self.segs.iter().map(|&(base, kind)| Access {
+                            addr: base,
+                            bytes: self.co.segment_bytes,
+                            kind,
+                        }));
+                }
+            }
         }
     }
 }
@@ -252,6 +351,42 @@ mod tests {
             Access::write(12, 4),
         ]);
         assert_eq!(out, vec![Access::read(0, 8), Access::write(8, 8)]);
+    }
+
+    #[test]
+    fn buffered_adapter_matches_reference_adapter() {
+        // SplitMix64-style scramble for a deterministic pseudo-random
+        // access stream that exercises merging, spanning and dedup.
+        fn mix(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+            x ^ (x >> 31)
+        }
+        for seed in 0..4u64 {
+            let accesses: Vec<Access> = (0..517)
+                .map(|i| {
+                    let r = mix(seed.wrapping_mul(1 << 20).wrapping_add(i));
+                    let addr = (r % 4096) * 4;
+                    let bytes = [4u32, 8, 16, 120][(r >> 8) as usize % 4];
+                    if r >> 16 & 1 == 0 {
+                        Access::read(addr, bytes)
+                    } else {
+                        Access::write(addr, bytes)
+                    }
+                })
+                .collect();
+            for co in [
+                Coalescer::new(128, 32),
+                Coalescer::new(64, 7),
+                Coalescer::extent(512, 16),
+                Coalescer::extent(32, 5),
+            ] {
+                let reference: Vec<_> = co.coalesce(accesses.iter().copied()).collect();
+                let buffered: Vec<_> = co.coalesce_buffered(accesses.iter().copied()).collect();
+                assert_eq!(buffered, reference, "seed={seed} co={co:?}");
+            }
+        }
     }
 
     #[test]

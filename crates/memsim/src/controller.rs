@@ -15,6 +15,7 @@
 use crate::dram::{Dram, DramConfig};
 use crate::req::Access;
 use crate::stats::MemStats;
+use std::collections::VecDeque;
 
 /// Scheduling policy for the pending-request window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,9 @@ pub struct MemoryController {
     dram: Dram,
     policy: SchedPolicy,
     window: usize,
+    /// Reusable pending-window arena: a deque so the common
+    /// serve-the-oldest case is a pop instead of an O(window) shift.
+    pending: VecDeque<(usize, TimedRequest)>,
 }
 
 impl MemoryController {
@@ -79,6 +83,7 @@ impl MemoryController {
             dram: Dram::new(cfg),
             policy,
             window,
+            pending: VecDeque::with_capacity(window),
         }
     }
 
@@ -97,26 +102,46 @@ impl MemoryController {
     /// the controller keeps DRAM state, so call once per experiment or
     /// construct a fresh controller.
     pub fn replay(&mut self, trace: &[TimedRequest]) -> ReplayOutcome {
+        let mut out = ReplayOutcome {
+            finish_cycle: 0,
+            total_latency_cycles: 0,
+            max_latency_cycles: 0,
+            latencies: Vec::new(),
+            stats: MemStats::new(),
+        };
+        self.replay_into(trace, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`replay`](Self::replay): overwrites
+    /// `out` in place, reusing its latency buffer and the controller's
+    /// pending-window arena. Sweeps replaying many traces through fresh
+    /// policies pay zero per-replay allocation once warm.
+    pub fn replay_into(&mut self, trace: &[TimedRequest], out: &mut ReplayOutcome) {
         assert!(
             trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
             "trace must be sorted by arrival"
         );
-        let mut pending: Vec<(usize, TimedRequest)> = Vec::with_capacity(self.window);
+        self.pending.clear();
         let mut next = 0usize; // next trace index not yet in the window
         let mut now = 0u64; // controller clock, DRAM cycles
         let mut completed = 0usize;
         let mut total_latency = 0u64;
         let mut max_latency = 0u64;
-        let mut latencies = vec![0u64; trace.len()];
+        out.latencies.clear();
+        out.latencies.resize(trace.len(), 0);
         let mut bypasses = 0u32;
 
         while completed < trace.len() {
             // Admit arrived requests into the window.
-            while next < trace.len() && pending.len() < self.window && trace[next].arrival <= now {
-                pending.push((next, trace[next]));
+            while next < trace.len()
+                && self.pending.len() < self.window
+                && trace[next].arrival <= now
+            {
+                self.pending.push_back((next, trace[next]));
                 next += 1;
             }
-            if pending.is_empty() {
+            if self.pending.is_empty() {
                 // Idle until the next arrival.
                 now = trace[next].arrival;
                 continue;
@@ -126,7 +151,10 @@ impl MemoryController {
             let pick = match self.policy {
                 SchedPolicy::Fcfs => 0,
                 SchedPolicy::FrFcfs { cap } => {
-                    let hit = pending.iter().position(|(_, r)| self.is_row_hit(&r.access));
+                    let hit = self
+                        .pending
+                        .iter()
+                        .position(|(_, r)| self.is_row_hit(&r.access));
                     match hit {
                         Some(i) if i != 0 && bypasses < cap => {
                             bypasses += 1;
@@ -143,7 +171,11 @@ impl MemoryController {
                     }
                 }
             };
-            let (trace_idx, req) = pending.remove(pick);
+            let (trace_idx, req) = if pick == 0 {
+                self.pending.pop_front().expect("non-empty")
+            } else {
+                self.pending.remove(pick).expect("picked in range")
+            };
             let (_, done) = self.dram.service(now, req.access);
             // The controller can issue the next command while data
             // streams, but not before this request's command slot.
@@ -151,20 +183,17 @@ impl MemoryController {
             let latency = done.saturating_sub(req.arrival);
             total_latency += latency;
             max_latency = max_latency.max(latency);
-            latencies[trace_idx] = latency;
+            out.latencies[trace_idx] = latency;
             completed += 1;
             // Advance the clock conservatively: commands pipeline, so we
             // move to the point where the bus accepted this burst.
             now = now.max(done.saturating_sub(8));
         }
 
-        ReplayOutcome {
-            finish_cycle: now + 8,
-            total_latency_cycles: total_latency,
-            max_latency_cycles: max_latency,
-            latencies,
-            stats: self.dram.stats().clone(),
-        }
+        out.finish_cycle = now + 8;
+        out.total_latency_cycles = total_latency;
+        out.max_latency_cycles = max_latency;
+        out.stats = self.dram.stats().clone();
     }
 }
 
@@ -288,6 +317,25 @@ mod tests {
         let out = MemoryController::new(cfg(), SchedPolicy::Fcfs, 4).replay(&trace);
         assert!(out.total_latency_cycles > 0);
         assert!(out.max_latency_cycles >= out.mean_latency(16) as u64);
+    }
+
+    #[test]
+    fn replay_into_reuses_buffers_and_matches_replay() {
+        let trace = interleaved_trace(256, 1 << 20);
+        let fresh = MemoryController::new(cfg(), SchedPolicy::FrFcfs { cap: 8 }, 16).replay(&trace);
+        let mut c = MemoryController::new(cfg(), SchedPolicy::FrFcfs { cap: 8 }, 16);
+        let mut out = ReplayOutcome {
+            finish_cycle: 99,
+            total_latency_cycles: 99,
+            max_latency_cycles: 99,
+            latencies: vec![7; 3], // stale garbage that must be overwritten
+            stats: MemStats::new(),
+        };
+        c.replay_into(&trace, &mut out);
+        assert_eq!(out.finish_cycle, fresh.finish_cycle);
+        assert_eq!(out.total_latency_cycles, fresh.total_latency_cycles);
+        assert_eq!(out.latencies, fresh.latencies);
+        assert_eq!(out.stats, fresh.stats);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! address space; time is carried either in cycles of a model-local clock
 //! (see [`clock::Freq`]) or in nanoseconds.
 
+pub mod analytic;
 pub mod cache;
 pub mod clock;
 pub mod coalesce;
@@ -33,12 +34,13 @@ pub mod hierarchy;
 pub mod link;
 pub mod prefetch;
 pub mod req;
+pub mod slowpath;
 pub mod stats;
 pub mod tlb;
 
 pub use cache::{Cache, CacheConfig};
 pub use clock::Freq;
-pub use coalesce::{CoalesceMode, Coalescer};
+pub use coalesce::{BufferedCoalesce, CoalesceMode, Coalescer};
 pub use controller::{
     interleaved_trace, MemoryController, ReplayOutcome, SchedPolicy, TimedRequest,
 };

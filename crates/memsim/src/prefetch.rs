@@ -63,6 +63,15 @@ impl StreamPrefetcher {
     /// Observe a demand miss at `addr`; returns the list of line base
     /// addresses that should be prefetched now (possibly empty).
     pub fn on_miss(&mut self, addr: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.on_miss_into(addr, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`on_miss`](Self::on_miss): appends the
+    /// prefetch addresses to `out` (which is *not* cleared), letting hot
+    /// loops reuse one buffer across millions of misses.
+    pub fn on_miss_into(&mut self, addr: u64, out: &mut Vec<u64>) {
         self.tick += 1;
         let line = addr & !(self.line_bytes - 1);
 
@@ -74,7 +83,6 @@ impl StreamPrefetcher {
                 s.next_line = (s.next_line as i64 + s.stride) as u64;
                 if s.confidence >= 2 {
                     // Keep the prefetch frontier `degree` lines ahead.
-                    let mut out = Vec::new();
                     // One line was consumed by this demand miss.
                     s.issued_ahead = s.issued_ahead.saturating_sub(1);
                     while s.issued_ahead < self.degree {
@@ -83,9 +91,8 @@ impl StreamPrefetcher {
                         s.issued_ahead += 1;
                         self.issued += 1;
                     }
-                    return out;
                 }
-                return Vec::new();
+                return;
             }
         }
 
@@ -109,7 +116,6 @@ impl StreamPrefetcher {
             issued_ahead: 0,
             last_use: self.tick,
         });
-        Vec::new()
     }
 }
 
@@ -155,6 +161,15 @@ mod tests {
         let b = p.on_miss((1 << 30) + 64);
         assert!(!a.is_empty());
         assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn on_miss_into_appends_without_clearing() {
+        let mut p = StreamPrefetcher::new(64, 2);
+        let mut buf = vec![42u64];
+        p.on_miss_into(0, &mut buf);
+        p.on_miss_into(64, &mut buf);
+        assert_eq!(buf, vec![42, 128, 192], "sentinel retained, lines appended");
     }
 
     #[test]

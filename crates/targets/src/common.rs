@@ -3,6 +3,61 @@
 use kernelgen::access::memaccess;
 use kernelgen::{access_stream, total_accesses, ExecPlan};
 use memsim::{Access, AccessKind, Coalescer, MemHierarchy, StreamOutcome};
+use mpcl::backend::{BuildArtifact, KernelCost};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Entries the kernel-cost memo holds before wholesale eviction. A sweep
+/// touches one entry per distinct (device, config) pair — a few hundred
+/// for the paper's full space — so the cap only guards against unbounded
+/// growth in pathological DSE campaigns.
+const COST_MEMO_CAP: usize = 8192;
+
+static COST_MEMO: OnceLock<Mutex<HashMap<String, KernelCost>>> = OnceLock::new();
+
+/// Build the memo key for a kernel launch: everything
+/// [`memoized_kernel_cost`] callers may read while computing the cost.
+/// Tuning structs and `ExecPlan` format their `f64` fields with Rust's
+/// shortest-roundtrip `Debug`, so distinct values never collide.
+pub fn cost_key(
+    device: &str,
+    tuning: &impl std::fmt::Debug,
+    artifact: &BuildArtifact,
+    plan: &ExecPlan,
+) -> String {
+    format!(
+        "{device}|{tuning:?}|lane_group={}|fmax={:?}|{plan:?}",
+        artifact.lane_group, artifact.fmax_mhz
+    )
+}
+
+/// Memoize a kernel-cost computation per `(config, target)` key.
+///
+/// Every backend's `kernel_cost` builds a *fresh* hierarchy from its
+/// tuning and runs the plan through it — a pure function of the key — so
+/// replaying a cached result is byte-identical to recomputing it. Sweeps
+/// hit the same key constantly (warmup plus measured launches of every
+/// point, repeated configurations across DSE rounds), which makes this
+/// the single largest throughput lever in the stack.
+///
+/// Under `MPSTREAM_SIM_SLOW=1` the memo is bypassed entirely, keeping
+/// the slow path a launch-for-launch oracle.
+pub fn memoized_kernel_cost(key: String, compute: impl FnOnce() -> KernelCost) -> KernelCost {
+    if memsim::slowpath::slow() {
+        return compute();
+    }
+    let memo = COST_MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = memo.lock().expect("cost memo lock").get(&key) {
+        return hit.clone();
+    }
+    let cost = compute();
+    let mut m = memo.lock().expect("cost memo lock");
+    if m.len() >= COST_MEMO_CAP {
+        m.clear();
+    }
+    m.insert(key, cost.clone());
+    cost
+}
 
 /// Convert a kernel-side access record into the simulator's request type
 /// (structurally identical; kept separate to avoid a dependency cycle).
@@ -35,12 +90,35 @@ pub fn run_plan(
 ) -> StreamOutcome {
     let total = total_accesses(&plan.cfg);
     let take = total.min(sample_cap.max(1));
-    let stream = access_stream(plan, lane_group)
-        .take(take as usize)
-        .map(to_mem);
-    let mut out = match coalescer {
-        Some(co) => hierarchy.run(co.coalesce(stream)),
-        None => hierarchy.run(stream),
+    let mut out = if memsim::slowpath::slow() {
+        // Reference pipeline: per-access iterator chain plus the
+        // allocating coalescer adapter, exactly as originally written.
+        let stream = access_stream(plan, lane_group)
+            .take(take as usize)
+            .map(to_mem);
+        match coalescer {
+            Some(co) => hierarchy.run(co.coalesce(stream)),
+            None => hierarchy.run(stream),
+        }
+    } else if let Some(co) = BurstStream::applies(plan, lane_group, coalescer) {
+        // Fused pipeline: for a contiguous traversal whose coalescing
+        // window equals the lane group, every window is exactly one
+        // instruction's unit-stride run, so the coalesced bursts are a
+        // closed-form function of the run geometry. Emits the identical
+        // burst sequence the reference chain produces (asserted by
+        // `burst_stream_matches_reference_chain` below) at per-burst
+        // instead of per-access cost.
+        hierarchy.run(BurstStream::new(plan, lane_group, take, co))
+    } else {
+        // Fast pipeline: batch-generate the access stream and reuse the
+        // coalescer's buffers. Produces the identical request sequence
+        // (asserted by `fast_and_slow_pipelines_match` below and by the
+        // memsim equivalence suite), so `ns` stays bit-identical.
+        let stream = BatchedStream::new(access_stream(plan, lane_group), take);
+        match coalescer {
+            Some(co) => hierarchy.run(co.coalesce_buffered(stream)),
+            None => hierarchy.run(stream),
+        }
     };
     if take < total {
         let scale = total as f64 / take as f64;
@@ -54,6 +132,171 @@ pub fn run_plan(
     }
     out.simulated_accesses = take;
     out
+}
+
+/// How many accesses [`BatchedStream`] generates per refill. Large
+/// enough to amortize the per-chunk bookkeeping, small enough to stay
+/// resident in L1.
+const GEN_CHUNK: usize = 1024;
+
+/// Iterator over a plan's converted access stream that generates in
+/// [`GEN_CHUNK`] batches through [`kernelgen::access::AccessStream::fill`]
+/// instead of one `next()` dispatch per access. Emits exactly the
+/// sequence of the reference chain
+/// `access_stream(..).take(take).map(to_mem)`.
+struct BatchedStream {
+    src: kernelgen::access::AccessStream,
+    buf: Vec<memaccess::Access>,
+    cursor: usize,
+    remaining: u64,
+}
+
+impl BatchedStream {
+    fn new(src: kernelgen::access::AccessStream, take: u64) -> Self {
+        BatchedStream {
+            src,
+            buf: Vec::with_capacity(GEN_CHUNK),
+            cursor: 0,
+            remaining: take,
+        }
+    }
+}
+
+impl Iterator for BatchedStream {
+    type Item = Access;
+
+    #[inline]
+    fn next(&mut self) -> Option<Access> {
+        if self.cursor == self.buf.len() {
+            if self.remaining == 0 {
+                return None;
+            }
+            self.buf.clear();
+            self.cursor = 0;
+            let want = (GEN_CHUNK as u64).min(self.remaining) as usize;
+            if self.src.fill(&mut self.buf, want) == 0 {
+                self.remaining = 0;
+                return None;
+            }
+        }
+        let a = self.buf[self.cursor];
+        self.cursor += 1;
+        self.remaining -= 1;
+        Some(to_mem(a))
+    }
+}
+
+/// Closed-form generator of the *coalesced* burst sequence for the
+/// FPGA-LSU shape: contiguous traversal, [`CoalesceMode::Extent`]
+/// merging, and a coalescing window equal to the lane group.
+///
+/// Under those conditions every coalescing window is exactly one
+/// instruction's unit-stride run of `lane_group` accesses (window
+/// boundaries never merge, and runs of different arrays or directions
+/// never abut), so each window independently collapses to
+/// `ceil(lane_group / floor(segment_bytes / vector_bytes))` bursts whose
+/// addresses and lengths follow directly from the run geometry — no
+/// per-access work at all.
+struct BurstStream {
+    /// Bytes per vector element.
+    vb: u64,
+    /// Elements per instruction run (= lane group = coalescing window).
+    lane: u64,
+    /// Elements one burst may carry: `max(1, segment_bytes / vb)`.
+    elems_per_burst: u64,
+    base_a: u64,
+    base_b: u64,
+    base_c: Option<u64>,
+    /// Traversal position of the current run's first element.
+    group_start: u64,
+    /// 0 = read b, 1 = read c (if present), 2 = write a.
+    instr: u8,
+    /// Elements of the current run already covered by emitted bursts.
+    run_elem: u64,
+    /// Pre-coalesce accesses still to cover (the `take` budget).
+    remaining: u64,
+}
+
+impl BurstStream {
+    /// The coalescer when the fused path applies to this launch shape,
+    /// `None` when the generic pipeline must run instead. The lane
+    /// group must divide the traversal so every window is one full run
+    /// (the final window may still be truncated by the sample cap,
+    /// which shortens a run but never misaligns one).
+    fn applies(
+        plan: &ExecPlan,
+        lane_group: u32,
+        coalescer: Option<Coalescer>,
+    ) -> Option<Coalescer> {
+        let co = coalescer?;
+        let contiguous = matches!(plan.cfg.pattern, kernelgen::AccessPattern::Contiguous);
+        (co.mode == memsim::CoalesceMode::Extent
+            && contiguous
+            && co.window == lane_group as usize
+            && plan.cfg.n_vectors().is_multiple_of(lane_group as u64))
+        .then_some(co)
+    }
+
+    fn new(plan: &ExecPlan, lane_group: u32, take: u64, co: Coalescer) -> Self {
+        let vb = plan.cfg.vector_bytes();
+        BurstStream {
+            vb,
+            lane: lane_group as u64,
+            elems_per_burst: (co.segment_bytes as u64 / vb).max(1),
+            base_a: plan.base_a,
+            base_b: plan.base_b,
+            base_c: plan.cfg.op.uses_c().then_some(plan.base_c),
+            group_start: 0,
+            instr: 0,
+            run_elem: 0,
+            remaining: take,
+        }
+    }
+}
+
+impl Iterator for BurstStream {
+    type Item = Access;
+
+    #[inline]
+    fn next(&mut self) -> Option<Access> {
+        loop {
+            if self.remaining == 0 {
+                return None;
+            }
+            let avail = (self.lane - self.run_elem).min(self.remaining);
+            if avail == 0 {
+                // Run exhausted: next instruction, then next lane group.
+                self.run_elem = 0;
+                self.instr = match (self.instr, self.base_c.is_some()) {
+                    (0, true) => 1,
+                    (0, false) => 2,
+                    (1, _) => 2,
+                    _ => {
+                        self.group_start += self.lane;
+                        0
+                    }
+                };
+                continue;
+            }
+            let (base, kind) = match self.instr {
+                0 => (self.base_b, AccessKind::Read),
+                1 => (
+                    self.base_c.expect("instr 1 only when c present"),
+                    AccessKind::Read,
+                ),
+                _ => (self.base_a, AccessKind::Write),
+            };
+            let count = self.elems_per_burst.min(avail);
+            let addr = base + (self.group_start + self.run_elem) * self.vb;
+            self.run_elem += count;
+            self.remaining -= count;
+            return Some(Access {
+                addr,
+                bytes: (count * self.vb) as u32,
+                kind,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +367,135 @@ mod tests {
         let sampled = run_plan(&mut hierarchy(), &p, 1, None, 1 << 14);
         let ratio = sampled.ns / full.ns;
         assert!(ratio > 0.7 && ratio < 1.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memo_caches_per_key_and_slow_mode_bypasses() {
+        use memsim::MemStats;
+        let was_slow = memsim::slowpath::slow();
+        memsim::slowpath::force(false);
+        let cost = KernelCost {
+            ns: 123.456,
+            dram_bytes: 789,
+            stats: MemStats::new(),
+        };
+        let key = "test-device|memo_caches_per_key".to_string();
+        let mut calls = 0u32;
+        let first = memoized_kernel_cost(key.clone(), || {
+            calls += 1;
+            cost.clone()
+        });
+        let second = memoized_kernel_cost(key.clone(), || {
+            calls += 1;
+            cost.clone()
+        });
+        assert_eq!(calls, 1, "second lookup must hit the memo");
+        assert_eq!(first, second);
+        assert_eq!(first.ns.to_bits(), cost.ns.to_bits());
+
+        memsim::slowpath::force(true);
+        memoized_kernel_cost(key, || {
+            calls += 1;
+            cost.clone()
+        });
+        assert_eq!(calls, 2, "slow mode must recompute every launch");
+        memsim::slowpath::force(was_slow);
+    }
+
+    #[test]
+    fn cost_keys_separate_devices_and_plans() {
+        let art = BuildArtifact {
+            build_log: "a very long synthesis report that must not leak into keys".into(),
+            fmax_mhz: Some(290.0),
+            resources: None,
+            lane_group: 64,
+            synthesis_ns: 1.0,
+        };
+        let p1 = plan(1 << 12);
+        let p2 = plan(1 << 13);
+        let k1 = cost_key("aocl", &"t", &art, &p1);
+        let k2 = cost_key("aocl", &"t", &art, &p2);
+        let k3 = cost_key("hmc", &"t", &art, &p1);
+        assert_ne!(k1, k2, "different plans");
+        assert_ne!(k1, k3, "different devices");
+        assert!(!k1.contains("synthesis report"), "logs stay out of keys");
+    }
+
+    #[test]
+    fn burst_stream_matches_reference_chain() {
+        for op in [StreamOp::Copy, StreamOp::Triad, StreamOp::Scale] {
+            for width in [1u32, 4, 16] {
+                for (cap_bytes, lane) in [(1024, 64), (512, 16), (32, 8), (4, 16)] {
+                    for take_frac in [u64::MAX, 1000, 999, 64, 1] {
+                        let mut cfg = KernelConfig::baseline(op, 1 << 10);
+                        cfg.vector_width = kernelgen::VectorWidth::new(width).unwrap();
+                        let bytes = cfg.array_bytes();
+                        let p = ExecPlan::new(cfg, 4096, 4096 + bytes, 8192 + 2 * bytes);
+                        let co = Coalescer::extent(cap_bytes, lane as usize);
+                        assert!(BurstStream::applies(&p, lane, Some(co)).is_some());
+                        let total = total_accesses(&p.cfg);
+                        let take = total.min(take_frac);
+                        let reference: Vec<Access> = co
+                            .coalesce(access_stream(&p, lane).take(take as usize).map(to_mem))
+                            .collect();
+                        let fused: Vec<Access> = BurstStream::new(&p, lane, take, co).collect();
+                        assert_eq!(
+                            fused, reference,
+                            "{op:?} width={width} cap={cap_bytes} lane={lane} take={take}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn burst_stream_applicability_gates() {
+        let p = plan(1 << 10);
+        let ext = Coalescer::extent(512, 16);
+        assert!(BurstStream::applies(&p, 16, Some(ext)).is_some());
+        // Window != lane group, aligned mode, no coalescer, non-contiguous
+        // pattern, or a lane group that does not divide the traversal all
+        // fall back to the generic pipeline.
+        assert!(BurstStream::applies(&p, 8, Some(ext)).is_none());
+        assert!(BurstStream::applies(&p, 16, Some(Coalescer::new(512, 16))).is_none());
+        assert!(BurstStream::applies(&p, 16, None).is_none());
+        assert!(BurstStream::applies(&p, 48, Some(Coalescer::extent(512, 48))).is_none());
+        let mut cfg = KernelConfig::baseline(StreamOp::Copy, 1 << 10);
+        cfg.pattern = kernelgen::AccessPattern::Strided { stride: 4 };
+        let bytes = cfg.array_bytes();
+        let strided = ExecPlan::new(cfg, 0, bytes, 2 * bytes);
+        assert!(BurstStream::applies(&strided, 16, Some(ext)).is_none());
+    }
+
+    #[test]
+    fn fast_and_slow_pipelines_match() {
+        let was_slow = memsim::slowpath::slow();
+        let co_cases = [
+            None,
+            Some(Coalescer::extent(512, 16)),
+            Some(Coalescer::extent(512, 32)),
+            Some(Coalescer::new(128, 32)),
+        ];
+        for co in co_cases {
+            for lane in [1, 8, 32] {
+                for cap in [u64::MAX, 1 << 10, 777] {
+                    let p = plan(1 << 11);
+                    memsim::slowpath::force(true);
+                    let slow = run_plan(&mut hierarchy(), &p, lane, co, cap);
+                    memsim::slowpath::force(false);
+                    let fast = run_plan(&mut hierarchy(), &p, lane, co, cap);
+                    memsim::slowpath::force(was_slow);
+                    assert_eq!(
+                        fast.ns.to_bits(),
+                        slow.ns.to_bits(),
+                        "co={co:?} lane={lane} cap={cap}"
+                    );
+                    assert_eq!(fast.stats, slow.stats, "co={co:?} lane={lane} cap={cap}");
+                    assert_eq!(fast.simulated_accesses, slow.simulated_accesses);
+                }
+            }
+        }
     }
 
     #[test]

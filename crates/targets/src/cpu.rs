@@ -175,19 +175,22 @@ impl DeviceBackend for CpuBackend {
     }
 
     fn kernel_cost(&mut self, artifact: &BuildArtifact, plan: &ExecPlan) -> KernelCost {
-        let mut h = self.hierarchy_for(&plan.cfg);
-        let out = run_plan(
-            &mut h,
-            plan,
-            artifact.lane_group,
-            None,
-            self.tuning.sample_cap,
-        );
-        KernelCost {
-            ns: out.ns,
-            dram_bytes: out.stats.dram_bytes,
-            stats: out.stats,
-        }
+        let key = crate::common::cost_key("cpu", &self.tuning, artifact, plan);
+        crate::common::memoized_kernel_cost(key, || {
+            let mut h = self.hierarchy_for(&plan.cfg);
+            let out = run_plan(
+                &mut h,
+                plan,
+                artifact.lane_group,
+                None,
+                self.tuning.sample_cap,
+            );
+            KernelCost {
+                ns: out.ns,
+                dram_bytes: out.stats.dram_bytes,
+                stats: out.stats,
+            }
+        })
     }
 
     fn transfer_ns(&mut self, bytes: u64) -> f64 {

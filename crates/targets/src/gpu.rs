@@ -198,30 +198,33 @@ impl DeviceBackend for GpuBackend {
     }
 
     fn kernel_cost(&mut self, artifact: &BuildArtifact, plan: &ExecPlan) -> KernelCost {
-        let ndrange = plan.cfg.loop_mode == LoopMode::NdRange;
-        let mut h = self.hierarchy_for(&plan.cfg);
-        let co =
-            ndrange.then(|| Coalescer::new(self.tuning.segment_bytes, self.tuning.warp as usize));
-        let out = run_plan(
-            &mut h,
-            plan,
-            artifact.lane_group,
-            co,
-            self.tuning.sample_cap,
-        );
-        let mut ns = out.ns;
-        if ndrange {
-            // Warp-instruction front-end cost (charged on the raw lane
-            // accesses, which the coalescer absorbed before the
-            // hierarchy could see them).
-            let lane_accesses = kernelgen::total_accesses(&plan.cfg) as f64;
-            ns += lane_accesses * self.tuning.warp_issue_ns / self.tuning.warp as f64;
-        }
-        KernelCost {
-            ns,
-            dram_bytes: out.stats.dram_bytes,
-            stats: out.stats,
-        }
+        let key = crate::common::cost_key("gpu", &self.tuning, artifact, plan);
+        crate::common::memoized_kernel_cost(key, || {
+            let ndrange = plan.cfg.loop_mode == LoopMode::NdRange;
+            let mut h = self.hierarchy_for(&plan.cfg);
+            let co = ndrange
+                .then(|| Coalescer::new(self.tuning.segment_bytes, self.tuning.warp as usize));
+            let out = run_plan(
+                &mut h,
+                plan,
+                artifact.lane_group,
+                co,
+                self.tuning.sample_cap,
+            );
+            let mut ns = out.ns;
+            if ndrange {
+                // Warp-instruction front-end cost (charged on the raw lane
+                // accesses, which the coalescer absorbed before the
+                // hierarchy could see them).
+                let lane_accesses = kernelgen::total_accesses(&plan.cfg) as f64;
+                ns += lane_accesses * self.tuning.warp_issue_ns / self.tuning.warp as f64;
+            }
+            KernelCost {
+                ns,
+                dram_bytes: out.stats.dram_bytes,
+                stats: out.stats,
+            }
+        })
     }
 
     fn transfer_ns(&mut self, bytes: u64) -> f64 {

@@ -113,6 +113,58 @@ impl SdaccelBackend {
         let x = Self::xilinx_opts(cfg);
         cfg.loop_mode == LoopMode::SingleWorkItemNested || x.pipeline_loop || x.max_memory_ports
     }
+
+    /// The actual cost model; `DeviceBackend::kernel_cost` wraps it in
+    /// the per-(config, target) memo.
+    fn kernel_cost_uncached(&self, artifact: &BuildArtifact, plan: &ExecPlan) -> KernelCost {
+        let t = &self.tuning;
+        let cfg = &plan.cfg;
+        let fmax = artifact
+            .fmax_mhz
+            .expect("sdaccel kernels always report fmax");
+        let cycle_ns = 1000.0 / fmax;
+
+        // Initiation interval per access: one beat per access through the
+        // shared port, unless the pipeline got dual-direction ports.
+        let base = match cfg.loop_mode {
+            LoopMode::NdRange => cycle_ns * t.ndrange_ii_factor,
+            _ if Self::fully_pipelined(cfg) => cycle_ns / 2.0,
+            _ => cycle_ns,
+        };
+        let issue = base / cfg.unroll.max(1) as f64;
+
+        // Explicit port-width override caps the effective burst length.
+        let burst_cap = match Self::xilinx_opts(cfg).memory_port_width_bits {
+            Some(bits) => (bits / 8).max(4) * 16,
+            None => t.max_burst_bytes,
+        }
+        .min(t.max_burst_bytes);
+
+        let mut h = MemHierarchy::new(MemHierarchyConfig {
+            caches: vec![],
+            hit_ns: vec![],
+            tlb: None,
+            prefetch: None,
+            dram: t.dram.clone(),
+            issue_bytes_per_ns: 1e9,
+            issue_ns_per_access: issue,
+            mlp: t.mlp,
+            dram_extra_latency_ns: t.dram_extra_latency_ns,
+            write_policy: WritePolicy::WriteAllocate, // no caches: unused
+            wc_flush_bytes: 512,
+        });
+        let co = Coalescer::extent(burst_cap, artifact.lane_group as usize);
+        let out = run_plan(&mut h, plan, artifact.lane_group, Some(co), t.sample_cap);
+
+        // The hierarchy paces bursts; the port's initiation interval is
+        // per kernel-side access (one AXI beat per access).
+        let pipe_ns = kernelgen::total_accesses(cfg) as f64 * issue;
+        KernelCost {
+            ns: out.ns.max(pipe_ns),
+            dram_bytes: out.stats.dram_bytes,
+            stats: out.stats,
+        }
+    }
 }
 
 impl Default for SdaccelBackend {
@@ -162,53 +214,8 @@ impl DeviceBackend for SdaccelBackend {
     }
 
     fn kernel_cost(&mut self, artifact: &BuildArtifact, plan: &ExecPlan) -> KernelCost {
-        let t = &self.tuning;
-        let cfg = &plan.cfg;
-        let fmax = artifact
-            .fmax_mhz
-            .expect("sdaccel kernels always report fmax");
-        let cycle_ns = 1000.0 / fmax;
-
-        // Initiation interval per access: one beat per access through the
-        // shared port, unless the pipeline got dual-direction ports.
-        let base = match cfg.loop_mode {
-            LoopMode::NdRange => cycle_ns * t.ndrange_ii_factor,
-            _ if Self::fully_pipelined(cfg) => cycle_ns / 2.0,
-            _ => cycle_ns,
-        };
-        let issue = base / cfg.unroll.max(1) as f64;
-
-        // Explicit port-width override caps the effective burst length.
-        let burst_cap = match Self::xilinx_opts(cfg).memory_port_width_bits {
-            Some(bits) => (bits / 8).max(4) * 16,
-            None => t.max_burst_bytes,
-        }
-        .min(t.max_burst_bytes);
-
-        let mut h = MemHierarchy::new(MemHierarchyConfig {
-            caches: vec![],
-            hit_ns: vec![],
-            tlb: None,
-            prefetch: None,
-            dram: t.dram.clone(),
-            issue_bytes_per_ns: 1e9,
-            issue_ns_per_access: issue,
-            mlp: t.mlp,
-            dram_extra_latency_ns: t.dram_extra_latency_ns,
-            write_policy: WritePolicy::WriteAllocate, // no caches: unused
-            wc_flush_bytes: 512,
-        });
-        let co = Coalescer::extent(burst_cap, artifact.lane_group as usize);
-        let out = run_plan(&mut h, plan, artifact.lane_group, Some(co), t.sample_cap);
-
-        // The hierarchy paces bursts; the port's initiation interval is
-        // per kernel-side access (one AXI beat per access).
-        let pipe_ns = kernelgen::total_accesses(cfg) as f64 * issue;
-        KernelCost {
-            ns: out.ns.max(pipe_ns),
-            dram_bytes: out.stats.dram_bytes,
-            stats: out.stats,
-        }
+        let key = crate::common::cost_key("sdaccel", &self.tuning, artifact, plan);
+        crate::common::memoized_kernel_cost(key, || self.kernel_cost_uncached(artifact, plan))
     }
 
     fn transfer_ns(&mut self, bytes: u64) -> f64 {

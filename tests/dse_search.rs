@@ -233,15 +233,16 @@ fn cancel_token_stops_an_iterative_search_mid_run() {
     let token = CancelToken::new();
     let engine = Engine::with_jobs(2).with_cancel(Some(token.clone()));
 
-    // Fire the token from another thread shortly after the search
-    // starts; the simulated evaluations are fast, so "shortly" still
-    // lands mid-search for a full-space walk.
-    let firer = {
-        let token = token.clone();
-        std::thread::spawn(move || {
-            std::thread::sleep(std::time::Duration::from_millis(5));
+    // Fire the token mid-search, deterministically: the protocol
+    // closure runs once per evaluated point, so cancelling from inside
+    // it after a handful of points always lands while the walk is in
+    // flight — a timer would race the simulator's speed.
+    let fired = AtomicU64::new(0);
+    let cancelling_protocol = |k: KernelConfig| {
+        if fired.fetch_add(1, Ordering::Relaxed) + 1 == 5 {
             token.cancel();
-        })
+        }
+        protocol(k)
     };
     let mut strategy = HillClimbSearch::new(&space, SEED);
     let r = search_target(
@@ -249,10 +250,9 @@ fn cancel_token_stops_an_iterative_search_mid_run() {
         TargetId::FpgaAocl,
         &mut strategy,
         0,
-        protocol,
+        cancelling_protocol,
         None,
     );
-    firer.join().unwrap();
     assert!(r.cancelled, "the fired token was observed");
     assert!(
         r.trace.len() < space.configs().len(),

@@ -15,7 +15,9 @@
 
 use kernelgen::{KernelConfig, StreamOp};
 use mpstream_core::sweep::sweep_space;
-use mpstream_core::{BenchConfig, Engine, ParamSpace, SweepResult};
+use mpstream_core::{
+    run_figure, BenchConfig, Engine, Figure, FigureId, ParamSpace, RunOpts, SweepResult,
+};
 use std::path::PathBuf;
 use targets::TargetId;
 
@@ -80,4 +82,105 @@ fn metrics_table_matches_golden() {
 fn metrics_table_csv_matches_golden() {
     let s = reference_sweep();
     check_golden("metrics_table.csv", &s.metrics_table().to_csv());
+}
+
+// ---------------------------------------------------------------------
+// Paper-parity trends (Fig. 3 / Fig. 4a), pinned both qualitatively —
+// the orderings the paper's text calls out — and byte-for-byte as
+// golden series data, so a cost-model change that silently moves the
+// numbers shows up even when the trend still holds.
+// ---------------------------------------------------------------------
+
+/// Serialize a figure's series to one line per point with full
+/// round-trip float precision — stable because the simulator is
+/// deterministic.
+fn figure_series_text(fig: &Figure) -> String {
+    let mut out = String::new();
+    for s in &fig.series {
+        for &(x, y) in &s.points {
+            out.push_str(&format!("{} {x:?} {y:?}\n", s.label));
+        }
+    }
+    out
+}
+
+/// Serial, fault-free, full-fidelity figure run (quick mode thins the
+/// protocol and would change the golden values).
+fn reference_figure(id: FigureId) -> Figure {
+    run_figure(id, RunOpts::full().with_jobs(1))
+}
+
+/// The y value of series `label` at target slot `x` (1=aocl 2=sdaccel
+/// 3=cpu 4=gpu in Fig. 3/4a).
+fn at(fig: &Figure, label: &str, x: f64) -> f64 {
+    let s = fig
+        .series
+        .iter()
+        .find(|s| s.label == label)
+        .unwrap_or_else(|| panic!("series '{label}' missing from {:?}", fig.id));
+    s.points
+        .iter()
+        .find(|(px, _)| *px == x)
+        .unwrap_or_else(|| panic!("series '{label}' has no point at x={x}"))
+        .1
+}
+
+#[test]
+fn fig3_gpu_single_work_item_collapses_and_matches_golden() {
+    let fig = reference_figure(FigureId::Fig3);
+    // The paper's headline Fig. 3 result: a single-work-item loop on the
+    // GPU forfeits all thread-level parallelism and collapses bandwidth
+    // roughly three orders of magnitude below the NDRange kernel.
+    let gpu_ndrange = at(&fig, "ndrange-kernel", 4.0);
+    let gpu_flat = at(&fig, "kernel-loop-flat", 4.0);
+    let collapse = gpu_ndrange / gpu_flat;
+    assert!(
+        collapse >= 100.0,
+        "GPU single-work-item should collapse ~1000x vs NDRange, got {collapse:.1}x"
+    );
+    // And on the CPU the three loop managements are within the same
+    // order of magnitude — the collapse is a GPU phenomenon.
+    let cpu_ratio = at(&fig, "ndrange-kernel", 3.0) / at(&fig, "kernel-loop-flat", 3.0);
+    assert!(
+        cpu_ratio < 10.0,
+        "CPU loop modes should be comparable, got {cpu_ratio:.1}x"
+    );
+    check_golden("fig3_series.txt", &figure_series_text(&fig));
+}
+
+#[test]
+fn fig3_nested_loop_beats_flat_on_sdaccel() {
+    let fig = reference_figure(FigureId::Fig3);
+    // The surprising SDAccel result: the nested single-work-item loop
+    // (over the 2D view) outperforms the flat one, while everywhere
+    // else nesting is neutral-to-worse.
+    let sda_nested = at(&fig, "kernel-loop-nested", 2.0);
+    let sda_flat = at(&fig, "kernel-loop-flat", 2.0);
+    assert!(
+        sda_nested > sda_flat,
+        "nested ({sda_nested:.1} KB/s) must beat flat ({sda_flat:.1} KB/s) on SDAccel"
+    );
+    let gpu_nested = at(&fig, "kernel-loop-nested", 4.0);
+    let gpu_flat = at(&fig, "kernel-loop-flat", 4.0);
+    assert!(
+        gpu_nested <= gpu_flat * 1.5,
+        "nesting must not help the GPU the way it helps SDAccel"
+    );
+}
+
+#[test]
+fn fig4a_kernel_ordering_matches_golden() {
+    let fig = reference_figure(FigureId::Fig4a);
+    // Fig. 4a shape: on every target the two-array kernels (copy,
+    // scale) sustain at least the bandwidth of the three-array ones
+    // (add, triad) — more arrays never raises sustained bandwidth.
+    for (x, target) in [(1.0, "aocl"), (2.0, "sdaccel"), (3.0, "cpu"), (4.0, "gpu")] {
+        let copy = at(&fig, "copy", x);
+        let triad = at(&fig, "triad", x);
+        assert!(
+            copy >= triad * 0.8,
+            "{target}: copy ({copy:.1}) should not trail triad ({triad:.1}) by >20%"
+        );
+    }
+    check_golden("fig4a_series.txt", &figure_series_text(&fig));
 }

@@ -377,20 +377,17 @@ fn random_events(rng: &mut SplitMix64, depth: u32, t0: f64, budget: f64, out: &m
         let tid = [TID_ENGINE, TID_BUILD, TID_QUEUE][rng.gen_index(3)];
         let name = names[rng.gen_index(names.len())];
         match rng.gen_index(4) {
-            0 => trace::counter(
-                tid,
-                name,
-                ts,
-                trace::args([("hits", rng.next_u64().into()), ("ok", true.into())]),
-            ),
-            1 => trace::instant(tid, name, ts, trace::args([("code", "Timeout".into())])),
-            _ => trace::span(
-                tid,
-                name,
-                ts,
-                dur,
-                trace::args([("n", (rng.gen_index(9) as u64).into())]),
-            ),
+            0 => {
+                let hits = rng.next_u64();
+                trace::counter(tid, name, ts, || {
+                    trace::args([("hits", hits.into()), ("ok", true.into())])
+                })
+            }
+            1 => trace::instant(tid, name, ts, || trace::args([("code", "Timeout".into())])),
+            _ => {
+                let n = rng.gen_index(9) as u64;
+                trace::span(tid, name, ts, dur, || trace::args([("n", n.into())]))
+            }
         }
         *out += 1;
         random_events(rng, depth - 1, ts, dur - 2.0, out);
