@@ -130,6 +130,21 @@ pub fn standard_slices() -> Vec<Slice> {
                 widths: vec![1, 2, 4, 8],
                 unrolls: vec![1],
                 size_bytes: 256 << 10,
+                ..base.clone()
+            },
+        },
+        // The HPCC scatter kernel: random accesses defeat the row-buffer
+        // and TLB models' fast assumptions, so this slice times the
+        // simulator on its least regular address stream.
+        Slice {
+            name: "sweep-cpu-gups-3",
+            req: CliRequest {
+                mode: CliMode::Sweep,
+                target: TargetId::Cpu,
+                ops: vec![StreamOp::RandomAccess],
+                widths: vec![1],
+                unrolls: vec![1, 2, 4],
+                size_bytes: 1 << 20,
                 ..base
             },
         },
@@ -455,6 +470,12 @@ mod tests {
     fn standard_slices_cover_the_quick_search() {
         let slices = standard_slices();
         assert!(slices.iter().any(|s| s.name == "dse-aocl-90"));
+        // The GUPS slice keeps the irregular-stream path in the bench.
+        let gups = slices
+            .iter()
+            .find(|s| s.name == "sweep-cpu-gups-3")
+            .expect("gups slice present");
+        assert_eq!(gups.req.ops, vec![StreamOp::RandomAccess]);
         for s in &slices {
             assert!(
                 s.req.no_validate,

@@ -195,6 +195,7 @@ pub fn render_record(o: &Outcome) -> String {
             w.raw_field("row_hits", &m.row_hits.to_string());
             w.raw_field("row_misses", &m.row_misses.to_string());
             w.raw_field("row_empty", &m.row_empty.to_string());
+            w.raw_field("stall_ns", &fmt_f64(m.stall_ns));
         }
         Err(e) => {
             w.str_field("status", "err");
@@ -276,6 +277,9 @@ pub fn parse_record(line: &str) -> Option<(String, Outcome)> {
                 row_empty: raw_of("row_empty")
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(0),
+                stall_ns: raw_of("stall_ns")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.0),
             })
         }
         "err" => Err(ClError::from_parts(&str_of("code")?, &str_of("msg")?)),

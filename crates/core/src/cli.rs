@@ -15,7 +15,8 @@ use crate::space::ParamSpace;
 use crate::sweep::{sweep_space, sweep_space_checkpointed};
 use crate::trace::Trace;
 use kernelgen::{
-    AccessPattern, AoclOpts, DataType, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts,
+    AccessPattern, AoclOpts, ChannelSpec, DataType, KernelConfig, LoopMode, StreamOp, VectorWidth,
+    VendorOpts,
 };
 use mpcl::{FaultPlan, FaultSpec};
 use std::path::PathBuf;
@@ -107,6 +108,9 @@ pub struct CliRequest {
     pub pattern: AccessPattern,
     /// Unroll factor.
     pub unroll: u32,
+    /// Producer→consumer channel depth (`--channel-depth`); `None` keeps
+    /// the classic single-stage kernels.
+    pub channel_depth: Option<u32>,
     /// AOCL replication (SIMD, CUs).
     pub aocl: Option<(u32, u32)>,
     /// Timed repetitions.
@@ -162,6 +166,7 @@ impl Default for CliRequest {
             loop_mode: LoopMode::NdRange,
             pattern: AccessPattern::Contiguous,
             unroll: 1,
+            channel_depth: None,
             aocl: None,
             ntimes: 5,
             jobs: None,
@@ -197,7 +202,11 @@ usage: mpstream [sweep|dse|bench-self] [options]
                                     reference slow path points/sec; see
                                     mpstream bench-self --help)
   --target <aocl|sdaccel|cpu|gpu>   device to run on (default cpu)
-  --kernel <copy|scale|add|triad>   kernel (repeatable; default all four)
+  --kernel <name>                   kernel (repeatable; default the four
+                                    STREAM ops). Names: copy, scale, add,
+                                    triad, gups, ptrans, dgemm
+  --ops <a,b,..>                    comma-separated kernel list — same
+                                    names as --kernel (e.g. gups,ptrans)
   --size <N[K|M|G]>                 bytes per array (default 4M)
   --dtype <int|double>              element type (default int)
   --vector <1|2|4|8|16>             vectorization width (default 1)
@@ -205,6 +214,11 @@ usage: mpstream [sweep|dse|bench-self] [options]
                                     FPGAs default to flat)
   --pattern <contig|colmajor|strideN>  access pattern (default contig)
   --unroll <N>                      unroll factor (default 1)
+  --channel-depth <N>               split each kernel into a producer ->
+                                    consumer pair joined by a channel
+                                    (AOCL) / pipe (SDAccel) of N elements;
+                                    AOCL fuses depth 0 back to one stage,
+                                    SDAccel requires a power of two
   --simd <N>                        AOCL num_simd_work_items
   --compute-units <N>               AOCL num_compute_units
   --ntimes <N>                      timed repetitions (default 5)
@@ -328,14 +342,13 @@ pub fn parse_args(args: &[String]) -> Result<Option<CliRequest>, String> {
             }
             "--kernel" => {
                 let v = need(&mut it, "--kernel")?;
-                let op = match v.as_str() {
-                    "copy" => StreamOp::Copy,
-                    "scale" => StreamOp::Scale,
-                    "add" => StreamOp::Add,
-                    "triad" => StreamOp::Triad,
-                    other => return Err(format!("unknown kernel '{other}'")),
-                };
-                ops.push(op);
+                ops.push(StreamOp::parse(&v)?);
+            }
+            "--ops" => {
+                let v = need(&mut it, "--ops")?;
+                for name in v.split(',') {
+                    ops.push(StreamOp::parse(name.trim())?);
+                }
             }
             "--size" => req.size_bytes = parse_size(&need(&mut it, "--size")?)?,
             "--dtype" => {
@@ -377,6 +390,13 @@ pub fn parse_args(args: &[String]) -> Result<Option<CliRequest>, String> {
                 req.unroll = need(&mut it, "--unroll")?
                     .parse()
                     .map_err(|_| "invalid --unroll".to_string())?;
+            }
+            "--channel-depth" => {
+                req.channel_depth = Some(
+                    need(&mut it, "--channel-depth")?
+                        .parse()
+                        .map_err(|_| "invalid --channel-depth".to_string())?,
+                );
             }
             "--simd" => {
                 let n = need(&mut it, "--simd")?
@@ -540,6 +560,7 @@ pub fn kernel_config(req: &CliRequest, op: StreamOp) -> Result<KernelConfig, Str
     cfg.loop_mode = req.loop_mode;
     cfg.pattern = req.pattern;
     cfg.unroll = req.unroll;
+    cfg.channel = req.channel_depth.map(|depth| ChannelSpec { depth });
     if let Some((simd, cu)) = req.aocl {
         cfg.reqd_work_group_size = simd > 1;
         cfg.vendor = VendorOpts::Aocl(AoclOpts {
@@ -624,6 +645,7 @@ pub fn sweep_param_space(req: &CliRequest) -> ParamSpace {
         .patterns([req.pattern])
         .loop_modes([req.loop_mode])
         .unrolls(req.unrolls.iter().copied())
+        .channel_depths([req.channel_depth])
 }
 
 /// The measurement protocol (repetitions, validation) a request applies
@@ -1018,6 +1040,62 @@ mod tests {
         assert!(parse(&["--target", "tpu"]).is_err());
         assert!(parse(&["--kernel", "fma"]).is_err());
         assert!(parse(&["--target"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn ops_flag_parses_family_names_and_lists_valid_ones_on_error() {
+        let r = parse(&["--ops", "gups,ptrans,dgemm"]).unwrap().unwrap();
+        assert_eq!(
+            r.ops,
+            vec![
+                StreamOp::RandomAccess,
+                StreamOp::Ptrans,
+                StreamOp::DgemmLite
+            ]
+        );
+        // --kernel speaks the same vocabulary.
+        let r = parse(&["--kernel", "gups"]).unwrap().unwrap();
+        assert_eq!(r.ops, vec![StreamOp::RandomAccess]);
+        // An unknown name fails, naming every valid op.
+        let err = parse(&["--ops", "copy,warp"]).unwrap_err();
+        for name in ["copy", "scale", "add", "triad", "gups", "ptrans", "dgemm"] {
+            assert!(err.contains(name), "{err}");
+        }
+    }
+
+    #[test]
+    fn channel_depth_flag_reaches_the_kernel_config() {
+        let r = parse(&["--ops", "triad", "--channel-depth", "4"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.channel_depth, Some(4));
+        let cfg = kernel_config(&r, StreamOp::Triad).unwrap();
+        assert_eq!(cfg.channel, Some(ChannelSpec { depth: 4 }));
+        assert!(parse(&["--channel-depth", "deep"]).is_err());
+        // Default stays single-stage.
+        assert_eq!(parse(&[]).unwrap().unwrap().channel_depth, None);
+    }
+
+    #[test]
+    fn execute_runs_hpcc_kernels_with_channels() {
+        let r = parse(&[
+            "--ops",
+            "gups,ptrans,dgemm",
+            "--size",
+            "64K",
+            "--ntimes",
+            "1",
+            "--channel-depth",
+            "8",
+        ])
+        .unwrap()
+        .unwrap();
+        let out = execute(&r).expect("runs");
+        for name in ["gups", "ptrans", "dgemm"] {
+            assert!(out.contains(name), "{out}");
+        }
+        assert!(out.contains("true"), "validated: {out}");
+        assert!(!out.contains("false"), "all valid: {out}");
     }
 
     #[test]

@@ -934,6 +934,7 @@ pub struct ModelSearch {
     seed_batch: usize,
     top_k: usize,
     seeded: bool,
+    warm: Option<RidgeModel>,
 }
 
 impl ModelSearch {
@@ -956,6 +957,50 @@ impl ModelSearch {
             seed_batch,
             top_k,
             seeded: false,
+            warm: None,
+        }
+    }
+
+    /// Warm start from a saved surrogate: the first ask ranks by the
+    /// loaded model's predictions instead of random sampling. The
+    /// checkpoint has already been dimension-checked at load time.
+    pub fn warm_start(mut self, ckpt: &SurrogateCheckpoint) -> Self {
+        self.warm = Some(ckpt.model());
+        self
+    }
+
+    /// Export the surrogate fitted on everything told so far, for a
+    /// later run to [`ModelSearch::warm_start`] from.
+    pub fn surrogate(&self) -> SurrogateCheckpoint {
+        let training: Vec<(usize, f64)> = (0..self.tracker.len())
+            .filter_map(|i| {
+                self.tracker.scores[i].map(|s| (i, s.filter(|g| g.is_finite()).unwrap_or(0.0)))
+            })
+            .collect();
+        let xs: Vec<&[f64]> = training
+            .iter()
+            .map(|&(i, _)| self.feats[i].as_slice())
+            .collect();
+        let ys: Vec<f64> = training.iter().map(|&(_, y)| y).collect();
+        let model = RidgeModel::fit(&xs, &ys, 0.1);
+        SurrogateCheckpoint {
+            feature_dim: kernelgen::FEATURE_DIM,
+            mean: if model.mean.len() == kernelgen::FEATURE_DIM {
+                model.mean
+            } else {
+                vec![0.0; kernelgen::FEATURE_DIM]
+            },
+            scale: if model.scale.len() == kernelgen::FEATURE_DIM {
+                model.scale
+            } else {
+                vec![1.0; kernelgen::FEATURE_DIM]
+            },
+            weights: if model.weights.len() == kernelgen::FEATURE_DIM {
+                model.weights
+            } else {
+                vec![0.0; kernelgen::FEATURE_DIM]
+            },
+            intercept: model.intercept,
         }
     }
 
@@ -988,6 +1033,18 @@ impl Strategy for ModelSearch {
         }
         if !self.seeded {
             self.seeded = true;
+            // A warm-started search spends its seed batch where the
+            // loaded surrogate predicts bandwidth instead of at random.
+            if let Some(model) = &self.warm {
+                let preds: Vec<f64> = self.feats.iter().map(|f| model.predict(f)).collect();
+                let mut ranked: Vec<usize> = (0..self.tracker.len()).collect();
+                ranked.sort_by(|&a, &b| preds[b].total_cmp(&preds[a]).then(a.cmp(&b)));
+                ranked.truncate(self.seed_batch);
+                return ranked
+                    .iter()
+                    .map(|&i| self.tracker.configs[i].clone())
+                    .collect();
+            }
             let mut order: Vec<usize> = (0..self.tracker.len()).collect();
             self.rng.shuffle(&mut order);
             order.truncate(self.seed_batch);
@@ -1111,6 +1168,120 @@ impl RidgeModel {
                 .zip(&self.weights)
                 .map(|(((v, m), s), w)| (v - m) / s * w)
                 .sum::<f64>()
+    }
+}
+
+/// A fitted ridge surrogate serialized for reuse across runs: one run's
+/// [`ModelSearch`] can export what it learned and a later run can warm
+/// start from it instead of random seeding. The file is a single flat
+/// JSON object versioned by the feature dimension it was fitted on —
+/// loading a checkpoint written by a build with a different
+/// [`kernelgen::FEATURE_DIM`] fails loudly instead of silently
+/// mis-indexing features (a 19-dim pre-workload-family checkpoint must
+/// not steer a 25-dim search).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateCheckpoint {
+    /// Feature dimension the weights were fitted on.
+    pub feature_dim: usize,
+    /// Per-feature training means.
+    pub mean: Vec<f64>,
+    /// Per-feature training standard deviations.
+    pub scale: Vec<f64>,
+    /// Standardized-feature weights.
+    pub weights: Vec<f64>,
+    /// Centered-response intercept.
+    pub intercept: f64,
+}
+
+impl SurrogateCheckpoint {
+    /// Serialize as one flat JSON object. Vectors are comma-joined into
+    /// string fields — the repo's hand-rolled flat parser does not do
+    /// nested arrays, and `{v}` formatting round-trips f64 exactly.
+    pub fn to_json(&self) -> String {
+        let join = |v: &[f64]| {
+            v.iter()
+                .map(|x| format!("{x}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut w = crate::json::JsonLine::new();
+        w.u64_field("feature_dim", self.feature_dim as u64)
+            .str_field("mean", &join(&self.mean))
+            .str_field("scale", &join(&self.scale))
+            .str_field("weights", &join(&self.weights))
+            .raw_field("intercept", &format!("{}", self.intercept));
+        w.finish()
+    }
+
+    /// Parse and validate a serialized surrogate. Errors on malformed
+    /// input, on vectors that disagree with the recorded dimension, and
+    /// — loudly, naming both dimensions — on a checkpoint fitted against
+    /// a different [`kernelgen::FEATURE_DIM`] than this build extracts.
+    pub fn from_json(s: &str) -> Result<SurrogateCheckpoint, String> {
+        let obj = crate::json::parse_flat_object(s.trim())
+            .ok_or_else(|| "surrogate checkpoint: not a flat JSON object".to_string())?;
+        let dim = obj
+            .get("feature_dim")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| "surrogate checkpoint: missing feature_dim".to_string())?
+            as usize;
+        if dim != kernelgen::FEATURE_DIM {
+            return Err(format!(
+                "surrogate checkpoint was fitted on {dim}-dim kernel features but this \
+                 build extracts {} (FEATURE_DIM changed — e.g. the workload-family \
+                 dimensions); refit the model instead of reusing the checkpoint",
+                kernelgen::FEATURE_DIM
+            ));
+        }
+        let vec_field = |key: &str| -> Result<Vec<f64>, String> {
+            let raw = obj
+                .get(key)
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("surrogate checkpoint: missing {key}"))?;
+            let parsed: Result<Vec<f64>, _> =
+                raw.split(',').map(|t| t.trim().parse::<f64>()).collect();
+            let v = parsed.map_err(|_| format!("surrogate checkpoint: bad {key} '{raw}'"))?;
+            if v.len() != dim {
+                return Err(format!(
+                    "surrogate checkpoint: {key} has {} entries, feature_dim says {dim}",
+                    v.len()
+                ));
+            }
+            Ok(v)
+        };
+        Ok(SurrogateCheckpoint {
+            feature_dim: dim,
+            mean: vec_field("mean")?,
+            scale: vec_field("scale")?,
+            weights: vec_field("weights")?,
+            intercept: obj
+                .get("intercept")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| "surrogate checkpoint: missing intercept".to_string())?,
+        })
+    }
+
+    /// Write the checkpoint to `path`.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json() + "\n")
+            .map_err(|e| format!("surrogate checkpoint {}: {e}", path.display()))
+    }
+
+    /// Read and validate a checkpoint from `path`.
+    pub fn load(path: &std::path::Path) -> Result<SurrogateCheckpoint, String> {
+        let s = std::fs::read_to_string(path)
+            .map_err(|e| format!("surrogate checkpoint {}: {e}", path.display()))?;
+        SurrogateCheckpoint::from_json(&s)
+    }
+
+    /// The ridge model these parameters describe.
+    fn model(&self) -> RidgeModel {
+        RidgeModel {
+            mean: self.mean.clone(),
+            scale: self.scale.clone(),
+            weights: self.weights.clone(),
+            intercept: self.intercept,
+        }
     }
 }
 
@@ -1303,6 +1474,59 @@ mod tests {
         // Optimum is 36 (vec16 flat unroll4); the surrogate must get
         // within striking distance on a third of the space.
         assert!(best >= 30.0, "model best {best}");
+    }
+
+    #[test]
+    fn surrogate_checkpoint_round_trips_and_warm_starts() {
+        let mut s = ModelSearch::new(&space(), 15, 7);
+        let (_, _, _) = drive(&mut s, 15, |batch| BatchOutcome {
+            outcomes: batch
+                .iter()
+                .map(|c| Outcome::new(c.clone(), objective(c)))
+                .collect(),
+            resumed: 0,
+            cancelled: false,
+        });
+        let ckpt = s.surrogate();
+        assert_eq!(ckpt.feature_dim, kernelgen::FEATURE_DIM);
+        let back = SurrogateCheckpoint::from_json(&ckpt.to_json()).expect("round trip");
+        assert_eq!(back, ckpt);
+
+        // A warm-started search's first ask is model-ranked, not random
+        // — and deterministic regardless of the seed.
+        let ask1 = ModelSearch::new(&space(), 15, 1).warm_start(&ckpt).ask();
+        let ask2 = ModelSearch::new(&space(), 15, 2).warm_start(&ckpt).ask();
+        assert!(!ask1.is_empty());
+        assert_eq!(ask1, ask2, "warm start ignores the rng seed");
+    }
+
+    #[test]
+    fn stale_feature_dim_checkpoints_fail_loudly() {
+        // A checkpoint from before the workload-family feature growth:
+        // 19 dims. Loading it must be an error that names both sizes,
+        // not a silently mis-indexed model.
+        let join = |n: usize| {
+            (0..n)
+                .map(|_| "0".to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let old = format!(
+            "{{\"feature_dim\":19,\"mean\":\"{0}\",\"scale\":\"{0}\",\"weights\":\"{0}\",\"intercept\":1.5}}",
+            join(19)
+        );
+        let err = SurrogateCheckpoint::from_json(&old).unwrap_err();
+        assert!(err.contains("19-dim"), "{err}");
+        assert!(err.contains(&kernelgen::FEATURE_DIM.to_string()), "{err}");
+        assert!(err.contains("refit"), "{err}");
+
+        // Matching dim but short vectors is also rejected.
+        let torn = format!(
+            "{{\"feature_dim\":{dim},\"mean\":\"{short}\",\"scale\":\"{short}\",\"weights\":\"{short}\",\"intercept\":0}}",
+            dim = kernelgen::FEATURE_DIM,
+            short = join(3)
+        );
+        assert!(SurrogateCheckpoint::from_json(&torn).is_err());
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use checkpoint::Checkpoint;
 pub use config::{BenchConfig, StreamLocation};
 pub use dse::{
     explore, explore_target, search_target, AnnealSearch, DseResult, ExhaustiveSearch, Explorer,
-    GeneticSearch, HillClimbSearch, ModelSearch, RandomSearch, Strategy,
+    GeneticSearch, HillClimbSearch, ModelSearch, RandomSearch, Strategy, SurrogateCheckpoint,
 };
 pub use engine::{default_jobs, CancelToken, Engine, Outcome, ResiliencePolicy, RetryStats};
 pub use experiments::{run_figure, Figure, FigureId, RunOpts};

@@ -11,14 +11,18 @@ use std::fmt::Write as _;
 /// width, loop mode, unroll, vendor opts) — shared by the sweep point
 /// table and the per-config metrics table so rows line up across both.
 pub fn config_label(cfg: &KernelConfig) -> String {
-    format!(
+    let mut label = format!(
         "{} vec{} {} u{} {:?}",
         cfg.op.name(),
         cfg.vector_width.get(),
         cfg.loop_mode.label(),
         cfg.unroll,
         cfg.vendor
-    )
+    );
+    if let Some(ch) = cfg.channel {
+        let _ = write!(label, " ch{}", ch.depth);
+    }
+    label
 }
 
 /// A labelled series of (x, y) points — one line of a paper figure.
@@ -221,6 +225,9 @@ pub struct SweepSummary {
 pub struct ConfigMetrics {
     /// Configuration label (see [`config_label`]).
     pub label: String,
+    /// Workload-family label (`stream`/`hpcc`; see
+    /// [`kernelgen::Op::family`]).
+    pub family: &'static str,
     /// Sustained bandwidth, GB/s.
     pub gbps: f64,
     /// Modelled synthesis/compile time, ns.
@@ -229,6 +236,9 @@ pub struct ConfigMetrics {
     pub xfer_ns: f64,
     /// Total simulated kernel execution time, ns.
     pub kernel_ns: f64,
+    /// Channel/pipe stall time inside the kernel launches, ns (zero for
+    /// single-stage kernels).
+    pub stall_ns: f64,
     /// Re-attempts the point needed.
     pub retries: u32,
     /// Build-cache status label (`hit`/`miss`/`uncached`).
@@ -242,10 +252,12 @@ pub struct ConfigMetrics {
 pub fn config_metrics_table(rows: &[ConfigMetrics]) -> Table {
     let mut t = Table::new(&[
         "config",
+        "family",
         "GB/s",
         "build_ns",
         "xfer_ns",
         "kernel_ns",
+        "stall_ns",
         "retries",
         "cache",
         "row hit%",
@@ -253,10 +265,12 @@ pub fn config_metrics_table(rows: &[ConfigMetrics]) -> Table {
     for r in rows {
         t.row(&[
             r.label.clone(),
+            r.family.to_string(),
             format!("{:.2}", r.gbps),
             format!("{:.0}", r.build_ns),
             format!("{:.0}", r.xfer_ns),
             format!("{:.0}", r.kernel_ns),
+            format!("{:.0}", r.stall_ns),
             r.retries.to_string(),
             r.cache.to_string(),
             format!("{:.1}", r.row_hit_rate * 100.0),
@@ -419,6 +433,38 @@ mod tests {
         }
         assert!(txt.contains("12/8"), "{txt}");
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn config_label_appends_channel_depth_only_when_present() {
+        let mut cfg = KernelConfig::baseline(kernelgen::Op::RandomAccess, 1024);
+        assert!(!config_label(&cfg).contains(" ch"));
+        cfg.channel = Some(kernelgen::ChannelSpec { depth: 4 });
+        let label = config_label(&cfg);
+        assert!(label.starts_with("gups "), "{label}");
+        assert!(label.ends_with(" ch4"), "{label}");
+    }
+
+    #[test]
+    fn metrics_table_has_family_and_stall_columns() {
+        let t = config_metrics_table(&[ConfigMetrics {
+            label: "gups vec1 ndrange u1 None ch4".into(),
+            family: "hpcc",
+            gbps: 3.5,
+            build_ns: 100.0,
+            xfer_ns: 200.0,
+            kernel_ns: 300.0,
+            stall_ns: 42.0,
+            retries: 0,
+            cache: "miss",
+            row_hit_rate: 0.5,
+        }]);
+        let txt = t.to_text();
+        for col in ["family", "stall_ns"] {
+            assert!(txt.contains(col), "missing column {col}: {txt}");
+        }
+        assert!(txt.contains("hpcc"), "{txt}");
+        assert!(txt.contains("42"), "{txt}");
     }
 
     #[test]

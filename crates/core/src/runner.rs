@@ -66,6 +66,9 @@ pub struct Measurement {
     pub row_misses: u64,
     /// DRAM row-buffer empty activations across completed launches.
     pub row_empty: u64,
+    /// Channel/pipe stall time summed over completed kernel launches,
+    /// ns (zero for single-stage kernels).
+    pub stall_ns: f64,
 }
 
 impl PartialEq for Measurement {
@@ -90,6 +93,7 @@ impl PartialEq for Measurement {
             && self.row_hits == other.row_hits
             && self.row_misses == other.row_misses
             && self.row_empty == other.row_empty
+            && self.stall_ns == other.stall_ns
     }
 }
 
@@ -151,6 +155,7 @@ impl Measurement {
             row_hits: 0,
             row_misses: 0,
             row_empty: 0,
+            stall_ns: 0.0,
         }
     }
 }
@@ -239,6 +244,7 @@ impl Runner {
                         m.row_hits += rec.event.row_hits;
                         m.row_misses += rec.event.row_misses;
                         m.row_empty += rec.event.row_empty;
+                        m.stall_ns += rec.event.stall_ns;
                     }
                     _ => {}
                 }
@@ -295,6 +301,19 @@ impl Runner {
                         ("empty", ev.row_empty.into()),
                     ])
                 });
+                if ev.stall_ns > 0.0 {
+                    // Render the FIFO backpressure of a channeled launch
+                    // as its own span, nested at the tail of the kernel
+                    // span (the blocked side idles while the other
+                    // drains).
+                    trace::span(
+                        trace::TID_QUEUE,
+                        "channel_stall",
+                        q0 + ev.end_ns - ev.stall_ns,
+                        ev.stall_ns,
+                        Vec::new,
+                    );
+                }
             }
         }
         trace::advance_vclock(synth + queue.now_ns());
@@ -409,6 +428,7 @@ impl Runner {
             row_hits: 0,
             row_misses: 0,
             row_empty: 0,
+            stall_ns: 0.0,
         })
     }
 }
@@ -462,11 +482,65 @@ fn expected(cfg: &KernelConfig, i: u64) -> f64 {
         StreamOp::Scale => q * b,
         StreamOp::Add => b + c,
         StreamOp::Triad => b + q * c,
+        _ => unreachable!("HPCC ops validate via expected_hpcc"),
     }
+}
+
+/// Host replay of the HPCC-family kernels from the closed-form init
+/// patterns — computed from `src_values` directly, so it is an oracle
+/// independent of the interpreter the simulated device executed.
+fn expected_hpcc(cfg: &KernelConfig) -> Vec<u8> {
+    let n = cfg.n_words;
+    let w = cfg.dtype.word_bytes();
+    let mut out = vec![0u8; (n * w) as usize];
+    let (rows, cols) = cfg.matrix_shape();
+    match cfg.op {
+        StreamOp::RandomAccess => {
+            // XOR-scatter of b into a zeroed table.
+            let mut acc = vec![0i32; n as usize];
+            for i in 0..n {
+                acc[kernelgen::gups_index(i, n) as usize] ^= src_values(i, Source::B) as i32;
+            }
+            for (i, v) in acc.iter().enumerate() {
+                out[i * 4..i * 4 + 4].copy_from_slice(&v.to_ne_bytes());
+            }
+        }
+        StreamOp::Ptrans => {
+            for i in 0..n {
+                let (r, c) = (i / cols, i % cols);
+                let dst = ((c * rows + r) * w) as usize;
+                match cfg.dtype {
+                    DataType::I32 => out[dst..dst + 4]
+                        .copy_from_slice(&(src_values(i, Source::B) as i32).to_ne_bytes()),
+                    DataType::F64 => out[dst..dst + 8]
+                        .copy_from_slice(&(src_values(i, Source::B) as f64).to_ne_bytes()),
+                }
+            }
+        }
+        StreamOp::DgemmLite => {
+            // Wrapping i32 matmul of the init patterns; the `c` operand
+            // is its first cols x cols elements.
+            for i in 0..n {
+                let (r, c) = (i / cols, i % cols);
+                let mut acc = 0i32;
+                for k in 0..cols {
+                    let bv = src_values(r * cols + k, Source::B) as i32;
+                    let cv = src_values(k * cols + c, Source::C) as i32;
+                    acc = acc.wrapping_add(bv.wrapping_mul(cv));
+                }
+                out[(i * 4) as usize..(i * 4 + 4) as usize].copy_from_slice(&acc.to_ne_bytes());
+            }
+        }
+        _ => unreachable!("stream ops use the closed form"),
+    }
+    out
 }
 
 /// STREAM-style full-array validation.
 fn check_results(cfg: &KernelConfig, a: &[u8]) -> bool {
+    if !cfg.op.is_stream() {
+        return a == expected_hpcc(cfg);
+    }
     let n = cfg.n_words;
     match cfg.dtype {
         DataType::I32 => (0..n).all(|i| {

@@ -1,7 +1,8 @@
 //! Cartesian parameter spaces over the §III tuning dimensions.
 
 use kernelgen::{
-    validate, AccessPattern, DataType, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts,
+    validate, AccessPattern, ChannelSpec, DataType, KernelConfig, LoopMode, StreamOp, VectorWidth,
+    VendorOpts,
 };
 
 /// A set of values per tuning dimension; [`ParamSpace::configs`] yields
@@ -26,6 +27,9 @@ pub struct ParamSpace {
     pub unrolls: Vec<u32>,
     /// Vendor-specific option sets.
     pub vendors: Vec<VendorOpts>,
+    /// Channel variants: `None` for the single-stage kernel, or a
+    /// producer→consumer split with the given FIFO depth.
+    pub channels: Vec<Option<ChannelSpec>>,
     /// Work-group size for NDRange points.
     pub work_group_size: u32,
     /// Emit `reqd_work_group_size`.
@@ -43,6 +47,7 @@ impl Default for ParamSpace {
             loop_modes: vec![LoopMode::NdRange],
             unrolls: vec![1],
             vendors: vec![VendorOpts::None],
+            channels: vec![None],
             work_group_size: 64,
             reqd_work_group_size: false,
         }
@@ -111,6 +116,16 @@ impl ParamSpace {
         self
     }
 
+    /// Set the channel variants: `None` for the plain kernel, `Some(d)`
+    /// for a producer→consumer split over a depth-`d` channel.
+    pub fn channel_depths(mut self, depths: impl IntoIterator<Item = Option<u32>>) -> Self {
+        self.channels = depths
+            .into_iter()
+            .map(|d| d.map(|depth| ChannelSpec { depth }))
+            .collect();
+        self
+    }
+
     /// Set the work-group size for NDRange points.
     pub fn work_group_size(mut self, wg: u32) -> Self {
         self.work_group_size = wg;
@@ -133,6 +148,7 @@ impl ParamSpace {
             * self.loop_modes.len()
             * self.unrolls.len()
             * self.vendors.len()
+            * self.channels.len()
     }
 
     /// All valid configurations in deterministic order.
@@ -146,24 +162,27 @@ impl ParamSpace {
                             for &loop_mode in &self.loop_modes {
                                 for &unroll in &self.unrolls {
                                     for &vendor in &self.vendors {
-                                        let Ok(width) = VectorWidth::new(w) else {
-                                            continue;
-                                        };
-                                        let cfg = KernelConfig {
-                                            op,
-                                            dtype,
-                                            n_words: size / dtype.word_bytes(),
-                                            vector_width: width,
-                                            pattern,
-                                            loop_mode,
-                                            unroll,
-                                            work_group_size: self.work_group_size,
-                                            reqd_work_group_size: self.reqd_work_group_size,
-                                            vendor,
-                                            q: 3.0,
-                                        };
-                                        if validate(&cfg).is_ok() {
-                                            out.push(cfg);
+                                        for &channel in &self.channels {
+                                            let Ok(width) = VectorWidth::new(w) else {
+                                                continue;
+                                            };
+                                            let cfg = KernelConfig {
+                                                op,
+                                                dtype,
+                                                n_words: size / dtype.word_bytes(),
+                                                vector_width: width,
+                                                pattern,
+                                                loop_mode,
+                                                unroll,
+                                                work_group_size: self.work_group_size,
+                                                reqd_work_group_size: self.reqd_work_group_size,
+                                                vendor,
+                                                channel,
+                                                q: 3.0,
+                                            };
+                                            if validate(&cfg).is_ok() {
+                                                out.push(cfg);
+                                            }
                                         }
                                     }
                                 }

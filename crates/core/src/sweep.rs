@@ -129,10 +129,12 @@ impl SweepResult {
                 let m = p.result.as_ref().ok()?;
                 Some(ConfigMetrics {
                     label: config_label(&p.config),
+                    family: p.config.op.family(),
                     gbps: m.gbps(),
                     build_ns: m.build_ns,
                     xfer_ns: m.xfer_ns,
                     kernel_ns: m.kernel_ns,
+                    stall_ns: m.stall_ns,
                     retries: p.retries,
                     cache: m.cache.label(),
                     row_hit_rate: m.row_hit_rate(),

@@ -9,7 +9,7 @@
 //! of `b`, then all lanes' reads of `c`, then all lanes' writes of `a`),
 //! which is what makes per-warp coalescing work on the GPU model.
 
-use crate::ir::{AccessPattern, KernelConfig};
+use crate::ir::{gups_index, AccessPattern, KernelConfig, Op};
 use crate::plan::ExecPlan;
 
 /// Memory access record re-exported from the simulator's request type.
@@ -121,33 +121,81 @@ impl Iterator for IndexOrder {
 
 /// Total number of accesses the kernel performs (each of
 /// [`KernelConfig::vector_bytes`] bytes).
+///
+/// STREAM ops touch each element of each array once. GUPS adds the
+/// read-modify-write of `a` (3 per update); DGEMM-lite performs `K`
+/// reads of each operand matrix plus one write per output element,
+/// where `K` is the inner dimension (`matrix_shape().1`).
 pub fn total_accesses(cfg: &KernelConfig) -> u64 {
-    cfg.n_vectors() * cfg.op.arrays()
+    let n = cfg.n_vectors();
+    match cfg.op {
+        Op::RandomAccess => 3 * n,
+        Op::DgemmLite => {
+            let (_, k) = cfg.matrix_shape();
+            n * (2 * k + 1)
+        }
+        _ => n * cfg.op.arrays(),
+    }
 }
 
 /// The access stream of `plan`, emitted lane-group by lane-group.
 ///
 /// `lane_group` is the number of consecutive traversal positions that
 /// execute in lock-step (1 for sequential loops, the warp width for GPU
-/// NDRange, the unroll factor for unrolled FPGA pipelines).
+/// NDRange, the unroll factor for unrolled FPGA pipelines). The
+/// HPCC-style ops are scalar-sequential (validation pins them to vector
+/// width 1) and ignore `lane_group`: their per-iteration sequences
+/// (hashed scatter, transpose write, dot-product reads) have no
+/// lock-step structure to expose.
 pub fn access_stream(plan: &ExecPlan, lane_group: u32) -> AccessStream {
     assert!(lane_group >= 1);
-    AccessStream {
-        order: IndexOrder::new(&plan.cfg),
-        vector_bytes: plan.cfg.vector_bytes() as u32,
-        base_a: plan.base_a,
-        base_b: plan.base_b,
-        base_c: plan.cfg.op.uses_c().then_some(plan.base_c),
-        lane_group: lane_group as usize,
-        group: Vec::with_capacity(lane_group as usize),
-        cursor: 0,
-        instr: 0,
-    }
+    let cfg = &plan.cfg;
+    let inner = if cfg.op.is_stream() {
+        Inner::Stream(StreamAccesses {
+            order: IndexOrder::new(cfg),
+            vector_bytes: cfg.vector_bytes() as u32,
+            base_a: plan.base_a,
+            base_b: plan.base_b,
+            base_c: cfg.op.uses_c().then_some(plan.base_c),
+            lane_group: lane_group as usize,
+            group: Vec::with_capacity(lane_group as usize),
+            cursor: 0,
+            instr: 0,
+        })
+    } else {
+        let (rows, cols) = cfg.matrix_shape();
+        Inner::Hpcc(HpccAccesses {
+            op: cfg.op,
+            order: IndexOrder::new(cfg),
+            vector_bytes: cfg.vector_bytes() as u32,
+            base_a: plan.base_a,
+            base_b: plan.base_b,
+            base_c: plan.base_c,
+            n: cfg.n_vectors(),
+            rows,
+            cols,
+            cur: None,
+            step: 0,
+        })
+    };
+    AccessStream { inner }
 }
 
 /// Iterator returned by [`access_stream`].
 #[derive(Debug, Clone)]
 pub struct AccessStream {
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Stream(StreamAccesses),
+    Hpcc(HpccAccesses),
+}
+
+/// The instruction-major lane-group machine for the STREAM ops.
+#[derive(Debug, Clone)]
+struct StreamAccesses {
     order: IndexOrder,
     vector_bytes: u32,
     base_a: u64,
@@ -161,6 +209,130 @@ pub struct AccessStream {
     instr: u8,
 }
 
+/// Per-iteration access generator for the HPCC-style ops. Each
+/// traversal position `i` (drawn from the configuration's
+/// [`IndexOrder`]) expands to a fixed per-op sequence:
+///
+/// - GUPS: read `b[i]`, read `a[h(i)]`, write `a[h(i)]`.
+/// - PTRANS (`i = r*cols + c`): read `b[i]`, write `a[c*rows + r]`.
+/// - DGEMM-lite (`i = r*cols + c`, inner dim `K = cols`): reads
+///   `b[r*cols + k]` for `k in 0..K`, reads `c[k*cols + c]` for
+///   `k in 0..K`, then writes `a[i]`.
+#[derive(Debug, Clone)]
+struct HpccAccesses {
+    op: Op,
+    order: IndexOrder,
+    vector_bytes: u32,
+    base_a: u64,
+    base_b: u64,
+    base_c: u64,
+    n: u64,
+    rows: u64,
+    cols: u64,
+    /// Current traversal position, or `None` when the next one must be
+    /// drawn from `order`.
+    cur: Option<u64>,
+    /// Position within the current iteration's access sequence.
+    step: u64,
+}
+
+impl HpccAccesses {
+    fn accesses_per_iter(&self) -> u64 {
+        match self.op {
+            Op::RandomAccess => 3,
+            Op::Ptrans => 2,
+            Op::DgemmLite => 2 * self.cols + 1,
+            _ => unreachable!("stream ops use StreamAccesses"),
+        }
+    }
+}
+
+impl Iterator for HpccAccesses {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        let i = match self.cur {
+            Some(i) => i,
+            None => {
+                let i = self.order.next()?;
+                self.cur = Some(i);
+                self.step = 0;
+                i
+            }
+        };
+        let w = self.vector_bytes as u64;
+        let bytes = self.vector_bytes;
+        let acc = match self.op {
+            Op::RandomAccess => {
+                let h = gups_index(i, self.n);
+                match self.step {
+                    0 => Access {
+                        addr: self.base_b + i * w,
+                        bytes,
+                        kind: AccessKind::Read,
+                    },
+                    1 => Access {
+                        addr: self.base_a + h * w,
+                        bytes,
+                        kind: AccessKind::Read,
+                    },
+                    _ => Access {
+                        addr: self.base_a + h * w,
+                        bytes,
+                        kind: AccessKind::Write,
+                    },
+                }
+            }
+            Op::Ptrans => {
+                if self.step == 0 {
+                    Access {
+                        addr: self.base_b + i * w,
+                        bytes,
+                        kind: AccessKind::Read,
+                    }
+                } else {
+                    let (r, c) = (i / self.cols, i % self.cols);
+                    Access {
+                        addr: self.base_a + (c * self.rows + r) * w,
+                        bytes,
+                        kind: AccessKind::Write,
+                    }
+                }
+            }
+            Op::DgemmLite => {
+                let (r, c) = (i / self.cols, i % self.cols);
+                let k_dim = self.cols;
+                if self.step < k_dim {
+                    Access {
+                        addr: self.base_b + (r * self.cols + self.step) * w,
+                        bytes,
+                        kind: AccessKind::Read,
+                    }
+                } else if self.step < 2 * k_dim {
+                    let k = self.step - k_dim;
+                    Access {
+                        addr: self.base_c + (k * self.cols + c) * w,
+                        bytes,
+                        kind: AccessKind::Read,
+                    }
+                } else {
+                    Access {
+                        addr: self.base_a + i * w,
+                        bytes,
+                        kind: AccessKind::Write,
+                    }
+                }
+            }
+            _ => unreachable!("stream ops use StreamAccesses"),
+        };
+        self.step += 1;
+        if self.step == self.accesses_per_iter() {
+            self.cur = None;
+        }
+        Some(acc)
+    }
+}
+
 impl AccessStream {
     /// Append up to `max` accesses to `out`, returning how many were
     /// appended (fewer only at end of stream). The emitted sequence is
@@ -168,6 +340,38 @@ impl AccessStream {
     /// simulation hot paths batch through here to amortize per-access
     /// iterator dispatch into tight per-instruction loops.
     pub fn fill(&mut self, out: &mut Vec<Access>, max: usize) -> usize {
+        match &mut self.inner {
+            Inner::Stream(s) => s.fill(out, max),
+            Inner::Hpcc(h) => {
+                // The HPCC generators are per-iteration state machines;
+                // draining through `next` is already the tight loop.
+                let start = out.len();
+                while out.len() - start < max {
+                    match h.next() {
+                        Some(a) => out.push(a),
+                        None => break,
+                    }
+                }
+                out.len() - start
+            }
+        }
+    }
+}
+
+impl Iterator for AccessStream {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        match &mut self.inner {
+            Inner::Stream(s) => s.next(),
+            Inner::Hpcc(h) => h.next(),
+        }
+    }
+}
+
+impl StreamAccesses {
+    /// See [`AccessStream::fill`].
+    fn fill(&mut self, out: &mut Vec<Access>, max: usize) -> usize {
         let start = out.len();
         while out.len() - start < max {
             if self.cursor < self.group.len() {
@@ -218,7 +422,7 @@ impl AccessStream {
     }
 }
 
-impl Iterator for AccessStream {
+impl Iterator for StreamAccesses {
     type Item = Access;
 
     fn next(&mut self) -> Option<Access> {
@@ -414,6 +618,87 @@ mod tests {
                         while s.fill(&mut got, chunk) > 0 {}
                         assert_eq!(got, expect, "{op:?} {pattern:?} lane={lane} chunk={chunk}");
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gups_stream_reads_then_updates_the_hashed_slot() {
+        let p = plan(Op::RandomAccess, 16);
+        let accs: Vec<_> = access_stream(&p, 1).collect();
+        assert_eq!(accs.len() as u64, total_accesses(&p.cfg));
+        for (i, chunk) in accs.chunks(3).enumerate() {
+            let h = crate::ir::gups_index(i as u64, 16);
+            assert_eq!(chunk[0].addr, p.base_b + 4 * i as u64, "read b[{i}]");
+            assert_eq!(chunk[0].kind, AccessKind::Read);
+            assert_eq!(chunk[1].addr, p.base_a + 4 * h, "read a[h({i})]");
+            assert_eq!(chunk[1].kind, AccessKind::Read);
+            assert_eq!(chunk[2].addr, p.base_a + 4 * h, "write a[h({i})]");
+            assert_eq!(chunk[2].kind, AccessKind::Write);
+        }
+    }
+
+    #[test]
+    fn ptrans_stream_writes_the_transposed_slot() {
+        // 12 elements, near-square 4 rows x 3 cols.
+        let p = plan(Op::Ptrans, 12);
+        let (rows, cols) = p.cfg.matrix_shape();
+        assert_eq!((rows, cols), (4, 3));
+        let accs: Vec<_> = access_stream(&p, 1).collect();
+        assert_eq!(accs.len(), 24);
+        for (i, chunk) in accs.chunks(2).enumerate() {
+            let (r, c) = (i as u64 / cols, i as u64 % cols);
+            assert_eq!(chunk[0].addr, p.base_b + 4 * i as u64);
+            assert_eq!(chunk[0].kind, AccessKind::Read);
+            assert_eq!(chunk[1].addr, p.base_a + 4 * (c * rows + r));
+            assert_eq!(chunk[1].kind, AccessKind::Write);
+        }
+    }
+
+    #[test]
+    fn dgemm_stream_is_row_times_column_then_write() {
+        // 16 elements -> 4x4; K = 4 -> 9 accesses per output.
+        let p = plan(Op::DgemmLite, 16);
+        let accs: Vec<_> = access_stream(&p, 1).collect();
+        assert_eq!(accs.len() as u64, total_accesses(&p.cfg));
+        assert_eq!(accs.len(), 16 * 9);
+        // Output (1, 2): reads b[4..8], reads c[2], c[6], c[10], c[14],
+        // writes a[6].
+        let out = &accs[6 * 9..7 * 9];
+        for k in 0..4u64 {
+            assert_eq!(out[k as usize].addr, p.base_b + 4 * (4 + k));
+            assert_eq!(out[k as usize].kind, AccessKind::Read);
+            assert_eq!(out[4 + k as usize].addr, p.base_c + 4 * (k * 4 + 2));
+            assert_eq!(out[4 + k as usize].kind, AccessKind::Read);
+        }
+        assert_eq!(out[8].addr, p.base_a + 4 * 6);
+        assert_eq!(out[8].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn hpcc_fill_matches_next_and_counts() {
+        for op in Op::HPCC {
+            let patterns: &[AccessPattern] = if op == Op::RandomAccess {
+                &[AccessPattern::Contiguous]
+            } else {
+                &[
+                    AccessPattern::Contiguous,
+                    AccessPattern::ColMajor { cols: Some(8) },
+                ]
+            };
+            for &pattern in patterns {
+                for chunk in [1usize, 7, 1000] {
+                    let mut cfg = KernelConfig::baseline(op, 64);
+                    cfg.pattern = pattern;
+                    let bytes = cfg.array_bytes();
+                    let p = ExecPlan::new(cfg, 0, bytes, 2 * bytes);
+                    let expect: Vec<_> = access_stream(&p, 4).collect();
+                    assert_eq!(expect.len() as u64, total_accesses(&p.cfg));
+                    let mut got = Vec::new();
+                    let mut s = access_stream(&p, 4);
+                    while s.fill(&mut got, chunk) > 0 {}
+                    assert_eq!(got, expect, "{op:?} {pattern:?} chunk={chunk}");
                 }
             }
         }

@@ -330,6 +330,15 @@ fn known_builtins() -> HashSet<&'static str> {
         "num_compute_units",
         "xcl_pipeline_loop",
         "xcl_pipeline_workitems",
+        // Channel/pipe spellings used by the two-stage variants.
+        "channel",
+        "pipe",
+        "depth",
+        "xcl_reqd_pipe_depth",
+        "write_channel_intel",
+        "read_channel_intel",
+        "write_pipe",
+        "read_pipe",
     ]
     .into_iter()
     .collect()
@@ -379,8 +388,11 @@ pub fn check_source(src: &str) -> Result<KernelSignature, CheckError> {
         }
     }
 
-    // Walk the body: any `TYPE ident` sequence declares ident.
-    let body_start = tokens
+    // Walk the whole token stream: any `TYPE ident` sequence declares
+    // ident. Starting before the first body also picks up file-scope
+    // declarations (the channel/pipe object of two-stage variants) and
+    // the second kernel of a producer→consumer pair.
+    tokens
         .iter()
         .position(|t| matches!(t, Token::Punct('{')))
         .ok_or(CheckError {
@@ -388,7 +400,7 @@ pub fn check_source(src: &str) -> Result<KernelSignature, CheckError> {
             message: "kernel has no body".into(),
         })?;
     let mut prev_was_type = false;
-    for (idx, t) in tokens.iter().enumerate().skip(body_start) {
+    for (idx, t) in tokens.iter().enumerate() {
         match t {
             Token::Ident(s) if is_type_name(s) => prev_was_type = true,
             Token::Ident(s) => {

@@ -19,7 +19,7 @@
 //! space is expressed (an NDRange kernel coalesces differently from a
 //! pipelined single-work-item loop).
 
-use crate::ir::{AccessPattern, KernelConfig, LoopMode, VendorOpts};
+use crate::ir::{AccessPattern, KernelConfig, LoopMode, Op, VendorOpts};
 
 /// Names of the feature dimensions, index-aligned with [`features`].
 pub const FEATURE_NAMES: &[&str] = &[
@@ -42,6 +42,12 @@ pub const FEATURE_NAMES: &[&str] = &[
     "nested_x_log2_width",
     "flat_x_log2_unroll",
     "nested_x_log2_unroll",
+    "is_random_access",
+    "is_transpose",
+    "is_dgemm",
+    "log2_compute_intensity",
+    "log2_channel_depth",
+    "is_channeled",
 ];
 
 /// Number of feature dimensions.
@@ -65,11 +71,17 @@ pub fn features(cfg: &KernelConfig) -> Vec<f64> {
 
     // Floating-point (or integer) operations per payload byte: COPY
     // computes nothing, SCALE and ADD one op per element, TRIAD two.
-    let ops_per_elem = match (cfg.op.uses_q(), cfg.op.uses_c()) {
-        (false, false) => 0.0, // copy
-        (true, false) => 1.0,  // scale
-        (false, true) => 1.0,  // add
-        (true, true) => 2.0,   // triad
+    // GUPS does one XOR (plus the hash, counted as one fused op);
+    // PTRANS computes nothing; DGEMM-lite does 2K ops per output
+    // element (K multiply-adds over the inner dimension).
+    let ops_per_elem = match cfg.op {
+        Op::Copy | Op::Ptrans => 0.0,
+        Op::Scale | Op::Add | Op::RandomAccess => 1.0,
+        Op::Triad => 2.0,
+        Op::DgemmLite => {
+            let (_, k) = cfg.matrix_shape();
+            2.0 * k as f64
+        }
     };
     let op_intensity = ops_per_elem / (arrays * word_bytes);
 
@@ -118,6 +130,12 @@ pub fn features(cfg: &KernelConfig) -> Vec<f64> {
         nested * log2(width),
         flat * log2(unroll),
         nested * log2(unroll),
+        (cfg.op == Op::RandomAccess) as u8 as f64,
+        (cfg.op == Op::Ptrans) as u8 as f64,
+        (cfg.op == Op::DgemmLite) as u8 as f64,
+        log2(1.0 + ops_per_elem),
+        log2(1.0 + cfg.channel.map_or(0.0, |ch| ch.depth as f64)),
+        cfg.channel.is_some() as u8 as f64,
     ]
 }
 
@@ -189,6 +207,45 @@ mod tests {
         let f = features(&c);
         assert_eq!(f[12], 1.0);
         assert_eq!(f[13], 3.0);
+    }
+
+    #[test]
+    fn family_and_channel_dims_discriminate() {
+        use crate::ir::ChannelSpec;
+        let dim = |name: &str| {
+            FEATURE_NAMES
+                .iter()
+                .position(|n| *n == name)
+                .expect("known feature")
+        };
+        for op in Op::FAMILIES {
+            let mut c = base();
+            c.op = op;
+            let f = features(&c);
+            assert_eq!(f.len(), FEATURE_DIM, "{op:?}");
+            assert_eq!(
+                f[dim("is_random_access")],
+                (op == Op::RandomAccess) as u8 as f64
+            );
+            assert_eq!(f[dim("is_transpose")], (op == Op::Ptrans) as u8 as f64);
+            assert_eq!(f[dim("is_dgemm")], (op == Op::DgemmLite) as u8 as f64);
+        }
+        // DGEMM's compute intensity dwarfs the streaming kernels'.
+        let mut dgemm = base();
+        dgemm.op = Op::DgemmLite;
+        let mut triad = base();
+        triad.op = Op::Triad;
+        assert!(
+            features(&dgemm)[dim("log2_compute_intensity")]
+                > features(&triad)[dim("log2_compute_intensity")]
+        );
+        // Channel depth registers.
+        let mut c = base();
+        assert_eq!(features(&c)[dim("is_channeled")], 0.0);
+        c.channel = Some(ChannelSpec { depth: 7 });
+        let f = features(&c);
+        assert_eq!(f[dim("is_channeled")], 1.0);
+        assert_eq!(f[dim("log2_channel_depth")], 3.0); // log2(1 + 7)
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! shortcut), with a fast path for the contiguous pattern.
 
 use crate::access::IndexOrder;
-use crate::ir::{DataType, KernelConfig, StreamOp};
+use crate::ir::{gups_index, DataType, KernelConfig, Op, StreamOp};
 
 /// An element type the kernels operate on.
 trait Element: Copy {
@@ -76,9 +76,65 @@ pub fn execute(cfg: &KernelConfig, a: &mut [u8], b: &[u8], c: &[u8]) {
     if cfg.op.uses_c() {
         assert!(c.len() >= need, "source c too small: {} < {need}", c.len());
     }
+    if !cfg.op.is_stream() {
+        execute_hpcc(cfg, a, b, c);
+        return;
+    }
     match cfg.dtype {
         DataType::I32 => execute_typed::<i32>(cfg, a, b, c),
         DataType::F64 => execute_typed::<f64>(cfg, a, b, c),
+    }
+}
+
+/// The HPCC-style kernels. All are scalar (validation pins them to
+/// vector width 1) and order-independent: GUPS accumulates with XOR,
+/// PTRANS writes each destination slot exactly once, DGEMM-lite's
+/// outputs are independent — so the traversal order that matters for
+/// timing does not affect values, and results stay bit-exact.
+fn execute_hpcc(cfg: &KernelConfig, a: &mut [u8], b: &[u8], c: &[u8]) {
+    let n = cfg.n_words as usize;
+    match cfg.op {
+        Op::RandomAccess => {
+            // a starts from zero so a launch is a pure function of b
+            // (and repeated timed launches all produce the same bits).
+            a[..n * 4].fill(0);
+            for i in 0..n {
+                let h = gups_index(i as u64, n as u64) as usize * 4;
+                let x = i32::from_ne_bytes(b[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+                let old = i32::from_ne_bytes(a[h..h + 4].try_into().expect("4 bytes"));
+                a[h..h + 4].copy_from_slice(&(old ^ x).to_ne_bytes());
+            }
+        }
+        Op::Ptrans => {
+            // Pure byte-level permutation, valid for both dtypes.
+            let w = cfg.dtype.word_bytes() as usize;
+            let (rows, cols) = cfg.matrix_shape();
+            for i in 0..n {
+                let (r, col) = (i as u64 / cols, i as u64 % cols);
+                let dst = (col * rows + r) as usize * w;
+                a[dst..dst + w].copy_from_slice(&b[i * w..i * w + w]);
+            }
+        }
+        Op::DgemmLite => {
+            // i32 wrapping matmul with a fixed accumulation order; the
+            // operand matrix from `c` is its first cols x cols elements.
+            let (_, cols) = cfg.matrix_shape();
+            let k_dim = cols as usize;
+            let load = |buf: &[u8], idx: usize| {
+                i32::from_ne_bytes(buf[idx * 4..idx * 4 + 4].try_into().expect("4 bytes"))
+            };
+            for i in 0..n {
+                let (r, col) = (i / k_dim, i % k_dim);
+                let mut acc = 0i32;
+                for k in 0..k_dim {
+                    acc = acc.wrapping_add(
+                        load(b, r * k_dim + k).wrapping_mul(load(c, k * k_dim + col)),
+                    );
+                }
+                a[i * 4..i * 4 + 4].copy_from_slice(&acc.to_ne_bytes());
+            }
+        }
+        _ => unreachable!("stream ops take execute_typed"),
     }
 }
 
@@ -111,6 +167,7 @@ fn execute_typed<T: Element>(cfg: &KernelConfig, a: &mut [u8], b: &[u8], c: &[u8
                     x.add(q.mul(y)).store(&mut a[i * w..]);
                 }
             }
+            _ => unreachable!("HPCC ops take execute_hpcc"),
         }
         return;
     }
@@ -127,6 +184,7 @@ fn execute_typed<T: Element>(cfg: &KernelConfig, a: &mut [u8], b: &[u8], c: &[u8
                 StreamOp::Scale => q.mul(x),
                 StreamOp::Add => x.add(T::load(&c[i..])),
                 StreamOp::Triad => x.add(q.mul(T::load(&c[i..]))),
+                _ => unreachable!("HPCC ops take execute_hpcc"),
             };
             val.store(&mut a[i..]);
         }
@@ -256,6 +314,104 @@ mod tests {
         let mut a = vec![0u8; 10];
         let b = vec![0u8; 400];
         execute(&cfg, &mut a, &b, &[]);
+    }
+
+    #[test]
+    fn gups_is_an_xor_scatter_from_zero() {
+        let n = 32usize;
+        let (mut a, b, _) = bufs_i32(n);
+        let cfg = KernelConfig::baseline(Op::RandomAccess, n as u64);
+        execute(&cfg, &mut a, &b, &[]);
+        let mut expect = vec![0i32; n];
+        for i in 0..n {
+            let h = crate::ir::gups_index(i as u64, n as u64) as usize;
+            expect[h] ^= i as i32 + 1; // bufs_i32 fills b[i] = i + 1
+        }
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(read_i32(&a, i), e, "a[{i}]");
+        }
+        // Idempotent across repeated launches (a is re-zeroed).
+        let snapshot = a.clone();
+        execute(&cfg, &mut a, &b, &[]);
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn ptrans_transposes_the_2d_view() {
+        let n = 12usize; // 4 rows x 3 cols near-square view
+        let (mut a, b, _) = bufs_i32(n);
+        let cfg = KernelConfig::baseline(Op::Ptrans, n as u64);
+        let (rows, cols) = cfg.matrix_shape();
+        assert_eq!((rows, cols), (4, 3));
+        execute(&cfg, &mut a, &b, &[]);
+        for r in 0..rows as usize {
+            for c in 0..cols as usize {
+                assert_eq!(
+                    read_i32(&a, c * rows as usize + r),
+                    read_i32(&b, r * cols as usize + c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ptrans_f64_is_a_bit_exact_permutation() {
+        let n = 16usize;
+        let mut b = vec![0u8; n * 8];
+        for i in 0..n {
+            (0.25 * i as f64).store(&mut b[i * 8..]);
+        }
+        let mut a = vec![0u8; n * 8];
+        let mut cfg = KernelConfig::baseline(Op::Ptrans, n as u64);
+        cfg.dtype = DataType::F64;
+        execute(&cfg, &mut a, &b, &[]);
+        let mut seen: Vec<u64> = (0..n)
+            .map(|i| u64::from_ne_bytes(a[i * 8..i * 8 + 8].try_into().unwrap()))
+            .collect();
+        let mut src: Vec<u64> = (0..n)
+            .map(|i| u64::from_ne_bytes(b[i * 8..i * 8 + 8].try_into().unwrap()))
+            .collect();
+        seen.sort_unstable();
+        src.sort_unstable();
+        assert_eq!(seen, src);
+    }
+
+    #[test]
+    fn dgemm_lite_matches_a_reference_matmul() {
+        let n = 16usize; // 4x4, K = 4
+        let (mut a, b, c) = bufs_i32(n);
+        let cfg = KernelConfig::baseline(Op::DgemmLite, n as u64);
+        execute(&cfg, &mut a, &b, &c);
+        for r in 0..4usize {
+            for col in 0..4usize {
+                let mut acc = 0i32;
+                for k in 0..4usize {
+                    acc = acc.wrapping_add(
+                        read_i32(&b, r * 4 + k).wrapping_mul(read_i32(&c, k * 4 + col)),
+                    );
+                }
+                assert_eq!(read_i32(&a, r * 4 + col), acc, "a[{r},{col}]");
+            }
+        }
+    }
+
+    #[test]
+    fn hpcc_results_do_not_depend_on_pattern() {
+        // PTRANS and DGEMM allow ColMajor; values must match contiguous.
+        for op in [Op::Ptrans, Op::DgemmLite] {
+            let n = 64usize;
+            let (mut a1, b, c) = bufs_i32(n);
+            let mut a2 = vec![0u8; n * 4];
+            // 64 elements: the near-square contiguous view is also 8x8,
+            // so the explicit ColMajor { cols: 8 } shape matches and only
+            // the traversal order differs.
+            let cfg1 = KernelConfig::baseline(op, n as u64);
+            let mut cfg2 = cfg1.clone();
+            cfg2.pattern = AccessPattern::ColMajor { cols: Some(8) };
+            execute(&cfg1, &mut a1, &b, &c);
+            execute(&cfg2, &mut a2, &b, &c);
+            assert_eq!(a1, a2, "{op:?}");
+        }
     }
 
     #[test]

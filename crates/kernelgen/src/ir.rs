@@ -4,50 +4,126 @@
 //! which STREAM kernel, over which data type and array size, with which
 //! vectorization, access pattern, loop management and vendor options.
 
-/// The four STREAM kernels (§II of the paper).
+/// The workload-family kernels: the paper's four STREAM ops (§II) plus
+/// the HPCChallenge-style extensions (GUPS random access, PTRANS
+/// transpose, DGEMM-lite) from the parameterized-HPCC line of work.
 ///
 /// `q` is a scalar; `a` is the destination, `b` and `c` the sources:
 ///
-/// | kernel | operation            | arrays touched |
-/// |--------|----------------------|----------------|
-/// | COPY   | `a[i] = b[i]`        | 2              |
-/// | SCALE  | `a[i] = q*b[i]`      | 2              |
-/// | ADD    | `a[i] = b[i] + c[i]` | 3              |
-/// | TRIAD  | `a[i] = b[i]+q*c[i]` | 3              |
+/// | kernel | operation                      | buffers | bytes counted |
+/// |--------|--------------------------------|---------|---------------|
+/// | COPY   | `a[i] = b[i]`                  | 2       | 2·n·w         |
+/// | SCALE  | `a[i] = q*b[i]`                | 2       | 2·n·w         |
+/// | ADD    | `a[i] = b[i] + c[i]`           | 3       | 3·n·w         |
+/// | TRIAD  | `a[i] = b[i]+q*c[i]`           | 3       | 3·n·w         |
+/// | GUPS   | `a[h(i)] ^= b[i]`              | 2       | 3·n·w         |
+/// | PTRANS | `a[c*R+r] = b[r*C+c]`          | 2       | 2·n·w         |
+/// | DGEMM  | `a[r,c] = Σ_k b[r,k]·c[k,c]`   | 3       | 3·n·w         |
+///
+/// GUPS counts three accesses per update (read `b`, read-modify-write
+/// `a[h]`), as HPCC's RandomAccess does. DGEMM-lite counts each matrix
+/// element once (STREAM-style "useful data"), so its GB/s stays a
+/// bandwidth figure while the compute term shows up as a roofline cap
+/// in the target cost models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum StreamOp {
+pub enum Op {
     Copy,
     Scale,
     Add,
     Triad,
+    /// GUPS: a seeded XOR-update scatter (`a[h(i)] ^= b[i]` with a
+    /// SplitMix64-finalizer hash). Latency- and TLB-hostile.
+    RandomAccess,
+    /// PTRANS: a strided matrix transpose over the configuration's 2D
+    /// view (`matrix_shape()`), interacting with `ColMajor { cols }`.
+    Ptrans,
+    /// DGEMM-lite: a blocked integer matrix-multiply whose inner
+    /// dimension is the 2D view's column count — compute-dense, so the
+    /// targets' compute/bandwidth roofline term becomes visible.
+    DgemmLite,
 }
 
-impl StreamOp {
-    /// All four kernels in paper order.
-    pub const ALL: [StreamOp; 4] = [
-        StreamOp::Copy,
-        StreamOp::Scale,
-        StreamOp::Add,
-        StreamOp::Triad,
+/// Back-compatible alias: the tuning-space op started as the four
+/// STREAM kernels and kept the name when it grew into a family.
+pub type StreamOp = Op;
+
+impl Op {
+    /// The paper's four STREAM kernels in paper order. Kept at four —
+    /// every STREAM-shaped sweep, figure, and test iterates this; the
+    /// full family is [`Op::FAMILIES`].
+    pub const ALL: [Op; 4] = [Op::Copy, Op::Scale, Op::Add, Op::Triad];
+
+    /// The HPCC-style extension kernels.
+    pub const HPCC: [Op; 3] = [Op::RandomAccess, Op::Ptrans, Op::DgemmLite];
+
+    /// Every workload family: STREAM then HPCC.
+    pub const FAMILIES: [Op; 7] = [
+        Op::Copy,
+        Op::Scale,
+        Op::Add,
+        Op::Triad,
+        Op::RandomAccess,
+        Op::Ptrans,
+        Op::DgemmLite,
     ];
 
     /// Lower-case kernel name as used in reports and generated source.
     pub fn name(self) -> &'static str {
         match self {
-            StreamOp::Copy => "copy",
-            StreamOp::Scale => "scale",
-            StreamOp::Add => "add",
-            StreamOp::Triad => "triad",
+            Op::Copy => "copy",
+            Op::Scale => "scale",
+            Op::Add => "add",
+            Op::Triad => "triad",
+            Op::RandomAccess => "gups",
+            Op::Ptrans => "ptrans",
+            Op::DgemmLite => "dgemm",
         }
     }
 
-    /// Number of arrays the kernel touches (2 or 3): determines the bytes
-    /// counted when bandwidth is computed, exactly as original STREAM
-    /// counts them.
+    /// Parse a kernel name as reported by [`Op::name`]. The error lists
+    /// every valid name — CLI flags rely on this message.
+    pub fn parse(name: &str) -> Result<Op, String> {
+        Op::FAMILIES
+            .into_iter()
+            .find(|op| op.name() == name)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = Op::FAMILIES.iter().map(|op| op.name()).collect();
+                format!("unknown op '{name}' (valid: {})", valid.join(", "))
+            })
+    }
+
+    /// Is this one of the four original STREAM kernels? Gates the fused
+    /// closed-form fast path, which models only plain streaming.
+    pub fn is_stream(self) -> bool {
+        matches!(self, Op::Copy | Op::Scale | Op::Add | Op::Triad)
+    }
+
+    /// Workload-family label for report grouping: `"stream"` for the
+    /// paper's four kernels, `"hpcc"` for the extension ops.
+    pub fn family(self) -> &'static str {
+        if self.is_stream() {
+            "stream"
+        } else {
+            "hpcc"
+        }
+    }
+
+    /// Number of buffer arguments the kernel touches (2 or 3).
     pub fn arrays(self) -> u64 {
         match self {
-            StreamOp::Copy | StreamOp::Scale => 2,
-            StreamOp::Add | StreamOp::Triad => 3,
+            Op::Copy | Op::Scale | Op::RandomAccess | Op::Ptrans => 2,
+            Op::Add | Op::Triad | Op::DgemmLite => 3,
+        }
+    }
+
+    /// Accesses counted per element for the bandwidth figure (the
+    /// "bytes counted" column of the table above). Equals [`Op::arrays`]
+    /// for the STREAM ops; GUPS counts its read-modify-write.
+    pub fn counted_accesses(self) -> u64 {
+        match self {
+            Op::Copy | Op::Scale | Op::Ptrans => 2,
+            Op::Add | Op::Triad | Op::DgemmLite => 3,
+            Op::RandomAccess => 3,
         }
     }
 
@@ -58,14 +134,42 @@ impl StreamOp {
 
     /// Does the kernel multiply by the scalar `q`?
     pub fn uses_q(self) -> bool {
-        matches!(self, StreamOp::Scale | StreamOp::Triad)
+        matches!(self, Op::Scale | Op::Triad)
     }
 
     /// Payload bytes moved by one invocation over `n_words` elements of
-    /// `word_bytes` each (STREAM counting: arrays × n × word).
+    /// `word_bytes` each (STREAM counting: counted accesses × n × word).
     pub fn bytes_moved(self, n_words: u64, word_bytes: u64) -> u64 {
-        self.arrays() * n_words * word_bytes
+        self.counted_accesses() * n_words * word_bytes
     }
+}
+
+/// Fixed seed of the GUPS hash — part of the benchmark definition, so
+/// every layer (generated source, interpreter, host validation, access
+/// stream) scatters to the same locations.
+pub const GUPS_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The GUPS scatter index: a SplitMix64-style finalizer of `i` reduced
+/// modulo the array length. Deterministic, uniform enough to defeat
+/// caches and TLBs, and order-independent under XOR accumulation.
+pub fn gups_index(i: u64, n_vectors: u64) -> u64 {
+    let mut z = i.wrapping_add(GUPS_SEED);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z % n_vectors.max(1)
+}
+
+/// A producer→consumer channel (AOCL) / pipe (SDAccel) splitting the
+/// kernel into a load stage and a compute+store stage connected by an
+/// on-chip FIFO of `depth` elements. Vendors disagree on legal depths:
+/// AOCL accepts depth 0 (the compiler fuses the stages back together),
+/// SDAccel requires a power-of-two depth and charges a second kernel
+/// launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelSpec {
+    /// FIFO capacity in vector elements.
+    pub depth: u32,
 }
 
 /// Element data type (the paper supports integer and double).
@@ -278,6 +382,9 @@ pub struct KernelConfig {
     pub reqd_work_group_size: bool,
     /// Vendor-specific attributes.
     pub vendor: VendorOpts,
+    /// Two-stage producer→consumer variant connected by an on-chip
+    /// channel/pipe, or `None` for the plain single-stage kernel.
+    pub channel: Option<ChannelSpec>,
     /// The scalar `q` used by SCALE and TRIAD.
     pub q: f64,
 }
@@ -297,6 +404,7 @@ impl KernelConfig {
             work_group_size: 64,
             reqd_work_group_size: false,
             vendor: VendorOpts::None,
+            channel: None,
             q: 3.0,
         }
     }
@@ -393,6 +501,51 @@ mod tests {
         let (r, c) = cfg.matrix_shape();
         assert_eq!(r * c, 1 << 20);
         assert_eq!(c, 256);
+    }
+
+    #[test]
+    fn op_family_accounting() {
+        assert_eq!(Op::RandomAccess.arrays(), 2);
+        assert_eq!(Op::RandomAccess.counted_accesses(), 3);
+        assert!(!Op::RandomAccess.uses_c());
+        assert_eq!(Op::Ptrans.arrays(), 2);
+        assert_eq!(Op::Ptrans.counted_accesses(), 2);
+        assert_eq!(Op::DgemmLite.arrays(), 3);
+        assert!(Op::DgemmLite.uses_c());
+        for op in Op::ALL {
+            assert!(op.is_stream(), "{op:?}");
+            assert_eq!(op.counted_accesses(), op.arrays());
+        }
+        for op in Op::HPCC {
+            assert!(!op.is_stream(), "{op:?}");
+            assert!(!op.uses_q(), "{op:?}");
+        }
+        assert_eq!(Op::FAMILIES.len(), Op::ALL.len() + Op::HPCC.len());
+    }
+
+    #[test]
+    fn op_parse_round_trips_and_lists_valid_names() {
+        for op in Op::FAMILIES {
+            assert_eq!(Op::parse(op.name()), Ok(op));
+        }
+        let err = Op::parse("fft").unwrap_err();
+        assert!(err.contains("unknown op 'fft'"), "{err}");
+        for name in ["copy", "scale", "add", "triad", "gups", "ptrans", "dgemm"] {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+    }
+
+    #[test]
+    fn gups_index_is_deterministic_and_in_bounds() {
+        let n = 4096;
+        let a: Vec<u64> = (0..64).map(|i| gups_index(i, n)).collect();
+        let b: Vec<u64> = (0..64).map(|i| gups_index(i, n)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&h| h < n));
+        // The scatter actually scatters: consecutive i land far apart.
+        let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
+        assert!(distinct.len() > 48, "hash collapses: {distinct:?}");
+        assert_eq!(gups_index(7, 0), 0, "degenerate length clamps");
     }
 
     #[test]

@@ -40,9 +40,9 @@ pub use features::{features, FEATURE_DIM, FEATURE_NAMES};
 pub use host::{generate_host_program, HostOptions};
 pub use interp::execute;
 pub use ir::{
-    AccessPattern, AoclOpts, DataType, KernelConfig, LoopMode, StreamOp, VectorWidth, VendorOpts,
-    XilinxOpts,
+    gups_index, AccessPattern, AoclOpts, ChannelSpec, DataType, KernelConfig, LoopMode, Op,
+    StreamOp, VectorWidth, VendorOpts, XilinxOpts, GUPS_SEED,
 };
 pub use plan::ExecPlan;
 pub use source::generate_source;
-pub use validate::{validate, ConfigError};
+pub use validate::{validate, ConfigError, MAX_CHANNEL_DEPTH};

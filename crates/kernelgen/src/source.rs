@@ -10,8 +10,20 @@
 //! modelled — it is shown by the `codegen_inspect` example, embedded in
 //! reports, and golden-tested here.
 
-use crate::ir::{AccessPattern, DataType, KernelConfig, LoopMode, StreamOp, VendorOpts};
+use crate::ir::{AccessPattern, DataType, KernelConfig, LoopMode, Op, StreamOp, VendorOpts};
 use std::fmt::Write as _;
+
+/// The SplitMix64-finalizer GUPS hash as OpenCL-C statements: computes
+/// `h` from the loop index expression `i`. Constants mirror
+/// [`crate::ir::gups_index`] so device and interpreter scatter alike.
+fn gups_hash_lines(i: &str) -> Vec<String> {
+    vec![
+        format!("ulong h = (ulong)({i}) + 0x9E3779B97F4A7C15ul;"),
+        "h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ul;".to_string(),
+        "h = (h ^ (h >> 27)) * 0x94D049BB133111EBul;".to_string(),
+        "h = (h ^ (h >> 31)) % N_VEC;".to_string(),
+    ]
+}
 
 /// Generate the OpenCL-C source for one configuration.
 ///
@@ -37,6 +49,11 @@ pub fn generate_source(cfg: &KernelConfig) -> String {
     }
     s.push('\n');
 
+    if let Some(ch) = cfg.channel {
+        channeled_kernels(&mut s, cfg, ch.depth);
+        return s;
+    }
+
     attributes(&mut s, cfg);
     signature(&mut s, cfg);
     s.push_str("{\n");
@@ -48,6 +65,7 @@ pub fn generate_source(cfg: &KernelConfig) -> String {
 fn needs_matrix(cfg: &KernelConfig) -> bool {
     matches!(cfg.pattern, AccessPattern::ColMajor { .. })
         || cfg.loop_mode == LoopMode::SingleWorkItemNested
+        || matches!(cfg.op, Op::Ptrans | Op::DgemmLite)
 }
 
 fn header_comment(s: &mut String, cfg: &KernelConfig) {
@@ -120,13 +138,40 @@ fn signature(s: &mut String, cfg: &KernelConfig) {
     writeln!(s, "__kernel void mp_{}({})", cfg.op.name(), args.join(", ")).expect("write");
 }
 
-/// The elementwise statement for index expression `idx`.
-fn statement(cfg: &KernelConfig, idx: &str) -> String {
+/// The per-iteration statement(s) for index expression `idx`. The
+/// STREAM ops are one line; the HPCC ops expand to a short block
+/// (hash, transpose target, or dot-product loop).
+fn statement_lines(cfg: &KernelConfig, idx: &str) -> Vec<String> {
     match cfg.op {
-        StreamOp::Copy => format!("a[{idx}] = b[{idx}];"),
-        StreamOp::Scale => format!("a[{idx}] = q * b[{idx}];"),
-        StreamOp::Add => format!("a[{idx}] = b[{idx}] + c[{idx}];"),
-        StreamOp::Triad => format!("a[{idx}] = b[{idx}] + q * c[{idx}];"),
+        StreamOp::Copy => vec![format!("a[{idx}] = b[{idx}];")],
+        StreamOp::Scale => vec![format!("a[{idx}] = q * b[{idx}];")],
+        StreamOp::Add => vec![format!("a[{idx}] = b[{idx}] + c[{idx}];")],
+        StreamOp::Triad => vec![format!("a[{idx}] = b[{idx}] + q * c[{idx}];")],
+        Op::RandomAccess => {
+            let mut lines = gups_hash_lines(idx);
+            lines.push(format!("a[h] = a[h] ^ b[{idx}];"));
+            lines
+        }
+        Op::Ptrans => vec![
+            format!("const size_t tr = ({idx}) / COLS;"),
+            format!("const size_t tc = ({idx}) % COLS;"),
+            format!("a[tc * ROWS + tr] = b[{idx}];"),
+        ],
+        Op::DgemmLite => vec![
+            format!("const size_t tr = ({idx}) / COLS;"),
+            format!("const size_t tc = ({idx}) % COLS;"),
+            "int acc = 0;".to_string(),
+            "for (size_t kk = 0; kk < COLS; ++kk) {".to_string(),
+            "    acc += b[tr * COLS + kk] * c[kk * COLS + tc];".to_string(),
+            "}".to_string(),
+            format!("a[{idx}] = acc;"),
+        ],
+    }
+}
+
+fn write_statement(s: &mut String, cfg: &KernelConfig, idx: &str, indent: &str) {
+    for line in statement_lines(cfg, idx) {
+        writeln!(s, "{indent}{line}").expect("write");
     }
 }
 
@@ -179,7 +224,7 @@ fn body_ndrange(s: &mut String, cfg: &KernelConfig) {
             "k * STRIDE + phase".to_string()
         }
     };
-    writeln!(s, "    {}", statement(cfg, &idx)).expect("write");
+    write_statement(s, cfg, &idx, "    ");
 }
 
 fn body_flat(s: &mut String, cfg: &KernelConfig) {
@@ -199,7 +244,7 @@ fn body_flat(s: &mut String, cfg: &KernelConfig) {
             "j * STRIDE + phase".to_string()
         }
     };
-    writeln!(s, "        {}", statement(cfg, &idx)).expect("write");
+    write_statement(s, cfg, &idx, "        ");
     s.push_str("    }\n");
 }
 
@@ -215,9 +260,136 @@ fn body_nested(s: &mut String, cfg: &KernelConfig) {
     pipeline_loop_hint(s, cfg, "        ");
     unroll_hint(s, cfg, "        ");
     writeln!(s, "        for (size_t j = 0; j < {inner}; ++j) {{").expect("write");
-    writeln!(s, "            {}", statement(cfg, idx)).expect("write");
+    write_statement(s, cfg, idx, "            ");
     s.push_str("        }\n");
     s.push_str("    }\n");
+}
+
+/// The two-stage producer→consumer form: a load kernel streams `b`
+/// through an on-chip FIFO, a store kernel computes and writes `a`
+/// (keeping `c` and `q` as direct arguments). Both stages are single
+/// work-item flat loops — the idiomatic shape for vendor channels.
+/// AOCL spells the FIFO `channel` with `read/write_channel_intel`;
+/// everything else gets the OpenCL 2.0 `pipe` spelling, which SDAccel
+/// synthesizes with its power-of-two-depth restriction.
+fn channeled_kernels(s: &mut String, cfg: &KernelConfig, depth: u32) {
+    let ty = vec_ty(cfg);
+    let aocl = matches!(cfg.vendor, VendorOpts::Aocl(_));
+    if aocl {
+        writeln!(s, "channel {ty} mp_ch __attribute__((depth({depth})));").expect("write");
+    } else {
+        writeln!(
+            s,
+            "pipe {ty} mp_ch __attribute__((xcl_reqd_pipe_depth({depth})));"
+        )
+        .expect("write");
+    }
+    s.push('\n');
+
+    // Producer: loads of `b` in traversal order (DGEMM re-streams each
+    // operand row once per output element).
+    writeln!(
+        s,
+        "__kernel void mp_{}_load(__global const {ty}* restrict b)",
+        cfg.op.name()
+    )
+    .expect("write");
+    s.push_str("{\n");
+    s.push_str("    for (size_t k = 0; k < N_VEC; ++k) {\n");
+    let idx = flat_index(s, cfg, "        ");
+    let send = |expr: &str| {
+        if aocl {
+            format!("write_channel_intel(mp_ch, {expr});")
+        } else {
+            format!("write_pipe(mp_ch, {expr});")
+        }
+    };
+    if cfg.op == Op::DgemmLite {
+        s.push_str("        const size_t tr = k / COLS;\n");
+        s.push_str("        for (size_t kk = 0; kk < COLS; ++kk) {\n");
+        writeln!(s, "            {}", send("b[tr * COLS + kk]")).expect("write");
+        s.push_str("        }\n");
+    } else {
+        writeln!(s, "        {}", send(&format!("b[{idx}]"))).expect("write");
+    }
+    s.push_str("    }\n");
+    s.push_str("}\n\n");
+
+    // Consumer: reads the stream, computes, stores to `a`.
+    let mut args = vec![format!("__global {ty}* restrict a")];
+    if cfg.op.uses_c() {
+        args.push(format!("__global const {ty}* restrict c"));
+    }
+    if cfg.op.uses_q() {
+        args.push(format!("const {} q", cfg.dtype.cl_name()));
+    }
+    writeln!(
+        s,
+        "__kernel void mp_{}_store({})",
+        cfg.op.name(),
+        args.join(", ")
+    )
+    .expect("write");
+    s.push_str("{\n");
+    s.push_str("    for (size_t k = 0; k < N_VEC; ++k) {\n");
+    let idx = flat_index(s, cfg, "        ");
+    let recv = if aocl {
+        format!("{ty} v = read_channel_intel(mp_ch);")
+    } else {
+        format!("{ty} v;\n        read_pipe(mp_ch, &v);")
+    };
+    if cfg.op != Op::DgemmLite {
+        writeln!(s, "        {recv}").expect("write");
+    }
+    let lines: Vec<String> = match cfg.op {
+        Op::Copy => vec![format!("a[{idx}] = v;")],
+        Op::Scale => vec![format!("a[{idx}] = q * v;")],
+        Op::Add => vec![format!("a[{idx}] = v + c[{idx}];")],
+        Op::Triad => vec![format!("a[{idx}] = v + q * c[{idx}];")],
+        Op::RandomAccess => {
+            let mut lines = gups_hash_lines(&idx);
+            lines.push("a[h] = a[h] ^ v;".to_string());
+            lines
+        }
+        Op::Ptrans => vec![
+            format!("const size_t tr = ({idx}) / COLS;"),
+            format!("const size_t tc = ({idx}) % COLS;"),
+            "a[tc * ROWS + tr] = v;".to_string(),
+        ],
+        Op::DgemmLite => vec![
+            format!("const size_t tr = ({idx}) / COLS;"),
+            format!("const size_t tc = ({idx}) % COLS;"),
+            "int acc = 0;".to_string(),
+            "for (size_t kk = 0; kk < COLS; ++kk) {".to_string(),
+            format!("    {recv}"),
+            "    acc += v * c[kk * COLS + tc];".to_string(),
+            "}".to_string(),
+            format!("a[{idx}] = acc;"),
+        ],
+    };
+    for line in lines {
+        writeln!(s, "        {line}").expect("write");
+    }
+    s.push_str("    }\n");
+    s.push_str("}\n");
+}
+
+/// Emit the flat-loop index mapping for loop variable `k`, returning
+/// the index expression (shared by both channeled stages).
+fn flat_index(s: &mut String, cfg: &KernelConfig, indent: &str) -> String {
+    match cfg.pattern {
+        AccessPattern::Contiguous => "k".to_string(),
+        AccessPattern::ColMajor { .. } => {
+            writeln!(s, "{indent}const size_t col = k / ROWS;").expect("write");
+            writeln!(s, "{indent}const size_t row = k % ROWS;").expect("write");
+            "row * COLS + col".to_string()
+        }
+        AccessPattern::Strided { .. } => {
+            writeln!(s, "{indent}const size_t phase = k / (N_VEC / STRIDE);").expect("write");
+            writeln!(s, "{indent}const size_t j = k % (N_VEC / STRIDE);").expect("write");
+            "j * STRIDE + phase".to_string()
+        }
+    }
 }
 
 #[cfg(test)]

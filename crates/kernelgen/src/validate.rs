@@ -4,8 +4,12 @@
 //! generated or any device is touched, with errors mirroring the checks
 //! MP-STREAM's build scripts and the OpenCL runtime would perform.
 
-use crate::ir::{AccessPattern, KernelConfig, LoopMode, VendorOpts};
+use crate::ir::{AccessPattern, DataType, KernelConfig, LoopMode, Op, VendorOpts};
 use std::fmt;
+
+/// Largest channel depth any vendor's on-chip memory can plausibly
+/// back; deeper FIFOs are a configuration error before synthesis.
+pub const MAX_CHANNEL_DEPTH: u32 = 32_768;
 
 /// Why a [`KernelConfig`] is not runnable.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +33,18 @@ pub enum ConfigError {
     SimdNeedsNdRange,
     /// Xilinx memory port width must be a power of two in 32..=512 bits.
     BadPortWidth(u32),
+    /// The op only supports certain element types (GUPS and DGEMM-lite
+    /// are defined over i32 so results stay bit-exact).
+    BadOpDtype { op: Op, dtype: DataType },
+    /// The op does not vectorize (scatter/transpose/matmul streams are
+    /// scalar in this generator).
+    BadOpWidth { op: Op, vector_width: u32 },
+    /// The op does not support the requested access pattern.
+    BadOpPattern { op: Op, pattern: AccessPattern },
+    /// DGEMM-lite's `cols × cols` operand matrix must fit in the array.
+    BadDgemmShape { cols: u64, n_vectors: u64 },
+    /// Channel depth exceeds [`MAX_CHANNEL_DEPTH`].
+    BadChannelDepth { depth: u32 },
 }
 
 impl fmt::Display for ConfigError {
@@ -78,6 +94,33 @@ impl fmt::Display for ConfigError {
                     f,
                     "memory port width {w} bits is not a power of two in 32..=512"
                 )
+            }
+            ConfigError::BadOpDtype { op, dtype } => {
+                write!(f, "{} does not support dtype {dtype:?}", op.name())
+            }
+            ConfigError::BadOpWidth { op, vector_width } => {
+                write!(
+                    f,
+                    "{} is scalar-only, got vector width {vector_width}",
+                    op.name()
+                )
+            }
+            ConfigError::BadOpPattern { op, pattern } => {
+                write!(
+                    f,
+                    "{} does not support the {} pattern",
+                    op.name(),
+                    pattern.label()
+                )
+            }
+            ConfigError::BadDgemmShape { cols, n_vectors } => {
+                write!(
+                    f,
+                    "dgemm operand matrix {cols}x{cols} does not fit in {n_vectors} elements"
+                )
+            }
+            ConfigError::BadChannelDepth { depth } => {
+                write!(f, "channel depth {depth} exceeds {MAX_CHANNEL_DEPTH}")
             }
         }
     }
@@ -134,6 +177,64 @@ pub fn validate(cfg: &KernelConfig) -> Result<(), ConfigError> {
                     });
                 }
             }
+        }
+    }
+
+    // Workload-family constraints: the HPCC-style ops are scalar-only
+    // (their streams are scatters, transposes and dot products, which
+    // this generator does not vectorize), the integer ops stay i32 so
+    // results are bit-exact, and each op supports only the patterns its
+    // index arithmetic is defined over.
+    if !cfg.op.is_stream() && cfg.vector_width.get() != 1 {
+        return Err(ConfigError::BadOpWidth {
+            op: cfg.op,
+            vector_width: cfg.vector_width.get(),
+        });
+    }
+    match cfg.op {
+        Op::RandomAccess => {
+            if cfg.dtype != DataType::I32 {
+                return Err(ConfigError::BadOpDtype {
+                    op: cfg.op,
+                    dtype: cfg.dtype,
+                });
+            }
+            if !cfg.pattern.is_contiguous() {
+                return Err(ConfigError::BadOpPattern {
+                    op: cfg.op,
+                    pattern: cfg.pattern,
+                });
+            }
+        }
+        Op::Ptrans | Op::DgemmLite => {
+            if matches!(cfg.pattern, AccessPattern::Strided { .. }) {
+                return Err(ConfigError::BadOpPattern {
+                    op: cfg.op,
+                    pattern: cfg.pattern,
+                });
+            }
+            if cfg.op == Op::DgemmLite {
+                if cfg.dtype != DataType::I32 {
+                    return Err(ConfigError::BadOpDtype {
+                        op: cfg.op,
+                        dtype: cfg.dtype,
+                    });
+                }
+                let (_, cols) = cfg.matrix_shape();
+                if cols * cols > n_vec {
+                    return Err(ConfigError::BadDgemmShape {
+                        cols,
+                        n_vectors: n_vec,
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+
+    if let Some(ch) = cfg.channel {
+        if ch.depth > MAX_CHANNEL_DEPTH {
+            return Err(ConfigError::BadChannelDepth { depth: ch.depth });
         }
     }
 
@@ -279,6 +380,81 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(validate(&c), Ok(()));
+    }
+
+    #[test]
+    fn hpcc_ops_are_scalar_only() {
+        for op in Op::HPCC {
+            let mut c = KernelConfig::baseline(op, 1 << 16);
+            assert_eq!(validate(&c), Ok(()), "{op:?} baseline must be valid");
+            c.vector_width = VectorWidth::new(4).unwrap();
+            assert!(
+                matches!(validate(&c), Err(ConfigError::BadOpWidth { .. })),
+                "{op:?} must reject vector widths"
+            );
+        }
+    }
+
+    #[test]
+    fn gups_requires_i32_and_contiguous() {
+        let mut c = KernelConfig::baseline(Op::RandomAccess, 1 << 16);
+        c.dtype = DataType::F64;
+        assert!(matches!(validate(&c), Err(ConfigError::BadOpDtype { .. })));
+        let mut c = KernelConfig::baseline(Op::RandomAccess, 1 << 16);
+        c.pattern = AccessPattern::ColMajor { cols: None };
+        assert!(matches!(
+            validate(&c),
+            Err(ConfigError::BadOpPattern { .. })
+        ));
+    }
+
+    #[test]
+    fn ptrans_allows_colmajor_but_not_strided() {
+        let mut c = KernelConfig::baseline(Op::Ptrans, 1 << 16);
+        c.pattern = AccessPattern::ColMajor { cols: Some(256) };
+        assert_eq!(validate(&c), Ok(()));
+        c.dtype = DataType::F64;
+        assert_eq!(validate(&c), Ok(()), "ptrans is a pure permutation");
+        c.pattern = AccessPattern::Strided { stride: 4 };
+        assert!(matches!(
+            validate(&c),
+            Err(ConfigError::BadOpPattern { .. })
+        ));
+    }
+
+    #[test]
+    fn dgemm_needs_i32_and_a_fitting_operand_matrix() {
+        let mut c = KernelConfig::baseline(Op::DgemmLite, 1 << 16);
+        assert_eq!(validate(&c), Ok(()));
+        c.dtype = DataType::F64;
+        assert!(matches!(validate(&c), Err(ConfigError::BadOpDtype { .. })));
+        // 1024 elements viewed as 16 x 64: the 64x64 operand matrix
+        // needs 4096 elements and does not fit.
+        let mut c = KernelConfig::baseline(Op::DgemmLite, 1024);
+        c.pattern = AccessPattern::ColMajor { cols: Some(64) };
+        assert!(matches!(
+            validate(&c),
+            Err(ConfigError::BadDgemmShape { .. })
+        ));
+    }
+
+    #[test]
+    fn channel_depth_is_bounded() {
+        use crate::ir::ChannelSpec;
+        let mut c = base();
+        c.channel = Some(ChannelSpec { depth: 0 });
+        assert_eq!(validate(&c), Ok(()), "depth 0 is legal (AOCL fusion)");
+        c.channel = Some(ChannelSpec {
+            depth: MAX_CHANNEL_DEPTH,
+        });
+        assert_eq!(validate(&c), Ok(()));
+        c.channel = Some(ChannelSpec {
+            depth: MAX_CHANNEL_DEPTH + 1,
+        });
+        assert!(matches!(
+            validate(&c),
+            Err(ConfigError::BadChannelDepth { .. })
+        ));
     }
 
     #[test]

@@ -115,6 +115,10 @@ pub struct KernelCost {
     /// Memory-system counters the device model collected while timing
     /// the launch (row-buffer behaviour, cache hits, TLB walks, ...).
     pub stats: MemStats,
+    /// Time one side of a producer→consumer channel spent blocked on
+    /// the FIFO (full writes or empty reads), nanoseconds. Zero for
+    /// single-stage kernels; included in `ns`.
+    pub stall_ns: f64,
 }
 
 /// Board-level power parameters (see `targets::power` for the paper

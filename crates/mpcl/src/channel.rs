@@ -1,0 +1,180 @@
+//! On-chip channels / pipes between kernels.
+//!
+//! Intel's AOCL exposes `channel` objects and Xilinx SDAccel OpenCL 2.0
+//! `pipe`s: bounded FIFOs that connect two kernels directly in the FPGA
+//! fabric, so a producer can stream values to a consumer without a round
+//! trip through global memory. MP-STREAM's channeled kernel variants
+//! (`KernelConfig::channel`) split each workload into a `_load` and a
+//! `_store` stage joined by one such FIFO.
+//!
+//! [`Channel`] is the host-side functional model: a bounded ring of raw
+//! element words with non-blocking `try_write`/`try_read` that report
+//! *would-block* instead of spinning (the simulator is single-threaded —
+//! a real blocking call could never be satisfied), plus stall counters
+//! so tests can observe backpressure. The *timing* consequences of the
+//! FIFO (fill latency, producer/consumer imbalance) are modelled
+//! analytically by the device backends and surface as
+//! [`crate::backend::KernelCost::stall_ns`] / [`crate::Event`]'s
+//! `stall_ns`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+struct ChannelState {
+    fifo: VecDeque<u64>,
+    write_stalls: u64,
+    read_stalls: u64,
+}
+
+/// A bounded FIFO connecting two simulated kernels (AOCL `channel` /
+/// SDAccel `pipe`). Cloning yields another handle to the same FIFO, as
+/// both endpoint kernels reference one file-scope channel object.
+#[derive(Clone)]
+pub struct Channel {
+    ctx_id: u64,
+    depth: u32,
+    state: Arc<Mutex<ChannelState>>,
+}
+
+impl Channel {
+    pub(crate) fn new(ctx_id: u64, depth: u32) -> Self {
+        Channel {
+            ctx_id,
+            depth,
+            state: Arc::new(Mutex::new(ChannelState {
+                fifo: VecDeque::new(),
+                write_stalls: 0,
+                read_stalls: 0,
+            })),
+        }
+    }
+
+    /// The context this channel was created on.
+    pub fn context_id(&self) -> u64 {
+        self.ctx_id
+    }
+
+    /// Declared FIFO depth. Depth 0 is legal — AOCL fuses the two
+    /// stages and the channel degenerates to a register (capacity 1
+    /// here, so a fused write→read pair still round-trips a value).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Usable slots: `max(depth, 1)`.
+    pub fn capacity(&self) -> usize {
+        self.depth.max(1) as usize
+    }
+
+    /// Elements currently buffered.
+    pub fn len(&self) -> usize {
+        self.lock().fifo.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking write (`write_channel_intel` / `write_pipe`). Returns
+    /// `false` — and counts a write stall — when the FIFO is full.
+    pub fn try_write(&self, word: u64) -> bool {
+        let mut st = self.lock();
+        if st.fifo.len() >= self.depth.max(1) as usize {
+            st.write_stalls += 1;
+            return false;
+        }
+        st.fifo.push_back(word);
+        true
+    }
+
+    /// Non-blocking read (`read_channel_intel` / `read_pipe`). Returns
+    /// `None` — and counts a read stall — when the FIFO is empty.
+    pub fn try_read(&self) -> Option<u64> {
+        let mut st = self.lock();
+        match st.fifo.pop_front() {
+            Some(w) => Some(w),
+            None => {
+                st.read_stalls += 1;
+                None
+            }
+        }
+    }
+
+    /// `(write_stalls, read_stalls)` observed so far: how often an
+    /// endpoint found the FIFO full (writes) or empty (reads).
+    pub fn stalls(&self) -> (u64, u64) {
+        let st = self.lock();
+        (st.write_stalls, st.read_stalls)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ChannelState> {
+        self.state.lock().expect("mpcl mutex poisoned")
+    }
+}
+
+impl std::fmt::Debug for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.lock();
+        f.debug_struct("Channel")
+            .field("depth", &self.depth)
+            .field("len", &st.fifo.len())
+            .field("write_stalls", &st.write_stalls)
+            .field("read_stalls", &st.read_stalls)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::platform::test_support::fake_device;
+    use crate::Context;
+
+    #[test]
+    fn fifo_order_round_trips() {
+        let ctx = Context::new(fake_device());
+        let ch = ctx.create_channel(4);
+        assert_eq!(ch.context_id(), ctx.id());
+        for w in 0..4u64 {
+            assert!(ch.try_write(w));
+        }
+        for w in 0..4u64 {
+            assert_eq!(ch.try_read(), Some(w));
+        }
+        assert!(ch.is_empty());
+        assert_eq!(ch.stalls(), (0, 0));
+    }
+
+    #[test]
+    fn full_and_empty_count_stalls() {
+        let ctx = Context::new(fake_device());
+        let ch = ctx.create_channel(2);
+        assert!(ch.try_write(1));
+        assert!(ch.try_write(2));
+        assert!(!ch.try_write(3), "depth-2 FIFO is full");
+        assert_eq!(ch.try_read(), Some(1));
+        assert_eq!(ch.try_read(), Some(2));
+        assert_eq!(ch.try_read(), None, "FIFO drained");
+        assert_eq!(ch.stalls(), (1, 1));
+    }
+
+    #[test]
+    fn depth_zero_acts_as_a_register() {
+        let ctx = Context::new(fake_device());
+        let ch = ctx.create_channel(0);
+        assert_eq!(ch.capacity(), 1);
+        assert!(ch.try_write(7));
+        assert!(!ch.try_write(8));
+        assert_eq!(ch.try_read(), Some(7));
+    }
+
+    #[test]
+    fn clones_share_the_fifo() {
+        let ctx = Context::new(fake_device());
+        let producer_end = ctx.create_channel(8);
+        let consumer_end = producer_end.clone();
+        assert!(producer_end.try_write(42));
+        assert_eq!(consumer_end.try_read(), Some(42));
+        assert_eq!(producer_end.len(), 0);
+    }
+}

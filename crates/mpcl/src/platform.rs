@@ -160,6 +160,7 @@ pub(crate) mod test_support {
                     row_misses: 1,
                     ..Default::default()
                 },
+                stall_ns: 0.0,
             }
         }
 

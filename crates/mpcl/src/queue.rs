@@ -40,6 +40,9 @@ pub struct Event {
     /// DRAM transactions that found the bank idle (kernel launches
     /// only).
     pub row_empty: u64,
+    /// Channel/pipe stall time within this command, ns (two-stage
+    /// kernel launches only; included in the START..END interval).
+    pub stall_ns: f64,
 }
 
 impl Event {
@@ -244,6 +247,7 @@ impl CommandQueue {
                 cost.ns,
                 cost.dram_bytes,
                 rows,
+                cost.stall_ns,
                 true,
             );
             return Err(e);
@@ -269,6 +273,7 @@ impl CommandQueue {
             cost.ns,
             cost.dram_bytes,
             rows,
+            cost.stall_ns,
             false,
         ))
     }
@@ -334,9 +339,10 @@ impl CommandQueue {
     }
 
     fn advance(&self, kind: CmdKind, launch_ns: f64, duration_ns: f64, dram_bytes: u64) -> Event {
-        self.advance_full(kind, launch_ns, duration_ns, dram_bytes, [0; 3], false)
+        self.advance_full(kind, launch_ns, duration_ns, dram_bytes, [0; 3], 0.0, false)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn advance_full(
         &self,
         kind: CmdKind,
@@ -344,6 +350,7 @@ impl CommandQueue {
         duration_ns: f64,
         dram_bytes: u64,
         rows: [u64; 3],
+        stall_ns: f64,
         aborted: bool,
     ) -> Event {
         let mut now = self.now_ns.lock().expect("mpcl mutex poisoned");
@@ -361,6 +368,7 @@ impl CommandQueue {
             row_hits: rows[0],
             row_misses: rows[1],
             row_empty: rows[2],
+            stall_ns,
         };
         self.log
             .lock()

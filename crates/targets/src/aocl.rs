@@ -212,10 +212,28 @@ impl AoclBackend {
 
         // Multiple compute units contend at the shared memory controller.
         let ns = out.ns.max(pipe_ns) * (1.0 + t.cu_contention * (cus as f64 - 1.0));
+
+        // DGEMM-lite arithmetic roofline: one multiply-add per replicated
+        // datapath per clock (unroll and SIMD/CU replication widen it).
+        let macs_per_ns = (cfg.unroll.max(1) * simd * cus) as f64 / cycle_ns;
+        let ns = crate::common::dgemm_roofline_ns(cfg, ns, 2.0 * macs_per_ns);
+
+        // AOCL channels: a depth-0 channel lets the compiler fuse the
+        // producer and consumer into one pipeline — cost identical to
+        // the single-stage kernel. Deeper FIFOs run the stages
+        // concurrently, paced by the slower side plus the fill latency
+        // (one element per clock into the FIFO).
+        let (ns, stall_ns) = match cfg.channel {
+            Some(ch) if ch.depth > 0 => {
+                crate::common::channel_overlay(cfg, ns, cycle_ns).expect("channel present")
+            }
+            _ => (ns, 0.0),
+        };
         KernelCost {
             ns,
             dram_bytes: out.stats.dram_bytes,
             stats: out.stats,
+            stall_ns,
         }
     }
 }
@@ -423,6 +441,79 @@ mod tests {
                 assert!(log.contains("does not fit"), "{log}");
             }
             other => panic!("expected synthesis failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_zero_channel_fuses_to_single_stage_cost() {
+        let mut b = AoclBackend::new();
+        let plain = copy_cfg(4.0);
+        let art = b.build(&plain).unwrap();
+        let bytes = plain.array_bytes();
+        let plan =
+            |cfg: &KernelConfig| ExecPlan::new(cfg.clone(), 4096, 4096 + bytes, 8192 + 2 * bytes);
+        let base = b.kernel_cost(&art, &plan(&plain));
+
+        let mut fused = plain.clone();
+        fused.channel = Some(kernelgen::ChannelSpec { depth: 0 });
+        let fart = b.build(&fused).unwrap();
+        let fcost = b.kernel_cost(&fart, &plan(&fused));
+        assert_eq!(fcost.ns.to_bits(), base.ns.to_bits(), "depth 0 fuses");
+        assert_eq!(fcost.stall_ns, 0.0);
+
+        let mut deep = plain.clone();
+        deep.channel = Some(kernelgen::ChannelSpec { depth: 64 });
+        let dart = b.build(&deep).unwrap();
+        let dcost = b.kernel_cost(&dart, &plan(&deep));
+        // Two concurrent stages each do half the memory work, so a
+        // balanced COPY speeds up (plus a tiny fill term) and stalls
+        // stay at zero; an imbalanced TRIAD reports the idle side.
+        assert!(
+            dcost.ns < base.ns,
+            "split {} vs fused {}",
+            dcost.ns,
+            base.ns
+        );
+        assert_eq!(dcost.stall_ns, 0.0, "copy split is balanced");
+
+        let mut triad = plain.clone();
+        triad.op = StreamOp::Triad;
+        triad.channel = Some(kernelgen::ChannelSpec { depth: 64 });
+        let tart = b.build(&triad).unwrap();
+        let tcost = b.kernel_cost(&tart, &plan(&triad));
+        assert!(tcost.stall_ns > 0.0, "triad producer blocks on the FIFO");
+        assert!(tcost.stall_ns < tcost.ns);
+    }
+
+    #[test]
+    fn hpcc_family_times_and_dgemm_hits_the_compute_roofline() {
+        use kernelgen::{DataType, Op};
+        let mut b = AoclBackend::new();
+        for op in Op::HPCC {
+            let mut cfg = KernelConfig::baseline(op, 1 << 14);
+            cfg.dtype = DataType::I32;
+            cfg.loop_mode = LoopMode::SingleWorkItemFlat;
+            kernelgen::validate(&cfg).unwrap();
+            let art = b.build(&cfg).unwrap();
+            let bytes = cfg.array_bytes();
+            let plan = ExecPlan::new(cfg.clone(), 4096, 4096 + bytes, 8192 + 2 * bytes);
+            let cost = b.kernel_cost(&art, &plan);
+            assert!(cost.ns > 0.0, "{op:?} must cost time");
+            if op == Op::DgemmLite {
+                // 2^14 outputs x 2K (K=128) MACs at ~0.6 GMAC/s clock
+                // dwarfs the streaming time of the same footprint.
+                let mut copy = cfg.clone();
+                copy.op = Op::Copy;
+                let cart = b.build(&copy).unwrap();
+                let cplan = ExecPlan::new(copy, 4096, 4096 + bytes, 8192 + 2 * bytes);
+                let ccost = b.kernel_cost(&cart, &cplan);
+                assert!(
+                    cost.ns > 3.0 * ccost.ns,
+                    "dgemm {} vs copy {}",
+                    cost.ns,
+                    ccost.ns
+                );
+            }
         }
     }
 

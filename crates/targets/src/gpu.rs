@@ -219,10 +219,18 @@ impl DeviceBackend for GpuBackend {
                 let lane_accesses = kernelgen::total_accesses(&plan.cfg) as f64;
                 ns += lane_accesses * self.tuning.warp_issue_ns / self.tuning.warp as f64;
             }
+            let cfg = &plan.cfg;
+            // DGEMM-lite arithmetic roofline: ~2000 int multiply-adds
+            // per ns across the SMX array.
+            let base_ns = crate::common::dgemm_roofline_ns(cfg, ns, 2000.0);
+            let per_elem_ns = base_ns / cfg.n_vectors().max(1) as f64;
+            let (ns, stall_ns) =
+                crate::common::channel_overlay(cfg, base_ns, per_elem_ns).unwrap_or((base_ns, 0.0));
             KernelCost {
                 ns,
                 dram_bytes: out.stats.dram_bytes,
                 stats: out.stats,
+                stall_ns,
             }
         })
     }

@@ -159,10 +159,25 @@ impl SdaccelBackend {
         // The hierarchy paces bursts; the port's initiation interval is
         // per kernel-side access (one AXI beat per access).
         let pipe_ns = kernelgen::total_accesses(cfg) as f64 * issue;
+        let mem_ns = out.ns.max(pipe_ns);
+
+        // DGEMM-lite arithmetic roofline: one multiply-add per unrolled
+        // datapath copy per clock.
+        let macs_per_ns = cfg.unroll.max(1) as f64 / cycle_ns;
+        let base_ns = crate::common::dgemm_roofline_ns(cfg, mem_ns, 2.0 * macs_per_ns);
+
+        // OpenCL 2.0 pipes never fuse: the two kernels always run as
+        // separate compute units, and the host pays a second dispatch.
+        let (mut ns, stall_ns) =
+            crate::common::channel_overlay(cfg, base_ns, cycle_ns).unwrap_or((base_ns, 0.0));
+        if cfg.channel.is_some() {
+            ns += t.launch_overhead_ns;
+        }
         KernelCost {
-            ns: out.ns.max(pipe_ns),
+            ns,
             dram_bytes: out.stats.dram_bytes,
             stats: out.stats,
+            stall_ns,
         }
     }
 }
@@ -188,6 +203,16 @@ impl DeviceBackend for SdaccelBackend {
 
     fn build(&mut self, cfg: &KernelConfig) -> Result<BuildArtifact, ClError> {
         let t = &self.tuning;
+        // OpenCL 2.0 pipes require a power-of-two depth; SDAccel has no
+        // AOCL-style depth-0 fusion, so 0 is rejected too.
+        if let Some(ch) = cfg.channel {
+            if !ch.depth.is_power_of_two() {
+                return Err(ClError::BuildProgramFailure(format!(
+                    "xocc: xcl_reqd_pipe_depth must be a power of two, got {}",
+                    ch.depth
+                )));
+            }
+        }
         let usage = t.resources.estimate(cfg);
         let util = t.resources.utilisation(cfg, t.capacity);
         let report = t.resources.report(cfg, t.capacity);
@@ -325,6 +350,55 @@ mod tests {
         let mut b = SdaccelBackend::new();
         let bw = gbps(&copy_cfg(0.001), &mut b);
         assert!(bw < 0.1, "sdaccel 1KB: {bw}");
+    }
+
+    #[test]
+    fn pipe_depth_must_be_a_power_of_two() {
+        let mut b = SdaccelBackend::new();
+        for bad in [0u32, 3, 6, 100] {
+            let mut cfg = copy_cfg(4.0);
+            cfg.channel = Some(kernelgen::ChannelSpec { depth: bad });
+            match b.build(&cfg) {
+                Err(mpcl::ClError::BuildProgramFailure(log)) => {
+                    assert!(log.contains("power of two"), "{log}");
+                }
+                other => panic!("depth {bad} must fail synthesis, got {other:?}"),
+            }
+        }
+        let mut ok = copy_cfg(4.0);
+        ok.channel = Some(kernelgen::ChannelSpec { depth: 16 });
+        b.build(&ok).expect("power-of-two depth synthesizes");
+    }
+
+    #[test]
+    fn pipes_cost_a_second_dispatch() {
+        let mut b = SdaccelBackend::new();
+        let plain = copy_cfg(4.0);
+        let art = b.build(&plain).unwrap();
+        let bytes = plain.array_bytes();
+        let base = b
+            .kernel_cost(
+                &art,
+                &ExecPlan::new(plain.clone(), 4096, 4096 + bytes, 8192 + 2 * bytes),
+            )
+            .ns;
+        let mut piped = plain;
+        piped.channel = Some(kernelgen::ChannelSpec { depth: 16 });
+        let part = b.build(&piped).unwrap();
+        let cost = b.kernel_cost(
+            &part,
+            &ExecPlan::new(piped, 4096, 4096 + bytes, 8192 + 2 * bytes),
+        );
+        // Stage overlap saves up to half the memory time, but the extra
+        // kernel dispatch is charged unconditionally — the AOCL/SDAccel
+        // synthesis difference the DSE should discover.
+        assert!(cost.ns > base / 2.0, "piped {} vs plain {}", cost.ns, base);
+        assert!(
+            cost.ns >= base / 2.0 + b.tuning().launch_overhead_ns,
+            "second dispatch charged: {} vs {}",
+            cost.ns,
+            base
+        );
     }
 
     #[test]

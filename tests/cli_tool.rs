@@ -97,6 +97,46 @@ fn invalid_vector_width_surfaces_cleanly() {
     assert!(err.contains("vector width"), "{err}");
 }
 
+#[test]
+fn unknown_ops_error_lists_every_valid_name() {
+    let all = ["copy", "scale", "add", "triad", "gups", "ptrans", "dgemm"];
+    let err = parse_args(&["--ops".to_string(), "copy,warp".to_string()]).unwrap_err();
+    assert!(err.contains("'warp'"), "{err}");
+    for name in all {
+        assert!(err.contains(name), "missing {name}: {err}");
+    }
+    // --kernel speaks the same vocabulary and fails the same way.
+    let err = parse_args(&["--kernel".to_string(), "fma".to_string()]).unwrap_err();
+    for name in all {
+        assert!(err.contains(name), "missing {name}: {err}");
+    }
+}
+
+#[test]
+fn hpcc_ops_with_channels_run_on_every_target() {
+    for target in ["cpu", "gpu", "aocl", "sdaccel"] {
+        let req = parse(&[
+            "--target",
+            target,
+            "--ops",
+            "gups,ptrans,dgemm",
+            "--size",
+            "64K",
+            "--ntimes",
+            "1",
+            "--channel-depth",
+            "4",
+        ]);
+        let out = execute(&req).unwrap_or_else(|e| panic!("{target}: {e}"));
+        for op in ["gups", "ptrans", "dgemm"] {
+            assert!(out.contains(op), "{target}: {out}");
+        }
+        assert!(out.contains("true"), "{target} validated: {out}");
+        assert!(!out.contains("false"), "{target} all valid: {out}");
+        assert!(!out.contains("FAILED"), "{target}: {out}");
+    }
+}
+
 fn temp_checkpoint(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("mpstream-cli-{tag}-{}.jsonl", std::process::id()))
 }

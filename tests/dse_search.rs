@@ -7,7 +7,9 @@
 
 use kernelgen::{KernelConfig, LoopMode, StreamOp};
 use mpcl::{FaultPlan, FaultSpec};
-use mpstream_core::dse::{search_target, GeneticSearch, HillClimbSearch, ModelSearch, Strategy};
+use mpstream_core::dse::{
+    search_target, GeneticSearch, HillClimbSearch, ModelSearch, Strategy, SurrogateCheckpoint,
+};
 use mpstream_core::{
     BenchConfig, CancelToken, Checkpoint, Engine, Outcome, ParamSpace, ResiliencePolicy,
 };
@@ -90,6 +92,111 @@ fn genetic_and_model_match_exhaustive_within_two_percent_on_a_tenth() {
             );
         }
     }
+}
+
+/// A quick space mixing the STREAM family with the HPCC extension ops
+/// and both channel variants. Invalid combinations (HPCC ops are
+/// scalar-only) are filtered by the space itself, like any sweep.
+fn mixed_family_space() -> ParamSpace {
+    ParamSpace::new()
+        .ops([
+            StreamOp::Copy,
+            StreamOp::Triad,
+            StreamOp::RandomAccess,
+            StreamOp::DgemmLite,
+        ])
+        .sizes_bytes([64 << 10])
+        .widths([1, 2, 4])
+        .loop_modes(LoopMode::ALL)
+        .unrolls([1, 2])
+        .channel_depths([None, Some(4)])
+}
+
+/// The 2% quality bound must survive the workload-family growth: on a
+/// space mixing STREAM and HPCC kernels (where the surrogate's new
+/// family/channel feature dimensions are what separates the regimes),
+/// genetic and model search still land within 2% of the exhaustive
+/// best. The mixed landscape is genuinely harder — HPCC ops are
+/// scalar-only, so mutation paths between families squeeze through
+/// width-1 configs — which is why this bound is proven at a third of
+/// the space rather than the tenth the pure-STREAM quick space needs.
+#[test]
+fn searches_stay_within_two_percent_on_a_mixed_stream_hpcc_space() {
+    let space = mixed_family_space();
+    let configs = space.configs();
+    let n = configs.len();
+    assert!(
+        configs.iter().any(|c| !c.op.is_stream()),
+        "HPCC ops survive the validity filter"
+    );
+    assert!(
+        configs.iter().any(|c| c.channel.is_some()),
+        "channeled variants survive the validity filter"
+    );
+
+    let engine = Engine::with_jobs(4);
+    let target = TargetId::FpgaAocl;
+    let exhaustive: Vec<Outcome> = engine.run_configs(target, configs, protocol);
+    let optimum = best_gbps(&exhaustive);
+    assert!(optimum.is_finite());
+
+    let budget = (n / 3).max(32);
+    let strategies: Vec<(&str, Box<dyn Strategy>)> = vec![
+        (
+            "genetic",
+            Box::new(GeneticSearch::new(&space, budget, SEED)),
+        ),
+        ("model", Box::new(ModelSearch::new(&space, budget, SEED))),
+    ];
+    for (name, mut strategy) in strategies {
+        let r = search_target(&engine, target, strategy.as_mut(), budget, protocol, None);
+        let found = r.best.as_ref().and_then(Outcome::gbps).unwrap_or(0.0);
+        assert!(
+            found >= optimum * 0.98,
+            "{name}: {found:.3} GB/s vs exhaustive {optimum:.3} ({} points of {n})",
+            r.evaluations()
+        );
+    }
+}
+
+/// Feature-dimension versioning: a surrogate checkpoint fitted before
+/// the workload-family growth (19 features) must fail loudly at load
+/// time, not silently steer a 25-dim search with mis-indexed weights —
+/// while a checkpoint written by this build round-trips and warm
+/// starts.
+#[test]
+fn stale_surrogate_checkpoints_fail_loudly_current_ones_round_trip() {
+    let path = temp_path("surrogate");
+
+    // A pre-family 19-dim checkpoint, as an old build would have saved.
+    let zeros = |n: usize| vec!["0"; n].join(",");
+    let old = format!(
+        "{{\"feature_dim\":19,\"mean\":\"{0}\",\"scale\":\"{0}\",\"weights\":\"{0}\",\"intercept\":2.5}}",
+        zeros(19)
+    );
+    std::fs::write(&path, old).unwrap();
+    let err = SurrogateCheckpoint::load(&path).unwrap_err();
+    assert!(err.contains("19-dim"), "{err}");
+    assert!(
+        err.contains(&kernelgen::FEATURE_DIM.to_string()),
+        "names the current dim: {err}"
+    );
+
+    // A checkpoint from a real search on the mixed space round-trips.
+    let space = mixed_family_space();
+    let engine = Engine::with_jobs(2);
+    let mut s = ModelSearch::new(&space, 12, SEED);
+    search_target(&engine, TargetId::FpgaAocl, &mut s, 12, protocol, None);
+    let ckpt = s.surrogate();
+    assert_eq!(ckpt.feature_dim, kernelgen::FEATURE_DIM);
+    ckpt.save(&path).unwrap();
+    let back = SurrogateCheckpoint::load(&path).expect("current build loads its own checkpoint");
+    assert_eq!(back, ckpt);
+
+    // And the loaded surrogate warm starts a fresh search.
+    let asked = ModelSearch::new(&space, 12, SEED).warm_start(&back).ask();
+    assert!(!asked.is_empty());
+    std::fs::remove_file(&path).ok();
 }
 
 /// Golden determinism: same seed, same visit order and scores at

@@ -8,7 +8,7 @@
 //! which is process-global — every test here serializes on [`LOCK`] so
 //! a forced-slow section never leaks into a concurrently running test.
 
-use kernelgen::{AccessPattern, KernelConfig, LoopMode, StreamOp, VectorWidth};
+use kernelgen::{AccessPattern, ChannelSpec, KernelConfig, LoopMode, StreamOp, VectorWidth};
 use mpcl::FaultSpec;
 use mpstream_core::cli::{
     bench_protocol, build_engine, render_sweep_report, run_sweep, CliMode, CliRequest,
@@ -103,6 +103,48 @@ fn randomized_points_are_bit_identical_on_both_paths() {
     }
 }
 
+#[test]
+fn hpcc_and_channeled_points_are_bit_identical_on_both_paths() {
+    let _guard = LOCK.lock().unwrap();
+    // The HPCC family runs through the explicit oracle path on the fast
+    // engine rather than any fused fast path, and the channeled
+    // two-stage variants add stall accounting on top — both must still
+    // be bit-identical to the forced slow path on every target. Depth 4
+    // is legal everywhere (SDAccel requires a power of two); depth 0 is
+    // the AOCL-only fusion case.
+    let targets = [
+        TargetId::Cpu,
+        TargetId::Gpu,
+        TargetId::FpgaAocl,
+        TargetId::FpgaSdaccel,
+    ];
+    for target in targets {
+        for op in StreamOp::HPCC {
+            for depth in [None, Some(4u32)] {
+                let mut cfg = KernelConfig::baseline(op, (64u64 << 10) / 4);
+                cfg.channel = depth.map(|depth| ChannelSpec { depth });
+                let req = CliRequest {
+                    target,
+                    ntimes: 2,
+                    ..CliRequest::default()
+                };
+                let ctx = format!("{target:?} {op:?} channel {depth:?}");
+                assert_paths_match(target, &req, cfg, &ctx);
+            }
+        }
+    }
+    // AOCL depth-0 fusion: the synthesized pipeline collapses the
+    // channel, but the measurement must still match the slow path.
+    let mut cfg = KernelConfig::baseline(StreamOp::RandomAccess, (64u64 << 10) / 4);
+    cfg.channel = Some(ChannelSpec { depth: 0 });
+    let req = CliRequest {
+        target: TargetId::FpgaAocl,
+        ntimes: 2,
+        ..CliRequest::default()
+    };
+    assert_paths_match(TargetId::FpgaAocl, &req, cfg, "aocl depth-0 fusion");
+}
+
 /// A small but representative sweep request: two targets' worth of
 /// engine work would double runtime, so use the FPGA whose fused
 /// burst path is the newest code, with several widths and both
@@ -139,6 +181,50 @@ fn sweep_reports_are_byte_identical_across_jobs_and_paths() {
 
     assert_eq!(fast_j1, fast_j8, "worker count changed the report");
     assert_eq!(fast_j1, slow_j1, "fast path changed the report");
+}
+
+/// A mixed STREAM+HPCC sweep with a channel depth: the HPCC ops are
+/// scalar-only so the space self-filters, and every point carries a
+/// two-stage channel with stall accounting in its metrics.
+fn hpcc_sweep_request(jobs: usize) -> CliRequest {
+    CliRequest {
+        mode: CliMode::Sweep,
+        target: TargetId::FpgaSdaccel,
+        ops: vec![
+            StreamOp::Triad,
+            StreamOp::RandomAccess,
+            StreamOp::Ptrans,
+            StreamOp::DgemmLite,
+        ],
+        widths: vec![1, 4],
+        unrolls: vec![1, 2],
+        size_bytes: 64 << 10,
+        ntimes: 2,
+        jobs: Some(jobs),
+        channel_depth: Some(4),
+        ..CliRequest::default()
+    }
+}
+
+#[test]
+fn hpcc_channel_sweep_reports_are_byte_identical_across_jobs_and_paths() {
+    let _guard = LOCK.lock().unwrap();
+    memsim::slowpath::force(false);
+    let fast_j1 = rendered_sweep(&hpcc_sweep_request(1));
+    let fast_j8 = rendered_sweep(&hpcc_sweep_request(8));
+    memsim::slowpath::force(true);
+    let slow_j1 = rendered_sweep(&hpcc_sweep_request(1));
+    memsim::slowpath::force(false);
+
+    for op in ["gups", "ptrans", "dgemm"] {
+        assert!(fast_j1.contains(op), "missing {op} in: {fast_j1}");
+    }
+    assert!(
+        fast_j1.contains("ch4"),
+        "channel depth in labels: {fast_j1}"
+    );
+    assert_eq!(fast_j1, fast_j8, "worker count changed the HPCC report");
+    assert_eq!(fast_j1, slow_j1, "fast path changed the HPCC report");
 }
 
 #[test]

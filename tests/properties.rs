@@ -49,7 +49,40 @@ fn sample_config(rng: &mut SplitMix64) -> KernelConfig {
             work_group_size: 64,
             reqd_work_group_size: false,
             vendor: Default::default(),
+            channel: None,
             q: 3.0,
+        };
+        if validate(&cfg).is_ok() {
+            return cfg;
+        }
+    }
+}
+
+/// Draw a random valid configuration across the whole workload family
+/// (STREAM + HPCC), optionally channeled — the shapes `sample_config`
+/// predates. HPCC ops are scalar-only; GUPS and DGEMM-lite are i32.
+fn sample_family_config(rng: &mut SplitMix64) -> KernelConfig {
+    use kernelgen::{ChannelSpec, Op};
+    loop {
+        let op = Op::FAMILIES[rng.gen_index(Op::FAMILIES.len())];
+        let mut cfg = KernelConfig::baseline(op, 1u64 << (10 + rng.gen_index(4)));
+        cfg.dtype = if op == Op::Ptrans || op.is_stream() {
+            [DataType::I32, DataType::F64][rng.gen_index(2)]
+        } else {
+            DataType::I32
+        };
+        cfg.pattern = match rng.gen_index(3) {
+            0 => AccessPattern::Contiguous,
+            1 => AccessPattern::ColMajor { cols: None },
+            _ => AccessPattern::Strided { stride: 4 },
+        };
+        cfg.loop_mode = LoopMode::ALL[rng.gen_index(LoopMode::ALL.len())];
+        cfg.unroll = [1u32, 2, 4][rng.gen_index(3)];
+        cfg.channel = match rng.gen_index(4) {
+            0 => None,
+            _ => Some(ChannelSpec {
+                depth: [0u32, 4, 64, 1024][rng.gen_index(4)],
+            }),
         };
         if validate(&cfg).is_ok() {
             return cfg;
@@ -147,6 +180,7 @@ fn interpreter_matches_elementwise_reference() {
                 StreamOp::Scale => 3.0 * bv,
                 StreamOp::Add => bv + cv,
                 StreamOp::Triad => bv + 3.0 * cv,
+                _ => unreachable!("sample_config draws STREAM ops only"),
             };
             let got = match cfg.dtype {
                 DataType::I32 => {
@@ -249,6 +283,36 @@ fn random_configs_validate_end_to_end_on_cpu_and_aocl() {
                     );
                 }
                 Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn random_family_configs_validate_end_to_end() {
+    // STREAM + HPCC ops, with and without channels, on a CPU and an
+    // FPGA target: every successful run must validate, and channeled
+    // runs must report their stall accounting consistently.
+    let mut rng = SplitMix64::new(0x5EED_0008);
+    for _ in 0..12 {
+        let cfg = sample_family_config(&mut rng);
+        for target in [TargetId::Cpu, TargetId::FpgaAocl] {
+            match Runner::for_target(target).run(&BenchConfig::new(cfg.clone()).with_ntimes(1)) {
+                Ok(m) => {
+                    assert_eq!(m.validated, Some(true), "{target:?} {cfg:?}");
+                    assert!(m.gbps().is_finite() && m.gbps() > 0.0);
+                    assert!(m.stall_ns >= 0.0);
+                    if cfg.channel.is_none() {
+                        assert_eq!(m.stall_ns, 0.0, "single-stage kernels never stall");
+                    }
+                }
+                Err(mpcl::ClError::BuildProgramFailure(log)) => {
+                    assert!(
+                        log.contains("does not fit"),
+                        "unexpected build failure: {log}"
+                    );
+                }
+                Err(other) => panic!("unexpected error: {other} for {cfg:?}"),
             }
         }
     }

@@ -126,6 +126,61 @@ fn at(fig: &Figure, label: &str, x: f64) -> f64 {
 }
 
 #[test]
+fn gups_bandwidth_collapses_past_tlb_reach_and_matches_golden() {
+    // The HPCC scatter kernel against the CPU model's address
+    // translation: while the update table fits in TLB reach the random
+    // accesses still translate cheaply, past it nearly every access is
+    // a TLB miss and sustained bandwidth collapses. The contiguous copy
+    // kernel over the same footprints is the control — its page
+    // locality amortizes one walk per page at every size. The standard
+    // CPU model's 2 MiB transparent huge pages give 128 MiB of reach
+    // (too big to sweep per-access), so this series runs the same
+    // machine with 4 KiB base pages — 64 entries x 4 KiB = 256 KiB
+    // reach, crossed inside the sweep.
+    let tuning = targets::cpu::CpuTuning {
+        page_bytes: 4 << 10,
+        ..Default::default()
+    };
+    let device = mpcl::Device::new(Box::new(targets::CpuBackend::with_tuning(tuning)));
+    let runner = mpstream_core::Runner::new(device);
+    let measure = |op: StreamOp, size_bytes: u64| {
+        let cfg = KernelConfig::baseline(op, size_bytes / 4);
+        let bc = BenchConfig::new(cfg).with_ntimes(1).with_validation(false);
+        runner.run(&bc).expect("runs").gbps()
+    };
+    let sizes: &[u64] = &[64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20];
+    let mut series = Vec::new();
+    for &op in &[StreamOp::RandomAccess, StreamOp::Copy] {
+        let points: Vec<(f64, f64)> = sizes.iter().map(|&s| (s as f64, measure(op, s))).collect();
+        series.push(mpstream_core::Series::new(op.name(), points));
+    }
+
+    let ratio = |s: &mpstream_core::Series| {
+        let ys = s.ys();
+        ys.first().copied().unwrap_or(0.0) / ys.last().copied().unwrap_or(f64::NAN)
+    };
+    let gups_collapse = ratio(&series[0]);
+    let copy_collapse = ratio(&series[1]);
+    assert!(
+        gups_collapse >= 2.0,
+        "GUPS should collapse past TLB reach, got {gups_collapse:.2}x"
+    );
+    assert!(
+        gups_collapse >= copy_collapse * 2.0,
+        "the collapse must be a scatter phenomenon: gups {gups_collapse:.2}x \
+         vs copy {copy_collapse:.2}x"
+    );
+
+    let mut out = String::new();
+    for s in &series {
+        for &(x, y) in &s.points {
+            out.push_str(&format!("{} {x:?} {y:?}\n", s.label));
+        }
+    }
+    check_golden("gups_tlb_series.txt", &out);
+}
+
+#[test]
 fn fig3_gpu_single_work_item_collapses_and_matches_golden() {
     let fig = reference_figure(FigureId::Fig3);
     // The paper's headline Fig. 3 result: a single-work-item loop on the
