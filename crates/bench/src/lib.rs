@@ -13,7 +13,7 @@ pub mod harness;
 use mpstream_core::paperdata::{
     self, check_ordering, check_ratio_band, check_rise_and_plateau, geomean_ratio, Shape,
 };
-use mpstream_core::{ascii_loglog, Figure, FigureId, Series, Table};
+use mpstream_core::{Chart, Figure, FigureId, Scale, Series, Table};
 use std::fmt::Write as _;
 
 /// One named shape check and its verdict.
@@ -460,7 +460,16 @@ pub fn render_figure(fig: &Figure) -> String {
     }
     out.push_str(&t.to_text());
     out.push('\n');
-    out.push_str(&ascii_loglog(&fig.series, 64, 16));
+    let mut chart = Chart::new(format!("{} (log-log)", fig.id.name()))
+        .size(64, 16)
+        .x_scale(Scale::Log10)
+        .y_scale(Scale::Log10)
+        .x_label(fig.x_label.clone())
+        .y_label(fig.y_label.clone());
+    for s in &fig.series {
+        chart = chart.scatter(s.clone());
+    }
+    out.push_str(&chart.render());
     for n in &fig.notes {
         let _ = writeln!(out, "note: {n}");
     }

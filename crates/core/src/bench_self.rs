@@ -296,6 +296,59 @@ pub fn parse_baseline(text: &str) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// Parse any committed `BENCH_*.json` trajectory file into labelled
+/// metric points. Every dialect this repo writes is handled:
+/// `bench-self` lines (`slice` + `fast_pps`, the `overall` record
+/// skipped) and the CI smoke-job lines (`benchmark` [+
+/// `target`/`strategy`] + `points_per_sec` or `best_gbps`). Lines
+/// carrying no known metric field are skipped, so mixed or partially
+/// corrupt files degrade instead of erroring.
+pub fn parse_trajectory(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter_map(|l| {
+            let obj = parse_flat_object(l)?;
+            if let Some(name) = obj.get("slice").and_then(|v| v.as_str()) {
+                if name == "overall" {
+                    return None;
+                }
+                return Some((name.to_string(), obj.get("fast_pps")?.as_f64()?));
+            }
+            let mut label = obj.get("benchmark")?.as_str()?.to_string();
+            for qualifier in ["target", "strategy"] {
+                if let Some(q) = obj.get(qualifier).and_then(|v| v.as_str()) {
+                    label.push('/');
+                    label.push_str(q);
+                }
+            }
+            let metric = ["points_per_sec", "best_gbps"]
+                .iter()
+                .find_map(|k| obj.get(*k)?.as_f64())?;
+            Some((label, metric))
+        })
+        .collect()
+}
+
+/// Render labelled metric points as a sparkline headline plus an
+/// aligned table — the compact form CI logs show so a perf trajectory
+/// is readable at a glance. `value_label` names the metric column
+/// (e.g. `points/s`, `GB/s`). Deterministic for a given input: no
+/// wall-clock, no environment.
+pub fn render_trend(title: &str, value_label: &str, entries: &[(String, f64)]) -> String {
+    if entries.is_empty() {
+        return format!("{title}: (no data)\n");
+    }
+    let values: Vec<f64> = entries.iter().map(|(_, v)| *v).collect();
+    let mut t = Table::new(&["entry", value_label]);
+    for (name, v) in entries {
+        t.row(&[name.clone(), format!("{v:.1}")]);
+    }
+    format!(
+        "{title}  [{}]\n{}",
+        crate::chart::sparkline(&values),
+        t.to_text()
+    )
+}
+
 /// Compare measured results against a baseline: every baseline slice
 /// that was measured must retain at least `1 - REGRESSION_TOLERANCE` of
 /// its recorded fast-path throughput. Returns the verdict lines, or an
@@ -394,6 +447,12 @@ pub fn run_bench_self(opts: &BenchSelfOpts) -> Result<String, String> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("baseline {}: {e}", path.display()))?;
         out.push('\n');
+        out.push_str(&render_trend(
+            "baseline trajectory (fast path)",
+            "points/s",
+            &parse_trajectory(&text),
+        ));
+        out.push('\n');
         out.push_str(&check_against(&results, &parse_baseline(&text))?);
     }
     Ok(out)
@@ -464,6 +523,41 @@ mod tests {
         // Unknown baseline slices are reported, not fatal.
         let ok = check_against(&[r], &[("other".into(), 9e9)]).unwrap();
         assert!(ok.contains("not measured"), "{ok}");
+    }
+
+    #[test]
+    fn trajectory_parser_reads_both_bench_dialects() {
+        let text = "\
+{\"slice\":\"tiny\",\"points\":2,\"fast_pps\":1500.0}\n\
+{\"slice\":\"overall\",\"points\":2,\"fast_pps\":1500.0}\n\
+{\"benchmark\":\"cluster_sweep\",\"points\":8,\"points_per_sec\":42.5}\n\
+{\"benchmark\":\"dse_quick\",\"target\":\"fpga-aocl\",\"strategy\":\"genetic\",\"points\":30,\"best_gbps\":12.0}\n\
+not json at all\n\
+{\"benchmark\":\"no_throughput_field\",\"points\":1}\n";
+        let entries = parse_trajectory(text);
+        assert_eq!(
+            entries,
+            vec![
+                ("tiny".to_string(), 1500.0),
+                ("cluster_sweep".to_string(), 42.5),
+                ("dse_quick/fpga-aocl/genetic".to_string(), 12.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn trend_rendering_is_deterministic_and_handles_empty() {
+        assert_eq!(render_trend("t", "points/s", &[]), "t: (no data)\n");
+        let entries = vec![
+            ("a".to_string(), 100.0),
+            ("b".to_string(), 400.0),
+            ("c".to_string(), 250.0),
+        ];
+        let a = render_trend("trajectory", "points/s", &entries);
+        assert_eq!(a, render_trend("trajectory", "points/s", &entries));
+        assert!(a.starts_with("trajectory  ["), "{a}");
+        assert!(a.contains("entry"), "{a}");
+        assert!(a.contains("400"), "{a}");
     }
 
     #[test]

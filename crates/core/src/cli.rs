@@ -122,6 +122,8 @@ pub struct CliRequest {
     pub no_validate: bool,
     /// Emit CSV instead of an aligned table.
     pub csv: bool,
+    /// Append a deterministic ASCII chart to sweep/dse reports.
+    pub chart: bool,
     /// Print the generated OpenCL kernel source instead of running.
     pub show_kernel: bool,
     /// Vector widths swept in sweep mode.
@@ -172,6 +174,7 @@ impl Default for CliRequest {
             jobs: None,
             no_validate: false,
             csv: false,
+            chart: false,
             show_kernel: false,
             widths: vec![1, 2, 4, 8, 16],
             unrolls: vec![1],
@@ -227,6 +230,9 @@ usage: mpstream [sweep|dse|bench-self] [options]
                                     the machine's available parallelism)
   --no-validate                     skip STREAM-style result validation
   --csv                             CSV output
+  --chart                           sweep/dse mode: append an ASCII chart
+                                    (bandwidth by vector width, or search
+                                    convergence) to the report
   --show-kernel                     print the generated OpenCL kernel
   --list-devices                    list the simulated platforms
   --vectors <a,b,..>                sweep mode: vector widths to sweep
@@ -428,6 +434,7 @@ pub fn parse_args(args: &[String]) -> Result<Option<CliRequest>, String> {
             }
             "--no-validate" => req.no_validate = true,
             "--csv" => req.csv = true,
+            "--chart" => req.chart = true,
             "--show-kernel" => req.show_kernel = true,
             "--vectors" => req.widths = parse_u32_list(&need(&mut it, "--vectors")?, "--vectors")?,
             "--unrolls" => req.unrolls = parse_u32_list(&need(&mut it, "--unrolls")?, "--unrolls")?,
@@ -492,6 +499,9 @@ pub fn parse_args(args: &[String]) -> Result<Option<CliRequest>, String> {
     if (strategy_set || req.budget.is_some() || req.dse_seed.is_some()) && req.mode != CliMode::Dse
     {
         return Err("--strategy/--budget/--dse-seed only apply to the dse subcommand".to_string());
+    }
+    if req.chart && !matches!(req.mode, CliMode::Sweep | CliMode::Dse) {
+        return Err("--chart only applies to the sweep and dse subcommands".to_string());
     }
     // FPGAs default to their sensible loop form unless told otherwise.
     if !loop_set && req.target.is_fpga() {
@@ -727,7 +737,65 @@ pub fn render_sweep_report(req: &CliRequest, result: &crate::sweep::SweepResult)
     } else {
         result.metrics_table().to_text()
     });
+    if req.chart {
+        out.push('\n');
+        out.push_str(&sweep_chart(result));
+    }
     out
+}
+
+/// The `--chart` panel of a sweep report: best sustained bandwidth per
+/// vector width, one series per kernel — the same projection the
+/// paper's bandwidth figures plot. Built from the result's point list
+/// (deterministic at any `--jobs`), never from wall clocks, so the
+/// rendering is byte-stable across runs.
+pub fn sweep_chart(result: &crate::sweep::SweepResult) -> String {
+    use std::collections::BTreeMap;
+    let mut per_op: BTreeMap<&'static str, BTreeMap<u32, f64>> = BTreeMap::new();
+    for o in &result.points {
+        if let Ok(m) = &o.result {
+            let best = per_op
+                .entry(o.config.op.name())
+                .or_default()
+                .entry(o.config.vector_width.get())
+                .or_insert(f64::NEG_INFINITY);
+            *best = best.max(m.gbps());
+        }
+    }
+    let mut chart = crate::chart::Chart::new("best GB/s by vector width")
+        .size(64, 12)
+        .x_scale(crate::chart::Scale::Log2)
+        .y_scale(crate::chart::Scale::Log10)
+        .x_label("vector width")
+        .y_label("GB/s");
+    for (op, widths) in per_op {
+        let points: Vec<(f64, f64)> = widths.into_iter().map(|(w, g)| (f64::from(w), g)).collect();
+        chart = chart.line(crate::report::Series::new(op, points));
+    }
+    chart.render()
+}
+
+/// The `--chart` panel of a DSE report: the search convergence curve —
+/// best bandwidth found so far, by evaluation index in strategy visit
+/// order (deterministic for a fixed seed at any `--jobs`).
+pub fn dse_chart(result: &crate::dse::DseResult) -> String {
+    let mut best = f64::NEG_INFINITY;
+    let mut points = Vec::new();
+    for (i, p) in result.trace.iter().enumerate() {
+        if let Ok(m) = &p.result {
+            best = best.max(m.gbps());
+        }
+        if best.is_finite() {
+            points.push(((i + 1) as f64, best));
+        }
+    }
+    crate::chart::Chart::new("search convergence: best GB/s by evaluation")
+        .size(64, 12)
+        .y_scale(crate::chart::Scale::Log10)
+        .x_label("evaluation")
+        .y_label("best GB/s")
+        .line(crate::report::Series::new("best-so-far", points))
+        .render()
 }
 
 /// Execute a sweep request: the cartesian product of the requested ops,
@@ -885,6 +953,10 @@ pub fn render_dse_report(req: &CliRequest, result: &crate::dse::DseResult) -> St
             pareto.to_text()
         });
     }
+    if req.chart {
+        out.push('\n');
+        out.push_str(&dse_chart(result));
+    }
     out
 }
 
@@ -1006,6 +1078,36 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(r.loop_mode, LoopMode::NdRange);
+    }
+
+    #[test]
+    fn chart_flag_is_sweep_and_dse_only() {
+        assert!(parse(&["sweep", "--chart"]).unwrap().unwrap().chart);
+        assert!(parse(&["dse", "--chart"]).unwrap().unwrap().chart);
+        assert!(parse(&["--chart"]).is_err(), "run mode has no chart");
+    }
+
+    #[test]
+    fn chart_report_is_identical_across_jobs_and_appends_a_chart() {
+        let args = [
+            "sweep",
+            "--size",
+            "64K",
+            "--ntimes",
+            "1",
+            "--vectors",
+            "1,4",
+            "--chart",
+        ];
+        let mut serial = parse(&args).unwrap().unwrap();
+        serial.jobs = Some(1);
+        let mut wide = parse(&args).unwrap().unwrap();
+        wide.jobs = Some(4);
+        let a = execute(&serial).unwrap();
+        let b = execute(&wide).unwrap();
+        assert_eq!(a, b, "--chart output must be jobs-invariant");
+        assert!(a.contains("best GB/s by vector width"), "{a}");
+        assert!(a.contains("x: 2^0.0 .. 2^2.0 (log2)"), "{a}");
     }
 
     #[test]

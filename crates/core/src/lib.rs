@@ -23,6 +23,9 @@
 //!   annealing, genetic and surrogate-model search, every batch
 //!   executing through the engine;
 //! * [`report`] — tables, CSV and ASCII log-log charts for the harness;
+//! * [`chart`] — the general deterministic ASCII chart renderer
+//!   (line/scatter/bar, linear/log2/log10 axes) behind `--chart`
+//!   reports, `mpstream watch` and the golden figure charts;
 //! * [`paperdata`] — the paper's plotted data points (transcribed from
 //!   the figures) plus shape checks used by EXPERIMENTS.md;
 //! * [`experiments`] — one entry point per figure (1a, 1b, 2, 3, 4a, 4b)
@@ -30,6 +33,7 @@
 
 pub mod bandwidth;
 pub mod bench_self;
+pub mod chart;
 pub mod checkpoint;
 pub mod cli;
 pub mod config;
@@ -48,6 +52,7 @@ pub mod sweep;
 pub mod trace;
 
 pub use bandwidth::{gbps_to_kbps, mb_label};
+pub use chart::{sparkline, Chart, Scale};
 pub use checkpoint::Checkpoint;
 pub use config::{BenchConfig, StreamLocation};
 pub use dse::{

@@ -22,6 +22,8 @@ usage: mpstream serve [--addr H:P] [--store DIR] [--jobs N] [--queue N]
        mpstream submit [--addr H:P] [dse] <flags>   queue a sweep or search, print its job id
        mpstream status [--addr H:P] [ID]            one job's progress, or all jobs
        mpstream fetch  [--addr H:P] ID [--results]  fetch the report (or raw results)
+       mpstream watch  [--addr H:P] ID              follow a job live: streamed records,
+                                                    progress line and bandwidth chart
        mpstream cancel [--addr H:P] ID              cancel a queued or running job
 
   --addr <host:port>   server address (default 127.0.0.1:8377)
@@ -84,13 +86,22 @@ pub enum ServeCommand {
         /// Job id.
         id: u64,
     },
+    /// Follow `GET /jobs/{id}/stream` live.
+    Watch {
+        /// Server address.
+        addr: String,
+        /// Tenant API key sent as `Authorization: Bearer`.
+        api_key: Option<String>,
+        /// Job id.
+        id: u64,
+    },
 }
 
 /// Does this argument vector start with a service subcommand?
 pub fn is_serve_command(args: &[String]) -> bool {
     matches!(
         args.first().map(String::as_str),
-        Some("serve" | "submit" | "status" | "fetch" | "cancel")
+        Some("serve" | "submit" | "status" | "fetch" | "cancel" | "watch")
     )
 }
 
@@ -234,6 +245,14 @@ pub fn parse_serve_args(args: &[String]) -> Result<Option<ServeCommand>, String>
             })),
             _ => Err("cancel takes exactly one job id".into()),
         },
+        "watch" => match rest.as_slice() {
+            [id] => Ok(Some(ServeCommand::Watch {
+                addr,
+                api_key,
+                id: parse_job_id(id)?,
+            })),
+            _ => Err("watch takes exactly one job id".into()),
+        },
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -369,7 +388,106 @@ pub fn run_client(cmd: &ServeCommand) -> Result<String, String> {
                 .unwrap_or_else(|| "unknown".into());
             Ok(format!("job {id}: {state}\n"))
         }
+        ServeCommand::Watch { addr, api_key, id } => {
+            let tty = std::io::IsTerminal::is_terminal(&std::io::stdout());
+            watch_job(addr, api_key.as_deref(), *id, tty)
+        }
     }
+}
+
+/// `mpstream watch`: consume `GET /jobs/{id}/stream` to the end. On a
+/// TTY, records update an in-place progress line (count + a bandwidth
+/// sparkline) and the summary closes with a full chart; off a TTY
+/// (pipe, CI log) every record line is echoed verbatim — the stream is
+/// then byte-material for scripts, not a display.
+fn watch_job(addr: &str, api_key: Option<&str>, id: u64, tty: bool) -> Result<String, String> {
+    use crate::client::{http_stream_keyed, StreamReply};
+    let reply = http_stream_keyed(
+        addr,
+        &format!("/jobs/{id}/stream"),
+        api_key,
+        &ClientOpts::default(),
+    )?;
+    let mut stream = match reply {
+        StreamReply::Open(s) => s,
+        StreamReply::Refused(r) => {
+            expect_ok(r, "watch")?;
+            return Err("watch: server answered without a stream".into());
+        }
+    };
+    let mut gbps: Vec<f64> = Vec::new();
+    let mut records = 0usize;
+    let mut errors = 0usize;
+    let mut status: Option<String> = None;
+    while let Some(line) = stream.next_line()? {
+        if line.starts_with(':') {
+            continue; // heartbeat / comment chunk
+        }
+        let Some(obj) = parse_flat_object(&line) else {
+            continue;
+        };
+        if obj.contains_key("key") {
+            records += 1;
+            // Bandwidth from the record's own fields: bytes over the
+            // best wall time; bytes/ns is numerically GB/s.
+            let raw = |k: &str| obj.get(k).and_then(|v| v.as_raw()?.parse::<f64>().ok());
+            match (raw("bytes_moved"), raw("best_wall_ns")) {
+                (Some(bytes), Some(ns)) if ns > 0.0 => gbps.push(bytes / ns),
+                _ => errors += 1,
+            }
+            if tty {
+                let tail = &gbps[gbps.len().saturating_sub(48)..];
+                let last = tail.last().map_or(0.0, |v| *v);
+                print!(
+                    "\rjob {id}: {records} records  [{}] {last:.3} GB/s   ",
+                    mpstream_core::sparkline(tail)
+                );
+                let _ = std::io::Write::flush(&mut std::io::stdout());
+            } else {
+                println!("{line}");
+            }
+        } else if obj.contains_key("state") {
+            if !tty {
+                println!("{line}");
+            }
+            status = Some(line);
+        }
+    }
+    if tty && records > 0 {
+        println!();
+    }
+    let status = status.ok_or("watch: stream ended without a status line")?;
+    let obj = parse_flat_object(&status).ok_or("watch: malformed status line")?;
+    let field = |k: &str| obj.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    let state = obj
+        .get("state")
+        .and_then(|v| v.as_str())
+        .unwrap_or("unknown");
+    let mut out = String::new();
+    if tty && !gbps.is_empty() {
+        let points: Vec<(f64, f64)> = gbps
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| ((i + 1) as f64, y))
+            .collect();
+        let chart = mpstream_core::Chart::new(format!("job {id}: bandwidth by completion order"))
+            .size(64, 12)
+            .y_scale(mpstream_core::Scale::Log10)
+            .x_label("record")
+            .y_label("GB/s")
+            .line(mpstream_core::Series::new("GB/s", points));
+        out.push_str(&chart.render());
+    }
+    out.push_str(&format!(
+        "job {id}: {state} ({}/{} points, {records} records streamed",
+        field("done"),
+        field("total"),
+    ));
+    if errors > 0 {
+        out.push_str(&format!(", {errors} without a measurement"));
+    }
+    out.push_str(")\n");
+    Ok(out)
 }
 
 /// Run the daemon until SIGTERM/SIGINT, then drain and return. Prints

@@ -1,14 +1,17 @@
 //! A minimal blocking HTTP/1.1 client for the thin `mpstream
 //! submit|status|fetch|cancel` subcommands, the cluster layer, and the
 //! test suites — one request per connection (`Connection: close`),
-//! `Content-Length` bodies only, mirroring exactly what the server
-//! implements. Every phase of the exchange is bounded: connects time
+//! `Content-Length` bodies plus the one chunked route the server
+//! streams ([`http_stream_keyed`] for `GET /jobs/N/stream`), mirroring
+//! exactly what the server implements. Every phase of the exchange is
+//! bounded: connects time
 //! out instead of hanging on a black-holed peer, and a refused
 //! connection (daemon restarting, worker not up yet) is retried a
 //! bounded number of times with the engine's deterministic exponential
 //! backoff.
 
 use crate::breaker::CircuitBreaker;
+use crate::http::ChunkedReader;
 use mpstream_core::engine::ResiliencePolicy;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -196,6 +199,134 @@ pub fn http_request_keyed(
         headers,
         body,
     })
+}
+
+/// How the server answered a stream request.
+#[derive(Debug)]
+pub enum StreamReply {
+    /// 200 with a chunked body: read records incrementally.
+    Open(StreamReader),
+    /// Any buffered (`Content-Length`) answer — 401/404/429/...
+    Refused(HttpReply),
+}
+
+/// The open stream: yields each decoded line (a checkpoint record, a
+/// `: comment`, or the final status line) as its chunk arrives.
+#[derive(Debug)]
+pub struct StreamReader {
+    lines: BufReader<ChunkedReader<BufReader<TcpStream>>>,
+}
+
+impl StreamReader {
+    /// Next line off the stream, without its newline. `Ok(None)` is the
+    /// clean end (terminator chunk seen). A truncated stream — server
+    /// died, connection cut — is an `Err`, never a quiet `None`.
+    pub fn next_line(&mut self) -> Result<Option<String>, String> {
+        let mut line = String::new();
+        match self.lines.read_line(&mut line) {
+            Ok(0) => Ok(None),
+            Ok(_) => {
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                Ok(Some(line))
+            }
+            Err(e) => Err(format!("stream read: {e}")),
+        }
+    }
+
+    /// Did the stream end with the terminator chunk?
+    pub fn finished(&self) -> bool {
+        self.lines.get_ref().finished()
+    }
+}
+
+/// Open `GET {path}` as a live stream. A 200 with chunked framing
+/// becomes [`StreamReply::Open`]; any other answer is read to
+/// completion and returned buffered. The socket read timeout is
+/// `opts.read_timeout` *per read* — the server's ~1s heartbeats keep an
+/// idle stream well inside any sane budget, so a tripped timeout means
+/// the server is actually gone, not merely quiet.
+pub fn http_stream_keyed(
+    addr: &str,
+    path: &str,
+    api_key: Option<&str>,
+    opts: &ClientOpts,
+) -> Result<StreamReply, String> {
+    let stream = connect(addr, opts)?;
+    stream
+        .set_read_timeout(Some(opts.read_timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(opts.write_timeout))
+        .map_err(|e| e.to_string())?;
+    let auth = match api_key {
+        Some(key) => format!("Authorization: Bearer {key}\r\n"),
+        None => String::new(),
+    };
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    write!(
+        writer,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\n{auth}Connection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    writer.flush().map_err(|e| format!("send: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("status line: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("headers: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    if status == 200 && chunked {
+        return Ok(StreamReply::Open(StreamReader {
+            lines: BufReader::new(ChunkedReader::new(reader)),
+        }));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    let mut body = Vec::new();
+    match content_length {
+        Some(len) => {
+            body.resize(len, 0);
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| format!("body: {e}"))?;
+        }
+        None => {
+            reader
+                .read_to_end(&mut body)
+                .map_err(|e| format!("body: {e}"))?;
+        }
+    }
+    Ok(StreamReply::Refused(HttpReply {
+        status,
+        headers,
+        body,
+    }))
 }
 
 /// [`http_request_opts`] guarded by a [`CircuitBreaker`]: a call is

@@ -5,10 +5,13 @@
 //! Supported: request lines up to [`MAX_REQUEST_LINE`] bytes, up to
 //! [`MAX_HEADERS`] headers of up to [`MAX_HEADER_LINE`] bytes each,
 //! `Content-Length` bodies up to [`MAX_BODY`] bytes, keep-alive and
-//! pipelining. Not supported (rejected, never guessed at): chunked
-//! transfer encoding, HTTP/2 upgrade, multiline headers. The parser
-//! must never panic — `tests/serve_http.rs` fuzzes it with seeded
-//! byte soup to hold it to that.
+//! pipelining, and chunked transfer encoding on *responses* (the
+//! `/jobs/N/stream` live feed: [`write_chunked_header`] /
+//! [`write_chunk`] / [`write_chunk_terminator`] server-side,
+//! [`ChunkedReader`] client-side). Not supported (rejected, never
+//! guessed at): chunked request bodies, HTTP/2 upgrade, multiline
+//! headers. The parser must never panic — `tests/serve_http.rs` fuzzes
+//! it with seeded byte soup to hold it to that.
 
 use std::io::{BufRead, Read, Write};
 use std::net::TcpStream;
@@ -376,28 +379,14 @@ impl Response {
         self.status
     }
 
-    /// The reason phrase for the codes this daemon emits.
-    fn reason(&self) -> &'static str {
-        match self.status {
-            200 => "OK",
-            202 => "Accepted",
-            400 => "Bad Request",
-            401 => "Unauthorized",
-            404 => "Not Found",
-            405 => "Method Not Allowed",
-            408 => "Request Timeout",
-            409 => "Conflict",
-            413 => "Payload Too Large",
-            429 => "Too Many Requests",
-            431 => "Request Header Fields Too Large",
-            503 => "Service Unavailable",
-            _ => "Response",
-        }
-    }
-
     /// Serialize onto a connection. `close` adds `Connection: close`.
     pub fn write_to(&self, w: &mut impl Write, close: bool) -> std::io::Result<()> {
-        write!(w, "HTTP/1.1 {} {}\r\n", self.status, self.reason())?;
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            reason_phrase(self.status)
+        )?;
         for (name, value) in &self.headers {
             write!(w, "{name}: {value}\r\n")?;
         }
@@ -408,6 +397,219 @@ impl Response {
         write!(w, "\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
+    }
+}
+
+/// The reason phrase for the status codes this daemon emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chunked transfer encoding — responses only. The `/jobs/N/stream`
+// endpoint cannot know `Content-Length` up front (records arrive as the
+// job runs), so it is the one place the daemon frames a response with
+// chunks instead of a length. The writer side is three small free
+// functions so the streamer thread in `server.rs` can compose them
+// around its own loop; the reader side is an incremental decoder so
+// `mpstream watch` can surface each record the moment its chunk lands,
+// not when the response ends.
+// ---------------------------------------------------------------------
+
+/// Longest accepted chunk-size line on the client side, bytes. Real
+/// size lines are a few hex digits; anything near this limit is a
+/// corrupt or hostile stream.
+pub const MAX_CHUNK_SIZE_LINE: usize = 64;
+
+/// Write the status line and headers of a chunked response. After this,
+/// the body is whatever sequence of [`write_chunk`] calls follows,
+/// ended by [`write_chunk_terminator`]. Always `Connection: close` —
+/// a stream ends with its connection.
+pub fn write_chunked_header(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        status,
+        reason_phrase(status),
+        content_type
+    )?;
+    w.flush()
+}
+
+/// Write one chunk: hex size line, payload, CRLF. Empty payloads are
+/// skipped — a zero-size chunk is the terminator, and emitting one
+/// mid-stream would end the body early. Flushes, because each chunk is
+/// a live record the peer is waiting on.
+pub fn write_chunk(w: &mut impl Write, data: &[u8]) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// End the chunked body: the zero-size chunk plus the empty trailer
+/// section.
+pub fn write_chunk_terminator(w: &mut impl Write) -> std::io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+/// Incremental client-side decoder for a chunked response body: a
+/// [`Read`] over the decoded bytes that never buffers a whole chunk,
+/// so a caller reading line-by-line sees each record as soon as its
+/// chunk arrives. Malformed framing (bad size line, missing CRLF)
+/// fails with [`std::io::ErrorKind::InvalidData`]; EOF before the
+/// terminator fails with [`std::io::ErrorKind::UnexpectedEof`] — a
+/// truncated stream is never mistaken for a complete one.
+#[derive(Debug)]
+pub struct ChunkedReader<R> {
+    inner: R,
+    /// Undecoded bytes left in the current chunk.
+    remaining: usize,
+    /// Saw the zero-size terminator chunk and its trailer end.
+    finished: bool,
+}
+
+impl<R: BufRead> ChunkedReader<R> {
+    /// Decode the chunked body arriving on `inner` (positioned just
+    /// past the response headers).
+    pub fn new(inner: R) -> ChunkedReader<R> {
+        ChunkedReader {
+            inner,
+            remaining: 0,
+            finished: false,
+        }
+    }
+
+    /// Did the stream end with a proper terminator chunk (as opposed to
+    /// the caller just stopping early)?
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Read one framing line (size line, chunk-trailing CRLF, trailer
+    /// line), bounded, stripped of its `\r\n`.
+    fn framing_line(&mut self) -> std::io::Result<Vec<u8>> {
+        let mut line = Vec::new();
+        loop {
+            let mut byte = [0u8; 1];
+            match self.inner.read(&mut byte) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "stream truncated mid-framing",
+                    ));
+                }
+                Ok(_) => {
+                    if byte[0] == b'\n' {
+                        if line.last() == Some(&b'\r') {
+                            line.pop();
+                        } else {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                "chunk framing line not CRLF-terminated",
+                            ));
+                        }
+                        return Ok(line);
+                    }
+                    if line.len() >= MAX_CHUNK_SIZE_LINE {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "chunk framing line too long",
+                        ));
+                    }
+                    line.push(byte[0]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Parse the next chunk-size line; handles `;ext` chunk extensions
+    /// by ignoring them, as the RFC requires of recipients.
+    fn next_chunk_size(&mut self) -> std::io::Result<usize> {
+        let line = self.framing_line()?;
+        let line = std::str::from_utf8(&line)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "size not utf-8"))?;
+        let digits = line.split(';').next().unwrap_or("").trim();
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "malformed chunk size",
+            ));
+        }
+        usize::from_str_radix(digits, 16).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "chunk size overflow")
+        })
+    }
+}
+
+impl<R: BufRead> Read for ChunkedReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.finished || buf.is_empty() {
+            return Ok(0);
+        }
+        if self.remaining == 0 {
+            let size = self.next_chunk_size()?;
+            if size == 0 {
+                // Trailer section: zero or more header lines, then an
+                // empty line. Our server sends none, but tolerate them.
+                loop {
+                    if self.framing_line()?.is_empty() {
+                        break;
+                    }
+                }
+                self.finished = true;
+                return Ok(0);
+            }
+            self.remaining = size;
+        }
+        let want = buf.len().min(self.remaining);
+        let n = match self.inner.read(&mut buf[..want]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream truncated mid-chunk",
+                ));
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => return self.read(buf),
+            Err(e) => return Err(e),
+        };
+        self.remaining -= n;
+        if self.remaining == 0 {
+            // The CRLF that closes every chunk's payload.
+            let sep = self.framing_line()?;
+            if !sep.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "chunk payload not followed by CRLF",
+                ));
+            }
+        }
+        Ok(n)
     }
 }
 
@@ -568,6 +770,85 @@ mod tests {
         client.write_all(b"GET /b HTTP/1.1\r\n\r\n").unwrap();
         let second = parse_request(&mut reader).unwrap().unwrap();
         assert_eq!(second.path, "/b");
+    }
+
+    #[test]
+    fn chunked_writer_and_reader_round_trip() {
+        let mut wire = Vec::new();
+        write_chunk(&mut wire, b"first record\n").unwrap();
+        write_chunk(&mut wire, b"").unwrap(); // skipped, not a terminator
+        write_chunk(&mut wire, b"second\n").unwrap();
+        write_chunk_terminator(&mut wire).unwrap();
+
+        let mut r = ChunkedReader::new(BufReader::new(&wire[..]));
+        let mut decoded = String::new();
+        r.read_to_string(&mut decoded).unwrap();
+        assert_eq!(decoded, "first record\nsecond\n");
+        assert!(r.finished());
+    }
+
+    #[test]
+    fn chunked_header_carries_transfer_encoding_and_close() {
+        let mut wire = Vec::new();
+        write_chunked_header(&mut wire, 200, "application/json").unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+        assert!(!text.contains("Content-Length"));
+    }
+
+    #[test]
+    fn chunked_reader_ignores_extensions_and_trailers() {
+        let wire = b"5;ext=1\r\nhello\r\n0\r\nX-Trailer: v\r\n\r\n";
+        let mut r = ChunkedReader::new(BufReader::new(&wire[..]));
+        let mut decoded = String::new();
+        r.read_to_string(&mut decoded).unwrap();
+        assert_eq!(decoded, "hello");
+        assert!(r.finished());
+    }
+
+    #[test]
+    fn chunked_reader_rejects_malformed_framing() {
+        for (bad, why) in [
+            (&b"zz\r\nhello\r\n0\r\n\r\n"[..], "non-hex size"),
+            (b"\r\nhello\r\n0\r\n\r\n", "empty size line"),
+            (b"5\nhello\r\n0\r\n\r\n", "bare-LF size line"),
+            (b"5\r\nhelloXX0\r\n\r\n", "payload not CRLF-closed"),
+        ] {
+            let mut r = ChunkedReader::new(BufReader::new(bad));
+            let err = r.read_to_string(&mut String::new()).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::InvalidData,
+                "{why}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_reader_truncation_is_unexpected_eof_never_success() {
+        let mut full = Vec::new();
+        write_chunk(&mut full, b"one\n").unwrap();
+        write_chunk(&mut full, b"two\n").unwrap();
+        write_chunk_terminator(&mut full).unwrap();
+        // Every proper prefix either yields a clean partial decode that
+        // is NOT marked finished, or errors — it never decodes as a
+        // complete stream.
+        for cut in 0..full.len() {
+            let mut r = ChunkedReader::new(BufReader::new(&full[..cut]));
+            let mut decoded = String::new();
+            match r.read_to_string(&mut decoded) {
+                Ok(_) => panic!("prefix of {cut} bytes decoded cleanly"),
+                Err(e) => assert_eq!(
+                    e.kind(),
+                    std::io::ErrorKind::UnexpectedEof,
+                    "cut at {cut}: {e:?}"
+                ),
+            }
+            assert!(!r.finished(), "cut at {cut} claimed finished");
+        }
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //! * [`signal`] — SIGTERM/SIGINT via the self-pipe trick, no libc
 //!   crate;
 //! * [`client`] — the minimal HTTP client behind `mpstream
-//!   submit|status|fetch|cancel`;
+//!   submit|status|fetch|cancel|watch`, including the incremental
+//!   chunked-stream reader `watch` renders from;
 //! * [`cli`] — argument grammar and execution for the service
 //!   subcommands.
 //!

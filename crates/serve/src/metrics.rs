@@ -116,6 +116,12 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Faults injected by attached fault plans.
     pub faults_injected: AtomicU64,
+    /// Result streams opened (`GET /jobs/N/stream` answered 200).
+    pub stream_opened: AtomicU64,
+    /// Checkpoint records sent over result streams.
+    pub stream_records: AtomicU64,
+    /// Result streams currently live (gauge).
+    pub stream_active: AtomicU64,
 }
 
 impl Metrics {
@@ -132,6 +138,12 @@ impl Metrics {
     /// Set a gauge.
     pub fn set(gauge: &AtomicU64, n: u64) {
         gauge.store(n, Ordering::Relaxed);
+    }
+
+    /// Decrement a gauge, stopping at zero (a stream double-counting
+    /// its own teardown must not wrap the gauge to u64::MAX).
+    pub fn dec(gauge: &AtomicU64) {
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
     }
 
     /// Install a renderer appended to every scrape, after any renderers
@@ -310,6 +322,24 @@ impl Metrics {
             get(&self.faults_injected),
         );
         metric(
+            "mpstream_stream_opened_total",
+            "counter",
+            "Result streams opened (GET /jobs/N/stream).",
+            get(&self.stream_opened),
+        );
+        metric(
+            "mpstream_stream_records_total",
+            "counter",
+            "Checkpoint records sent over result streams.",
+            get(&self.stream_records),
+        );
+        metric(
+            "mpstream_stream_active_total",
+            "gauge",
+            "Result streams currently live.",
+            get(&self.stream_active),
+        );
+        metric(
             "mpstream_http_timeouts_total",
             "counter",
             "Requests cut off by the per-request deadline.",
@@ -465,6 +495,19 @@ mod tests {
                 "sample for {name}"
             );
         }
+    }
+
+    #[test]
+    fn gauge_decrement_saturates_at_zero() {
+        let m = Metrics::default();
+        Metrics::inc(&m.stream_active);
+        Metrics::dec(&m.stream_active);
+        Metrics::dec(&m.stream_active); // double teardown must not wrap
+        assert_eq!(m.stream_active.load(Ordering::Relaxed), 0);
+        let text = m.render_prometheus();
+        assert!(text.contains("mpstream_stream_active_total 0\n"), "{text}");
+        assert!(text.contains("mpstream_stream_opened_total 0\n"));
+        assert!(text.contains("mpstream_stream_records_total 0\n"));
     }
 
     #[test]

@@ -11,8 +11,19 @@
 //! accept loop stops, workers finish their current exchanges and
 //! drain, the in-flight job is cooperatively cancelled and re-queued,
 //! and `run` returns so the process can exit 0.
+//!
+//! One route escapes the request/response mold: `GET /jobs/N/stream`
+//! is a chunked long-poll that replays the job's checkpoint records
+//! and then tails new ones as points finish. It runs on a detached
+//! streamer thread (`stream_job`) so a stream held open for a long
+//! sweep never pins one of the pool's workers; admission (auth, rate
+//! limit, 404) happens on the worker *before* the first chunk, so
+//! refusals are ordinary buffered responses.
 
-use crate::http::{parse_request, DeadlineStream, ParseError, Request, Response};
+use crate::http::{
+    parse_request, write_chunk, write_chunk_terminator, write_chunked_header, DeadlineStream,
+    ParseError, Request, Response,
+};
 use crate::jobs::{JobManager, SubmitError};
 use crate::metrics::Metrics;
 use crate::retention::RetentionPolicy;
@@ -121,6 +132,9 @@ struct Shared {
     tenants: TenantRegistry,
     request_deadline: Duration,
     max_requests_per_conn: usize,
+    /// The server's shutdown flag, also watched by detached streamer
+    /// threads so live streams end promptly when the daemon drains.
+    shutdown: Arc<AtomicBool>,
 }
 
 /// A bound (not yet running) server.
@@ -162,6 +176,7 @@ impl Server {
         );
         let manager = JobManager::new(store, Arc::clone(&metrics), opts.queue_capacity);
         let listener = TcpListener::bind(&opts.addr)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -171,8 +186,9 @@ impl Server {
                 tenants,
                 request_deadline: opts.request_deadline,
                 max_requests_per_conn: opts.max_requests_per_conn.max(1),
+                shutdown: Arc::clone(&shutdown),
             }),
-            shutdown: Arc::new(AtomicBool::new(false)),
+            shutdown,
             opts,
         })
     }
@@ -369,6 +385,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     Metrics::inc(&shared.metrics.conn_requests_capped);
                 }
                 let close = req.wants_close() || capped;
+                if let Some(job) = stream_target(&req) {
+                    // The one route that outlives this exchange: hand
+                    // the socket to a detached streamer and free this
+                    // pool worker. The stream always ends the
+                    // connection, so keep-alive state is moot.
+                    serve_stream(&req, writer, shared, job);
+                    return;
+                }
                 let resp = route(&req, shared);
                 if (400..500).contains(&resp.status()) {
                     Metrics::inc(&shared.metrics.http_client_errors);
@@ -376,6 +400,140 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 if resp.write_to(&mut writer, close).is_err() || close {
                     return;
                 }
+            }
+        }
+    }
+}
+
+/// Is this request the streaming route (`GET /jobs/{id}/stream`)?
+fn stream_target(req: &Request) -> Option<u64> {
+    if req.method != "GET" {
+        return None;
+    }
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["jobs", id, "stream"] => parse_id(id),
+        _ => None,
+    }
+}
+
+/// Admit and open a result stream. Everything that can refuse — auth,
+/// rate limit, unknown job — happens here on the pool worker, answered
+/// as a plain buffered response *before* any chunk is written. Only an
+/// admitted stream spawns the detached streamer thread.
+fn serve_stream(req: &Request, mut writer: TcpStream, shared: &Arc<Shared>, id: u64) {
+    let refuse = |mut writer: TcpStream, resp: Response| {
+        Metrics::inc(&shared.metrics.http_client_errors);
+        if resp.write_to(&mut writer, true).is_ok() {
+            drain(&writer);
+        }
+    };
+    // Opening a stream counts as one admitted request for the tenant,
+    // exactly like any other API hit.
+    let Some(tenant) = shared.tenants.resolve(request_key(req)) else {
+        Metrics::inc(&shared.metrics.http_unauthorized);
+        refuse(writer, json_error(401, "unknown API key"));
+        return;
+    };
+    let counters = shared.metrics.tenant(tenant.name());
+    Metrics::inc(&counters.requests);
+    if let Err(wait) = tenant.try_admit() {
+        Metrics::inc(&shared.metrics.http_throttled);
+        Metrics::inc(&counters.throttled);
+        let secs = wait.as_secs() + u64::from(wait.subsec_nanos() > 0);
+        refuse(
+            writer,
+            json_error(429, "rate limit exceeded").header("Retry-After", secs.max(1).to_string()),
+        );
+        return;
+    }
+    if shared.manager.status(id).is_none() {
+        refuse(writer, json_error(404, "no such job"));
+        return;
+    }
+    if write_chunked_header(&mut writer, 200, "application/json").is_err() {
+        return;
+    }
+    Metrics::inc(&shared.metrics.stream_opened);
+    Metrics::inc(&shared.metrics.stream_active);
+    let thread_shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name(format!("mpstream-stream-{id}"))
+        .spawn(move || stream_job(writer, &thread_shared, id));
+    if spawned.is_err() {
+        // Thread exhaustion: the socket was dropped with the closure,
+        // so the client sees a truncated (never "finished") stream.
+        Metrics::dec(&shared.metrics.stream_active);
+    }
+}
+
+/// Streamer thread body: run the feed, then settle the books whatever
+/// way it ended.
+fn stream_job(mut writer: TcpStream, shared: &Shared, id: u64) {
+    stream_job_feed(&mut writer, shared, id);
+    Metrics::dec(&shared.metrics.stream_active);
+    drain(&writer);
+}
+
+/// The live feed: replay the records already on disk, then tail the
+/// checkpoint as points finish, one chunk per record line. Idle spells
+/// emit `: heartbeat` comment chunks so client read deadlines and
+/// intermediaries see traffic. Ends with one status line and the
+/// terminator chunk at terminal state (or a current status line at
+/// daemon shutdown, so the client knows to reconnect). A write error
+/// means the client went away — the job itself is never touched.
+fn stream_job_feed(w: &mut TcpStream, shared: &Shared, id: u64) {
+    const POLL: Duration = Duration::from_millis(25);
+    const HEARTBEAT: Duration = Duration::from_secs(1);
+    let store = shared.manager.store();
+    let mut sent = 0usize;
+    let mut idle = Duration::ZERO;
+    loop {
+        // State strictly before lines: the runner appends every record
+        // before it marks the job terminal, so a terminal state
+        // observed *here* guarantees the read below sees every record.
+        let status = shared.manager.status(id);
+        let lines = store.result_lines(id);
+        let fresh = lines.len() > sent;
+        for line in lines.iter().skip(sent) {
+            if write_chunk(w, format!("{line}\n").as_bytes()).is_err() {
+                return;
+            }
+            Metrics::inc(&shared.metrics.stream_records);
+            sent += 1;
+        }
+        match status {
+            None => {
+                // Evicted by retention mid-stream: no terminal status
+                // will ever appear; say why and end cleanly.
+                let _ = write_chunk(w, b": job evicted from store\n");
+                let _ = write_chunk_terminator(w);
+                return;
+            }
+            Some((rec, done)) if !rec.state.is_live() => {
+                let _ = write_chunk(w, (job_status_line(&rec, done) + "\n").as_bytes());
+                let _ = write_chunk_terminator(w);
+                return;
+            }
+            Some((rec, done)) if shared.shutdown.load(Ordering::SeqCst) => {
+                // Daemon draining: end with the current (live) status so
+                // the client can tell "stream over" from "job over".
+                let _ = write_chunk(w, (job_status_line(&rec, done) + "\n").as_bytes());
+                let _ = write_chunk_terminator(w);
+                return;
+            }
+            Some(_) => {}
+        }
+        if fresh {
+            idle = Duration::ZERO;
+        } else {
+            std::thread::sleep(POLL);
+            idle += POLL;
+            if idle >= HEARTBEAT {
+                if write_chunk(w, b": heartbeat\n").is_err() {
+                    return;
+                }
+                idle = Duration::ZERO;
             }
         }
     }

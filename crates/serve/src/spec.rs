@@ -45,6 +45,9 @@ pub fn request_to_spec(req: &CliRequest) -> Result<String, String> {
     if req.show_kernel {
         return Err("--show-kernel is local-only".into());
     }
+    if req.chart {
+        return Err("--chart is local-only; use `mpstream watch` for a live chart".into());
+    }
     let join = |list: &[u32]| {
         list.iter()
             .map(|n| n.to_string())
@@ -357,6 +360,9 @@ mod tests {
         let mut req = parse_cli(&["sweep"]);
         req.trace = Some("t.json".into());
         assert!(request_to_spec(&req).is_err());
+        let mut req = parse_cli(&["sweep"]);
+        req.chart = true;
+        assert!(request_to_spec(&req).is_err(), "--chart is local-only");
         let req = parse_cli(&[]);
         assert!(request_to_spec(&req).is_err(), "run mode is not a job");
     }

@@ -319,6 +319,176 @@ fn deadline_server(
     (addr, handle, running, dir)
 }
 
+/// Random payloads chunk-encoded with random split points must decode
+/// byte-identically through [`ChunkedReader`], whatever read-buffer
+/// sizes the client uses — the framing layer may never merge, drop, or
+/// duplicate bytes.
+#[test]
+fn chunked_round_trip_survives_random_split_points() {
+    use mpstream_serve::http::{write_chunk, write_chunk_terminator, ChunkedReader};
+    use std::io::Read;
+
+    let mut rng = SplitMix64::new(0x5eed_0007);
+    for _ in 0..300 {
+        let payload: Vec<u8> = (0..rng.gen_index(4096))
+            .map(|_| (rng.next_u64() & 0xff) as u8)
+            .collect();
+
+        // Encode in randomly sized chunks (empty slices are skipped by
+        // the writer, so they must not terminate the body early).
+        let mut wire = Vec::new();
+        let mut off = 0;
+        while off < payload.len() {
+            let n = (1 + rng.gen_index(97)).min(payload.len() - off);
+            write_chunk(&mut wire, &payload[off..off + n]).unwrap();
+            if rng.gen_index(8) == 0 {
+                write_chunk(&mut wire, b"").unwrap(); // no-op, not a terminator
+            }
+            off += n;
+        }
+        write_chunk_terminator(&mut wire).unwrap();
+
+        // Decode with randomly sized read calls.
+        let mut reader = ChunkedReader::new(BufReader::new(&wire[..]));
+        let mut decoded = Vec::new();
+        let mut buf = [0u8; 128];
+        loop {
+            let want = 1 + rng.gen_index(buf.len());
+            let n = reader.read(&mut buf[..want]).unwrap();
+            if n == 0 {
+                break;
+            }
+            decoded.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(decoded, payload, "chunked round trip corrupted the body");
+        assert!(reader.finished(), "terminator must mark the stream done");
+    }
+}
+
+/// Every strict prefix of a valid chunked body must surface an error —
+/// never a clean EOF, never a silently shortened payload that claims to
+/// be finished. This is what lets `mpstream watch` distinguish a cut
+/// connection from a complete stream.
+#[test]
+fn chunked_truncation_ladder_never_claims_finished() {
+    use mpstream_serve::http::{write_chunk, write_chunk_terminator, ChunkedReader};
+    use std::io::Read;
+
+    let mut rng = SplitMix64::new(0x5eed_0008);
+    for _ in 0..40 {
+        let mut wire = Vec::new();
+        for _ in 0..1 + rng.gen_index(4) {
+            let piece: Vec<u8> = (0..1 + rng.gen_index(64))
+                .map(|_| (rng.next_u64() & 0xff) as u8)
+                .collect();
+            write_chunk(&mut wire, &piece).unwrap();
+        }
+        write_chunk_terminator(&mut wire).unwrap();
+
+        // The full wire decodes cleanly...
+        let mut full = ChunkedReader::new(BufReader::new(&wire[..]));
+        let mut sink = Vec::new();
+        full.read_to_end(&mut sink).unwrap();
+        assert!(full.finished());
+
+        // ...and every strict prefix is a loud truncation.
+        for cut in 0..wire.len() {
+            let mut reader = ChunkedReader::new(BufReader::new(&wire[..cut]));
+            let mut sink = Vec::new();
+            let err = reader
+                .read_to_end(&mut sink)
+                .expect_err("truncated chunked body must error");
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof,
+                "cut at {cut}: wrong error kind"
+            );
+            assert!(!reader.finished(), "cut at {cut}: truncation claimed done");
+        }
+    }
+}
+
+/// A client that opens `GET /jobs/N/stream` and then never reads must
+/// not stall the worker pool (the streamer runs on its own thread) and
+/// must not wedge the job: other clients stay fast, the job completes,
+/// and the active-stream gauge drains once the slow socket is dropped.
+#[test]
+fn slow_stream_reader_does_not_stall_the_pool() {
+    use std::io::Write;
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    let (addr, handle, running, dir) = deadline_server("httpslowstream", Duration::from_secs(10));
+    let addr_s = addr.to_string();
+
+    let metric = |name: &str| -> u64 {
+        let text = mpstream_serve::client::http_request(&addr_s, "GET", "/metrics", b"")
+            .unwrap()
+            .text()
+            .to_string();
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} "))?.trim().parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing"))
+    };
+
+    // Submit a small sweep job.
+    let argv: Vec<String> = [
+        "sweep", "--kernel", "copy", "--size", "64K", "--ntimes", "1",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let req = mpstream_core::cli::parse_args(&argv).unwrap().unwrap();
+    let spec = mpstream_serve::spec::request_to_spec(&req).unwrap();
+    let reply =
+        mpstream_serve::client::http_request(&addr_s, "POST", "/jobs", spec.as_bytes()).unwrap();
+    assert_eq!(reply.status, 202, "{}", reply.text());
+
+    // Open the stream and then go silent: never read a byte.
+    let mut slow = TcpStream::connect(addr).unwrap();
+    slow.write_all(b"GET /jobs/1/stream HTTP/1.1\r\nHost: fuzz\r\nConnection: close\r\n\r\n")
+        .unwrap();
+
+    // Wait for the streamer to pick the request up off the pool.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while metric("mpstream_stream_opened_total") == 0 {
+        assert!(Instant::now() < deadline, "stream never opened");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The pool (2 workers) stays responsive with the stream held open.
+    for _ in 0..8 {
+        let t0 = Instant::now();
+        let reply = mpstream_serve::client::http_request(&addr_s, "GET", "/healthz", b"").unwrap();
+        assert_eq!(reply.status, 200);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "healthz slowed down behind a held stream"
+        );
+    }
+
+    // The job still runs to completion behind the unread stream.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while metric("mpstream_jobs_completed_total") == 0 {
+        assert!(Instant::now() < deadline, "job wedged behind slow stream");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Drop the slow socket; the streamer notices (write error or final
+    // terminator) and the active gauge returns to zero.
+    drop(slow);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while metric("mpstream_stream_active_total") != 0 {
+        assert!(Instant::now() < deadline, "active-stream gauge leaked");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(metric("mpstream_stream_opened_total") >= 1);
+
+    handle.trigger();
+    running.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A slow-drip client (one header byte at a time, then silence) burns
 /// through the total request deadline and gets a loud 408 — the budget
 /// covers the whole request, so trickling bytes cannot hold a worker.

@@ -10,6 +10,7 @@
 //! mpstream serve --addr 127.0.0.1:8377 --store ./mpstream-store
 //! mpstream submit --kernel triad --vectors 1,2,4,8,16
 //! mpstream status 1 && mpstream fetch 1
+//! mpstream watch 1
 //! mpstream coordinator --addr 127.0.0.1:8377 --shard-points 4
 //! mpstream worker --join 127.0.0.1:8377
 //! mpstream --list-devices

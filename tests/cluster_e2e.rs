@@ -269,6 +269,78 @@ fn dead_worker_shard_is_released_without_duplicating_results() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The coordinator streams merged shard records live over
+/// `GET /jobs/<id>/stream`: a client watching while two workers chew
+/// through shards receives exactly the records the merged checkpoint
+/// holds, in merge (append) order, closed by a `done` status line.
+#[test]
+fn coordinator_streams_merged_shard_records_live() {
+    use mpstream_serve::client::{http_stream_keyed, ClientOpts, StreamReply};
+
+    let req = sweep_request(&SWEEP_ARGS);
+    let total = core_cli::sweep_param_space(&req).configs().len();
+
+    let dir = temp_dir("stream");
+    let (addr, handle, join) = start_coordinator(&dir, Duration::from_secs(5), 3);
+    let (stop_a, join_a) = start_worker(&addr, &dir.join("worker-a"));
+    let (stop_b, join_b) = start_worker(&addr, &dir.join("worker-b"));
+
+    let id = submit(&addr, &request_to_spec(&req).unwrap());
+
+    // Tail the stream while the shards land.
+    let reply = http_stream_keyed(
+        &addr,
+        &format!("/jobs/{id}/stream"),
+        None,
+        &ClientOpts::default(),
+    )
+    .unwrap();
+    let mut reader = match reply {
+        StreamReply::Open(r) => r,
+        StreamReply::Refused(r) => panic!("stream refused: {} {}", r.status, r.text()),
+    };
+    let mut streamed = Vec::new();
+    let mut status = None;
+    while let Some(line) = reader.next_line().unwrap() {
+        if line.starts_with(':') {
+            continue;
+        }
+        let obj = parse_flat_object(&line).unwrap();
+        if obj.contains_key("key") {
+            streamed.push(line);
+        } else {
+            status = Some(line);
+        }
+    }
+    let status = status.expect("stream ended without a status line");
+    let sobj = parse_flat_object(&status).unwrap();
+    assert_eq!(sobj.get("state").and_then(|v| v.as_str()), Some("done"));
+    assert_eq!(
+        sobj.get("done").and_then(|v| v.as_u64()),
+        Some(total as u64)
+    );
+
+    // The streamed set is exactly what the results endpoint serves —
+    // same records, same merge order, same bytes.
+    let fetched =
+        http_request(&addr, "GET", &format!("/jobs/{id}/results?limit=1000"), b"").unwrap();
+    assert_eq!(fetched.status, 200);
+    let fetched: Vec<String> = fetched.text().lines().map(str::to_string).collect();
+    assert_eq!(
+        streamed, fetched,
+        "streamed shard records differ from the merged checkpoint"
+    );
+    assert_eq!(streamed.len(), total);
+
+    stop_a.store(true, Ordering::Release);
+    stop_b.store(true, Ordering::Release);
+    join_a.join().unwrap().unwrap();
+    join_b.join().unwrap().unwrap();
+    handle.trigger();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Drive the wire protocol by hand: a duplicate `/complete` for an
 /// already-merged shard must be refused, and a restarted coordinator
 /// must replay the shard journal (merged shards survive restarts).

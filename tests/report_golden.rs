@@ -223,6 +223,61 @@ fn fig3_nested_loop_beats_flat_on_sdaccel() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Golden chart renderings: the zero-dependency ASCII chart module over
+// the paper-parity figure series and the committed BENCH trajectories.
+// Charts are pure functions of the (deterministic) result data, so any
+// diff is a real renderer or cost-model change.
+// ---------------------------------------------------------------------
+
+/// Render a figure through the chart module the `--chart` flag and
+/// `mpstream watch` use: one line series per figure series, log10 y
+/// (the paper's figures are log-scaled), fixed 64x16 plot.
+fn figure_chart(fig: &Figure) -> String {
+    let mut chart = mpstream_core::Chart::new(fig.title.clone())
+        .size(64, 16)
+        .y_scale(mpstream_core::Scale::Log10)
+        .x_label(fig.x_label.clone())
+        .y_label(fig.y_label.clone());
+    for s in &fig.series {
+        chart = chart.line(s.clone());
+    }
+    chart.render()
+}
+
+#[test]
+fn fig3_chart_matches_golden() {
+    let fig = reference_figure(FigureId::Fig3);
+    check_golden("fig3_chart.txt", &figure_chart(&fig));
+}
+
+#[test]
+fn fig4a_chart_matches_golden() {
+    let fig = reference_figure(FigureId::Fig4a);
+    check_golden("fig4a_chart.txt", &figure_chart(&fig));
+}
+
+/// The committed BENCH trajectory files render to pinned trend charts:
+/// the same sparkline + table `bench-self --check` prints, so the CI
+/// log rendering is itself regression-tested.
+#[test]
+fn bench_trajectory_trends_match_golden() {
+    use mpstream_core::bench_self::{parse_trajectory, render_trend};
+    for (file, value_label, golden) in [
+        ("BENCH_sim.json", "points/s", "bench_sim_trend.txt"),
+        ("BENCH_sweep.json", "points/s", "bench_sweep_trend.txt"),
+        ("BENCH_dse.json", "GB/s", "bench_dse_trend.txt"),
+    ] {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("committed {file} unreadable: {e}"));
+        let entries = parse_trajectory(&text);
+        assert!(!entries.is_empty(), "{file} parsed to no trajectory points");
+        let title = format!("{file} trajectory");
+        check_golden(golden, &render_trend(&title, value_label, &entries));
+    }
+}
+
 #[test]
 fn fig4a_kernel_ordering_matches_golden() {
     let fig = reference_figure(FigureId::Fig4a);

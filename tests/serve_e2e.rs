@@ -454,6 +454,278 @@ fn cancelling_a_queued_job_frees_its_tenant_quota_slot() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Open `GET /jobs/<id>/stream` and drain it to the final status line.
+/// Returns `(record lines in arrival order, status line)`; heartbeat
+/// comments are skipped.
+fn drain_stream(addr: &str, id: u64, api_key: Option<&str>) -> (Vec<String>, String) {
+    use mpstream_serve::client::{http_stream_keyed, ClientOpts, StreamReply};
+
+    let reply = http_stream_keyed(
+        addr,
+        &format!("/jobs/{id}/stream"),
+        api_key,
+        &ClientOpts::default(),
+    )
+    .unwrap();
+    let mut reader = match reply {
+        StreamReply::Open(r) => r,
+        StreamReply::Refused(r) => panic!("stream refused: {} {}", r.status, r.text()),
+    };
+    let mut records = Vec::new();
+    let mut status = None;
+    while let Some(line) = reader.next_line().unwrap() {
+        if line.starts_with(':') {
+            continue; // heartbeat / diagnostic comment
+        }
+        let obj = parse_flat_object(&line).unwrap_or_else(|| panic!("unparseable line {line:?}"));
+        if obj.contains_key("key") {
+            records.push(line);
+        } else if obj.contains_key("state") {
+            status = Some(line);
+        } else {
+            panic!("stream line is neither record nor status: {line:?}");
+        }
+    }
+    assert!(reader.finished(), "stream must end at a clean terminator");
+    (records, status.expect("stream ended without a status line"))
+}
+
+/// Fetch every checkpoint record of a finished job via the paged
+/// results endpoint.
+fn fetch_all_results(addr: &str, id: u64) -> Vec<String> {
+    let reply = http_request(
+        addr,
+        "GET",
+        &format!("/jobs/{id}/results?limit=100000"),
+        b"",
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.text());
+    let total: usize = reply.header("x-total").unwrap().parse().unwrap();
+    let lines: Vec<String> = reply.text().lines().map(str::to_string).collect();
+    assert_eq!(lines.len(), total, "results page did not cover the job");
+    lines
+}
+
+/// The live stream must deliver exactly the records the checkpoint
+/// holds — byte-identical, in append order — whether the job runs on
+/// one worker or several, and whether the stream was opened before the
+/// job finished (live tail) or after (pure replay).
+#[test]
+fn streamed_records_are_byte_identical_to_fetched_checkpoint() {
+    let dir = temp_dir("stream-identity");
+    let (addr, handle, join) = start_server(&dir, 2, 4);
+
+    for jobs in ["1", "4"] {
+        let req = sweep_request(&[
+            "--kernel",
+            "copy",
+            "--kernel",
+            "triad",
+            "--size",
+            "131072",
+            "--vectors",
+            "1,2,4,8",
+            "--ntimes",
+            "1",
+            "--jobs",
+            jobs,
+        ]);
+        let id = submit(&addr, &request_to_spec(&req).unwrap());
+
+        // Live tail: opened while the job is queued/running.
+        let (streamed, status) = drain_stream(&addr, id, None);
+        let obj = parse_flat_object(&status).unwrap();
+        assert_eq!(obj.get("state").and_then(|v| v.as_str()), Some("done"));
+        let total = core_cli::sweep_param_space(&req).configs().len();
+        assert_eq!(obj.get("done").and_then(|v| v.as_u64()), Some(total as u64));
+
+        let fetched = fetch_all_results(&addr, id);
+        assert_eq!(
+            streamed, fetched,
+            "--jobs {jobs}: streamed records differ from the checkpoint"
+        );
+
+        // Pure replay: opened after completion, must serve the same
+        // bytes straight from disk.
+        let (replayed, _) = drain_stream(&addr, id, None);
+        assert_eq!(replayed, fetched, "--jobs {jobs}: replay differs");
+    }
+
+    handle.trigger();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A client that disconnects mid-stream must not cancel or wedge the
+/// job: the sweep completes, the report is served, and a later stream
+/// replays the full record set.
+#[test]
+fn stream_disconnect_mid_job_does_not_cancel_it() {
+    use mpstream_serve::client::{http_stream_keyed, ClientOpts, StreamReply};
+
+    let dir = temp_dir("stream-disconnect");
+    let (addr, handle, join) = start_server(&dir, 2, 4);
+
+    // Slow enough (debug build) that the disconnect lands mid-run.
+    let req = sweep_request(&[
+        "--size",
+        "262144",
+        "--vectors",
+        "1,2,4,8,16",
+        "--unrolls",
+        "1,2",
+        "--ntimes",
+        "2",
+        "--jobs",
+        "1",
+    ]);
+    let id = submit(&addr, &request_to_spec(&req).unwrap());
+
+    let reply = http_stream_keyed(
+        &addr,
+        &format!("/jobs/{id}/stream"),
+        None,
+        &ClientOpts::default(),
+    )
+    .unwrap();
+    let mut reader = match reply {
+        StreamReply::Open(r) => r,
+        StreamReply::Refused(r) => panic!("stream refused: {}", r.status),
+    };
+    // Read until the first record arrives, then hang up mid-stream.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(Instant::now() < deadline, "no record before disconnect");
+        match reader.next_line().unwrap() {
+            Some(l) if l.starts_with(':') => continue,
+            Some(_) => break,
+            None => panic!("stream ended before the job finished"),
+        }
+    }
+    drop(reader);
+
+    let (_, done) = poll_until(&addr, id, "job survives disconnect", |s, _| s == "done");
+    assert_eq!(
+        done as usize,
+        core_cli::sweep_param_space(&req).configs().len()
+    );
+    let report = http_request(&addr, "GET", &format!("/jobs/{id}/report"), b"").unwrap();
+    assert_eq!(report.status, 200);
+
+    // A later stream replays everything the checkpoint holds.
+    let (replayed, _) = drain_stream(&addr, id, None);
+    assert_eq!(replayed, fetch_all_results(&addr, id));
+
+    handle.trigger();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Streams sit behind the same tenant gate as every other endpoint: an
+/// unknown key is refused with 401 before any chunk is written, a known
+/// key streams, an unknown job is 404, and the stream counters surface
+/// in /metrics.
+#[test]
+fn stream_honors_tenant_auth_and_counts_itself() {
+    use mpstream_serve::client::{http_stream_keyed, ClientOpts, StreamReply};
+
+    let dir = temp_dir("stream-auth");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tenants = dir.join("tenants.jsonl");
+    std::fs::write(
+        &tenants,
+        "{\"name\":\"acme\",\"key\":\"acme-secret\",\"queue_quota\":4}\n",
+    )
+    .unwrap();
+    let server = Server::bind(ServeOpts {
+        addr: "127.0.0.1:0".into(),
+        store_dir: dir.join("store"),
+        http_workers: 2,
+        queue_capacity: 4,
+        tenants_file: Some(tenants),
+        ..ServeOpts::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.shutdown_handle().unwrap();
+    let join = std::thread::spawn(move || server.run());
+
+    let req = sweep_request(&[
+        "--kernel", "copy", "--size", "65536", "--ntimes", "1", "--jobs", "1",
+    ]);
+    let spec = request_to_spec(&req).unwrap();
+    let reply = mpstream_serve::client::http_request_keyed(
+        &addr,
+        "POST",
+        "/jobs",
+        spec.as_bytes(),
+        Some("acme-secret"),
+        &ClientOpts::default(),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 202, "{}", reply.text());
+
+    // Unknown key: refused as a plain 401 response, never a chunk.
+    let refused = http_stream_keyed(
+        &addr,
+        "/jobs/1/stream",
+        Some("wrong-key"),
+        &ClientOpts::default(),
+    )
+    .unwrap();
+    match refused {
+        StreamReply::Refused(r) => assert_eq!(r.status, 401, "{}", r.text()),
+        StreamReply::Open(_) => panic!("unknown key opened a stream"),
+    }
+
+    // Unknown job: 404 before any chunk.
+    let missing = http_stream_keyed(
+        &addr,
+        "/jobs/999/stream",
+        Some("acme-secret"),
+        &ClientOpts::default(),
+    )
+    .unwrap();
+    match missing {
+        StreamReply::Refused(r) => assert_eq!(r.status, 404, "{}", r.text()),
+        StreamReply::Open(_) => panic!("unknown job opened a stream"),
+    }
+
+    // Known key: streams to completion.
+    let (records, status) = drain_stream(&addr, 1, Some("acme-secret"));
+    assert!(!records.is_empty());
+    assert!(status.contains("\"state\":\"done\""), "{status}");
+
+    let metric = |name: &str| -> u64 {
+        let metrics = http_request(&addr, "GET", "/metrics", b"")
+            .unwrap()
+            .text()
+            .to_string();
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} "))?.trim().parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing:\n{metrics}"))
+    };
+    assert_eq!(metric("mpstream_stream_opened_total"), 1);
+    assert_eq!(
+        metric("mpstream_stream_records_total"),
+        records.len() as u64
+    );
+    assert!(metric("mpstream_http_unauthorized_total") >= 1);
+    // The streamer decrements the gauge just after the terminator the
+    // client saw, so allow it a moment to drain.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while metric("mpstream_stream_active_total") != 0 {
+        assert!(Instant::now() < deadline, "active-stream gauge leaked");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    handle.trigger();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The spawned `mpstream serve` binary announces its address, serves,
 /// and on SIGTERM drains and exits 0.
 #[test]
